@@ -1,0 +1,186 @@
+//! Activity analysis: which values and arrays carry derivative
+//! information from the `wrt` inputs.
+//!
+//! Forward data-flow fixpoint over the whole function (statements inside
+//! loops can activate earlier loads through memory, so the body is swept
+//! until stable). Conservative in the Enzyme sense: over-approximating
+//! activity only grows the tape, never breaks correctness.
+
+use crate::AdOptions;
+use tapeflow_ir::function::{Stmt, ValueDef};
+use tapeflow_ir::{ArrayId, Function, Op, Scalar, ValueId};
+
+/// Result of activity analysis.
+#[derive(Clone, Debug)]
+pub struct Activity {
+    value_active: Vec<bool>,
+    array_active: Vec<bool>,
+}
+
+impl Activity {
+    /// True when derivative information can flow through `v`.
+    #[inline]
+    pub fn value(&self, v: ValueId) -> bool {
+        self.value_active[v.index()]
+    }
+
+    /// True when the array can hold active data.
+    #[inline]
+    pub fn array(&self, a: ArrayId) -> bool {
+        self.array_active[a.index()]
+    }
+
+    /// Number of active values (for tests/reporting).
+    pub fn active_value_count(&self) -> usize {
+        self.value_active.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Runs the fixpoint. Only `f64` values can be active; integer values
+/// never carry derivatives.
+pub fn analyze(func: &Function, opts: &AdOptions) -> Activity {
+    let mut act = Activity {
+        value_active: vec![false; func.values().len()],
+        array_active: vec![false; func.arrays().len()],
+    };
+    for &a in &opts.wrt {
+        act.array_active[a.index()] = true;
+    }
+    loop {
+        let mut changed = false;
+        sweep(func, &func.body, &mut act, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    act
+}
+
+fn sweep(func: &Function, stmts: &[Stmt], act: &mut Activity, changed: &mut bool) {
+    for s in stmts {
+        match s {
+            Stmt::For { body, .. } => sweep(func, body, act, changed),
+            Stmt::Inst(id) => {
+                let inst = func.inst(*id);
+                match inst.op {
+                    Op::Load(arr) => {
+                        if act.array_active[arr.index()] {
+                            if let Some(r) = inst.result {
+                                set(&mut act.value_active, r, changed);
+                            }
+                        }
+                    }
+                    Op::Store(arr) => {
+                        if act.value_active[inst.args[1].index()]
+                            && !act.array_active[arr.index()]
+                        {
+                            act.array_active[arr.index()] = true;
+                            *changed = true;
+                        }
+                    }
+                    _ => {
+                        let Some(r) = inst.result else { continue };
+                        if func.value(r).ty != Scalar::F64 {
+                            continue;
+                        }
+                        // Select's condition (i64) cannot be active;
+                        // activity flows from the f64 branches only.
+                        let any_active = inst
+                            .args
+                            .iter()
+                            .any(|a| act.value_active[a.index()]);
+                        if any_active {
+                            set(&mut act.value_active, r, changed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn set(slots: &mut [bool], v: ValueId, changed: &mut bool) {
+    if !slots[v.index()] {
+        slots[v.index()] = true;
+        *changed = true;
+    }
+}
+
+/// True when `v` is defined by an instruction (not a constant or an
+/// induction variable), i.e. can receive an adjoint.
+pub fn is_inst_defined(func: &Function, v: ValueId) -> bool {
+    matches!(func.value(v).def, ValueDef::Inst(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_ir::{ArrayKind, FunctionBuilder};
+
+    #[test]
+    fn activity_flows_through_memory() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", 4, ArrayKind::Input, Scalar::F64);
+        let tmp = b.array("tmp", 4, ArrayKind::Temp, Scalar::F64);
+        let out = b.array("out", 4, ArrayKind::Output, Scalar::F64);
+        let mut loaded_y = None;
+        let mut through = None;
+        b.for_loop("i", 0, 4, |b, i| {
+            let v = b.load(x, i);
+            b.store(tmp, i, v);
+        });
+        b.for_loop("j", 0, 4, |b, j| {
+            let t = b.load(tmp, j);
+            through = Some(t);
+            let yv = b.load(y, j);
+            loaded_y = Some(yv);
+            let s = b.fmul(t, yv);
+            b.store(out, j, s);
+        });
+        let f = b.finish();
+        let act = analyze(&f, &AdOptions::new(vec![x], vec![out]));
+        // x -> tmp -> t -> s -> out is active even though the store to tmp
+        // appears before the load in a later loop.
+        assert!(act.array(tmp));
+        assert!(act.array(out));
+        assert!(act.value(through.unwrap()));
+        // y was not in wrt: its loads are inactive.
+        assert!(!act.array(y));
+        assert!(!act.value(loaded_y.unwrap()));
+    }
+
+    #[test]
+    fn cycles_through_cells_converge() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        let acc = b.cell_f64("acc", 0.0);
+        b.for_loop("i", 0, 4, |b, i| {
+            let v = b.load(x, i);
+            let c = b.load_cell(acc);
+            let s = b.fadd(c, v);
+            b.store_cell(acc, s);
+        });
+        let f = b.finish();
+        let act = analyze(&f, &AdOptions::new(vec![x], vec![acc]));
+        assert!(act.array(acc));
+    }
+
+    #[test]
+    fn integers_never_active() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        let mut idx = None;
+        b.for_loop("i", 0, 4, |b, i| {
+            let two = b.i64(2);
+            let j = b.imul(i, two);
+            idx = Some(j);
+            let four = b.i64(4);
+            let j4 = b.irem(j, four);
+            let _ = b.load(x, j4);
+        });
+        let f = b.finish();
+        let act = analyze(&f, &AdOptions::new(vec![x], vec![]));
+        assert!(!act.value(idx.unwrap()));
+    }
+}

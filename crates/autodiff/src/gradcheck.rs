@@ -1,0 +1,235 @@
+//! Finite-difference gradient checking.
+//!
+//! The test suite's ground truth: run the *original* function under the
+//! interpreter with central differences and compare against the shadow
+//! arrays the gradient function produces.
+
+use crate::Gradient;
+use std::error::Error;
+use std::fmt;
+use tapeflow_ir::interp::{run, ExecError};
+use tapeflow_ir::{ArrayId, Function, Memory};
+
+/// Designates the scalar loss the gradient is taken of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LossSpec {
+    /// The output array holding the loss.
+    pub array: ArrayId,
+    /// Element index of the loss within that array.
+    pub index: usize,
+}
+
+impl LossSpec {
+    /// Loss at `array[0]` — the common case of a loss cell.
+    pub fn cell(array: ArrayId) -> Self {
+        LossSpec { array, index: 0 }
+    }
+}
+
+/// A mismatch reported by [`check_gradient`].
+#[derive(Clone, Debug)]
+pub enum GradCheckError {
+    /// Execution of either function failed.
+    Exec(ExecError),
+    /// The analytic and numeric gradients disagree.
+    Mismatch {
+        /// Which `wrt` array disagreed.
+        array_name: String,
+        /// Element index of the worst disagreement.
+        index: usize,
+        /// Analytic (AD) value.
+        analytic: f64,
+        /// Numeric (finite-difference) value.
+        numeric: f64,
+        /// Relative error at that element.
+        rel_err: f64,
+    },
+}
+
+impl fmt::Display for GradCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradCheckError::Exec(e) => write!(f, "execution failed during gradient check: {e}"),
+            GradCheckError::Mismatch {
+                array_name,
+                index,
+                analytic,
+                numeric,
+                rel_err,
+            } => write!(
+                f,
+                "gradient mismatch at d_{array_name}[{index}]: AD {analytic} vs FD {numeric} (rel err {rel_err:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for GradCheckError {}
+
+impl From<ExecError> for GradCheckError {
+    fn from(e: ExecError) -> Self {
+        GradCheckError::Exec(e)
+    }
+}
+
+/// Numeric gradient of `loss` w.r.t. every element of `wrt`, by central
+/// differences of the **original** function.
+///
+/// `base` must hold the inputs; it is cloned for every probe, so Temp
+/// and Output arrays may hold anything.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn finite_diff_gradient(
+    func: &Function,
+    base: &Memory,
+    wrt: ArrayId,
+    loss: LossSpec,
+    eps: f64,
+) -> Result<Vec<f64>, ExecError> {
+    let n = base.len_of(wrt);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let x0 = base.get_f64_at(wrt, i);
+        let probe = |x: f64| -> Result<f64, ExecError> {
+            let mut m = base.clone();
+            m.set_f64_at(wrt, i, x);
+            run(func, &mut m)?;
+            Ok(m.get_f64_at(loss.array, loss.index))
+        };
+        let hi = probe(x0 + eps)?;
+        let lo = probe(x0 - eps)?;
+        out.push((hi - lo) / (2.0 * eps));
+    }
+    Ok(out)
+}
+
+/// Runs the gradient function once (seeding `d_loss = 1`) and returns the
+/// shadow contents for each `wrt` array, in `grad`-declared order.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+///
+/// # Panics
+///
+/// Panics if a `wrt` array has no shadow (it was not in the
+/// [`crate::AdOptions::wrt`] list when differentiating).
+pub fn analytic_gradient(
+    orig: &Function,
+    grad: &Gradient,
+    base: &Memory,
+    wrt: &[ArrayId],
+    loss: LossSpec,
+) -> Result<Vec<Vec<f64>>, ExecError> {
+    let mut mem = grad.prepare_memory(orig, base);
+    let d_loss = grad
+        .shadow_of(loss.array)
+        .expect("loss array must be a seed");
+    mem.set_f64_at(d_loss, loss.index, 1.0);
+    run(&grad.func, &mut mem)?;
+    Ok(wrt
+        .iter()
+        .map(|&w| mem.get_f64(grad.shadow_of(w).expect("wrt array has a shadow")))
+        .collect())
+}
+
+/// Compares AD and finite differences on every element of every `wrt`
+/// array.
+///
+/// The tolerance test is `|ad - fd| <= atol + rtol * max(|ad|, |fd|)`.
+///
+/// # Errors
+///
+/// Returns the worst mismatch if any element exceeds the tolerance, or an
+/// execution error.
+#[allow(clippy::too_many_arguments)]
+pub fn check_gradient(
+    orig: &Function,
+    grad: &Gradient,
+    base: &Memory,
+    wrt: &[ArrayId],
+    loss: LossSpec,
+    eps: f64,
+    rtol: f64,
+    atol: f64,
+) -> Result<(), GradCheckError> {
+    let analytic = analytic_gradient(orig, grad, base, wrt, loss)?;
+    let mut worst: Option<GradCheckError> = None;
+    let mut worst_err = 0.0;
+    for (wi, &w) in wrt.iter().enumerate() {
+        let numeric = finite_diff_gradient(orig, base, w, loss, eps)?;
+        for (i, (&ad, &fd)) in analytic[wi].iter().zip(&numeric).enumerate() {
+            let scale = ad.abs().max(fd.abs());
+            let err = (ad - fd).abs();
+            if err > atol + rtol * scale {
+                let rel = if scale > 0.0 { err / scale } else { err };
+                if rel > worst_err {
+                    worst_err = rel;
+                    worst = Some(GradCheckError::Mismatch {
+                        array_name: orig.array(w).name.clone(),
+                        index: i,
+                        analytic: ad,
+                        numeric: fd,
+                        rel_err: rel,
+                    });
+                }
+            }
+        }
+    }
+    match worst {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{differentiate, AdOptions};
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Scalar};
+
+    #[test]
+    fn quadratic_gradient_checks() {
+        let mut b = FunctionBuilder::new("q");
+        let x = b.array("x", 3, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 3, |b, i| {
+            let v = b.load(x, i);
+            let sq = b.fmul(v, v);
+            let c = b.load_cell(loss);
+            let s = b.fadd(c, sq);
+            b.store_cell(loss, s);
+        });
+        let f = b.finish();
+        let grad = differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap();
+        let mut base = Memory::for_function(&f);
+        base.set_f64(x, &[0.5, -1.5, 2.0]);
+        check_gradient(&f, &grad, &base, &[x], LossSpec::cell(loss), 1e-6, 1e-5, 1e-8)
+            .unwrap();
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        // A "gradient" that is wrong on purpose: differentiate f(x)=x^2 but
+        // compare against finite differences of g(x)=x^3.
+        let build = |p: i32| {
+            let mut b = FunctionBuilder::new("f");
+            let x = b.array("x", 1, ArrayKind::Input, Scalar::F64);
+            let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+            let v = b.load_cell(x);
+            let e = b.f64(p as f64);
+            let w = b.fpow(v, e);
+            b.store_cell(loss, w);
+            (b.finish(), x, loss)
+        };
+        let (f2, x, loss) = build(2);
+        let (f3, _, _) = build(3);
+        let grad = differentiate(&f2, &AdOptions::new(vec![x], vec![loss])).unwrap();
+        let mut base = Memory::for_function(&f2);
+        base.set_f64(x, &[1.7]);
+        let err = check_gradient(&f3, &grad, &base, &[x], LossSpec::cell(loss), 1e-6, 1e-6, 1e-9);
+        assert!(matches!(err, Err(GradCheckError::Mismatch { .. })));
+    }
+}

@@ -1,0 +1,276 @@
+//! # tapeflow-autodiff
+//!
+//! Reverse-mode automatic differentiation over the Tapeflow IR — the
+//! repository's substitute for [Enzyme] in the paper *Tapeflow: Streaming
+//! Gradient Tapes in Automatic Differentiation*.
+//!
+//! Given a pure forward function, [`differentiate`] produces a **gradient
+//! function** with the exact structure the paper's Figure 1.2 describes:
+//!
+//! 1. a **forward phase (FWD)** — the original body, augmented with
+//!    *tape stores* that save the SSA intermediates the reverse phase
+//!    will need (one struct-of-arrays tape array per taped value, exactly
+//!    Enzyme's baseline layout that Tapeflow's Pass 1 later rewrites);
+//! 2. a phase **barrier**;
+//! 3. a **reverse phase (REV)** — mirrored loops running backwards,
+//!    computing adjoints with the chain rule, reading tape values back
+//!    and accumulating gradients into *shadow* arrays (`d_x`).
+//!
+//! Like Enzyme at `-O3 -mem2reg`, the transform minimizes the tape: values
+//! that can be *recomputed* in REV (constants, induction variables,
+//! integer address arithmetic, loads from read-only inputs and pure
+//! chains over those) are rematerialized instead of taped
+//! ([`TapePolicy::Minimal`]); only genuinely forward-only state hits the
+//! tape. [`TapePolicy::All`] tapes every needed value, modelling
+//! operator-overloading-style AD for ablations.
+//!
+//! The crate also exports the `FtoR`-style maps the Tapeflow compiler
+//! passes require (FWD loop → REV loop, tape store → tape loads) and a
+//! finite-difference [gradient checker](gradcheck) used pervasively by
+//! the test suite.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+//! use tapeflow_autodiff::{differentiate, AdOptions};
+//!
+//! // loss = sum_i x[i]^2
+//! let mut b = FunctionBuilder::new("sumsq");
+//! let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+//! let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+//! b.for_loop("i", 0, 4, |b, i| {
+//!     let v = b.load(x, i);
+//!     let sq = b.fmul(v, v);
+//!     let z = b.i64(0);
+//!     let cur = b.load(loss, z);
+//!     let s = b.fadd(cur, sq);
+//!     b.store(loss, z, s);
+//! });
+//! let f = b.finish();
+//!
+//! let grad = differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap();
+//! let mut mem = Memory::for_function(&grad.func);
+//! mem.set_f64(x, &[1.0, 2.0, 3.0, 4.0]);
+//! mem.set_f64_at(grad.shadow_of(loss).unwrap(), 0, 1.0); // seed d_loss = 1
+//! tapeflow_ir::interp::run(&grad.func, &mut mem).unwrap();
+//! let d_x = mem.get_f64(grad.shadow_of(x).unwrap());
+//! assert_eq!(d_x, vec![2.0, 4.0, 6.0, 8.0]); // d/dx_i = 2 x_i
+//! ```
+//!
+//! [Enzyme]: https://enzyme.mit.edu
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activity;
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod plan;
+pub mod reverse;
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use tapeflow_ir::{ArrayId, Function, InstId, LoopId};
+
+/// How aggressively to keep values off the tape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TapePolicy {
+    /// Ideal-alias-analysis minimization: recompute/reload whatever is
+    /// cheap (constants, induction variables, integer chains, read-only
+    /// input loads); tape only forward-only floating-point state.
+    #[default]
+    Minimal,
+    /// Enzyme-realistic: recompute index math, induction variables and
+    /// constants, but **tape** needed floating-point loads instead of
+    /// re-loading them — what Enzyme's conservative aliasing does in
+    /// practice (the paper's Figure 3.2 tapes SSA values over read-only
+    /// inputs). The benchmarks default to this.
+    Conservative,
+    /// Tape every value the reverse pass needs, even recomputable ones —
+    /// models operator-overloading AD; used for ablations.
+    All,
+}
+
+/// Options for [`differentiate`].
+#[derive(Clone, Debug)]
+pub struct AdOptions {
+    /// Arrays to differentiate **with respect to**; each gets a shadow
+    /// output `d_<name>`.
+    pub wrt: Vec<ArrayId>,
+    /// Output arrays whose shadows **seed** the reverse pass (the caller
+    /// sets e.g. `d_loss[0] = 1` before running the gradient function).
+    pub seeds: Vec<ArrayId>,
+    /// Tape policy.
+    pub policy: TapePolicy,
+}
+
+impl AdOptions {
+    /// Differentiate w.r.t. `wrt`, seeding from the shadows of `seeds`,
+    /// with the default [`TapePolicy::Minimal`].
+    pub fn new(wrt: Vec<ArrayId>, seeds: Vec<ArrayId>) -> Self {
+        AdOptions {
+            wrt,
+            seeds,
+            policy: TapePolicy::Minimal,
+        }
+    }
+
+    /// Overrides the tape policy.
+    pub fn with_policy(mut self, policy: TapePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Metadata about one tape array (one taped SSA value), consumed by the
+/// Tapeflow compiler's Pass 1 when merging struct-of-arrays tapes into
+/// array-of-structs regions.
+#[derive(Clone, Debug)]
+pub struct TapeArrayInfo {
+    /// The tape array in the gradient function.
+    pub array: ArrayId,
+    /// The FWD tape-store instruction (gradient function ids).
+    pub store: InstId,
+    /// The REV tape-load instructions (one per consuming scope).
+    pub loads: Vec<InstId>,
+    /// The FWD loop nest enclosing the store, outermost first (gradient
+    /// function loop ids). Empty for top-level stores.
+    pub fwd_loop_path: Vec<LoopId>,
+    /// Product of the nest's trip counts (= the tape array's length).
+    pub trip_product: u64,
+    /// True when the taped value is an integer stored through `itof`.
+    pub as_int: bool,
+}
+
+/// Statistics about the transform, for reporting and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdStats {
+    /// Values stored to the tape.
+    pub taped_values: usize,
+    /// Values the reverse pass rematerializes instead of taping.
+    pub recomputed_values: usize,
+    /// Total tape bytes allocated.
+    pub tape_bytes: u64,
+    /// Adjoint accumulator cells spilled to memory (cross-scope adjoints).
+    pub adjoint_cells: usize,
+}
+
+/// A contiguous range of generated statements that one source statement
+/// expanded into (tape stores ride along with their defining statement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Index of the statement in the *source* function's body (at the
+    /// same nesting level).
+    pub src_stmt: usize,
+    /// Start index (inclusive) in the generated body.
+    pub start: usize,
+    /// End index (exclusive) in the generated body.
+    pub end: usize,
+}
+
+/// Statement-correspondence tables between the source body and the
+/// generated FWD/REV bodies, keyed by the generated loop enclosing the
+/// body (`None` = function root). Used by `tapeflow-core`'s Pass 2 to cut
+/// layers at mirrored statement boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTable {
+    /// Spans of each FWD body, in emission (= source) order.
+    pub fwd: HashMap<Option<LoopId>, Vec<Span>>,
+    /// Spans of each REV body, in emission (= reversed source) order.
+    pub rev: HashMap<Option<LoopId>, Vec<Span>>,
+}
+
+/// The result of [`differentiate`]: the gradient function plus the
+/// compile-time maps the paper's passes rely on ("the compiler has
+/// perfect alias information about the tape", Obs 2.1).
+#[derive(Clone, Debug)]
+pub struct Gradient {
+    /// The gradient function. Array ids of the original function are
+    /// preserved; shadow and tape arrays are appended after them.
+    pub func: Function,
+    /// The barrier instruction separating FWD from REV (pass it to
+    /// [`tapeflow_ir::trace::TraceOptions`]'s `phase_barrier`).
+    pub phase_barrier: InstId,
+    /// Original array → shadow array.
+    pub shadows: HashMap<ArrayId, ArrayId>,
+    /// Tape metadata, one entry per taped SSA value.
+    pub tapes: Vec<TapeArrayInfo>,
+    /// FWD loop → REV loop (gradient-function loop ids): the loop half of
+    /// the paper's `FtoR` map.
+    pub loop_map: HashMap<LoopId, LoopId>,
+    /// Statement correspondence between source, FWD and REV bodies.
+    pub spans: SpanTable,
+    /// Transform statistics.
+    pub stats: AdStats,
+}
+
+impl Gradient {
+    /// Shadow array of an original array, if one was created.
+    pub fn shadow_of(&self, original: ArrayId) -> Option<ArrayId> {
+        self.shadows.get(&original).copied()
+    }
+
+    /// Builds a memory image for the gradient function, copying the
+    /// contents of every original array from `orig_mem` (valid because
+    /// original array ids are preserved).
+    pub fn prepare_memory(
+        &self,
+        orig_func: &Function,
+        orig_mem: &tapeflow_ir::Memory,
+    ) -> tapeflow_ir::Memory {
+        let mut mem = tapeflow_ir::Memory::for_function(&self.func);
+        for i in 0..orig_func.arrays().len() {
+            mem.clone_array_from(orig_mem, ArrayId::new(i));
+        }
+        mem
+    }
+
+    /// Total tape elements across all tape arrays.
+    pub fn tape_elems(&self) -> u64 {
+        self.tapes.iter().map(|t| t.trip_product).sum()
+    }
+}
+
+/// Errors raised by [`differentiate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdError {
+    /// A loop that must be reversed or taped has a runtime-computed bound.
+    DynamicLoopBound {
+        /// Loop name in the original function.
+        loop_name: String,
+    },
+    /// The input already contains tape/scratchpad/stream operations.
+    NotAPureFunction(InstId),
+    /// The input failed verification.
+    Invalid(tapeflow_ir::verify::VerifyError),
+}
+
+impl fmt::Display for AdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdError::DynamicLoopBound { loop_name } => write!(
+                f,
+                "loop {loop_name} has a runtime bound; reverse-mode AD requires static trip counts"
+            ),
+            AdError::NotAPureFunction(i) => {
+                write!(
+                    f,
+                    "instruction {i} is a tape/scratchpad/stream op; differentiate pure functions only"
+                )
+            }
+            AdError::Invalid(e) => write!(f, "input function is invalid: {e}"),
+        }
+    }
+}
+
+impl Error for AdError {}
+
+impl From<tapeflow_ir::verify::VerifyError> for AdError {
+    fn from(e: tapeflow_ir::verify::VerifyError) -> Self {
+        AdError::Invalid(e)
+    }
+}
+
+pub use reverse::differentiate;

@@ -1,0 +1,466 @@
+//! Tape planning: which forward values the reverse pass needs, and
+//! whether each is **taped** or **recomputed**.
+//!
+//! This is the Enzyme-substitute's "minimize the tape" stage (paper
+//! §2.2.1): address arithmetic, induction variables, constants and loads
+//! from read-only inputs are rematerialized in REV; genuinely
+//! forward-only floating-point state is taped, one struct-of-arrays tape
+//! array per value.
+
+use crate::activity::Activity;
+use crate::{AdError, AdOptions, TapePolicy};
+use tapeflow_ir::function::{Stmt, ValueDef};
+use tapeflow_ir::{Function, InstId, LoopId, Op, Scalar, ValueId};
+
+/// Per-value reverse-pass plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Decision {
+    /// Not needed by the reverse pass.
+    #[default]
+    NotNeeded,
+    /// Rematerialized in the reverse pass (constants, induction
+    /// variables, integer chains, read-only input loads).
+    Recompute,
+    /// Stored to a tape array in FWD, loaded in REV.
+    Tape,
+    /// An `i64` value stored to the `f64` tape through `itof` and
+    /// restored with `ftoi`.
+    TapeAsInt,
+}
+
+/// Output of [`build`].
+#[derive(Clone, Debug)]
+pub struct TapePlan {
+    decisions: Vec<Decision>,
+    cell_needed: Vec<bool>,
+    /// Loop path (original loop ids, outermost first) of each instruction.
+    inst_paths: Vec<Vec<LoopId>>,
+}
+
+impl TapePlan {
+    /// The plan for one value.
+    #[inline]
+    pub fn decision(&self, v: ValueId) -> Decision {
+        self.decisions[v.index()]
+    }
+
+    /// True when the value's adjoint must be accumulated in a memory cell
+    /// (it has uses in scopes deeper than its definition).
+    #[inline]
+    pub fn cell_needed(&self, v: ValueId) -> bool {
+        self.cell_needed[v.index()]
+    }
+
+    /// Loop path of an instruction (original loop ids, outermost first).
+    #[inline]
+    pub fn path_of(&self, i: InstId) -> &[LoopId] {
+        &self.inst_paths[i.index()]
+    }
+
+    /// Count of values with a given decision.
+    pub fn count(&self, d: Decision) -> usize {
+        self.decisions.iter().filter(|&&x| x == d).count()
+    }
+}
+
+struct Walker<'f> {
+    func: &'f Function,
+    /// Body id in which each value is defined (values defined at depth 0
+    /// get body 0; constants stay `u32::MAX` = everywhere).
+    def_body: Vec<u32>,
+    cell_needed: Vec<bool>,
+    inst_paths: Vec<Vec<LoopId>>,
+    next_body: u32,
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, stmts: &[Stmt], body: u32, path: &mut Vec<LoopId>) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(id) => {
+                    let inst = self.func.inst(*id);
+                    self.inst_paths[id.index()] = path.clone();
+                    for &a in &inst.args {
+                        // A use in a body other than the def body forces a
+                        // memory cell for the adjoint accumulator.
+                        if matches!(self.func.value(a).def, ValueDef::Inst(_))
+                            && self.def_body[a.index()] != u32::MAX
+                            && self.def_body[a.index()] != body
+                        {
+                            self.cell_needed[a.index()] = true;
+                        }
+                    }
+                    if let Some(r) = inst.result {
+                        self.def_body[r.index()] = body;
+                    }
+                }
+                Stmt::For { loop_id, body: b } => {
+                    let id = self.next_body;
+                    self.next_body += 1;
+                    path.push(*loop_id);
+                    self.walk(b, id, path);
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Values the adjoint of `inst` (with an active result / active array)
+/// reads from the forward execution — refined by operand activity so
+/// e.g. `z = c * x` with inactive `c` tapes nothing (the partial into
+/// `x` is just `dz * c`).
+fn formula_needs(func: &Function, act: &Activity, id: InstId, needs: &mut Vec<ValueId>) {
+    let inst = func.inst(id);
+    let a = &inst.args;
+    let active = |v: ValueId| act.value(v);
+    use Op::*;
+    match inst.op {
+        FMul => {
+            if active(a[0]) {
+                needs.push(a[1]);
+            }
+            if active(a[1]) {
+                needs.push(a[0]);
+            }
+        }
+        // Routing needs the predicate over both operand values.
+        FMin | FMax if active(a[0]) || active(a[1]) => needs.extend([a[0], a[1]]),
+        FDiv => {
+            if active(a[0]) {
+                needs.push(a[1]);
+            }
+            if active(a[1]) {
+                needs.push(a[1]);
+                needs.extend(inst.result);
+            }
+        }
+        Select if active(a[1]) || active(a[2]) => needs.push(a[0]),
+        Sqrt | Exp | Tanh if active(a[0]) => needs.extend(inst.result),
+        Sin | Cos | Ln | FAbs if active(a[0]) => needs.push(a[0]),
+        FPow => {
+            if active(a[0]) {
+                needs.extend([a[0], a[1]]);
+            }
+            if active(a[1]) {
+                needs.push(a[0]);
+                needs.extend(inst.result);
+            }
+        }
+        Load(_) | Store(_) => needs.push(a[0]), // the index
+        _ => {}
+    }
+}
+
+fn can_recompute(func: &Function, v: ValueId, allow_reload: bool, memo: &mut [i8]) -> bool {
+    match memo[v.index()] {
+        1 => return true,
+        -1 => return false,
+        _ => {}
+    }
+    let ok = match func.value(v).def {
+        ValueDef::Const(_) | ValueDef::Iv(_) => true,
+        ValueDef::Inst(i) => {
+            let inst = func.inst(i);
+            use Op::*;
+            match inst.op {
+                // Reload unmodified memory (only under ideal aliasing;
+                // integer index arrays are always reloadable — indices
+                // cannot live on the f64 tape anyway).
+                Load(arr) => {
+                    let decl = func.array(arr);
+                    (allow_reload || decl.elem == Scalar::I64)
+                        && decl.kind.is_read_only()
+                        && can_recompute(func, inst.args[0], allow_reload, memo)
+                }
+                // Address/integer chains and comparisons over recomputable
+                // operands.
+                IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | ICmp(_) | FCmp(_) | IToF
+                | FToI => inst
+                    .args
+                    .iter()
+                    .all(|&x| can_recompute(func, x, allow_reload, memo)),
+                _ => false,
+            }
+        }
+    };
+    memo[v.index()] = if ok { 1 } else { -1 };
+    ok
+}
+
+/// Builds the tape plan.
+///
+/// # Errors
+///
+/// Returns [`AdError::DynamicLoopBound`] when a loop that encloses
+/// reverse-relevant work has a runtime bound.
+pub fn build(func: &Function, act: &Activity, opts: &AdOptions) -> Result<TapePlan, AdError> {
+    let nvals = func.values().len();
+    let mut walker = Walker {
+        func,
+        def_body: vec![u32::MAX; nvals],
+        cell_needed: vec![false; nvals],
+        inst_paths: vec![Vec::new(); func.insts().len()],
+        next_body: 1,
+    };
+    let mut path = Vec::new();
+    walker.walk(&func.body, 0, &mut path);
+    let Walker {
+        cell_needed,
+        inst_paths,
+        ..
+    } = walker;
+
+    // Collect the needed set.
+    let mut needed = vec![false; nvals];
+    for (i, inst) in func.insts().iter().enumerate() {
+        let id = InstId::new(i);
+        let relevant = match inst.op {
+            Op::Store(arr) => act.array(arr),
+            _ => inst.result.is_some_and(|r| act.value(r)),
+        };
+        if !relevant {
+            continue;
+        }
+        let mut needs = Vec::new();
+        formula_needs(func, act, id, &mut needs);
+        for v in needs {
+            needed[v.index()] = true;
+        }
+    }
+
+    // Decide tape vs recompute.
+    let allow_reload = opts.policy == TapePolicy::Minimal;
+    let mut memo = vec![0i8; nvals];
+    let mut decisions = vec![Decision::NotNeeded; nvals];
+    for v in 0..nvals {
+        if !needed[v] {
+            continue;
+        }
+        let vid = ValueId::new(v);
+        let rec = can_recompute(func, vid, allow_reload, &mut memo);
+        let is_inst = matches!(func.value(vid).def, ValueDef::Inst(_));
+        decisions[v] = match (opts.policy, rec, func.value(vid).ty) {
+            // `All` tapes every inst-defined f64, recomputable or not.
+            (TapePolicy::All, _, Scalar::F64) if is_inst => Decision::Tape,
+            (_, true, _) => Decision::Recompute,
+            (_, false, Scalar::F64) => Decision::Tape,
+            (_, false, Scalar::I64) => Decision::TapeAsInt,
+        };
+    }
+
+    // Close the plan over recomputation: the reverse pass materializes a
+    // Recompute value by re-emitting its defining chain, so every
+    // transitive operand of a recomputed value needs a plan too (always
+    // Recompute — the closure property of `can_recompute` guarantees it).
+    let mut work: Vec<ValueId> = decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d == Decision::Recompute)
+        .map(|(i, _)| ValueId::new(i))
+        .collect();
+    while let Some(v) = work.pop() {
+        let ValueDef::Inst(i) = func.value(v).def else {
+            continue;
+        };
+        for &a in &func.inst(i).args {
+            if matches!(func.value(a).def, ValueDef::Inst(_))
+                && decisions[a.index()] == Decision::NotNeeded
+            {
+                debug_assert!(can_recompute(func, a, allow_reload, &mut memo));
+                decisions[a.index()] = Decision::Recompute;
+                work.push(a);
+            }
+        }
+    }
+
+    // Validate static trip counts: every loop enclosing either a taped
+    // store site or reverse-relevant work must have a constant trip count.
+    let plan = TapePlan {
+        decisions,
+        cell_needed,
+        inst_paths,
+    };
+    validate_static_trips(func, act, &plan, &func.body)?;
+    Ok(plan)
+}
+
+fn validate_static_trips(
+    func: &Function,
+    act: &Activity,
+    plan: &TapePlan,
+    stmts: &[Stmt],
+) -> Result<(), AdError> {
+    for s in stmts {
+        if let Stmt::For { loop_id, body } = s {
+            let info = func.loop_info(*loop_id);
+            if info.trip_count().is_none() && subtree_relevant(func, act, plan, body) {
+                return Err(AdError::DynamicLoopBound {
+                    loop_name: info.name.clone(),
+                });
+            }
+            validate_static_trips(func, act, plan, body)?;
+        }
+    }
+    Ok(())
+}
+
+/// True when the reverse pass must mirror this subtree.
+pub fn subtree_relevant(func: &Function, act: &Activity, plan: &TapePlan, stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Inst(id) => {
+            let inst = func.inst(*id);
+            match inst.op {
+                Op::Store(arr) => act.array(arr),
+                _ => inst.result.is_some_and(|r| {
+                    act.value(r)
+                        || matches!(
+                            plan.decision(r),
+                            Decision::Tape | Decision::TapeAsInt
+                        )
+                }),
+            }
+        }
+        Stmt::For { body, .. } => subtree_relevant(func, act, plan, body),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity;
+    use tapeflow_ir::{ArrayKind, Bound, FunctionBuilder};
+
+    #[test]
+    fn mul_operands_are_taped_input_loads_recomputed() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        let out = b.array("o", 4, ArrayKind::Output, Scalar::F64);
+        let mut captured = (None, None);
+        b.for_loop("i", 0, 4, |b, i| {
+            let v = b.load(x, i);
+            let e = b.exp(v);
+            let sq = b.fmul(e, e);
+            captured = (Some(v), Some(e));
+            b.store(out, i, sq);
+        });
+        let f = b.finish();
+        let opts = AdOptions::new(vec![x], vec![out]);
+        let act = activity::analyze(&f, &opts);
+        let plan = build(&f, &act, &opts).unwrap();
+        let (v, e) = (captured.0.unwrap(), captured.1.unwrap());
+        // exp's result is needed (adjoint of exp and of the mul): taped.
+        assert_eq!(plan.decision(e), Decision::Tape);
+        // The input load is needed by exp's adjoint? exp needs its result,
+        // not its argument — so v is needed only if some formula asks; the
+        // mul needs e (taped). v itself: NotNeeded or Recompute.
+        assert_ne!(plan.decision(v), Decision::Tape);
+    }
+
+    #[test]
+    fn indices_recomputed_not_taped() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 16, ArrayKind::Input, Scalar::F64);
+        let out = b.array("o", 16, ArrayKind::Output, Scalar::F64);
+        let mut idx = None;
+        b.for_loop("i", 0, 4, |b, i| {
+            b.for_loop("j", 0, 4, |b, j| {
+                let k = b.idx2(i, 4, j);
+                idx = Some(k);
+                let v = b.load(x, k);
+                let w = b.fmul(v, v);
+                b.store(out, k, w);
+            });
+        });
+        let f = b.finish();
+        let opts = AdOptions::new(vec![x], vec![out]);
+        let act = activity::analyze(&f, &opts);
+        let plan = build(&f, &act, &opts).unwrap();
+        assert_eq!(plan.decision(idx.unwrap()), Decision::Recompute);
+    }
+
+    #[test]
+    fn policy_all_tapes_recomputable_f64() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        let out = b.array("o", 4, ArrayKind::Output, Scalar::F64);
+        let mut captured = None;
+        b.for_loop("i", 0, 4, |b, i| {
+            let v = b.load(x, i);
+            captured = Some(v);
+            let w = b.fmul(v, v);
+            b.store(out, i, w);
+        });
+        let f = b.finish();
+        let opts_min = AdOptions::new(vec![x], vec![out]);
+        let opts_all = opts_min.clone().with_policy(TapePolicy::All);
+        let act = activity::analyze(&f, &opts_min);
+        let v = captured.unwrap();
+        let pmin = build(&f, &act, &opts_min).unwrap();
+        let pall = build(&f, &act, &opts_all).unwrap();
+        assert_eq!(pmin.decision(v), Decision::Recompute, "input reload");
+        assert_eq!(pall.decision(v), Decision::Tape, "All policy tapes");
+    }
+
+    #[test]
+    fn dynamic_bound_rejected_when_relevant() {
+        let mut b = FunctionBuilder::new("t");
+        let n = b.array("n", 1, ArrayKind::Input, Scalar::I64);
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let out = b.array("o", 1, ArrayKind::Output, Scalar::F64);
+        let bound = b.load_cell(n);
+        b.for_loop_step("i", Bound::Const(0), bound, 1, |b, i| {
+            let v = b.load(x, i);
+            let w = b.fmul(v, v);
+            let z = b.i64(0);
+            let c = b.load(out, z);
+            let s = b.fadd(c, w);
+            b.store(out, z, s);
+        });
+        let f = b.finish();
+        let opts = AdOptions::new(vec![x], vec![out]);
+        let act = activity::analyze(&f, &opts);
+        assert!(matches!(
+            build(&f, &act, &opts),
+            Err(AdError::DynamicLoopBound { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_bound_fine_when_inactive() {
+        let mut b = FunctionBuilder::new("t");
+        let n = b.array("n", 1, ArrayKind::Input, Scalar::I64);
+        let scratch = b.array("s", 8, ArrayKind::Temp, Scalar::F64);
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let bound = b.load_cell(n);
+        // An inactive warm-up loop with a dynamic bound is allowed.
+        b.for_loop_step("i", Bound::Const(0), bound, 1, |b, i| {
+            let z = b.f64(0.0);
+            b.store(scratch, i, z);
+        });
+        let _ = x;
+        let f = b.finish();
+        let opts = AdOptions::new(vec![x], vec![]);
+        let act = activity::analyze(&f, &opts);
+        assert!(build(&f, &act, &opts).is_ok());
+    }
+
+    #[test]
+    fn cross_scope_use_needs_cell() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 1, ArrayKind::Input, Scalar::F64);
+        let out = b.array("o", 4, ArrayKind::Output, Scalar::F64);
+        let v0 = b.load_cell(x);
+        let hoisted = b.fmul(v0, v0);
+        b.for_loop("i", 0, 4, |b, i| {
+            let w = b.fmul(hoisted, hoisted);
+            b.store(out, i, w);
+        });
+        let f = b.finish();
+        let opts = AdOptions::new(vec![x], vec![out]);
+        let act = activity::analyze(&f, &opts);
+        let plan = build(&f, &act, &opts).unwrap();
+        assert!(plan.cell_needed(hoisted), "used in deeper scope");
+        assert!(!plan.cell_needed(v0), "only used at def scope");
+    }
+}

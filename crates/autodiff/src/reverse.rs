@@ -1,0 +1,822 @@
+//! Gradient-function generation: FWD clone with tape stores, phase
+//! barrier, and the mirrored REV phase.
+
+use crate::activity::{self, Activity};
+use crate::plan::{self, Decision, TapePlan};
+use crate::{AdError, AdOptions, AdStats, Gradient, Span, SpanTable, TapeArrayInfo};
+use std::collections::HashMap;
+use tapeflow_ir::function::{ArrayKind, Bound, Stmt, ValueDef};
+use tapeflow_ir::{ArrayId, CmpKind, Const, Function, InstId, LoopId, Op, Scalar, ValueId};
+
+/// Differentiates `src` in reverse mode, producing the gradient function
+/// and the compile-time tape maps (see [`Gradient`]).
+///
+/// # Errors
+///
+/// * [`AdError::Invalid`] — `src` fails verification;
+/// * [`AdError::NotAPureFunction`] — `src` already contains tape,
+///   scratchpad or stream operations;
+/// * [`AdError::DynamicLoopBound`] — a loop the reverse pass must mirror
+///   has a runtime-computed bound.
+pub fn differentiate(src: &Function, opts: &AdOptions) -> Result<Gradient, AdError> {
+    tapeflow_ir::verify::verify(src)?;
+    for (i, inst) in src.insts().iter().enumerate() {
+        let impure = match inst.op {
+            Op::SAlloc { .. }
+            | Op::SpadLoad
+            | Op::SpadStore
+            | Op::StreamOut(_)
+            | Op::StreamIn(_)
+            | Op::Barrier => true,
+            Op::Load(a) | Op::Store(a) => src.array(a).kind.is_tape(),
+            _ => false,
+        };
+        if impure {
+            return Err(AdError::NotAPureFunction(InstId::new(i)));
+        }
+    }
+    for &w in &opts.wrt {
+        assert_eq!(
+            src.array(w).elem,
+            Scalar::F64,
+            "wrt array {} must be f64",
+            src.array(w).name
+        );
+    }
+    let act = activity::analyze(src, opts);
+    let plan = plan::build(src, &act, opts)?;
+    let mut gen = Gen::new(src, opts, act, plan);
+    gen.run()
+}
+
+struct FwdFrame {
+    grad_iv: ValueId,
+    start: i64,
+    step: i64,
+    trip: u64,
+    lin: Option<ValueId>,
+}
+
+#[derive(Default)]
+struct RevFrame {
+    /// Original loop this frame mirrors (`None` for the root frame).
+    orig_loop: Option<LoopId>,
+    /// The generated REV loop of this frame (`None` for the root frame).
+    rev_loop: Option<LoopId>,
+    /// REV ordinal induction variable.
+    ord_iv: Option<ValueId>,
+    start: i64,
+    step: i64,
+    trip: u64,
+    /// Lazily reconstructed original induction value.
+    fwd_iv: Option<ValueId>,
+    /// Materialized FWD values (original value id → grad value id).
+    memo: HashMap<ValueId, ValueId>,
+    /// SSA adjoint accumulators for values defined in this body.
+    adj_ssa: HashMap<ValueId, ValueId>,
+    /// Linearized tape indices per innermost path loop.
+    lin: HashMap<Option<LoopId>, ValueId>,
+}
+
+struct Gen<'a> {
+    src: &'a Function,
+    act: Activity,
+    plan: TapePlan,
+    g: Function,
+    vmap: Vec<Option<ValueId>>,
+    consts: HashMap<(bool, u64), ValueId>,
+    shadows: HashMap<ArrayId, ArrayId>,
+    tape_meta: Vec<TapeArrayInfo>,
+    tape_slot: HashMap<ValueId, usize>,
+    loop_map: HashMap<LoopId, LoopId>,
+    fwd_loop_of: HashMap<LoopId, LoopId>,
+    adj_cells: HashMap<ValueId, ArrayId>,
+    stats: AdStats,
+    fwd_stack: Vec<(LoopId, FwdFrame)>,
+    rev_stack: Vec<RevFrame>,
+    spans: SpanTable,
+}
+
+impl<'a> Gen<'a> {
+    fn new(src: &'a Function, opts: &AdOptions, act: Activity, plan: TapePlan) -> Self {
+        let mut g = Function::new(format!("grad_{}", src.name));
+        for a in src.arrays() {
+            g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        }
+        let mut shadows = HashMap::new();
+        // Shadows for wrt (gradient outputs) and seeds (reverse inputs)
+        // are created eagerly so callers can address them.
+        for &a in opts.wrt.iter().chain(&opts.seeds) {
+            shadows.entry(a).or_insert_with(|| {
+                let d = src.array(a);
+                g.add_array(format!("d_{}", d.name), d.len, ArrayKind::Shadow, Scalar::F64)
+            });
+        }
+        Gen {
+            src,
+            act,
+            plan,
+            g,
+            vmap: vec![None; src.values().len()],
+            consts: HashMap::new(),
+            shadows,
+            tape_meta: Vec::new(),
+            tape_slot: HashMap::new(),
+            loop_map: HashMap::new(),
+            fwd_loop_of: HashMap::new(),
+            adj_cells: HashMap::new(),
+            stats: AdStats::default(),
+            fwd_stack: Vec::new(),
+            rev_stack: Vec::new(),
+            spans: SpanTable::default(),
+        }
+    }
+
+    fn run(&mut self) -> Result<Gradient, AdError> {
+        let src_body = self.src.body.clone();
+        let mut body = Vec::new();
+        self.gen_fwd(&src_body, &mut body);
+        let (bar, _) = self.g.add_inst(Op::Barrier, vec![]);
+        body.push(Stmt::Inst(bar));
+        self.rev_stack.push(RevFrame::default());
+        let mut rev = Vec::new();
+        self.gen_rev(&src_body, &mut rev);
+        self.rev_stack.pop();
+        body.extend(rev);
+        self.g.body = body;
+        self.stats.recomputed_values = self.plan.count(Decision::Recompute);
+        self.stats.adjoint_cells = self.adj_cells.len();
+        tapeflow_ir::verify::verify(&self.g)?;
+        Ok(Gradient {
+            func: std::mem::replace(&mut self.g, Function::new("")),
+            phase_barrier: bar,
+            shadows: std::mem::take(&mut self.shadows),
+            tapes: std::mem::take(&mut self.tape_meta),
+            loop_map: std::mem::take(&mut self.loop_map),
+            spans: std::mem::take(&mut self.spans),
+            stats: self.stats,
+        })
+    }
+
+    // ---- small emission helpers -----------------------------------------
+
+    fn emit(&mut self, out: &mut Vec<Stmt>, op: Op, args: Vec<ValueId>) -> Option<ValueId> {
+        let (i, r) = self.g.add_inst(op, args);
+        out.push(Stmt::Inst(i));
+        r
+    }
+
+    fn emit_r(&mut self, out: &mut Vec<Stmt>, op: Op, args: Vec<ValueId>) -> ValueId {
+        self.emit(out, op, args).expect("op defines a result")
+    }
+
+    fn cf(&mut self, v: f64) -> ValueId {
+        let key = (true, v.to_bits());
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.g.add_const(Const::F64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn ci(&mut self, v: i64) -> ValueId {
+        let key = (false, v as u64);
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.g.add_const(Const::I64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn shadow(&mut self, arr: ArrayId) -> ArrayId {
+        if let Some(&s) = self.shadows.get(&arr) {
+            return s;
+        }
+        let d = self.src.array(arr);
+        let s = self
+            .g
+            .add_array(format!("d_{}", d.name), d.len, ArrayKind::Shadow, Scalar::F64);
+        self.shadows.insert(arr, s);
+        s
+    }
+
+    // ---- forward phase -----------------------------------------------------
+
+    fn fwd_val(&mut self, v: ValueId) -> ValueId {
+        match self.src.value(v).def {
+            ValueDef::Const(Const::F64(c)) => self.cf(c),
+            ValueDef::Const(Const::I64(c)) => self.ci(c),
+            ValueDef::Iv(l) => {
+                self.fwd_stack
+                    .iter()
+                    .find(|(ol, _)| *ol == l)
+                    .expect("induction variable in scope")
+                    .1
+                    .grad_iv
+            }
+            ValueDef::Inst(_) => self.vmap[v.index()].expect("FWD value already cloned"),
+        }
+    }
+
+    fn fwd_bound(&mut self, b: Bound) -> Bound {
+        match b {
+            Bound::Const(c) => Bound::Const(c),
+            Bound::Value(v) => Bound::Value(self.fwd_val(v)),
+        }
+    }
+
+    fn gen_fwd(&mut self, stmts: &[Stmt], out: &mut Vec<Stmt>) {
+        let body_key = self.fwd_stack.last().map(|(ol, _)| self.fwd_loop_of[ol]);
+        let mut spans = Vec::with_capacity(stmts.len());
+        for (src_stmt, s) in stmts.iter().enumerate() {
+            let start = out.len();
+            match s {
+                Stmt::Inst(id) => {
+                    let inst = self.src.inst(*id).clone();
+                    let args: Vec<ValueId> = inst.args.iter().map(|&a| self.fwd_val(a)).collect();
+                    let (nid, res) = self.g.add_inst(inst.op, args);
+                    out.push(Stmt::Inst(nid));
+                    if let (Some(r0), Some(r)) = (inst.result, res) {
+                        self.vmap[r0.index()] = Some(r);
+                        match self.plan.decision(r0) {
+                            Decision::Tape => self.emit_tape_store(r0, false, out),
+                            Decision::TapeAsInt => self.emit_tape_store(r0, true, out),
+                            _ => {}
+                        }
+                    }
+                }
+                Stmt::For { loop_id, body } => {
+                    let info = self.src.loop_info(*loop_id).clone();
+                    let start = self.fwd_bound(info.start);
+                    let end = self.fwd_bound(info.end);
+                    let (nlid, niv) = self.g.add_loop(info.name.clone(), start, end, info.step);
+                    self.fwd_loop_of.insert(*loop_id, nlid);
+                    self.fwd_stack.push((
+                        *loop_id,
+                        FwdFrame {
+                            grad_iv: niv,
+                            start: info.start.as_const().unwrap_or(0),
+                            step: info.step,
+                            trip: info.trip_count().unwrap_or(0),
+                            lin: None,
+                        },
+                    ));
+                    let mut inner = Vec::new();
+                    self.gen_fwd(body, &mut inner);
+                    self.fwd_stack.pop();
+                    out.push(Stmt::For {
+                        loop_id: nlid,
+                        body: inner,
+                    });
+                }
+            }
+            spans.push(Span {
+                src_stmt,
+                start,
+                end: out.len(),
+            });
+        }
+        self.spans.fwd.insert(body_key, spans);
+    }
+
+    /// Emits the ordinal of the loop at `depth` of the FWD stack.
+    fn fwd_ordinal(&mut self, depth: usize, out: &mut Vec<Stmt>) -> ValueId {
+        let (_, f) = &self.fwd_stack[depth];
+        let (iv, start, step) = (f.grad_iv, f.start, f.step);
+        if start == 0 && step == 1 {
+            return iv;
+        }
+        let s = self.ci(start);
+        let d = self.emit_r(out, Op::ISub, vec![iv, s]);
+        if step == 1 {
+            d
+        } else {
+            let st = self.ci(step);
+            self.emit_r(out, Op::IDiv, vec![d, st])
+        }
+    }
+
+    /// Linearized tape index for the current FWD nest (memoized per body).
+    fn fwd_lin(&mut self, out: &mut Vec<Stmt>) -> ValueId {
+        if self.fwd_stack.is_empty() {
+            return self.ci(0);
+        }
+        if let Some(l) = self.fwd_stack.last().unwrap().1.lin {
+            return l;
+        }
+        let mut lin = self.fwd_ordinal(0, out);
+        for d in 1..self.fwd_stack.len() {
+            let trip = self.fwd_stack[d].1.trip as i64;
+            let t = self.ci(trip);
+            let m = self.emit_r(out, Op::IMul, vec![lin, t]);
+            let o = self.fwd_ordinal(d, out);
+            lin = self.emit_r(out, Op::IAdd, vec![m, o]);
+        }
+        self.fwd_stack.last_mut().unwrap().1.lin = Some(lin);
+        lin
+    }
+
+    fn emit_tape_store(&mut self, orig: ValueId, as_int: bool, out: &mut Vec<Stmt>) {
+        let trip_product: u64 = self.fwd_stack.iter().map(|(_, f)| f.trip.max(1)).product();
+        let n = self.tape_meta.len();
+        let arr = self.g.add_array(
+            format!("T{n}"),
+            trip_product as usize,
+            ArrayKind::Tape,
+            Scalar::F64,
+        );
+        let idx = self.fwd_lin(out);
+        let mut val = self.vmap[orig.index()].expect("taped value cloned");
+        if as_int {
+            val = self.emit_r(out, Op::IToF, vec![val]);
+        }
+        let (store, _) = self.g.add_inst(Op::Store(arr), vec![idx, val]);
+        out.push(Stmt::Inst(store));
+        let fwd_loop_path = self.fwd_loop_of_path();
+        self.tape_meta.push(TapeArrayInfo {
+            array: arr,
+            store,
+            loads: Vec::new(),
+            fwd_loop_path,
+            trip_product,
+            as_int,
+        });
+        self.tape_slot.insert(orig, n);
+        self.stats.taped_values += 1;
+        self.stats.tape_bytes += trip_product * 8;
+    }
+
+    fn fwd_loop_of_path(&self) -> Vec<LoopId> {
+        self.fwd_stack
+            .iter()
+            .map(|(ol, _)| self.fwd_loop_of[ol])
+            .collect()
+    }
+
+    // ---- reverse phase ---------------------------------------------------------
+
+    fn gen_rev(&mut self, stmts: &[Stmt], out: &mut Vec<Stmt>) {
+        let body_key = self.rev_stack.last().and_then(|f| f.rev_loop);
+        let mut spans = Vec::with_capacity(stmts.len());
+        let n = stmts.len();
+        for (rev_pos, s) in stmts.iter().rev().enumerate() {
+            let src_stmt = n - 1 - rev_pos;
+            let start = out.len();
+            match s {
+                Stmt::For { loop_id, body } => {
+                    if !plan::subtree_relevant(self.src, &self.act, &self.plan, body) {
+                        continue;
+                    }
+                    let info = self.src.loop_info(*loop_id).clone();
+                    let trip = info
+                        .trip_count()
+                        .expect("plan validated static trips for relevant loops");
+                    if trip == 0 {
+                        continue;
+                    }
+                    let (rlid, ord) = self.g.add_loop(
+                        format!("r{}", info.name),
+                        Bound::Const(trip as i64 - 1),
+                        Bound::Const(-1),
+                        -1,
+                    );
+                    if let Some(&flid) = self.fwd_loop_of.get(loop_id) {
+                        self.loop_map.insert(flid, rlid);
+                    }
+                    self.rev_stack.push(RevFrame {
+                        orig_loop: Some(*loop_id),
+                        rev_loop: Some(rlid),
+                        ord_iv: Some(ord),
+                        start: info.start.as_const().expect("static"),
+                        step: info.step,
+                        trip,
+                        ..RevFrame::default()
+                    });
+                    let mut inner = Vec::new();
+                    self.gen_rev(body, &mut inner);
+                    self.rev_stack.pop();
+                    out.push(Stmt::For {
+                        loop_id: rlid,
+                        body: inner,
+                    });
+                }
+                Stmt::Inst(id) => self.rev_inst(*id, out),
+            }
+            spans.push(Span {
+                src_stmt,
+                start,
+                end: out.len(),
+            });
+        }
+        self.spans.rev.insert(body_key, spans);
+    }
+
+    fn rev_inst(&mut self, id: InstId, out: &mut Vec<Stmt>) {
+        let inst = self.src.inst(id).clone();
+        match inst.op {
+            Op::Store(arr) => {
+                if !self.act.array(arr) {
+                    return;
+                }
+                let sh = self.shadow(arr);
+                let idx = self.rev_val(inst.args[0], out);
+                let cur = self.emit_r(out, Op::Load(sh), vec![idx]);
+                let zero = self.cf(0.0);
+                self.emit(out, Op::Store(sh), vec![idx, zero]);
+                if self.act.value(inst.args[1]) {
+                    self.accumulate(inst.args[1], cur, out);
+                }
+            }
+            Op::Load(arr) => {
+                let Some(r) = inst.result else { return };
+                if !self.act.value(r) {
+                    return;
+                }
+                let Some(a) = self.final_adjoint(r, out) else {
+                    return;
+                };
+                let sh = self.shadow(arr);
+                let idx = self.rev_val(inst.args[0], out);
+                let cur = self.emit_r(out, Op::Load(sh), vec![idx]);
+                let s = self.emit_r(out, Op::FAdd, vec![cur, a]);
+                self.emit(out, Op::Store(sh), vec![idx, s]);
+            }
+            _ => {
+                let Some(r) = inst.result else { return };
+                if self.src.value(r).ty != Scalar::F64 || !self.act.value(r) {
+                    return;
+                }
+                let Some(a) = self.final_adjoint(r, out) else {
+                    return;
+                };
+                self.propagate(id, a, out);
+            }
+        }
+    }
+
+    /// Chain-rule propagation for one pure instruction with adjoint `a`.
+    fn propagate(&mut self, id: InstId, a: ValueId, out: &mut Vec<Stmt>) {
+        let inst = self.src.inst(id).clone();
+        let args = inst.args.clone();
+        let z = inst.result;
+        use Op::*;
+        macro_rules! active {
+            ($v:expr) => {
+                self.act.value($v)
+            };
+        }
+        match inst.op {
+            FAdd => {
+                if active!(args[0]) {
+                    self.accumulate(args[0], a, out);
+                }
+                if active!(args[1]) {
+                    self.accumulate(args[1], a, out);
+                }
+            }
+            FSub => {
+                if active!(args[0]) {
+                    self.accumulate(args[0], a, out);
+                }
+                if active!(args[1]) {
+                    let n = self.emit_r(out, FNeg, vec![a]);
+                    self.accumulate(args[1], n, out);
+                }
+            }
+            FNeg => {
+                if active!(args[0]) {
+                    let n = self.emit_r(out, FNeg, vec![a]);
+                    self.accumulate(args[0], n, out);
+                }
+            }
+            FAbs => {
+                if active!(args[0]) {
+                    let rx = self.rev_val(args[0], out);
+                    let zero = self.cf(0.0);
+                    let one = self.cf(1.0);
+                    let neg1 = self.cf(-1.0);
+                    let c = self.emit_r(out, FCmp(CmpKind::Ge), vec![rx, zero]);
+                    let sign = self.emit_r(out, Select, vec![c, one, neg1]);
+                    let d = self.emit_r(out, FMul, vec![a, sign]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            FMul => {
+                if active!(args[0]) {
+                    let ry = self.rev_val(args[1], out);
+                    let d = self.emit_r(out, FMul, vec![a, ry]);
+                    self.accumulate(args[0], d, out);
+                }
+                if active!(args[1]) {
+                    let rx = self.rev_val(args[0], out);
+                    let d = self.emit_r(out, FMul, vec![a, rx]);
+                    self.accumulate(args[1], d, out);
+                }
+            }
+            FDiv => {
+                let ry = self.rev_val(args[1], out);
+                if active!(args[0]) {
+                    let d = self.emit_r(out, FDiv, vec![a, ry]);
+                    self.accumulate(args[0], d, out);
+                }
+                if active!(args[1]) {
+                    let rz = self.rev_val(z.expect("div has result"), out);
+                    let az = self.emit_r(out, FMul, vec![a, rz]);
+                    let q = self.emit_r(out, FDiv, vec![az, ry]);
+                    let n = self.emit_r(out, FNeg, vec![q]);
+                    self.accumulate(args[1], n, out);
+                }
+            }
+            FMin | FMax => {
+                let rx = self.rev_val(args[0], out);
+                let ry = self.rev_val(args[1], out);
+                let kind = if matches!(inst.op, FMin) {
+                    CmpKind::Le
+                } else {
+                    CmpKind::Ge
+                };
+                let c = self.emit_r(out, FCmp(kind), vec![rx, ry]);
+                let zero = self.cf(0.0);
+                if active!(args[0]) {
+                    let d = self.emit_r(out, Select, vec![c, a, zero]);
+                    self.accumulate(args[0], d, out);
+                }
+                if active!(args[1]) {
+                    let d = self.emit_r(out, Select, vec![c, zero, a]);
+                    self.accumulate(args[1], d, out);
+                }
+            }
+            Select => {
+                let rc = self.rev_val(args[0], out);
+                let zero = self.cf(0.0);
+                if active!(args[1]) {
+                    let d = self.emit_r(out, Select, vec![rc, a, zero]);
+                    self.accumulate(args[1], d, out);
+                }
+                if active!(args[2]) {
+                    let d = self.emit_r(out, Select, vec![rc, zero, a]);
+                    self.accumulate(args[2], d, out);
+                }
+            }
+            Sqrt => {
+                if active!(args[0]) {
+                    let rz = self.rev_val(z.expect("sqrt result"), out);
+                    let two = self.cf(2.0);
+                    let dz2 = self.emit_r(out, FMul, vec![two, rz]);
+                    let d = self.emit_r(out, FDiv, vec![a, dz2]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            Sin => {
+                if active!(args[0]) {
+                    let rx = self.rev_val(args[0], out);
+                    let c = self.emit_r(out, Cos, vec![rx]);
+                    let d = self.emit_r(out, FMul, vec![a, c]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            Cos => {
+                if active!(args[0]) {
+                    let rx = self.rev_val(args[0], out);
+                    let s = self.emit_r(out, Sin, vec![rx]);
+                    let m = self.emit_r(out, FMul, vec![a, s]);
+                    let d = self.emit_r(out, FNeg, vec![m]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            Exp => {
+                if active!(args[0]) {
+                    let rz = self.rev_val(z.expect("exp result"), out);
+                    let d = self.emit_r(out, FMul, vec![a, rz]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            Ln => {
+                if active!(args[0]) {
+                    let rx = self.rev_val(args[0], out);
+                    let d = self.emit_r(out, FDiv, vec![a, rx]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            Tanh => {
+                if active!(args[0]) {
+                    let rz = self.rev_val(z.expect("tanh result"), out);
+                    let one = self.cf(1.0);
+                    let zz = self.emit_r(out, FMul, vec![rz, rz]);
+                    let s = self.emit_r(out, FSub, vec![one, zz]);
+                    let d = self.emit_r(out, FMul, vec![a, s]);
+                    self.accumulate(args[0], d, out);
+                }
+            }
+            FPow => {
+                let rx = self.rev_val(args[0], out);
+                let ry = self.rev_val(args[1], out);
+                if active!(args[0]) {
+                    let one = self.cf(1.0);
+                    let ym1 = self.emit_r(out, FSub, vec![ry, one]);
+                    let p = self.emit_r(out, FPow, vec![rx, ym1]);
+                    let yp = self.emit_r(out, FMul, vec![ry, p]);
+                    let d = self.emit_r(out, FMul, vec![a, yp]);
+                    self.accumulate(args[0], d, out);
+                }
+                if active!(args[1]) {
+                    let rz = self.rev_val(z.expect("pow result"), out);
+                    let lx = self.emit_r(out, Ln, vec![rx]);
+                    let zl = self.emit_r(out, FMul, vec![rz, lx]);
+                    let d = self.emit_r(out, FMul, vec![a, zl]);
+                    self.accumulate(args[1], d, out);
+                }
+            }
+            // Integer ops, conversions from/to int, comparisons: no f64
+            // adjoint flows through them.
+            _ => {}
+        }
+    }
+
+    // ---- adjoint accumulation --------------------------------------------------
+
+    fn accumulate(&mut self, orig: ValueId, contrib: ValueId, out: &mut Vec<Stmt>) {
+        if !matches!(self.src.value(orig).def, ValueDef::Inst(_)) {
+            return; // constants and induction variables take no adjoint
+        }
+        if !self.act.value(orig) {
+            return;
+        }
+        if self.plan.cell_needed(orig) {
+            let cell = self.adj_cell(orig);
+            let zero = self.ci(0);
+            let cur = self.emit_r(out, Op::Load(cell), vec![zero]);
+            let s = self.emit_r(out, Op::FAdd, vec![cur, contrib]);
+            self.emit(out, Op::Store(cell), vec![zero, s]);
+        } else {
+            let frame = self.rev_stack.last_mut().expect("open rev frame");
+            match frame.adj_ssa.get(&orig).copied() {
+                None => {
+                    frame.adj_ssa.insert(orig, contrib);
+                }
+                Some(cur) => {
+                    let s = self.emit_r(out, Op::FAdd, vec![cur, contrib]);
+                    self.rev_stack
+                        .last_mut()
+                        .expect("open rev frame")
+                        .adj_ssa
+                        .insert(orig, s);
+                }
+            }
+        }
+    }
+
+    fn final_adjoint(&mut self, orig: ValueId, out: &mut Vec<Stmt>) -> Option<ValueId> {
+        if self.plan.cell_needed(orig) {
+            let cell = *self.adj_cells.get(&orig)?;
+            let zero = self.ci(0);
+            let cur = self.emit_r(out, Op::Load(cell), vec![zero]);
+            let zf = self.cf(0.0);
+            self.emit(out, Op::Store(cell), vec![zero, zf]);
+            Some(cur)
+        } else {
+            self.rev_stack
+                .last_mut()
+                .expect("open rev frame")
+                .adj_ssa
+                .remove(&orig)
+        }
+    }
+
+    fn adj_cell(&mut self, orig: ValueId) -> ArrayId {
+        if let Some(&c) = self.adj_cells.get(&orig) {
+            return c;
+        }
+        let n = self.adj_cells.len();
+        let c = self
+            .g
+            .add_array(format!("adj{n}"), 1, ArrayKind::Shadow, Scalar::F64);
+        self.adj_cells.insert(orig, c);
+        c
+    }
+
+    // ---- FWD value materialization in REV -----------------------------------
+
+    fn rev_val(&mut self, orig: ValueId, out: &mut Vec<Stmt>) -> ValueId {
+        match self.src.value(orig).def {
+            ValueDef::Const(Const::F64(c)) => return self.cf(c),
+            ValueDef::Const(Const::I64(c)) => return self.ci(c),
+            ValueDef::Iv(l) => return self.rev_iv(l, out),
+            ValueDef::Inst(_) => {}
+        }
+        for f in self.rev_stack.iter().rev() {
+            if let Some(&v) = f.memo.get(&orig) {
+                return v;
+            }
+        }
+        let v = match self.plan.decision(orig) {
+            Decision::Recompute => self.rev_recompute(orig, out),
+            Decision::Tape => self.rev_tape_load(orig, false, out),
+            Decision::TapeAsInt => self.rev_tape_load(orig, true, out),
+            Decision::NotNeeded => {
+                panic!("value {orig} required by REV but not planned (autodiff bug)")
+            }
+        };
+        self.rev_stack
+            .last_mut()
+            .expect("open rev frame")
+            .memo
+            .insert(orig, v);
+        v
+    }
+
+    fn rev_iv(&mut self, l: LoopId, out: &mut Vec<Stmt>) -> ValueId {
+        let pos = self
+            .rev_stack
+            .iter()
+            .position(|f| f.orig_loop == Some(l))
+            .expect("loop mirrored in REV");
+        if let Some(v) = self.rev_stack[pos].fwd_iv {
+            return v;
+        }
+        let (ord, start, step) = {
+            let f = &self.rev_stack[pos];
+            (f.ord_iv.expect("rev loop has ordinal"), f.start, f.step)
+        };
+        let v = if start == 0 && step == 1 {
+            ord
+        } else {
+            let st = self.ci(step);
+            let m = self.emit_r(out, Op::IMul, vec![ord, st]);
+            let s = self.ci(start);
+            self.emit_r(out, Op::IAdd, vec![m, s])
+        };
+        self.rev_stack[pos].fwd_iv = Some(v);
+        v
+    }
+
+    fn rev_recompute(&mut self, orig: ValueId, out: &mut Vec<Stmt>) -> ValueId {
+        let ValueDef::Inst(i) = self.src.value(orig).def else {
+            unreachable!("recompute of non-inst handled earlier")
+        };
+        let inst = self.src.inst(i).clone();
+        let args: Vec<ValueId> = inst.args.iter().map(|&x| self.rev_val(x, out)).collect();
+        self.emit_r(out, inst.op, args)
+    }
+
+    /// Loads a taped value back; `as_int` converts it with `ftoi`.
+    fn rev_tape_load(&mut self, orig: ValueId, as_int: bool, out: &mut Vec<Stmt>) -> ValueId {
+        let slot = *self.tape_slot.get(&orig).unwrap_or_else(|| {
+            panic!("taped value {orig} has no tape array (autodiff bug)")
+        });
+        let path: Vec<LoopId> = {
+            let ValueDef::Inst(i) = self.src.value(orig).def else {
+                unreachable!("taped values are inst-defined")
+            };
+            self.plan.path_of(i).to_vec()
+        };
+        let idx = self.rev_lin(&path, out);
+        let arr = self.tape_meta[slot].array;
+        let (load, res) = self.g.add_inst(Op::Load(arr), vec![idx]);
+        out.push(Stmt::Inst(load));
+        self.tape_meta[slot].loads.push(load);
+        let mut v = res.expect("load result");
+        if as_int {
+            v = self.emit_r(out, Op::FToI, vec![v]);
+        }
+        v
+    }
+
+    /// Linearized tape index from REV ordinals for an original loop path.
+    fn rev_lin(&mut self, path: &[LoopId], out: &mut Vec<Stmt>) -> ValueId {
+        let key = path.last().copied();
+        for f in self.rev_stack.iter().rev() {
+            if let Some(&v) = f.lin.get(&key) {
+                return v;
+            }
+        }
+        let v = if path.is_empty() {
+            self.ci(0)
+        } else {
+            let frame_of = |me: &Self, l: LoopId| -> (ValueId, u64) {
+                let f = me
+                    .rev_stack
+                    .iter()
+                    .find(|f| f.orig_loop == Some(l))
+                    .expect("path loop mirrored");
+                (f.ord_iv.expect("ordinal"), f.trip)
+            };
+            let (mut lin, _) = frame_of(self, path[0]);
+            for &l in &path[1..] {
+                let (o, trip) = frame_of(self, l);
+                let t = self.ci(trip as i64);
+                let m = self.emit_r(out, Op::IMul, vec![lin, t]);
+                lin = self.emit_r(out, Op::IAdd, vec![m, o]);
+            }
+            lin
+        };
+        self.rev_stack
+            .last_mut()
+            .expect("open rev frame")
+            .lin
+            .insert(key, v);
+        v
+    }
+}

@@ -1,0 +1,245 @@
+//! Property-based gradient checking: random expression programs,
+//! differentiated and compared against central finite differences.
+
+use proptest::prelude::*;
+use tapeflow_autodiff::gradcheck::{check_gradient, LossSpec};
+use tapeflow_autodiff::{differentiate, AdOptions, TapePolicy};
+use tapeflow_ir::{ArrayKind, CmpKind, FunctionBuilder, Memory, Scalar, ValueId};
+
+/// A recipe for one random expression node.
+#[derive(Clone, Debug)]
+enum ExprOp {
+    LoadX,
+    LoadY,
+    Konst(i8),
+    IvAsF64,
+    Add(Box<ExprOp>, Box<ExprOp>),
+    Sub(Box<ExprOp>, Box<ExprOp>),
+    Mul(Box<ExprOp>, Box<ExprOp>),
+    /// `a / (1.5 + |b|)` — division with a safely bounded denominator.
+    SafeDiv(Box<ExprOp>, Box<ExprOp>),
+    Tanh(Box<ExprOp>),
+    Sin(Box<ExprOp>),
+    Cos(Box<ExprOp>),
+    /// `exp(tanh(a))` — exp with a bounded argument.
+    SafeExp(Box<ExprOp>),
+    Min(Box<ExprOp>, Box<ExprOp>),
+    Max(Box<ExprOp>, Box<ExprOp>),
+    /// `a < b ? a*2 : b*0.5`.
+    SelectCmp(Box<ExprOp>, Box<ExprOp>),
+}
+
+fn leaf() -> impl Strategy<Value = ExprOp> {
+    prop_oneof![
+        Just(ExprOp::LoadX),
+        Just(ExprOp::LoadY),
+        (-3i8..=3).prop_map(ExprOp::Konst),
+        Just(ExprOp::IvAsF64),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = ExprOp> {
+    leaf().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::SafeDiv(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| ExprOp::Tanh(Box::new(a))),
+            inner.clone().prop_map(|a| ExprOp::Sin(Box::new(a))),
+            inner.clone().prop_map(|a| ExprOp::Cos(Box::new(a))),
+            inner.clone().prop_map(|a| ExprOp::SafeExp(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| ExprOp::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| ExprOp::SelectCmp(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn emit(
+    b: &mut FunctionBuilder,
+    e: &ExprOp,
+    x: tapeflow_ir::ArrayId,
+    y: tapeflow_ir::ArrayId,
+    i: ValueId,
+) -> ValueId {
+    match e {
+        ExprOp::LoadX => b.load(x, i),
+        ExprOp::LoadY => b.load(y, i),
+        ExprOp::Konst(k) => b.f64(*k as f64 * 0.35 + 0.1),
+        ExprOp::IvAsF64 => {
+            let f = b.itof(i);
+            let scale = b.f64(0.21);
+            b.fmul(f, scale)
+        }
+        ExprOp::Add(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            b.fadd(va, vc)
+        }
+        ExprOp::Sub(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            b.fsub(va, vc)
+        }
+        ExprOp::Mul(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            b.fmul(va, vc)
+        }
+        ExprOp::SafeDiv(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            let ab = b.fabs(vc);
+            let c15 = b.f64(1.5);
+            let den = b.fadd(c15, ab);
+            b.fdiv(va, den)
+        }
+        ExprOp::Tanh(a) => {
+            let va = emit(b, a, x, y, i);
+            b.tanh(va)
+        }
+        ExprOp::Sin(a) => {
+            let va = emit(b, a, x, y, i);
+            b.sin(va)
+        }
+        ExprOp::Cos(a) => {
+            let va = emit(b, a, x, y, i);
+            b.cos(va)
+        }
+        ExprOp::SafeExp(a) => {
+            let va = emit(b, a, x, y, i);
+            let t = b.tanh(va);
+            b.exp(t)
+        }
+        ExprOp::Min(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            b.fmin(va, vc)
+        }
+        ExprOp::Max(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            b.fmax(va, vc)
+        }
+        ExprOp::SelectCmp(a, c) => {
+            let (va, vc) = (emit(b, a, x, y, i), emit(b, c, x, y, i));
+            let cond = b.fcmp(CmpKind::Lt, va, vc);
+            let two = b.f64(2.0);
+            let half = b.f64(0.5);
+            let hi = b.fmul(va, two);
+            let lo = b.fmul(vc, half);
+            b.select(cond, hi, lo)
+        }
+    }
+}
+
+fn run_case(e: &ExprOp, xs: &[f64], ys: &[f64], stateful: bool, policy: TapePolicy) {
+    let n = xs.len();
+    let mut b = FunctionBuilder::new("rand");
+    let x = b.array("x", n, ArrayKind::Input, Scalar::F64);
+    let y = b.array("y", n, ArrayKind::Input, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    let state = b.cell_f64("state", 0.2);
+    b.for_loop("i", 0, n as i64, |b, i| {
+        let v = emit(b, e, x, y, i);
+        let v = if stateful {
+            // u = 0.5*u + v; contribution = tanh(u)
+            let u = b.load_cell(state);
+            let half = b.f64(0.5);
+            let hu = b.fmul(u, half);
+            let nu = b.fadd(hu, v);
+            b.store_cell(state, nu);
+            b.tanh(nu)
+        } else {
+            v
+        };
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, v);
+        b.store_cell(loss, s);
+    });
+    let func = b.finish();
+    tapeflow_ir::verify::verify(&func).expect("generated function verifies");
+    let grad = differentiate(&func, &AdOptions::new(vec![x, y], vec![loss]).with_policy(policy))
+        .expect("differentiate");
+    let mut mem = Memory::for_function(&func);
+    mem.set_f64(x, xs);
+    mem.set_f64(y, ys);
+    // min/max/select kinks: finite differences straddle them with error
+    // O(1); tolerate by rejecting only large relative errors and using a
+    // loose atol. Random inputs make exact ties measure-zero, but nearby
+    // kinks still add FD noise.
+    check_gradient(
+        &func,
+        &grad,
+        &mem,
+        &[x, y],
+        LossSpec::cell(loss),
+        5e-7,
+        2e-2,
+        2e-4,
+    )
+    .unwrap_or_else(|err| panic!("policy {policy:?}: {err}\nexpr: {e:?}\nx={xs:?}\ny={ys:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_programs_gradcheck(
+        e in expr(),
+        xs in proptest::collection::vec(-0.95f64..0.95, 4..=4),
+        ys in proptest::collection::vec(-0.95f64..0.95, 4..=4),
+        stateful in any::<bool>(),
+    ) {
+        run_case(&e, &xs, &ys, stateful, TapePolicy::Minimal);
+    }
+
+    #[test]
+    fn random_programs_gradcheck_tape_all(
+        e in expr(),
+        xs in proptest::collection::vec(-0.95f64..0.95, 4..=4),
+        ys in proptest::collection::vec(-0.95f64..0.95, 4..=4),
+    ) {
+        run_case(&e, &xs, &ys, true, TapePolicy::All);
+    }
+
+    #[test]
+    fn policies_agree_exactly(
+        e in expr(),
+        xs in proptest::collection::vec(-0.9f64..0.9, 3..=3),
+        ys in proptest::collection::vec(-0.9f64..0.9, 3..=3),
+    ) {
+        // Minimal and All tape policies must produce bit-identical
+        // gradients: they compute the same math, only the storage differs.
+        let n = xs.len();
+        let mut b = FunctionBuilder::new("agree");
+        let x = b.array("x", n, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", n, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, n as i64, |b, i| {
+            let v = emit(b, &e, x, y, i);
+            let c = b.load_cell(loss);
+            let s = b.fadd(c, v);
+            b.store_cell(loss, s);
+        });
+        let func = b.finish();
+        let mut mem = Memory::for_function(&func);
+        mem.set_f64(x, &xs);
+        mem.set_f64(y, &ys);
+        let grads: Vec<Vec<f64>> = [TapePolicy::Minimal, TapePolicy::Conservative, TapePolicy::All]
+            .into_iter()
+            .map(|p| {
+                let g = differentiate(&func, &AdOptions::new(vec![x], vec![loss]).with_policy(p))
+                    .unwrap();
+                let mut m = g.prepare_memory(&func, &mem);
+                m.set_f64_at(g.shadow_of(loss).unwrap(), 0, 1.0);
+                tapeflow_ir::interp::run(&g.func, &mut m).unwrap();
+                m.get_f64(g.shadow_of(x).unwrap())
+            })
+            .collect();
+        prop_assert_eq!(&grads[0], &grads[1]);
+        prop_assert_eq!(&grads[1], &grads[2]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates every table and figure of the Tapeflow evaluation.
+//!
+//! ```text
+//! experiments all [--scale tiny|small|large] [--csv DIR]
+//! experiments fig4.1 table4.1 ...
+//! ```
+
+use std::path::PathBuf;
+use tapeflow_bench::experiments::{Lab, IDS};
+use tapeflow_benchmarks::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Small;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "large" => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?} (tiny|small|large)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| ".".into())));
+            }
+            "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!("usage: experiments [all | <id>...] [--scale tiny|small|large] [--csv DIR]");
+                println!("ids: {}", IDS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments selected; try `experiments all` (ids: {})", IDS.join(" "));
+        std::process::exit(2);
+    }
+    if let Some(d) = &csv_dir {
+        std::fs::create_dir_all(d).expect("create csv dir");
+    }
+    let mut lab = Lab::new(scale);
+    for id in ids {
+        let start = std::time::Instant::now();
+        let tables = lab.run(&id);
+        for t in &tables {
+            println!("{}", t.render());
+            if let Some(d) = &csv_dir {
+                let file = d.join(format!("{}.csv", id.replace('.', "_")));
+                std::fs::write(&file, t.to_csv()).expect("write csv");
+            }
+        }
+        eprintln!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

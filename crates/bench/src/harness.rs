@@ -1,0 +1,288 @@
+//! Memoized per-benchmark runners.
+
+use std::collections::HashMap;
+use tapeflow_autodiff::Gradient;
+use tapeflow_benchmarks::Benchmark;
+use tapeflow_core::{compile, CompileMode, CompileOptions, CompiledProgram};
+use tapeflow_ir::trace::{trace_function, TraceOptions};
+use tapeflow_ir::{ArrayId, Memory, Trace};
+use tapeflow_sim::{simulate, SimOptions, SimReport, SystemConfig};
+
+/// One simulated configuration, in the paper's naming scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Config {
+    /// `Enzyme_N`: gradient as produced by AD; tape through an N-byte
+    /// cache.
+    Enzyme {
+        /// Cache size in bytes.
+        cache_bytes: usize,
+    },
+    /// `Tflow_N`: full pipeline; tape through scratchpad + streams,
+    /// non-tape through an N-byte cache.
+    Tapeflow {
+        /// Cache size in bytes.
+        cache_bytes: usize,
+        /// Scratchpad size in bytes (paper baseline 1 KB).
+        spad_bytes: usize,
+        /// Double-buffered layers.
+        double_buffer: bool,
+    },
+    /// Pass 1 only: array-of-structs layout, still cache-resident
+    /// (Figure 4.3).
+    AosOnCache {
+        /// Cache size in bytes.
+        cache_bytes: usize,
+    },
+}
+
+impl Config {
+    /// `Enzyme_N` shorthand.
+    pub fn enzyme(cache_bytes: usize) -> Self {
+        Config::Enzyme { cache_bytes }
+    }
+
+    /// `Tflow_N` shorthand with the paper's 1 KB scratchpad.
+    pub fn tapeflow(cache_bytes: usize) -> Self {
+        Config::Tapeflow {
+            cache_bytes,
+            spad_bytes: 1024,
+            double_buffer: true,
+        }
+    }
+
+    /// Display label (`Enzyme_32k`, `Tflow_2k`, ...).
+    pub fn label(&self) -> String {
+        fn size(b: usize) -> String {
+            if b >= 1024 && b.is_multiple_of(1024) {
+                format!("{}k", b / 1024)
+            } else {
+                format!("{b}B")
+            }
+        }
+        match self {
+            Config::Enzyme { cache_bytes } => format!("Enzyme_{}", size(*cache_bytes)),
+            Config::Tapeflow { cache_bytes, .. } => format!("Tflow_{}", size(*cache_bytes)),
+            Config::AosOnCache { cache_bytes } => format!("AoS_{}", size(*cache_bytes)),
+        }
+    }
+
+    fn cache_bytes(&self) -> usize {
+        match self {
+            Config::Enzyme { cache_bytes }
+            | Config::Tapeflow { cache_bytes, .. }
+            | Config::AosOnCache { cache_bytes } => *cache_bytes,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ProgramKey {
+    Gradient,
+    Compiled {
+        spad_bytes: usize,
+        double_buffer: bool,
+        aos_only: bool,
+    },
+}
+
+/// A benchmark prepared for repeated simulation: the gradient is computed
+/// once, compiled programs and traces are memoized per configuration.
+pub struct Prepared {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Its gradient (Enzyme-realistic tape policy).
+    pub grad: Gradient,
+    traces: HashMap<ProgramKey, Trace>,
+    compiled: HashMap<ProgramKey, CompiledProgram>,
+    sims: HashMap<(ProgramKey, usize, bool), SimReport>,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("bench", &self.bench.name)
+            .finish()
+    }
+}
+
+impl Prepared {
+    /// Prepares a benchmark.
+    pub fn new(bench: Benchmark) -> Self {
+        let grad = bench.gradient();
+        Prepared {
+            bench,
+            grad,
+            traces: HashMap::new(),
+            compiled: HashMap::new(),
+            sims: HashMap::new(),
+        }
+    }
+
+    fn key_of(config: &Config) -> ProgramKey {
+        match config {
+            Config::Enzyme { .. } => ProgramKey::Gradient,
+            Config::Tapeflow {
+                spad_bytes,
+                double_buffer,
+                ..
+            } => ProgramKey::Compiled {
+                spad_bytes: *spad_bytes,
+                double_buffer: *double_buffer,
+                aos_only: false,
+            },
+            Config::AosOnCache { .. } => ProgramKey::Compiled {
+                spad_bytes: 0,
+                double_buffer: false,
+                aos_only: true,
+            },
+        }
+    }
+
+    fn try_compiled_for(&mut self, key: ProgramKey) -> Option<&CompiledProgram> {
+        if let ProgramKey::Compiled {
+            spad_bytes,
+            double_buffer,
+            aos_only,
+        } = key
+        {
+            if !self.compiled.contains_key(&key) {
+                let opts = CompileOptions {
+                    spad_entries: (spad_bytes / 8).max(2),
+                    double_buffer,
+                    mode: if aos_only {
+                        CompileMode::AosOnly
+                    } else {
+                        CompileMode::Full
+                    },
+                };
+                let c = compile(&self.grad, &opts).ok()?;
+                self.compiled.insert(key, c);
+            }
+            Some(&self.compiled[&key])
+        } else {
+            panic!("gradient key has no compiled program")
+        }
+    }
+
+    fn compiled_for(&mut self, key: ProgramKey) -> &CompiledProgram {
+        let name = self.bench.name;
+        self.try_compiled_for(key)
+            .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
+    }
+
+    /// Trace of the program selected by `config` (memoized); `None` when
+    /// the program cannot be compiled for that scratchpad.
+    pub fn try_trace(&mut self, config: &Config) -> Option<&Trace> {
+        let key = Self::key_of(config);
+        if !self.traces.contains_key(&key) {
+            let (func, barrier) = match key {
+                ProgramKey::Gradient => (self.grad.func.clone(), self.grad.phase_barrier),
+                k => {
+                    let c = self.try_compiled_for(k)?;
+                    (c.func.clone(), c.phase_barrier)
+                }
+            };
+            let mut mem = Memory::for_function(&func);
+            for i in 0..self.bench.func.arrays().len() {
+                mem.clone_array_from(&self.bench.mem, ArrayId::new(i));
+            }
+            mem.set_f64_at(
+                self.grad.shadow_of(self.bench.loss.array).expect("loss shadow"),
+                self.bench.loss.index,
+                1.0,
+            );
+            let t = trace_function(
+                &func,
+                &mut mem,
+                TraceOptions {
+                    phase_barrier: Some(barrier),
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", self.bench.name));
+            self.traces.insert(key, t);
+        }
+        Some(&self.traces[&key])
+    }
+
+    /// Like [`Prepared::try_trace`] but panicking on infeasible configs.
+    pub fn trace(&mut self, config: &Config) -> &Trace {
+        let name = self.bench.name;
+        self.try_trace(config)
+            .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
+    }
+
+    /// The compiled program behind a Tapeflow/AoS config (memoized).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called with an `Enzyme` config.
+    pub fn compiled(&mut self, config: &Config) -> &CompiledProgram {
+        self.compiled_for(Self::key_of(config))
+    }
+
+    /// Simulates under `config` (memoized); `None` when the program cannot
+    /// be compiled for that scratchpad. `record_times` additionally stores
+    /// per-node finish cycles (needed once per benchmark for the lifetime
+    /// figures).
+    pub fn try_sim(&mut self, config: &Config, record_times: bool) -> Option<&SimReport> {
+        let key = (Self::key_of(config), config.cache_bytes(), record_times);
+        if !self.sims.contains_key(&key) {
+            self.try_trace(config)?; // ensure memoized
+            let trace = &self.traces[&Self::key_of(config)];
+            let cfg = SystemConfig::with_cache_bytes(config.cache_bytes());
+            let r = simulate(
+                trace,
+                &cfg,
+                &SimOptions {
+                    record_node_times: record_times,
+                },
+            );
+            self.sims.insert(key, r);
+        }
+        Some(&self.sims[&key])
+    }
+
+    /// Like [`Prepared::try_sim`] but panicking on infeasible configs.
+    pub fn sim(&mut self, config: &Config, record_times: bool) -> &SimReport {
+        let name = self.bench.name;
+        self.try_sim(config, record_times)
+            .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_benchmarks::{by_name, Scale};
+
+    #[test]
+    fn labels() {
+        assert_eq!(Config::enzyme(32768).label(), "Enzyme_32k");
+        assert_eq!(Config::tapeflow(2048).label(), "Tflow_2k");
+        assert_eq!(Config::AosOnCache { cache_bytes: 512 }.label(), "AoS_512B");
+    }
+
+    #[test]
+    fn memoization_returns_identical_reports() {
+        let mut p = Prepared::new(by_name("logsum", Scale::Tiny));
+        let a = p.sim(&Config::enzyme(1024), false).cycles;
+        let b = p.sim(&Config::enzyme(1024), false).cycles;
+        assert_eq!(a, b);
+        let t = p.sim(&Config::tapeflow(1024), false).cycles;
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,26 @@
+//! # tapeflow-bench
+//!
+//! The evaluation harness: memoized runners that take each paper
+//! benchmark through AD → Tapeflow passes → trace → simulation under the
+//! paper's configurations (`Enzyme_N`, `Tflow_N`, AoS-only), plus the
+//! experiment modules that regenerate **every table and figure** of the
+//! paper's Chapter 2 characterization and Chapter 4 evaluation.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p tapeflow-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment (`fig4.1`, `table4.1`, ...). Pass `--csv DIR`
+//! to also write each table as CSV.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::{Config, Prepared};
+pub use table::Table;

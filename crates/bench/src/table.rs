@@ -1,0 +1,157 @@
+//! Plain-text table rendering and CSV output.
+
+use std::fmt::Write as _;
+
+/// A titled table of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; ragged rows are padded on render.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        fn cell(r: &[String], c: usize) -> &str {
+            r.get(c).map(String::as_str).unwrap_or("")
+        }
+        let widths: Vec<usize> = (0..ncols)
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| cell(r, c).len())
+                    .chain([cell(&self.headers, c).len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in widths.iter().enumerate() {
+                if c > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:<width$}", cell(cells, c), width = w);
+            }
+            let _ = writeln!(out, "{}", s.trim_end());
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows; notes as `#` comments).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a ratio with two decimals and a trailing `x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats bytes as KiB with one decimal.
+pub fn kib(bytes: u64) -> String {
+    format!("{:.1}K", bytes as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.50x".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer  2.50x"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("c", &["a,b", "c"]);
+        t.row(vec!["x\"y".into(), "z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\",c"));
+        assert!(csv.contains("\"x\"\"y\",z"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(2.345), "2.35x");
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(kib(1536), "1.5K");
+    }
+}

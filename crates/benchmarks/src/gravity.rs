@@ -1,0 +1,144 @@
+//! `gravity` (DiffTaichi suite, regular): 2-D N-body gravity steps.
+//!
+//! All-pairs inverse-square forces, explicit Euler integration over a few
+//! timesteps; `loss = Σ ‖pos‖²` of the final state, gradients w.r.t. the
+//! initial positions. The paper's instance uses 512-element arrays.
+
+use crate::{det_f64, Benchmark, Scale};
+use tapeflow_autodiff::gradcheck::LossSpec;
+use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Benchmark {
+    let (n, steps) = match scale {
+        Scale::Tiny => (5, 1),
+        Scale::Small => (40, 2),
+        Scale::Large => (128, 3),
+    };
+    let mut b = FunctionBuilder::new("gravity");
+    let px0 = b.array("px0", n, ArrayKind::Input, Scalar::F64);
+    let py0 = b.array("py0", n, ArrayKind::Input, Scalar::F64);
+    let vx0 = b.array("vx0", n, ArrayKind::Input, Scalar::F64);
+    let vy0 = b.array("vy0", n, ArrayKind::Input, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    // Mutable simulation state.
+    let px = b.array("px", n, ArrayKind::Temp, Scalar::F64);
+    let py = b.array("py", n, ArrayKind::Temp, Scalar::F64);
+    let vx = b.array("vx", n, ArrayKind::Temp, Scalar::F64);
+    let vy = b.array("vy", n, ArrayKind::Temp, Scalar::F64);
+    let ax = b.array("ax", n, ArrayKind::Temp, Scalar::F64);
+    let ay = b.array("ay", n, ArrayKind::Temp, Scalar::F64);
+
+    for (src, dst) in [(px0, px), (py0, py), (vx0, vx), (vy0, vy)] {
+        b.for_loop("init", 0, n as i64, |b, i| {
+            let v = b.load(src, i);
+            b.store(dst, i, v);
+        });
+    }
+
+    let dt = 0.01;
+    let eps = 0.05;
+    b.for_loop("s", 0, steps, |b, _s| {
+        // Force accumulation.
+        b.for_loop("i", 0, n as i64, |b, i| {
+            let fx = b.cell_f64("fx", 0.0);
+            let fy = b.cell_f64("fy", 0.0);
+            let zero = b.f64(0.0);
+            b.store_cell(fx, zero);
+            b.store_cell(fy, zero);
+            b.for_loop("j", 0, n as i64, |b, j| {
+                let pxi = b.load(px, i);
+                let pxj = b.load(px, j);
+                let pyi = b.load(py, i);
+                let pyj = b.load(py, j);
+                let dx = b.fsub(pxj, pxi);
+                let dy = b.fsub(pyj, pyi);
+                let dx2 = b.fmul(dx, dx);
+                let dy2 = b.fmul(dy, dy);
+                let sum = b.fadd(dx2, dy2);
+                let e = b.f64(eps);
+                let d2 = b.fadd(sum, e);
+                let d = b.sqrt(d2);
+                let d3 = b.fmul(d2, d);
+                let one = b.f64(1.0);
+                let inv = b.fdiv(one, d3);
+                let cx = b.fmul(dx, inv);
+                let cy = b.fmul(dy, inv);
+                let ox = b.load_cell(fx);
+                let sx = b.fadd(ox, cx);
+                b.store_cell(fx, sx);
+                let oy = b.load_cell(fy);
+                let sy = b.fadd(oy, cy);
+                b.store_cell(fy, sy);
+            });
+            let tfx = b.load_cell(fx);
+            let tfy = b.load_cell(fy);
+            b.store(ax, i, tfx);
+            b.store(ay, i, tfy);
+        });
+        // Integration.
+        b.for_loop("i", 0, n as i64, |b, i| {
+            let dtv = b.f64(dt);
+            for (vel, acc, pos) in [(vx, ax, px), (vy, ay, py)] {
+                let v = b.load(vel, i);
+                let a = b.load(acc, i);
+                let da = b.fmul(dtv, a);
+                let nv = b.fadd(v, da);
+                b.store(vel, i, nv);
+                let p = b.load(pos, i);
+                let dp = b.fmul(dtv, nv);
+                let np = b.fadd(p, dp);
+                b.store(pos, i, np);
+            }
+        });
+    });
+    // Loss.
+    b.for_loop("i", 0, n as i64, |b, i| {
+        let x = b.load(px, i);
+        let y = b.load(py, i);
+        let x2 = b.fmul(x, x);
+        let y2 = b.fmul(y, y);
+        let t = b.fadd(x2, y2);
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, t);
+        b.store_cell(loss, s);
+    });
+    let func = b.finish();
+    let mut mem = Memory::for_function(&func);
+    mem.set_f64(px0, &det_f64(0x401, n, -1.0, 1.0));
+    mem.set_f64(py0, &det_f64(0x402, n, -1.0, 1.0));
+    mem.set_f64(vx0, &det_f64(0x403, n, -0.1, 0.1));
+    mem.set_f64(vy0, &det_f64(0x404, n, -0.1, 0.1));
+    Benchmark {
+        name: "gravity",
+        suite: "DiffTaichi",
+        regular: true,
+        params: format!("bodies {n}, steps {steps}"),
+        func,
+        mem,
+        wrt: vec![px0, py0],
+        loss: LossSpec::cell(loss),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_autodiff::gradcheck::check_gradient;
+
+    #[test]
+    fn gradient_checks() {
+        let b = build(Scale::Tiny);
+        let g = b.gradient();
+        check_gradient(&b.func, &g, &b.mem, &b.wrt, b.loss, 1e-6, 2e-4, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn multi_step_state_forces_tape() {
+        // Positions are overwritten every step; the pair-force operands
+        // must be taped.
+        let b = build(Scale::Tiny);
+        let g = b.gradient();
+        assert!(g.stats.taped_values > 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! `lenet5` (LeNet, irregular): a scaled LeNet-style network.
+//!
+//! Valid 5×5 convolution (several feature maps) → tanh → 2×2 average
+//! pool → fully connected layer → squared error. Gradients w.r.t. the
+//! convolution and FC weights. The deep imperfect nest with four-tensor
+//! inner loops is what the paper classifies as irregular.
+
+use crate::{det_f64, Benchmark, Scale};
+use tapeflow_autodiff::gradcheck::LossSpec;
+use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Benchmark {
+    let (img, maps, ksz, classes) = match scale {
+        Scale::Tiny => (7usize, 2usize, 3usize, 2usize),
+        Scale::Small => (16, 4, 5, 10),
+        Scale::Large => (28, 6, 5, 10),
+    };
+    let conv = img - ksz + 1; // valid convolution output
+    let pool = conv / 2; // 2x2 average pooling (conv is even at our sizes or truncates)
+    let mut b = FunctionBuilder::new("lenet5");
+    let x = b.array("img", img * img, ArrayKind::Input, Scalar::F64);
+    let wc = b.array("wc", maps * ksz * ksz, ArrayKind::Input, Scalar::F64);
+    let wf = b.array(
+        "wf",
+        classes * maps * pool * pool,
+        ArrayKind::Input,
+        Scalar::F64,
+    );
+    let target = b.array("t", classes, ArrayKind::Input, Scalar::F64);
+    let feat = b.array("feat", maps * conv * conv, ArrayKind::Temp, Scalar::F64);
+    let pooled = b.array("pool", maps * pool * pool, ArrayKind::Temp, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    let acc = b.cell_f64("acc", 0.0);
+    let (imgi, convi, ki, pooli) = (img as i64, conv as i64, ksz as i64, pool as i64);
+
+    // Convolution + tanh.
+    b.for_loop("m", 0, maps as i64, |b, m| {
+        b.for_loop("oy", 0, convi, |b, oy| {
+            b.for_loop("ox", 0, convi, |b, ox| {
+                let zero = b.f64(0.0);
+                b.store_cell(acc, zero);
+                b.for_loop("ky", 0, ki, |b, ky| {
+                    b.for_loop("kx", 0, ki, |b, kx| {
+                        let iy = b.iadd(oy, ky);
+                        let ix = b.iadd(ox, kx);
+                        let iidx = b.idx2(iy, imgi, ix);
+                        let iv = b.load(x, iidx);
+                        let widx = b.idx3(m, ki, ky, ki, kx);
+                        let wv = b.load(wc, widx);
+                        let p = b.fmul(iv, wv);
+                        let c = b.load_cell(acc);
+                        let s = b.fadd(c, p);
+                        b.store_cell(acc, s);
+                    });
+                });
+                let pre = b.load_cell(acc);
+                let act = b.tanh(pre);
+                let fidx = b.idx3(m, convi, oy, convi, ox);
+                b.store(feat, fidx, act);
+            });
+        });
+    });
+    // 2x2 average pooling.
+    b.for_loop("m", 0, maps as i64, |b, m| {
+        b.for_loop("py", 0, pooli, |b, py| {
+            b.for_loop("px", 0, pooli, |b, px| {
+                let two = b.i64(2);
+                let y0 = b.imul(py, two);
+                let x0 = b.imul(px, two);
+                let one = b.i64(1);
+                let y1 = b.iadd(y0, one);
+                let x1 = b.iadd(x0, one);
+                let mut sum = None;
+                for (yy, xx) in [(y0, x0), (y0, x1), (y1, x0), (y1, x1)] {
+                    let idx = b.idx3(m, convi, yy, convi, xx);
+                    let v = b.load(feat, idx);
+                    sum = Some(match sum {
+                        None => v,
+                        Some(s) => b.fadd(s, v),
+                    });
+                }
+                let quarter = b.f64(0.25);
+                let avg = b.fmul(sum.expect("four taps"), quarter);
+                let pidx = b.idx3(m, pooli, py, pooli, px);
+                b.store(pooled, pidx, avg);
+            });
+        });
+    });
+    // Fully connected + squared error.
+    let fc_in = (maps * pool * pool) as i64;
+    b.for_loop("c", 0, classes as i64, |b, cls| {
+        let zero = b.f64(0.0);
+        b.store_cell(acc, zero);
+        b.for_loop("u", 0, fc_in, |b, u| {
+            let widx = b.idx2(cls, fc_in, u);
+            let wv = b.load(wf, widx);
+            let pv = b.load(pooled, u);
+            let p = b.fmul(wv, pv);
+            let c = b.load_cell(acc);
+            let s = b.fadd(c, p);
+            b.store_cell(acc, s);
+        });
+        let o = b.load_cell(acc);
+        let tv = b.load(target, cls);
+        let e = b.fsub(o, tv);
+        let e2 = b.fmul(e, e);
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, e2);
+        b.store_cell(loss, s);
+    });
+    let func = b.finish();
+    let mut mem = Memory::for_function(&func);
+    mem.set_f64(x, &det_f64(0x801, img * img, -1.0, 1.0));
+    mem.set_f64(wc, &det_f64(0x802, maps * ksz * ksz, -0.4, 0.4));
+    mem.set_f64(
+        wf,
+        &det_f64(0x803, classes * maps * pool * pool, -0.3, 0.3),
+    );
+    mem.set_f64(target, &det_f64(0x804, classes, -1.0, 1.0));
+    Benchmark {
+        name: "lenet5",
+        suite: "LeNet",
+        regular: false,
+        params: format!("img {img}x{img}, maps {maps}, k {ksz}, classes {classes}"),
+        func,
+        mem,
+        wrt: vec![wc, wf],
+        loss: LossSpec::cell(loss),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_autodiff::gradcheck::check_gradient;
+
+    #[test]
+    fn gradient_checks() {
+        let b = build(Scale::Tiny);
+        let g = b.gradient();
+        check_gradient(&b.func, &g, &b.mem, &b.wrt, b.loss, 1e-6, 1e-4, 1e-8).unwrap();
+    }
+
+    #[test]
+    fn tape_includes_activations() {
+        let b = build(Scale::Tiny);
+        let g = b.gradient();
+        // tanh results and FC inputs must be taped.
+        assert!(g.tape_elems() > 0);
+        assert!(g.stats.taped_values >= 2);
+    }
+}

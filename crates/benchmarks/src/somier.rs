@@ -1,0 +1,156 @@
+//! `somier` (RiVEC suite, irregular): 3-D spring-mesh relaxation.
+//!
+//! An n³ grid of masses; each feels spring forces from its six lattice
+//! neighbours (boundary indices clamp to the node itself, yielding zero
+//! force — the irregular index math of the original stencil). Explicit
+//! Euler over a few steps; `loss = Σ u²`, gradient w.r.t. the initial
+//! displacements. Paper size: 8×8×8.
+
+use crate::{det_f64, Benchmark, Scale};
+use tapeflow_autodiff::gradcheck::LossSpec;
+use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+
+/// Builds the benchmark.
+pub fn build(scale: Scale) -> Benchmark {
+    let (n, steps) = match scale {
+        Scale::Tiny => (3usize, 1),
+        Scale::Small => (12, 2),
+        Scale::Large => (10, 3),
+    };
+    let total = n * n * n;
+    let mut b = FunctionBuilder::new("somier");
+    let u0 = b.array("u0", total, ArrayKind::Input, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    let u = b.array("u", total, ArrayKind::Temp, Scalar::F64);
+    let v = b.array("v", total, ArrayKind::Temp, Scalar::F64);
+    let f = b.array("f", total, ArrayKind::Temp, Scalar::F64);
+
+    b.for_loop("init", 0, total as i64, |b, i| {
+        let x = b.load(u0, i);
+        b.store(u, i, x);
+    });
+
+    let k_spring = 0.8;
+    let dt = 0.05;
+    let nn = n as i64;
+    b.for_loop("s", 0, steps, |b, _| {
+        // Forces from the six clamped neighbours.
+        b.for_loop("x", 0, nn, |b, x| {
+            b.for_loop("y", 0, nn, |b, y| {
+                b.for_loop("z", 0, nn, |b, z| {
+                    let idx = b.idx3(x, nn, y, nn, z);
+                    let ui = b.load(u, idx);
+                    let fcell = b.cell_f64("facc", 0.0);
+                    let zero = b.f64(0.0);
+                    b.store_cell(fcell, zero);
+                    let zero_i = b.i64(0);
+                    let max_i = b.i64(nn - 1);
+                    // (axis value, delta) for the six neighbours.
+                    for axis in 0..3 {
+                        for delta in [-1i64, 1] {
+                            let d = b.i64(delta);
+                            let (cx, cy, cz) = match axis {
+                                0 => {
+                                    let nx = b.iadd(x, d);
+                                    let nx = b.imax(nx, zero_i);
+                                    let nx = b.imin(nx, max_i);
+                                    (nx, y, z)
+                                }
+                                1 => {
+                                    let ny = b.iadd(y, d);
+                                    let ny = b.imax(ny, zero_i);
+                                    let ny = b.imin(ny, max_i);
+                                    (x, ny, z)
+                                }
+                                _ => {
+                                    let nz = b.iadd(z, d);
+                                    let nz = b.imax(nz, zero_i);
+                                    let nz = b.imin(nz, max_i);
+                                    (x, y, nz)
+                                }
+                            };
+                            let nidx = b.idx3(cx, nn, cy, nn, cz);
+                            let un = b.load(u, nidx);
+                            let diff = b.fsub(un, ui);
+                            // Stiffening spring (the original somier's
+                            // force law is nonlinear in the extension):
+                            // F = k * diff * sqrt(diff^2 + eps).
+                            let d2 = b.fmul(diff, diff);
+                            let epsv = b.f64(1e-3);
+                            let d2e = b.fadd(d2, epsv);
+                            let mag = b.sqrt(d2e);
+                            let kc = b.f64(k_spring);
+                            let kd = b.fmul(kc, diff);
+                            let contrib = b.fmul(kd, mag);
+                            let c = b.load_cell(fcell);
+                            let s = b.fadd(c, contrib);
+                            b.store_cell(fcell, s);
+                        }
+                    }
+                    let force = b.load_cell(fcell);
+                    b.store(f, idx, force);
+                });
+            });
+        });
+        // Integrate.
+        b.for_loop("i", 0, total as i64, |b, i| {
+            let dtv = b.f64(dt);
+            let vi = b.load(v, i);
+            let fi = b.load(f, i);
+            let dv = b.fmul(dtv, fi);
+            let nv = b.fadd(vi, dv);
+            b.store(v, i, nv);
+            let ui = b.load(u, i);
+            let du = b.fmul(dtv, nv);
+            let nu = b.fadd(ui, du);
+            b.store(u, i, nu);
+        });
+    });
+    b.for_loop("i", 0, total as i64, |b, i| {
+        let ui = b.load(u, i);
+        let sq = b.fmul(ui, ui);
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, sq);
+        b.store_cell(loss, s);
+    });
+    let func = b.finish();
+    let mut mem = Memory::for_function(&func);
+    mem.set_f64(u0, &det_f64(0x601, total, -0.5, 0.5));
+    Benchmark {
+        name: "somier",
+        suite: "RiVEC",
+        regular: false,
+        params: format!("{n}x{n}x{n}, steps {steps}"),
+        func,
+        mem,
+        wrt: vec![u0],
+        loss: LossSpec::cell(loss),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_autodiff::gradcheck::check_gradient;
+
+    #[test]
+    fn gradient_checks() {
+        let b = build(Scale::Tiny);
+        let g = b.gradient();
+        check_gradient(&b.func, &g, &b.mem, &b.wrt, b.loss, 1e-6, 2e-4, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn boundary_clamp_is_neutral() {
+        // With a uniform displacement field, all spring extensions are
+        // zero (clamped boundary springs see the node itself): forces
+        // cancel, velocities stay 0 and loss = total * c².
+        let b = build(Scale::Tiny);
+        let mut mem = b.mem.clone();
+        let total = 27;
+        mem.set_f64(b.wrt[0], &vec![0.3; total]);
+        tapeflow_ir::interp::run(&b.func, &mut mem).unwrap();
+        let loss = mem.get_f64_at(b.loss.array, 0);
+        assert!((loss - 27.0 * 0.09).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,522 @@
+//! Pass 2: layering — scheduling execution into scratchpad-sized layers.
+//!
+//! Two shapes, as in the paper:
+//!
+//! * **Tiled** (§3.4, Algorithm 2): when one iteration's region struct
+//!   fits in a layer, the region's loop is tiled so each tile's tape
+//!   footprint exactly fills the scratchpad buffer.
+//! * **Segmented** (§3.7): when a single iteration overflows the layer,
+//!   the loop *body* is cut at statement boundaries into segments, each a
+//!   layer of its own. Tape values consumed (in REV) by a different
+//!   segment than the one that stored them get **redundant tape stores**
+//!   duplicated into the consumer's segment, keeping every layer's reads
+//!   local to its own region tile.
+//!
+//! The scratchpad is partitioned by region-nesting level so that regions
+//! whose buffers are simultaneously live never collide; within a level,
+//! double buffering splits the range in two so Pass 3's streams can run
+//! ahead of compute.
+
+use crate::regions::{FormedRegions, Region};
+use crate::{CompileMode, CompileOptions, CoreError};
+use std::collections::{HashMap, HashSet};
+use tapeflow_autodiff::Gradient;
+use tapeflow_ir::{Function, InstId, LoopId, Stmt};
+
+/// One §3.7 segment: a contiguous range of source statements forming a
+/// layer.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Source-statement range `[start, end)` at the region body level.
+    pub src_range: (usize, usize),
+    /// Tapes whose home store is in this segment (slot order).
+    pub own: Vec<usize>,
+    /// Tapes duplicated into this segment for local REV consumption.
+    pub dups: Vec<usize>,
+    /// Element offset of this segment's slots within the iteration struct.
+    pub offset: usize,
+}
+
+impl Segment {
+    /// Total slots (own + duplicated).
+    pub fn size(&self) -> usize {
+        self.own.len() + self.dups.len()
+    }
+}
+
+/// Layer shape chosen for a region.
+#[derive(Clone, Debug)]
+pub enum RegionLayout {
+    /// Pass 1 only (AoS layout, cache-resident tape).
+    LayoutOnly,
+    /// The region loop nest is tiled by `tile_iters` iterations of the
+    /// *boundary* loop per layer. `collapse` inner loops of the path are
+    /// absorbed whole into each layer's struct (a layer spans complete
+    /// inner-loop nests when they fit — the paper's layers are cut over
+    /// the unrolled dataflow, not per source loop).
+    Tiled {
+        /// Boundary-loop iterations per layer.
+        tile_iters: u64,
+        /// Trailing path loops absorbed into the struct.
+        collapse: usize,
+        /// Product of the collapsed loops' trip counts.
+        inner_prod: u64,
+    },
+    /// The region body is cut into statement segments.
+    Segmented {
+        /// The segments, in source order.
+        segments: Vec<Segment>,
+    },
+}
+
+/// Where one static tape access lands in the compiled layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Site {
+    /// Region index in [`LayerPlan::regions`].
+    pub region: usize,
+    /// Tape index in [`Gradient::tapes`].
+    pub tape: usize,
+    /// Element offset within the full iteration struct (DRAM layout).
+    pub global_off: usize,
+    /// Segment the access belongs to (segmented layouts only).
+    pub segment: Option<usize>,
+    /// Offset within the segment's scratchpad struct (equals
+    /// `global_off` for non-segmented layouts).
+    pub local_off: usize,
+}
+
+/// The per-region compiled layout.
+#[derive(Clone, Debug)]
+pub struct RegionPlan {
+    /// The pass-1 region.
+    pub region: Region,
+    /// Layer shape.
+    pub layout: RegionLayout,
+    /// Elements per iteration struct, including duplicated slots.
+    pub rsize_total: usize,
+    /// First scratchpad entry of this region's range.
+    pub spad_base: u32,
+    /// Entries in this region's range (both double-buffer halves).
+    pub spad_range: u32,
+    /// Dynamic forward layers this region contributes.
+    pub fwd_layers: u64,
+}
+
+impl RegionPlan {
+    /// Length in elements of the merged DRAM region array.
+    pub fn merged_len(&self) -> usize {
+        (self.region.trip_product as usize) * self.rsize_total
+    }
+}
+
+/// Pass 2 output: every region's layout plus per-access sites.
+#[derive(Clone, Debug)]
+pub struct LayerPlan {
+    /// Per-region plans.
+    pub regions: Vec<RegionPlan>,
+    /// Unmanaged tape indices (top-level stores, left on the cache path).
+    pub unmanaged: Vec<usize>,
+    /// Tape-store instruction → site.
+    pub store_site: HashMap<InstId, Site>,
+    /// Tape-load instruction → site.
+    pub load_site: HashMap<InstId, Site>,
+    /// Nesting levels the scratchpad was partitioned into.
+    pub levels: usize,
+    /// Total dynamic FWD layers.
+    pub total_fwd_layers: u64,
+}
+
+/// Finds the body of loop `l` in `func`.
+pub fn find_loop_body(func: &Function, l: LoopId) -> Option<&[Stmt]> {
+    fn walk(stmts: &[Stmt], l: LoopId) -> Option<&[Stmt]> {
+        for s in stmts {
+            if let Stmt::For { loop_id, body } = s {
+                if *loop_id == l {
+                    return Some(body);
+                }
+                if let Some(b) = walk(body, l) {
+                    return Some(b);
+                }
+            }
+        }
+        None
+    }
+    walk(&func.body, l)
+}
+
+/// Top-level statement position in `body` whose subtree contains `inst`.
+pub fn stmt_pos_of_inst(body: &[Stmt], inst: InstId) -> Option<usize> {
+    fn contains(s: &Stmt, inst: InstId) -> bool {
+        match s {
+            Stmt::Inst(i) => *i == inst,
+            Stmt::For { body, .. } => body.iter().any(|s| contains(s, inst)),
+        }
+    }
+    body.iter().position(|s| contains(s, inst))
+}
+
+fn src_stmt_of(spans: &[tapeflow_autodiff::Span], pos: usize) -> Option<usize> {
+    spans
+        .iter()
+        .find(|sp| sp.start <= pos && pos < sp.end)
+        .map(|sp| sp.src_stmt)
+}
+
+/// Builds the layer plan.
+///
+/// # Errors
+///
+/// * [`CoreError::SpadTooSmall`] when the scratchpad cannot give every
+///   region-nesting level a buffer;
+/// * [`CoreError::RegionTooLarge`] when a single statement's tape
+///   footprint exceeds a layer even after segmentation.
+pub fn plan_layers(
+    grad: &Gradient,
+    formed: FormedRegions,
+    opts: &CompileOptions,
+) -> Result<LayerPlan, CoreError> {
+    let FormedRegions {
+        regions,
+        unmanaged,
+        levels,
+    } = formed;
+    let mut plan = LayerPlan {
+        regions: Vec::with_capacity(regions.len()),
+        unmanaged,
+        store_site: HashMap::new(),
+        load_site: HashMap::new(),
+        levels,
+        total_fwd_layers: 0,
+    };
+    if regions.is_empty() {
+        return Ok(plan);
+    }
+    let aos_only = opts.mode == CompileMode::AosOnly;
+    let level_budget = if aos_only {
+        0
+    } else {
+        let b = opts.spad_entries / levels;
+        let min_needed = if opts.double_buffer { 2 } else { 1 };
+        if b < min_needed {
+            return Err(CoreError::SpadTooSmall {
+                entries: opts.spad_entries,
+                levels,
+            });
+        }
+        b
+    };
+    let div = if opts.double_buffer { 2 } else { 1 };
+    let cap_eff = level_budget / div;
+
+    // Every region restructures a distinct boundary loop; collapsing must
+    // not climb onto a loop another region already owns — in particular
+    // not onto any loop that other regions live under, since the
+    // collapsed buffer would be live across their layers and the
+    // level-based scratchpad partitioning would no longer protect it.
+    let mut used_boundaries: HashSet<LoopId> = regions
+        .iter()
+        .map(|r| *r.path.last().expect("non-empty"))
+        .collect();
+    let mut path_use: HashMap<LoopId, usize> = HashMap::new();
+    for r in &regions {
+        for l in &r.path {
+            *path_use.entry(*l).or_insert(0) += 1;
+        }
+    }
+    for (ri, region) in regions.into_iter().enumerate() {
+        let spad_base = (region.level * level_budget) as u32;
+        if aos_only {
+            let rp = layout_only(grad, ri, region, &mut plan);
+            plan.regions.push(rp);
+            continue;
+        }
+        let rp = if region.rsize <= cap_eff {
+            tiled(
+                grad,
+                ri,
+                region,
+                cap_eff,
+                spad_base,
+                level_budget,
+                &mut used_boundaries,
+                &path_use,
+                &mut plan,
+            )
+        } else {
+            segmented(grad, ri, region, cap_eff, spad_base, level_budget, &mut plan)?
+        };
+        plan.total_fwd_layers += rp.fwd_layers;
+        plan.regions.push(rp);
+    }
+    Ok(plan)
+}
+
+fn home_sites(grad: &Gradient, ri: usize, region: &Region, plan: &mut LayerPlan) {
+    for (off, &t) in region.tapes.iter().enumerate() {
+        let site = Site {
+            region: ri,
+            tape: t,
+            global_off: off,
+            segment: None,
+            local_off: off,
+        };
+        plan.store_site.insert(grad.tapes[t].store, site);
+        for &l in &grad.tapes[t].loads {
+            plan.load_site.insert(l, site);
+        }
+    }
+}
+
+fn layout_only(grad: &Gradient, ri: usize, region: Region, plan: &mut LayerPlan) -> RegionPlan {
+    home_sites(grad, ri, &region, plan);
+    RegionPlan {
+        rsize_total: region.rsize,
+        spad_base: 0,
+        spad_range: 0,
+        fwd_layers: 0,
+        layout: RegionLayout::LayoutOnly,
+        region,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tiled(
+    grad: &Gradient,
+    ri: usize,
+    region: Region,
+    cap_eff: usize,
+    spad_base: u32,
+    level_budget: usize,
+    used_boundaries: &mut HashSet<LoopId>,
+    path_use: &HashMap<LoopId, usize>,
+    plan: &mut LayerPlan,
+) -> RegionPlan {
+    home_sites(grad, ri, &region, plan);
+    let trips: Vec<u64> = region
+        .path
+        .iter()
+        .map(|l| {
+            grad.func
+                .loop_info(*l)
+                .trip_count()
+                .expect("taped loops have static trips")
+        })
+        .collect();
+    // Absorb whole inner loops while a full sweep of them still fits in a
+    // layer, so small inner nests (e.g. 5x5 convolution kernels) do not
+    // degenerate into per-iteration streams.
+    let mut collapse = 0usize;
+    let mut inner_prod = 1u64;
+    while collapse + 1 < region.path.len() {
+        let next = inner_prod * trips[trips.len() - 1 - collapse];
+        let next_boundary = region.path[region.path.len() - 2 - collapse];
+        if region.rsize as u64 * next <= cap_eff as u64
+            && !used_boundaries.contains(&next_boundary)
+            && path_use.get(&next_boundary) == Some(&1)
+        {
+            inner_prod = next;
+            collapse += 1;
+        } else {
+            break;
+        }
+    }
+    if collapse > 0 {
+        used_boundaries.insert(region.path[region.path.len() - 1 - collapse]);
+    }
+    let boundary_trip = trips[trips.len() - 1 - collapse];
+    let struct_elems = (region.rsize as u64 * inner_prod).max(1);
+    let tile = (cap_eff as u64 / struct_elems)
+        .min(boundary_trip)
+        .max(1);
+    let outer: u64 = trips[..trips.len() - 1 - collapse].iter().product();
+    let fwd_layers = outer * boundary_trip.div_ceil(tile);
+    RegionPlan {
+        rsize_total: region.rsize,
+        spad_base,
+        spad_range: level_budget as u32,
+        fwd_layers,
+        layout: RegionLayout::Tiled {
+            tile_iters: tile,
+            collapse,
+            inner_prod,
+        },
+        region,
+    }
+}
+
+fn segmented(
+    grad: &Gradient,
+    ri: usize,
+    region: Region,
+    cap_eff: usize,
+    spad_base: u32,
+    level_budget: usize,
+    plan: &mut LayerPlan,
+) -> Result<RegionPlan, CoreError> {
+    let fwd_loop = *region.path.last().expect("non-empty path");
+    let rev_loop = grad.loop_map[&fwd_loop];
+    let fwd_spans = &grad.spans.fwd[&Some(fwd_loop)];
+    let rev_spans = &grad.spans.rev[&Some(rev_loop)];
+    let fwd_body = find_loop_body(&grad.func, fwd_loop).expect("region loop exists");
+    let rev_body = find_loop_body(&grad.func, rev_loop).expect("mirror loop exists");
+    let n_src = fwd_spans.len();
+
+    // Home source statement of each member tape's store.
+    let mut own_of_stmt: Vec<Vec<usize>> = vec![Vec::new(); n_src];
+    for &t in &region.tapes {
+        let pos = stmt_pos_of_inst(fwd_body, grad.tapes[t].store)
+            .expect("store in region body");
+        let src = src_stmt_of(fwd_spans, pos).expect("store inside a span");
+        own_of_stmt[src].push(t);
+    }
+    // Consuming source statement(s) of each tape's loads.
+    let mut consumers: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &t in &region.tapes {
+        for &l in &grad.tapes[t].loads {
+            let pos = stmt_pos_of_inst(rev_body, l).expect("load in mirror body");
+            let src = src_stmt_of(rev_spans, pos).expect("load inside a span");
+            consumers.entry(t).or_default().push(src);
+        }
+    }
+
+    // Greedy statement cut, shrinking the budget when duplication
+    // overflows a segment.
+    let max_stmt = own_of_stmt.iter().map(Vec::len).max().unwrap_or(0);
+    if max_stmt > cap_eff {
+        return Err(CoreError::RegionTooLarge {
+            region: ri,
+            slots: max_stmt,
+            capacity: cap_eff,
+        });
+    }
+    let mut budget = cap_eff;
+    let segments = loop {
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut start = 0usize;
+        let mut own: Vec<usize> = Vec::new();
+        for (k, slots) in own_of_stmt.iter().enumerate() {
+            if !own.is_empty() && own.len() + slots.len() > budget {
+                segs.push(Segment {
+                    src_range: (start, k),
+                    own: std::mem::take(&mut own),
+                    dups: Vec::new(),
+                    offset: 0,
+                });
+                start = k;
+            }
+            own.extend(slots.iter().copied());
+        }
+        segs.push(Segment {
+            src_range: (start, n_src),
+            own,
+            dups: Vec::new(),
+            offset: 0,
+        });
+        // Duplicate stores whose consumers sit in another segment.
+        let seg_of_stmt: Vec<usize> = (0..n_src)
+            .map(|k| {
+                segs.iter()
+                    .position(|s| s.src_range.0 <= k && k < s.src_range.1)
+                    .expect("statement covered")
+            })
+            .collect();
+        let mut dup_pairs: Vec<(usize, usize)> = Vec::new(); // (tape, segment)
+        for &t in &region.tapes {
+            let store_pos = stmt_pos_of_inst(fwd_body, grad.tapes[t].store).expect("store pos");
+            let home_stmt = src_stmt_of(fwd_spans, store_pos).expect("home stmt");
+            let home_seg = seg_of_stmt[home_stmt];
+            if let Some(cons) = consumers.get(&t) {
+                let mut seen = Vec::new();
+                for &c in cons {
+                    let cs = seg_of_stmt[c];
+                    if cs != home_seg && !seen.contains(&cs) {
+                        seen.push(cs);
+                        dup_pairs.push((t, cs));
+                    }
+                }
+            }
+        }
+        for &(t, s) in &dup_pairs {
+            segs[s].dups.push(t);
+        }
+        if segs.iter().all(|s| s.size() <= cap_eff) {
+            break segs;
+        }
+        if budget == max_stmt.max(1) {
+            let worst = segs.iter().map(Segment::size).max().unwrap_or(0);
+            return Err(CoreError::RegionTooLarge {
+                region: ri,
+                slots: worst,
+                capacity: cap_eff,
+            });
+        }
+        budget -= 1;
+    };
+
+    // Assign offsets and record sites.
+    let mut segments = segments;
+    let mut offset = 0usize;
+    for seg in &mut segments {
+        seg.offset = offset;
+        offset += seg.size();
+    }
+    let rsize_total = offset;
+    let seg_of_stmt: Vec<usize> = (0..n_src)
+        .map(|k| {
+            segments
+                .iter()
+                .position(|s| s.src_range.0 <= k && k < s.src_range.1)
+                .expect("statement covered")
+        })
+        .collect();
+    for (si, seg) in segments.iter().enumerate() {
+        for (j, &t) in seg.own.iter().enumerate() {
+            let site = Site {
+                region: ri,
+                tape: t,
+                global_off: seg.offset + j,
+                segment: Some(si),
+                local_off: j,
+            };
+            plan.store_site.insert(grad.tapes[t].store, site);
+        }
+    }
+    // Loads read from the slot (home or duplicate) local to their segment.
+    for &t in &region.tapes {
+        for &l in &grad.tapes[t].loads {
+            let pos = stmt_pos_of_inst(rev_body, l).expect("load pos");
+            let src = src_stmt_of(rev_spans, pos).expect("load stmt");
+            let si = seg_of_stmt[src];
+            let seg = &segments[si];
+            let local = if let Some(j) = seg.own.iter().position(|&x| x == t) {
+                j
+            } else {
+                seg.own.len()
+                    + seg
+                        .dups
+                        .iter()
+                        .position(|&x| x == t)
+                        .expect("duplicate slot present for foreign consumer")
+            };
+            plan.load_site.insert(
+                l,
+                Site {
+                    region: ri,
+                    tape: t,
+                    global_off: seg.offset + local,
+                    segment: Some(si),
+                    local_off: local,
+                },
+            );
+        }
+    }
+    let fwd_layers = region.trip_product * segments.len() as u64;
+    Ok(RegionPlan {
+        rsize_total,
+        spad_base,
+        spad_range: level_budget as u32,
+        fwd_layers,
+        layout: RegionLayout::Segmented { segments },
+        region,
+    })
+}

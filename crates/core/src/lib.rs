@@ -1,0 +1,206 @@
+//! # tapeflow-core
+//!
+//! The **Tapeflow compiler** — the paper's primary contribution. Starting
+//! from the gradient function an AD front-end produces
+//! ([`tapeflow_autodiff::Gradient`]), four passes turn the implicit,
+//! cache-orchestrated tape into an explicitly streamed one:
+//!
+//! * **Pass 1 — Region formation** ([`regions`]): merges the per-SSA-value
+//!   struct-of-arrays tape arrays into per-loop **array-of-structs
+//!   regions**, packing values produced together (and consumed together
+//!   in REV) into adjacent slots (paper §3.3, Algorithm 1).
+//! * **Pass 2 — Layering** ([`layering`]): schedules execution into
+//!   **layers** sized to the on-chip scratchpad — tiling a region's loop
+//!   when a struct fits, or cutting the loop body into statement
+//!   *segments* when a single iteration overflows the scratchpad,
+//!   duplicating tape stores whose consumers land in other segments
+//!   (paper §3.4 Algorithm 2 and §3.7).
+//! * **Pass 3 — Explicit streaming** ([`apply`]): inserts `FWD-Stream` /
+//!   `REV-Stream` commands at layer boundaries so tape tiles move between
+//!   DRAM and the scratchpad just in time, double-buffered so streams run
+//!   ahead of compute (paper §3.5).
+//! * **Pass 4 — Scratchpad indexing** ([`apply`]): rewrites tape loads
+//!   and stores into scratchpad accesses with compiler-generated indices
+//!   (paper §3.6, Algorithm 3).
+//!
+//! [`compile`] runs the pipeline; [`CompileMode::AosOnly`] stops after the
+//! layout change (both layouts still go through the cache), which is the
+//! configuration behind the paper's Figure 4.3.
+//!
+//! ```rust
+//! use tapeflow_ir::{ArrayKind, FunctionBuilder, Scalar};
+//! use tapeflow_autodiff::{differentiate, AdOptions};
+//! use tapeflow_core::{compile, CompileOptions};
+//!
+//! let mut b = FunctionBuilder::new("sumexp2");
+//! let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+//! let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+//! b.for_loop("i", 0, 64, |b, i| {
+//!     let v = b.load(x, i);
+//!     let e = b.exp(v);
+//!     let sq = b.fmul(e, e);
+//!     let c = b.load_cell(loss);
+//!     let s = b.fadd(c, sq);
+//!     b.store_cell(loss, s);
+//! });
+//! let f = b.finish();
+//! let grad = differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap();
+//! // A 128 B scratchpad holds 16 entries -> 8-entry layers once double
+//! // buffered, so the 64 iterations split into 8 forward layers.
+//! let compiled = compile(&grad, &CompileOptions::with_spad_bytes(128)).unwrap();
+//! assert_eq!(compiled.stats.fwd_layers, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apply;
+pub mod layering;
+pub mod regions;
+
+use std::error::Error;
+use std::fmt;
+use tapeflow_ir::{Function, InstId};
+
+/// How far to run the pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CompileMode {
+    /// All four passes: AoS regions, layers, streams, scratchpad.
+    #[default]
+    Full,
+    /// Pass 1 only: array-of-structs layout, tape still cache-resident
+    /// (the paper's Figure 4.3 configuration).
+    AosOnly,
+}
+
+/// Scratchpad specification and pipeline configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Scratchpad capacity in 8 B entries (paper baseline: 1 KB = 128).
+    pub spad_entries: usize,
+    /// Double-buffer layers so streams overlap the adjacent layer's
+    /// compute (halves the per-layer capacity).
+    pub double_buffer: bool,
+    /// Pipeline depth.
+    pub mode: CompileMode,
+}
+
+impl Default for CompileOptions {
+    /// The paper's baseline: 1 KB scratchpad (128 × 8 B entries), double
+    /// buffered, full pipeline.
+    fn default() -> Self {
+        CompileOptions {
+            spad_entries: 128,
+            double_buffer: true,
+            mode: CompileMode::Full,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Convenience: a full-pipeline configuration with the given
+    /// scratchpad size in **bytes** (like the paper's 64 B – 2 KB sweep).
+    pub fn with_spad_bytes(bytes: usize) -> Self {
+        CompileOptions {
+            spad_entries: (bytes / 8).max(1),
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// Aggregate statistics about a compiled program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Regions formed by Pass 1 (excluding unmanaged top-level tapes).
+    pub regions: usize,
+    /// Dynamic forward layers (= SAlloc executions in FWD).
+    pub fwd_layers: u64,
+    /// Tape slots duplicated across segments (§3.7 redundant stores).
+    pub duplicated_slots: usize,
+    /// Total bytes of merged tape regions in DRAM.
+    pub merged_tape_bytes: u64,
+    /// Scratchpad entries the program was compiled for.
+    pub spad_entries: usize,
+}
+
+/// Result of [`compile`].
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// The rewritten gradient function.
+    pub func: Function,
+    /// The FWD/REV phase barrier in the rewritten function.
+    pub phase_barrier: InstId,
+    /// The layer plan the function was compiled against.
+    pub plan: layering::LayerPlan,
+    /// Pipeline configuration used.
+    pub options: CompileOptions,
+    /// Summary statistics.
+    pub stats: CompileStats,
+}
+
+/// Errors raised by the Tapeflow pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The scratchpad cannot hold even one struct of some region *after*
+    /// segmentation (a single statement stores more slots than a layer
+    /// can hold).
+    RegionTooLarge {
+        /// Index of the offending region.
+        region: usize,
+        /// Slots required by one indivisible statement.
+        slots: usize,
+        /// Per-layer capacity in entries.
+        capacity: usize,
+    },
+    /// The scratchpad is too small to give every nesting level a buffer.
+    SpadTooSmall {
+        /// Entries available.
+        entries: usize,
+        /// Nesting levels requiring buffers.
+        levels: usize,
+    },
+    /// The rewritten function failed verification (internal bug).
+    Internal(tapeflow_ir::verify::VerifyError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::RegionTooLarge {
+                region,
+                slots,
+                capacity,
+            } => write!(
+                f,
+                "region {region}: a single statement needs {slots} tape slots but a layer holds {capacity}"
+            ),
+            CoreError::SpadTooSmall { entries, levels } => write!(
+                f,
+                "scratchpad of {entries} entries cannot serve {levels} nesting levels"
+            ),
+            CoreError::Internal(e) => write!(f, "rewritten function invalid: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<tapeflow_ir::verify::VerifyError> for CoreError {
+    fn from(e: tapeflow_ir::verify::VerifyError) -> Self {
+        CoreError::Internal(e)
+    }
+}
+
+/// Runs the Tapeflow pipeline over a gradient function.
+///
+/// # Errors
+///
+/// See [`CoreError`].
+pub fn compile(
+    grad: &tapeflow_autodiff::Gradient,
+    options: &CompileOptions,
+) -> Result<CompiledProgram, CoreError> {
+    let formed = regions::form_regions(grad);
+    let plan = layering::plan_layers(grad, formed, options)?;
+    apply::apply(grad, plan, *options)
+}

@@ -1,0 +1,194 @@
+//! Pass 1 (analysis half): region formation.
+//!
+//! Groups the AD front-end's per-value struct-of-arrays tape arrays into
+//! **regions** — one per loop nest that stores tape values. A region's
+//! slots are ordered by program order of their stores, so values produced
+//! together end up adjacent in the array-of-structs layout (paper §3.3).
+
+use std::collections::HashMap;
+use tapeflow_autodiff::Gradient;
+use tapeflow_ir::LoopId;
+
+/// One tape region: the set of taped values stored by one loop body nest.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Enclosing FWD loop nest (gradient-function loop ids), outermost
+    /// first. Never empty (top-level tapes stay unmanaged).
+    pub path: Vec<LoopId>,
+    /// Member tapes (indices into [`Gradient::tapes`]), in slot order
+    /// (= program order of their stores).
+    pub tapes: Vec<usize>,
+    /// Slots per struct before any §3.7 duplication.
+    pub rsize: usize,
+    /// Product of the nest's trip counts (structs in the region).
+    pub trip_product: u64,
+    /// Trip count of the innermost loop of the nest.
+    pub trip_innermost: u64,
+    /// Nesting level within the region tree (0 = outermost).
+    pub level: usize,
+}
+
+/// Output of [`form_regions`].
+#[derive(Clone, Debug)]
+pub struct FormedRegions {
+    /// The regions, in first-store program order.
+    pub regions: Vec<Region>,
+    /// Tape indices left unmanaged (stored outside any loop).
+    pub unmanaged: Vec<usize>,
+    /// Depth of the region tree (max `level + 1`; 0 when no regions).
+    pub levels: usize,
+}
+
+/// Groups tapes into regions and computes the region nesting tree.
+pub fn form_regions(grad: &Gradient) -> FormedRegions {
+    let mut by_path: HashMap<&[LoopId], Vec<usize>> = HashMap::new();
+    let mut order: Vec<&[LoopId]> = Vec::new();
+    let mut unmanaged = Vec::new();
+    for (t, info) in grad.tapes.iter().enumerate() {
+        if info.fwd_loop_path.is_empty() {
+            unmanaged.push(t);
+            continue;
+        }
+        let key = info.fwd_loop_path.as_slice();
+        let entry = by_path.entry(key).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(t);
+    }
+    let mut regions: Vec<Region> = order
+        .iter()
+        .map(|&path| {
+            let tapes = by_path[path].clone();
+            let trip_product = grad.tapes[tapes[0]].trip_product;
+            debug_assert!(tapes
+                .iter()
+                .all(|&t| grad.tapes[t].trip_product == trip_product));
+            let innermost = *path.last().expect("non-empty path");
+            let trip_innermost = grad
+                .func
+                .loop_info(innermost)
+                .trip_count()
+                .expect("taped loops have static trips");
+            Region {
+                path: path.to_vec(),
+                rsize: tapes.len(),
+                tapes,
+                trip_product,
+                trip_innermost,
+                level: 0,
+            }
+        })
+        .collect();
+    // Levels: a region's level = number of other regions whose path is a
+    // proper prefix of its own (those buffers are live while it runs).
+    let paths: Vec<Vec<LoopId>> = regions.iter().map(|r| r.path.clone()).collect();
+    for (i, r) in regions.iter_mut().enumerate() {
+        r.level = paths
+            .iter()
+            .enumerate()
+            .filter(|(j, p)| {
+                *j != i && p.len() < r.path.len() && r.path.starts_with(p)
+            })
+            .count();
+    }
+    let levels = regions.iter().map(|r| r.level + 1).max().unwrap_or(0);
+    FormedRegions {
+        regions,
+        unmanaged,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_autodiff::{differentiate, AdOptions};
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Scalar};
+
+    /// Two taped values per iteration of the inner loop and one in the
+    /// outer body: two regions at different levels.
+    fn nested_gradient() -> Gradient {
+        let mut b = FunctionBuilder::new("nest");
+        let x = b.array("x", 12, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 3, |b, i| {
+            let acc = b.cell_f64("acc", 0.0);
+            let z = b.f64(0.0);
+            b.store_cell(acc, z);
+            b.for_loop("j", 0, 4, |b, j| {
+                let idx = b.idx2(i, 4, j);
+                let v = b.load(x, idx);
+                let e = b.exp(v);
+                let t = b.tanh(e);
+                let c = b.load_cell(acc);
+                let s = b.fadd(c, t);
+                b.store_cell(acc, s);
+            });
+            let a = b.load_cell(acc);
+            let sq = b.exp(a);
+            let c = b.load_cell(loss);
+            let s = b.fadd(c, sq);
+            b.store_cell(loss, s);
+        });
+        let f = b.finish();
+        differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap()
+    }
+
+    #[test]
+    fn groups_by_loop_nest() {
+        let grad = nested_gradient();
+        let formed = form_regions(&grad);
+        assert_eq!(formed.regions.len(), 2, "inner nest + outer body");
+        assert_eq!(formed.levels, 2);
+        let outer = formed
+            .regions
+            .iter()
+            .find(|r| r.path.len() == 1)
+            .expect("outer region");
+        let inner = formed
+            .regions
+            .iter()
+            .find(|r| r.path.len() == 2)
+            .expect("inner region");
+        assert_eq!(outer.level, 0);
+        assert_eq!(inner.level, 1);
+        assert_eq!(inner.trip_product, 12);
+        assert_eq!(inner.trip_innermost, 4);
+        assert_eq!(outer.trip_product, 3);
+        // exp and tanh both need their results taped: 2 slots inside.
+        assert_eq!(inner.rsize, 2);
+        assert!(formed.unmanaged.is_empty());
+    }
+
+    #[test]
+    fn slot_order_is_store_order() {
+        let grad = nested_gradient();
+        let formed = form_regions(&grad);
+        for r in &formed.regions {
+            for w in r.tapes.windows(2) {
+                assert!(
+                    grad.tapes[w[0]].store < grad.tapes[w[1]].store,
+                    "slots follow program order of stores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_tapes_unmanaged() {
+        let mut b = FunctionBuilder::new("top");
+        let x = b.array("x", 1, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        let v = b.load_cell(x);
+        let e = b.exp(v);
+        let t = b.tanh(e);
+        b.store_cell(loss, t);
+        let f = b.finish();
+        let grad = differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap();
+        let formed = form_regions(&grad);
+        assert!(formed.regions.is_empty());
+        assert_eq!(formed.unmanaged.len(), grad.tapes.len());
+        assert_eq!(formed.levels, 0);
+    }
+}

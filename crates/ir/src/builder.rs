@@ -1,0 +1,412 @@
+//! Ergonomic construction of IR functions.
+
+use crate::function::{ArrayKind, Bound, Function, Stmt};
+use crate::ids::{ArrayId, LoopId, ValueId};
+use crate::ops::{CmpKind, Op};
+use crate::types::{Const, Scalar};
+use std::collections::HashMap;
+
+/// Builder for [`Function`]s.
+///
+/// Keeps an insertion-point stack so nested loops read like the source
+/// they model. Constants are deduplicated.
+///
+/// ```rust
+/// use tapeflow_ir::{FunctionBuilder, ArrayKind, Scalar};
+/// let mut b = FunctionBuilder::new("saxpy");
+/// let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+/// let y = b.array("y", 8, ArrayKind::InOut, Scalar::F64);
+/// let a = b.f64(2.0);
+/// b.for_loop("i", 0, 8, |b, i| {
+///     let xi = b.load(x, i);
+///     let yi = b.load(y, i);
+///     let ax = b.fmul(a, xi);
+///     let s = b.fadd(ax, yi);
+///     b.store(y, i, s);
+/// });
+/// let f = b.finish();
+/// assert!(tapeflow_ir::verify::verify(&f).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    /// Stack of open statement sequences; `[0]` is the function body.
+    frames: Vec<Vec<Stmt>>,
+    const_cache: HashMap<ConstKey, ValueId>,
+}
+
+#[derive(PartialEq, Eq, Hash)]
+#[derive(Debug)]
+enum ConstKey {
+    F64(u64),
+    I64(i64),
+}
+
+impl FunctionBuilder {
+    /// Starts a new function.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            func: Function::new(name),
+            frames: vec![Vec::new()],
+            const_cache: HashMap::new(),
+        }
+    }
+
+    /// Consumes the builder, returning the finished function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop frame is still open (should be impossible through
+    /// the closure-based API).
+    pub fn finish(mut self) -> Function {
+        assert_eq!(self.frames.len(), 1, "unclosed loop frame");
+        self.func.body = self.frames.pop().expect("root frame");
+        self.func
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    // ---- declarations ----------------------------------------------------
+
+    /// Declares an array.
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        kind: ArrayKind,
+        elem: Scalar,
+    ) -> ArrayId {
+        self.func.add_array(name, len, kind, elem)
+    }
+
+    /// Declares a one-element `f64` [`ArrayKind::Temp`] cell used for
+    /// loop-carried state (accumulators). The interpreter/tracer
+    /// initializes Temp cells to zero; emit an explicit store for other
+    /// initial values — this helper does so when `init != 0.0`.
+    pub fn cell_f64(&mut self, name: impl Into<String>, init: f64) -> ArrayId {
+        let cell = self.func.add_array(name, 1, ArrayKind::Temp, Scalar::F64);
+        if init != 0.0 {
+            let z = self.i64(0);
+            let v = self.f64(init);
+            self.push_inst(Op::Store(cell), vec![z, v]);
+        }
+        cell
+    }
+
+    // ---- constants ---------------------------------------------------------
+
+    /// Interns an `f64` constant (deduplicated by bit pattern).
+    pub fn f64(&mut self, v: f64) -> ValueId {
+        let key = ConstKey::F64(v.to_bits());
+        if let Some(&id) = self.const_cache.get(&key) {
+            return id;
+        }
+        let id = self.func.add_const(Const::F64(v));
+        self.const_cache.insert(key, id);
+        id
+    }
+
+    /// Interns an `i64` constant (deduplicated).
+    pub fn i64(&mut self, v: i64) -> ValueId {
+        let key = ConstKey::I64(v);
+        if let Some(&id) = self.const_cache.get(&key) {
+            return id;
+        }
+        let id = self.func.add_const(Const::I64(v));
+        self.const_cache.insert(key, id);
+        id
+    }
+
+    // ---- control flow --------------------------------------------------------
+
+    /// Emits `for iv in start..end` (step 1) around the statements `body`
+    /// generates; yields the induction variable to the closure.
+    pub fn for_loop<R>(
+        &mut self,
+        name: impl Into<String>,
+        start: i64,
+        end: i64,
+        body: impl FnOnce(&mut Self, ValueId) -> R,
+    ) -> R {
+        self.for_loop_step(name, Bound::Const(start), Bound::Const(end), 1, body)
+    }
+
+    /// Emits a loop with explicit bounds and step.
+    pub fn for_loop_step<R>(
+        &mut self,
+        name: impl Into<String>,
+        start: impl Into<Bound>,
+        end: impl Into<Bound>,
+        step: i64,
+        body: impl FnOnce(&mut Self, ValueId) -> R,
+    ) -> R {
+        let (loop_id, iv) = self.func.add_loop(name, start.into(), end.into(), step);
+        self.frames.push(Vec::new());
+        let r = body(self, iv);
+        let stmts = self.frames.pop().expect("loop frame");
+        self.push_stmt(Stmt::For {
+            loop_id,
+            body: stmts,
+        });
+        r
+    }
+
+    /// Pushes a raw statement at the insertion point.
+    pub fn push_stmt(&mut self, s: Stmt) {
+        self.frames.last_mut().expect("open frame").push(s);
+    }
+
+    /// Emits an instruction at the insertion point, returning its result
+    /// value (if the op defines one).
+    pub fn push_inst(&mut self, op: Op, args: Vec<ValueId>) -> Option<ValueId> {
+        let (inst, result) = self.func.add_inst(op, args);
+        self.push_stmt(Stmt::Inst(inst));
+        result
+    }
+
+    fn unary(&mut self, op: Op, a: ValueId) -> ValueId {
+        self.push_inst(op, vec![a]).expect("op defines a result")
+    }
+
+    fn binary(&mut self, op: Op, a: ValueId, b: ValueId) -> ValueId {
+        self.push_inst(op, vec![a, b]).expect("op defines a result")
+    }
+
+    // ---- f64 ops ----------------------------------------------------------
+
+    /// `a + b`.
+    pub fn fadd(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FAdd, a, b)
+    }
+    /// `a - b`.
+    pub fn fsub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FSub, a, b)
+    }
+    /// `a * b`.
+    pub fn fmul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FMul, a, b)
+    }
+    /// `a / b`.
+    pub fn fdiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FDiv, a, b)
+    }
+    /// `min(a, b)`.
+    pub fn fmin(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FMin, a, b)
+    }
+    /// `max(a, b)`.
+    pub fn fmax(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FMax, a, b)
+    }
+    /// `-a`.
+    pub fn fneg(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::FNeg, a)
+    }
+    /// `|a|`.
+    pub fn fabs(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::FAbs, a)
+    }
+    /// `sqrt(a)`.
+    pub fn sqrt(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Sqrt, a)
+    }
+    /// `sin(a)`.
+    pub fn sin(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Sin, a)
+    }
+    /// `cos(a)`.
+    pub fn cos(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Cos, a)
+    }
+    /// `e^a`.
+    pub fn exp(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Exp, a)
+    }
+    /// `ln(a)`.
+    pub fn ln(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Ln, a)
+    }
+    /// `tanh(a)`.
+    pub fn tanh(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::Tanh, a)
+    }
+    /// `a ^ b`.
+    pub fn fpow(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FPow, a, b)
+    }
+    /// Float comparison, producing `i64` 0/1.
+    pub fn fcmp(&mut self, kind: CmpKind, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::FCmp(kind), a, b)
+    }
+    /// `cond ? t : f`.
+    pub fn select(&mut self, cond: ValueId, t: ValueId, f: ValueId) -> ValueId {
+        self.push_inst(Op::Select, vec![cond, t, f])
+            .expect("select defines a result")
+    }
+
+    // ---- i64 ops -------------------------------------------------------------
+
+    /// `a + b` (i64).
+    pub fn iadd(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IAdd, a, b)
+    }
+    /// `a - b` (i64).
+    pub fn isub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::ISub, a, b)
+    }
+    /// `a * b` (i64).
+    pub fn imul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IMul, a, b)
+    }
+    /// `a / b` (i64, truncated).
+    pub fn idiv(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IDiv, a, b)
+    }
+    /// `a % b` (i64).
+    pub fn irem(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IRem, a, b)
+    }
+    /// `min(a, b)` (i64).
+    pub fn imin(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IMin, a, b)
+    }
+    /// `max(a, b)` (i64).
+    pub fn imax(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::IMax, a, b)
+    }
+    /// Integer comparison, producing `i64` 0/1.
+    pub fn icmp(&mut self, kind: CmpKind, a: ValueId, b: ValueId) -> ValueId {
+        self.binary(Op::ICmp(kind), a, b)
+    }
+    /// Integer-to-float conversion.
+    pub fn itof(&mut self, a: ValueId) -> ValueId {
+        self.unary(Op::IToF, a)
+    }
+
+    // ---- addressing helpers ---------------------------------------------------
+
+    /// Linearizes a 2-D index: `i * cols + j`.
+    pub fn idx2(&mut self, i: ValueId, cols: i64, j: ValueId) -> ValueId {
+        let c = self.i64(cols);
+        let t = self.imul(i, c);
+        self.iadd(t, j)
+    }
+
+    /// Linearizes a 3-D index: `(i * d1 + j) * d2 + k`.
+    pub fn idx3(&mut self, i: ValueId, d1: i64, j: ValueId, d2: i64, k: ValueId) -> ValueId {
+        let ij = self.idx2(i, d1, j);
+        self.idx2(ij, d2, k)
+    }
+
+    /// `iv + c` for a constant `c`.
+    pub fn iadd_const(&mut self, a: ValueId, c: i64) -> ValueId {
+        let cv = self.i64(c);
+        self.iadd(a, cv)
+    }
+
+    // ---- memory -----------------------------------------------------------------
+
+    /// Loads `array[index]`.
+    pub fn load(&mut self, array: ArrayId, index: ValueId) -> ValueId {
+        self.push_inst(Op::Load(array), vec![index])
+            .expect("load defines a result")
+    }
+
+    /// Stores `array[index] = value`.
+    pub fn store(&mut self, array: ArrayId, index: ValueId, value: ValueId) {
+        self.push_inst(Op::Store(array), vec![index, value]);
+    }
+
+    /// Loads a one-element cell.
+    pub fn load_cell(&mut self, cell: ArrayId) -> ValueId {
+        let z = self.i64(0);
+        self.load(cell, z)
+    }
+
+    /// Stores into a one-element cell.
+    pub fn store_cell(&mut self, cell: ArrayId, value: ValueId) {
+        let z = self.i64(0);
+        self.store(cell, z, value);
+    }
+
+    /// Returns the id the next loop created through this builder will get.
+    pub fn next_loop_id(&self) -> LoopId {
+        LoopId::new(self.func.loops().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::ValueDef;
+
+    #[test]
+    fn constants_deduplicated() {
+        let mut b = FunctionBuilder::new("t");
+        let a = b.f64(1.5);
+        let c = b.f64(1.5);
+        assert_eq!(a, c);
+        let d = b.i64(3);
+        let e = b.i64(3);
+        assert_eq!(d, e);
+        assert_ne!(b.f64(2.0), a);
+    }
+
+    #[test]
+    fn nested_loops_structure() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 16, ArrayKind::InOut, Scalar::F64);
+        b.for_loop("i", 0, 4, |b, i| {
+            b.for_loop("j", 0, 4, |b, j| {
+                let idx = b.idx2(i, 4, j);
+                let v = b.load(x, idx);
+                let v2 = b.fmul(v, v);
+                b.store(x, idx, v2);
+            });
+        });
+        let f = b.finish();
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::For { body, .. } => {
+                assert_eq!(body.len(), 1);
+                assert!(matches!(body[0], Stmt::For { .. }));
+            }
+            other => panic!("expected loop, found {other:?}"),
+        }
+        assert_eq!(f.loops().len(), 2);
+    }
+
+    #[test]
+    fn cell_init_emits_store() {
+        let mut b = FunctionBuilder::new("t");
+        let c = b.cell_f64("acc", 1.0);
+        let f = b.finish();
+        assert_eq!(f.array(c).kind, ArrayKind::Temp);
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::Inst(i) => assert!(matches!(f.inst(*i).op, Op::Store(a) if a == c)),
+            other => panic!("expected store, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_zero_init_no_store() {
+        let mut b = FunctionBuilder::new("t");
+        let _ = b.cell_f64("acc", 0.0);
+        let f = b.finish();
+        assert!(f.body.is_empty());
+    }
+
+    #[test]
+    fn iv_defined_by_loop() {
+        let mut b = FunctionBuilder::new("t");
+        let mut captured = None;
+        b.for_loop("i", 0, 2, |_, i| captured = Some(i));
+        let f = b.finish();
+        let iv = captured.unwrap();
+        assert!(matches!(f.value(iv).def, ValueDef::Iv(_)));
+    }
+}

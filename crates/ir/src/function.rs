@@ -1,0 +1,467 @@
+//! The [`Function`] container: arrays, SSA values, instructions, loops and
+//! the structured statement tree.
+
+use crate::ids::{ArrayId, InstId, LoopId, ValueId};
+use crate::ops::Op;
+use crate::types::{Const, Scalar};
+
+/// The role an array (memory object) plays in a function.
+///
+/// The classification mirrors Figure 1.3 of the paper, which splits the
+/// reverse pass's working set into *inputs* (immutable state), *outputs*
+/// (mutable results), *tape* (SSA values passed FWD → REV) — plus the
+/// shadow (gradient) arrays the AD transform introduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// Read-only function input. The reverse pass may re-load from it
+    /// instead of taping (Enzyme's cache-avoidance heuristic).
+    Input,
+    /// Mutable function output.
+    Output,
+    /// Read-write function state.
+    InOut,
+    /// Function-local scratch, including one-element accumulator cells.
+    Temp,
+    /// A gradient-tape array introduced by `tapeflow-autodiff`.
+    ///
+    /// One array per taped SSA value yields Enzyme's struct-of-arrays
+    /// layout; Pass 1 of `tapeflow-core` merges these into
+    /// array-of-structs regions.
+    Tape,
+    /// A shadow (adjoint) array introduced by `tapeflow-autodiff`, e.g.
+    /// `d_x` for an active input `x`.
+    Shadow,
+}
+
+impl ArrayKind {
+    /// True for arrays the function body may not write to.
+    #[inline]
+    pub fn is_read_only(self) -> bool {
+        matches!(self, ArrayKind::Input)
+    }
+
+    /// True for gradient-tape arrays.
+    #[inline]
+    pub fn is_tape(self) -> bool {
+        matches!(self, ArrayKind::Tape)
+    }
+}
+
+/// Declaration of an array: a contiguous memory object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayDecl {
+    /// Human-readable name (`x`, `T0`, `d_w`, ...).
+    pub name: String,
+    /// Number of elements.
+    pub len: usize,
+    /// Role of the array.
+    pub kind: ArrayKind,
+    /// Element type.
+    pub elem: Scalar,
+}
+
+impl ArrayDecl {
+    /// Total size in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.len as u64 * self.elem.size_bytes()
+    }
+}
+
+/// How an SSA value comes into existence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueDef {
+    /// A compile-time constant.
+    Const(Const),
+    /// The induction variable of a loop.
+    Iv(LoopId),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// Type and definition of an SSA value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueInfo {
+    /// Scalar type of the value.
+    pub ty: Scalar,
+    /// Defining entity.
+    pub def: ValueDef,
+}
+
+/// A single instruction: opcode, operands, optional result value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inst {
+    /// The opcode.
+    pub op: Op,
+    /// Operand values; length must equal `op.arity()`.
+    pub args: Vec<ValueId>,
+    /// The defined value, if the op produces one.
+    pub result: Option<ValueId>,
+}
+
+/// A loop bound: either a compile-time constant or a value computed before
+/// the loop is entered (used by Pass 2's tiling for partial tiles).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Bound {
+    /// Compile-time-constant bound.
+    Const(i64),
+    /// Bound computed at runtime (an `i64` SSA value).
+    Value(ValueId),
+}
+
+impl From<i64> for Bound {
+    fn from(v: i64) -> Self {
+        Bound::Const(v)
+    }
+}
+
+impl From<ValueId> for Bound {
+    fn from(v: ValueId) -> Self {
+        Bound::Value(v)
+    }
+}
+
+impl Bound {
+    /// Returns the constant payload, if statically known.
+    #[inline]
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Bound::Const(c) => Some(c),
+            Bound::Value(_) => None,
+        }
+    }
+}
+
+/// Loop metadata. Iteration semantics: the induction variable starts at
+/// `start`; while `iv < end` (for `step > 0`) or `iv > end` (for
+/// `step < 0`), the body runs and `iv += step`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopInfo {
+    /// Debug name of the loop (`i`, `rev_i`, `i.tile`, ...).
+    pub name: String,
+    /// The induction variable value.
+    pub iv: ValueId,
+    /// Initial induction value.
+    pub start: Bound,
+    /// Exclusive terminal bound.
+    pub end: Bound,
+    /// Signed stride; must be non-zero.
+    pub step: i64,
+}
+
+impl LoopInfo {
+    /// Compile-time trip count, if both bounds are constants.
+    pub fn trip_count(&self) -> Option<u64> {
+        let (s, e) = (self.start.as_const()?, self.end.as_const()?);
+        Some(trip_count(s, e, self.step))
+    }
+}
+
+/// Trip count of a `(start, end, step)` loop under the IR's semantics.
+pub fn trip_count(start: i64, end: i64, step: i64) -> u64 {
+    assert!(step != 0, "loop step must be non-zero");
+    if step > 0 {
+        if end <= start {
+            0
+        } else {
+            ((end - start) as u64).div_ceil(step as u64)
+        }
+    } else if end >= start {
+        0
+    } else {
+        ((start - end) as u64).div_ceil(step.unsigned_abs())
+    }
+}
+
+/// A node of the structured statement tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Execute one instruction.
+    Inst(InstId),
+    /// A counted loop over `body`.
+    For {
+        /// Loop metadata index.
+        loop_id: LoopId,
+        /// Statements executed each iteration.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A function: the unit of compilation, differentiation and simulation.
+///
+/// Construct with [`crate::FunctionBuilder`]; compiler passes extend it
+/// through the `add_*` methods and rebuild [`Function::body`].
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    arrays: Vec<ArrayDecl>,
+    values: Vec<ValueInfo>,
+    insts: Vec<Inst>,
+    loops: Vec<LoopInfo>,
+    /// Top-level statement sequence.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Creates an empty function. Prefer [`crate::FunctionBuilder`].
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            arrays: Vec::new(),
+            values: Vec::new(),
+            insts: Vec::new(),
+            loops: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    // ---- read access -----------------------------------------------------
+
+    /// All array declarations, indexable by [`ArrayId`].
+    #[inline]
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Declaration of `id`.
+    #[inline]
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// All value infos, indexable by [`ValueId`].
+    #[inline]
+    pub fn values(&self) -> &[ValueInfo] {
+        &self.values
+    }
+
+    /// Info for value `id`.
+    #[inline]
+    pub fn value(&self, id: ValueId) -> ValueInfo {
+        self.values[id.index()]
+    }
+
+    /// All instructions, indexable by [`InstId`].
+    #[inline]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Instruction `id`.
+    #[inline]
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// All loop infos, indexable by [`LoopId`].
+    #[inline]
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// Loop metadata for `id`.
+    #[inline]
+    pub fn loop_info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// Iterator over array ids of a given kind.
+    pub fn arrays_of_kind(&self, kind: ArrayKind) -> impl Iterator<Item = ArrayId> + '_ {
+        self.arrays
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.kind == kind)
+            .map(|(i, _)| ArrayId::new(i))
+    }
+
+    /// Looks an array up by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(ArrayId::new)
+    }
+
+    // ---- construction / pass mutation -------------------------------------
+
+    /// Declares a new array and returns its id.
+    pub fn add_array(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        kind: ArrayKind,
+        elem: Scalar,
+    ) -> ArrayId {
+        let id = ArrayId::new(self.arrays.len());
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+            kind,
+            elem,
+        });
+        id
+    }
+
+    /// Interns a constant as a value (not deduplicated; the builder dedups).
+    pub fn add_const(&mut self, c: Const) -> ValueId {
+        let id = ValueId::new(self.values.len());
+        self.values.push(ValueInfo {
+            ty: c.scalar(),
+            def: ValueDef::Const(c),
+        });
+        id
+    }
+
+    /// Creates an instruction; allocates its result value when the op
+    /// produces one.
+    ///
+    /// `result_ty` is consulted only for context-typed ops
+    /// ([`Op::Load`]'s element type is derived from the array; for
+    /// [`Op::Select`] pass the branch type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != op.arity()`.
+    pub fn add_inst(&mut self, op: Op, args: Vec<ValueId>) -> (InstId, Option<ValueId>) {
+        assert_eq!(
+            args.len(),
+            op.arity(),
+            "wrong operand count for {}",
+            op.mnemonic()
+        );
+        let result_ty = match op.fixed_result() {
+            Some(t) => t,
+            None => match op {
+                Op::Load(a) => Some(self.arrays[a.index()].elem),
+                Op::Select => Some(self.values[args[1].index()].ty),
+                _ => unreachable!("only Load/Select are context-typed"),
+            },
+        };
+        let inst_id = InstId::new(self.insts.len());
+        let result = result_ty.map(|ty| {
+            let v = ValueId::new(self.values.len());
+            self.values.push(ValueInfo {
+                ty,
+                def: ValueDef::Inst(inst_id),
+            });
+            v
+        });
+        self.insts.push(Inst {
+            op,
+            args,
+            result,
+        });
+        (inst_id, result)
+    }
+
+    /// Creates a loop and its induction-variable value.
+    pub fn add_loop(
+        &mut self,
+        name: impl Into<String>,
+        start: Bound,
+        end: Bound,
+        step: i64,
+    ) -> (LoopId, ValueId) {
+        assert!(step != 0, "loop step must be non-zero");
+        let loop_id = LoopId::new(self.loops.len());
+        let iv = ValueId::new(self.values.len());
+        self.values.push(ValueInfo {
+            ty: Scalar::I64,
+            def: ValueDef::Iv(loop_id),
+        });
+        self.loops.push(LoopInfo {
+            name: name.into(),
+            iv,
+            start,
+            end,
+            step,
+        });
+        (loop_id, iv)
+    }
+
+    // ---- traversal helpers -------------------------------------------------
+
+    /// Visits every statement in program order, passing the loop-nest depth.
+    pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(&'a Stmt, usize)) {
+        fn walk<'a>(stmts: &'a [Stmt], depth: usize, f: &mut impl FnMut(&'a Stmt, usize)) {
+            for s in stmts {
+                f(s, depth);
+                if let Stmt::For { body, .. } = s {
+                    walk(body, depth + 1, f);
+                }
+            }
+        }
+        walk(&self.body, 0, &mut f);
+    }
+
+    /// Counts instructions of each opcode class (static, not dynamic).
+    pub fn static_inst_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Total bytes of all declared arrays of a given kind.
+    pub fn bytes_of_kind(&self, kind: ArrayKind) -> u64 {
+        self.arrays
+            .iter()
+            .filter(|a| a.kind == kind)
+            .map(|a| a.size_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(trip_count(0, 10, 1), 10);
+        assert_eq!(trip_count(0, 10, 3), 4);
+        assert_eq!(trip_count(9, -1, -1), 10);
+        assert_eq!(trip_count(9, -1, -3), 4);
+        assert_eq!(trip_count(5, 5, 1), 0);
+        assert_eq!(trip_count(5, 5, -1), 0);
+        assert_eq!(trip_count(5, 2, 1), 0);
+    }
+
+    #[test]
+    fn add_inst_allocates_result() {
+        let mut f = Function::new("t");
+        let a = f.add_const(Const::F64(1.0));
+        let b = f.add_const(Const::F64(2.0));
+        let (_, r) = f.add_inst(Op::FAdd, vec![a, b]);
+        let r = r.unwrap();
+        assert_eq!(f.value(r).ty, Scalar::F64);
+        let arr = f.add_array("x", 4, ArrayKind::Input, Scalar::I64);
+        let i = f.add_const(Const::I64(0));
+        let (_, l) = f.add_inst(Op::Load(arr), vec![i]);
+        assert_eq!(f.value(l.unwrap()).ty, Scalar::I64);
+    }
+
+    #[test]
+    fn store_has_no_result() {
+        let mut f = Function::new("t");
+        let arr = f.add_array("x", 4, ArrayKind::Output, Scalar::F64);
+        let i = f.add_const(Const::I64(0));
+        let v = f.add_const(Const::F64(3.0));
+        let (_, r) = f.add_inst(Op::Store(arr), vec![i, v]);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong operand count")]
+    fn arity_checked() {
+        let mut f = Function::new("t");
+        let a = f.add_const(Const::F64(1.0));
+        let _ = f.add_inst(Op::FAdd, vec![a]);
+    }
+
+    #[test]
+    fn loop_iv_typed_i64() {
+        let mut f = Function::new("t");
+        let (l, iv) = f.add_loop("i", Bound::Const(0), Bound::Const(8), 1);
+        assert_eq!(f.value(iv).ty, Scalar::I64);
+        assert_eq!(f.loop_info(l).trip_count(), Some(8));
+    }
+}

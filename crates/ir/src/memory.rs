@@ -1,0 +1,283 @@
+//! Flat memory image backing a function's arrays.
+//!
+//! Arrays are laid out sequentially in a byte-addressed space, each aligned
+//! to a cache block, so the cache model in `tapeflow-sim` sees realistic
+//! addresses (and the struct-of-arrays vs array-of-structs layouts differ
+//! in block behaviour exactly as in the paper's Figure 2.5).
+
+use crate::function::Function;
+use crate::ids::ArrayId;
+use crate::types::{Scalar, Value};
+use std::fmt;
+
+/// Cache-block alignment for array base addresses, in bytes.
+pub const ARRAY_ALIGN: u64 = 64;
+
+/// Base of the DRAM address range. Non-zero so address 0 is never valid.
+pub const DRAM_BASE: u64 = 0x1000;
+
+/// Memory image: contents and base addresses for every array of a function.
+#[derive(Clone)]
+pub struct Memory {
+    names: Vec<String>,
+    tys: Vec<Scalar>,
+    bases: Vec<u64>,
+    data: Vec<Vec<u64>>,
+    end: u64,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("arrays", &self.names.len())
+            .field("bytes", &(self.end - DRAM_BASE))
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Builds a zero-initialized image with an address assignment for all
+    /// of `func`'s arrays.
+    pub fn for_function(func: &Function) -> Self {
+        let mut mem = Memory {
+            names: Vec::new(),
+            tys: Vec::new(),
+            bases: Vec::new(),
+            data: Vec::new(),
+            end: DRAM_BASE,
+        };
+        for a in func.arrays() {
+            mem.names.push(a.name.clone());
+            mem.tys.push(a.elem);
+            mem.bases.push(mem.end);
+            mem.data.push(vec![0u64; a.len]);
+            let sz = a.size_bytes();
+            mem.end += sz.div_ceil(ARRAY_ALIGN) * ARRAY_ALIGN;
+        }
+        mem
+    }
+
+    /// Number of arrays in the image.
+    pub fn array_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Byte address of `array[index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn addr_of(&self, array: ArrayId, index: usize) -> u64 {
+        let a = array.index();
+        assert!(
+            index < self.data[a].len(),
+            "address of {}[{index}] out of bounds (len {})",
+            self.names[a],
+            self.data[a].len()
+        );
+        self.bases[a] + (index as u64) * 8
+    }
+
+    /// Length (elements) of an array.
+    #[inline]
+    pub fn len_of(&self, array: ArrayId) -> usize {
+        self.data[array.index()].len()
+    }
+
+    /// Reads `array[index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds; callers in the executor bound-check first
+    /// to produce a proper error.
+    #[inline]
+    pub fn load(&self, array: ArrayId, index: usize) -> Value {
+        let a = array.index();
+        Value::from_bits(self.tys[a], self.data[a][index])
+    }
+
+    /// Writes `array[index] = value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn store(&mut self, array: ArrayId, index: usize, value: Value) {
+        let a = array.index();
+        self.data[a][index] = value.to_bits();
+    }
+
+    /// Replaces the contents of an `f64` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the array is not `f64`.
+    pub fn set_f64(&mut self, array: ArrayId, values: &[f64]) {
+        let a = array.index();
+        assert_eq!(self.tys[a], Scalar::F64, "{} is not f64", self.names[a]);
+        assert_eq!(
+            self.data[a].len(),
+            values.len(),
+            "length mismatch for {}",
+            self.names[a]
+        );
+        for (slot, v) in self.data[a].iter_mut().zip(values) {
+            *slot = v.to_bits();
+        }
+    }
+
+    /// Replaces the contents of an `i64` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or the array is not `i64`.
+    pub fn set_i64(&mut self, array: ArrayId, values: &[i64]) {
+        let a = array.index();
+        assert_eq!(self.tys[a], Scalar::I64, "{} is not i64", self.names[a]);
+        assert_eq!(
+            self.data[a].len(),
+            values.len(),
+            "length mismatch for {}",
+            self.names[a]
+        );
+        for (slot, v) in self.data[a].iter_mut().zip(values) {
+            *slot = *v as u64;
+        }
+    }
+
+    /// Copies an `f64` array out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not `f64`.
+    pub fn get_f64(&self, array: ArrayId) -> Vec<f64> {
+        let a = array.index();
+        assert_eq!(self.tys[a], Scalar::F64, "{} is not f64", self.names[a]);
+        self.data[a].iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Copies an `i64` array out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is not `i64`.
+    pub fn get_i64(&self, array: ArrayId) -> Vec<i64> {
+        let a = array.index();
+        assert_eq!(self.tys[a], Scalar::I64, "{} is not i64", self.names[a]);
+        self.data[a].iter().map(|&b| b as i64).collect()
+    }
+
+    /// Reads a single `f64` element.
+    pub fn get_f64_at(&self, array: ArrayId, index: usize) -> f64 {
+        self.load(array, index).expect_f64()
+    }
+
+    /// Writes a single `f64` element.
+    pub fn set_f64_at(&mut self, array: ArrayId, index: usize, v: f64) {
+        self.store(array, index, Value::F64(v));
+    }
+
+    /// Copies one array's contents from another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array's length or element type differ between the
+    /// two images.
+    pub fn clone_array_from(&mut self, src: &Memory, array: ArrayId) {
+        let a = array.index();
+        assert_eq!(self.tys[a], src.tys[a], "type mismatch for {}", self.names[a]);
+        assert_eq!(
+            self.data[a].len(),
+            src.data[a].len(),
+            "length mismatch for {}",
+            self.names[a]
+        );
+        self.data[a].copy_from_slice(&src.data[a]);
+    }
+
+    /// Name of an array (for diagnostics).
+    pub fn name_of(&self, array: ArrayId) -> &str {
+        &self.names[array.index()]
+    }
+
+    /// One past the highest assigned DRAM byte address.
+    pub fn end_addr(&self) -> u64 {
+        self.end
+    }
+
+    /// Zeroes every [`crate::ArrayKind::Shadow`], [`crate::ArrayKind::Tape`]
+    /// and [`crate::ArrayKind::Temp`] array — the state the gradient
+    /// function owns — so an image can be reused across runs.
+    pub fn reset_transient(&mut self, func: &Function) {
+        for (i, a) in func.arrays().iter().enumerate() {
+            use crate::function::ArrayKind::*;
+            if matches!(a.kind, Shadow | Tape | Temp) {
+                self.data[i].iter_mut().for_each(|b| *b = 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::ArrayKind;
+
+    fn two_array_fn() -> Function {
+        let mut b = FunctionBuilder::new("m");
+        let _x = b.array("x", 3, ArrayKind::Input, Scalar::F64);
+        let _n = b.array("n", 5, ArrayKind::Input, Scalar::I64);
+        b.finish()
+    }
+
+    #[test]
+    fn layout_is_block_aligned_and_disjoint() {
+        let f = two_array_fn();
+        let m = Memory::for_function(&f);
+        let x = ArrayId::new(0);
+        let n = ArrayId::new(1);
+        assert_eq!(m.addr_of(x, 0) % ARRAY_ALIGN, 0);
+        assert_eq!(m.addr_of(n, 0) % ARRAY_ALIGN, 0);
+        // 3 f64s round up to one 64B block.
+        assert_eq!(m.addr_of(n, 0), m.addr_of(x, 0) + 64);
+        assert_eq!(m.addr_of(x, 2), m.addr_of(x, 0) + 16);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let f = two_array_fn();
+        let mut m = Memory::for_function(&f);
+        let x = ArrayId::new(0);
+        let n = ArrayId::new(1);
+        m.set_f64(x, &[1.0, 2.0, 3.0]);
+        m.set_i64(n, &[9, 8, 7, 6, 5]);
+        assert_eq!(m.get_f64(x), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.get_i64(n), vec![9, 8, 7, 6, 5]);
+        m.set_f64_at(x, 1, -4.0);
+        assert_eq!(m.get_f64_at(x, 1), -4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not f64")]
+    fn type_confusion_panics() {
+        let f = two_array_fn();
+        let m = Memory::for_function(&f);
+        let _ = m.get_f64(ArrayId::new(1));
+    }
+
+    #[test]
+    fn reset_transient_clears_tape() {
+        let mut b = FunctionBuilder::new("m");
+        let x = b.array("x", 2, ArrayKind::Input, Scalar::F64);
+        let t = b.array("t", 2, ArrayKind::Tape, Scalar::F64);
+        let f = b.finish();
+        let mut m = Memory::for_function(&f);
+        m.set_f64(x, &[1.0, 1.0]);
+        m.set_f64(t, &[5.0, 5.0]);
+        m.reset_transient(&f);
+        assert_eq!(m.get_f64(t), vec![0.0, 0.0]);
+        assert_eq!(m.get_f64(x), vec![1.0, 1.0]);
+    }
+}

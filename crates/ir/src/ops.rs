@@ -1,0 +1,336 @@
+//! Instruction opcodes, their typing rules and scheduling classes.
+
+use crate::ids::ArrayId;
+use crate::types::Scalar;
+use std::fmt;
+
+/// Comparison predicates shared by [`Op::FCmp`] and [`Op::ICmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// Evaluates the predicate over a [`std::cmp::Ordering`]-like pair.
+    #[inline]
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Instruction opcodes.
+///
+/// The first groups mirror what a post-`-O3` LLVM function contains
+/// (floating-point dataflow plus integer address arithmetic). The last
+/// group — scratchpad and stream operations — is introduced by the
+/// Tapeflow passes (`tapeflow-core`) and corresponds to the paper's
+/// `SAlloc`, `TLoad`/`TStore`-to-scratchpad rewrites and the
+/// `FWD-Stream`/`REV-Stream` engine commands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    // ---- f64 arithmetic ------------------------------------------------
+    /// `f64` addition: `args = [a, b]`.
+    FAdd,
+    /// `f64` subtraction: `args = [a, b]`.
+    FSub,
+    /// `f64` multiplication: `args = [a, b]`.
+    FMul,
+    /// `f64` division: `args = [a, b]`.
+    FDiv,
+    /// `f64` minimum: `args = [a, b]`.
+    FMin,
+    /// `f64` maximum: `args = [a, b]`.
+    FMax,
+    /// `f64` negation: `args = [a]`.
+    FNeg,
+    /// `f64` absolute value: `args = [a]`.
+    FAbs,
+    /// Square root: `args = [a]`.
+    Sqrt,
+    /// Sine: `args = [a]`.
+    Sin,
+    /// Cosine: `args = [a]`.
+    Cos,
+    /// Natural exponential: `args = [a]`.
+    Exp,
+    /// Natural logarithm: `args = [a]`.
+    Ln,
+    /// Hyperbolic tangent: `args = [a]`.
+    Tanh,
+    /// Power: `args = [base, exponent]`, both `f64`.
+    FPow,
+    /// Float comparison producing `i64` 0/1: `args = [a, b]`.
+    FCmp(CmpKind),
+    /// Conditional select: `args = [cond (i64), if_true, if_false]`.
+    ///
+    /// The result type equals the type of `if_true`/`if_false` (which must
+    /// agree); this is how data-dependent dataflow (e.g. `pathfinder`'s
+    /// running minimum) is expressed without control divergence.
+    Select,
+
+    // ---- i64 arithmetic (address generation) ---------------------------
+    /// `i64` addition: `args = [a, b]`.
+    IAdd,
+    /// `i64` subtraction: `args = [a, b]`.
+    ISub,
+    /// `i64` multiplication: `args = [a, b]`.
+    IMul,
+    /// `i64` Euclidean-style truncated division: `args = [a, b]`.
+    IDiv,
+    /// `i64` remainder: `args = [a, b]`.
+    IRem,
+    /// `i64` minimum: `args = [a, b]`.
+    IMin,
+    /// `i64` maximum: `args = [a, b]`.
+    IMax,
+    /// Integer comparison producing `i64` 0/1: `args = [a, b]`.
+    ICmp(CmpKind),
+    /// Integer to float conversion: `args = [a]`.
+    IToF,
+    /// Float to integer conversion (round to nearest): `args = [a]`.
+    ///
+    /// Used when a reverse pass reloads an integer (e.g. a select
+    /// condition or an indirect index) from the `f64`-only tape.
+    FToI,
+
+    // ---- memory ---------------------------------------------------------
+    /// Load an element: `args = [index]`; result type is the array's
+    /// element type. Loads from [`crate::ArrayKind::Tape`] arrays are tape
+    /// reads (REV side).
+    Load(ArrayId),
+    /// Store an element: `args = [index, value]`; no result. Stores to
+    /// [`crate::ArrayKind::Tape`] arrays are tape writes (FWD side).
+    Store(ArrayId),
+
+    // ---- scratchpad & streams (inserted by tapeflow-core) ---------------
+    /// Allocate a region of `size` scratchpad entries at a layer head and
+    /// yield its base index (`i64`). `args = []`.
+    ///
+    /// The base is assigned statically by Pass 3 (`tapeflow-core`), which
+    /// alternates between double-buffer halves so a layer's stream can
+    /// overlap the next layer's compute.
+    SAlloc {
+        /// Number of 8 B scratchpad entries reserved for the layer.
+        size: u32,
+        /// Statically assigned base entry within the scratchpad.
+        base: u32,
+    },
+    /// Scratchpad load: `args = [entry_index]` (`i64`), result `f64`.
+    SpadLoad,
+    /// Scratchpad store: `args = [entry_index, value]`; no result.
+    SpadStore,
+    /// `FWD-Stream`: drain `args = [spad_base, elems]` scratchpad entries
+    /// to the tape `array` in DRAM starting at element `args[2]`.
+    ///
+    /// `args = [spad_base (i64), dram_elem_base (i64), elems (i64)]`.
+    StreamOut(ArrayId),
+    /// `REV-Stream`: fill scratchpad from the tape `array` in DRAM.
+    ///
+    /// `args = [spad_base (i64), dram_elem_base (i64), elems (i64)]`.
+    StreamIn(ArrayId),
+    /// Layer barrier: orders everything before it in program order ahead of
+    /// everything after it. `args = []`, no result.
+    Barrier,
+}
+
+/// Coarse scheduling class of an operation, used by the simulator to pick
+/// functional-unit pools, latencies and energy events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Short-latency floating-point ALU op (add/sub/neg/abs/min/max/select/cmp).
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Long-latency floating point (div/sqrt/transcendentals).
+    FpLong,
+    /// Integer / address-generation op.
+    Int,
+    /// Cache (DRAM-backed) load.
+    MemLoad,
+    /// Cache (DRAM-backed) store.
+    MemStore,
+    /// Scratchpad load.
+    SpadLoad,
+    /// Scratchpad store.
+    SpadStore,
+    /// Stream-engine command.
+    Stream,
+    /// Synchronization barrier or allocation pseudo-op.
+    Sync,
+}
+
+impl Op {
+    /// Number of value operands the op expects.
+    pub fn arity(&self) -> usize {
+        use Op::*;
+        match self {
+            FNeg | FAbs | Sqrt | Sin | Cos | Exp | Ln | Tanh | IToF | FToI => 1,
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FPow | IAdd | ISub | IMul | IDiv | IRem
+            | IMin | IMax => 2,
+            FCmp(_) | ICmp(_) => 2,
+            Select => 3,
+            Load(_) => 1,
+            Store(_) => 2,
+            SAlloc { .. } => 0,
+            SpadLoad => 1,
+            SpadStore => 2,
+            StreamOut(_) | StreamIn(_) => 3,
+            Barrier => 0,
+        }
+    }
+
+    /// Result type, or `None` for ops that produce nothing (stores,
+    /// streams, barriers). [`Op::Load`] and [`Op::Select`] are
+    /// context-typed and return `None` here; the verifier derives their
+    /// type from the array declaration / operand types.
+    pub fn fixed_result(&self) -> Option<Option<Scalar>> {
+        use Op::*;
+        match self {
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FNeg | FAbs | Sqrt | Sin | Cos | Exp
+            | Ln | Tanh | FPow | IToF | SpadLoad => Some(Some(Scalar::F64)),
+            FCmp(_) | ICmp(_) | IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | FToI
+            | SAlloc { .. } => Some(Some(Scalar::I64)),
+            Store(_) | SpadStore | StreamOut(_) | StreamIn(_) | Barrier => Some(None),
+            Load(_) | Select => None,
+        }
+    }
+
+    /// The scheduling class used by the simulator.
+    pub fn class(&self) -> OpClass {
+        use Op::*;
+        match self {
+            FAdd | FSub | FNeg | FAbs | FMin | FMax | FCmp(_) | Select | IToF | FToI => OpClass::FpAlu,
+            FMul => OpClass::FpMul,
+            FDiv | Sqrt | Sin | Cos | Exp | Ln | Tanh | FPow => OpClass::FpLong,
+            IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | ICmp(_) => OpClass::Int,
+            Load(_) => OpClass::MemLoad,
+            Store(_) => OpClass::MemStore,
+            SpadLoad => OpClass::SpadLoad,
+            SpadStore => OpClass::SpadStore,
+            StreamOut(_) | StreamIn(_) => OpClass::Stream,
+            SAlloc { .. } | Barrier => OpClass::Sync,
+        }
+    }
+
+    /// Whether the op touches an array in DRAM, and which one.
+    pub fn touched_array(&self) -> Option<ArrayId> {
+        match *self {
+            Op::Load(a) | Op::Store(a) | Op::StreamOut(a) | Op::StreamIn(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Short mnemonic used by the pretty-printer.
+    pub fn mnemonic(&self) -> String {
+        use Op::*;
+        match self {
+            FAdd => "fadd".into(),
+            FSub => "fsub".into(),
+            FMul => "fmul".into(),
+            FDiv => "fdiv".into(),
+            FMin => "fmin".into(),
+            FMax => "fmax".into(),
+            FNeg => "fneg".into(),
+            FAbs => "fabs".into(),
+            Sqrt => "sqrt".into(),
+            Sin => "sin".into(),
+            Cos => "cos".into(),
+            Exp => "exp".into(),
+            Ln => "ln".into(),
+            Tanh => "tanh".into(),
+            FPow => "fpow".into(),
+            FCmp(k) => format!("fcmp.{k}"),
+            Select => "select".into(),
+            IAdd => "iadd".into(),
+            ISub => "isub".into(),
+            IMul => "imul".into(),
+            IDiv => "idiv".into(),
+            IRem => "irem".into(),
+            IMin => "imin".into(),
+            IMax => "imax".into(),
+            ICmp(k) => format!("icmp.{k}"),
+            IToF => "itof".into(),
+            FToI => "ftoi".into(),
+            Load(a) => format!("load {a}"),
+            Store(a) => format!("store {a}"),
+            SAlloc { size, base } => format!("salloc {size} @{base}"),
+            SpadLoad => "spad.load".into(),
+            SpadStore => "spad.store".into(),
+            StreamOut(a) => format!("stream.out {a}"),
+            StreamIn(a) => format!("stream.in {a}"),
+            Barrier => "barrier".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_class() {
+        assert_eq!(Op::FAdd.arity(), 2);
+        assert_eq!(Op::Select.arity(), 3);
+        assert_eq!(Op::Load(ArrayId::new(0)).arity(), 1);
+        assert_eq!(Op::Store(ArrayId::new(0)).arity(), 2);
+        assert_eq!(Op::Barrier.arity(), 0);
+        assert_eq!(Op::StreamIn(ArrayId::new(1)).arity(), 3);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Op::FMul.class(), OpClass::FpMul);
+        assert_eq!(Op::Exp.class(), OpClass::FpLong);
+        assert_eq!(Op::IAdd.class(), OpClass::Int);
+        assert_eq!(Op::SpadLoad.class(), OpClass::SpadLoad);
+        assert_eq!(Op::Barrier.class(), OpClass::Sync);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpKind::Lt.eval(1.0, 2.0));
+        assert!(!CmpKind::Ge.eval(1, 2));
+        assert!(CmpKind::Ne.eval(1, 2));
+        assert!(CmpKind::Eq.eval(3, 3));
+    }
+
+    #[test]
+    fn touched_array() {
+        let a = ArrayId::new(5);
+        assert_eq!(Op::Load(a).touched_array(), Some(a));
+        assert_eq!(Op::FAdd.touched_array(), None);
+        assert_eq!(Op::StreamOut(a).touched_array(), Some(a));
+    }
+}

@@ -1,0 +1,517 @@
+//! Scalar optimizations: constant folding, local common-subexpression
+//! elimination and dead-code elimination.
+//!
+//! The paper assumes Enzyme operates on *post-optimized* LLVM-IR
+//! (`-O3 -mem2reg`); this module provides the equivalent clean-up for the
+//! in-tree IR so hand-built or machine-generated functions reach the AD
+//! front-end in the same shape. Run [`optimize`] **before**
+//! differentiating — the Tapeflow passes rely on the instruction ids
+//! recorded in [`tapeflow-autodiff`'s maps], which a later rewrite would
+//! invalidate.
+//!
+//! [`tapeflow-autodiff`'s maps]: crate::trace
+
+use crate::function::{Bound, Function, Stmt, ValueDef};
+use crate::ids::ValueId;
+use crate::ops::{Op, OpClass};
+use crate::types::Const;
+use std::collections::HashMap;
+
+/// Statistics from one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Instructions replaced by an earlier identical one.
+    pub cse_hits: usize,
+    /// Dead instructions removed.
+    pub dce_removed: usize,
+}
+
+/// Runs constant folding, local CSE and DCE until a fixpoint (at most a
+/// few rounds), returning the optimized function and statistics.
+pub fn optimize(func: &Function) -> (Function, OptStats) {
+    let mut stats = OptStats::default();
+    let mut current = fold_and_cse(func, &mut stats);
+    loop {
+        let before = current.insts().len();
+        current = eliminate_dead_code(&current, &mut stats);
+        let folded = fold_and_cse(&current, &mut stats);
+        if folded.insts().len() == before {
+            return (folded, stats);
+        }
+        current = folded;
+    }
+}
+
+/// True when the op has no side effects and no memory dependence
+/// (compute classes only; loads are excluded because memory may change).
+fn is_pure(op: &Op) -> bool {
+    matches!(
+        op.class(),
+        OpClass::FpAlu | OpClass::FpMul | OpClass::FpLong | OpClass::Int
+    )
+}
+
+fn eval_pure(op: &Op, args: &[Const]) -> Option<Const> {
+    use Const::{F64, I64};
+    let f = |i: usize| args[i].as_f64();
+    let g = |i: usize| args[i].as_i64();
+    Some(match op {
+        Op::FAdd => F64(f(0)? + f(1)?),
+        Op::FSub => F64(f(0)? - f(1)?),
+        Op::FMul => F64(f(0)? * f(1)?),
+        Op::FDiv => F64(f(0)? / f(1)?),
+        Op::FMin => F64(f(0)?.min(f(1)?)),
+        Op::FMax => F64(f(0)?.max(f(1)?)),
+        Op::FNeg => F64(-f(0)?),
+        Op::FAbs => F64(f(0)?.abs()),
+        Op::Sqrt => F64(f(0)?.sqrt()),
+        Op::Sin => F64(f(0)?.sin()),
+        Op::Cos => F64(f(0)?.cos()),
+        Op::Exp => F64(f(0)?.exp()),
+        Op::Ln => F64(f(0)?.ln()),
+        Op::Tanh => F64(f(0)?.tanh()),
+        Op::FPow => F64(f(0)?.powf(f(1)?)),
+        Op::FCmp(k) => I64(k.eval(f(0)?, f(1)?) as i64),
+        Op::ICmp(k) => I64(k.eval(g(0)?, g(1)?) as i64),
+        Op::IAdd => I64(g(0)?.wrapping_add(g(1)?)),
+        Op::ISub => I64(g(0)?.wrapping_sub(g(1)?)),
+        Op::IMul => I64(g(0)?.wrapping_mul(g(1)?)),
+        Op::IDiv => {
+            let d = g(1)?;
+            if d == 0 {
+                return None;
+            }
+            I64(g(0)?.wrapping_div(d))
+        }
+        Op::IRem => {
+            let d = g(1)?;
+            if d == 0 {
+                return None;
+            }
+            I64(g(0)?.wrapping_rem(d))
+        }
+        Op::IMin => I64(g(0)?.min(g(1)?)),
+        Op::IMax => I64(g(0)?.max(g(1)?)),
+        Op::IToF => F64(g(0)? as f64),
+        Op::FToI => I64(f(0)?.round() as i64),
+        Op::Select => {
+            if g(0)? != 0 {
+                args[1]
+            } else {
+                args[2]
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Key for local value numbering: opcode discriminator + canonical args.
+fn cse_key(op: &Op, args: &[ValueId]) -> Option<(String, Vec<u32>)> {
+    if !is_pure(op) {
+        return None;
+    }
+    let mut a: Vec<u32> = args.iter().map(|v| v.index() as u32).collect();
+    // Commutative ops get canonical operand order.
+    if matches!(
+        op,
+        Op::FAdd | Op::FMul | Op::FMin | Op::FMax | Op::IAdd | Op::IMul | Op::IMin | Op::IMax
+    ) {
+        a.sort_unstable();
+    }
+    Some((op.mnemonic(), a))
+}
+
+struct Rebuild<'a> {
+    src: &'a Function,
+    g: Function,
+    vmap: Vec<Option<ValueId>>,
+    consts: HashMap<(bool, u64), ValueId>,
+}
+
+impl Rebuild<'_> {
+    fn intern(&mut self, c: Const) -> ValueId {
+        let key = match c {
+            Const::F64(v) => (true, v.to_bits()),
+            Const::I64(v) => (false, v as u64),
+        };
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.g.add_const(c);
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn map_val(&mut self, v: ValueId) -> ValueId {
+        match self.src.value(v).def {
+            ValueDef::Const(c) => self.intern(c),
+            _ => self.vmap[v.index()].expect("value mapped before use"),
+        }
+    }
+
+    fn const_of(&self, v: ValueId) -> Option<Const> {
+        // After mapping, look at the *destination* value's def.
+        match self.g.value(v).def {
+            ValueDef::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+fn fold_and_cse(func: &Function, stats: &mut OptStats) -> Function {
+    fn walk(
+        r: &mut Rebuild<'_>,
+        stmts: &[Stmt],
+        out: &mut Vec<Stmt>,
+        // Value-numbering table for the current straight-line scope; keys
+        // from enclosing scopes stay valid (dominance), so we thread one
+        // table and record insertion points to roll back on scope exit.
+        table: &mut HashMap<(String, Vec<u32>), ValueId>,
+        stats: &mut OptStats,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::For { loop_id, body } => {
+                    let info = r.src.loop_info(*loop_id).clone();
+                    let start = match info.start {
+                        Bound::Const(c) => Bound::Const(c),
+                        Bound::Value(v) => Bound::Value(r.map_val(v)),
+                    };
+                    let end = match info.end {
+                        Bound::Const(c) => Bound::Const(c),
+                        Bound::Value(v) => Bound::Value(r.map_val(v)),
+                    };
+                    let (nlid, niv) = r.g.add_loop(info.name.clone(), start, end, info.step);
+                    r.vmap[info.iv.index()] = Some(niv);
+                    let mut inner = Vec::new();
+                    // A fresh table scope: values defined inside the loop
+                    // must not leak to later statements, and loop-variant
+                    // redefinitions must not alias across iterations (keys
+                    // involving the new iv are unique per loop).
+                    let mut scoped = table.clone();
+                    walk(r, body, &mut inner, &mut scoped, stats);
+                    out.push(Stmt::For {
+                        loop_id: nlid,
+                        body: inner,
+                    });
+                }
+                Stmt::Inst(id) => {
+                    let inst = r.src.inst(*id).clone();
+                    let args: Vec<ValueId> = inst.args.iter().map(|a| r.map_val(*a)).collect();
+                    // Fold when every operand is a constant.
+                    if let (Some(result), true) = (inst.result, is_pure(&inst.op)) {
+                        let cargs: Option<Vec<Const>> =
+                            args.iter().map(|&a| r.const_of(a)).collect();
+                        if let Some(cargs) = cargs {
+                            if let Some(c) = eval_pure(&inst.op, &cargs) {
+                                let v = r.intern(c);
+                                r.vmap[result.index()] = Some(v);
+                                stats.folded += 1;
+                                continue;
+                            }
+                        }
+                        // CSE.
+                        if let Some(key) = cse_key(&inst.op, &args) {
+                            if let Some(&prev) = table.get(&key) {
+                                r.vmap[result.index()] = Some(prev);
+                                stats.cse_hits += 1;
+                                continue;
+                            }
+                            let (nid, res) = r.g.add_inst(inst.op, args);
+                            out.push(Stmt::Inst(nid));
+                            let res = res.expect("pure op result");
+                            r.vmap[result.index()] = Some(res);
+                            table.insert(key, res);
+                            continue;
+                        }
+                    }
+                    let (nid, res) = r.g.add_inst(inst.op, args);
+                    out.push(Stmt::Inst(nid));
+                    if let (Some(r0), Some(nr)) = (inst.result, res) {
+                        r.vmap[r0.index()] = Some(nr);
+                    }
+                }
+            }
+        }
+    }
+    let mut g = Function::new(func.name.clone());
+    for a in func.arrays() {
+        g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+    }
+    let mut r = Rebuild {
+        src: func,
+        g,
+        vmap: vec![None; func.values().len()],
+        consts: HashMap::new(),
+    };
+    let mut out = Vec::new();
+    let mut table = HashMap::new();
+    walk(&mut r, &func.body, &mut out, &mut table, stats);
+    r.g.body = out;
+    r.g
+}
+
+fn eliminate_dead_code(func: &Function, stats: &mut OptStats) -> Function {
+    // Liveness: side-effecting instructions are roots; mark their operand
+    // chains (and loop bound values) live.
+    let mut live_val = vec![false; func.values().len()];
+    let mut live_inst = vec![false; func.insts().len()];
+    let mut work: Vec<ValueId> = Vec::new();
+    for (i, inst) in func.insts().iter().enumerate() {
+        let side_effect = matches!(
+            inst.op.class(),
+            OpClass::MemStore | OpClass::Stream | OpClass::Sync | OpClass::SpadStore
+        );
+        if side_effect {
+            live_inst[i] = true;
+            work.extend(&inst.args);
+        }
+    }
+    for l in func.loops() {
+        for b in [l.start, l.end] {
+            if let Bound::Value(v) = b {
+                work.push(v);
+            }
+        }
+    }
+    while let Some(v) = work.pop() {
+        if live_val[v.index()] {
+            continue;
+        }
+        live_val[v.index()] = true;
+        if let ValueDef::Inst(i) = func.value(v).def {
+            if !live_inst[i.index()] {
+                live_inst[i.index()] = true;
+                work.extend(&func.inst(i).args);
+            }
+        }
+    }
+    // Loads are kept when live; dead loads go (they have no side effect).
+    fn rebuild(
+        r: &mut Rebuild<'_>,
+        stmts: &[Stmt],
+        live_inst: &[bool],
+        out: &mut Vec<Stmt>,
+        removed: &mut usize,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(id) => {
+                    if !live_inst[id.index()] {
+                        *removed += 1;
+                        continue;
+                    }
+                    let inst = r.src.inst(*id).clone();
+                    let args: Vec<ValueId> = inst.args.iter().map(|a| r.map_val(*a)).collect();
+                    let (nid, res) = r.g.add_inst(inst.op, args);
+                    out.push(Stmt::Inst(nid));
+                    if let (Some(r0), Some(nr)) = (inst.result, res) {
+                        r.vmap[r0.index()] = Some(nr);
+                    }
+                }
+                Stmt::For { loop_id, body } => {
+                    let mut inner = Vec::new();
+                    let info = r.src.loop_info(*loop_id).clone();
+                    let start = match info.start {
+                        Bound::Const(c) => Bound::Const(c),
+                        Bound::Value(v) => Bound::Value(r.map_val(v)),
+                    };
+                    let end = match info.end {
+                        Bound::Const(c) => Bound::Const(c),
+                        Bound::Value(v) => Bound::Value(r.map_val(v)),
+                    };
+                    let (nlid, niv) = r.g.add_loop(info.name.clone(), start, end, info.step);
+                    r.vmap[info.iv.index()] = Some(niv);
+                    rebuild(r, body, live_inst, &mut inner, removed);
+                    if inner.is_empty() {
+                        *removed += 1; // drop empty loops entirely
+                        continue;
+                    }
+                    out.push(Stmt::For {
+                        loop_id: nlid,
+                        body: inner,
+                    });
+                }
+            }
+        }
+    }
+    let mut g = Function::new(func.name.clone());
+    for a in func.arrays() {
+        g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+    }
+    let mut r = Rebuild {
+        src: func,
+        g,
+        vmap: vec![None; func.values().len()],
+        consts: HashMap::new(),
+    };
+    let mut out = Vec::new();
+    let mut removed = 0;
+    rebuild(&mut r, &func.body, &live_inst, &mut out, &mut removed);
+    stats.dce_removed += removed;
+    r.g.body = out;
+    r.g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::ArrayKind;
+    use crate::memory::Memory;
+    use crate::types::Scalar;
+    use crate::ArrayId;
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut b = FunctionBuilder::new("fold");
+        let out = b.array("o", 1, ArrayKind::Output, Scalar::F64);
+        let two = b.f64(2.0);
+        let three = b.f64(3.0);
+        let five = b.fadd(two, three);
+        let ten = b.fmul(five, two);
+        b.store_cell(out, ten);
+        let f = b.finish();
+        let (g, stats) = optimize(&f);
+        crate::verify::verify(&g).unwrap();
+        assert_eq!(stats.folded, 2);
+        // Only the store and its index remain.
+        assert_eq!(g.insts().len(), 1);
+        let mut mem = Memory::for_function(&g);
+        crate::interp::run(&g, &mut mem).unwrap();
+        assert_eq!(mem.get_f64_at(ArrayId::new(0), 0), 10.0);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_index_math() {
+        let mut b = FunctionBuilder::new("cse");
+        let x = b.array("x", 16, ArrayKind::Input, Scalar::F64);
+        let o = b.array("o", 16, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 4, |b, i| {
+            b.for_loop("j", 0, 4, |b, j| {
+                let idx1 = b.idx2(i, 4, j);
+                let v = b.load(x, idx1);
+                let idx2 = b.idx2(i, 4, j); // duplicate of idx1
+                b.store(o, idx2, v);
+            });
+        });
+        let f = b.finish();
+        let (g, stats) = optimize(&f);
+        crate::verify::verify(&g).unwrap();
+        assert!(stats.cse_hits >= 2, "imul+iadd deduplicated: {stats:?}");
+        let mut mem = Memory::for_function(&g);
+        mem.set_f64(ArrayId::new(0), &(0..16).map(|i| i as f64).collect::<Vec<_>>());
+        crate::interp::run(&g, &mut mem).unwrap();
+        assert_eq!(
+            mem.get_f64(ArrayId::new(1)),
+            (0..16).map(|i| i as f64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cse_does_not_merge_loads() {
+        // Loads may observe different memory: never CSE'd.
+        let mut b = FunctionBuilder::new("loads");
+        let c = b.cell_f64("c", 1.0);
+        let o = b.array("o", 2, ArrayKind::Output, Scalar::F64);
+        let v1 = b.load_cell(c);
+        let two = b.f64(2.0);
+        b.store_cell(c, two);
+        let v2 = b.load_cell(c);
+        let z = b.i64(0);
+        let one = b.i64(1);
+        b.store(o, z, v1);
+        b.store(o, one, v2);
+        let f = b.finish();
+        let (g, _) = optimize(&f);
+        let mut mem = Memory::for_function(&g);
+        crate::interp::run(&g, &mut mem).unwrap();
+        assert_eq!(mem.get_f64(ArrayId::new(1)), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dce_removes_dead_chains_and_empty_loops() {
+        let mut b = FunctionBuilder::new("dce");
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let o = b.array("o", 1, ArrayKind::Output, Scalar::F64);
+        // Dead loop: loads and computes, stores nothing.
+        b.for_loop("dead", 0, 8, |b, i| {
+            let v = b.load(x, i);
+            let _ = b.exp(v);
+        });
+        let one = b.f64(1.0);
+        b.store_cell(o, one);
+        let f = b.finish();
+        let (g, stats) = optimize(&f);
+        crate::verify::verify(&g).unwrap();
+        assert!(stats.dce_removed >= 3, "{stats:?}");
+        assert!(
+            g.body.iter().all(|s| matches!(s, Stmt::Inst(_))),
+            "empty loop dropped from the body"
+        );
+    }
+
+    #[test]
+    fn loop_scoped_cse_does_not_leak() {
+        // A value computed from the iv inside one loop must not be reused
+        // in a sibling loop (different iv => different key, but also the
+        // scope table must roll back).
+        let mut b = FunctionBuilder::new("scope");
+        let o = b.array("o", 8, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 4, |b, i| {
+            let one = b.i64(1);
+            let j = b.iadd(i, one);
+            let fj = b.itof(j);
+            b.store(o, i, fj);
+        });
+        b.for_loop("k", 0, 4, |b, k| {
+            let one = b.i64(1);
+            let j = b.iadd(k, one);
+            let fj = b.itof(j);
+            let four = b.i64(4);
+            let idx = b.iadd(k, four);
+            b.store(o, idx, fj);
+        });
+        let f = b.finish();
+        let (g, _) = optimize(&f);
+        crate::verify::verify(&g).unwrap();
+        let mut mem = Memory::for_function(&g);
+        crate::interp::run(&g, &mut mem).unwrap();
+        assert_eq!(
+            mem.get_f64(ArrayId::new(0)),
+            vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_a_kernel() {
+        let mut b = FunctionBuilder::new("kern");
+        let x = b.array("x", 12, ArrayKind::Input, Scalar::F64);
+        let o = b.array("o", 12, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 12, |b, i| {
+            let v = b.load(x, i);
+            let two = b.f64(2.0);
+            let three = b.f64(3.0);
+            let six = b.fmul(two, three); // foldable
+            let t = b.fmul(v, six);
+            let dead = b.exp(t); // dead
+            let _ = dead;
+            let s = b.sin(t);
+            b.store(o, i, s);
+        });
+        let f = b.finish();
+        let (g, stats) = optimize(&f);
+        assert!(stats.folded >= 1 && stats.dce_removed >= 1);
+        let data: Vec<f64> = (0..12).map(|i| i as f64 * 0.13).collect();
+        let run = |f: &Function| {
+            let mut mem = Memory::for_function(f);
+            mem.set_f64(ArrayId::new(0), &data);
+            crate::interp::run(f, &mut mem).unwrap();
+            mem.get_f64(ArrayId::new(1))
+        };
+        assert_eq!(run(&f), run(&g));
+        assert!(g.insts().len() < f.insts().len());
+    }
+}

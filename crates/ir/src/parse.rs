@@ -1,0 +1,537 @@
+//! Textual IR parser — the inverse of [`crate::pretty`].
+//!
+//! The format is exactly what [`crate::pretty::pretty`] prints, so
+//! functions round-trip: write tests and fixtures as text, feed programs
+//! to the `tapeflow` CLI, or diff compiled output.
+//!
+//! ```text
+//! func @saxpy {
+//!   array @0 x : f64[8] (Input)
+//!   array @1 y : f64[8] (InOut)
+//!   for i in 0..8 step 1 {
+//!     %0 = load @0 i
+//!     %1 = load @1 i
+//!     %2 = fmul 2 %0
+//!     %3 = fadd %2 %1
+//!     store @1 i %3
+//!   }
+//! }
+//! ```
+//!
+//! Operands are `%N` (instruction results), loop names (induction
+//! variables), or literal constants (`2` is the `f64` 2.0, `2i` the
+//! `i64` 2).
+
+use crate::function::{ArrayKind, Bound, Function, Stmt};
+use crate::ids::{ArrayId, ValueId};
+use crate::ops::{CmpKind, Op};
+use crate::types::{Const, Scalar};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+struct Parser<'s> {
+    lines: Vec<(usize, &'s str)>,
+    pos: usize,
+    func: Function,
+    /// `%N` in the text → actual value id.
+    results: HashMap<u32, ValueId>,
+    /// open loop name → induction value (stacked by scope).
+    ivs: Vec<(String, ValueId)>,
+    consts: HashMap<(bool, u64), ValueId>,
+}
+
+impl<'s> Parser<'s> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        // `pos` has usually advanced past the offending line already.
+        let idx = self.pos.saturating_sub(1).min(self.lines.len().saturating_sub(1));
+        let line = self.lines.get(idx).map_or(0, |(n, _)| *n);
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&'s str> {
+        self.lines.get(self.pos).map(|(_, l)| *l)
+    }
+
+    fn next_line(&mut self) -> Option<&'s str> {
+        let l = self.peek()?;
+        self.pos += 1;
+        Some(l)
+    }
+
+    fn cf(&mut self, v: f64) -> ValueId {
+        let key = (true, v.to_bits());
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.func.add_const(Const::F64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn ci(&mut self, v: i64) -> ValueId {
+        let key = (false, v as u64);
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.func.add_const(Const::I64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn operand(&mut self, tok: &str) -> Result<ValueId, ParseError> {
+        if let Some(num) = tok.strip_prefix('%') {
+            let n: u32 = match num.parse() {
+                Ok(n) => n,
+                Err(_) => return self.err(format!("bad value reference {tok:?}")),
+            };
+            return match self.results.get(&n) {
+                Some(&v) => Ok(v),
+                None => self.err(format!("use of undefined value %{n}")),
+            };
+        }
+        if let Some((_, iv)) = self.ivs.iter().rev().find(|(name, _)| name == tok) {
+            return Ok(*iv);
+        }
+        if let Some(int) = tok.strip_suffix('i') {
+            if let Ok(v) = int.parse::<i64>() {
+                return Ok(self.ci(v));
+            }
+        }
+        if let Ok(v) = tok.parse::<f64>() {
+            return Ok(self.cf(v));
+        }
+        self.err(format!("unknown operand {tok:?}"))
+    }
+
+    fn array_ref(&mut self, tok: &str) -> Result<ArrayId, ParseError> {
+        let Some(num) = tok.strip_prefix('@') else {
+            return self.err(format!("expected array reference, found {tok:?}"));
+        };
+        let n: usize = match num.parse() {
+            Ok(n) => n,
+            Err(_) => return self.err(format!("bad array reference {tok:?}")),
+        };
+        if n >= self.func.arrays().len() {
+            return self.err(format!("array @{n} not declared"));
+        }
+        Ok(ArrayId::new(n))
+    }
+
+    fn parse_header(&mut self) -> Result<(), ParseError> {
+        let Some(line) = self.next_line() else {
+            return self.err("empty input");
+        };
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("func @") else {
+            return self.err("expected `func @<name> {`");
+        };
+        let Some(name) = rest.strip_suffix('{').map(str::trim) else {
+            return self.err("expected `{` after function name");
+        };
+        self.func.name = name.to_string();
+        Ok(())
+    }
+
+    fn parse_array_decl(&mut self, line: &str) -> Result<(), ParseError> {
+        // array @0 x : f64[8] (Input)
+        let rest = line.trim().strip_prefix("array ").expect("caller checked");
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        // toks: [@N, name, :, ty[len], (Kind)]
+        if toks.len() != 5 || toks[2] != ":" {
+            return self.err(format!("malformed array declaration {line:?}"));
+        }
+        let name = toks[1];
+        let tylen = toks[3];
+        let (ty, len) = if let Some(r) = tylen.strip_prefix("f64[") {
+            (Scalar::F64, r.strip_suffix(']'))
+        } else if let Some(r) = tylen.strip_prefix("i64[") {
+            (Scalar::I64, r.strip_suffix(']'))
+        } else {
+            return self.err(format!("bad element type in {tylen:?}"));
+        };
+        let Some(len) = len.and_then(|l| l.parse::<usize>().ok()) else {
+            return self.err(format!("bad array length in {tylen:?}"));
+        };
+        let kind = match toks[4].trim_start_matches('(').trim_end_matches(')') {
+            "Input" => ArrayKind::Input,
+            "Output" => ArrayKind::Output,
+            "InOut" => ArrayKind::InOut,
+            "Temp" => ArrayKind::Temp,
+            "Tape" => ArrayKind::Tape,
+            "Shadow" => ArrayKind::Shadow,
+            other => return self.err(format!("unknown array kind {other:?}")),
+        };
+        self.func.add_array(name, len, kind, ty);
+        Ok(())
+    }
+
+    fn parse_stmts(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        while let Some(raw) = self.peek() {
+            let line = raw.trim();
+            if line == "}" {
+                self.pos += 1;
+                return Ok(());
+            }
+            if line.is_empty() {
+                self.pos += 1;
+                continue;
+            }
+            if line.starts_with("for ") {
+                self.pos += 1;
+                self.parse_for(line, out)?;
+                continue;
+            }
+            self.pos += 1;
+            self.parse_inst(line, out)?;
+        }
+        self.err("unexpected end of input (missing `}`)")
+    }
+
+    fn parse_for(&mut self, line: &str, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        // for i in 0..8 step 1 {
+        let body_line = line
+            .strip_prefix("for ")
+            .and_then(|l| l.strip_suffix('{'))
+            .map(str::trim);
+        let Some(spec) = body_line else {
+            return self.err(format!("malformed for loop {line:?}"));
+        };
+        let toks: Vec<&str> = spec.split_whitespace().collect();
+        // [name, in, LO..HI, step, N]
+        if toks.len() != 5 || toks[1] != "in" || toks[3] != "step" {
+            return self.err(format!("malformed for loop {line:?}"));
+        }
+        let name = toks[0].to_string();
+        let Some((lo, hi)) = toks[2].split_once("..") else {
+            return self.err(format!("malformed loop range {:?}", toks[2]));
+        };
+        let bound = |p: &mut Self, tok: &str| -> Result<Bound, ParseError> {
+            if let Ok(c) = tok.parse::<i64>() {
+                Ok(Bound::Const(c))
+            } else {
+                Ok(Bound::Value(p.operand(tok)?))
+            }
+        };
+        let lo = bound(self, lo)?;
+        let hi = bound(self, hi)?;
+        let Ok(step) = toks[4].parse::<i64>() else {
+            return self.err(format!("bad loop step {:?}", toks[4]));
+        };
+        let (loop_id, iv) = self.func.add_loop(name.clone(), lo, hi, step);
+        self.ivs.push((name, iv));
+        let mut body = Vec::new();
+        self.parse_stmts(&mut body)?;
+        self.ivs.pop();
+        out.push(Stmt::For { loop_id, body });
+        Ok(())
+    }
+
+    fn parse_inst(&mut self, line: &str, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        // Optional `%N = ` prefix.
+        let (result_num, rest) = match line.split_once('=') {
+            Some((lhs, rhs)) if lhs.trim_start().starts_with('%') => {
+                let n: u32 = match lhs.trim().trim_start_matches('%').parse() {
+                    Ok(n) => n,
+                    Err(_) => return self.err(format!("bad result name {lhs:?}")),
+                };
+                (Some(n), rhs.trim())
+            }
+            _ => (None, line),
+        };
+        let mut toks = rest.split_whitespace();
+        let Some(mn) = toks.next() else {
+            return self.err("empty instruction");
+        };
+        let args: Vec<&str> = toks.collect();
+        let (op, operand_toks) = self.decode_op(mn, &args)?;
+        let mut vals = Vec::with_capacity(operand_toks.len());
+        for t in operand_toks {
+            vals.push(self.operand(t)?);
+        }
+        let (inst, res) = self.func.add_inst(op, vals);
+        out.push(Stmt::Inst(inst));
+        match (result_num, res) {
+            (Some(n), Some(v)) => {
+                self.results.insert(n, v);
+            }
+            (Some(_), None) => return self.err(format!("{mn} produces no result")),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Maps a mnemonic + raw args to an opcode and its operand tokens.
+    fn decode_op<'a>(
+        &mut self,
+        mn: &str,
+        args: &[&'a str],
+    ) -> Result<(Op, Vec<&'a str>), ParseError> {
+        use Op::*;
+        let cmp = |k: &str| -> Option<CmpKind> {
+            Some(match k {
+                "eq" => CmpKind::Eq,
+                "ne" => CmpKind::Ne,
+                "lt" => CmpKind::Lt,
+                "le" => CmpKind::Le,
+                "gt" => CmpKind::Gt,
+                "ge" => CmpKind::Ge,
+                _ => return None,
+            })
+        };
+        let simple = |op: Op| Ok((op, args.to_vec()));
+        match mn {
+            "fadd" => simple(FAdd),
+            "fsub" => simple(FSub),
+            "fmul" => simple(FMul),
+            "fdiv" => simple(FDiv),
+            "fmin" => simple(FMin),
+            "fmax" => simple(FMax),
+            "fneg" => simple(FNeg),
+            "fabs" => simple(FAbs),
+            "sqrt" => simple(Sqrt),
+            "sin" => simple(Sin),
+            "cos" => simple(Cos),
+            "exp" => simple(Exp),
+            "ln" => simple(Ln),
+            "tanh" => simple(Tanh),
+            "fpow" => simple(FPow),
+            "select" => simple(Select),
+            "iadd" => simple(IAdd),
+            "isub" => simple(ISub),
+            "imul" => simple(IMul),
+            "idiv" => simple(IDiv),
+            "irem" => simple(IRem),
+            "imin" => simple(IMin),
+            "imax" => simple(IMax),
+            "itof" => simple(IToF),
+            "ftoi" => simple(FToI),
+            "barrier" => simple(Barrier),
+            "spad.load" => simple(SpadLoad),
+            "spad.store" => simple(SpadStore),
+            "load" | "store" | "stream.out" | "stream.in" => {
+                let Some((&arr, rest)) = args.split_first() else {
+                    return self.err(format!("{mn} needs an array operand"));
+                };
+                let a = self.array_ref(arr)?;
+                let op = match mn {
+                    "load" => Load(a),
+                    "store" => Store(a),
+                    "stream.out" => StreamOut(a),
+                    _ => StreamIn(a),
+                };
+                Ok((op, rest.to_vec()))
+            }
+            "salloc" => {
+                // salloc SIZE @BASE
+                if args.len() != 2 {
+                    return self.err("salloc needs `<size> @<base>`");
+                }
+                let size: u32 = match args[0].parse() {
+                    Ok(s) => s,
+                    Err(_) => return self.err(format!("bad salloc size {:?}", args[0])),
+                };
+                let base: u32 = match args[1].trim_start_matches('@').parse() {
+                    Ok(b) => b,
+                    Err(_) => return self.err(format!("bad salloc base {:?}", args[1])),
+                };
+                Ok((SAlloc { size, base }, Vec::new()))
+            }
+            other => {
+                if let Some(k) = other.strip_prefix("fcmp.").and_then(cmp) {
+                    return simple(FCmp(k));
+                }
+                if let Some(k) = other.strip_prefix("icmp.").and_then(cmp) {
+                    return simple(ICmp(k));
+                }
+                self.err(format!("unknown mnemonic {other:?}"))
+            }
+        }
+    }
+}
+
+/// Parses a function in the [`crate::pretty`] text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line. The result is
+/// verified before being returned.
+pub fn parse(text: &str) -> Result<Function, ParseError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty() && !l.trim().starts_with("//"))
+        .collect();
+    let mut p = Parser {
+        lines,
+        pos: 0,
+        func: Function::new(""),
+        results: HashMap::new(),
+        ivs: Vec::new(),
+        consts: HashMap::new(),
+    };
+    p.parse_header()?;
+    // Array declarations come first.
+    while let Some(line) = p.peek() {
+        if line.trim().starts_with("array ") {
+            p.pos += 1;
+            p.parse_array_decl(line)?;
+        } else {
+            break;
+        }
+    }
+    let mut body = Vec::new();
+    p.parse_stmts(&mut body)?;
+    p.func.body = body;
+    if let Err(e) = crate::verify::verify(&p.func) {
+        return Err(ParseError {
+            line: 0,
+            message: format!("parsed function fails verification: {e}"),
+        });
+    }
+    Ok(p.func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::memory::Memory;
+    use crate::pretty::pretty;
+
+    const SAXPY: &str = r"func @saxpy {
+  array @0 x : f64[8] (Input)
+  array @1 y : f64[8] (InOut)
+  for i in 0..8 step 1 {
+    %0 = load @0 i
+    %1 = load @1 i
+    %2 = fmul 2 %0
+    %3 = fadd %2 %1
+    store @1 i %3
+  }
+}";
+
+    #[test]
+    fn parses_and_executes() {
+        let f = parse(SAXPY).unwrap();
+        assert_eq!(f.name, "saxpy");
+        let mut mem = Memory::for_function(&f);
+        mem.set_f64(ArrayId::new(0), &[1.0; 8]);
+        mem.set_f64(ArrayId::new(1), &[3.0; 8]);
+        crate::interp::run(&f, &mut mem).unwrap();
+        assert_eq!(mem.get_f64(ArrayId::new(1)), vec![5.0; 8]);
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip() {
+        let mut b = FunctionBuilder::new("rt");
+        let x = b.array("x", 6, ArrayKind::Input, Scalar::F64);
+        let idx = b.array("perm", 6, ArrayKind::Input, Scalar::I64);
+        let out = b.array("out", 6, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 6, |b, i| {
+            let j = b.load(idx, i);
+            let v = b.load(x, j);
+            let e = b.exp(v);
+            let t = b.tanh(e);
+            let c = b.fcmp(CmpKind::Gt, t, e);
+            let half = b.f64(0.5);
+            let sel = b.select(c, t, half);
+            b.store(out, i, sel);
+        });
+        let f = b.finish();
+        // Value numbering may shift once (the parser interns constants in
+        // encounter order), after which pretty → parse → pretty is a
+        // fixpoint.
+        let text1 = pretty(&f).to_string();
+        let text2 = pretty(&parse(&text1).unwrap()).to_string();
+        let text3 = pretty(&parse(&text2).unwrap()).to_string();
+        assert_eq!(text2, text3, "pretty → parse → pretty is a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_executes_identically() {
+        let mut b = FunctionBuilder::new("exec");
+        let x = b.array("x", 5, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        b.for_loop_step("i", 1i64, 5i64, 2, |b, i| {
+            let v = b.load(x, i);
+            let s = b.sin(v);
+            let c = b.load_cell(loss);
+            let a = b.fadd(c, s);
+            b.store_cell(loss, a);
+        });
+        let f = b.finish();
+        let g = parse(&pretty(&f).to_string()).unwrap();
+        let data = [0.3, 0.6, 0.9, 1.2, 1.5];
+        let run = |f: &Function| {
+            let mut mem = Memory::for_function(f);
+            mem.set_f64(ArrayId::new(0), &data);
+            crate::interp::run(f, &mut mem).unwrap();
+            mem.get_f64_at(ArrayId::new(1), 0)
+        };
+        assert_eq!(run(&f), run(&g));
+    }
+
+    #[test]
+    fn reports_undefined_value() {
+        let bad = "func @f {\n  %0 = fadd %7 %7\n}";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("undefined value"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic() {
+        let bad = "func @f {\n  %0 = warp 1 2\n}";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("unknown mnemonic"), "{err}");
+    }
+
+    #[test]
+    fn reports_missing_brace() {
+        let bad = "func @f {\n  barrier\n";
+        let err = parse(bad).unwrap_err();
+        assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn nested_loops_and_value_bounds() {
+        let text = r"func @n {
+  array @0 x : f64[16] (Input)
+  %0 = iadd 2i 2i
+  for i in 0..4 step 1 {
+    for j in 0..%0 step 1 {
+      %1 = imul i 4i
+      %2 = iadd %1 j
+      %3 = load @0 %2
+    }
+  }
+}";
+        let f = parse(text).unwrap();
+        assert_eq!(f.loops().len(), 2);
+        let mut mem = Memory::for_function(&f);
+        mem.set_f64(ArrayId::new(0), &[1.0; 16]);
+        assert!(crate::interp::run(&f, &mut mem).is_ok());
+    }
+}

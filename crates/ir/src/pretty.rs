@@ -1,0 +1,132 @@
+//! Human-readable printing of functions.
+
+use crate::function::{Bound, Function, Stmt, ValueDef};
+use crate::ids::ValueId;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Wrapper whose `Display` renders a function as pseudo-IR text.
+///
+/// ```rust
+/// # use tapeflow_ir::{FunctionBuilder, ArrayKind, Scalar};
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+/// b.for_loop("i", 0, 4, |b, i| { let _ = b.load(x, i); });
+/// let text = tapeflow_ir::pretty::pretty(&b.finish()).to_string();
+/// assert!(text.contains("for i"));
+/// ```
+pub fn pretty(func: &Function) -> Pretty<'_> {
+    Pretty { func }
+}
+
+/// See [`pretty`].
+#[derive(Debug)]
+pub struct Pretty<'f> {
+    func: &'f Function,
+}
+
+fn operand(func: &Function, v: ValueId) -> String {
+    match func.value(v).def {
+        ValueDef::Const(c) => c.to_string(),
+        ValueDef::Iv(l) => func.loop_info(l).name.clone(),
+        ValueDef::Inst(_) => v.to_string(),
+    }
+}
+
+fn bound(func: &Function, b: Bound) -> String {
+    match b {
+        Bound::Const(c) => c.to_string(),
+        Bound::Value(v) => operand(func, v),
+    }
+}
+
+fn write_stmts(
+    out: &mut String,
+    func: &Function,
+    stmts: &[Stmt],
+    indent: usize,
+) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Inst(id) => {
+                let inst = func.inst(*id);
+                write!(out, "{pad}")?;
+                if let Some(r) = inst.result {
+                    write!(out, "{r} = ")?;
+                }
+                write!(out, "{}", inst.op.mnemonic())?;
+                for a in &inst.args {
+                    write!(out, " {}", operand(func, *a))?;
+                }
+                writeln!(out)?;
+            }
+            Stmt::For { loop_id, body } => {
+                let info = func.loop_info(*loop_id);
+                writeln!(
+                    out,
+                    "{pad}for {} in {}..{} step {} {{",
+                    info.name,
+                    bound(func, info.start),
+                    bound(func, info.end),
+                    info.step
+                )?;
+                write_stmts(out, func, body, indent + 1)?;
+                writeln!(out, "{pad}}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let f = self.func;
+        writeln!(out, "func @{} {{", f.name)?;
+        for (i, a) in f.arrays().iter().enumerate() {
+            writeln!(
+                out,
+                "  array @{i} {} : {}[{}] ({:?})",
+                a.name, a.elem, a.len, a.kind
+            )?;
+        }
+        let mut body = String::new();
+        write_stmts(&mut body, f, &f.body, 1).map_err(|_| fmt::Error)?;
+        write!(out, "{body}")?;
+        writeln!(out, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::function::ArrayKind;
+    use crate::types::Scalar;
+
+    #[test]
+    fn renders_loops_and_ops() {
+        let mut b = FunctionBuilder::new("demo");
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", 8, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 8, |b, i| {
+            let v = b.load(x, i);
+            let w = b.fmul(v, v);
+            b.store(y, i, w);
+        });
+        let text = super::pretty(&b.finish()).to_string();
+        assert!(text.contains("func @demo"), "{text}");
+        assert!(text.contains("for i in 0..8 step 1"), "{text}");
+        assert!(text.contains("fmul"), "{text}");
+        assert!(text.contains("array @0 x : f64[8]"), "{text}");
+    }
+
+    #[test]
+    fn renders_constants_inline() {
+        let mut b = FunctionBuilder::new("c");
+        let two = b.f64(2.0);
+        let three = b.f64(3.0);
+        let _ = b.fadd(two, three);
+        let text = super::pretty(&b.finish()).to_string();
+        assert!(text.contains("fadd 2 3"), "{text}");
+    }
+}

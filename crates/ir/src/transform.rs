@@ -1,0 +1,294 @@
+//! Source-level transforms: loop unrolling.
+//!
+//! The paper's design-exploration experiments (Figures 4.8 and 4.10)
+//! control the unroll factor of a kernel's inner loop to trade layer
+//! depth against per-layer parallelism; [`unroll_loop`] provides that
+//! knob for any function with a statically counted loop.
+
+use crate::function::{Bound, Function, Stmt, ValueDef};
+use crate::ids::{LoopId, ValueId};
+use crate::ops::Op;
+use crate::types::Const;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`unroll_loop`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// The named loop does not exist.
+    UnknownLoop(String),
+    /// The loop's trip count is not a compile-time constant.
+    DynamicTrip(String),
+    /// The trip count is not divisible by the unroll factor.
+    NotDivisible {
+        /// Loop trip count.
+        trip: u64,
+        /// Requested factor.
+        factor: u64,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::UnknownLoop(n) => write!(f, "no loop named {n:?}"),
+            TransformError::DynamicTrip(n) => {
+                write!(f, "loop {n:?} has a dynamic trip count")
+            }
+            TransformError::NotDivisible { trip, factor } => {
+                write!(f, "trip count {trip} not divisible by unroll factor {factor}")
+            }
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+/// Finds a loop by its debug name.
+pub fn find_loop_by_name(func: &Function, name: &str) -> Option<LoopId> {
+    func.loops()
+        .iter()
+        .position(|l| l.name == name)
+        .map(LoopId::new)
+}
+
+struct Cloner<'a> {
+    src: &'a Function,
+    g: Function,
+    vmap: Vec<Option<ValueId>>,
+    consts: HashMap<(bool, u64), ValueId>,
+    target: LoopId,
+    factor: u64,
+}
+
+impl Cloner<'_> {
+    fn cf(&mut self, v: f64) -> ValueId {
+        let key = (true, v.to_bits());
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.g.add_const(Const::F64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn ci(&mut self, v: i64) -> ValueId {
+        let key = (false, v as u64);
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.g.add_const(Const::I64(v));
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn map_val(&mut self, v: ValueId) -> ValueId {
+        match self.src.value(v).def {
+            ValueDef::Const(Const::F64(c)) => self.cf(c),
+            ValueDef::Const(Const::I64(c)) => self.ci(c),
+            _ => self.vmap[v.index()].expect("value mapped before use"),
+        }
+    }
+
+    fn map_bound(&mut self, b: Bound) -> Bound {
+        match b {
+            Bound::Const(c) => Bound::Const(c),
+            Bound::Value(v) => Bound::Value(self.map_val(v)),
+        }
+    }
+
+    fn clone_inst(&mut self, id: crate::InstId, out: &mut Vec<Stmt>) {
+        let inst = self.src.inst(id).clone();
+        let args: Vec<ValueId> = inst.args.iter().map(|&a| self.map_val(a)).collect();
+        let (nid, res) = self.g.add_inst(inst.op, args);
+        out.push(Stmt::Inst(nid));
+        if let (Some(r0), Some(r)) = (inst.result, res) {
+            self.vmap[r0.index()] = Some(r);
+        }
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], out: &mut Vec<Stmt>) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(id) => self.clone_inst(*id, out),
+                Stmt::For { loop_id, body } => {
+                    if *loop_id == self.target {
+                        self.emit_unrolled(*loop_id, body, out);
+                    } else {
+                        let info = self.src.loop_info(*loop_id).clone();
+                        let start = self.map_bound(info.start);
+                        let end = self.map_bound(info.end);
+                        let (nlid, niv) =
+                            self.g.add_loop(info.name.clone(), start, end, info.step);
+                        self.vmap[info.iv.index()] = Some(niv);
+                        let mut inner = Vec::new();
+                        self.walk(body, &mut inner);
+                        out.push(Stmt::For {
+                            loop_id: nlid,
+                            body: inner,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_unrolled(&mut self, loop_id: LoopId, body: &[Stmt], out: &mut Vec<Stmt>) {
+        let info = self.src.loop_info(loop_id).clone();
+        let (nlid, niv) = self.g.add_loop(
+            format!("{}.u{}", info.name, self.factor),
+            info.start,
+            info.end,
+            info.step * self.factor as i64,
+        );
+        let mut inner = Vec::new();
+        for k in 0..self.factor {
+            let iv_k = if k == 0 {
+                niv
+            } else {
+                let off = self.ci(k as i64 * info.step);
+                let (iid, r) = self.g.add_inst(Op::IAdd, vec![niv, off]);
+                inner.push(Stmt::Inst(iid));
+                r.expect("iadd result")
+            };
+            self.vmap[info.iv.index()] = Some(iv_k);
+            // Each copy clones the body fresh; values defined inside get
+            // new ids per copy (their vmap entries are overwritten, which
+            // is safe because uses cannot escape the copy).
+            self.walk(body, &mut inner);
+        }
+        out.push(Stmt::For {
+            loop_id: nlid,
+            body: inner,
+        });
+    }
+}
+
+/// Unrolls the loop named `loop_name` by `factor`, returning a new
+/// function. `factor == 1` returns a plain clone.
+///
+/// # Errors
+///
+/// See [`TransformError`]. The trip count must be static and divisible by
+/// `factor`.
+pub fn unroll_loop(
+    func: &Function,
+    loop_name: &str,
+    factor: u64,
+) -> Result<Function, TransformError> {
+    assert!(factor >= 1, "unroll factor must be positive");
+    let target = find_loop_by_name(func, loop_name)
+        .ok_or_else(|| TransformError::UnknownLoop(loop_name.to_string()))?;
+    let info = func.loop_info(target);
+    let trip = info
+        .trip_count()
+        .ok_or_else(|| TransformError::DynamicTrip(loop_name.to_string()))?;
+    if trip % factor != 0 {
+        return Err(TransformError::NotDivisible { trip, factor });
+    }
+    let mut cloner = Cloner {
+        src: func,
+        g: Function::new(format!("{}_u{}", func.name, factor)),
+        vmap: vec![None; func.values().len()],
+        consts: HashMap::new(),
+        target,
+        factor,
+    };
+    for a in func.arrays() {
+        cloner.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+    }
+    let body = func.body.clone();
+    let mut out = Vec::new();
+    cloner.walk(&body, &mut out);
+    cloner.g.body = out;
+    Ok(cloner.g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::ArrayKind;
+    use crate::memory::Memory;
+    use crate::types::Scalar;
+
+    fn sum_squares(n: usize) -> (Function, crate::ArrayId, crate::ArrayId) {
+        let mut b = FunctionBuilder::new("ss");
+        let x = b.array("x", n, ArrayKind::Input, Scalar::F64);
+        let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, n as i64, |b, i| {
+            let v = b.load(x, i);
+            let sq = b.fmul(v, v);
+            let c = b.load_cell(loss);
+            let s = b.fadd(c, sq);
+            b.store_cell(loss, s);
+        });
+        (b.finish(), x, loss)
+    }
+
+    #[test]
+    fn unrolled_function_computes_the_same() {
+        let n = 12;
+        let (f, x, loss) = sum_squares(n);
+        for factor in [1u64, 2, 3, 4, 6] {
+            let u = unroll_loop(&f, "i", factor).unwrap();
+            crate::verify::verify(&u).unwrap();
+            let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+            let mut m0 = Memory::for_function(&f);
+            m0.set_f64(x, &data);
+            crate::interp::run(&f, &mut m0).unwrap();
+            let mut m1 = Memory::for_function(&u);
+            m1.set_f64(x, &data);
+            crate::interp::run(&u, &mut m1).unwrap();
+            assert_eq!(
+                m0.get_f64_at(loss, 0),
+                m1.get_f64_at(loss, 0),
+                "factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn body_is_replicated() {
+        let (f, _, _) = sum_squares(8);
+        let u = unroll_loop(&f, "i", 4).unwrap();
+        // 4 copies of (load, fmul, load, fadd, store) + 3 iv adds.
+        let base_insts = f.insts().len();
+        assert!(u.insts().len() >= base_insts * 3);
+        let l = find_loop_by_name(&u, "i.u4").unwrap();
+        assert_eq!(u.loop_info(l).step, 4);
+    }
+
+    #[test]
+    fn indivisible_factor_rejected() {
+        let (f, _, _) = sum_squares(10);
+        assert_eq!(
+            unroll_loop(&f, "i", 4).err(),
+            Some(TransformError::NotDivisible { trip: 10, factor: 4 })
+        );
+        assert!(matches!(
+            unroll_loop(&f, "nope", 2),
+            Err(TransformError::UnknownLoop(_))
+        ));
+    }
+
+    #[test]
+    fn unrolled_gradient_still_checks() {
+        // Differentiating the unrolled function must give the same
+        // gradients (unrolling is semantics-preserving).
+        let n = 8;
+        let (f, x, loss) = sum_squares(n);
+        let u = unroll_loop(&f, "i", 4).unwrap();
+        let mut mem = Memory::for_function(&f);
+        mem.set_f64(x, &[0.1, 0.4, -0.7, 1.1, 0.0, -0.3, 0.9, 0.5]);
+        // Interpret both; no AD dependency from this crate (checked in
+        // integration tests); compare forward values only here.
+        let mut m1 = mem.clone();
+        crate::interp::run(&f, &mut m1).unwrap();
+        let mut m2 = Memory::for_function(&u);
+        m2.set_f64(x, &[0.1, 0.4, -0.7, 1.1, 0.0, -0.3, 0.9, 0.5]);
+        crate::interp::run(&u, &mut m2).unwrap();
+        assert_eq!(m1.get_f64_at(loss, 0), m2.get_f64_at(loss, 0));
+    }
+}

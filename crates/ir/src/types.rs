@@ -1,0 +1,203 @@
+//! Scalar types and constants.
+
+use std::fmt;
+
+/// The scalar types the IR computes with.
+///
+/// The paper's accelerator is a double-precision CGRA; `I64` exists for
+/// index arithmetic, loop induction variables and indirect-index arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scalar {
+    /// Double-precision float — the datatype of all tape values.
+    F64,
+    /// 64-bit signed integer — indices and comparison results (0/1).
+    I64,
+}
+
+impl Scalar {
+    /// Size of one element of this type in bytes.
+    ///
+    /// Both scalars are 8 bytes wide, matching the paper's 8 B tape and
+    /// scratchpad entries.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        8
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::F64 => write!(f, "f64"),
+            Scalar::I64 => write!(f, "i64"),
+        }
+    }
+}
+
+/// A compile-time constant value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Const {
+    /// An `f64` constant.
+    F64(f64),
+    /// An `i64` constant.
+    I64(i64),
+}
+
+impl Const {
+    /// The scalar type of the constant.
+    #[inline]
+    pub fn scalar(self) -> Scalar {
+        match self {
+            Const::F64(_) => Scalar::F64,
+            Const::I64(_) => Scalar::I64,
+        }
+    }
+
+    /// Returns the `f64` payload, if this is a float constant.
+    #[inline]
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Const::F64(v) => Some(v),
+            Const::I64(_) => None,
+        }
+    }
+
+    /// Returns the `i64` payload, if this is an integer constant.
+    #[inline]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Const::I64(v) => Some(v),
+            Const::F64(_) => None,
+        }
+    }
+}
+
+impl From<f64> for Const {
+    fn from(v: f64) -> Self {
+        Const::F64(v)
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::I64(v)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::F64(v) => write!(f, "{v}"),
+            Const::I64(v) => write!(f, "{v}i"),
+        }
+    }
+}
+
+/// A runtime scalar value flowing through the interpreter and tracer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// An `f64` runtime value.
+    F64(f64),
+    /// An `i64` runtime value.
+    I64(i64),
+}
+
+impl Value {
+    /// The scalar type of the value.
+    #[inline]
+    pub fn scalar(self) -> Scalar {
+        match self {
+            Value::F64(_) => Scalar::F64,
+            Value::I64(_) => Scalar::I64,
+        }
+    }
+
+    /// Extracts the float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer; the verifier rules this out for
+    /// well-typed functions.
+    #[inline]
+    pub fn expect_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            Value::I64(v) => panic!("expected f64 value, found i64 {v}"),
+        }
+    }
+
+    /// Extracts the integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float; the verifier rules this out for
+    /// well-typed functions.
+    #[inline]
+    pub fn expect_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            Value::F64(v) => panic!("expected i64 value, found f64 {v}"),
+        }
+    }
+
+    /// Reinterprets the value as raw bits (for memory storage).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::F64(v) => v.to_bits(),
+            Value::I64(v) => v as u64,
+        }
+    }
+
+    /// Rebuilds a value of type `ty` from raw bits.
+    #[inline]
+    pub fn from_bits(ty: Scalar, bits: u64) -> Self {
+        match ty {
+            Scalar::F64 => Value::F64(f64::from_bits(bits)),
+            Scalar::I64 => Value::I64(bits as i64),
+        }
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Self {
+        match c {
+            Const::F64(v) => Value::F64(v),
+            Const::I64(v) => Value::I64(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_accessors() {
+        assert_eq!(Const::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Const::F64(1.5).as_i64(), None);
+        assert_eq!(Const::I64(-3).as_i64(), Some(-3));
+        assert_eq!(Const::from(2.0).scalar(), Scalar::F64);
+        assert_eq!(Const::from(2i64).scalar(), Scalar::I64);
+    }
+
+    #[test]
+    fn value_bits_roundtrip() {
+        for v in [Value::F64(-0.25), Value::I64(i64::MIN), Value::F64(f64::NAN)] {
+            let back = Value::from_bits(v.scalar(), v.to_bits());
+            match (v, back) {
+                (Value::F64(a), Value::F64(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Const::F64(2.5).to_string(), "2.5");
+        assert_eq!(Const::I64(7).to_string(), "7i");
+        assert_eq!(Scalar::F64.to_string(), "f64");
+    }
+}

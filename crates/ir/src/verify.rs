@@ -1,0 +1,337 @@
+//! Structural and type verification of functions.
+//!
+//! Passes re-verify after rewriting; tests lean on this heavily.
+
+use crate::function::{Bound, Function, Stmt, ValueDef};
+use crate::ids::{InstId, ValueId};
+use crate::ops::Op;
+use crate::types::Scalar;
+use std::error::Error;
+use std::fmt;
+
+/// An error found by [`verify`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// A value is used before (or without) being defined in program order.
+    UseBeforeDef {
+        /// The offending value.
+        value: ValueId,
+        /// The instruction using it.
+        inst: InstId,
+    },
+    /// An operand has the wrong scalar type.
+    TypeMismatch {
+        /// The instruction.
+        inst: InstId,
+        /// Operand position.
+        operand: usize,
+        /// Expected type.
+        expected: Scalar,
+        /// Found type.
+        found: Scalar,
+    },
+    /// An instruction's operand count does not match its opcode arity.
+    BadArity {
+        /// The instruction.
+        inst: InstId,
+    },
+    /// An instruction appears more than once in the statement tree.
+    DuplicateInst(InstId),
+    /// An instruction exists in the table but never appears in the body.
+    UnreachableInst(InstId),
+    /// A loop bound value is not `i64` or not defined before the loop.
+    BadLoopBound {
+        /// Name of the loop.
+        loop_name: String,
+    },
+    /// Select branches disagree in type.
+    SelectBranchMismatch(InstId),
+    /// A store writes to a read-only ([`crate::ArrayKind::Input`]) array.
+    StoreToReadOnly(InstId),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UseBeforeDef { value, inst } => {
+                write!(f, "value {value} used by {inst} before definition")
+            }
+            VerifyError::TypeMismatch {
+                inst,
+                operand,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operand {operand} of {inst} has type {found}, expected {expected}"
+            ),
+            VerifyError::BadArity { inst } => write!(f, "operand count mismatch at {inst}"),
+            VerifyError::DuplicateInst(i) => write!(f, "instruction {i} scheduled twice"),
+            VerifyError::UnreachableInst(i) => write!(f, "instruction {i} never scheduled"),
+            VerifyError::BadLoopBound { loop_name } => {
+                write!(f, "loop {loop_name} has an ill-typed or undefined bound")
+            }
+            VerifyError::SelectBranchMismatch(i) => {
+                write!(f, "select {i} branch types disagree")
+            }
+            VerifyError::StoreToReadOnly(i) => {
+                write!(f, "store {i} writes to a read-only input array")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+struct Checker<'f> {
+    func: &'f Function,
+    defined: Vec<bool>,
+    seen_inst: Vec<bool>,
+}
+
+impl<'f> Checker<'f> {
+    fn require_defined(&self, v: ValueId, inst: InstId) -> Result<(), VerifyError> {
+        if self.defined[v.index()] {
+            Ok(())
+        } else {
+            Err(VerifyError::UseBeforeDef { value: v, inst })
+        }
+    }
+
+    fn require_ty(
+        &self,
+        inst: InstId,
+        operand: usize,
+        v: ValueId,
+        expected: Scalar,
+    ) -> Result<(), VerifyError> {
+        let found = self.func.value(v).ty;
+        if found == expected {
+            Ok(())
+        } else {
+            Err(VerifyError::TypeMismatch {
+                inst,
+                operand,
+                expected,
+                found,
+            })
+        }
+    }
+
+    fn check_inst(&mut self, id: InstId) -> Result<(), VerifyError> {
+        if self.seen_inst[id.index()] {
+            return Err(VerifyError::DuplicateInst(id));
+        }
+        self.seen_inst[id.index()] = true;
+        let inst = self.func.inst(id);
+        if inst.args.len() != inst.op.arity() {
+            return Err(VerifyError::BadArity { inst: id });
+        }
+        for &a in &inst.args {
+            self.require_defined(a, id)?;
+        }
+        use Op::*;
+        let f = Scalar::F64;
+        let i = Scalar::I64;
+        match inst.op {
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FPow => {
+                self.require_ty(id, 0, inst.args[0], f)?;
+                self.require_ty(id, 1, inst.args[1], f)?;
+            }
+            FNeg | FAbs | Sqrt | Sin | Cos | Exp | Ln | Tanh => {
+                self.require_ty(id, 0, inst.args[0], f)?;
+            }
+            FCmp(_) => {
+                self.require_ty(id, 0, inst.args[0], f)?;
+                self.require_ty(id, 1, inst.args[1], f)?;
+            }
+            Select => {
+                self.require_ty(id, 0, inst.args[0], i)?;
+                let t = self.func.value(inst.args[1]).ty;
+                let e = self.func.value(inst.args[2]).ty;
+                if t != e {
+                    return Err(VerifyError::SelectBranchMismatch(id));
+                }
+            }
+            IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | ICmp(_) => {
+                self.require_ty(id, 0, inst.args[0], i)?;
+                self.require_ty(id, 1, inst.args[1], i)?;
+            }
+            IToF => self.require_ty(id, 0, inst.args[0], i)?,
+            FToI => self.require_ty(id, 0, inst.args[0], f)?,
+            Load(_) => self.require_ty(id, 0, inst.args[0], i)?,
+            Store(a) => {
+                self.require_ty(id, 0, inst.args[0], i)?;
+                let decl = self.func.array(a);
+                self.require_ty(id, 1, inst.args[1], decl.elem)?;
+                if decl.kind.is_read_only() {
+                    return Err(VerifyError::StoreToReadOnly(id));
+                }
+            }
+            SAlloc { .. } | Barrier => {}
+            SpadLoad => self.require_ty(id, 0, inst.args[0], i)?,
+            SpadStore => {
+                self.require_ty(id, 0, inst.args[0], i)?;
+                self.require_ty(id, 1, inst.args[1], f)?;
+            }
+            StreamOut(_) | StreamIn(_) => {
+                for k in 0..3 {
+                    self.require_ty(id, k, inst.args[k], i)?;
+                }
+            }
+        }
+        if let Some(r) = inst.result {
+            self.defined[r.index()] = true;
+        }
+        Ok(())
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), VerifyError> {
+        for s in stmts {
+            match s {
+                Stmt::Inst(i) => self.check_inst(*i)?,
+                Stmt::For { loop_id, body } => {
+                    let info = self.func.loop_info(*loop_id);
+                    for b in [info.start, info.end] {
+                        if let Bound::Value(v) = b {
+                            if !self.defined[v.index()] || self.func.value(v).ty != Scalar::I64 {
+                                return Err(VerifyError::BadLoopBound {
+                                    loop_name: info.name.clone(),
+                                });
+                            }
+                        }
+                    }
+                    let iv_idx = info.iv.index();
+                    let was = self.defined[iv_idx];
+                    self.defined[iv_idx] = true;
+                    self.check_stmts(body)?;
+                    self.defined[iv_idx] = was;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies structural well-formedness and typing of `func`.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered in program order.
+pub fn verify(func: &Function) -> Result<(), VerifyError> {
+    let mut defined = vec![false; func.values().len()];
+    for (i, v) in func.values().iter().enumerate() {
+        if matches!(v.def, ValueDef::Const(_)) {
+            defined[i] = true;
+        }
+    }
+    let mut checker = Checker {
+        func,
+        defined,
+        seen_inst: vec![false; func.insts().len()],
+    };
+    checker.check_stmts(&func.body)?;
+    if let Some(i) = checker.seen_inst.iter().position(|s| !s) {
+        return Err(VerifyError::UnreachableInst(InstId::new(i)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::ArrayKind;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", 8, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 8, |b, i| {
+            let v = b.load(x, i);
+            let w = b.fmul(v, v);
+            b.store(y, i, w);
+        });
+        assert_eq!(verify(&b.finish()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad");
+        let a = f.add_const(crate::Const::F64(1.0));
+        let b = f.add_const(crate::Const::I64(1));
+        let (i, _) = f.add_inst(Op::FAdd, vec![a, b]);
+        f.body.push(Stmt::Inst(i));
+        assert!(matches!(
+            verify(&f),
+            Err(VerifyError::TypeMismatch { operand: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_iv_used_outside_loop() {
+        let mut f = Function::new("bad");
+        let (lid, iv) = f.add_loop("i", Bound::Const(0), Bound::Const(4), 1);
+        let one = f.add_const(crate::Const::I64(1));
+        let (esc, _) = f.add_inst(Op::IAdd, vec![iv, one]);
+        f.body.push(Stmt::For {
+            loop_id: lid,
+            body: vec![],
+        });
+        f.body.push(Stmt::Inst(esc));
+        assert!(matches!(verify(&f), Err(VerifyError::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_schedule() {
+        let mut f = Function::new("bad");
+        let a = f.add_const(crate::Const::F64(1.0));
+        let (i, _) = f.add_inst(Op::FNeg, vec![a]);
+        f.body.push(Stmt::Inst(i));
+        f.body.push(Stmt::Inst(i));
+        assert_eq!(verify(&f), Err(VerifyError::DuplicateInst(i)));
+    }
+
+    #[test]
+    fn rejects_unscheduled_inst() {
+        let mut f = Function::new("bad");
+        let a = f.add_const(crate::Const::F64(1.0));
+        let (i, _) = f.add_inst(Op::FNeg, vec![a]);
+        let _ = i;
+        assert!(matches!(verify(&f), Err(VerifyError::UnreachableInst(_))));
+    }
+
+    #[test]
+    fn rejects_store_to_input() {
+        let mut f = Function::new("bad");
+        let x = f.add_array("x", 4, ArrayKind::Input, Scalar::F64);
+        let i0 = f.add_const(crate::Const::I64(0));
+        let v = f.add_const(crate::Const::F64(2.0));
+        let (s, _) = f.add_inst(Op::Store(x), vec![i0, v]);
+        f.body.push(Stmt::Inst(s));
+        assert_eq!(verify(&f), Err(VerifyError::StoreToReadOnly(s)));
+    }
+
+    #[test]
+    fn rejects_undefined_loop_bound() {
+        let mut f = Function::new("bad");
+        // A bound referring to a value that is never defined (an inst result
+        // that is not scheduled before the loop).
+        let c = f.add_const(crate::Const::I64(3));
+        let (add, bound) = f.add_inst(Op::IAdd, vec![c, c]);
+        let (lid, _) = f.add_loop("i", Bound::Const(0), Bound::Value(bound.unwrap()), 1);
+        f.body.push(Stmt::For {
+            loop_id: lid,
+            body: vec![],
+        });
+        f.body.push(Stmt::Inst(add));
+        assert!(matches!(verify(&f), Err(VerifyError::BadLoopBound { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = VerifyError::DuplicateInst(InstId::new(3));
+        assert!(!e.to_string().is_empty());
+    }
+}

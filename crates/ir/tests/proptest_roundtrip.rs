@@ -1,0 +1,129 @@
+//! Property tests across the IR's front-end facilities: random programs
+//! must survive pretty→parse round-trips and the optimizer bit-exactly.
+
+use proptest::prelude::*;
+use tapeflow_ir::{parse, pretty, ArrayId, ArrayKind, CmpKind, Function, FunctionBuilder, Memory, Scalar, ValueId};
+
+#[derive(Clone, Debug)]
+enum E {
+    X,
+    K(i8),
+    Add(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Tanh(Box<E>),
+    Sin(Box<E>),
+    Min(Box<E>, Box<E>),
+    Sel(Box<E>, Box<E>),
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![Just(E::X), (-3i8..=3).prop_map(E::K)];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Tanh(Box::new(a))),
+            inner.clone().prop_map(|a| E::Sin(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Sel(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn emit(b: &mut FunctionBuilder, e: &E, x: ArrayId, i: ValueId) -> ValueId {
+    match e {
+        E::X => b.load(x, i),
+        E::K(k) => b.f64(*k as f64 * 0.4 + 0.05),
+        E::Add(a, c) => {
+            let (va, vc) = (emit(b, a, x, i), emit(b, c, x, i));
+            b.fadd(va, vc)
+        }
+        E::Mul(a, c) => {
+            let (va, vc) = (emit(b, a, x, i), emit(b, c, x, i));
+            b.fmul(va, vc)
+        }
+        E::Tanh(a) => {
+            let v = emit(b, a, x, i);
+            b.tanh(v)
+        }
+        E::Sin(a) => {
+            let v = emit(b, a, x, i);
+            b.sin(v)
+        }
+        E::Min(a, c) => {
+            let (va, vc) = (emit(b, a, x, i), emit(b, c, x, i));
+            b.fmin(va, vc)
+        }
+        E::Sel(a, c) => {
+            let (va, vc) = (emit(b, a, x, i), emit(b, c, x, i));
+            let cond = b.fcmp(CmpKind::Lt, va, vc);
+            b.select(cond, va, vc)
+        }
+    }
+}
+
+fn build(e: &E, n: usize) -> Function {
+    let mut b = FunctionBuilder::new("roundtrip");
+    let x = b.array("x", n, ArrayKind::Input, Scalar::F64);
+    let out = b.array("out", n, ArrayKind::Output, Scalar::F64);
+    b.for_loop("i", 0, n as i64, |b, i| {
+        let v = emit(b, e, x, i);
+        b.store(out, i, v);
+    });
+    b.finish()
+}
+
+fn run(f: &Function, data: &[f64]) -> Vec<f64> {
+    let mut mem = Memory::for_function(f);
+    mem.set_f64(ArrayId::new(0), data);
+    tapeflow_ir::interp::run(f, &mut mem).unwrap();
+    mem.get_f64(ArrayId::new(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_parse_executes_identically(
+        e in expr(),
+        data in proptest::collection::vec(-1.5f64..1.5, 5..=5),
+    ) {
+        let f = build(&e, data.len());
+        let text = pretty::pretty(&f).to_string();
+        let parsed = parse::parse(&text)
+            .unwrap_or_else(|err| panic!("{err}\n{text}"));
+        prop_assert_eq!(run(&f, &data), run(&parsed, &data));
+    }
+
+    #[test]
+    fn parse_reaches_textual_fixpoint(e in expr()) {
+        let f = build(&e, 4);
+        let t1 = pretty::pretty(&f).to_string();
+        let t2 = pretty::pretty(&parse::parse(&t1).unwrap()).to_string();
+        let t3 = pretty::pretty(&parse::parse(&t2).unwrap()).to_string();
+        prop_assert_eq!(t2, t3);
+    }
+
+    #[test]
+    fn optimizer_preserves_random_programs(
+        e in expr(),
+        data in proptest::collection::vec(-1.5f64..1.5, 6..=6),
+    ) {
+        let f = build(&e, data.len());
+        let (g, _) = tapeflow_ir::opt::optimize(&f);
+        tapeflow_ir::verify::verify(&g).unwrap();
+        prop_assert_eq!(run(&f, &data), run(&g, &data));
+    }
+
+    #[test]
+    fn unrolling_preserves_random_programs(
+        e in expr(),
+        data in proptest::collection::vec(-1.5f64..1.5, 12..=12),
+        factor in prop_oneof![Just(2u64), Just(3), Just(4), Just(6)],
+    ) {
+        let f = build(&e, data.len());
+        let u = tapeflow_ir::transform::unroll_loop(&f, "i", factor).unwrap();
+        tapeflow_ir::verify::verify(&u).unwrap();
+        prop_assert_eq!(run(&f, &data), run(&u, &data));
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulation results.
+
+/// Cache access counters, split the way the paper's figures need them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Hits on tape-array accesses.
+    pub tape_hits: u64,
+    /// Misses on tape-array accesses.
+    pub tape_misses: u64,
+    /// Hits issued by the reverse phase.
+    pub rev_hits: u64,
+    /// Misses issued by the reverse phase.
+    pub rev_misses: u64,
+    /// Dirty lines written back to DRAM.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Overall hit rate in `[0, 1]`; 1 for an idle cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Reverse-phase hit rate (Figure 4.1's right axis).
+    pub fn rev_hit_rate(&self) -> f64 {
+        let acc = self.rev_hits + self.rev_misses;
+        if acc == 0 {
+            1.0
+        } else {
+            self.rev_hits as f64 / acc as f64
+        }
+    }
+}
+
+/// Energy broken down by structure, in picojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Cache array energy.
+    pub cache_pj: f64,
+    /// Scratchpad array energy.
+    pub spad_pj: f64,
+    /// Stream-engine energy.
+    pub stream_pj: f64,
+    /// Off-chip DRAM energy (reported, but *not* part of on-chip).
+    pub dram_pj: f64,
+}
+
+impl EnergyReport {
+    /// On-chip energy: cache + scratchpad + stream engines (the paper's
+    /// Figures 4.4–4.6 metric).
+    pub fn on_chip_pj(&self) -> f64 {
+        self.cache_pj + self.spad_pj + self.stream_pj
+    }
+}
+
+/// Full result of one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Total cycles to drain the dataflow.
+    pub cycles: u64,
+    /// Cycles until the FWD/REV phase barrier completed.
+    pub fwd_cycles: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Scratchpad accesses.
+    pub spad_accesses: u64,
+    /// Stream commands executed.
+    pub stream_cmds: u64,
+    /// Bytes filled from DRAM on cache misses.
+    pub dram_fill_bytes: u64,
+    /// Bytes written back to DRAM on dirty evictions.
+    pub dram_writeback_bytes: u64,
+    /// Bytes moved by stream engines.
+    pub dram_stream_bytes: u64,
+    /// Floating-point operations executed.
+    pub fp_ops: u64,
+    /// Integer operations executed.
+    pub int_ops: u64,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Per-node completion cycles (present when
+    /// [`crate::SimOptions::record_node_times`] was set) — feeds the
+    /// lifetime analyses of Figures 2.7/2.8.
+    pub node_finish: Option<Vec<u64>>,
+}
+
+impl SimReport {
+    /// Cycles spent in the reverse phase.
+    pub fn rev_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.fwd_cycles)
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_fill_bytes + self.dram_writeback_bytes + self.dram_stream_bytes
+    }
+
+    /// Total DRAM accesses in 64 B-transfer units (Figure 4.2's metric).
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram_bytes().div_ceil(64)
+    }
+
+    /// Instruction-level parallelism: executed operations per cycle.
+    pub fn ilp(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.fp_ops + self.int_ops) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (higher = faster).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_ratios() {
+        let c = CacheStats {
+            hits: 75,
+            misses: 25,
+            rev_hits: 10,
+            rev_misses: 30,
+            ..CacheStats::default()
+        };
+        assert_eq!(c.accesses(), 100);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((c.rev_hit_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = SimReport {
+            cycles: 200,
+            fwd_cycles: 80,
+            dram_fill_bytes: 640,
+            dram_writeback_bytes: 64,
+            dram_stream_bytes: 256,
+            fp_ops: 300,
+            int_ops: 100,
+            ..SimReport::default()
+        };
+        assert_eq!(r.rev_cycles(), 120);
+        assert_eq!(r.dram_bytes(), 960);
+        assert_eq!(r.dram_accesses(), 15);
+        assert!((r.ilp() - 2.0).abs() < 1e-12);
+        let slow = SimReport {
+            cycles: 400,
+            ..SimReport::default()
+        };
+        assert!((r.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_chip_excludes_dram() {
+        let e = EnergyReport {
+            cache_pj: 10.0,
+            spad_pj: 5.0,
+            stream_pj: 1.0,
+            dram_pj: 1000.0,
+        };
+        assert!((e.on_chip_pj() - 16.0).abs() < 1e-12);
+    }
+}

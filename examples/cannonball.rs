@@ -1,0 +1,114 @@
+//! The paper's Figure 1.1 inverse problem: find launch parameters that
+//! make a simulated projectile hit a target, by gradient descent through
+//! a differentiated physics model.
+//!
+//! The forward model integrates drag-affected ballistics for a fixed
+//! number of steps; AD supplies `d(miss distance)/d(vx0, vy0)` and plain
+//! gradient descent drives the miss to (near) zero.
+//!
+//! ```text
+//! cargo run --release --example cannonball
+//! ```
+
+use tapeflow::autodiff::{differentiate, AdOptions};
+use tapeflow::ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+
+const STEPS: i64 = 60;
+const DT: f64 = 0.05;
+const DRAG: f64 = 0.05;
+const GRAVITY: f64 = -9.81;
+const TARGET_X: f64 = 18.0;
+
+fn main() {
+    // Forward model: integrate (x, y, vx, vy) and measure miss = (x_T -
+    // target)^2 + y_T^2 (we want it to land *at* the target).
+    let mut b = FunctionBuilder::new("cannon");
+    let v0 = b.array("v0", 2, ArrayKind::Input, Scalar::F64); // [vx0, vy0]
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    let x = b.cell_f64("x", 0.0);
+    let y = b.cell_f64("y", 0.0);
+    let vx = b.array("vx", 1, ArrayKind::Temp, Scalar::F64);
+    let vy = b.array("vy", 1, ArrayKind::Temp, Scalar::F64);
+    let zero = b.i64(0);
+    let one = b.i64(1);
+    let init_vx = b.load(v0, zero);
+    b.store_cell(vx, init_vx);
+    let init_vy = b.load(v0, one);
+    b.store_cell(vy, init_vy);
+    b.for_loop("t", 0, STEPS, |b, _| {
+        let dt = b.f64(DT);
+        let g = b.f64(GRAVITY);
+        let drag = b.f64(-DRAG);
+        let cvx = b.load_cell(vx);
+        let cvy = b.load_cell(vy);
+        // v += dt * (g_vec + drag * v)
+        let ax = b.fmul(drag, cvx);
+        let dvy = b.fmul(drag, cvy);
+        let ay = b.fadd(g, dvy);
+        let dxv = b.fmul(dt, ax);
+        let nvx = b.fadd(cvx, dxv);
+        b.store_cell(vx, nvx);
+        let dyv = b.fmul(dt, ay);
+        let nvy = b.fadd(cvy, dyv);
+        b.store_cell(vy, nvy);
+        // p += dt * v
+        let cx = b.load_cell(x);
+        let dx = b.fmul(dt, nvx);
+        let nx = b.fadd(cx, dx);
+        b.store_cell(x, nx);
+        let cy = b.load_cell(y);
+        let dy = b.fmul(dt, nvy);
+        let ny = b.fadd(cy, dy);
+        b.store_cell(y, ny);
+    });
+    let fx = b.load_cell(x);
+    let fy = b.load_cell(y);
+    let tx = b.f64(TARGET_X);
+    let ex = b.fsub(fx, tx);
+    let ex2 = b.fmul(ex, ex);
+    let ey2 = b.fmul(fy, fy);
+    let miss = b.fadd(ex2, ey2);
+    b.store_cell(loss, miss);
+    let f = b.finish();
+
+    let grad = differentiate(&f, &AdOptions::new(vec![v0], vec![loss])).expect("differentiable");
+    println!(
+        "physics model: {} timesteps, tape {} bytes per shot",
+        STEPS, grad.stats.tape_bytes
+    );
+
+    // Gradient descent on the launch velocity.
+    let mut params = [8.0f64, 8.0];
+    let lr = 0.02;
+    for epoch in 0..60 {
+        let mut mem = Memory::for_function(&grad.func);
+        mem.set_f64(v0, &params);
+        mem.set_f64_at(grad.shadow_of(loss).unwrap(), 0, 1.0);
+        tapeflow::ir::interp::run(&grad.func, &mut mem).expect("runs");
+        let miss = mem.get_f64_at(loss, 0);
+        let d = mem.get_f64(grad.shadow_of(v0).unwrap());
+        if epoch % 10 == 0 {
+            println!(
+                "epoch {epoch:>3}: miss² = {miss:>9.4}  v0 = ({:.3}, {:.3})  grad = ({:+.3}, {:+.3})",
+                params[0], params[1], d[0], d[1]
+            );
+        }
+        params[0] -= lr * d[0];
+        params[1] -= lr * d[1];
+        if miss < 1e-6 {
+            println!("hit the target after {epoch} epochs");
+            break;
+        }
+    }
+    // Final report.
+    let mut mem = Memory::for_function(&grad.func);
+    mem.set_f64(v0, &params);
+    mem.set_f64_at(grad.shadow_of(loss).unwrap(), 0, 1.0);
+    tapeflow::ir::interp::run(&grad.func, &mut mem).expect("runs");
+    println!(
+        "final: v0 = ({:.3}, {:.3}), miss² = {:.6}",
+        params[0],
+        params[1],
+        mem.get_f64_at(loss, 0)
+    );
+}

@@ -1,0 +1,23 @@
+// A miniature pathfinder row relaxation: dst[c] = w[c] + min3(src)
+// with clamped neighbour indices — data-dependent gradient routing.
+func @pathrow {
+  array @0 w : f64[32] (Input)
+  array @1 src : f64[32] (Input)
+  array @2 loss : f64[1] (Output)
+  for c in 0..32 step 1 {
+    %0 = iadd c -1i
+    %1 = imax %0 0i
+    %2 = iadd c 1i
+    %3 = imin %2 31i
+    %4 = load @1 %1
+    %5 = load @1 c
+    %6 = load @1 %3
+    %7 = fmin %4 %5
+    %8 = fmin %7 %6
+    %9 = load @0 c
+    %10 = fadd %9 %8
+    %11 = load @2 0i
+    %12 = fadd %11 %10
+    store @2 0i %12
+  }
+}

@@ -1,0 +1,14 @@
+// loss = sum_i tanh(exp(x_i))^2 — a small streaming kernel
+func @sumexp {
+  array @0 x : f64[256] (Input)
+  array @1 loss : f64[1] (Output)
+  for i in 0..256 step 1 {
+    %0 = load @0 i
+    %1 = exp %0
+    %2 = tanh %1
+    %3 = fmul %2 %2
+    %4 = load @1 0i
+    %5 = fadd %4 %3
+    store @1 0i %5
+  }
+}

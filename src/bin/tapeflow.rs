@@ -1,0 +1,252 @@
+//! The `tapeflow` command-line tool — the repository's analogue of the
+//! paper's Appendix A toolflow (`clang … | opt -enzyme -enable-tf`).
+//!
+//! ```text
+//! tapeflow show      FILE                         parse + pretty-print
+//! tapeflow opt       FILE                         constant-fold / CSE / DCE
+//! tapeflow grad      FILE --wrt a,b --loss l      differentiate (prints gradient IR)
+//! tapeflow compile   FILE --wrt a,b --loss l      full Tapeflow pipeline
+//!                    [--spad-bytes N] [--aos-only] [--single-buffer]
+//! tapeflow simulate  FILE --wrt a,b --loss l      AD → compile → trace → simulate,
+//!                    [--cache-bytes N] [--spad-bytes N]   Enzyme vs Tapeflow
+//! ```
+//!
+//! `FILE` is textual IR in the `pretty`/`parse` format (see
+//! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
+//! deterministic ramp and `i64` inputs with `0..len` so any well-formed
+//! program runs without an input file.
+
+use std::process::ExitCode;
+use tapeflow::autodiff::{differentiate, AdOptions, TapePolicy};
+use tapeflow::core::{compile, CompileMode, CompileOptions};
+use tapeflow::ir::trace::{trace_function, TraceOptions};
+use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Scalar};
+use tapeflow::sim::{simulate, SimOptions, SystemConfig};
+
+struct Args {
+    file: String,
+    wrt: Vec<String>,
+    loss: Option<String>,
+    spad_bytes: usize,
+    cache_bytes: usize,
+    aos_only: bool,
+    double_buffer: bool,
+    policy: TapePolicy,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tapeflow <show|opt|grad|compile|simulate> FILE \
+         [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
+         [--aos-only] [--single-buffer] [--policy minimal|conservative|all]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), String> {
+    let cmd = argv.next().ok_or("missing command")?;
+    let mut args = Args {
+        file: String::new(),
+        wrt: Vec::new(),
+        loss: None,
+        spad_bytes: 1024,
+        cache_bytes: 32 * 1024,
+        aos_only: false,
+        double_buffer: true,
+        policy: TapePolicy::Conservative,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--wrt" => {
+                let v = argv.next().ok_or("--wrt needs a value")?;
+                args.wrt = v.split(',').map(str::to_string).collect();
+            }
+            "--loss" => args.loss = Some(argv.next().ok_or("--loss needs a value")?),
+            "--spad-bytes" => {
+                args.spad_bytes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--spad-bytes needs a number")?;
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cache-bytes needs a number")?;
+            }
+            "--aos-only" => args.aos_only = true,
+            "--single-buffer" => args.double_buffer = false,
+            "--policy" => {
+                args.policy = match argv.next().as_deref() {
+                    Some("minimal") => TapePolicy::Minimal,
+                    Some("conservative") => TapePolicy::Conservative,
+                    Some("all") => TapePolicy::All,
+                    other => return Err(format!("unknown policy {other:?}")),
+                };
+            }
+            f if args.file.is_empty() && !f.starts_with("--") => args.file = f.to_string(),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("missing input file".into());
+    }
+    Ok((cmd, args))
+}
+
+fn resolve_arrays(func: &Function, names: &[String]) -> Result<Vec<ArrayId>, String> {
+    names
+        .iter()
+        .map(|n| {
+            func.array_by_name(n)
+                .ok_or_else(|| format!("no array named {n:?}"))
+        })
+        .collect()
+}
+
+fn ad_options(func: &Function, args: &Args) -> Result<AdOptions, String> {
+    if args.wrt.is_empty() {
+        return Err("--wrt is required for this command".into());
+    }
+    let loss_name = args.loss.as_ref().ok_or("--loss is required")?;
+    let wrt = resolve_arrays(func, &args.wrt)?;
+    let loss = resolve_arrays(func, std::slice::from_ref(loss_name))?[0];
+    Ok(AdOptions::new(wrt, vec![loss]).with_policy(args.policy))
+}
+
+/// Deterministic inputs: f64 ramps, i64 identity indices.
+fn default_memory(func: &Function) -> Memory {
+    let mut mem = Memory::for_function(func);
+    for (i, a) in func.arrays().iter().enumerate() {
+        if a.kind != ArrayKind::Input {
+            continue;
+        }
+        let id = ArrayId::new(i);
+        match a.elem {
+            Scalar::F64 => {
+                let data: Vec<f64> = (0..a.len).map(|k| 0.05 + 0.01 * k as f64).collect();
+                mem.set_f64(id, &data);
+            }
+            Scalar::I64 => {
+                let data: Vec<i64> = (0..a.len).map(|k| k as i64).collect();
+                mem.set_i64(id, &data);
+            }
+        }
+    }
+    mem
+}
+
+fn run() -> Result<(), String> {
+    let mut argv = std::env::args().skip(1);
+    let (cmd, args) = parse_args(&mut argv)?;
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let func = parse::parse(&text).map_err(|e| e.to_string())?;
+
+    match cmd.as_str() {
+        "show" => print!("{}", pretty::pretty(&func)),
+        "opt" => {
+            let (g, stats) = tapeflow::ir::opt::optimize(&func);
+            print!("{}", pretty::pretty(&g));
+            eprintln!(
+                "// folded {} cse {} dce {}",
+                stats.folded, stats.cse_hits, stats.dce_removed
+            );
+        }
+        "grad" => {
+            let opts = ad_options(&func, &args)?;
+            let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
+            print!("{}", pretty::pretty(&grad.func));
+            eprintln!(
+                "// taped {} values ({} bytes), recomputed {}, adjoint cells {}",
+                grad.stats.taped_values,
+                grad.stats.tape_bytes,
+                grad.stats.recomputed_values,
+                grad.stats.adjoint_cells
+            );
+        }
+        "compile" => {
+            let opts = ad_options(&func, &args)?;
+            let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
+            let copts = CompileOptions {
+                spad_entries: (args.spad_bytes / 8).max(2),
+                double_buffer: args.double_buffer,
+                mode: if args.aos_only {
+                    CompileMode::AosOnly
+                } else {
+                    CompileMode::Full
+                },
+            };
+            let c = compile(&grad, &copts).map_err(|e| e.to_string())?;
+            print!("{}", pretty::pretty(&c.func));
+            eprintln!(
+                "// {} regions, {} fwd layers, {} duplicated slots, {} merged tape bytes",
+                c.stats.regions,
+                c.stats.fwd_layers,
+                c.stats.duplicated_slots,
+                c.stats.merged_tape_bytes
+            );
+        }
+        "simulate" => {
+            let opts = ad_options(&func, &args)?;
+            let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
+            let copts = CompileOptions {
+                spad_entries: (args.spad_bytes / 8).max(2),
+                double_buffer: args.double_buffer,
+                mode: CompileMode::Full,
+            };
+            let compiled = compile(&grad, &copts).map_err(|e| e.to_string())?;
+            let base = default_memory(&func);
+            let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
+            let mut reports = Vec::new();
+            for (label, f, barrier) in [
+                ("Enzyme", &grad.func, grad.phase_barrier),
+                ("Tapeflow", &compiled.func, compiled.phase_barrier),
+            ] {
+                let mut mem = Memory::for_function(f);
+                for i in 0..func.arrays().len() {
+                    mem.clone_array_from(&base, ArrayId::new(i));
+                }
+                mem.set_f64_at(
+                    grad.shadow_of(opts.seeds[0]).expect("loss shadow"),
+                    0,
+                    1.0,
+                );
+                let trace = trace_function(
+                    f,
+                    &mut mem,
+                    TraceOptions {
+                        phase_barrier: Some(barrier),
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                let r = simulate(&trace, &cfg, &SimOptions::default());
+                println!(
+                    "{label:<8} cycles {:>10}  dram bytes {:>10}  on-chip pJ {:>12.0}  rev hit {:.1}%",
+                    r.cycles,
+                    r.dram_bytes(),
+                    r.energy.on_chip_pj(),
+                    r.cache.rev_hit_rate() * 100.0
+                );
+                reports.push(r);
+            }
+            println!(
+                "speedup {:.2}x, energy reduction {:.2}x",
+                reports[1].speedup_over(&reports[0]),
+                reports[0].energy.on_chip_pj() / reports[1].energy.on_chip_pj().max(1.0)
+            );
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tapeflow: {e}");
+            usage()
+        }
+    }
+}
