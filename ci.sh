@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI: formatting, lints, and the tier-1 verify (ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1 verify =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI green."

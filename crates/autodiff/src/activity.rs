@@ -71,8 +71,7 @@ fn sweep(func: &Function, stmts: &[Stmt], act: &mut Activity, changed: &mut bool
                         }
                     }
                     Op::Store(arr) => {
-                        if act.value_active[inst.args[1].index()]
-                            && !act.array_active[arr.index()]
+                        if act.value_active[inst.args[1].index()] && !act.array_active[arr.index()]
                         {
                             act.array_active[arr.index()] = true;
                             *changed = true;
@@ -85,10 +84,7 @@ fn sweep(func: &Function, stmts: &[Stmt], act: &mut Activity, changed: &mut bool
                         }
                         // Select's condition (i64) cannot be active;
                         // activity flows from the f64 branches only.
-                        let any_active = inst
-                            .args
-                            .iter()
-                            .any(|a| act.value_active[a.index()]);
+                        let any_active = inst.args.iter().any(|a| act.value_active[a.index()]);
                         if any_active {
                             set(&mut act.value_active, r, changed);
                         }

@@ -305,14 +305,9 @@ mod tests {
         let mut base = Memory::for_function(&mono);
         base.set_f64(mu, &u0);
         base.set_f64(mk, &kv);
-        let fd = crate::gradcheck::finite_diff_gradient(
-            &mono,
-            &base,
-            mk,
-            LossSpec::cell(mloss),
-            1e-6,
-        )
-        .unwrap();
+        let fd =
+            crate::gradcheck::finite_diff_gradient(&mono, &base, mk, LossSpec::cell(mloss), 1e-6)
+                .unwrap();
         for (a, b) in ck.wrt_grads[0].iter().zip(&fd) {
             assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{a} vs {b}");
         }

@@ -206,8 +206,17 @@ mod tests {
         let grad = differentiate(&f, &AdOptions::new(vec![x], vec![loss])).unwrap();
         let mut base = Memory::for_function(&f);
         base.set_f64(x, &[0.5, -1.5, 2.0]);
-        check_gradient(&f, &grad, &base, &[x], LossSpec::cell(loss), 1e-6, 1e-5, 1e-8)
-            .unwrap();
+        check_gradient(
+            &f,
+            &grad,
+            &base,
+            &[x],
+            LossSpec::cell(loss),
+            1e-6,
+            1e-5,
+            1e-8,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -229,7 +238,16 @@ mod tests {
         let grad = differentiate(&f2, &AdOptions::new(vec![x], vec![loss])).unwrap();
         let mut base = Memory::for_function(&f2);
         base.set_f64(x, &[1.7]);
-        let err = check_gradient(&f3, &grad, &base, &[x], LossSpec::cell(loss), 1e-6, 1e-6, 1e-9);
+        let err = check_gradient(
+            &f3,
+            &grad,
+            &base,
+            &[x],
+            LossSpec::cell(loss),
+            1e-6,
+            1e-6,
+            1e-9,
+        );
         assert!(matches!(err, Err(GradCheckError::Mismatch { .. })));
     }
 }

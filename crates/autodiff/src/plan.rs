@@ -313,11 +313,7 @@ pub fn subtree_relevant(func: &Function, act: &Activity, plan: &TapePlan, stmts:
             match inst.op {
                 Op::Store(arr) => act.array(arr),
                 _ => inst.result.is_some_and(|r| {
-                    act.value(r)
-                        || matches!(
-                            plan.decision(r),
-                            Decision::Tape | Decision::TapeAsInt
-                        )
+                    act.value(r) || matches!(plan.decision(r), Decision::Tape | Decision::TapeAsInt)
                 }),
             }
         }

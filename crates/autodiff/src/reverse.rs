@@ -109,7 +109,12 @@ impl<'a> Gen<'a> {
         for &a in opts.wrt.iter().chain(&opts.seeds) {
             shadows.entry(a).or_insert_with(|| {
                 let d = src.array(a);
-                g.add_array(format!("d_{}", d.name), d.len, ArrayKind::Shadow, Scalar::F64)
+                g.add_array(
+                    format!("d_{}", d.name),
+                    d.len,
+                    ArrayKind::Shadow,
+                    Scalar::F64,
+                )
             });
         }
         Gen {
@@ -195,9 +200,12 @@ impl<'a> Gen<'a> {
             return s;
         }
         let d = self.src.array(arr);
-        let s = self
-            .g
-            .add_array(format!("d_{}", d.name), d.len, ArrayKind::Shadow, Scalar::F64);
+        let s = self.g.add_array(
+            format!("d_{}", d.name),
+            d.len,
+            ArrayKind::Shadow,
+            Scalar::F64,
+        );
         self.shadows.insert(arr, s);
         s
     }
@@ -763,9 +771,10 @@ impl<'a> Gen<'a> {
 
     /// Loads a taped value back; `as_int` converts it with `ftoi`.
     fn rev_tape_load(&mut self, orig: ValueId, as_int: bool, out: &mut Vec<Stmt>) -> ValueId {
-        let slot = *self.tape_slot.get(&orig).unwrap_or_else(|| {
-            panic!("taped value {orig} has no tape array (autodiff bug)")
-        });
+        let slot = *self
+            .tape_slot
+            .get(&orig)
+            .unwrap_or_else(|| panic!("taped value {orig} has no tape array (autodiff bug)"));
         let path: Vec<LoopId> = {
             let ValueDef::Inst(i) = self.src.value(orig).def else {
                 unreachable!("taped values are inst-defined")

@@ -1,10 +1,39 @@
-//! Property-based gradient checking: random expression programs,
+//! Randomized gradient checking: random expression programs,
 //! differentiated and compared against central finite differences.
+//! Deterministic in-tree xorshift generation (the container has no
+//! network access to fetch `proptest`), so every run exercises the same
+//! cases.
 
-use proptest::prelude::*;
 use tapeflow_autodiff::gradcheck::{check_gradient, LossSpec};
 use tapeflow_autodiff::{differentiate, AdOptions, TapePolicy};
 use tapeflow_ir::{ArrayKind, CmpKind, FunctionBuilder, Memory, Scalar, ValueId};
+
+/// Tiny deterministic xorshift64 RNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// A recipe for one random expression node.
 #[derive(Clone, Debug)]
@@ -29,38 +58,61 @@ enum ExprOp {
     SelectCmp(Box<ExprOp>, Box<ExprOp>),
 }
 
-fn leaf() -> impl Strategy<Value = ExprOp> {
-    prop_oneof![
-        Just(ExprOp::LoadX),
-        Just(ExprOp::LoadY),
-        (-3i8..=3).prop_map(ExprOp::Konst),
-        Just(ExprOp::IvAsF64),
-    ]
+fn gen_leaf(r: &mut Rng) -> ExprOp {
+    match r.below(4) {
+        0 => ExprOp::LoadX,
+        1 => ExprOp::LoadY,
+        2 => ExprOp::Konst(r.below(7) as i8 - 3),
+        _ => ExprOp::IvAsF64,
+    }
 }
 
-fn expr() -> impl Strategy<Value = ExprOp> {
-    leaf().prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::SafeDiv(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| ExprOp::Tanh(Box::new(a))),
-            inner.clone().prop_map(|a| ExprOp::Sin(Box::new(a))),
-            inner.clone().prop_map(|a| ExprOp::Cos(Box::new(a))),
-            inner.clone().prop_map(|a| ExprOp::SafeExp(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| ExprOp::Max(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| ExprOp::SelectCmp(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random expression, recursion bounded by `depth` (mirrors the original
+/// proptest strategy's operator mix).
+fn gen_expr(r: &mut Rng, depth: u32) -> ExprOp {
+    if depth == 0 || r.below(4) == 0 {
+        return gen_leaf(r);
+    }
+    let two = |r: &mut Rng| {
+        (
+            Box::new(gen_expr(r, depth - 1)),
+            Box::new(gen_expr(r, depth - 1)),
+        )
+    };
+    match r.below(11) {
+        0 => {
+            let (a, b) = two(r);
+            ExprOp::Add(a, b)
+        }
+        1 => {
+            let (a, b) = two(r);
+            ExprOp::Sub(a, b)
+        }
+        2 => {
+            let (a, b) = two(r);
+            ExprOp::Mul(a, b)
+        }
+        3 => {
+            let (a, b) = two(r);
+            ExprOp::SafeDiv(a, b)
+        }
+        4 => ExprOp::Tanh(Box::new(gen_expr(r, depth - 1))),
+        5 => ExprOp::Sin(Box::new(gen_expr(r, depth - 1))),
+        6 => ExprOp::Cos(Box::new(gen_expr(r, depth - 1))),
+        7 => ExprOp::SafeExp(Box::new(gen_expr(r, depth - 1))),
+        8 => {
+            let (a, b) = two(r);
+            ExprOp::Min(a, b)
+        }
+        9 => {
+            let (a, b) = two(r);
+            ExprOp::Max(a, b)
+        }
+        _ => {
+            let (a, b) = two(r);
+            ExprOp::SelectCmp(a, b)
+        }
+    }
 }
 
 fn emit(
@@ -161,8 +213,11 @@ fn run_case(e: &ExprOp, xs: &[f64], ys: &[f64], stateful: bool, policy: TapePoli
     });
     let func = b.finish();
     tapeflow_ir::verify::verify(&func).expect("generated function verifies");
-    let grad = differentiate(&func, &AdOptions::new(vec![x, y], vec![loss]).with_policy(policy))
-        .expect("differentiate");
+    let grad = differentiate(
+        &func,
+        &AdOptions::new(vec![x, y], vec![loss]).with_policy(policy),
+    )
+    .expect("differentiate");
     let mut mem = Memory::for_function(&func);
     mem.set_f64(x, xs);
     mem.set_f64(y, ys);
@@ -183,34 +238,40 @@ fn run_case(e: &ExprOp, xs: &[f64], ys: &[f64], stateful: bool, policy: TapePoli
     .unwrap_or_else(|err| panic!("policy {policy:?}: {err}\nexpr: {e:?}\nx={xs:?}\ny={ys:?}"));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn vec_in(r: &mut Rng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| r.f64_in(lo, hi)).collect()
+}
 
-    #[test]
-    fn random_programs_gradcheck(
-        e in expr(),
-        xs in proptest::collection::vec(-0.95f64..0.95, 4..=4),
-        ys in proptest::collection::vec(-0.95f64..0.95, 4..=4),
-        stateful in any::<bool>(),
-    ) {
+#[test]
+fn random_programs_gradcheck() {
+    for case in 0..96u64 {
+        let mut r = Rng::new(case);
+        let e = gen_expr(&mut r, 3);
+        let xs = vec_in(&mut r, 4, -0.95, 0.95);
+        let ys = vec_in(&mut r, 4, -0.95, 0.95);
+        let stateful = r.bool();
         run_case(&e, &xs, &ys, stateful, TapePolicy::Minimal);
     }
+}
 
-    #[test]
-    fn random_programs_gradcheck_tape_all(
-        e in expr(),
-        xs in proptest::collection::vec(-0.95f64..0.95, 4..=4),
-        ys in proptest::collection::vec(-0.95f64..0.95, 4..=4),
-    ) {
+#[test]
+fn random_programs_gradcheck_tape_all() {
+    for case in 0..96u64 {
+        let mut r = Rng::new(0xA11 ^ case);
+        let e = gen_expr(&mut r, 3);
+        let xs = vec_in(&mut r, 4, -0.95, 0.95);
+        let ys = vec_in(&mut r, 4, -0.95, 0.95);
         run_case(&e, &xs, &ys, true, TapePolicy::All);
     }
+}
 
-    #[test]
-    fn policies_agree_exactly(
-        e in expr(),
-        xs in proptest::collection::vec(-0.9f64..0.9, 3..=3),
-        ys in proptest::collection::vec(-0.9f64..0.9, 3..=3),
-    ) {
+#[test]
+fn policies_agree_exactly() {
+    for case in 0..96u64 {
+        let mut r = Rng::new(0xA62EE ^ case);
+        let e = gen_expr(&mut r, 3);
+        let xs = vec_in(&mut r, 3, -0.9, 0.9);
+        let ys = vec_in(&mut r, 3, -0.9, 0.9);
         // Minimal and All tape policies must produce bit-identical
         // gradients: they compute the same math, only the storage differs.
         let n = xs.len();
@@ -228,18 +289,22 @@ proptest! {
         let mut mem = Memory::for_function(&func);
         mem.set_f64(x, &xs);
         mem.set_f64(y, &ys);
-        let grads: Vec<Vec<f64>> = [TapePolicy::Minimal, TapePolicy::Conservative, TapePolicy::All]
-            .into_iter()
-            .map(|p| {
-                let g = differentiate(&func, &AdOptions::new(vec![x], vec![loss]).with_policy(p))
-                    .unwrap();
-                let mut m = g.prepare_memory(&func, &mem);
-                m.set_f64_at(g.shadow_of(loss).unwrap(), 0, 1.0);
-                tapeflow_ir::interp::run(&g.func, &mut m).unwrap();
-                m.get_f64(g.shadow_of(x).unwrap())
-            })
-            .collect();
-        prop_assert_eq!(&grads[0], &grads[1]);
-        prop_assert_eq!(&grads[1], &grads[2]);
+        let grads: Vec<Vec<f64>> = [
+            TapePolicy::Minimal,
+            TapePolicy::Conservative,
+            TapePolicy::All,
+        ]
+        .into_iter()
+        .map(|p| {
+            let g =
+                differentiate(&func, &AdOptions::new(vec![x], vec![loss]).with_policy(p)).unwrap();
+            let mut m = g.prepare_memory(&func, &mem);
+            m.set_f64_at(g.shadow_of(loss).unwrap(), 0, 1.0);
+            tapeflow_ir::interp::run(&g.func, &mut m).unwrap();
+            m.get_f64(g.shadow_of(x).unwrap())
+        })
+        .collect();
+        assert_eq!(&grads[0], &grads[1], "case {case}: {e:?}");
+        assert_eq!(&grads[1], &grads[2], "case {case}: {e:?}");
     }
 }

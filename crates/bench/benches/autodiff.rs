@@ -1,43 +1,36 @@
-//! Criterion benchmarks for the AD front-end: the differentiate transform
+//! Micro-benchmarks for the AD front-end: the differentiate transform
 //! itself, under all three tape policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tapeflow_autodiff::{differentiate, AdOptions, TapePolicy};
+use tapeflow_bench::microbench::Group;
 use tapeflow_benchmarks::{suite, Scale};
 
-fn bench_differentiate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("differentiate");
-    group.sample_size(20);
+fn bench_differentiate() {
+    let group = Group::new("differentiate", 20);
     for bench in suite(Scale::Small) {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bench.name),
-            &bench,
-            |b, bench| {
-                let opts = AdOptions::new(bench.wrt.clone(), vec![bench.loss.array]);
-                b.iter(|| differentiate(&bench.func, &opts).expect("differentiates"));
-            },
-        );
+        let opts = AdOptions::new(bench.wrt.clone(), vec![bench.loss.array]);
+        group.bench(bench.name, || {
+            differentiate(&bench.func, &opts).expect("differentiates")
+        });
     }
-    group.finish();
 }
 
-fn bench_tape_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("differentiate-policy");
-    group.sample_size(20);
+fn bench_tape_policies() {
+    let group = Group::new("differentiate-policy", 20);
     let bench = tapeflow_benchmarks::by_name("mttkrp", Scale::Small);
-    for policy in [TapePolicy::Minimal, TapePolicy::Conservative, TapePolicy::All] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &policy,
-            |b, &policy| {
-                let opts =
-                    AdOptions::new(bench.wrt.clone(), vec![bench.loss.array]).with_policy(policy);
-                b.iter(|| differentiate(&bench.func, &opts).expect("differentiates"));
-            },
-        );
+    for policy in [
+        TapePolicy::Minimal,
+        TapePolicy::Conservative,
+        TapePolicy::All,
+    ] {
+        let opts = AdOptions::new(bench.wrt.clone(), vec![bench.loss.array]).with_policy(policy);
+        group.bench(format!("{policy:?}"), || {
+            differentiate(&bench.func, &opts).expect("differentiates")
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_differentiate, bench_tape_policies);
-criterion_main!(benches);
+fn main() {
+    bench_differentiate();
+    bench_tape_policies();
+}

@@ -1,55 +1,41 @@
-//! Criterion benchmarks for the Tapeflow compiler passes: region
-//! formation, layering and the rewrite, per benchmark and per scratchpad
-//! size.
+//! Micro-benchmarks for the Tapeflow compiler passes: region formation,
+//! layering and the rewrite, per benchmark and per scratchpad size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tapeflow_bench::microbench::Group;
 use tapeflow_benchmarks::{suite, Scale};
 use tapeflow_core::{compile, regions, CompileOptions};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile-full-pipeline");
-    group.sample_size(10);
+fn bench_compile() {
+    let group = Group::new("compile-full-pipeline", 10);
     for bench in suite(Scale::Small) {
         let grad = bench.gradient();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bench.name),
-            &grad,
-            |b, grad| {
-                b.iter(|| compile(grad, &CompileOptions::default()).expect("compiles"));
-            },
-        );
+        group.bench(bench.name, || {
+            compile(&grad, &CompileOptions::default()).expect("compiles")
+        });
     }
-    group.finish();
 }
 
-fn bench_region_formation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pass1-region-formation");
-    group.sample_size(20);
+fn bench_region_formation() {
+    let group = Group::new("pass1-region-formation", 20);
     for bench in suite(Scale::Small) {
         let grad = bench.gradient();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(bench.name),
-            &grad,
-            |b, grad| {
-                b.iter(|| regions::form_regions(grad));
-            },
-        );
+        group.bench(bench.name, || regions::form_regions(&grad));
     }
-    group.finish();
 }
 
-fn bench_spad_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile-by-spad-size");
-    group.sample_size(10);
+fn bench_spad_sweep() {
+    let group = Group::new("compile-by-spad-size", 10);
     let bench = tapeflow_benchmarks::by_name("pathfinder", Scale::Small);
     let grad = bench.gradient();
     for bytes in [128usize, 512, 2048] {
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
-            b.iter(|| compile(&grad, &CompileOptions::with_spad_bytes(bytes)).expect("compiles"));
+        group.bench(format!("{bytes}"), || {
+            compile(&grad, &CompileOptions::with_spad_bytes(bytes)).expect("compiles")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_region_formation, bench_spad_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_region_formation();
+    bench_spad_sweep();
+}

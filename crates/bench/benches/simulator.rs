@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the cycle-level simulator: tracing and
+//! Micro-benchmarks for the cycle-level simulator: tracing and
 //! simulation throughput on the Enzyme and Tapeflow programs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tapeflow_bench::microbench::Group;
 use tapeflow_benchmarks::{by_name, Scale};
 use tapeflow_core::{compile, CompileOptions};
 use tapeflow_ir::trace::{trace_function, TraceOptions};
@@ -36,38 +36,28 @@ fn traced(name: &str, tapeflow: bool) -> tapeflow_ir::Trace {
     .expect("traces")
 }
 
-fn bench_simulate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate");
-    group.sample_size(10);
+fn bench_simulate() {
+    let group = Group::new("simulate", 10);
     for (label, tf) in [("enzyme", false), ("tapeflow", true)] {
         let trace = traced("pathfinder", tf);
-        group.bench_with_input(
-            BenchmarkId::new("pathfinder", label),
-            &trace,
-            |b, trace| {
-                b.iter(|| {
-                    simulate(
-                        trace,
-                        &SystemConfig::baseline_32k(),
-                        &SimOptions::default(),
-                    )
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_trace_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace-extraction");
-    group.sample_size(10);
-    for name in ["logsum", "pathfinder", "mttkrp"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| traced(name, false));
+        group.bench(format!("pathfinder/{label}"), || {
+            simulate(
+                &trace,
+                &SystemConfig::baseline_32k(),
+                &SimOptions::default(),
+            )
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_simulate, bench_trace_extraction);
-criterion_main!(benches);
+fn bench_trace_extraction() {
+    let group = Group::new("trace-extraction", 10);
+    for name in ["logsum", "pathfinder", "mttkrp"] {
+        group.bench(name, || traced(name, false));
+    }
+}
+
+fn main() {
+    bench_simulate();
+    bench_trace_extraction();
+}

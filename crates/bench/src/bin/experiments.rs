@@ -1,19 +1,31 @@
 //! Regenerates every table and figure of the Tapeflow evaluation.
 //!
 //! ```text
-//! experiments all [--scale tiny|small|large] [--csv DIR]
+//! experiments all [--scale tiny|small|large] [--csv DIR] [--jobs N] [--json PATH]
 //! experiments fig4.1 table4.1 ...
 //! ```
+//!
+//! Simulations fan out over `--jobs` worker threads (default: all
+//! cores); tables, CSV and JSON are assembled serially in a fixed order,
+//! so every output is byte-identical to a `--jobs 1` run. Alongside the
+//! human-readable tables, a machine-readable document with every
+//! rendered table plus a canonical per-benchmark configuration sweep is
+//! written to `--json PATH` (default `results/BENCH_experiments.json`;
+//! pass `--json -` to skip it).
 
 use std::path::PathBuf;
 use tapeflow_bench::experiments::{Lab, IDS};
+use tapeflow_bench::pool;
 use tapeflow_benchmarks::Scale;
+use tapeflow_sim::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Small;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut jobs = pool::available_jobs();
+    let mut json_path: Option<PathBuf> = Some(PathBuf::from("results/BENCH_experiments.json"));
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,9 +44,30 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| ".".into())));
             }
+            "--jobs" => {
+                let v = it.next().unwrap_or_default();
+                jobs = match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--json" => {
+                let v = it.next().unwrap_or_else(|| "-".into());
+                json_path = if v == "-" {
+                    None
+                } else {
+                    Some(PathBuf::from(v))
+                };
+            }
             "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("usage: experiments [all | <id>...] [--scale tiny|small|large] [--csv DIR]");
+                println!(
+                    "usage: experiments [all | <id>...] [--scale tiny|small|large] \
+                     [--csv DIR] [--jobs N] [--json PATH|-]"
+                );
                 println!("ids: {}", IDS.join(" "));
                 return;
             }
@@ -42,23 +75,69 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("no experiments selected; try `experiments all` (ids: {})", IDS.join(" "));
+        eprintln!(
+            "no experiments selected; try `experiments all` (ids: {})",
+            IDS.join(" ")
+        );
+        std::process::exit(2);
+    }
+    if let Some(bad) = ids.iter().find(|id| !IDS.contains(&id.as_str())) {
+        eprintln!("unknown experiment {bad:?} (ids: {})", IDS.join(" "));
         std::process::exit(2);
     }
     if let Some(d) = &csv_dir {
         std::fs::create_dir_all(d).expect("create csv dir");
     }
-    let mut lab = Lab::new(scale);
+
+    let wall = std::time::Instant::now();
+    let mut lab = Lab::with_jobs(scale, jobs);
+    let mut experiments_json = Vec::new();
     for id in ids {
         let start = std::time::Instant::now();
         let tables = lab.run(&id);
-        for t in &tables {
+        for (ti, t) in tables.iter().enumerate() {
             println!("{}", t.render());
             if let Some(d) = &csv_dir {
-                let file = d.join(format!("{}.csv", id.replace('.', "_")));
-                std::fs::write(&file, t.to_csv()).expect("write csv");
+                // Multi-table experiments (the ablations) get one file
+                // per table instead of silently overwriting each other.
+                let stem = id.replace('.', "_");
+                let name = if tables.len() == 1 {
+                    format!("{stem}.csv")
+                } else {
+                    format!("{stem}_{ti}.csv")
+                };
+                std::fs::write(d.join(name), t.to_csv()).expect("write csv");
             }
         }
-        eprintln!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        let seconds = start.elapsed().as_secs_f64();
+        eprintln!("[{id} done in {seconds:.1}s]\n");
+        let mut e = Value::object();
+        e.set("id", id.as_str())
+            .set("wall_clock_seconds", seconds)
+            .set(
+                "tables",
+                Value::Arr(tables.iter().map(|t| t.to_json()).collect()),
+            );
+        experiments_json.push(e);
+    }
+
+    if let Some(path) = json_path {
+        let sweep = lab
+            .json_report()
+            .get("benchmarks")
+            .cloned()
+            .unwrap_or(Value::Arr(Vec::new()));
+        let mut doc = Value::object();
+        doc.set("schema", "tapeflow.bench.experiments/v1")
+            .set("scale", format!("{scale:?}"))
+            .set("jobs", jobs)
+            .set("experiments", Value::Arr(experiments_json))
+            .set("benchmarks", sweep)
+            .set("total_wall_clock_seconds", wall.elapsed().as_secs_f64());
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create json dir");
+        }
+        std::fs::write(&path, doc.render()).expect("write json");
+        eprintln!("[machine-readable results: {}]", path.display());
     }
 }

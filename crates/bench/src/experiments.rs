@@ -4,12 +4,14 @@
 //! plots; `EXPERIMENTS.md` records a reference run against the paper's
 //! numbers.
 
-use crate::harness::{geomean, Config, Prepared};
+use crate::harness::{geomean, sys_for, Config, Prepared};
+use crate::pool;
 use crate::table::{kib, pct, ratio, Table};
-use tapeflow_benchmarks::{by_name, suite, Benchmark, Scale};
+use tapeflow_benchmarks::{by_name, Benchmark, Scale, NAMES};
 use tapeflow_ir::analysis;
 use tapeflow_ir::transform::unroll_loop;
-use tapeflow_sim::{EnergyTable, SystemConfig};
+use tapeflow_sim::json::Value;
+use tapeflow_sim::{EnergyTable, ReplacementPolicy, SystemConfig};
 
 /// All experiment ids, in paper order, plus the DESIGN.md ablations.
 pub const IDS: [&str; 19] = [
@@ -44,20 +46,187 @@ fn t_cfg(cache_bytes: usize) -> Config {
     }
 }
 
+/// One unit of simulation work the parallel warm-up fans out:
+/// a configuration, the full system it runs on, and whether node times
+/// are recorded.
+#[derive(Clone, Copy, Debug)]
+struct SimItem {
+    config: Config,
+    sys: SystemConfig,
+    record: bool,
+}
+
+/// A [`SimItem`] on the default system for its cache size.
+fn std_item(config: Config, record: bool) -> SimItem {
+    SimItem {
+        sys: sys_for(&config),
+        config,
+        record,
+    }
+}
+
 /// The lab: prepared benchmarks shared across experiments.
 #[derive(Debug)]
 pub struct Lab {
     /// Input scale for every benchmark.
     pub scale: Scale,
+    jobs: usize,
     prepared: Vec<Prepared>,
 }
 
 impl Lab {
-    /// Prepares the full suite at `scale`.
+    /// Prepares the full suite at `scale`, serially.
     pub fn new(scale: Scale) -> Self {
+        Self::with_jobs(scale, 1)
+    }
+
+    /// Prepares the full suite at `scale` using up to `jobs` worker
+    /// threads — both here (per-benchmark gradient preparation) and for
+    /// every subsequent [`Lab::run`], which pre-simulates the
+    /// experiment's configurations in parallel before the (serial,
+    /// order-preserving) table construction reads the warm memo.
+    /// Results are byte-identical for every `jobs` value.
+    pub fn with_jobs(scale: Scale, jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let names: Vec<&'static str> = NAMES.to_vec();
+        let prepared =
+            pool::map_parallel(&names, jobs, |_, name| Prepared::new(by_name(name, scale)));
         Lab {
             scale,
-            prepared: suite(scale).into_iter().map(Prepared::new).collect(),
+            jobs,
+            prepared,
+        }
+    }
+
+    /// Worker threads used by this lab.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Pre-populates the simulation memo for `prep_only` (programs and
+    /// traces only) and `items` (full simulations): stage 1 prepares
+    /// programs in parallel across benchmarks (each needs `&mut` for its
+    /// own memo), stage 2 fans simulations out over read-only
+    /// `(benchmark, item)` pairs, stage 3 inserts the results serially in
+    /// a fixed order. With one job this is a no-op — the experiment code
+    /// fills the memo lazily, as before.
+    fn warm_items(&mut self, prep_only: &[Config], items: &[SimItem]) {
+        if self.jobs <= 1 {
+            return;
+        }
+        let mut prep: Vec<Config> = prep_only.to_vec();
+        prep.extend(items.iter().map(|it| it.config));
+        if prep.is_empty() {
+            return;
+        }
+        pool::for_each_mut_parallel(&mut self.prepared, self.jobs, |p| {
+            for c in &prep {
+                let _ = p.ensure_program(c);
+            }
+        });
+        let work: Vec<(usize, SimItem)> = (0..self.prepared.len())
+            .flat_map(|bi| items.iter().map(move |it| (bi, *it)))
+            .filter(|(bi, it)| !self.prepared[*bi].has_sim(&it.config, &it.sys, it.record))
+            .collect();
+        let prepared = &self.prepared;
+        let reports = pool::map_parallel(&work, self.jobs, |_, (bi, it)| {
+            prepared[*bi].sim_uncached(&it.config, &it.sys, it.record)
+        });
+        for ((bi, it), report) in work.iter().zip(reports) {
+            if let Some(report) = report {
+                self.prepared[*bi].insert_sim(&it.config, &it.sys, it.record, report);
+            }
+        }
+    }
+
+    /// The simulation plan behind each experiment id: configurations to
+    /// prepare without simulating, and (config, system, record) triples
+    /// to simulate. Experiments that build ad-hoc [`Prepared`] instances
+    /// (fig4.8–4.10) stay serial and return an empty plan.
+    fn warm_plan(id: &str) -> (Vec<Config>, Vec<SimItem>) {
+        let fifo_8k = {
+            let mut sys = SystemConfig::with_cache_bytes(8192);
+            sys.cache.policy = ReplacementPolicy::Fifo;
+            sys
+        };
+        match id {
+            "fig1.3" | "fig2.6" | "regpressure" => (vec![E32K], vec![]),
+            "fig2.7" | "fig2.8" => (vec![], vec![std_item(E32K, true)]),
+            "table4.1" => (vec![E32K, t_cfg(32768)], vec![]),
+            "fig4.1" => (
+                vec![],
+                vec![std_item(E32K, false), std_item(t_cfg(32768), false)],
+            ),
+            "fig4.2" => {
+                let mut items: Vec<SimItem> = [1024usize, 2048, 8192, 32768, 131072]
+                    .into_iter()
+                    .map(|c| std_item(Config::enzyme(c), false))
+                    .collect();
+                items.push(std_item(t_cfg(1024), false));
+                items.push(std_item(t_cfg(32768), false));
+                (vec![], items)
+            }
+            "fig4.3" => (
+                vec![],
+                vec![
+                    std_item(Config::enzyme(4096), false),
+                    std_item(Config::AosOnCache { cache_bytes: 4096 }, false),
+                ],
+            ),
+            "fig4.4" | "fig4.5" => (
+                vec![],
+                vec![std_item(E32K, false), std_item(t_cfg(2048), false)],
+            ),
+            "fig4.6" => {
+                let configs = [
+                    Config::enzyme(1024),
+                    Config::enzyme(8192),
+                    Config::enzyme(32768),
+                    Config::enzyme(131072),
+                    t_cfg(1024),
+                    t_cfg(2048),
+                    t_cfg(32768),
+                ];
+                (
+                    vec![],
+                    configs.iter().map(|c| std_item(*c, false)).collect(),
+                )
+            }
+            "fig4.7" => {
+                let mut items = vec![std_item(E32K, false)];
+                for spad_bytes in [64usize, 128, 256, 512, 1024, 2048] {
+                    items.push(std_item(
+                        Config::Tapeflow {
+                            cache_bytes: 32768,
+                            spad_bytes,
+                            double_buffer: true,
+                        },
+                        false,
+                    ));
+                }
+                (vec![], items)
+            }
+            "ablation" => (
+                vec![],
+                vec![
+                    std_item(t_cfg(32768), false),
+                    std_item(
+                        Config::Tapeflow {
+                            cache_bytes: 32768,
+                            spad_bytes: 1024,
+                            double_buffer: false,
+                        },
+                        false,
+                    ),
+                    std_item(Config::enzyme(8192), false),
+                    SimItem {
+                        config: Config::enzyme(8192),
+                        sys: fifo_8k,
+                        record: false,
+                    },
+                ],
+            ),
+            _ => (vec![], vec![]),
         }
     }
 
@@ -67,6 +236,8 @@ impl Lab {
     ///
     /// Panics on an unknown id; see [`IDS`].
     pub fn run(&mut self, id: &str) -> Vec<Table> {
+        let (prep, items) = Self::warm_plan(id);
+        self.warm_items(&prep, &items);
         match id {
             "table2.1" => vec![table2_1()],
             "fig1.3" => vec![self.fig1_3()],
@@ -101,7 +272,12 @@ impl Lab {
         let mut t = Table::new(
             "Fig 1.3 — state distribution of the gradient function's accesses",
             &[
-                "bench", "input", "output+temp", "tape", "shadow", "grad/fwd accesses",
+                "bench",
+                "input",
+                "output+temp",
+                "tape",
+                "shadow",
+                "grad/fwd accesses",
             ],
         );
         for p in &mut self.prepared {
@@ -140,7 +316,13 @@ impl Lab {
     fn regpressure(&mut self) -> Table {
         let mut t = Table::new(
             "Register pressure of the gradient dataflow (thesis §1.5 tool)",
-            &["bench", "dyn values", "min regs (no spill)", "spills@32", "spills@64"],
+            &[
+                "bench",
+                "dyn values",
+                "min regs (no spill)",
+                "spills@32",
+                "spills@64",
+            ],
         );
         for p in &mut self.prepared {
             let tr = p.trace(&E32K);
@@ -164,8 +346,14 @@ impl Lab {
         let mut t = Table::new(
             "Fig 2.6 — edge distribution and working set (Enzyme baseline)",
             &[
-                "bench", "fwd edges", "rev edges", "tape edges", "tape %", "mem acc",
-                "tape acc %", "working set",
+                "bench",
+                "fwd edges",
+                "rev edges",
+                "tape edges",
+                "tape %",
+                "mem acc",
+                "tape acc %",
+                "working set",
             ],
         );
         for p in &mut self.prepared {
@@ -244,8 +432,14 @@ impl Lab {
         let mut t = Table::new(
             "Table 4.1 — benchmark description",
             &[
-                "name", "class", "suite", "input params", "arrays/loop", "work.set",
-                "tape bytes", "layer count",
+                "name",
+                "class",
+                "suite",
+                "input params",
+                "arrays/loop",
+                "work.set",
+                "tape bytes",
+                "layer count",
             ],
         );
         for p in &mut self.prepared {
@@ -257,7 +451,12 @@ impl Lab {
                 (compiled.stats.merged_tape_bytes, compiled.stats.fwd_layers);
             t.row(vec![
                 p.bench.name.into(),
-                if p.bench.regular { "regular" } else { "irregular" }.into(),
+                if p.bench.regular {
+                    "regular"
+                } else {
+                    "irregular"
+                }
+                .into(),
                 p.bench.suite.into(),
                 p.bench.params.clone(),
                 arrays_per_loop.to_string(),
@@ -275,7 +474,11 @@ impl Lab {
         let mut t = Table::new(
             "Fig 4.1 — Tflow_32k vs Enzyme_32k: speedup and REV hit rate",
             &[
-                "bench", "speedup", "fwd speedup", "rev speedup", "enzyme rev hit",
+                "bench",
+                "speedup",
+                "fwd speedup",
+                "rev speedup",
+                "enzyme rev hit",
                 "tflow rev hit",
             ],
         );
@@ -365,7 +568,13 @@ impl Lab {
     fn fig4_4(&mut self) -> Table {
         let mut t = Table::new(
             "Fig 4.4 — on-chip energy reduction: Enzyme_32k / Tflow_2k (higher is better)",
-            &["bench", "enzyme pJ", "tflow pJ", "reduction", "iso-perform slowdown"],
+            &[
+                "bench",
+                "enzyme pJ",
+                "tflow pJ",
+                "reduction",
+                "iso-perform slowdown",
+            ],
         );
         let mut reds = Vec::new();
         for p in &mut self.prepared {
@@ -391,7 +600,11 @@ impl Lab {
         let mut t = Table::new(
             "Fig 4.5 — normalized on-chip energy (Tflow_2k / Enzyme_32k, lower is better)",
             &[
-                "bench", "norm energy", "cache acc reduction", "cache pJ", "spad pJ",
+                "bench",
+                "norm energy",
+                "cache acc reduction",
+                "cache pJ",
+                "spad pJ",
                 "stream pJ",
             ],
         );
@@ -522,7 +735,9 @@ impl Lab {
             }
             t.row(row);
         }
-        t.note("paper: a small scratchpad caps ILP; bigger buffers unlock it until cache ports bind");
+        t.note(
+            "paper: a small scratchpad caps ILP; bigger buffers unlock it until cache ports bind",
+        );
         t
     }
 
@@ -532,11 +747,19 @@ impl Lab {
         let mut t = Table::new(
             "Fig 4.9 — tape working set vs DRAM traffic per access (pathfinder)",
             &[
-                "tape/cache", "tape bytes", "enzyme dram/acc", "tflow dram/acc", "tflow/enzyme",
+                "tape/cache",
+                "tape bytes",
+                "enzyme dram/acc",
+                "tflow dram/acc",
+                "tflow/enzyme",
             ],
         );
         // ~5 tape slots per grid cell at 8 B each (see pathfinder docs).
-        for (label, cells) in [("0.5x", 16 * 1024 / 40), ("1x", 32 * 1024 / 40), ("4x", 131072 / 40)] {
+        for (label, cells) in [
+            ("0.5x", 16 * 1024 / 40),
+            ("1x", 32 * 1024 / 40),
+            ("4x", 131072 / 40),
+        ] {
             let rows = (cells as f64).sqrt() as usize;
             let cols = cells / rows.max(1);
             let bench = tapeflow_benchmarks::by_name("pathfinder", Scale::Tiny);
@@ -546,10 +769,17 @@ impl Lab {
             let tape_bytes = p.grad.tape_elems() * 8;
             let ez = p.sim(&E32K, false).clone();
             let tf = p.sim(&t_cfg(32768), false).clone();
+            // Steady-state traffic: exclude the one-time cool-down flush,
+            // which charges every resident dirty line regardless of grid
+            // size and would mask the crossover the figure is about.
+            let ez_line = sys_for(&E32K).cache.line_bytes as u64;
+            let tf_line = sys_for(&t_cfg(32768)).cache.line_bytes as u64;
             let ez_total = (ez.cache.accesses() + ez.spad_accesses).max(1);
             let tf_total = (tf.cache.accesses() + tf.spad_accesses).max(1);
-            let ez_norm = ez.dram_bytes() as f64 / ez_total as f64;
-            let tf_norm = tf.dram_bytes() as f64 / tf_total as f64;
+            let ez_norm =
+                (ez.dram_bytes() - ez.cache.flush_writebacks * ez_line) as f64 / ez_total as f64;
+            let tf_norm =
+                (tf.dram_bytes() - tf.cache.flush_writebacks * tf_line) as f64 / tf_total as f64;
             t.row(vec![
                 label.into(),
                 kib(tape_bytes),
@@ -568,7 +798,11 @@ impl Lab {
         let mut t = Table::new(
             "Fig 4.10 — pathfinder: unroll factor vs speedup and per-layer parallelism",
             &[
-                "unroll", "speedup vs Enzyme_32k", "norm speedup", "ops/layer", "norm ops/layer",
+                "unroll",
+                "speedup vs Enzyme_32k",
+                "norm speedup",
+                "ops/layer",
+                "norm ops/layer",
             ],
         );
         let base_bench = by_name("pathfinder", self.scale);
@@ -600,7 +834,9 @@ impl Lab {
                 format!("{:.2}", ops_per_layer / o0),
             ]);
         }
-        t.note("paper: shallow graphs with wider layers gain up to 2x from more per-layer parallelism");
+        t.note(
+            "paper: shallow graphs with wider layers gain up to 2x from more per-layer parallelism",
+        );
         t
     }
 }
@@ -615,11 +851,19 @@ impl Lab {
             "Ablation A — tape policy vs tape size (bytes)",
             &["bench", "Minimal", "Conservative (default)", "All"],
         );
-        for p in &mut self.prepared {
-            let sizes: Vec<String> = [TapePolicy::Minimal, TapePolicy::Conservative, TapePolicy::All]
-                .into_iter()
-                .map(|pl| p.bench.gradient_with(pl).stats.tape_bytes.to_string())
-                .collect();
+        // Re-differentiating under three policies is the expensive part;
+        // it is read-only on `Prepared`, so fan it out per benchmark.
+        let all_sizes: Vec<Vec<String>> = pool::map_parallel(&self.prepared, self.jobs, |_, p| {
+            [
+                TapePolicy::Minimal,
+                TapePolicy::Conservative,
+                TapePolicy::All,
+            ]
+            .into_iter()
+            .map(|pl| p.bench.gradient_with(pl).stats.tape_bytes.to_string())
+            .collect()
+        });
+        for (p, sizes) in self.prepared.iter().zip(all_sizes) {
             let mut row = vec![p.bench.name.to_string()];
             row.extend(sizes);
             pol.row(row);
@@ -629,7 +873,12 @@ impl Lab {
         // (b) Double buffering on/off at the baseline scratchpad.
         let mut db = Table::new(
             "Ablation B — double buffering (cycles, Tflow_32k)",
-            &["bench", "double-buffered", "single-buffered", "single/double"],
+            &[
+                "bench",
+                "double-buffered",
+                "single-buffered",
+                "single/double",
+            ],
         );
         for p in &mut self.prepared {
             let on = p.sim(&t_cfg(32768), false).cycles;
@@ -641,7 +890,12 @@ impl Lab {
             let off = match p.try_sim(&off_cfg, false) {
                 Some(r) => r.cycles,
                 None => {
-                    db.row(vec![p.bench.name.into(), on.to_string(), "n/a".into(), "".into()]);
+                    db.row(vec![
+                        p.bench.name.into(),
+                        on.to_string(),
+                        "n/a".into(),
+                        "".into(),
+                    ]);
                     continue;
                 }
             };
@@ -654,22 +908,22 @@ impl Lab {
         }
         db.note("single buffering doubles the tile but blocks stream/compute overlap");
 
-        // (c) Replacement policy on the Enzyme baseline (Obs 1.3).
+        // (c) Replacement policy on the Enzyme baseline (Obs 1.3). Goes
+        // through the memo — which keys on the full system configuration,
+        // so the FIFO run cannot alias the LRU one — and therefore
+        // benefits from the parallel warm-up like everything else.
         let mut rp = Table::new(
             "Ablation C — baseline cache replacement policy (cycles, 8k cache)",
             &["bench", "LRU", "FIFO", "FIFO/LRU"],
         );
         for p in &mut self.prepared {
-            let trace = p.trace(&Config::enzyme(8192)).clone();
             let mut cycles = Vec::new();
-            for policy in [
-                tapeflow_sim::ReplacementPolicy::Lru,
-                tapeflow_sim::ReplacementPolicy::Fifo,
-            ] {
-                let mut cfg = SystemConfig::with_cache_bytes(8192);
-                cfg.cache.policy = policy;
+            for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+                let mut sys = SystemConfig::with_cache_bytes(8192);
+                sys.cache.policy = policy;
                 cycles.push(
-                    tapeflow_sim::simulate(&trace, &cfg, &tapeflow_sim::SimOptions::default())
+                    p.try_sim_with(&Config::enzyme(8192), &sys, false)
+                        .expect("enzyme configs always trace")
                         .cycles,
                 );
             }
@@ -683,23 +937,141 @@ impl Lab {
         rp.note("no policy choice rescues the cache from tape traffic (paper Obs 1.3)");
         vec![pol, db, rp]
     }
+
+    /// The canonical per-benchmark configuration sweep reported in the
+    /// machine-readable results document.
+    fn json_configs() -> Vec<Config> {
+        vec![
+            Config::enzyme(1024),
+            Config::enzyme(2048),
+            Config::enzyme(8192),
+            Config::enzyme(32768),
+            Config::enzyme(131072),
+            t_cfg(1024),
+            t_cfg(2048),
+            t_cfg(32768),
+            Config::AosOnCache { cache_bytes: 4096 },
+        ]
+    }
+
+    /// Machine-readable results: every benchmark simulated under the
+    /// canonical configuration sweep (cycles, hit rates, DRAM traffic,
+    /// energy — see [`tapeflow_sim::SimReport::to_json`]). The sweep is
+    /// warmed through the parallel pool first; the document itself is
+    /// assembled serially in registry order, so its bytes are identical
+    /// for any job count.
+    pub fn json_report(&mut self) -> Value {
+        let configs = Self::json_configs();
+        let items: Vec<SimItem> = configs.iter().map(|c| std_item(*c, false)).collect();
+        self.warm_items(&[], &items);
+        let mut benches = Vec::new();
+        for p in &mut self.prepared {
+            let mut per_config = Vec::new();
+            for c in &configs {
+                let mut entry = Value::object();
+                entry.set("config", c.label());
+                match p.try_sim(c, false) {
+                    Some(r) => {
+                        entry.set("feasible", true);
+                        entry.set("report", r.to_json());
+                    }
+                    None => {
+                        entry.set("feasible", false);
+                    }
+                }
+                per_config.push(entry);
+            }
+            let mut b = Value::object();
+            b.set("name", p.bench.name)
+                .set("tape_elems", p.grad.tape_elems())
+                .set("configs", Value::Arr(per_config));
+            benches.push(b);
+        }
+        let mut doc = Value::object();
+        doc.set("scale", format!("{:?}", self.scale))
+            .set("benchmarks", Value::Arr(benches));
+        doc
+    }
 }
 
 /// Table 2.1: the qualitative framework comparison (static).
 fn table2_1() -> Table {
     let mut t = Table::new(
         "Table 2.1 — Tapeflow vs SOTA frameworks (qualitative, from the paper)",
-        &["axis", "DNN training", "DSLs", "Diff. libraries", "Enzyme", "Tapeflow"],
+        &[
+            "axis",
+            "DNN training",
+            "DSLs",
+            "Diff. libraries",
+            "Enzyme",
+            "Tapeflow",
+        ],
     );
     let rows: [[&str; 6]; 8] = [
-        ["domain", "DNNs/ML", "physics/img", "dataflow", "general", "general"],
-        ["operators", "fixed kernels", "arbitrary", "lib-specific", "arbitrary", "arbitrary"],
-        ["access flexibility", "low", "high", "FIFO-only", "high", "high"],
-        ["tape allocation", "compiler", "user", "compiler", "compiler", "compiler"],
-        ["alloc granularity", "tensor", "array", "element", "array", "regions"],
-        ["tape orchestration", "varies", "implicit", "implicit", "implicit", "explicit"],
-        ["tape layout", "tensors (SoA)", "SoA", "FIFO", "arrays (SoA)", "struct (AoS)"],
-        ["memory hierarchy", "flexible", "cache", "cache", "cache", "scratchpad"],
+        [
+            "domain",
+            "DNNs/ML",
+            "physics/img",
+            "dataflow",
+            "general",
+            "general",
+        ],
+        [
+            "operators",
+            "fixed kernels",
+            "arbitrary",
+            "lib-specific",
+            "arbitrary",
+            "arbitrary",
+        ],
+        [
+            "access flexibility",
+            "low",
+            "high",
+            "FIFO-only",
+            "high",
+            "high",
+        ],
+        [
+            "tape allocation",
+            "compiler",
+            "user",
+            "compiler",
+            "compiler",
+            "compiler",
+        ],
+        [
+            "alloc granularity",
+            "tensor",
+            "array",
+            "element",
+            "array",
+            "regions",
+        ],
+        [
+            "tape orchestration",
+            "varies",
+            "implicit",
+            "implicit",
+            "implicit",
+            "explicit",
+        ],
+        [
+            "tape layout",
+            "tensors (SoA)",
+            "SoA",
+            "FIFO",
+            "arrays (SoA)",
+            "struct (AoS)",
+        ],
+        [
+            "memory hierarchy",
+            "flexible",
+            "cache",
+            "cache",
+            "cache",
+            "scratchpad",
+        ],
     ];
     for r in rows {
         t.row(r.iter().map(|s| s.to_string()).collect());
@@ -710,7 +1082,10 @@ fn table2_1() -> Table {
 /// Table 4.2: the simulated system configuration.
 fn table4_2() -> Table {
     let cfg = SystemConfig::baseline_32k();
-    let mut t = Table::new("Table 4.2 — system configuration", &["component", "setting"]);
+    let mut t = Table::new(
+        "Table 4.2 — system configuration",
+        &["component", "setting"],
+    );
     t.row(vec![
         "datapath".into(),
         format!(
@@ -736,7 +1111,10 @@ fn table4_2() -> Table {
     ]);
     t.row(vec![
         "scratchpad".into(),
-        format!("1 KB: {} banks, latency {} cyc", cfg.spad.banks, cfg.spad.latency),
+        format!(
+            "1 KB: {} banks, latency {} cyc",
+            cfg.spad.banks, cfg.spad.latency
+        ),
     ]);
     t.row(vec![
         "dram".into(),
@@ -765,7 +1143,11 @@ fn table4_2() -> Table {
 /// tensors-per-loop column).
 fn max_arrays_per_loop(b: &Benchmark) -> usize {
     use tapeflow_ir::{Op, Stmt};
-    fn arrays_in(func: &tapeflow_ir::Function, stmts: &[Stmt], set: &mut Vec<tapeflow_ir::ArrayId>) {
+    fn arrays_in(
+        func: &tapeflow_ir::Function,
+        stmts: &[Stmt],
+        set: &mut Vec<tapeflow_ir::ArrayId>,
+    ) {
         for s in stmts {
             match s {
                 Stmt::Inst(i) => {

@@ -1,6 +1,15 @@
 //! Memoized per-benchmark runners.
+//!
+//! A [`Prepared`] computes the gradient once and memoizes compiled
+//! programs, traces and simulation results per configuration. Programs
+//! and traces live behind [`Arc`] so they can be shared read-only with
+//! worker threads; simulation results are keyed on the *full*
+//! [`SystemConfig`] (via [`SystemConfig::fingerprint`]), so sweeps that
+//! vary anything beyond the cache size — replacement policy, MSHRs,
+//! scratchpad banks — never alias each other's entries.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use tapeflow_autodiff::Gradient;
 use tapeflow_benchmarks::Benchmark;
 use tapeflow_core::{compile, CompileMode, CompileOptions, CompiledProgram};
@@ -66,13 +75,20 @@ impl Config {
         }
     }
 
-    fn cache_bytes(&self) -> usize {
+    /// The cache size this configuration simulates with.
+    pub fn cache_bytes(&self) -> usize {
         match self {
             Config::Enzyme { cache_bytes }
             | Config::Tapeflow { cache_bytes, .. }
             | Config::AosOnCache { cache_bytes } => *cache_bytes,
         }
     }
+}
+
+/// The default system for a configuration: everything from Table 4.2
+/// except the cache size, which the configuration picks.
+pub fn sys_for(config: &Config) -> SystemConfig {
+    SystemConfig::with_cache_bytes(config.cache_bytes())
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +101,10 @@ enum ProgramKey {
     },
 }
 
+/// Simulation memo key: which program, on which full system
+/// configuration, with or without node times.
+type SimKey = (ProgramKey, u64, bool);
+
 /// A benchmark prepared for repeated simulation: the gradient is computed
 /// once, compiled programs and traces are memoized per configuration.
 pub struct Prepared {
@@ -92,10 +112,20 @@ pub struct Prepared {
     pub bench: Benchmark,
     /// Its gradient (Enzyme-realistic tape policy).
     pub grad: Gradient,
-    traces: HashMap<ProgramKey, Trace>,
-    compiled: HashMap<ProgramKey, CompiledProgram>,
-    sims: HashMap<(ProgramKey, usize, bool), SimReport>,
+    traces: HashMap<ProgramKey, Arc<Trace>>,
+    compiled: HashMap<ProgramKey, Arc<CompiledProgram>>,
+    /// Programs that failed to compile (scratchpad too small); cached so
+    /// repeated sweeps don't retry the compilation.
+    infeasible: HashSet<ProgramKey>,
+    sims: HashMap<SimKey, SimReport>,
 }
+
+// Worker threads hold `&Prepared` during the read-only simulation
+// fan-out; keep it thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prepared>();
+};
 
 impl std::fmt::Debug for Prepared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -114,6 +144,7 @@ impl Prepared {
             grad,
             traces: HashMap::new(),
             compiled: HashMap::new(),
+            infeasible: HashSet::new(),
             sims: HashMap::new(),
         }
     }
@@ -145,6 +176,9 @@ impl Prepared {
             aos_only,
         } = key
         {
+            if self.infeasible.contains(&key) {
+                return None;
+            }
             if !self.compiled.contains_key(&key) {
                 let opts = CompileOptions {
                     spad_entries: (spad_bytes / 8).max(2),
@@ -155,8 +189,15 @@ impl Prepared {
                         CompileMode::Full
                     },
                 };
-                let c = compile(&self.grad, &opts).ok()?;
-                self.compiled.insert(key, c);
+                match compile(&self.grad, &opts) {
+                    Ok(c) => {
+                        self.compiled.insert(key, Arc::new(c));
+                    }
+                    Err(_) => {
+                        self.infeasible.insert(key);
+                        return None;
+                    }
+                }
             }
             Some(&self.compiled[&key])
         } else {
@@ -170,9 +211,7 @@ impl Prepared {
             .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
     }
 
-    /// Trace of the program selected by `config` (memoized); `None` when
-    /// the program cannot be compiled for that scratchpad.
-    pub fn try_trace(&mut self, config: &Config) -> Option<&Trace> {
+    fn try_trace_key(&mut self, config: &Config) -> Option<ProgramKey> {
         let key = Self::key_of(config);
         if !self.traces.contains_key(&key) {
             let (func, barrier) = match key {
@@ -187,7 +226,9 @@ impl Prepared {
                 mem.clone_array_from(&self.bench.mem, ArrayId::new(i));
             }
             mem.set_f64_at(
-                self.grad.shadow_of(self.bench.loss.array).expect("loss shadow"),
+                self.grad
+                    .shadow_of(self.bench.loss.array)
+                    .expect("loss shadow"),
                 self.bench.loss.index,
                 1.0,
             );
@@ -199,9 +240,23 @@ impl Prepared {
                 },
             )
             .unwrap_or_else(|e| panic!("{}: {e}", self.bench.name));
-            self.traces.insert(key, t);
+            self.traces.insert(key, Arc::new(t));
         }
+        Some(key)
+    }
+
+    /// Trace of the program selected by `config` (memoized); `None` when
+    /// the program cannot be compiled for that scratchpad.
+    pub fn try_trace(&mut self, config: &Config) -> Option<&Trace> {
+        let key = self.try_trace_key(config)?;
         Some(&self.traces[&key])
+    }
+
+    /// Like [`Prepared::try_trace`] but handing out a shared reference,
+    /// so callers can keep the trace without a deep clone.
+    pub fn try_trace_shared(&mut self, config: &Config) -> Option<Arc<Trace>> {
+        let key = self.try_trace_key(config)?;
+        Some(Arc::clone(&self.traces[&key]))
     }
 
     /// Like [`Prepared::try_trace`] but panicking on infeasible configs.
@@ -220,26 +275,83 @@ impl Prepared {
         self.compiled_for(Self::key_of(config))
     }
 
-    /// Simulates under `config` (memoized); `None` when the program cannot
-    /// be compiled for that scratchpad. `record_times` additionally stores
-    /// per-node finish cycles (needed once per benchmark for the lifetime
-    /// figures).
-    pub fn try_sim(&mut self, config: &Config, record_times: bool) -> Option<&SimReport> {
-        let key = (Self::key_of(config), config.cache_bytes(), record_times);
+    /// Memoizes the program and trace behind `config` without simulating;
+    /// returns whether the configuration is feasible. This is the
+    /// preparation stage the parallel harness runs per benchmark before
+    /// fanning simulations out over read-only `&Prepared` references.
+    pub fn ensure_program(&mut self, config: &Config) -> bool {
+        self.try_trace_key(config).is_some()
+    }
+
+    /// Whether a simulation result for exactly this (config, system,
+    /// record) combination is already memoized.
+    pub fn has_sim(&self, config: &Config, sys: &SystemConfig, record_times: bool) -> bool {
+        self.sims
+            .contains_key(&(Self::key_of(config), sys.fingerprint(), record_times))
+    }
+
+    /// Runs one simulation *without* touching the memo. Requires the
+    /// program to have been prepared via [`Prepared::ensure_program`]
+    /// first; returns `None` for infeasible configurations. Takes `&self`
+    /// so a worker pool can fan out over shared references.
+    pub fn sim_uncached(
+        &self,
+        config: &Config,
+        sys: &SystemConfig,
+        record_times: bool,
+    ) -> Option<SimReport> {
+        let trace = self.traces.get(&Self::key_of(config))?;
+        Some(simulate(
+            trace,
+            sys,
+            &SimOptions {
+                record_node_times: record_times,
+            },
+        ))
+    }
+
+    /// Stores a simulation result computed elsewhere (by
+    /// [`Prepared::sim_uncached`] on a worker thread) into the memo.
+    pub fn insert_sim(
+        &mut self,
+        config: &Config,
+        sys: &SystemConfig,
+        record_times: bool,
+        report: SimReport,
+    ) {
+        self.sims.insert(
+            (Self::key_of(config), sys.fingerprint(), record_times),
+            report,
+        );
+    }
+
+    /// Simulates under `config` on an explicit system configuration
+    /// (memoized on the full configuration); `None` when the program
+    /// cannot be compiled for that scratchpad.
+    pub fn try_sim_with(
+        &mut self,
+        config: &Config,
+        sys: &SystemConfig,
+        record_times: bool,
+    ) -> Option<&SimReport> {
+        let key = (Self::key_of(config), sys.fingerprint(), record_times);
         if !self.sims.contains_key(&key) {
-            self.try_trace(config)?; // ensure memoized
-            let trace = &self.traces[&Self::key_of(config)];
-            let cfg = SystemConfig::with_cache_bytes(config.cache_bytes());
-            let r = simulate(
-                trace,
-                &cfg,
-                &SimOptions {
-                    record_node_times: record_times,
-                },
-            );
+            self.try_trace_key(config)?;
+            let r = self
+                .sim_uncached(config, sys, record_times)
+                .expect("trace just prepared");
             self.sims.insert(key, r);
         }
         Some(&self.sims[&key])
+    }
+
+    /// Simulates under `config` with the default system for its cache
+    /// size (memoized); `None` when the program cannot be compiled for
+    /// that scratchpad. `record_times` additionally stores per-node
+    /// finish cycles (needed once per benchmark for the lifetime
+    /// figures).
+    pub fn try_sim(&mut self, config: &Config, record_times: bool) -> Option<&SimReport> {
+        self.try_sim_with(config, &sys_for(config), record_times)
     }
 
     /// Like [`Prepared::try_sim`] but panicking on infeasible configs.
@@ -262,6 +374,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use tapeflow_benchmarks::{by_name, Scale};
+    use tapeflow_sim::ReplacementPolicy;
 
     #[test]
     fn labels() {
@@ -278,6 +391,63 @@ mod tests {
         assert_eq!(a, b);
         let t = p.sim(&Config::tapeflow(1024), false).cycles;
         assert!(t > 0);
+    }
+
+    #[test]
+    fn memo_keys_on_full_system_config() {
+        // Same cache size, different replacement policy: the memo must
+        // keep both results apart (the old key aliased them).
+        let mut p = Prepared::new(by_name("logsum", Scale::Tiny));
+        let config = Config::enzyme(1024);
+        let lru = sys_for(&config);
+        let mut fifo = lru;
+        fifo.cache.policy = ReplacementPolicy::Fifo;
+        let r_lru = p.try_sim_with(&config, &lru, false).unwrap().clone();
+        let r_fifo = p.try_sim_with(&config, &fifo, false).unwrap().clone();
+        assert!(p.has_sim(&config, &lru, false));
+        assert!(p.has_sim(&config, &fifo, false));
+        // Both memo entries stay distinct and each re-read returns its
+        // own result.
+        assert_eq!(
+            p.try_sim_with(&config, &lru, false).unwrap().cycles,
+            r_lru.cycles
+        );
+        assert_eq!(
+            p.try_sim_with(&config, &fifo, false).unwrap().cycles,
+            r_fifo.cycles
+        );
+        assert_eq!(
+            p.sims.len(),
+            2,
+            "two distinct memo entries, not one aliased"
+        );
+    }
+
+    #[test]
+    fn uncached_sim_matches_memoized_path() {
+        let mut p = Prepared::new(by_name("logsum", Scale::Tiny));
+        let config = Config::tapeflow(2048);
+        let sys = sys_for(&config);
+        assert!(p.ensure_program(&config));
+        let direct = p.sim_uncached(&config, &sys, false).unwrap();
+        let memoized = p.try_sim_with(&config, &sys, false).unwrap();
+        assert_eq!(direct.cycles, memoized.cycles);
+        assert_eq!(direct.dram_fill_bytes, memoized.dram_fill_bytes);
+    }
+
+    #[test]
+    fn infeasible_configs_are_cached_not_retried() {
+        let mut p = Prepared::new(by_name("mttkrp", Scale::Tiny));
+        let tiny_spad = Config::Tapeflow {
+            cache_bytes: 32768,
+            spad_bytes: 16, // 2 entries: too small for any real region
+            double_buffer: true,
+        };
+        if p.ensure_program(&tiny_spad) {
+            return; // feasible at this scale: nothing to assert
+        }
+        assert!(p.try_sim(&tiny_spad, false).is_none());
+        assert!(!p.ensure_program(&tiny_spad), "stays infeasible");
     }
 
     #[test]

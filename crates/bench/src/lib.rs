@@ -13,13 +13,18 @@
 //! ```
 //!
 //! or a single experiment (`fig4.1`, `table4.1`, ...). Pass `--csv DIR`
-//! to also write each table as CSV.
+//! to also write each table as CSV, `--jobs N` to fan simulations out
+//! over N worker threads (results are byte-identical to a serial run),
+//! and `--json PATH` to pick where the machine-readable results go
+//! (default `results/BENCH_experiments.json`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
+pub mod pool;
 pub mod table;
 
 pub use harness::{Config, Prepared};

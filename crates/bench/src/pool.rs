@@ -1,0 +1,125 @@
+//! A deterministic scoped worker pool (no external dependencies).
+//!
+//! Workers pull item indices from a shared atomic counter and send
+//! `(index, result)` pairs back over a channel; results are re-assembled
+//! into an index-aligned vector, so the output order never depends on
+//! thread scheduling. Panics in workers propagate out of the scope.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Worker count to use when the caller did not pick one: the number of
+/// cores the process may run on (1 if that cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` scoped worker threads and
+/// returns the results in item order. `f` receives `(index, &item)`.
+/// With `jobs <= 1` (or a single item) this degenerates to a plain
+/// serial map on the calling thread.
+pub fn map_parallel<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                // The receiver outlives the scope; send only fails if the
+                // main thread already panicked, in which case stop early.
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced exactly once"))
+            .collect()
+    })
+}
+
+/// Applies `f` to every element of `items` in place, partitioned across
+/// up to `jobs` scoped worker threads (contiguous chunks, so each element
+/// is visited exactly once). Used where per-item mutable state must be
+/// built up (e.g. per-benchmark memo maps) before a read-only fan-out.
+pub fn for_each_mut_parallel<T, F>(items: &mut [T], jobs: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        for t in items {
+            f(t);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(jobs);
+    std::thread::scope(|scope| {
+        for group in items.chunks_mut(chunk) {
+            let f = &f;
+            scope.spawn(move || {
+                for t in group {
+                    f(t);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_aligned() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial = map_parallel(&items, 1, |i, x| i * 1000 + x * 3);
+        for jobs in [2, 4, 7] {
+            let parallel = map_parallel(&items, jobs, |i, x| i * 1000 + x * 3);
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_parallel(&none, 8, |_, x| *x).is_empty());
+        let one = [41u32];
+        assert_eq!(map_parallel(&one, 8, |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn mutating_visits_every_element_once() {
+        let mut items: Vec<u64> = (0..37).collect();
+        for_each_mut_parallel(&mut items, 4, |x| *x += 1000);
+        assert_eq!(items, (1000..1037).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

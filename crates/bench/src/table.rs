@@ -79,6 +79,23 @@ impl Table {
         out
     }
 
+    /// The table as a JSON object (title, headers, rows, notes) for the
+    /// machine-readable results document.
+    pub fn to_json(&self) -> tapeflow_sim::json::Value {
+        use tapeflow_sim::json::Value;
+        let strings =
+            |xs: &[String]| Value::Arr(xs.iter().map(|s| Value::Str(s.clone())).collect());
+        let mut o = Value::object();
+        o.set("title", self.title.clone())
+            .set("headers", strings(&self.headers))
+            .set(
+                "rows",
+                Value::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            )
+            .set("notes", strings(&self.notes));
+        o
+    }
+
     /// Renders the table as CSV (headers + rows; notes as `#` comments).
     pub fn to_csv(&self) -> String {
         let esc = |s: &str| {
@@ -95,7 +112,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
             let _ = writeln!(
@@ -146,6 +167,18 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\",c"));
         assert!(csv.contains("\"x\"\"y\",z"));
+    }
+
+    #[test]
+    fn json_mirrors_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.note("n");
+        let j = t.to_json();
+        assert_eq!(j.get("title").unwrap().as_str(), Some("demo"));
+        assert_eq!(j.get("rows").unwrap().as_arr().unwrap().len(), 1);
+        let text = j.render();
+        assert_eq!(tapeflow_sim::json::Value::parse(&text).unwrap(), j);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The parallel harness must be invisible in the output: running with
+//! any `--jobs` count produces byte-identical tables, CSV and JSON.
+
+use tapeflow_bench::experiments::{Lab, IDS};
+use tapeflow_benchmarks::Scale;
+use tapeflow_sim::json::Value;
+
+#[test]
+fn four_jobs_byte_identical_to_serial() {
+    let mut serial = Lab::new(Scale::Tiny);
+    let mut parallel = Lab::with_jobs(Scale::Tiny, 4);
+    assert_eq!(serial.jobs(), 1);
+    assert_eq!(parallel.jobs(), 4);
+    for id in IDS {
+        let a = serial.run(id);
+        let b = parallel.run(id);
+        assert_eq!(a.len(), b.len(), "{id}: table count");
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.render(), tb.render(), "{id}: rendered table differs");
+            assert_eq!(ta.to_csv(), tb.to_csv(), "{id}: CSV differs");
+            assert_eq!(
+                ta.to_json().render(),
+                tb.to_json().render(),
+                "{id}: JSON table differs"
+            );
+        }
+    }
+    assert_eq!(
+        serial.json_report().render(),
+        parallel.json_report().render(),
+        "benchmark sweep JSON differs"
+    );
+}
+
+#[test]
+fn json_report_is_parseable_and_covers_the_suite() {
+    let mut lab = Lab::with_jobs(Scale::Tiny, 4);
+    let text = lab.json_report().render();
+    let doc = Value::parse(&text).expect("emitted JSON parses");
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("benchmarks array");
+    assert_eq!(benches.len(), tapeflow_benchmarks::NAMES.len());
+    for b in benches {
+        let name = b.get("name").and_then(Value::as_str).expect("name");
+        let configs = b.get("configs").and_then(Value::as_arr).expect("configs");
+        assert!(!configs.is_empty(), "{name}: no configs");
+        let mut any_feasible = false;
+        for c in configs {
+            let feasible = c.get("feasible").expect("feasible flag");
+            if *feasible == Value::Bool(true) {
+                any_feasible = true;
+                let report = c.get("report").expect("feasible entries carry a report");
+                assert!(
+                    report.get("cycles").and_then(Value::as_u64).unwrap_or(0) > 0,
+                    "{name}: zero-cycle report"
+                );
+            }
+        }
+        assert!(any_feasible, "{name}: every configuration infeasible");
+    }
+}

@@ -113,10 +113,7 @@ pub fn build(scale: Scale) -> Benchmark {
     let mut mem = Memory::for_function(&func);
     mem.set_f64(x, &det_f64(0x801, img * img, -1.0, 1.0));
     mem.set_f64(wc, &det_f64(0x802, maps * ksz * ksz, -0.4, 0.4));
-    mem.set_f64(
-        wf,
-        &det_f64(0x803, classes * maps * pool * pool, -0.3, 0.3),
-    );
+    mem.set_f64(wf, &det_f64(0x803, classes * maps * pool * pool, -0.3, 0.3));
     mem.set_f64(target, &det_f64(0x804, classes, -1.0, 1.0));
     Benchmark {
         name: "lenet5",

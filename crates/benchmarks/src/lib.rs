@@ -159,7 +159,15 @@ pub const NAMES: [&str; 9] = [
 
 /// Builds the full suite.
 pub fn suite(scale: Scale) -> Vec<Benchmark> {
-    NAMES.iter().map(|n| by_name(n, scale)).collect()
+    suite_iter(scale).collect()
+}
+
+/// Lazily builds the suite's benchmarks by value, in registry order.
+/// Unlike [`suite`], nothing is constructed until the iterator is
+/// advanced, which lets callers fan construction out across worker
+/// threads one benchmark at a time.
+pub fn suite_iter(scale: Scale) -> impl Iterator<Item = Benchmark> {
+    NAMES.iter().map(move |n| by_name(n, scale))
 }
 
 /// Deterministic pseudo-random `f64`s in `[lo, hi)` (xorshift; no
@@ -194,8 +202,7 @@ mod tests {
     #[test]
     fn suite_builds_and_verifies() {
         for b in suite(Scale::Tiny) {
-            tapeflow_ir::verify::verify(&b.func)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            tapeflow_ir::verify::verify(&b.func).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!b.wrt.is_empty(), "{}", b.name);
         }
     }

@@ -83,12 +83,7 @@ mod tests {
     fn four_deep_nest_produces_deep_region() {
         let b = build(Scale::Tiny);
         let g = b.gradient();
-        let max_path = g
-            .tapes
-            .iter()
-            .map(|t| t.fwd_loop_path.len())
-            .max()
-            .unwrap();
+        let max_path = g.tapes.iter().map(|t| t.fwd_loop_path.len()).max().unwrap();
         assert_eq!(max_path, 4, "innermost tape sits under i,j,k,l");
     }
 }

@@ -18,8 +18,7 @@ fn shadows_after(
         mem.clone_array_from(&b.mem, ArrayId::new(i));
     }
     mem.set_f64_at(grad.shadow_of(b.loss.array).unwrap(), b.loss.index, 1.0);
-    tapeflow_ir::interp::run(func, &mut mem)
-        .unwrap_or_else(|e| panic!("{}: {e}", func.name));
+    tapeflow_ir::interp::run(func, &mut mem).unwrap_or_else(|e| panic!("{}: {e}", func.name));
     b.wrt
         .iter()
         .map(|&w| mem.get_f64(grad.shadow_of(w).unwrap()))
@@ -41,8 +40,7 @@ fn full_pipeline_bit_identical_on_all_benchmarks() {
         ] {
             let c = compile(&grad, &opts)
                 .unwrap_or_else(|e| panic!("{}: compile {opts:?}: {e}", b.name));
-            tapeflow_ir::verify::verify(&c.func)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            tapeflow_ir::verify::verify(&c.func).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let got = shadows_after(&c.func, &b, &grad);
             assert_eq!(baseline, got, "{}: {opts:?}", b.name);
         }

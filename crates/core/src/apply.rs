@@ -23,8 +23,7 @@ use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreErro
 use std::collections::HashMap;
 use tapeflow_autodiff::{Gradient, Span};
 use tapeflow_ir::{
-    ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Scalar, Stmt, ValueDef,
-    ValueId,
+    ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Scalar, Stmt, ValueDef, ValueId,
 };
 
 /// Applies the plan, producing the compiled program.
@@ -49,9 +48,7 @@ pub fn apply(
             .regions
             .iter()
             .map(|r| match &r.layout {
-                RegionLayout::Segmented { segments } => {
-                    segments.iter().map(|s| s.dups.len()).sum()
-                }
+                RegionLayout::Segmented { segments } => segments.iter().map(|s| s.dups.len()).sum(),
                 _ => 0,
             })
             .sum(),
@@ -206,13 +203,7 @@ impl<'a> Rw<'a> {
     }
 
     /// Emits `(iv - start) / step`, folding the trivial case.
-    fn ordinal_of(
-        &mut self,
-        iv: ValueId,
-        start: i64,
-        step: i64,
-        out: &mut Vec<Stmt>,
-    ) -> ValueId {
+    fn ordinal_of(&mut self, iv: ValueId, start: i64, step: i64, out: &mut Vec<Stmt>) -> ValueId {
         if start == 0 && step == 1 {
             return iv;
         }
@@ -476,9 +467,12 @@ impl<'a> Rw<'a> {
         let n = info.trip_count().expect("static trip") as i64;
         let (s, st) = (info.start.as_const().expect("static"), info.step);
         let nt = (n as u64).div_ceil(tile) as i64;
-        let (outer_lid, t_iv) =
-            self.g
-                .add_loop(format!("{}.tile", info.name), Bound::Const(0), Bound::Const(nt), 1);
+        let (outer_lid, t_iv) = self.g.add_loop(
+            format!("{}.tile", info.name),
+            Bound::Const(0),
+            Bound::Const(nt),
+            1,
+        );
         let mut ob = Vec::new();
         self.emit(
             &mut ob,
@@ -661,8 +655,7 @@ impl<'a> Rw<'a> {
     ) -> Result<(), CoreError> {
         let rp = &self.plan.regions[ri];
         let (spad_base, range, rsize) = (rp.spad_base, rp.spad_range, rp.rsize_total);
-        let outer_path: Vec<LoopId> =
-            rp.region.path[..rp.region.path.len() - 1].to_vec();
+        let outer_path: Vec<LoopId> = rp.region.path[..rp.region.path.len() - 1].to_vec();
         let info = self.grad.func.loop_info(old).clone();
         let n = info.trip_count().expect("static trip") as i64;
         let (s, st) = (info.start.as_const().expect("static"), info.step);

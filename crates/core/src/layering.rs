@@ -243,7 +243,15 @@ pub fn plan_layers(
                 &mut plan,
             )
         } else {
-            segmented(grad, ri, region, cap_eff, spad_base, level_budget, &mut plan)?
+            segmented(
+                grad,
+                ri,
+                region,
+                cap_eff,
+                spad_base,
+                level_budget,
+                &mut plan,
+            )?
         };
         plan.total_fwd_layers += rp.fwd_layers;
         plan.regions.push(rp);
@@ -325,9 +333,7 @@ fn tiled(
     }
     let boundary_trip = trips[trips.len() - 1 - collapse];
     let struct_elems = (region.rsize as u64 * inner_prod).max(1);
-    let tile = (cap_eff as u64 / struct_elems)
-        .min(boundary_trip)
-        .max(1);
+    let tile = (cap_eff as u64 / struct_elems).min(boundary_trip).max(1);
     let outer: u64 = trips[..trips.len() - 1 - collapse].iter().product();
     let fwd_layers = outer * boundary_trip.div_ceil(tile);
     RegionPlan {
@@ -364,8 +370,7 @@ fn segmented(
     // Home source statement of each member tape's store.
     let mut own_of_stmt: Vec<Vec<usize>> = vec![Vec::new(); n_src];
     for &t in &region.tapes {
-        let pos = stmt_pos_of_inst(fwd_body, grad.tapes[t].store)
-            .expect("store in region body");
+        let pos = stmt_pos_of_inst(fwd_body, grad.tapes[t].store).expect("store in region body");
         let src = src_stmt_of(fwd_spans, pos).expect("store inside a span");
         own_of_stmt[src].push(t);
     }

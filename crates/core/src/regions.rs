@@ -87,9 +87,7 @@ pub fn form_regions(grad: &Gradient) -> FormedRegions {
         r.level = paths
             .iter()
             .enumerate()
-            .filter(|(j, p)| {
-                *j != i && p.len() < r.path.len() && r.path.starts_with(p)
-            })
+            .filter(|(j, p)| *j != i && p.len() < r.path.len() && r.path.starts_with(p))
             .count();
     }
     let levels = regions.iter().map(|r| r.level + 1).max().unwrap_or(0);

@@ -134,7 +134,12 @@ fn aos_mode_emits_no_scratchpad_ops() {
         0
     );
     // The tape still exists — as merged AoS arrays accessed via the cache.
-    assert!(count_ops(&c.func, |o| matches!(o, Op::Store(a) if c.func.array(*a).kind.is_tape())) > 0);
+    assert!(
+        count_ops(
+            &c.func,
+            |o| matches!(o, Op::Store(a) if c.func.array(*a).kind.is_tape())
+        ) > 0
+    );
 }
 
 #[test]
@@ -175,10 +180,7 @@ fn spad_allocations_respect_level_partitions() {
     plan_ranges.sort_unstable();
     plan_ranges.dedup();
     for w in plan_ranges.windows(2) {
-        assert!(
-            w[0].0 + w[0].1 <= w[1].0,
-            "region ranges overlap: {w:?}"
-        );
+        assert!(w[0].0 + w[0].1 <= w[1].0, "region ranges overlap: {w:?}");
     }
 }
 

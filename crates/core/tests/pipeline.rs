@@ -51,7 +51,9 @@ impl Pipeline {
     fn compiled(&self, opts: &CompileOptions) -> Vec<Vec<f64>> {
         let c = compile(&self.grad, opts).unwrap_or_else(|e| panic!("compile: {e}"));
         tapeflow_ir::verify::verify(&c.func).unwrap();
-        run_shadows(&c.func, &self.grad, &self.orig, &self.base, &self.wrt, self.loss)
+        run_shadows(
+            &c.func, &self.grad, &self.orig, &self.base, &self.wrt, self.loss,
+        )
     }
 
     fn assert_equivalent(&self, opts: &CompileOptions) {
@@ -81,7 +83,10 @@ fn chain_pipeline(n: usize, per_iter: usize) -> Pipeline {
     let orig = b.finish();
     let grad = differentiate(&orig, &AdOptions::new(vec![x], vec![loss])).unwrap();
     let mut base = Memory::for_function(&orig);
-    base.set_f64(x, &(0..n).map(|i| (i as f64) * 0.07 - 1.1).collect::<Vec<_>>());
+    base.set_f64(
+        x,
+        &(0..n).map(|i| (i as f64) * 0.07 - 1.1).collect::<Vec<_>>(),
+    );
     Pipeline {
         orig,
         grad,
@@ -122,9 +127,14 @@ fn nested_pipeline(m: usize, n: usize) -> Pipeline {
     let mut base = Memory::for_function(&orig);
     base.set_f64(
         a,
-        &(0..m * n).map(|i| (i as f64) * 0.013 - 0.4).collect::<Vec<_>>(),
+        &(0..m * n)
+            .map(|i| (i as f64) * 0.013 - 0.4)
+            .collect::<Vec<_>>(),
     );
-    base.set_f64(v, &(0..n).map(|i| 0.3 - (i as f64) * 0.05).collect::<Vec<_>>());
+    base.set_f64(
+        v,
+        &(0..n).map(|i| 0.3 - (i as f64) * 0.05).collect::<Vec<_>>(),
+    );
     Pipeline {
         orig,
         grad,
@@ -186,11 +196,12 @@ fn tiny_spad_forces_segmentation_with_duplicates() {
         ..CompileOptions::default()
     };
     let c = compile(&p.grad, &opts).unwrap();
-    let seg = c
-        .plan
-        .regions
-        .iter()
-        .any(|r| matches!(r.layout, tapeflow_core::layering::RegionLayout::Segmented { .. }));
+    let seg = c.plan.regions.iter().any(|r| {
+        matches!(
+            r.layout,
+            tapeflow_core::layering::RegionLayout::Segmented { .. }
+        )
+    });
     assert!(seg, "segmentation expected at this scratchpad size");
     p.assert_equivalent(&opts);
 }
@@ -228,7 +239,9 @@ fn segmentation_duplicates_cross_segment_values() {
     let mut base = Memory::for_function(&orig);
     base.set_f64(
         x,
-        &(0..n * k).map(|i| 0.4 + 0.01 * i as f64).collect::<Vec<_>>(),
+        &(0..n * k)
+            .map(|i| 0.4 + 0.01 * i as f64)
+            .collect::<Vec<_>>(),
     );
     let p = Pipeline {
         orig,

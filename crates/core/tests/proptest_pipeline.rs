@@ -1,13 +1,40 @@
-//! Property-based pipeline checking: random stateful programs are
+//! Randomized pipeline checking: random stateful programs are
 //! differentiated and compiled at random scratchpad sizes/modes; the
 //! compiled program must compute bit-identical gradients to the plain
 //! gradient function and its streams must obey the LIFO stack order.
+//! Deterministic in-tree xorshift generation (the container has no
+//! network access to fetch `proptest`), so every run exercises the same
+//! cases.
 
-use proptest::prelude::*;
 use tapeflow_autodiff::{differentiate, AdOptions, TapePolicy};
 use tapeflow_core::{compile, CompileMode, CompileOptions};
 use tapeflow_ir::trace::{trace_function, TraceOptions};
-use tapeflow_ir::{ArrayId, ArrayKind, CmpKind, Function, FunctionBuilder, Memory, Op, Scalar, ValueId};
+use tapeflow_ir::{
+    ArrayId, ArrayKind, CmpKind, Function, FunctionBuilder, Memory, Op, Scalar, ValueId,
+};
+
+/// Tiny deterministic xorshift64 RNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// One step of a random inner-loop computation over (x_i, running state).
 #[derive(Clone, Copy, Debug)]
@@ -22,17 +49,20 @@ enum StepOp {
     Sqrt1p,
 }
 
-fn step_strategy() -> impl Strategy<Value = StepOp> {
-    prop_oneof![
-        Just(StepOp::Tanh),
-        Just(StepOp::SafeExp),
-        Just(StepOp::Sin),
-        Just(StepOp::MulX),
-        Just(StepOp::AddState),
-        Just(StepOp::MinX),
-        Just(StepOp::SelectGt),
-        Just(StepOp::Sqrt1p),
-    ]
+const STEPS: [StepOp; 8] = [
+    StepOp::Tanh,
+    StepOp::SafeExp,
+    StepOp::Sin,
+    StepOp::MulX,
+    StepOp::AddState,
+    StepOp::MinX,
+    StepOp::SelectGt,
+    StepOp::Sqrt1p,
+];
+
+fn gen_steps(r: &mut Rng, lo: usize, hi: usize) -> Vec<StepOp> {
+    let n = lo + r.below((hi - lo) as u64) as usize;
+    (0..n).map(|_| STEPS[r.below(8) as usize]).collect()
 }
 
 fn apply_step(
@@ -110,20 +140,23 @@ fn shadows(
     mem.get_f64(grad.shadow_of(x).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn compiled_gradients_bit_identical() {
+    for case in 0..48u64 {
+        let mut r = Rng::new(case);
+        let steps = gen_steps(&mut r, 1, 6);
+        let rows = 2 + r.below(3) as usize;
+        let cols = 2 + r.below(5) as usize;
+        let spad_bytes = [64usize, 128, 256, 1024][r.below(4) as usize];
+        let double_buffer = r.bool();
+        let aos_only = r.bool();
+        let policy = if r.bool() {
+            TapePolicy::Conservative
+        } else {
+            TapePolicy::Minimal
+        };
+        let seed = r.below(1000);
 
-    #[test]
-    fn compiled_gradients_bit_identical(
-        steps in proptest::collection::vec(step_strategy(), 1..6),
-        rows in 2usize..5,
-        cols in 2usize..7,
-        spad_bytes in prop_oneof![Just(64usize), Just(128), Just(256), Just(1024)],
-        double_buffer in any::<bool>(),
-        aos_only in any::<bool>(),
-        policy in prop_oneof![Just(TapePolicy::Conservative), Just(TapePolicy::Minimal)],
-        seed in 0u64..1000,
-    ) {
         let (func, x, loss) = build_program(&steps, rows, cols);
         tapeflow_ir::verify::verify(&func).unwrap();
         let grad = differentiate(
@@ -138,31 +171,37 @@ proptest! {
         let opts = CompileOptions {
             spad_entries: (spad_bytes / 8).max(2),
             double_buffer,
-            mode: if aos_only { CompileMode::AosOnly } else { CompileMode::Full },
+            mode: if aos_only {
+                CompileMode::AosOnly
+            } else {
+                CompileMode::Full
+            },
         };
         match compile(&grad, &opts) {
             Err(tapeflow_core::CoreError::RegionTooLarge { .. })
             | Err(tapeflow_core::CoreError::SpadTooSmall { .. }) => {
                 // Legitimately infeasible at this scratchpad size.
             }
-            Err(e) => return Err(TestCaseError::fail(format!("compile: {e}"))),
+            Err(e) => panic!("case {case}: compile: {e}"),
             Ok(c) => {
                 tapeflow_ir::verify::verify(&c.func).unwrap();
                 let got = shadows(&c.func, &grad, x, loss, &data);
-                prop_assert_eq!(&baseline, &got);
+                assert_eq!(&baseline, &got, "case {case}: {steps:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn stream_stack_lifo_under_random_programs(
-        steps in proptest::collection::vec(step_strategy(), 1..5),
-        cols in 3usize..9,
-    ) {
+#[test]
+fn stream_stack_lifo_under_random_programs() {
+    for case in 0..48u64 {
+        let mut r = Rng::new(0x11F0 ^ case);
+        let steps = gen_steps(&mut r, 1, 5);
+        let cols = 3 + r.below(6) as usize;
         let (func, x, loss) = build_program(&steps, 3, cols);
         let grad = differentiate(&func, &AdOptions::new(vec![x], vec![loss])).unwrap();
         let Ok(c) = compile(&grad, &CompileOptions::with_spad_bytes(128)) else {
-            return Ok(()); // infeasible at 128 B: nothing to check
+            continue; // infeasible at 128 B: nothing to check
         };
         let mut mem = Memory::for_function(&c.func);
         let data: Vec<f64> = (0..3 * cols).map(|i| 0.01 * i as f64).collect();
@@ -171,7 +210,9 @@ proptest! {
         let trace = trace_function(
             &c.func,
             &mut mem,
-            TraceOptions { phase_barrier: Some(c.phase_barrier) },
+            TraceOptions {
+                phase_barrier: Some(c.phase_barrier),
+            },
         )
         .unwrap();
         let outs: Vec<(u64, u32)> = trace
@@ -187,6 +228,6 @@ proptest! {
             .map(|n| (n.addr, n.bytes))
             .collect();
         let popped: Vec<_> = outs.iter().rev().copied().collect();
-        prop_assert_eq!(popped, ins);
+        assert_eq!(popped, ins, "case {case}: {steps:?}");
     }
 }

@@ -35,8 +35,7 @@ pub struct FunctionBuilder {
     const_cache: HashMap<ConstKey, ValueId>,
 }
 
-#[derive(PartialEq, Eq, Hash)]
-#[derive(Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 enum ConstKey {
     F64(u64),
     I64(i64),

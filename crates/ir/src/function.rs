@@ -347,11 +347,7 @@ impl Function {
             });
             v
         });
-        self.insts.push(Inst {
-            op,
-            args,
-            result,
-        });
+        self.insts.push(Inst { op, args, result });
         (inst_id, result)
     }
 

@@ -246,7 +246,11 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
             FCmp(k) => Some(Value::I64(k.eval(self.getf(a[0])?, self.getf(a[1])?) as i64)),
             Select => {
                 let c = self.geti(a[0])?;
-                Some(if c != 0 { self.get(a[1])? } else { self.get(a[2])? })
+                Some(if c != 0 {
+                    self.get(a[1])?
+                } else {
+                    self.get(a[2])?
+                })
             }
             IAdd => Some(Value::I64(self.geti(a[0])?.wrapping_add(self.geti(a[1])?))),
             ISub => Some(Value::I64(self.geti(a[0])?.wrapping_sub(self.geti(a[1])?))),
@@ -320,8 +324,7 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
                         let d = dbase as usize + k;
                         if to_dram {
                             let bits = self.spad[s];
-                            self.mem
-                                .store(arr, d, Value::F64(f64::from_bits(bits)));
+                            self.mem.store(arr, d, Value::F64(f64::from_bits(bits)));
                         } else {
                             self.spad[s] = self.mem.load(arr, d).to_bits();
                         }
@@ -460,7 +463,14 @@ mod tests {
         let f = b.finish();
         let mut mem = Memory::for_function(&f);
         let err = run(&f, &mut mem).unwrap_err();
-        assert!(matches!(err, ExecError::OutOfBounds { index: 5, len: 2, .. }));
+        assert!(matches!(
+            err,
+            ExecError::OutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -186,7 +186,11 @@ impl Memory {
     /// two images.
     pub fn clone_array_from(&mut self, src: &Memory, array: ArrayId) {
         let a = array.index();
-        assert_eq!(self.tys[a], src.tys[a], "type mismatch for {}", self.names[a]);
+        assert_eq!(
+            self.tys[a], src.tys[a],
+            "type mismatch for {}",
+            self.names[a]
+        );
         assert_eq!(
             self.data[a].len(),
             src.data[a].len(),

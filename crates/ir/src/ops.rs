@@ -218,9 +218,18 @@ impl Op {
     pub fn fixed_result(&self) -> Option<Option<Scalar>> {
         use Op::*;
         match self {
-            FAdd | FSub | FMul | FDiv | FMin | FMax | FNeg | FAbs | Sqrt | Sin | Cos | Exp
-            | Ln | Tanh | FPow | IToF | SpadLoad => Some(Some(Scalar::F64)),
-            FCmp(_) | ICmp(_) | IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | FToI
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FNeg | FAbs | Sqrt | Sin | Cos | Exp | Ln
+            | Tanh | FPow | IToF | SpadLoad => Some(Some(Scalar::F64)),
+            FCmp(_)
+            | ICmp(_)
+            | IAdd
+            | ISub
+            | IMul
+            | IDiv
+            | IRem
+            | IMin
+            | IMax
+            | FToI
             | SAlloc { .. } => Some(Some(Scalar::I64)),
             Store(_) | SpadStore | StreamOut(_) | StreamIn(_) | Barrier => Some(None),
             Load(_) | Select => None,
@@ -231,7 +240,9 @@ impl Op {
     pub fn class(&self) -> OpClass {
         use Op::*;
         match self {
-            FAdd | FSub | FNeg | FAbs | FMin | FMax | FCmp(_) | Select | IToF | FToI => OpClass::FpAlu,
+            FAdd | FSub | FNeg | FAbs | FMin | FMax | FCmp(_) | Select | IToF | FToI => {
+                OpClass::FpAlu
+            }
             FMul => OpClass::FpMul,
             FDiv | Sqrt | Sin | Cos | Exp | Ln | Tanh | FPow => OpClass::FpLong,
             IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | ICmp(_) => OpClass::Int,

@@ -402,7 +402,10 @@ mod tests {
         crate::verify::verify(&g).unwrap();
         assert!(stats.cse_hits >= 2, "imul+iadd deduplicated: {stats:?}");
         let mut mem = Memory::for_function(&g);
-        mem.set_f64(ArrayId::new(0), &(0..16).map(|i| i as f64).collect::<Vec<_>>());
+        mem.set_f64(
+            ArrayId::new(0),
+            &(0..16).map(|i| i as f64).collect::<Vec<_>>(),
+        );
         crate::interp::run(&g, &mut mem).unwrap();
         assert_eq!(
             mem.get_f64(ArrayId::new(1)),

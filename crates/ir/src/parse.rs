@@ -61,7 +61,10 @@ struct Parser<'s> {
 impl<'s> Parser<'s> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         // `pos` has usually advanced past the offending line already.
-        let idx = self.pos.saturating_sub(1).min(self.lines.len().saturating_sub(1));
+        let idx = self
+            .pos
+            .saturating_sub(1)
+            .min(self.lines.len().saturating_sub(1));
         let line = self.lines.get(idx).map_or(0, |(n, _)| *n);
         Err(ParseError {
             line,

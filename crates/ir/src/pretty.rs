@@ -40,12 +40,7 @@ fn bound(func: &Function, b: Bound) -> String {
     }
 }
 
-fn write_stmts(
-    out: &mut String,
-    func: &Function,
-    stmts: &[Stmt],
-    indent: usize,
-) -> fmt::Result {
+fn write_stmts(out: &mut String, func: &Function, stmts: &[Stmt], indent: usize) -> fmt::Result {
     let pad = "  ".repeat(indent);
     for s in stmts {
         match s {

@@ -37,7 +37,10 @@ impl fmt::Display for TransformError {
                 write!(f, "loop {n:?} has a dynamic trip count")
             }
             TransformError::NotDivisible { trip, factor } => {
-                write!(f, "trip count {trip} not divisible by unroll factor {factor}")
+                write!(
+                    f,
+                    "trip count {trip} not divisible by unroll factor {factor}"
+                )
             }
         }
     }
@@ -119,8 +122,7 @@ impl Cloner<'_> {
                         let info = self.src.loop_info(*loop_id).clone();
                         let start = self.map_bound(info.start);
                         let end = self.map_bound(info.end);
-                        let (nlid, niv) =
-                            self.g.add_loop(info.name.clone(), start, end, info.step);
+                        let (nlid, niv) = self.g.add_loop(info.name.clone(), start, end, info.step);
                         self.vmap[info.iv.index()] = Some(niv);
                         let mut inner = Vec::new();
                         self.walk(body, &mut inner);
@@ -265,7 +267,10 @@ mod tests {
         let (f, _, _) = sum_squares(10);
         assert_eq!(
             unroll_loop(&f, "i", 4).err(),
-            Some(TransformError::NotDivisible { trip: 10, factor: 4 })
+            Some(TransformError::NotDivisible {
+                trip: 10,
+                factor: 4
+            })
         );
         assert!(matches!(
             unroll_loop(&f, "nope", 2),

@@ -183,7 +183,11 @@ mod tests {
 
     #[test]
     fn value_bits_roundtrip() {
-        for v in [Value::F64(-0.25), Value::I64(i64::MIN), Value::F64(f64::NAN)] {
+        for v in [
+            Value::F64(-0.25),
+            Value::I64(i64::MIN),
+            Value::F64(f64::NAN),
+        ] {
             let back = Value::from_bits(v.scalar(), v.to_bits());
             match (v, back) {
                 (Value::F64(a), Value::F64(b)) => {

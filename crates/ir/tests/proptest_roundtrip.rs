@@ -1,8 +1,39 @@
-//! Property tests across the IR's front-end facilities: random programs
+//! Randomized tests across the IR's front-end facilities: random programs
 //! must survive pretty→parse round-trips and the optimizer bit-exactly.
+//! Deterministic in-tree xorshift generation (the container has no
+//! network access to fetch `proptest`), so every run exercises the same
+//! cases.
 
-use proptest::prelude::*;
-use tapeflow_ir::{parse, pretty, ArrayId, ArrayKind, CmpKind, Function, FunctionBuilder, Memory, Scalar, ValueId};
+use tapeflow_ir::{
+    parse, pretty, ArrayId, ArrayKind, CmpKind, Function, FunctionBuilder, Memory, Scalar, ValueId,
+};
+
+/// Tiny deterministic xorshift64 RNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 #[derive(Clone, Debug)]
 enum E {
@@ -16,18 +47,36 @@ enum E {
     Sel(Box<E>, Box<E>),
 }
 
-fn expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![Just(E::X), (-3i8..=3).prop_map(E::K)];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| E::Tanh(Box::new(a))),
-            inner.clone().prop_map(|a| E::Sin(Box::new(a))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Sel(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random expression, recursion bounded by `depth` (mirrors the original
+/// proptest strategy: leaves are `X` or small constants).
+fn gen_expr(r: &mut Rng, depth: u32) -> E {
+    if depth == 0 || r.below(4) == 0 {
+        return if r.bool() {
+            E::X
+        } else {
+            E::K(r.below(7) as i8 - 3)
+        };
+    }
+    match r.below(6) {
+        0 => {
+            let (x, y) = (gen_expr(r, depth - 1), gen_expr(r, depth - 1));
+            E::Add(Box::new(x), Box::new(y))
+        }
+        1 => {
+            let (x, y) = (gen_expr(r, depth - 1), gen_expr(r, depth - 1));
+            E::Mul(Box::new(x), Box::new(y))
+        }
+        2 => E::Tanh(Box::new(gen_expr(r, depth - 1))),
+        3 => E::Sin(Box::new(gen_expr(r, depth - 1))),
+        4 => {
+            let (x, y) = (gen_expr(r, depth - 1), gen_expr(r, depth - 1));
+            E::Min(Box::new(x), Box::new(y))
+        }
+        _ => {
+            let (x, y) = (gen_expr(r, depth - 1), gen_expr(r, depth - 1));
+            E::Sel(Box::new(x), Box::new(y))
+        }
+    }
 }
 
 fn emit(b: &mut FunctionBuilder, e: &E, x: ArrayId, i: ValueId) -> ValueId {
@@ -80,50 +129,59 @@ fn run(f: &Function, data: &[f64]) -> Vec<f64> {
     mem.get_f64(ArrayId::new(1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn data(r: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| r.f64_in(-1.5, 1.5)).collect()
+}
 
-    #[test]
-    fn pretty_parse_executes_identically(
-        e in expr(),
-        data in proptest::collection::vec(-1.5f64..1.5, 5..=5),
-    ) {
-        let f = build(&e, data.len());
+#[test]
+fn pretty_parse_executes_identically() {
+    for case in 0..128u64 {
+        let mut r = Rng::new(case);
+        let e = gen_expr(&mut r, 3);
+        let d = data(&mut r, 5);
+        let f = build(&e, d.len());
         let text = pretty::pretty(&f).to_string();
-        let parsed = parse::parse(&text)
-            .unwrap_or_else(|err| panic!("{err}\n{text}"));
-        prop_assert_eq!(run(&f, &data), run(&parsed, &data));
+        let parsed = parse::parse(&text).unwrap_or_else(|err| panic!("{err}\n{text}"));
+        assert_eq!(run(&f, &d), run(&parsed, &d), "case {case}: {e:?}");
     }
+}
 
-    #[test]
-    fn parse_reaches_textual_fixpoint(e in expr()) {
+#[test]
+fn parse_reaches_textual_fixpoint() {
+    for case in 0..128u64 {
+        let mut r = Rng::new(0xF1A9 ^ case);
+        let e = gen_expr(&mut r, 3);
         let f = build(&e, 4);
         let t1 = pretty::pretty(&f).to_string();
         let t2 = pretty::pretty(&parse::parse(&t1).unwrap()).to_string();
         let t3 = pretty::pretty(&parse::parse(&t2).unwrap()).to_string();
-        prop_assert_eq!(t2, t3);
+        assert_eq!(t2, t3, "case {case}: {e:?}");
     }
+}
 
-    #[test]
-    fn optimizer_preserves_random_programs(
-        e in expr(),
-        data in proptest::collection::vec(-1.5f64..1.5, 6..=6),
-    ) {
-        let f = build(&e, data.len());
+#[test]
+fn optimizer_preserves_random_programs() {
+    for case in 0..128u64 {
+        let mut r = Rng::new(0x0B7 ^ case);
+        let e = gen_expr(&mut r, 3);
+        let d = data(&mut r, 6);
+        let f = build(&e, d.len());
         let (g, _) = tapeflow_ir::opt::optimize(&f);
         tapeflow_ir::verify::verify(&g).unwrap();
-        prop_assert_eq!(run(&f, &data), run(&g, &data));
+        assert_eq!(run(&f, &d), run(&g, &d), "case {case}: {e:?}");
     }
+}
 
-    #[test]
-    fn unrolling_preserves_random_programs(
-        e in expr(),
-        data in proptest::collection::vec(-1.5f64..1.5, 12..=12),
-        factor in prop_oneof![Just(2u64), Just(3), Just(4), Just(6)],
-    ) {
-        let f = build(&e, data.len());
+#[test]
+fn unrolling_preserves_random_programs() {
+    for case in 0..128u64 {
+        let mut r = Rng::new(0x4012 ^ case);
+        let e = gen_expr(&mut r, 3);
+        let d = data(&mut r, 12);
+        let factor = [2u64, 3, 4, 6][r.below(4) as usize];
+        let f = build(&e, d.len());
         let u = tapeflow_ir::transform::unroll_loop(&f, "i", factor).unwrap();
         tapeflow_ir::verify::verify(&u).unwrap();
-        prop_assert_eq!(run(&f, &data), run(&u, &data));
+        assert_eq!(run(&f, &d), run(&u, &d), "case {case} u{factor}: {e:?}");
     }
 }

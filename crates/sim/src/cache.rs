@@ -42,10 +42,13 @@ pub struct Cache {
 impl Cache {
     /// Builds an empty (cold) cache.
     ///
-    /// # Panics
-    ///
-    /// Panics if the configuration yields zero sets.
+    /// Invalid geometry is normalized rather than rejected (see
+    /// [`CacheConfig::normalized`]): `line_bytes` is rounded up to the
+    /// next power of two (minimum 8) — the line shift in
+    /// [`Cache::access`] silently mis-indexes otherwise — and the
+    /// associativity is clamped to the line count.
     pub fn new(cfg: CacheConfig) -> Self {
+        let cfg = cfg.normalized();
         let total = cfg.lines();
         let assoc = cfg.assoc.clamp(1, total);
         let sets = (total / assoc).max(1);
@@ -67,7 +70,8 @@ impl Cache {
         }
     }
 
-    /// Geometry used (associativity may have been clamped).
+    /// Geometry used (line size and associativity may have been
+    /// normalized; see [`Cache::new`]).
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
     }
@@ -230,6 +234,39 @@ mod tests {
         c.access(128, false);
         assert_eq!(c.flush_dirty(), 2);
         assert_eq!(c.flush_dirty(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_line_rounds_up() {
+        // 48 B lines would shift by trailing_zeros(48) = 4 and mis-index;
+        // the constructor rounds the line up to 64 B instead.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 384,
+            assoc: 2,
+            line_bytes: 48,
+            ports: 2,
+            hit_latency: 2,
+            mshrs: 4,
+            policy: ReplacementPolicy::Lru,
+        });
+        assert_eq!(c.config().line_bytes, 64);
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x103F, false).hit, "same rounded 64 B line");
+        assert!(!c.access(0x1040, false).hit, "next line misses");
+    }
+
+    #[test]
+    fn zero_line_bytes_clamps_to_scalar() {
+        let c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            assoc: 1,
+            line_bytes: 0,
+            ports: 1,
+            hit_latency: 1,
+            mshrs: 4,
+            policy: ReplacementPolicy::Lru,
+        });
+        assert_eq!(c.config().line_bytes, 8, "minimum one f64 per line");
     }
 
     #[test]

@@ -53,6 +53,19 @@ impl CacheConfig {
     pub fn lines(&self) -> usize {
         (self.size_bytes / self.line_bytes).max(1)
     }
+
+    /// Returns the configuration with its geometry made self-consistent:
+    /// `line_bytes` rounded up to the next power of two (minimum 8, one
+    /// f64), `size_bytes` at least one line, `assoc` at least one way.
+    /// The cache splits addresses by shifting `line_bytes.trailing_zeros()`
+    /// bits, which silently mis-indexes for non-power-of-two lines, so
+    /// [`crate::Cache::new`] applies this before building the set array.
+    pub fn normalized(mut self) -> Self {
+        self.line_bytes = self.line_bytes.max(8).next_power_of_two();
+        self.size_bytes = self.size_bytes.max(self.line_bytes);
+        self.assoc = self.assoc.max(1);
+        self
+    }
 }
 
 /// Scratchpad geometry (paper baseline: 1 KB, 16 banks of 8 × 8 B).
@@ -198,6 +211,49 @@ impl SystemConfig {
             energy: EnergyTable::default(),
         }
     }
+
+    /// Order-stable 64-bit FNV-1a digest over every field, with floats
+    /// hashed by bit pattern and the replacement policy by discriminant.
+    /// Two configurations that could simulate differently always digest
+    /// differently (modulo hash collisions); the bench harness keys its
+    /// memoized simulation results on this so that e.g. replacement-policy
+    /// or MSHR sweeps never alias a result computed for another
+    /// configuration of the same cache size.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.cache.size_bytes as u64);
+        mix(self.cache.assoc as u64);
+        mix(self.cache.line_bytes as u64);
+        mix(self.cache.ports as u64);
+        mix(self.cache.hit_latency);
+        mix(self.cache.mshrs as u64);
+        mix(match self.cache.policy {
+            ReplacementPolicy::Lru => 0,
+            ReplacementPolicy::Fifo => 1,
+        });
+        mix(self.spad.banks as u64);
+        mix(self.spad.latency);
+        mix(self.dram.bytes_per_cycle.to_bits());
+        mix(self.dram.latency);
+        mix(self.pe.fp_issue as u64);
+        mix(self.pe.int_issue as u64);
+        mix(self.pe.fp_alu_latency);
+        mix(self.pe.fp_mul_latency);
+        mix(self.pe.fp_long_latency);
+        mix(self.pe.int_latency);
+        mix(self.energy.spad_pj.to_bits());
+        mix(self.energy.stream_elem_pj.to_bits());
+        mix(self.energy.dram_pj_per_byte.to_bits());
+        h
+    }
 }
 
 impl Default for SystemConfig {
@@ -231,5 +287,33 @@ mod tests {
     #[test]
     fn lines_counted() {
         assert_eq!(CacheConfig::for_bytes(1024).lines(), 16);
+    }
+
+    #[test]
+    fn normalized_rounds_line_bytes_up() {
+        let mut cfg = CacheConfig::for_bytes(1024);
+        cfg.line_bytes = 48;
+        assert_eq!(cfg.normalized().line_bytes, 64);
+        cfg.line_bytes = 0;
+        assert_eq!(cfg.normalized().line_bytes, 8);
+        cfg.line_bytes = 64;
+        assert_eq!(cfg.normalized(), cfg, "valid geometry is untouched");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_full_configuration() {
+        let a = SystemConfig::with_cache_bytes(8192);
+        let mut by_policy = a;
+        by_policy.cache.policy = ReplacementPolicy::Fifo;
+        let mut by_mshrs = a;
+        by_mshrs.cache.mshrs = 8;
+        assert_ne!(a.fingerprint(), by_policy.fingerprint());
+        assert_ne!(a.fingerprint(), by_mshrs.fingerprint());
+        assert_ne!(by_policy.fingerprint(), by_mshrs.fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            SystemConfig::with_cache_bytes(8192).fingerprint(),
+            "equal configurations digest equally"
+        );
     }
 }

@@ -96,6 +96,9 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
     let mut q_stream: [VecDeque<u32>; 2] = [VecDeque::new(), VecDeque::new()];
 
     let mut cache = Cache::new(cfg.cache);
+    // Byte accounting must use the geometry the cache actually built
+    // (`Cache::new` normalizes degenerate line sizes).
+    let line_bytes = cache.config().line_bytes as u64;
     // MSHR free times: a demand miss needs a slot, else the memory queue
     // stalls at its head.
     let mut mshr: Vec<u64> = vec![0; cfg.cache.mshrs.max(1)];
@@ -106,10 +109,7 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
     };
     let mut stream_free = [0u64; 2];
 
-    let phase_barrier_idx = trace
-        .nodes()
-        .iter()
-        .position(|nd| nd.phase == Phase::Rev);
+    let phase_barrier_idx = trace.nodes().iter().position(|nd| nd.phase == Phase::Rev);
 
     let mut now: u64 = 0;
     let mut completed: usize = 0;
@@ -204,14 +204,14 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
                 report.cache.misses += 1;
                 report.cache.tape_misses += u64::from(node.is_tape);
                 report.cache.rev_misses += u64::from(node.phase == Phase::Rev);
-                report.dram_fill_bytes += cfg.cache.line_bytes as u64;
+                report.dram_fill_bytes += line_bytes;
                 if res.writeback.is_some() {
                     report.cache.writebacks += 1;
-                    report.dram_writeback_bytes += cfg.cache.line_bytes as u64;
-                    let _ = dram.transfer(now, cfg.cache.line_bytes as u64);
+                    report.dram_writeback_bytes += line_bytes;
+                    let _ = dram.transfer(now, line_bytes);
                 }
                 let start = mshr[mshr_slot];
-                let (_, fin) = dram.transfer(start, cfg.cache.line_bytes as u64);
+                let (_, fin) = dram.transfer(start, line_bytes);
                 mshr[mshr_slot] = fin;
                 q_mem.pop_front();
                 complete!(id, fin + cfg.cache.hit_latency);
@@ -230,13 +230,13 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
                 report.cache.misses += 1;
                 report.cache.tape_misses += u64::from(is_tape);
                 report.cache.rev_misses += u64::from(is_rev);
-                report.dram_fill_bytes += cfg.cache.line_bytes as u64;
+                report.dram_fill_bytes += line_bytes;
                 if res.writeback.is_some() {
                     report.cache.writebacks += 1;
-                    report.dram_writeback_bytes += cfg.cache.line_bytes as u64;
-                    let _ = dram.transfer(now, cfg.cache.line_bytes as u64);
+                    report.dram_writeback_bytes += line_bytes;
+                    let _ = dram.transfer(now, line_bytes);
                 }
-                let (_, fin) = dram.transfer(now, cfg.cache.line_bytes as u64);
+                let (_, fin) = dram.transfer(now, line_bytes);
                 mshr[mshr_slot] = fin;
                 complete!(id, fin + cfg.cache.hit_latency);
             }
@@ -303,6 +303,15 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
 
     report.cycles = max_finish;
     report.fwd_cycles = phase_barrier_idx.map_or(max_finish, |i| finish[i]);
+
+    // Cool-down: lines still dirty when the run ends must reach DRAM
+    // eventually. Charge those write-backs to traffic exactly once — this
+    // happens before energy accounting so the DRAM energy sees them too —
+    // otherwise small working sets hide store traffic by never evicting.
+    let flushed = cache.flush_dirty();
+    report.cache.writebacks += flushed;
+    report.cache.flush_writebacks = flushed;
+    report.dram_writeback_bytes += flushed * line_bytes;
 
     // Energy accounting.
     let cache_access_pj = EnergyTable::cache_pj(cfg.cache.size_bytes);
@@ -488,6 +497,36 @@ mod tests {
         assert!(r.fwd_cycles > 0);
         assert!(r.fwd_cycles < r.cycles);
         assert_eq!(r.rev_cycles(), r.cycles - r.fwd_cycles);
+    }
+
+    #[test]
+    fn final_flush_charges_writebacks_once() {
+        // Two stores to distinct lines in a 32 KB cache: nothing evicts
+        // during the run, so without the end-of-run flush the write-backs
+        // would never be charged at all.
+        let cfg = SystemConfig::default();
+        let build = |b: &mut FunctionBuilder| {
+            let x = b.array("x", 16, ArrayKind::Output, Scalar::F64);
+            let v = b.f64(1.0);
+            for i in 0..2i64 {
+                let idx = b.i64(i * 8); // byte offsets 0 and 64
+                b.store(x, idx, v);
+            }
+        };
+        let r = sim_of(build, &cfg);
+        let line = cfg.cache.line_bytes as u64;
+        assert_eq!(r.cache.writebacks, 2, "one write-back per dirty line");
+        assert_eq!(r.cache.flush_writebacks, 2, "both came from the cool-down");
+        assert_eq!(r.dram_writeback_bytes, 2 * line);
+        // Energy was computed after the flush, so DRAM energy covers the
+        // flushed bytes exactly once.
+        let expected_dram_pj = r.dram_bytes() as f64 * cfg.energy.dram_pj_per_byte;
+        assert_eq!(r.energy.dram_pj, expected_dram_pj);
+        // Deterministic: a second simulation charges the same amount (no
+        // accumulation across runs).
+        let r2 = sim_of(build, &cfg);
+        assert_eq!(r2.cache.writebacks, 2);
+        assert_eq!(r2.dram_writeback_bytes, r.dram_writeback_bytes);
     }
 
     #[test]

@@ -52,9 +52,19 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod json;
 pub mod report;
 
 pub use cache::{Cache, ReplacementPolicy};
 pub use config::{CacheConfig, DramConfig, EnergyTable, PeConfig, SpadConfig, SystemConfig};
 pub use engine::{simulate, SimOptions};
 pub use report::{CacheStats, EnergyReport, SimReport};
+
+// The bench harness shares configurations and reports across worker
+// threads; keep them thread-safe by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<SimOptions>();
+};

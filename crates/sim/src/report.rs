@@ -17,6 +17,10 @@ pub struct CacheStats {
     pub rev_misses: u64,
     /// Dirty lines written back to DRAM.
     pub writebacks: u64,
+    /// Of `writebacks`, the dirty lines flushed once at end of
+    /// simulation (the cool-down). Subtract these to get steady-state
+    /// eviction traffic.
+    pub flush_writebacks: u64,
 }
 
 impl CacheStats {
@@ -130,6 +134,49 @@ impl SimReport {
             baseline.cycles as f64 / self.cycles as f64
         }
     }
+
+    /// The report as a JSON object (the experiment harness's
+    /// machine-readable schema). Counters stay integers; derived rates
+    /// are floats. `node_finish` is deliberately omitted — it is an
+    /// analysis intermediate, not a result.
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        let mut cache = Value::object();
+        cache
+            .set("hits", self.cache.hits)
+            .set("misses", self.cache.misses)
+            .set("tape_hits", self.cache.tape_hits)
+            .set("tape_misses", self.cache.tape_misses)
+            .set("rev_hits", self.cache.rev_hits)
+            .set("rev_misses", self.cache.rev_misses)
+            .set("writebacks", self.cache.writebacks)
+            .set("flush_writebacks", self.cache.flush_writebacks)
+            .set("hit_rate", self.cache.hit_rate())
+            .set("rev_hit_rate", self.cache.rev_hit_rate());
+        let mut energy = Value::object();
+        energy
+            .set("cache_pj", self.energy.cache_pj)
+            .set("spad_pj", self.energy.spad_pj)
+            .set("stream_pj", self.energy.stream_pj)
+            .set("dram_pj", self.energy.dram_pj)
+            .set("on_chip_pj", self.energy.on_chip_pj());
+        let mut o = Value::object();
+        o.set("cycles", self.cycles)
+            .set("fwd_cycles", self.fwd_cycles)
+            .set("rev_cycles", self.rev_cycles())
+            .set("cache", cache)
+            .set("spad_accesses", self.spad_accesses)
+            .set("stream_cmds", self.stream_cmds)
+            .set("dram_fill_bytes", self.dram_fill_bytes)
+            .set("dram_writeback_bytes", self.dram_writeback_bytes)
+            .set("dram_stream_bytes", self.dram_stream_bytes)
+            .set("dram_bytes", self.dram_bytes())
+            .set("dram_accesses", self.dram_accesses())
+            .set("fp_ops", self.fp_ops)
+            .set("int_ops", self.int_ops)
+            .set("ilp", self.ilp());
+        o
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +219,22 @@ mod tests {
             ..SimReport::default()
         };
         assert!((r.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_keeps_counters_integral() {
+        let r = SimReport {
+            cycles: u64::MAX / 3,
+            dram_fill_bytes: 640,
+            fp_ops: 300,
+            ..SimReport::default()
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("cycles").unwrap().as_u64(), Some(u64::MAX / 3));
+        assert_eq!(j.get("dram_bytes").unwrap().as_u64(), Some(640));
+        let text = j.render();
+        let back = crate::json::Value::parse(&text).unwrap();
+        assert_eq!(back, j, "schema round-trips through text");
     }
 
     #[test]

@@ -98,8 +98,8 @@ fn tapeflow_beats_enzyme_under_cache_pressure() {
     assert!(tapeflow.spad_accesses > 0);
     assert!(tapeflow.stream_cmds > 0);
     // Enzyme's tape accesses are a significant fraction (Obs 1.1).
-    let tape_frac = (enzyme.cache.tape_hits + enzyme.cache.tape_misses) as f64
-        / enzyme.cache.accesses() as f64;
+    let tape_frac =
+        (enzyme.cache.tape_hits + enzyme.cache.tape_misses) as f64 / enzyme.cache.accesses() as f64;
     assert!(
         tape_frac > 0.15,
         "tape should be a large share of accesses, got {tape_frac:.2}"

@@ -1,8 +1,32 @@
-//! Property-based validation of the set-associative cache against a
-//! naive reference model.
+//! Randomized validation of the set-associative cache against a naive
+//! reference model. Deterministic in-tree xorshift generation (the
+//! container has no network access to fetch `proptest`), so every run
+//! exercises the same 128 cases.
 
-use proptest::prelude::*;
 use tapeflow_sim::{Cache, CacheConfig, ReplacementPolicy};
+
+/// Tiny deterministic xorshift64 RNG (no external deps).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// Reference model: per-set vectors with explicit recency ordering.
 struct RefCache {
@@ -53,17 +77,18 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_matches_reference(
-        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
-        assoc in 1usize..5,
-        sets_log in 0u32..4,
-        policy in prop_oneof![Just(ReplacementPolicy::Lru), Just(ReplacementPolicy::Fifo)],
-    ) {
-        let sets = 1usize << sets_log;
+#[test]
+fn cache_matches_reference() {
+    for case in 0..128u64 {
+        let mut r = Rng::new(case);
+        let assoc = 1 + r.below(4) as usize;
+        let sets = 1usize << r.below(4);
+        let policy = if r.bool() {
+            ReplacementPolicy::Lru
+        } else {
+            ReplacementPolicy::Fifo
+        };
+        let n_accesses = 1 + r.below(399) as usize;
         let line = 64u64;
         let cfg = CacheConfig {
             size_bytes: sets * assoc * line as usize,
@@ -76,20 +101,24 @@ proptest! {
         };
         let mut dut = Cache::new(cfg);
         let mut reference = RefCache::new(sets, assoc, line, policy);
-        for (i, &(block, is_write)) in accesses.iter().enumerate() {
+        for i in 0..n_accesses {
+            let block = r.below(64);
+            let is_write = r.bool();
             let addr = block * line + (i as u64 % 8) * 8; // wiggle within line
             let got = dut.access(addr, is_write);
             let (hit, wb) = reference.access(addr, is_write);
-            prop_assert_eq!(got.hit, hit, "access {} addr {:#x}", i, addr);
-            prop_assert_eq!(got.writeback, wb, "writeback at access {}", i);
+            assert_eq!(got.hit, hit, "case {case} access {i} addr {addr:#x}");
+            assert_eq!(got.writeback, wb, "case {case} writeback at access {i}");
         }
     }
+}
 
-    #[test]
-    fn hit_rate_monotone_in_associativity_for_cyclic_patterns(
-        distinct in 2u64..12,
-        rounds in 2usize..8,
-    ) {
+#[test]
+fn hit_rate_monotone_in_associativity_for_cyclic_patterns() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xCAC4E ^ case);
+        let distinct = 2 + rng.below(10);
+        let rounds = 2 + rng.below(6) as usize;
         // Cyclic access to `distinct` blocks in one set: hit rate must not
         // decrease when the cache can hold all of them.
         let line = 64u64;
@@ -115,8 +144,8 @@ proptest! {
         };
         let small = run(1);
         let big = run(distinct as usize);
-        prop_assert!(big >= small);
+        assert!(big >= small, "case {case}");
         // With capacity = distinct blocks, only the cold round misses.
-        prop_assert_eq!(big, (rounds as u64 - 1) * distinct);
+        assert_eq!(big, (rounds as u64 - 1) * distinct, "case {case}");
     }
 }

@@ -118,6 +118,8 @@ fn main() {
     }
     println!(
         "total: {} forward layers, {} duplicated slots, {} merged tape bytes",
-        compiled.stats.fwd_layers, compiled.stats.duplicated_slots, compiled.stats.merged_tape_bytes
+        compiled.stats.fwd_layers,
+        compiled.stats.duplicated_slots,
+        compiled.stats.merged_tape_bytes
     );
 }

@@ -32,13 +32,15 @@ struct Args {
     aos_only: bool,
     double_buffer: bool,
     policy: TapePolicy,
+    json: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tapeflow <show|opt|grad|compile|simulate> FILE \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
-         [--aos-only] [--single-buffer] [--policy minimal|conservative|all]"
+         [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
+         [--json PATH]"
     );
     ExitCode::from(2)
 }
@@ -54,6 +56,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         aos_only: false,
         double_buffer: true,
         policy: TapePolicy::Conservative,
+        json: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -76,6 +79,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             }
             "--aos-only" => args.aos_only = true,
             "--single-buffer" => args.double_buffer = false,
+            "--json" => args.json = Some(argv.next().ok_or("--json needs a path")?),
             "--policy" => {
                 args.policy = match argv.next().as_deref() {
                     Some("minimal") => TapePolicy::Minimal,
@@ -207,11 +211,7 @@ fn run() -> Result<(), String> {
                 for i in 0..func.arrays().len() {
                     mem.clone_array_from(&base, ArrayId::new(i));
                 }
-                mem.set_f64_at(
-                    grad.shadow_of(opts.seeds[0]).expect("loss shadow"),
-                    0,
-                    1.0,
-                );
+                mem.set_f64_at(grad.shadow_of(opts.seeds[0]).expect("loss shadow"), 0, 1.0);
                 let trace = trace_function(
                     f,
                     &mut mem,
@@ -235,6 +235,19 @@ fn run() -> Result<(), String> {
                 reports[1].speedup_over(&reports[0]),
                 reports[0].energy.on_chip_pj() / reports[1].energy.on_chip_pj().max(1.0)
             );
+            if let Some(path) = &args.json {
+                use tapeflow::sim::json::Value;
+                let mut doc = Value::object();
+                doc.set("schema", "tapeflow.cli.simulate/v1")
+                    .set("cache_bytes", args.cache_bytes)
+                    .set("spad_bytes", args.spad_bytes)
+                    .set("enzyme", reports[0].to_json())
+                    .set("tapeflow", reports[1].to_json())
+                    .set("speedup", reports[1].speedup_over(&reports[0]));
+                std::fs::write(path, doc.render())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("// machine-readable report: {path}");
+            }
         }
         other => return Err(format!("unknown command {other:?}")),
     }

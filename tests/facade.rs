@@ -56,7 +56,13 @@ fn simulation_is_deterministic() {
         )
         .unwrap();
         let r = simulate(&t, &SystemConfig::default(), &SimOptions::default());
-        (t.len(), t.edge_count(), r.cycles, r.cache.hits, r.dram_bytes())
+        (
+            t.len(),
+            t.edge_count(),
+            r.cycles,
+            r.cache.hits,
+            r.dram_bytes(),
+        )
     };
     assert_eq!(run(), run(), "trace and simulation must be reproducible");
 }
@@ -65,10 +71,14 @@ fn simulation_is_deterministic() {
 fn tape_policy_ablation_orders_tape_sizes() {
     // Minimal <= Conservative <= All, strictly somewhere.
     let bench = by_name("matdescent", Scale::Tiny);
-    let sizes: Vec<u64> = [TapePolicy::Minimal, TapePolicy::Conservative, TapePolicy::All]
-        .into_iter()
-        .map(|p| bench.gradient_with(p).stats.tape_bytes)
-        .collect();
+    let sizes: Vec<u64> = [
+        TapePolicy::Minimal,
+        TapePolicy::Conservative,
+        TapePolicy::All,
+    ]
+    .into_iter()
+    .map(|p| bench.gradient_with(p).stats.tape_bytes)
+    .collect();
     assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{sizes:?}");
     assert!(sizes[0] < sizes[2], "policies must differ: {sizes:?}");
 }
