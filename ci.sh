@@ -16,4 +16,22 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== experiments regression (tiny scale, stable JSON) =="
+# Regenerate the machine-readable results at tiny scale with every
+# wall-clock field zeroed and diff against the checked-in reference.
+# Catches perf-model / accounting drift that unit tests miss.
+mkdir -p target/ci
+cargo run --release -p tapeflow-bench --bin experiments -- \
+    all --scale tiny --jobs 2 --stable-json \
+    --json target/ci/BENCH_experiments_tiny.json > /dev/null
+if ! diff -u results/BENCH_experiments_tiny.json \
+        target/ci/BENCH_experiments_tiny.json > target/ci/experiments.diff; then
+    echo "experiments output drifted from results/BENCH_experiments_tiny.json:"
+    head -n 60 target/ci/experiments.diff
+    echo "(full diff: target/ci/experiments.diff; if the change is intended," \
+         "bless it with: cp target/ci/BENCH_experiments_tiny.json" \
+         "results/BENCH_experiments_tiny.json)"
+    exit 1
+fi
+
 echo "CI green."

@@ -11,7 +11,10 @@
 //! human-readable tables, a machine-readable document with every
 //! rendered table plus a canonical per-benchmark configuration sweep is
 //! written to `--json PATH` (default `results/BENCH_experiments.json`;
-//! pass `--json -` to skip it).
+//! pass `--json -` to skip it). The document also carries a `passes`
+//! section aggregating compile-pass wall time across every compilation
+//! the run performed; `--stable-json` zeroes every wall-clock field so
+//! the document is byte-reproducible (CI diffs it against a reference).
 
 use std::path::PathBuf;
 use tapeflow_bench::experiments::{Lab, IDS};
@@ -26,6 +29,7 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut jobs = pool::available_jobs();
     let mut json_path: Option<PathBuf> = Some(PathBuf::from("results/BENCH_experiments.json"));
+    let mut stable_json = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -62,11 +66,12 @@ fn main() {
                     Some(PathBuf::from(v))
                 };
             }
+            "--stable-json" => stable_json = true,
             "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all | <id>...] [--scale tiny|small|large] \
-                     [--csv DIR] [--jobs N] [--json PATH|-]"
+                     [--csv DIR] [--jobs N] [--json PATH|-] [--stable-json]"
                 );
                 println!("ids: {}", IDS.join(" "));
                 return;
@@ -113,7 +118,10 @@ fn main() {
         eprintln!("[{id} done in {seconds:.1}s]\n");
         let mut e = Value::object();
         e.set("id", id.as_str())
-            .set("wall_clock_seconds", seconds)
+            .set(
+                "wall_clock_seconds",
+                if stable_json { 0.0 } else { seconds },
+            )
             .set(
                 "tables",
                 Value::Arr(tables.iter().map(|t| t.to_json()).collect()),
@@ -127,13 +135,33 @@ fn main() {
             .get("benchmarks")
             .cloned()
             .unwrap_or(Value::Arr(Vec::new()));
+        let passes: Vec<Value> = lab
+            .pass_wall_totals()
+            .into_iter()
+            .map(|(name, (runs, wall))| {
+                let mut p = Value::object();
+                p.set("pass", name).set("runs", runs).set(
+                    "seconds",
+                    if stable_json { 0.0 } else { wall.as_secs_f64() },
+                );
+                p
+            })
+            .collect();
         let mut doc = Value::object();
         doc.set("schema", "tapeflow.bench.experiments/v1")
             .set("scale", format!("{scale:?}"))
-            .set("jobs", jobs)
+            .set("jobs", if stable_json { 0 } else { jobs })
             .set("experiments", Value::Arr(experiments_json))
+            .set("passes", Value::Arr(passes))
             .set("benchmarks", sweep)
-            .set("total_wall_clock_seconds", wall.elapsed().as_secs_f64());
+            .set(
+                "total_wall_clock_seconds",
+                if stable_json {
+                    0.0
+                } else {
+                    wall.elapsed().as_secs_f64()
+                },
+            );
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).expect("create json dir");
         }

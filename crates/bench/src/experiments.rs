@@ -7,6 +7,8 @@
 use crate::harness::{geomean, sys_for, Config, Prepared};
 use crate::pool;
 use crate::table::{kib, pct, ratio, Table};
+use std::collections::BTreeMap;
+use std::time::Duration;
 use tapeflow_benchmarks::{by_name, Benchmark, Scale, NAMES};
 use tapeflow_ir::analysis;
 use tapeflow_ir::transform::unroll_loop;
@@ -65,6 +67,56 @@ fn std_item(config: Config, record: bool) -> SimItem {
     }
 }
 
+/// A derived benchmark some experiment simulates besides the nine
+/// registry programs: an unrolled registry benchmark (fig 4.8/4.10) or a
+/// sized pathfinder grid (fig 4.9). Variants are first-class
+/// [`Prepared`] states in the [`Lab`], built once, warmed by the same
+/// parallel plan as the registry sweep and reused across an
+/// `experiments all` invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VariantSpec {
+    /// A registry benchmark with one loop unrolled by `factor`
+    /// (factor 1 = the unmodified benchmark).
+    Unrolled {
+        bench: &'static str,
+        loop_name: &'static str,
+        factor: u64,
+    },
+    /// `pathfinder` rebuilt on an explicit grid.
+    PathfinderSized { rows: usize, cols: usize },
+}
+
+impl VariantSpec {
+    /// Builds the variant's benchmark; `Err` carries the note text the
+    /// owning table prints (e.g. an unrollability diagnosis).
+    fn build(&self, scale: Scale) -> Result<Benchmark, String> {
+        match *self {
+            VariantSpec::Unrolled {
+                bench,
+                loop_name,
+                factor,
+            } => {
+                let mut b = by_name(bench, scale);
+                if factor > 1 {
+                    b.func = unroll_loop(&b.func, loop_name, factor).map_err(|e| e.to_string())?;
+                }
+                Ok(b)
+            }
+            VariantSpec::PathfinderSized { rows, cols } => Ok(pathfinder_sized(rows, cols)),
+        }
+    }
+}
+
+/// An experiment's simulation plan: registry configurations to prepare
+/// without simulating, registry (config, system, record) triples to
+/// simulate across all nine benchmarks, and per-variant triples.
+#[derive(Debug, Default)]
+struct WarmPlan {
+    prep: Vec<Config>,
+    items: Vec<SimItem>,
+    variants: Vec<(VariantSpec, Vec<SimItem>)>,
+}
+
 /// The lab: prepared benchmarks shared across experiments.
 #[derive(Debug)]
 pub struct Lab {
@@ -72,6 +124,10 @@ pub struct Lab {
     pub scale: Scale,
     jobs: usize,
     prepared: Vec<Prepared>,
+    /// Derived-benchmark states (unrolled / resized), built on first use
+    /// and reused across experiments. `Err` caches a build failure's
+    /// note text.
+    variants: Vec<(VariantSpec, Result<Prepared, String>)>,
 }
 
 impl Lab {
@@ -95,6 +151,7 @@ impl Lab {
             scale,
             jobs,
             prepared,
+            variants: Vec::new(),
         }
     }
 
@@ -103,57 +160,129 @@ impl Lab {
         self.jobs
     }
 
-    /// Pre-populates the simulation memo for `prep_only` (programs and
-    /// traces only) and `items` (full simulations): stage 1 prepares
-    /// programs in parallel across benchmarks (each needs `&mut` for its
-    /// own memo), stage 2 fans simulations out over read-only
-    /// `(benchmark, item)` pairs, stage 3 inserts the results serially in
-    /// a fixed order. With one job this is a no-op — the experiment code
-    /// fills the memo lazily, as before.
-    fn warm_items(&mut self, prep_only: &[Config], items: &[SimItem]) {
+    /// The [`Prepared`] state behind a derived benchmark, built on first
+    /// use and memoized for the lifetime of the lab (so `experiments
+    /// all` reuses one state across figures). `Err` is the cached build
+    /// failure's note text.
+    fn variant_mut(&mut self, spec: VariantSpec) -> &mut Result<Prepared, String> {
+        if let Some(i) = self.variants.iter().position(|(s, _)| *s == spec) {
+            return &mut self.variants[i].1;
+        }
+        let built = spec.build(self.scale).map(Prepared::new);
+        self.variants.push((spec, built));
+        &mut self.variants.last_mut().expect("just pushed").1
+    }
+
+    /// Pre-populates the simulation memo for a [`WarmPlan`]: stage 1
+    /// builds any missing variant states in parallel, stage 2 prepares
+    /// programs in parallel across benchmarks and variants (each needs
+    /// `&mut` for its own memo), stage 3 fans simulations out over
+    /// read-only `(state, item)` pairs, stage 4 inserts the results
+    /// serially in a fixed order. With one job this is a no-op — the
+    /// experiment code fills the memo lazily, as before, with
+    /// byte-identical results.
+    fn warm_items(&mut self, plan: &WarmPlan) {
         if self.jobs <= 1 {
             return;
         }
-        let mut prep: Vec<Config> = prep_only.to_vec();
-        prep.extend(items.iter().map(|it| it.config));
-        if prep.is_empty() {
+        let mut prep: Vec<Config> = plan.prep.clone();
+        prep.extend(plan.items.iter().map(|it| it.config));
+        if prep.is_empty() && plan.variants.is_empty() {
             return;
         }
+        // Stage 1: build missing variant benchmarks (gradient included)
+        // in parallel, then append in plan order for determinism.
+        let missing: Vec<VariantSpec> = plan
+            .variants
+            .iter()
+            .map(|(s, _)| *s)
+            .filter(|s| !self.variants.iter().any(|(have, _)| have == s))
+            .collect();
+        let scale = self.scale;
+        let built = pool::map_parallel(&missing, self.jobs, |_, spec| {
+            spec.build(scale).map(Prepared::new)
+        });
+        self.variants.extend(missing.into_iter().zip(built));
+        // Stage 2: compile programs + traces (needs &mut per state).
         pool::for_each_mut_parallel(&mut self.prepared, self.jobs, |p| {
             for c in &prep {
                 let _ = p.ensure_program(c);
             }
         });
-        let work: Vec<(usize, SimItem)> = (0..self.prepared.len())
-            .flat_map(|bi| items.iter().map(move |it| (bi, *it)))
-            .filter(|(bi, it)| !self.prepared[*bi].has_sim(&it.config, &it.sys, it.record))
+        let variant_items: Vec<(VariantSpec, &[SimItem])> = plan
+            .variants
+            .iter()
+            .map(|(s, its)| (*s, its.as_slice()))
             .collect();
-        let prepared = &self.prepared;
-        let reports = pool::map_parallel(&work, self.jobs, |_, (bi, it)| {
-            prepared[*bi].sim_uncached(&it.config, &it.sys, it.record)
-        });
-        for ((bi, it), report) in work.iter().zip(reports) {
-            if let Some(report) = report {
-                self.prepared[*bi].insert_sim(&it.config, &it.sys, it.record, report);
+        pool::for_each_mut_parallel(&mut self.variants, self.jobs, |(spec, state)| {
+            let Ok(p) = state else { return };
+            for (s, items) in &variant_items {
+                if s == spec {
+                    for it in *items {
+                        let _ = p.ensure_program(&it.config);
+                    }
+                }
             }
+        });
+        // Stages 3+4: one read-only simulation fan-out over registry and
+        // variant states alike, then a serial, order-fixed memo fill.
+        enum Slot {
+            Registry(usize),
+            Variant(usize),
+        }
+        let mut work: Vec<(Slot, SimItem)> = (0..self.prepared.len())
+            .flat_map(|bi| plan.items.iter().map(move |it| (Slot::Registry(bi), *it)))
+            .collect();
+        for (spec, items) in &plan.variants {
+            if let Some(vi) = self.variants.iter().position(|(s, _)| s == spec) {
+                if self.variants[vi].1.is_ok() {
+                    work.extend(items.iter().map(|it| (Slot::Variant(vi), *it)));
+                }
+            }
+        }
+        let state_of = |slot: &Slot| -> &Prepared {
+            match slot {
+                Slot::Registry(bi) => &self.prepared[*bi],
+                Slot::Variant(vi) => self.variants[*vi].1.as_ref().expect("filtered above"),
+            }
+        };
+        work.retain(|(slot, it)| !state_of(slot).has_sim(&it.config, &it.sys, it.record));
+        let reports = pool::map_parallel(&work, self.jobs, |_, (slot, it)| {
+            state_of(slot).sim_uncached(&it.config, &it.sys, it.record)
+        });
+        for ((slot, it), report) in work.iter().zip(reports) {
+            let Some(report) = report else { continue };
+            let state = match slot {
+                Slot::Registry(bi) => &mut self.prepared[*bi],
+                Slot::Variant(vi) => self.variants[*vi].1.as_mut().expect("filtered above"),
+            };
+            state.insert_sim(&it.config, &it.sys, it.record, report);
         }
     }
 
-    /// The simulation plan behind each experiment id: configurations to
-    /// prepare without simulating, and (config, system, record) triples
-    /// to simulate. Experiments that build ad-hoc [`Prepared`] instances
-    /// (fig4.8–4.10) stay serial and return an empty plan.
-    fn warm_plan(id: &str) -> (Vec<Config>, Vec<SimItem>) {
+    /// The simulation plan behind each experiment id: registry
+    /// configurations to prepare without simulating, registry (config,
+    /// system, record) triples to simulate, and derived-benchmark
+    /// variants (fig4.8–4.10's unrolled/resized states) with their own
+    /// triples — all of which parallelize like the rest of the sweep.
+    fn warm_plan(id: &str) -> WarmPlan {
+        fn plain(prep: Vec<Config>, items: Vec<SimItem>) -> WarmPlan {
+            WarmPlan {
+                prep,
+                items,
+                variants: Vec::new(),
+            }
+        }
         let fifo_8k = {
             let mut sys = SystemConfig::with_cache_bytes(8192);
             sys.cache.policy = ReplacementPolicy::Fifo;
             sys
         };
         match id {
-            "fig1.3" | "fig2.6" | "regpressure" => (vec![E32K], vec![]),
-            "fig2.7" | "fig2.8" => (vec![], vec![std_item(E32K, true)]),
-            "table4.1" => (vec![E32K, t_cfg(32768)], vec![]),
-            "fig4.1" => (
+            "fig1.3" | "fig2.6" | "regpressure" => plain(vec![E32K], vec![]),
+            "fig2.7" | "fig2.8" => plain(vec![], vec![std_item(E32K, true)]),
+            "table4.1" => plain(vec![E32K, t_cfg(32768)], vec![]),
+            "fig4.1" => plain(
                 vec![],
                 vec![std_item(E32K, false), std_item(t_cfg(32768), false)],
             ),
@@ -164,16 +293,16 @@ impl Lab {
                     .collect();
                 items.push(std_item(t_cfg(1024), false));
                 items.push(std_item(t_cfg(32768), false));
-                (vec![], items)
+                plain(vec![], items)
             }
-            "fig4.3" => (
+            "fig4.3" => plain(
                 vec![],
                 vec![
                     std_item(Config::enzyme(4096), false),
                     std_item(Config::AosOnCache { cache_bytes: 4096 }, false),
                 ],
             ),
-            "fig4.4" | "fig4.5" => (
+            "fig4.4" | "fig4.5" => plain(
                 vec![],
                 vec![std_item(E32K, false), std_item(t_cfg(2048), false)],
             ),
@@ -187,7 +316,7 @@ impl Lab {
                     t_cfg(2048),
                     t_cfg(32768),
                 ];
-                (
+                plain(
                     vec![],
                     configs.iter().map(|c| std_item(*c, false)).collect(),
                 )
@@ -204,9 +333,71 @@ impl Lab {
                         false,
                     ));
                 }
-                (vec![], items)
+                plain(vec![], items)
             }
-            "ablation" => (
+            "fig4.8" => {
+                let items: Vec<SimItem> = [128usize, 256, 512, 1024, 2048]
+                    .into_iter()
+                    .map(|s| {
+                        std_item(
+                            Config::Tapeflow {
+                                cache_bytes: 32768,
+                                spad_bytes: s,
+                                double_buffer: true,
+                            },
+                            false,
+                        )
+                    })
+                    .collect();
+                WarmPlan {
+                    prep: vec![],
+                    items: vec![],
+                    variants: [1u64, 2, 4]
+                        .into_iter()
+                        .map(|factor| {
+                            (
+                                VariantSpec::Unrolled {
+                                    bench: "somier",
+                                    loop_name: "z",
+                                    factor,
+                                },
+                                items.clone(),
+                            )
+                        })
+                        .collect(),
+                }
+            }
+            "fig4.9" => WarmPlan {
+                prep: vec![],
+                items: vec![],
+                variants: fig4_9_grids()
+                    .into_iter()
+                    .map(|(_, spec)| {
+                        (
+                            spec,
+                            vec![std_item(E32K, false), std_item(t_cfg(32768), false)],
+                        )
+                    })
+                    .collect(),
+            },
+            "fig4.10" => WarmPlan {
+                prep: vec![],
+                items: vec![],
+                variants: [1u64, 2, 4, 8]
+                    .into_iter()
+                    .map(|factor| {
+                        (
+                            VariantSpec::Unrolled {
+                                bench: "pathfinder",
+                                loop_name: "c",
+                                factor,
+                            },
+                            vec![std_item(E32K, false), std_item(t_cfg(32768), false)],
+                        )
+                    })
+                    .collect(),
+            },
+            "ablation" => plain(
                 vec![],
                 vec![
                     std_item(t_cfg(32768), false),
@@ -226,7 +417,7 @@ impl Lab {
                     },
                 ],
             ),
-            _ => (vec![], vec![]),
+            _ => WarmPlan::default(),
         }
     }
 
@@ -236,8 +427,8 @@ impl Lab {
     ///
     /// Panics on an unknown id; see [`IDS`].
     pub fn run(&mut self, id: &str) -> Vec<Table> {
-        let (prep, items) = Self::warm_plan(id);
-        self.warm_items(&prep, &items);
+        let plan = Self::warm_plan(id);
+        self.warm_items(&plan);
         match id {
             "table2.1" => vec![table2_1()],
             "fig1.3" => vec![self.fig1_3()],
@@ -703,20 +894,20 @@ impl Lab {
             "Fig 4.8 — somier: ILP vs scratchpad size and unroll factor (norm. to u1@128B)",
             &hdr_refs,
         );
-        let base_bench = by_name("somier", self.scale);
         let mut norm = None;
         for u in unrolls {
-            let mut bench = base_bench.clone();
-            if u > 1 {
-                match unroll_loop(&bench.func, "z", u) {
-                    Ok(f) => bench.func = f,
-                    Err(e) => {
-                        t.note(format!("u{u}: skipped ({e})"));
-                        continue;
-                    }
+            let spec = VariantSpec::Unrolled {
+                bench: "somier",
+                loop_name: "z",
+                factor: u,
+            };
+            let p = match self.variant_mut(spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    t.note(format!("u{u}: skipped ({e})"));
+                    continue;
                 }
-            }
-            let mut p = Prepared::new(bench);
+            };
             let mut row = vec![format!("u{u}")];
             for s in sizes {
                 let cfg = Config::Tapeflow {
@@ -754,18 +945,14 @@ impl Lab {
                 "tflow/enzyme",
             ],
         );
-        // ~5 tape slots per grid cell at 8 B each (see pathfinder docs).
-        for (label, cells) in [
-            ("0.5x", 16 * 1024 / 40),
-            ("1x", 32 * 1024 / 40),
-            ("4x", 131072 / 40),
-        ] {
-            let rows = (cells as f64).sqrt() as usize;
-            let cols = cells / rows.max(1);
-            let bench = tapeflow_benchmarks::by_name("pathfinder", Scale::Tiny);
-            let _ = bench; // sized build below
-            let bench = pathfinder_sized(rows.max(2), cols.max(4));
-            let mut p = Prepared::new(bench);
+        for (label, spec) in fig4_9_grids() {
+            let p = match self.variant_mut(spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    t.note(format!("{label}: skipped ({e})"));
+                    continue;
+                }
+            };
             let tape_bytes = p.grad.tape_elems() * 8;
             let ez = p.sim(&E32K, false).clone();
             let tf = p.sim(&t_cfg(32768), false).clone();
@@ -805,20 +992,20 @@ impl Lab {
                 "norm ops/layer",
             ],
         );
-        let base_bench = by_name("pathfinder", self.scale);
         let mut first: Option<(f64, f64)> = None;
         for u in [1u64, 2, 4, 8] {
-            let mut bench = base_bench.clone();
-            if u > 1 {
-                match unroll_loop(&bench.func, "c", u) {
-                    Ok(f) => bench.func = f,
-                    Err(e) => {
-                        t.note(format!("u{u}: skipped ({e})"));
-                        continue;
-                    }
+            let spec = VariantSpec::Unrolled {
+                bench: "pathfinder",
+                loop_name: "c",
+                factor: u,
+            };
+            let p = match self.variant_mut(spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    t.note(format!("u{u}: skipped ({e})"));
+                    continue;
                 }
-            }
-            let mut p = Prepared::new(bench);
+            };
             let ez = p.sim(&E32K, false).cycles.max(1) as f64;
             let cfg = t_cfg(32768);
             let layers = p.compiled(&cfg).stats.fwd_layers.max(1);
@@ -963,7 +1150,11 @@ impl Lab {
     pub fn json_report(&mut self) -> Value {
         let configs = Self::json_configs();
         let items: Vec<SimItem> = configs.iter().map(|c| std_item(*c, false)).collect();
-        self.warm_items(&[], &items);
+        self.warm_items(&WarmPlan {
+            prep: vec![],
+            items,
+            variants: vec![],
+        });
         let mut benches = Vec::new();
         for p in &mut self.prepared {
             let mut per_config = Vec::new();
@@ -991,6 +1182,27 @@ impl Lab {
         doc.set("scale", format!("{:?}", self.scale))
             .set("benchmarks", Value::Arr(benches));
         doc
+    }
+
+    /// Aggregate per-pass compile wall time across every prepared
+    /// benchmark and variant: pass name → (runs, total wall). Key order
+    /// is deterministic (BTreeMap); the times themselves are wall clock
+    /// and must stay out of result bytes (the experiments binary zeroes
+    /// them under `--stable-json`).
+    pub fn pass_wall_totals(&self) -> BTreeMap<&'static str, (u64, Duration)> {
+        let mut out: BTreeMap<&'static str, (u64, Duration)> = BTreeMap::new();
+        let states = self
+            .prepared
+            .iter()
+            .chain(self.variants.iter().filter_map(|(_, r)| r.as_ref().ok()));
+        for p in states {
+            for (name, (runs, wall)) in p.pass_wall() {
+                let slot = out.entry(name).or_insert((0, Duration::ZERO));
+                slot.0 += *runs;
+                slot.1 += *wall;
+            }
+        }
+        out
     }
 }
 
@@ -1178,6 +1390,28 @@ fn max_arrays_per_loop(b: &Benchmark) -> usize {
 
 fn pathfinder_sized(rows: usize, cols: usize) -> Benchmark {
     tapeflow_benchmarks::pathfinder_sized(rows, cols)
+}
+
+/// Fig 4.9's grid sweep: pathfinder scaled so the tape working set is
+/// ~0.5x / 1x / 4x of the 32 KB cache (~5 tape slots per grid cell at
+/// 8 B each; see pathfinder docs).
+fn fig4_9_grids() -> [(&'static str, VariantSpec); 3] {
+    [
+        ("0.5x", 16 * 1024 / 40),
+        ("1x", 32 * 1024 / 40),
+        ("4x", 131072 / 40),
+    ]
+    .map(|(label, cells)| {
+        let rows = (cells as f64).sqrt() as usize;
+        let cols = cells / rows.max(1);
+        (
+            label,
+            VariantSpec::PathfinderSized {
+                rows: rows.max(2),
+                cols: cols.max(4),
+            },
+        )
+    })
 }
 
 #[cfg(test)]

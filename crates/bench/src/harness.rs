@@ -8,11 +8,13 @@
 //! vary anything beyond the cache size — replacement policy, MSHRs,
 //! scratchpad banks — never alias each other's entries.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 use tapeflow_autodiff::Gradient;
 use tapeflow_benchmarks::Benchmark;
-use tapeflow_core::{compile, CompileMode, CompileOptions, CompiledProgram};
+use tapeflow_core::pipeline::PipelineBuilder;
+use tapeflow_core::{CompileMode, CompileOptions, CompiledProgram, CoreError};
 use tapeflow_ir::trace::{trace_function, TraceOptions};
 use tapeflow_ir::{ArrayId, Memory, Trace};
 use tapeflow_sim::{simulate, SimOptions, SimReport, SystemConfig};
@@ -114,9 +116,13 @@ pub struct Prepared {
     pub grad: Gradient,
     traces: HashMap<ProgramKey, Arc<Trace>>,
     compiled: HashMap<ProgramKey, Arc<CompiledProgram>>,
-    /// Programs that failed to compile (scratchpad too small); cached so
-    /// repeated sweeps don't retry the compilation.
-    infeasible: HashSet<ProgramKey>,
+    /// Programs that failed to compile (scratchpad too small), with the
+    /// pipeline's diagnosis; cached so repeated sweeps don't retry the
+    /// compilation.
+    infeasible: HashMap<ProgramKey, CoreError>,
+    /// Accumulated per-pass wall time across every compilation this
+    /// benchmark ran (pass name → (runs, total wall)).
+    pass_wall: BTreeMap<&'static str, (u64, Duration)>,
     sims: HashMap<SimKey, SimReport>,
 }
 
@@ -144,7 +150,8 @@ impl Prepared {
             grad,
             traces: HashMap::new(),
             compiled: HashMap::new(),
-            infeasible: HashSet::new(),
+            infeasible: HashMap::new(),
+            pass_wall: BTreeMap::new(),
             sims: HashMap::new(),
         }
     }
@@ -169,46 +176,60 @@ impl Prepared {
         }
     }
 
-    fn try_compiled_for(&mut self, key: ProgramKey) -> Option<&CompiledProgram> {
-        if let ProgramKey::Compiled {
+    fn try_compiled_for(&mut self, key: ProgramKey) -> Result<&CompiledProgram, CoreError> {
+        let ProgramKey::Compiled {
             spad_bytes,
             double_buffer,
             aos_only,
         } = key
-        {
-            if self.infeasible.contains(&key) {
-                return None;
-            }
-            if !self.compiled.contains_key(&key) {
-                let opts = CompileOptions {
-                    spad_entries: (spad_bytes / 8).max(2),
-                    double_buffer,
-                    mode: if aos_only {
-                        CompileMode::AosOnly
-                    } else {
-                        CompileMode::Full
-                    },
-                };
-                match compile(&self.grad, &opts) {
-                    Ok(c) => {
-                        self.compiled.insert(key, Arc::new(c));
-                    }
-                    Err(_) => {
-                        self.infeasible.insert(key);
-                        return None;
-                    }
+        else {
+            // The old code panicked here ("gradient key has no compiled
+            // program"); an Enzyme config simply runs `grad.func` as-is.
+            return Err(CoreError::Pipeline(
+                "Enzyme configurations run the gradient function directly; \
+                 no compiled program exists"
+                    .into(),
+            ));
+        };
+        if let Some(e) = self.infeasible.get(&key) {
+            return Err(e.clone());
+        }
+        if !self.compiled.contains_key(&key) {
+            let opts = CompileOptions {
+                spad_entries: (spad_bytes / 8).max(2),
+                double_buffer,
+                mode: if aos_only {
+                    CompileMode::AosOnly
+                } else {
+                    CompileMode::Full
+                },
+            };
+            let run = PipelineBuilder::for_options(&opts).run_gradient(&self.grad);
+            let compiled = run.and_then(|run| {
+                for r in &run.report.records {
+                    let slot = self.pass_wall.entry(r.name).or_insert((0, Duration::ZERO));
+                    slot.0 += 1;
+                    slot.1 += r.wall;
+                }
+                run.into_compiled()
+            });
+            match compiled {
+                Ok(c) => {
+                    self.compiled.insert(key, Arc::new(c));
+                }
+                Err(e) => {
+                    self.infeasible.insert(key, e.clone());
+                    return Err(e);
                 }
             }
-            Some(&self.compiled[&key])
-        } else {
-            panic!("gradient key has no compiled program")
         }
+        Ok(&self.compiled[&key])
     }
 
     fn compiled_for(&mut self, key: ProgramKey) -> &CompiledProgram {
         let name = self.bench.name;
         self.try_compiled_for(key)
-            .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
     }
 
     fn try_trace_key(&mut self, config: &Config) -> Option<ProgramKey> {
@@ -217,7 +238,7 @@ impl Prepared {
             let (func, barrier) = match key {
                 ProgramKey::Gradient => (self.grad.func.clone(), self.grad.phase_barrier),
                 k => {
-                    let c = self.try_compiled_for(k)?;
+                    let c = self.try_compiled_for(k).ok()?;
                     (c.func.clone(), c.phase_barrier)
                 }
             };
@@ -266,11 +287,36 @@ impl Prepared {
             .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
     }
 
+    /// The compiled program behind a Tapeflow/AoS config (memoized),
+    /// or the [`CoreError`] explaining why there is none — either the
+    /// cached infeasibility diagnosis, or a [`CoreError::Pipeline`] for
+    /// Enzyme configs (which run the gradient function directly).
+    pub fn try_compiled(&mut self, config: &Config) -> Result<&CompiledProgram, CoreError> {
+        self.try_compiled_for(Self::key_of(config))
+    }
+
+    /// The cached compilation failure for `config`, if an earlier attempt
+    /// found it infeasible. `None` means "compiled fine" or "never
+    /// attempted".
+    pub fn compile_error(&self, config: &Config) -> Option<&CoreError> {
+        self.infeasible.get(&Self::key_of(config))
+    }
+
+    /// Accumulated per-pass wall time across every compilation this
+    /// benchmark ran: pass name → (number of runs, total wall time).
+    /// Deterministically ordered by pass name. Wall times are
+    /// nondeterministic — report them, never fold them into result
+    /// bytes.
+    pub fn pass_wall(&self) -> &BTreeMap<&'static str, (u64, Duration)> {
+        &self.pass_wall
+    }
+
     /// The compiled program behind a Tapeflow/AoS config (memoized).
     ///
     /// # Panics
     ///
-    /// Panics when called with an `Enzyme` config.
+    /// Panics when called with an `Enzyme` config or an infeasible
+    /// scratchpad (use [`Prepared::try_compiled`] for a `Result`).
     pub fn compiled(&mut self, config: &Config) -> &CompiledProgram {
         self.compiled_for(Self::key_of(config))
     }
@@ -448,6 +494,31 @@ mod tests {
         }
         assert!(p.try_sim(&tiny_spad, false).is_none());
         assert!(!p.ensure_program(&tiny_spad), "stays infeasible");
+        // The cache keeps the diagnosis, not just a boolean, and the
+        // Result path surfaces the same error object.
+        let cached = p.compile_error(&tiny_spad).cloned().expect("cached error");
+        assert_eq!(p.try_compiled(&tiny_spad).unwrap_err(), cached);
+        assert!(matches!(
+            cached,
+            CoreError::SpadTooSmall { .. } | CoreError::RegionTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn enzyme_config_has_no_compiled_program_as_error_not_panic() {
+        let mut p = Prepared::new(by_name("logsum", Scale::Tiny));
+        let err = p.try_compiled(&Config::enzyme(1024)).unwrap_err();
+        assert!(matches!(err, CoreError::Pipeline(_)));
+        assert!(p.compile_error(&Config::enzyme(1024)).is_none());
+    }
+
+    #[test]
+    fn compilations_record_pass_timings() {
+        let mut p = Prepared::new(by_name("logsum", Scale::Tiny));
+        assert!(p.ensure_program(&Config::tapeflow(1024)));
+        let names: Vec<_> = p.pass_wall().keys().copied().collect();
+        assert_eq!(names, ["layering", "regions", "spad-index", "streams"]);
+        assert!(p.pass_wall().values().all(|(runs, _)| *runs == 1));
     }
 
     #[test]

@@ -26,6 +26,35 @@ use tapeflow_ir::{
     ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Scalar, Stmt, ValueDef, ValueId,
 };
 
+/// How far the rewriter lowers tape accesses.
+///
+/// `Aos` and `Spad` are the terminal lowerings behind
+/// [`CompileMode::AosOnly`] and [`CompileMode::Full`]. `Streams` is the
+/// post-Pass-3 intermediate the pass manager materializes between them:
+/// layers, barriers and `FWD-Stream`/`REV-Stream` commands are in place
+/// (with the scratchpad mirror kept written so `StreamOut` spills real
+/// data), but tape *loads* still read the merged DRAM region — rewriting
+/// them into scratchpad accesses is Pass 4's job. The intermediate
+/// verifies and computes the same gradients as both terminal forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Lowering {
+    /// Pass 1 only: merged AoS regions, cache-resident accesses.
+    Aos,
+    /// Passes 1–3: layers + streams, tape loads still on DRAM.
+    Streams,
+    /// Passes 1–4: scratchpad-indexed accesses (the shipped program).
+    Spad,
+}
+
+impl Lowering {
+    fn of(mode: CompileMode) -> Self {
+        match mode {
+            CompileMode::AosOnly => Lowering::Aos,
+            CompileMode::Full => Lowering::Spad,
+        }
+    }
+}
+
 /// Applies the plan, producing the compiled program.
 ///
 /// # Errors
@@ -36,7 +65,18 @@ pub fn apply(
     plan: LayerPlan,
     opts: CompileOptions,
 ) -> Result<CompiledProgram, CoreError> {
-    let mut rw = Rw::new(grad, &plan, opts);
+    apply_lowered(grad, plan, opts, Lowering::of(opts.mode))
+}
+
+/// [`apply`] with an explicit lowering depth (the pass manager's Pass-3
+/// snapshot hook).
+pub(crate) fn apply_lowered(
+    grad: &Gradient,
+    plan: LayerPlan,
+    opts: CompileOptions,
+    lowering: Lowering,
+) -> Result<CompiledProgram, CoreError> {
+    let mut rw = Rw::new(grad, &plan, opts, lowering);
     let mut body = Vec::new();
     rw.walk(&grad.func.body, &mut body)?;
     rw.g.body = body;
@@ -55,9 +95,9 @@ pub fn apply(
         merged_tape_bytes: plan.regions.iter().map(|r| r.merged_len() as u64 * 8).sum(),
         spad_entries: opts.spad_entries,
     };
-    let phase_barrier = rw
-        .new_phase_barrier
-        .expect("gradient functions always carry a phase barrier");
+    let phase_barrier = rw.new_phase_barrier.ok_or_else(|| {
+        CoreError::Pipeline("rewritten function lost its FWD/REV phase barrier".into())
+    })?;
     Ok(CompiledProgram {
         func: rw.g,
         phase_barrier,
@@ -85,6 +125,7 @@ struct Rw<'a> {
     grad: &'a Gradient,
     plan: &'a LayerPlan,
     opts: CompileOptions,
+    lowering: Lowering,
     g: Function,
     vmap: Vec<Option<ValueId>>,
     consts: HashMap<(bool, u64), ValueId>,
@@ -98,7 +139,12 @@ struct Rw<'a> {
 }
 
 impl<'a> Rw<'a> {
-    fn new(grad: &'a Gradient, plan: &'a LayerPlan, opts: CompileOptions) -> Self {
+    fn new(
+        grad: &'a Gradient,
+        plan: &'a LayerPlan,
+        opts: CompileOptions,
+        lowering: Lowering,
+    ) -> Self {
         let mut g = Function::new(format!("tf_{}", grad.func.name));
         // Managed per-value tape arrays disappear (their merged region
         // replaces them); shrink to zero so they cost no address space.
@@ -124,10 +170,12 @@ impl<'a> Rw<'a> {
                 Scalar::F64,
             ));
         }
-        let full = opts.mode == CompileMode::Full;
+        // Region loops are restructured for both the streamed snapshot
+        // and the final scratchpad-indexed form.
+        let layered = lowering != Lowering::Aos;
         let mut fwd_region_loop = HashMap::new();
         let mut rev_region_loop = HashMap::new();
-        if full {
+        if layered {
             for (ri, rp) in plan.regions.iter().enumerate() {
                 let collapse = match rp.layout {
                     RegionLayout::LayoutOnly => continue,
@@ -143,6 +191,7 @@ impl<'a> Rw<'a> {
             grad,
             plan,
             opts,
+            lowering,
             g,
             vmap: vec![None; grad.func.values().len()],
             consts: HashMap::new(),
@@ -348,13 +397,24 @@ impl<'a> Rw<'a> {
         let inst = self.grad.func.inst(old).clone();
         if let Some(site) = self.plan.store_site.get(&old).copied() {
             let val = self.map_val(inst.args[1]);
-            match self.opts.mode {
-                CompileMode::AosOnly => {
+            match self.lowering {
+                Lowering::Aos => {
                     let lin = self.map_val(inst.args[0]);
                     let idx = self.aos_index(site, lin, out);
                     self.emit(out, Op::Store(self.merged[site.region]), vec![idx, val]);
                 }
-                CompileMode::Full => {
+                Lowering::Streams => {
+                    // Keep the DRAM struct *and* the scratchpad mirror
+                    // written: loads still read DRAM at this depth, while
+                    // StreamOut spills the mirrored tile (over identical
+                    // bytes), so the snapshot runs and verifies.
+                    let lin = self.map_val(inst.args[0]);
+                    let idx = self.aos_index(site, lin, out);
+                    self.emit(out, Op::Store(self.merged[site.region]), vec![idx, val]);
+                    let sidx = self.spad_index(site, out);
+                    self.emit(out, Op::SpadStore, vec![sidx, val]);
+                }
+                Lowering::Spad => {
                     let idx = self.spad_index(site, out);
                     self.emit(out, Op::SpadStore, vec![idx, val]);
                 }
@@ -362,13 +422,13 @@ impl<'a> Rw<'a> {
             return;
         }
         if let Some(site) = self.plan.load_site.get(&old).copied() {
-            let res = match self.opts.mode {
-                CompileMode::AosOnly => {
+            let res = match self.lowering {
+                Lowering::Aos | Lowering::Streams => {
                     let lin = self.map_val(inst.args[0]);
                     let idx = self.aos_index(site, lin, out);
                     self.emit_r(out, Op::Load(self.merged[site.region]), vec![idx])
                 }
-                CompileMode::Full => {
+                Lowering::Spad => {
                     let idx = self.spad_index(site, out);
                     self.emit_r(out, Op::SpadLoad, vec![idx])
                 }
@@ -698,6 +758,20 @@ impl<'a> Rw<'a> {
             for (k, &t) in seg.dups.iter().enumerate() {
                 let store = self.grad.func.inst(self.grad.tapes[t].store).clone();
                 let val = self.map_val(store.args[1]);
+                if self.lowering == Lowering::Streams {
+                    // Mirror the duplicate into the DRAM struct so the
+                    // snapshot's merged region holds exactly what Pass 4
+                    // will stream.
+                    let outer_lin = self.fold_lin(&outer_path, &mut nb);
+                    let n_c = self.ci(n);
+                    let a = self.emit_r(&mut nb, Op::IMul, vec![outer_lin, n_c]);
+                    let b = self.emit_r(&mut nb, Op::IAdd, vec![a, o]);
+                    let r_c = self.ci(rsize as i64);
+                    let m = self.emit_r(&mut nb, Op::IMul, vec![b, r_c]);
+                    let off_c = self.ci((seg.offset + seg.own.len() + k) as i64);
+                    let elem = self.emit_r(&mut nb, Op::IAdd, vec![m, off_c]);
+                    self.emit(&mut nb, Op::Store(self.merged[ri]), vec![elem, val]);
+                }
                 let off = self.ci((seg.own.len() + k) as i64);
                 let idx = self.emit_r(&mut nb, Op::IAdd, vec![base, off]);
                 self.emit(&mut nb, Op::SpadStore, vec![idx, val]);

@@ -56,6 +56,7 @@
 
 pub mod apply;
 pub mod layering;
+pub mod pipeline;
 pub mod regions;
 
 use std::error::Error;
@@ -161,6 +162,20 @@ pub enum CoreError {
     },
     /// The rewritten function failed verification (internal bug).
     Internal(tapeflow_ir::verify::VerifyError),
+    /// The pass manager's post-pass IR verification failed (names the
+    /// offending pass — internal bug in that pass).
+    PassVerify {
+        /// Registered name of the pass after which verification failed.
+        pass: &'static str,
+        /// The verifier's diagnosis.
+        error: tapeflow_ir::verify::VerifyError,
+    },
+    /// The AD front-end failed inside the pipeline (`ad` pass).
+    Ad(tapeflow_autodiff::AdError),
+    /// The pipeline itself is assembled or driven wrong: unknown pass
+    /// name, missing prerequisite pass, or a pass run without the state
+    /// it needs.
+    Pipeline(String),
 }
 
 impl fmt::Display for CoreError {
@@ -179,6 +194,11 @@ impl fmt::Display for CoreError {
                 "scratchpad of {entries} entries cannot serve {levels} nesting levels"
             ),
             CoreError::Internal(e) => write!(f, "rewritten function invalid: {e}"),
+            CoreError::PassVerify { pass, error } => {
+                write!(f, "IR invalid after pass `{pass}`: {error}")
+            }
+            CoreError::Ad(e) => write!(f, "ad pass: {e}"),
+            CoreError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
         }
     }
 }
@@ -191,7 +211,20 @@ impl From<tapeflow_ir::verify::VerifyError> for CoreError {
     }
 }
 
+impl From<tapeflow_autodiff::AdError> for CoreError {
+    fn from(e: tapeflow_autodiff::AdError) -> Self {
+        CoreError::Ad(e)
+    }
+}
+
 /// Runs the Tapeflow pipeline over a gradient function.
+///
+/// This is a thin wrapper over [`pipeline::PipelineBuilder`]: it seeds
+/// the pipeline state with `grad` and runs the standard pass sequence for
+/// `options.mode` (`regions → layering → streams → spad-index` for
+/// [`CompileMode::Full`], `regions → aos-layout` for
+/// [`CompileMode::AosOnly`]). Use the builder directly for custom pass
+/// orders, per-pass timing or post-pass IR snapshots.
 ///
 /// # Errors
 ///
@@ -200,7 +233,7 @@ pub fn compile(
     grad: &tapeflow_autodiff::Gradient,
     options: &CompileOptions,
 ) -> Result<CompiledProgram, CoreError> {
-    let formed = regions::form_regions(grad);
-    let plan = layering::plan_layers(grad, formed, options)?;
-    apply::apply(grad, plan, *options)
+    pipeline::PipelineBuilder::for_options(options)
+        .run_gradient(grad)?
+        .into_compiled()
 }

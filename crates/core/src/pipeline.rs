@@ -1,0 +1,846 @@
+//! The pass manager: every stage of the Tapeflow compilation flow —
+//! `ir::opt` cleanups, the AD transform and core Passes 1–4 — as a
+//! registered [`Pass`] running over a shared [`PipelineState`], assembled
+//! by a [`PipelineBuilder`] and reported on by a [`PipelineReport`].
+//!
+//! This is the architecture the paper's toolflow implies (Enzyme sits
+//! inside LLVM's pass pipeline; Tapeflow's four passes follow it): each
+//! stage is a named pass with explicit prerequisites, the IR is verified
+//! after every pass in checked mode, and per-pass wall time,
+//! [`CompileStats`] and optional post-pass IR snapshots are recorded —
+//! the in-tree analogue of `opt`'s `--time-passes` / `--print-after-all`.
+//!
+//! Registered passes, in canonical order:
+//!
+//! | name | stage |
+//! |---|---|
+//! | `opt` | const-fold / CSE / DCE (the paper's `-O3` assumption) |
+//! | `ad` | reverse-mode AD: FWD + tape + REV gradient function |
+//! | `regions` | Pass 1 (§3.3): merge SoA tape arrays into AoS regions |
+//! | `layering` | Pass 2 (§3.4/§3.7): scratchpad-sized layers |
+//! | `streams` | Pass 3 (§3.5): `FWD-Stream`/`REV-Stream` at layer bounds |
+//! | `spad-index` | Pass 4 (§3.6): tape accesses → scratchpad indices |
+//! | `aos-layout` | terminal AoS lowering ([`CompileMode::AosOnly`]) |
+//!
+//! Passes 3 and 4 share one rewriter walk ([`crate::apply`]); `streams`
+//! therefore only materializes its own output function when IR capture is
+//! on (a verified, runnable intermediate whose tape loads still read the
+//! merged DRAM regions), and otherwise records that the stream insertion
+//! is fused into the `spad-index` rewrite — which is also where the fused
+//! wall time lands.
+//!
+//! [`crate::compile`] is a thin wrapper over the builder, so the standard
+//! entry point and the pass manager can never drift apart.
+//!
+//! ```rust
+//! use tapeflow_ir::{ArrayKind, FunctionBuilder, Scalar};
+//! use tapeflow_autodiff::AdOptions;
+//! use tapeflow_core::pipeline::PipelineBuilder;
+//! use tapeflow_core::CompileOptions;
+//!
+//! let mut b = FunctionBuilder::new("pipe");
+//! let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+//! let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+//! b.for_loop("i", 0, 64, |b, i| {
+//!     let v = b.load(x, i);
+//!     let e = b.exp(v);
+//!     let c = b.load_cell(loss);
+//!     let s = b.fadd(c, e);
+//!     b.store_cell(loss, s);
+//! });
+//! let f = b.finish();
+//! let run = PipelineBuilder::full(CompileOptions::default(), AdOptions::new(vec![x], vec![loss]))
+//!     .with_verify(true)
+//!     .run_source(&f)
+//!     .unwrap();
+//! assert_eq!(run.report.pass_names(), ["opt", "ad", "regions", "layering", "streams", "spad-index"]);
+//! let compiled = run.into_compiled().unwrap();
+//! assert!(compiled.stats.fwd_layers > 0);
+//! ```
+
+use crate::apply::{apply_lowered, Lowering};
+use crate::layering::{self, LayerPlan, RegionLayout};
+use crate::regions::{self, FormedRegions};
+use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreError};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
+use tapeflow_ir::{opt::OptStats, pretty, verify, Function};
+
+/// The evolving program plus the sidecar artifacts passes read and
+/// write. Transform passes replace [`PipelineState::current_ir`]'s view;
+/// analysis passes (Passes 1 and 2) only attach artifacts.
+#[derive(Debug, Default)]
+pub struct PipelineState {
+    /// The source function (set by [`PipelineBuilder::run_source`],
+    /// replaced by the `opt` pass's output).
+    pub func: Option<Function>,
+    /// The AD front-end's output (set by the `ad` pass, or seeded by
+    /// [`PipelineBuilder::run_gradient`]).
+    pub gradient: Option<Gradient>,
+    /// Pass 1 artifact: formed regions.
+    pub formed: Option<FormedRegions>,
+    /// Pass 2 artifact: the layer plan.
+    pub plan: Option<LayerPlan>,
+    /// The post-Pass-3 IR snapshot (layers + streams, tape loads still
+    /// DRAM-resident). Only materialized when IR capture is on.
+    pub streams_ir: Option<Function>,
+    /// Terminal lowering output (`spad-index` or `aos-layout`).
+    pub compiled: Option<CompiledProgram>,
+    /// `opt` pass statistics.
+    pub opt_stats: Option<OptStats>,
+    /// Whether post-pass IR snapshots are being captured (set from
+    /// [`PipelineBuilder::with_ir_capture`]; the `streams` pass reads it).
+    pub capture_ir: bool,
+    /// One-line detail the running pass leaves for the report (cleared
+    /// before each pass).
+    pub detail: String,
+}
+
+impl PipelineState {
+    /// The most-lowered function currently in the state: the compiled
+    /// program if a terminal pass ran, else the streams snapshot, else
+    /// the gradient function, else the (possibly optimized) source.
+    pub fn current_ir(&self) -> Option<&Function> {
+        if let Some(c) = &self.compiled {
+            return Some(&c.func);
+        }
+        if let Some(f) = &self.streams_ir {
+            return Some(f);
+        }
+        if let Some(g) = &self.gradient {
+            return Some(&g.func);
+        }
+        self.func.as_ref()
+    }
+
+    /// Compile statistics as far as the artifacts determine them: full
+    /// [`CompileStats`] once a terminal pass ran, partial counts from the
+    /// formed regions / layer plan before that.
+    pub fn stats(&self) -> CompileStats {
+        if let Some(c) = &self.compiled {
+            return c.stats;
+        }
+        let mut s = CompileStats::default();
+        if let Some(f) = &self.formed {
+            s.regions = f.regions.len();
+        }
+        if let Some(p) = &self.plan {
+            s.regions = p.regions.len();
+            s.fwd_layers = p.total_fwd_layers;
+            s.duplicated_slots = p
+                .regions
+                .iter()
+                .map(|r| match &r.layout {
+                    RegionLayout::Segmented { segments } => {
+                        segments.iter().map(|seg| seg.dups.len()).sum()
+                    }
+                    _ => 0,
+                })
+                .sum();
+            s.merged_tape_bytes = p.regions.iter().map(|r| r.merged_len() as u64 * 8).sum();
+        }
+        s
+    }
+}
+
+/// One registered stage of the compilation flow.
+pub trait Pass {
+    /// Registry name (`opt`, `ad`, `regions`, `layering`, `streams`,
+    /// `spad-index`, `aos-layout`).
+    fn name(&self) -> &'static str;
+    /// One-line description for reports and `--passes help`.
+    fn description(&self) -> &'static str;
+    /// Runs the pass over the evolving state.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`]; missing prerequisites surface as
+    /// [`CoreError::Pipeline`].
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError>;
+}
+
+fn missing(pass: &str, what: &str) -> CoreError {
+    CoreError::Pipeline(format!("pass `{pass}` needs {what} in the pipeline state"))
+}
+
+// ---- the registered passes -------------------------------------------------
+
+struct OptPass;
+
+impl Pass for OptPass {
+    fn name(&self) -> &'static str {
+        "opt"
+    }
+    fn description(&self) -> &'static str {
+        "const-fold / CSE / DCE cleanups (the paper's -O3 assumption)"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        if state.gradient.is_some() {
+            return Err(CoreError::Pipeline(
+                "pass `opt` must run before `ad`: a rewrite would invalidate the AD maps".into(),
+            ));
+        }
+        let func = state
+            .func
+            .take()
+            .ok_or_else(|| missing("opt", "a source function (run_source)"))?;
+        let (g, stats) = tapeflow_ir::opt::optimize(&func);
+        state.detail = format!(
+            "folded {}, cse {}, dce {}",
+            stats.folded, stats.cse_hits, stats.dce_removed
+        );
+        state.func = Some(g);
+        state.opt_stats = Some(stats);
+        Ok(())
+    }
+}
+
+struct AdPass {
+    opts: AdOptions,
+}
+
+impl Pass for AdPass {
+    fn name(&self) -> &'static str {
+        "ad"
+    }
+    fn description(&self) -> &'static str {
+        "reverse-mode AD: FWD + tape + REV gradient function"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        if state.gradient.is_some() {
+            return Err(CoreError::Pipeline(
+                "pass `ad` ran on a state that already has a gradient".into(),
+            ));
+        }
+        let func = state
+            .func
+            .as_ref()
+            .ok_or_else(|| missing("ad", "a source function (run_source)"))?;
+        let grad = differentiate(func, &self.opts)?;
+        state.detail = format!(
+            "taped {} values ({} B), recomputed {}, adjoint cells {}",
+            grad.stats.taped_values,
+            grad.stats.tape_bytes,
+            grad.stats.recomputed_values,
+            grad.stats.adjoint_cells
+        );
+        state.gradient = Some(grad);
+        Ok(())
+    }
+}
+
+struct RegionsPass;
+
+impl Pass for RegionsPass {
+    fn name(&self) -> &'static str {
+        "regions"
+    }
+    fn description(&self) -> &'static str {
+        "Pass 1 (3.3): merge SoA tape arrays into AoS regions"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("regions", "a gradient (`ad` or run_gradient)"))?;
+        let formed = regions::form_regions(grad);
+        state.detail = format!(
+            "{} regions, {} unmanaged tapes, {} nesting levels",
+            formed.regions.len(),
+            formed.unmanaged.len(),
+            formed.levels
+        );
+        state.formed = Some(formed);
+        Ok(())
+    }
+}
+
+struct LayeringPass {
+    opts: CompileOptions,
+}
+
+impl Pass for LayeringPass {
+    fn name(&self) -> &'static str {
+        "layering"
+    }
+    fn description(&self) -> &'static str {
+        "Pass 2 (3.4/3.7): schedule FWD/REV into scratchpad-sized layers"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("layering", "a gradient"))?;
+        let formed = state
+            .formed
+            .clone()
+            .ok_or_else(|| missing("layering", "formed regions (`regions`)"))?;
+        let plan = layering::plan_layers(grad, formed, &self.opts)?;
+        let segmented = plan
+            .regions
+            .iter()
+            .filter(|r| matches!(r.layout, RegionLayout::Segmented { .. }))
+            .count();
+        state.detail = format!(
+            "{} fwd layers, {} segmented regions, {} duplicated slots",
+            plan.total_fwd_layers,
+            segmented,
+            plan.regions
+                .iter()
+                .map(|r| match &r.layout {
+                    RegionLayout::Segmented { segments } =>
+                        segments.iter().map(|s| s.dups.len()).sum(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+        );
+        state.plan = Some(plan);
+        Ok(())
+    }
+}
+
+struct StreamsPass {
+    opts: CompileOptions,
+}
+
+impl Pass for StreamsPass {
+    fn name(&self) -> &'static str {
+        "streams"
+    }
+    fn description(&self) -> &'static str {
+        "Pass 3 (3.5): FWD-Stream/REV-Stream commands at layer boundaries"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("streams", "a gradient"))?;
+        let plan = state
+            .plan
+            .as_ref()
+            .ok_or_else(|| missing("streams", "a layer plan (`layering`)"))?;
+        if state.capture_ir {
+            // Materialize the post-Pass-3 intermediate: restructured
+            // layers, barriers and stream commands, with tape loads still
+            // reading the merged DRAM regions. It verifies and computes
+            // the same gradients as the final program.
+            let snap = apply_lowered(grad, plan.clone(), self.opts, Lowering::Streams)?;
+            state.streams_ir = Some(snap.func);
+            state.detail = "materialized stream snapshot (tape loads still DRAM-resident)".into();
+        } else {
+            state.detail = "stream insertion fused into the spad-index rewrite".into();
+        }
+        Ok(())
+    }
+}
+
+struct SpadIndexPass {
+    opts: CompileOptions,
+}
+
+impl Pass for SpadIndexPass {
+    fn name(&self) -> &'static str {
+        "spad-index"
+    }
+    fn description(&self) -> &'static str {
+        "Pass 4 (3.6): rewrite tape accesses into scratchpad indices"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("spad-index", "a gradient"))?;
+        let plan = state
+            .plan
+            .clone()
+            .ok_or_else(|| missing("spad-index", "a layer plan (`layering`)"))?;
+        let compiled = apply_lowered(grad, plan, self.opts, Lowering::Spad)?;
+        state.detail = format!(
+            "{} merged tape bytes, {} spad entries",
+            compiled.stats.merged_tape_bytes, compiled.stats.spad_entries
+        );
+        state.compiled = Some(compiled);
+        Ok(())
+    }
+}
+
+struct AosLayoutPass {
+    opts: CompileOptions,
+}
+
+impl Pass for AosLayoutPass {
+    fn name(&self) -> &'static str {
+        "aos-layout"
+    }
+    fn description(&self) -> &'static str {
+        "terminal AoS lowering: merged regions stay cache-resident (Fig 4.3)"
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("aos-layout", "a gradient"))?;
+        let formed = state
+            .formed
+            .clone()
+            .ok_or_else(|| missing("aos-layout", "formed regions (`regions`)"))?;
+        let opts = CompileOptions {
+            mode: CompileMode::AosOnly,
+            ..self.opts
+        };
+        let plan = layering::plan_layers(grad, formed, &opts)?;
+        state.plan = Some(plan.clone());
+        let compiled = apply_lowered(grad, plan, opts, Lowering::Aos)?;
+        state.detail = format!("{} merged tape bytes", compiled.stats.merged_tape_bytes);
+        state.compiled = Some(compiled);
+        Ok(())
+    }
+}
+
+// ---- builder ---------------------------------------------------------------
+
+/// Registered pass names with one-line descriptions, in canonical order.
+pub fn registered_passes() -> [(&'static str, &'static str); 7] {
+    [
+        ("opt", OptPass.description()),
+        (
+            "ad",
+            AdPass {
+                opts: AdOptions::new(vec![], vec![]),
+            }
+            .description(),
+        ),
+        ("regions", RegionsPass.description()),
+        (
+            "layering",
+            LayeringPass {
+                opts: CompileOptions::default(),
+            }
+            .description(),
+        ),
+        (
+            "streams",
+            StreamsPass {
+                opts: CompileOptions::default(),
+            }
+            .description(),
+        ),
+        (
+            "spad-index",
+            SpadIndexPass {
+                opts: CompileOptions::default(),
+            }
+            .description(),
+        ),
+        (
+            "aos-layout",
+            AosLayoutPass {
+                opts: CompileOptions::default(),
+            }
+            .description(),
+        ),
+    ]
+}
+
+/// Assembles and runs pass pipelines.
+///
+/// The standard shapes are [`PipelineBuilder::full`] (the paper's whole
+/// toolflow), [`PipelineBuilder::aos_only`] (Fig 4.3's Pass-1-only
+/// configuration), [`PipelineBuilder::enzyme_baseline`] (opt + AD, no
+/// Tapeflow passes) and [`PipelineBuilder::for_options`] (the
+/// gradient-seeded suffix [`crate::compile`] runs). Custom orders come
+/// from [`PipelineBuilder::from_names`].
+pub struct PipelineBuilder {
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
+    verify: bool,
+    capture_ir: bool,
+}
+
+impl fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("passes", &self.pass_names())
+            .field("verify", &self.verify)
+            .field("capture_ir", &self.capture_ir)
+            .finish()
+    }
+}
+
+impl PipelineBuilder {
+    /// An empty pipeline; add passes via [`PipelineBuilder::push`]. IR
+    /// verification after every pass defaults to on in debug builds.
+    pub fn empty() -> Self {
+        PipelineBuilder {
+            passes: Vec::new(),
+            verify: cfg!(debug_assertions),
+            capture_ir: false,
+        }
+    }
+
+    /// Appends a pass (builder style).
+    #[must_use]
+    pub fn push(mut self, pass: Box<dyn Pass + Send + Sync>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The standard gradient-seeded pipeline for `options.mode`:
+    /// `regions → layering → streams → spad-index` for
+    /// [`CompileMode::Full`], `regions → aos-layout` for
+    /// [`CompileMode::AosOnly`]. This is what [`crate::compile`] runs.
+    pub fn for_options(options: &CompileOptions) -> Self {
+        let opts = *options;
+        let b = Self::empty().push(Box::new(RegionsPass));
+        match opts.mode {
+            CompileMode::Full => b
+                .push(Box::new(LayeringPass { opts }))
+                .push(Box::new(StreamsPass { opts }))
+                .push(Box::new(SpadIndexPass { opts })),
+            CompileMode::AosOnly => b.push(Box::new(AosLayoutPass { opts })),
+        }
+    }
+
+    /// The whole toolflow from source: `opt → ad → regions → layering →
+    /// streams → spad-index`.
+    pub fn full(options: CompileOptions, ad: AdOptions) -> Self {
+        let opts = CompileOptions {
+            mode: CompileMode::Full,
+            ..options
+        };
+        Self::empty()
+            .push(Box::new(OptPass))
+            .push(Box::new(AdPass { opts: ad }))
+            .push(Box::new(RegionsPass))
+            .push(Box::new(LayeringPass { opts }))
+            .push(Box::new(StreamsPass { opts }))
+            .push(Box::new(SpadIndexPass { opts }))
+    }
+
+    /// The Pass-1-only toolflow from source: `opt → ad → regions →
+    /// aos-layout` (Fig 4.3's configuration).
+    pub fn aos_only(options: CompileOptions, ad: AdOptions) -> Self {
+        Self::empty()
+            .push(Box::new(OptPass))
+            .push(Box::new(AdPass { opts: ad }))
+            .push(Box::new(RegionsPass))
+            .push(Box::new(AosLayoutPass { opts: options }))
+    }
+
+    /// The Enzyme baseline from source: `opt → ad` — the gradient
+    /// function with a cache-orchestrated tape, no Tapeflow passes.
+    pub fn enzyme_baseline(ad: AdOptions) -> Self {
+        Self::empty()
+            .push(Box::new(OptPass))
+            .push(Box::new(AdPass { opts: ad }))
+    }
+
+    /// Assembles a pipeline from registered pass names (the CLI's
+    /// `--passes a,b,c`). `ad_opts` is required iff the list contains
+    /// `ad`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Pipeline`] on an unknown or duplicate name, a
+    /// missing prerequisite (e.g. `layering` without `regions` before
+    /// it, `spad-index` without `streams` — the two share one rewriter
+    /// walk), or `aos-layout` combined with the streaming passes.
+    pub fn from_names(
+        names: &[&str],
+        options: CompileOptions,
+        ad_opts: Option<AdOptions>,
+    ) -> Result<Self, CoreError> {
+        let known: Vec<&str> = registered_passes().iter().map(|(n, _)| *n).collect();
+        for n in names {
+            if !known.contains(n) {
+                return Err(CoreError::Pipeline(format!(
+                    "unknown pass {n:?} (registered: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        let pos = |n: &str| names.iter().position(|x| *x == n);
+        for n in &known {
+            if names.iter().filter(|x| *x == n).count() > 1 {
+                return Err(CoreError::Pipeline(format!("pass `{n}` listed twice")));
+            }
+        }
+        let requires = [
+            ("layering", "regions"),
+            ("streams", "layering"),
+            ("spad-index", "streams"),
+            ("aos-layout", "regions"),
+        ];
+        for (pass, prereq) in requires {
+            if let Some(p) = pos(pass) {
+                match pos(prereq) {
+                    Some(q) if q < p => {}
+                    _ => {
+                        return Err(CoreError::Pipeline(format!(
+                            "pass `{pass}` requires `{prereq}` before it"
+                        )))
+                    }
+                }
+            }
+        }
+        if let (Some(o), Some(a)) = (pos("opt"), pos("ad")) {
+            if o > a {
+                return Err(CoreError::Pipeline(
+                    "pass `opt` must come before `ad` (a rewrite would invalidate the AD maps)"
+                        .into(),
+                ));
+            }
+        }
+        if pos("aos-layout").is_some() {
+            for conflict in ["layering", "streams", "spad-index"] {
+                if pos(conflict).is_some() {
+                    return Err(CoreError::Pipeline(format!(
+                        "pass `aos-layout` conflicts with `{conflict}`: pick one terminal lowering"
+                    )));
+                }
+            }
+        }
+        if pos("ad").is_some() && ad_opts.is_none() {
+            return Err(CoreError::Pipeline(
+                "pass list contains `ad` but no AD options (wrt/loss) were supplied".into(),
+            ));
+        }
+        let mut b = Self::empty();
+        for n in names {
+            b = b.push(match *n {
+                "opt" => Box::new(OptPass),
+                "ad" => Box::new(AdPass {
+                    opts: ad_opts.clone().expect("checked above"),
+                }),
+                "regions" => Box::new(RegionsPass),
+                "layering" => Box::new(LayeringPass { opts: options }),
+                "streams" => Box::new(StreamsPass { opts: options }),
+                "spad-index" => Box::new(SpadIndexPass { opts: options }),
+                "aos-layout" => Box::new(AosLayoutPass { opts: options }),
+                _ => unreachable!("validated against the registry"),
+            });
+        }
+        Ok(b)
+    }
+
+    /// Turns post-pass IR verification on or off (default: on in debug
+    /// builds, off in release).
+    #[must_use]
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Turns post-pass IR snapshot capture on or off (the CLI's
+    /// `--print-after-all`). Capture also materializes the `streams`
+    /// pass's intermediate function.
+    #[must_use]
+    pub fn with_ir_capture(mut self, on: bool) -> Self {
+        self.capture_ir = on;
+        self
+    }
+
+    /// Names of the assembled passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline from a source function (clones it into the
+    /// state).
+    ///
+    /// # Errors
+    ///
+    /// The first failing pass's [`CoreError`], or
+    /// [`CoreError::PassVerify`] when a post-pass verification fails.
+    pub fn run_source(&self, func: &Function) -> Result<PipelineRun, CoreError> {
+        let state = PipelineState {
+            func: Some(func.clone()),
+            ..PipelineState::default()
+        };
+        self.execute(state)
+    }
+
+    /// Runs the pipeline seeded with an existing gradient (what
+    /// [`crate::compile`] does); the pass list must not contain `opt` or
+    /// `ad`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineBuilder::run_source`].
+    pub fn run_gradient(&self, grad: &Gradient) -> Result<PipelineRun, CoreError> {
+        let state = PipelineState {
+            gradient: Some(grad.clone()),
+            ..PipelineState::default()
+        };
+        self.execute(state)
+    }
+
+    fn execute(&self, mut state: PipelineState) -> Result<PipelineRun, CoreError> {
+        state.capture_ir = self.capture_ir;
+        let mut records = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            state.detail.clear();
+            let t0 = Instant::now();
+            pass.run(&mut state)?;
+            let wall = t0.elapsed();
+            let verified = if self.verify {
+                match state.current_ir() {
+                    Some(f) => {
+                        verify::verify(f).map_err(|error| CoreError::PassVerify {
+                            pass: pass.name(),
+                            error,
+                        })?;
+                        Some(true)
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            let snapshot = if self.capture_ir {
+                state.current_ir().map(|f| pretty::pretty(f).to_string())
+            } else {
+                None
+            };
+            records.push(PassRecord {
+                name: pass.name(),
+                description: pass.description(),
+                wall,
+                stats: state.stats(),
+                ir_insts: state.current_ir().map_or(0, |f| f.insts().len()),
+                verified,
+                detail: std::mem::take(&mut state.detail),
+                snapshot,
+            });
+        }
+        Ok(PipelineRun {
+            state,
+            report: PipelineReport { records },
+        })
+    }
+}
+
+// ---- reports ---------------------------------------------------------------
+
+/// What the manager recorded about one executed pass.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// Registered pass name.
+    pub name: &'static str,
+    /// One-line pass description.
+    pub description: &'static str,
+    /// Wall-clock time of the pass itself (excludes verification and
+    /// snapshotting).
+    pub wall: Duration,
+    /// Compile statistics after the pass (partial until a terminal
+    /// lowering runs; see [`PipelineState::stats`]).
+    pub stats: CompileStats,
+    /// Instruction count of the current IR after the pass.
+    pub ir_insts: usize,
+    /// `Some(true)` when post-pass verification ran and passed; `None`
+    /// when verification was off or no IR existed yet. (A failure aborts
+    /// the pipeline with [`CoreError::PassVerify`].)
+    pub verified: Option<bool>,
+    /// One-line pass-specific detail (counts, sizes).
+    pub detail: String,
+    /// Pretty-printed IR after the pass (only with IR capture).
+    pub snapshot: Option<String>,
+}
+
+/// Per-pass wall time, statistics and snapshots for one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// One record per executed pass, in run order.
+    pub records: Vec<PassRecord>,
+}
+
+impl PipelineReport {
+    /// Names of the executed passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.records.iter().map(|r| r.name).collect()
+    }
+
+    /// Total wall time across all passes.
+    pub fn total_wall(&self) -> Duration {
+        self.records.iter().map(|r| r.wall).sum()
+    }
+
+    /// An LLVM-`--time-passes`-style text table: per-pass wall time,
+    /// instruction count, verification status and detail.
+    pub fn render_timings(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "// === pass timing (wall clock) ===");
+        let total = self.total_wall().as_secs_f64().max(1e-12);
+        for r in &self.records {
+            let ms = r.wall.as_secs_f64() * 1e3;
+            let share = r.wall.as_secs_f64() / total * 100.0;
+            let _ = writeln!(
+                out,
+                "//   {:<11} {:>9.3} ms ({:>5.1}%)  {:>6} insts  {}  {}",
+                r.name,
+                ms,
+                share,
+                r.ir_insts,
+                match r.verified {
+                    Some(true) => "verified",
+                    _ => "        ",
+                },
+                r.detail
+            );
+        }
+        let _ = writeln!(
+            out,
+            "//   {:<11} {:>9.3} ms",
+            "total",
+            self.total_wall().as_secs_f64() * 1e3
+        );
+        out
+    }
+
+    /// The captured IR snapshots with `--print-after-all`-style banners.
+    /// Empty when the run captured no IR.
+    pub fn render_snapshots(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let n = self.records.len();
+        for (i, r) in self.records.iter().enumerate() {
+            let Some(ir) = &r.snapshot else { continue };
+            let _ = writeln!(
+                out,
+                "// ===== IR after pass {}/{}: {} ({}) =====",
+                i + 1,
+                n,
+                r.name,
+                r.description
+            );
+            out.push_str(ir);
+        }
+        out
+    }
+}
+
+/// A completed pipeline execution: the final state plus the report.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// Final pipeline state with every artifact the passes produced.
+    pub state: PipelineState,
+    /// Per-pass records.
+    pub report: PipelineReport,
+}
+
+impl PipelineRun {
+    /// The compiled program, consuming the run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Pipeline`] when the pipeline had no terminal lowering
+    /// pass (`spad-index` or `aos-layout`).
+    pub fn into_compiled(self) -> Result<CompiledProgram, CoreError> {
+        self.state.compiled.ok_or_else(|| {
+            CoreError::Pipeline(
+                "pipeline has no terminal lowering pass (`spad-index` or `aos-layout`)".into(),
+            )
+        })
+    }
+}

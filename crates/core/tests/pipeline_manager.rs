@@ -1,0 +1,224 @@
+//! Pass-manager tests: the builder's standard pipelines must match the
+//! classic `compile()` entry point bit for bit, custom `--passes` orders
+//! must reproduce the partial `CompileMode`s, assembly mistakes must be
+//! rejected with structured errors, and the `streams` pass's captured
+//! intermediate must be verified and gradient-equivalent.
+
+use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
+use tapeflow_core::pipeline::{registered_passes, PipelineBuilder};
+use tapeflow_core::{compile, CompileMode, CompileOptions, CoreError};
+use tapeflow_ir::{pretty, ArrayId, ArrayKind, Function, FunctionBuilder, Memory, Scalar};
+
+/// `loss = sum_i tanh(exp(x[i]))` — enough taped values for real layers.
+fn sample() -> (Function, ArrayId, ArrayId) {
+    let mut b = FunctionBuilder::new("pm_sample");
+    let x = b.array("x", 96, ArrayKind::Input, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    b.for_loop("i", 0, 96, |b, i| {
+        let v = b.load(x, i);
+        let e = b.exp(v);
+        let t = b.tanh(e);
+        let sq = b.fmul(t, e);
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, sq);
+        b.store_cell(loss, s);
+    });
+    (b.finish(), x, loss)
+}
+
+fn gradient(func: &Function, x: ArrayId, loss: ArrayId) -> Gradient {
+    differentiate(func, &AdOptions::new(vec![x], vec![loss])).unwrap()
+}
+
+/// Runs `func` with a ramp input and returns the wrt shadow.
+fn shadow_of(
+    func: &Function,
+    grad: &Gradient,
+    orig: &Function,
+    x: ArrayId,
+    loss: ArrayId,
+) -> Vec<f64> {
+    let mut mem = Memory::for_function(func);
+    let n = orig.arrays()[x.index()].len;
+    let ramp: Vec<f64> = (0..n).map(|i| 0.03 * i as f64 - 1.2).collect();
+    mem.set_f64(x, &ramp);
+    mem.set_f64_at(grad.shadow_of(loss).unwrap(), 0, 1.0);
+    tapeflow_ir::interp::run(func, &mut mem).unwrap();
+    mem.get_f64(grad.shadow_of(x).unwrap())
+}
+
+#[test]
+fn full_builder_matches_classic_compile() {
+    let (func, x, loss) = sample();
+    // `full` runs opt before ad; feed compile() the same post-opt input.
+    let (opted, _) = tapeflow_ir::opt::optimize(&func);
+    let grad = gradient(&opted, x, loss);
+    let opts = CompileOptions::with_spad_bytes(256);
+    let classic = compile(&grad, &opts).unwrap();
+
+    let run = PipelineBuilder::full(opts, AdOptions::new(vec![x], vec![loss]))
+        .with_verify(true)
+        .run_source(&func)
+        .unwrap();
+    assert_eq!(
+        run.report.pass_names(),
+        ["opt", "ad", "regions", "layering", "streams", "spad-index"]
+    );
+    let built = run.into_compiled().unwrap();
+    assert_eq!(built.stats, classic.stats);
+    assert_eq!(
+        pretty::pretty(&built.func).to_string(),
+        pretty::pretty(&classic.func).to_string(),
+        "builder and compile() must produce the same program"
+    );
+}
+
+#[test]
+fn custom_order_omitting_streaming_matches_aos_mode() {
+    // A `--passes` list that stops after Pass 1's layout change must
+    // reproduce CompileMode::AosOnly exactly.
+    let (func, x, loss) = sample();
+    let grad = gradient(&func, x, loss);
+    let aos_opts = CompileOptions {
+        mode: CompileMode::AosOnly,
+        ..CompileOptions::with_spad_bytes(256)
+    };
+    let classic = compile(&grad, &aos_opts).unwrap();
+
+    let run = PipelineBuilder::from_names(
+        &["ad", "regions", "aos-layout"],
+        CompileOptions::with_spad_bytes(256),
+        Some(AdOptions::new(vec![x], vec![loss])),
+    )
+    .unwrap()
+    .with_verify(true)
+    .run_source(&func)
+    .unwrap();
+    let built = run.into_compiled().unwrap();
+    assert_eq!(built.stats, classic.stats);
+    assert_eq!(
+        pretty::pretty(&built.func).to_string(),
+        pretty::pretty(&classic.func).to_string()
+    );
+    assert_eq!(built.options.mode, CompileMode::AosOnly);
+}
+
+#[test]
+fn from_names_rejects_bad_assemblies() {
+    let opts = CompileOptions::default();
+    let ad = AdOptions::new(vec![], vec![]);
+    let err = |names: &[&str], ad: Option<AdOptions>| match PipelineBuilder::from_names(
+        names, opts, ad,
+    ) {
+        Err(CoreError::Pipeline(msg)) => msg,
+        other => panic!("expected Pipeline error for {names:?}, got {other:?}"),
+    };
+    assert!(err(&["frobnicate"], None).contains("unknown pass"));
+    assert!(err(&["regions", "regions"], Some(ad.clone())).contains("twice"));
+    assert!(err(&["ad", "layering"], Some(ad.clone())).contains("requires `regions`"));
+    assert!(err(
+        &["ad", "regions", "layering", "spad-index"],
+        Some(ad.clone())
+    )
+    .contains("requires `streams`"));
+    assert!(err(
+        &["ad", "regions", "layering", "aos-layout"],
+        Some(ad.clone())
+    )
+    .contains("conflicts"));
+    assert!(err(&["ad"], None).contains("no AD options"));
+    assert!(err(&["ad", "opt"], Some(ad)).contains("before `ad`"));
+}
+
+#[test]
+fn missing_prerequisite_state_is_a_structured_error() {
+    // `regions` without a gradient (no `ad`, pipeline fed a source
+    // function) must fail with a Pipeline error, not a panic.
+    let (func, _, _) = sample();
+    let b =
+        PipelineBuilder::from_names(&["opt", "regions"], CompileOptions::default(), None).unwrap();
+    match b.run_source(&func) {
+        Err(CoreError::Pipeline(msg)) => assert!(msg.contains("gradient")),
+        other => panic!("expected Pipeline error, got {other:?}"),
+    }
+}
+
+#[test]
+fn into_compiled_without_terminal_pass_is_an_error() {
+    let (func, _, _) = sample();
+    let run = PipelineBuilder::from_names(&["opt"], CompileOptions::default(), None)
+        .unwrap()
+        .run_source(&func)
+        .unwrap();
+    match run.into_compiled() {
+        Err(CoreError::Pipeline(msg)) => assert!(msg.contains("terminal")),
+        other => panic!("expected Pipeline error, got {other:?}"),
+    }
+}
+
+#[test]
+fn streams_snapshot_is_verified_and_gradient_equivalent() {
+    // With IR capture on, the streams pass materializes the post-Pass-3
+    // intermediate: it must verify and compute the same gradients as
+    // both the plain gradient function and the final program.
+    let (func, x, loss) = sample();
+    let grad = gradient(&func, x, loss);
+    let run = PipelineBuilder::full(
+        CompileOptions::with_spad_bytes(256),
+        AdOptions::new(vec![x], vec![loss]),
+    )
+    .with_verify(true)
+    .with_ir_capture(true)
+    .run_source(&func)
+    .unwrap();
+    let streams_ir = run.state.streams_ir.clone().expect("captured snapshot");
+    tapeflow_ir::verify::verify(&streams_ir).unwrap();
+    let baseline = shadow_of(&grad.func, &grad, &func, x, loss);
+    assert_eq!(baseline, shadow_of(&streams_ir, &grad, &func, x, loss));
+    let final_func = run.into_compiled().unwrap().func;
+    assert_eq!(baseline, shadow_of(&final_func, &grad, &func, x, loss));
+}
+
+#[test]
+fn report_records_timing_verification_and_snapshots() {
+    let (func, x, loss) = sample();
+    let run = PipelineBuilder::full(
+        CompileOptions::default(),
+        AdOptions::new(vec![x], vec![loss]),
+    )
+    .with_verify(true)
+    .with_ir_capture(true)
+    .run_source(&func)
+    .unwrap();
+    assert_eq!(run.report.records.len(), 6);
+    for r in &run.report.records {
+        assert_eq!(r.verified, Some(true), "pass {} not verified", r.name);
+        assert!(r.snapshot.is_some(), "pass {} missing snapshot", r.name);
+        assert!(r.ir_insts > 0);
+    }
+    // Stats grow monotonically toward the final program's.
+    let last = run.report.records.last().unwrap();
+    assert!(last.stats.fwd_layers > 0);
+    assert!(run.report.render_timings().contains("spad-index"));
+    assert!(run
+        .report
+        .render_snapshots()
+        .contains("// ===== IR after pass 6/6: spad-index"));
+}
+
+#[test]
+fn registry_lists_all_seven_passes() {
+    let names: Vec<&str> = registered_passes().iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        [
+            "opt",
+            "ad",
+            "regions",
+            "layering",
+            "streams",
+            "spad-index",
+            "aos-layout"
+        ]
+    );
+}

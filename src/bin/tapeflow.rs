@@ -5,11 +5,20 @@
 //! tapeflow show      FILE                         parse + pretty-print
 //! tapeflow opt       FILE                         constant-fold / CSE / DCE
 //! tapeflow grad      FILE --wrt a,b --loss l      differentiate (prints gradient IR)
-//! tapeflow compile   FILE --wrt a,b --loss l      full Tapeflow pipeline
-//!                    [--spad-bytes N] [--aos-only] [--single-buffer]
+//! tapeflow compile   FILE --wrt a,b --loss l      pass-manager pipeline (opt → ad →
+//!                    [--spad-bytes N] [--aos-only]    regions → layering → streams →
+//!                    [--single-buffer]                spad-index)
 //! tapeflow simulate  FILE --wrt a,b --loss l      AD → compile → trace → simulate,
 //!                    [--cache-bytes N] [--spad-bytes N]   Enzyme vs Tapeflow
+//! tapeflow passes                                 list registered passes
 //! ```
+//!
+//! `compile` and `simulate` drive the `tapeflow_core::pipeline` pass
+//! manager and accept LLVM-style pipeline flags: `--passes a,b,c` runs a
+//! custom pass list, `--print-after-all` prints the verified IR after
+//! every pass, `--time-passes` prints a per-pass wall-time table to
+//! stderr. `simulate --json PATH` includes a `passes` section with the
+//! per-pass records.
 //!
 //! `FILE` is textual IR in the `pretty`/`parse` format (see
 //! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
@@ -18,7 +27,8 @@
 
 use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, TapePolicy};
-use tapeflow::core::{compile, CompileMode, CompileOptions};
+use tapeflow::core::pipeline::{registered_passes, PipelineBuilder};
+use tapeflow::core::{CompileMode, CompileOptions};
 use tapeflow::ir::trace::{trace_function, TraceOptions};
 use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Scalar};
 use tapeflow::sim::{simulate, SimOptions, SystemConfig};
@@ -33,13 +43,17 @@ struct Args {
     double_buffer: bool,
     policy: TapePolicy,
     json: Option<String>,
+    passes: Option<Vec<String>>,
+    print_after_all: bool,
+    time_passes: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tapeflow <show|opt|grad|compile|simulate> FILE \
+        "usage: tapeflow <show|opt|grad|compile|simulate|passes> FILE \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
          [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
+         [--passes a,b,c] [--print-after-all] [--time-passes] \
          [--json PATH]"
     );
     ExitCode::from(2)
@@ -57,6 +71,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         double_buffer: true,
         policy: TapePolicy::Conservative,
         json: None,
+        passes: None,
+        print_after_all: false,
+        time_passes: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -80,6 +97,12 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--aos-only" => args.aos_only = true,
             "--single-buffer" => args.double_buffer = false,
             "--json" => args.json = Some(argv.next().ok_or("--json needs a path")?),
+            "--passes" => {
+                let v = argv.next().ok_or("--passes needs a comma-separated list")?;
+                args.passes = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--print-after-all" => args.print_after_all = true,
+            "--time-passes" => args.time_passes = true,
             "--policy" => {
                 args.policy = match argv.next().as_deref() {
                     Some("minimal") => TapePolicy::Minimal,
@@ -92,7 +115,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.file.is_empty() {
+    if args.file.is_empty() && cmd != "passes" {
         return Err("missing input file".into());
     }
     Ok((cmd, args))
@@ -140,9 +163,45 @@ fn default_memory(func: &Function) -> Memory {
     mem
 }
 
+/// The scratchpad/pipeline options the CLI flags select.
+fn compile_options(args: &Args, mode: CompileMode) -> CompileOptions {
+    CompileOptions {
+        spad_entries: (args.spad_bytes / 8).max(2),
+        double_buffer: args.double_buffer,
+        mode,
+    }
+}
+
+/// The pipeline behind `compile`/`simulate`: the flags' standard
+/// pipeline, or `--passes`'s custom list (which only needs `--wrt`/
+/// `--loss` when it contains `ad`).
+fn pipeline_for(
+    args: &Args,
+    func: &Function,
+    copts: CompileOptions,
+    default_names: &[&str],
+) -> Result<PipelineBuilder, String> {
+    let names: Vec<&str> = match &args.passes {
+        Some(list) => list.iter().map(String::as_str).collect(),
+        None => default_names.to_vec(),
+    };
+    let ad = if names.contains(&"ad") {
+        Some(ad_options(func, args)?)
+    } else {
+        None
+    };
+    PipelineBuilder::from_names(&names, copts, ad).map_err(|e| e.to_string())
+}
+
 fn run() -> Result<(), String> {
     let mut argv = std::env::args().skip(1);
     let (cmd, args) = parse_args(&mut argv)?;
+    if cmd == "passes" {
+        for (name, desc) in registered_passes() {
+            println!("{name:<11} {desc}");
+        }
+        return Ok(());
+    }
     let text = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
     let func = parse::parse(&text).map_err(|e| e.to_string())?;
@@ -170,36 +229,70 @@ fn run() -> Result<(), String> {
             );
         }
         "compile" => {
-            let opts = ad_options(&func, &args)?;
-            let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
-            let copts = CompileOptions {
-                spad_entries: (args.spad_bytes / 8).max(2),
-                double_buffer: args.double_buffer,
-                mode: if args.aos_only {
-                    CompileMode::AosOnly
-                } else {
-                    CompileMode::Full
-                },
+            let mode = if args.aos_only {
+                CompileMode::AosOnly
+            } else {
+                CompileMode::Full
             };
-            let c = compile(&grad, &copts).map_err(|e| e.to_string())?;
-            print!("{}", pretty::pretty(&c.func));
-            eprintln!(
-                "// {} regions, {} fwd layers, {} duplicated slots, {} merged tape bytes",
-                c.stats.regions,
-                c.stats.fwd_layers,
-                c.stats.duplicated_slots,
-                c.stats.merged_tape_bytes
-            );
+            let copts = compile_options(&args, mode);
+            let default_names: &[&str] = if args.aos_only {
+                &["opt", "ad", "regions", "aos-layout"]
+            } else {
+                &["opt", "ad", "regions", "layering", "streams", "spad-index"]
+            };
+            let builder = pipeline_for(&args, &func, copts, default_names)?
+                .with_verify(true)
+                .with_ir_capture(args.print_after_all);
+            let run = builder.run_source(&func).map_err(|e| e.to_string())?;
+            if args.print_after_all {
+                // The snapshots end with the final pass's IR; don't print
+                // it twice.
+                print!("{}", run.report.render_snapshots());
+            } else if let Some(ir) = run.state.current_ir() {
+                print!("{}", pretty::pretty(ir));
+            }
+            if args.time_passes {
+                eprint!("{}", run.report.render_timings());
+            }
+            if let Some(c) = &run.state.compiled {
+                eprintln!(
+                    "// {} regions, {} fwd layers, {} duplicated slots, {} merged tape bytes",
+                    c.stats.regions,
+                    c.stats.fwd_layers,
+                    c.stats.duplicated_slots,
+                    c.stats.merged_tape_bytes
+                );
+            }
         }
         "simulate" => {
             let opts = ad_options(&func, &args)?;
-            let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
-            let copts = CompileOptions {
-                spad_entries: (args.spad_bytes / 8).max(2),
-                double_buffer: args.double_buffer,
-                mode: CompileMode::Full,
-            };
-            let compiled = compile(&grad, &copts).map_err(|e| e.to_string())?;
+            // The standard simulate pipeline skips `opt`, matching the
+            // established Enzyme-vs-Tapeflow numbers exactly; opt in via
+            // `--passes opt,ad,...`.
+            let copts = compile_options(&args, CompileMode::Full);
+            let builder = pipeline_for(
+                &args,
+                &func,
+                copts,
+                &["ad", "regions", "layering", "streams", "spad-index"],
+            )?
+            .with_verify(true)
+            .with_ir_capture(args.print_after_all);
+            let run = builder.run_source(&func).map_err(|e| e.to_string())?;
+            if args.print_after_all {
+                // stderr: simulate's stdout stays the result lines.
+                eprint!("{}", run.report.render_snapshots());
+            }
+            if args.time_passes {
+                eprint!("{}", run.report.render_timings());
+            }
+            let report = run.report.clone();
+            let grad = run
+                .state
+                .gradient
+                .clone()
+                .ok_or("simulate needs the `ad` pass in --passes")?;
+            let compiled = run.into_compiled().map_err(|e| e.to_string())?;
             let base = default_memory(&func);
             let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
             let mut reports = Vec::new();
@@ -238,9 +331,22 @@ fn run() -> Result<(), String> {
             if let Some(path) = &args.json {
                 use tapeflow::sim::json::Value;
                 let mut doc = Value::object();
+                let passes: Vec<Value> = report
+                    .records
+                    .iter()
+                    .map(|r| {
+                        let mut p = Value::object();
+                        p.set("pass", r.name)
+                            .set("seconds", r.wall.as_secs_f64())
+                            .set("insts", r.ir_insts)
+                            .set("detail", r.detail.as_str());
+                        p
+                    })
+                    .collect();
                 doc.set("schema", "tapeflow.cli.simulate/v1")
                     .set("cache_bytes", args.cache_bytes)
                     .set("spad_bytes", args.spad_bytes)
+                    .set("passes", Value::Arr(passes))
                     .set("enzyme", reports[0].to_json())
                     .set("tapeflow", reports[1].to_json())
                     .set("speedup", reports[1].speedup_over(&reports[0]));

@@ -1,0 +1,82 @@
+//! Golden snapshot tests for `--print-after-all`: the pass manager's
+//! rendered IR-after-every-pass output on the sample programs must be
+//! stable across runs and match the checked-in goldens byte for byte.
+//!
+//! The snapshots are produced by the exact code path the CLI prints
+//! (`PipelineReport::render_snapshots` over the CLI's default compile
+//! pipeline and options), so these goldens pin `tapeflow compile FILE
+//! --print-after-all`'s stdout. Regenerate intentionally with
+//! `BLESS=1 cargo test --test print_after_all`.
+
+use tapeflow::autodiff::{AdOptions, TapePolicy};
+use tapeflow::core::pipeline::{PipelineBuilder, PipelineRun};
+use tapeflow::core::CompileOptions;
+use tapeflow::ir::parse;
+
+/// Mirrors the CLI's default `compile` invocation: 1 KB scratchpad,
+/// double buffering, conservative tape policy, full pipeline.
+fn cli_compile_run(file: &str, wrt: &[&str], loss: &str) -> PipelineRun {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let func = parse::parse(&text).unwrap();
+    let wrt = wrt
+        .iter()
+        .map(|n| func.array_by_name(n).unwrap_or_else(|| panic!("array {n}")))
+        .collect();
+    let loss = func.array_by_name(loss).expect("loss array");
+    let ad = AdOptions::new(wrt, vec![loss]).with_policy(TapePolicy::Conservative);
+    PipelineBuilder::full(CompileOptions::with_spad_bytes(1024), ad)
+        .with_verify(true)
+        .with_ir_capture(true)
+        .run_source(&func)
+        .unwrap_or_else(|e| panic!("{file}: {e}"))
+}
+
+fn check_golden(golden: &str, file: &str, wrt: &[&str], loss: &str) {
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            let run = cli_compile_run(file, wrt, loss);
+            for r in &run.report.records {
+                assert_eq!(
+                    r.verified,
+                    Some(true),
+                    "{file}: pass {} not verified",
+                    r.name
+                );
+            }
+            run.report.render_snapshots()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "{file}: snapshots differ across runs");
+    let path = format!("tests/golden/{golden}");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &runs[0]).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with BLESS=1)"));
+    assert_eq!(
+        runs[0], want,
+        "{file}: --print-after-all output drifted from {path} \
+         (intentional? regenerate with BLESS=1 cargo test --test print_after_all)"
+    );
+}
+
+#[test]
+fn sumexp_print_after_all_is_golden() {
+    check_golden(
+        "print_after_all_sumexp.txt",
+        "programs/sumexp.tf",
+        &["x"],
+        "loss",
+    );
+}
+
+#[test]
+fn pathfinder_mini_print_after_all_is_golden() {
+    check_golden(
+        "print_after_all_pathfinder_mini.txt",
+        "programs/pathfinder_mini.tf",
+        &["w", "src"],
+        "loss",
+    );
+}
