@@ -16,13 +16,39 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== profile smoke (stall attribution + chrome trace) =="
+# The profile subcommand must run end to end: the invariant-checked
+# stall table, a machine-readable report, and a Chrome trace that the
+# structural validator (tests/profile_cli.rs) accepts — parseable,
+# complete slices, monotonic per-track timestamps.
+mkdir -p target/ci
+cargo run --release --bin tapeflow -- \
+    profile programs/sumexp.tf --wrt x --loss loss \
+    --trace-out target/ci/profile_sumexp_trace.json \
+    --json target/ci/profile_sumexp.json > /dev/null
+python3 - target/ci/profile_sumexp.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tapeflow.cli.profile/v1", doc.get("schema")
+for variant in ("enzyme", "tapeflow"):
+    s = doc[variant]["stalls"]
+    kinds = ("fp_busy", "int_busy", "mshr_stall", "spad_conflict",
+             "tape_miss_stall", "cache_miss_stall", "stream_wait",
+             "phase_barrier", "idle")
+    assert sum(s[k] for k in kinds) == s["cycles"] * s["pes"], variant
+assert doc["passes"], "per-pass deltas missing"
+EOF
+TAPEFLOW_TRACE_VALIDATE=target/ci/profile_sumexp_trace.json \
+    cargo test -q --release --test profile_cli validates_trace_file_from_env
+
 echo "== experiments regression (tiny scale, stable JSON) =="
 # Regenerate the machine-readable results at tiny scale with every
-# wall-clock field zeroed and diff against the checked-in reference.
-# Catches perf-model / accounting drift that unit tests miss.
-mkdir -p target/ci
+# wall-clock field zeroed and diff against the checked-in reference —
+# stall breakdowns included (cycle counters, so byte-stable by
+# construction). Catches perf-model / accounting drift that unit tests
+# miss.
 cargo run --release -p tapeflow-bench --bin experiments -- \
-    all --scale tiny --jobs 2 --stable-json \
+    all --scale tiny --jobs 2 --stable-json --stall-breakdown \
     --json target/ci/BENCH_experiments_tiny.json > /dev/null
 if ! diff -u results/BENCH_experiments_tiny.json \
         target/ci/BENCH_experiments_tiny.json > target/ci/experiments.diff; then

@@ -15,6 +15,10 @@
 //! section aggregating compile-pass wall time across every compilation
 //! the run performed; `--stable-json` zeroes every wall-clock field so
 //! the document is byte-reproducible (CI diffs it against a reference).
+//! `--stall-breakdown` re-runs the sweep under the cycle-attribution
+//! probe and folds a per-cause `stalls` object into every feasible
+//! configuration entry — pure cycle counters, so the fold needs no
+//! `--stable-json` scrubbing to stay reproducible.
 
 use std::path::PathBuf;
 use tapeflow_bench::experiments::{Lab, IDS};
@@ -30,6 +34,7 @@ fn main() {
     let mut jobs = pool::available_jobs();
     let mut json_path: Option<PathBuf> = Some(PathBuf::from("results/BENCH_experiments.json"));
     let mut stable_json = false;
+    let mut stall_breakdown = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,11 +72,13 @@ fn main() {
                 };
             }
             "--stable-json" => stable_json = true,
+            "--stall-breakdown" => stall_breakdown = true,
             "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all | <id>...] [--scale tiny|small|large] \
-                     [--csv DIR] [--jobs N] [--json PATH|-] [--stable-json]"
+                     [--csv DIR] [--jobs N] [--json PATH|-] [--stable-json] \
+                     [--stall-breakdown]"
                 );
                 println!("ids: {}", IDS.join(" "));
                 return;
@@ -131,7 +138,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let sweep = lab
-            .json_report()
+            .json_report_with(stall_breakdown)
             .get("benchmarks")
             .cloned()
             .unwrap_or(Value::Arr(Vec::new()));

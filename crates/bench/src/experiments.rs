@@ -1148,6 +1148,16 @@ impl Lab {
     /// assembled serially in registry order, so its bytes are identical
     /// for any job count.
     pub fn json_report(&mut self) -> Value {
+        self.json_report_with(false)
+    }
+
+    /// [`Lab::json_report`], optionally folding a per-cause stall
+    /// breakdown into every feasible configuration entry (`stalls` key,
+    /// [`tapeflow_sim::CycleBreakdown::summary_json`]). Breakdowns are a
+    /// pure function of the trace and system configuration — all cycle
+    /// counters, no wall clock — so the document stays byte-identical
+    /// at any `--jobs` count with no `--stable-json` scrubbing.
+    pub fn json_report_with(&mut self, stalls: bool) -> Value {
         let configs = Self::json_configs();
         let items: Vec<SimItem> = configs.iter().map(|c| std_item(*c, false)).collect();
         self.warm_items(&WarmPlan {
@@ -1155,16 +1165,41 @@ impl Lab {
             items,
             variants: vec![],
         });
+        // Stall breakdowns re-run each simulation under the attribution
+        // probe; prepare every program (warm_items is a no-op with one
+        // job), fan the probed runs out over read-only state like the
+        // warm-up, and look them up during the serial assembly below.
+        let breakdowns = if stalls {
+            for p in &mut self.prepared {
+                for c in &configs {
+                    let _ = p.ensure_program(c);
+                }
+            }
+            let work: Vec<(usize, usize)> = (0..self.prepared.len())
+                .flat_map(|bi| (0..configs.len()).map(move |ci| (bi, ci)))
+                .collect();
+            let prepared = &self.prepared;
+            pool::map_parallel(&work, self.jobs, |_, &(bi, ci)| {
+                prepared[bi].stall_breakdown(&configs[ci], &sys_for(&configs[ci]))
+            })
+        } else {
+            Vec::new()
+        };
         let mut benches = Vec::new();
-        for p in &mut self.prepared {
+        for (bi, p) in self.prepared.iter_mut().enumerate() {
             let mut per_config = Vec::new();
-            for c in &configs {
+            for (ci, c) in configs.iter().enumerate() {
                 let mut entry = Value::object();
                 entry.set("config", c.label());
                 match p.try_sim(c, false) {
                     Some(r) => {
                         entry.set("feasible", true);
                         entry.set("report", r.to_json());
+                        if stalls {
+                            if let Some(bd) = &breakdowns[bi * configs.len() + ci] {
+                                entry.set("stalls", bd.summary_json());
+                            }
+                        }
                     }
                     None => {
                         entry.set("feasible", false);

@@ -17,7 +17,10 @@ use tapeflow_core::pipeline::PipelineBuilder;
 use tapeflow_core::{CompileMode, CompileOptions, CompiledProgram, CoreError};
 use tapeflow_ir::trace::{trace_function, TraceOptions};
 use tapeflow_ir::{ArrayId, Memory, Trace};
-use tapeflow_sim::{simulate, SimOptions, SimReport, SystemConfig};
+use tapeflow_sim::{
+    simulate, simulate_probed, AttributionProbe, CycleBreakdown, SimOptions, SimReport,
+    SystemConfig,
+};
 
 /// One simulated configuration, in the paper's naming scheme.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -354,6 +357,35 @@ impl Prepared {
                 record_node_times: record_times,
             },
         ))
+    }
+
+    /// Re-runs one simulation under the cycle-attribution probe and
+    /// returns the per-cause breakdown. Like [`Prepared::sim_uncached`]
+    /// this skips the memo, requires [`Prepared::ensure_program`] first,
+    /// and takes `&self` so a worker pool can fan out over shared
+    /// references; `None` for infeasible configurations. The breakdown
+    /// is a pure function of the trace and system configuration, so its
+    /// bytes are reproducible at any job count.
+    pub fn stall_breakdown(&self, config: &Config, sys: &SystemConfig) -> Option<CycleBreakdown> {
+        let trace = self.traces.get(&Self::key_of(config))?;
+        let mut probe = AttributionProbe::new();
+        let report = simulate_probed(
+            trace,
+            sys,
+            &SimOptions {
+                record_node_times: false,
+            },
+            &mut probe,
+        );
+        let bd = probe.into_breakdown();
+        debug_assert_eq!(
+            bd.cycles, report.cycles,
+            "{}: probe cycles",
+            self.bench.name
+        );
+        bd.check()
+            .unwrap_or_else(|e| panic!("{}: {e}", self.bench.name));
+        Some(bd)
     }
 
     /// Stores a simulation result computed elsewhere (by

@@ -4,6 +4,7 @@
 use tapeflow_bench::experiments::{Lab, IDS};
 use tapeflow_benchmarks::Scale;
 use tapeflow_sim::json::Value;
+use tapeflow_sim::StallKind;
 
 #[test]
 fn four_jobs_byte_identical_to_serial() {
@@ -30,6 +31,57 @@ fn four_jobs_byte_identical_to_serial() {
         parallel.json_report().render(),
         "benchmark sweep JSON differs"
     );
+}
+
+#[test]
+fn stall_breakdown_fold_is_deterministic_and_balanced() {
+    let mut serial = Lab::new(Scale::Tiny);
+    let mut parallel = Lab::with_jobs(Scale::Tiny, 4);
+    let a = serial.json_report_with(true).render();
+    let b = parallel.json_report_with(true).render();
+    assert_eq!(a, b, "stall-breakdown sweep differs across job counts");
+    let doc = Value::parse(&a).expect("emitted JSON parses");
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("benchmarks array");
+    let mut checked = 0usize;
+    for bench in benches {
+        let name = bench.get("name").and_then(Value::as_str).expect("name");
+        for c in bench
+            .get("configs")
+            .and_then(Value::as_arr)
+            .expect("configs")
+        {
+            if *c.get("feasible").expect("feasible flag") != Value::Bool(true) {
+                assert!(c.get("stalls").is_none(), "{name}: infeasible with stalls");
+                continue;
+            }
+            let stalls = c.get("stalls").expect("feasible entries carry stalls");
+            let cycles = stalls
+                .get("cycles")
+                .and_then(Value::as_u64)
+                .expect("cycles");
+            let pes = stalls.get("pes").and_then(Value::as_u64).expect("pes");
+            let report_cycles = c
+                .get("report")
+                .and_then(|r| r.get("cycles"))
+                .and_then(Value::as_u64)
+                .expect("report cycles");
+            assert_eq!(cycles, report_cycles, "{name}: probe vs report cycles");
+            let attributed: u64 = StallKind::ALL
+                .iter()
+                .map(|k| stalls.get(k.key()).and_then(Value::as_u64).expect("kind"))
+                .sum();
+            assert_eq!(
+                attributed,
+                cycles * pes,
+                "{name}: attribution invariant in folded JSON"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no feasible entries checked");
 }
 
 #[test]

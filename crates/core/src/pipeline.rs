@@ -65,7 +65,7 @@ use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreErro
 use std::fmt;
 use std::time::{Duration, Instant};
 use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
-use tapeflow_ir::{opt::OptStats, pretty, verify, Function};
+use tapeflow_ir::{opt::OptStats, pretty, verify, ArrayKind, Function};
 
 /// The evolving program plus the sidecar artifacts passes read and
 /// write. Transform passes replace [`PipelineState::current_ir`]'s view;
@@ -678,6 +678,7 @@ impl PipelineBuilder {
     fn execute(&self, mut state: PipelineState) -> Result<PipelineRun, CoreError> {
         state.capture_ir = self.capture_ir;
         let mut records = Vec::with_capacity(self.passes.len());
+        let mut ir_before = state.current_ir().map(IrCounts::of).unwrap_or_default();
         for pass in &self.passes {
             state.detail.clear();
             let t0 = Instant::now();
@@ -702,16 +703,20 @@ impl PipelineBuilder {
             } else {
                 None
             };
+            let ir_after = state.current_ir().map(IrCounts::of).unwrap_or_default();
             records.push(PassRecord {
                 name: pass.name(),
                 description: pass.description(),
                 wall,
                 stats: state.stats(),
-                ir_insts: state.current_ir().map_or(0, |f| f.insts().len()),
+                ir_insts: ir_after.insts,
+                ir_before,
+                ir_after,
                 verified,
                 detail: std::mem::take(&mut state.detail),
                 snapshot,
             });
+            ir_before = ir_after;
         }
         Ok(PipelineRun {
             state,
@@ -721,6 +726,33 @@ impl PipelineBuilder {
 }
 
 // ---- reports ---------------------------------------------------------------
+
+/// Coarse size counters of one IR view, captured before and after every
+/// pass so reports can attribute growth or shrinkage (values, ops, tape
+/// slots added/removed) to the pass that caused it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IrCounts {
+    /// Instructions.
+    pub insts: usize,
+    /// SSA values.
+    pub values: usize,
+    /// Tape arrays declared.
+    pub tape_arrays: usize,
+    /// Total tape capacity in 8-byte slots across those arrays.
+    pub tape_slots: u64,
+}
+
+impl IrCounts {
+    /// Counts `func`.
+    pub fn of(func: &Function) -> Self {
+        IrCounts {
+            insts: func.insts().len(),
+            values: func.values().len(),
+            tape_arrays: func.arrays_of_kind(ArrayKind::Tape).count(),
+            tape_slots: func.bytes_of_kind(ArrayKind::Tape) / 8,
+        }
+    }
+}
 
 /// What the manager recorded about one executed pass.
 #[derive(Clone, Debug)]
@@ -737,6 +769,11 @@ pub struct PassRecord {
     pub stats: CompileStats,
     /// Instruction count of the current IR after the pass.
     pub ir_insts: usize,
+    /// IR size counters before the pass ran (all-zero when no IR existed
+    /// yet, e.g. ahead of `opt`/`ad` in a source-seeded run).
+    pub ir_before: IrCounts,
+    /// IR size counters after the pass ran.
+    pub ir_after: IrCounts,
     /// `Some(true)` when post-pass verification ran and passed; `None`
     /// when verification was off or no IR existed yet. (A failure aborts
     /// the pipeline with [`CoreError::PassVerify`].)
@@ -745,6 +782,23 @@ pub struct PassRecord {
     pub detail: String,
     /// Pretty-printed IR after the pass (only with IR capture).
     pub snapshot: Option<String>,
+}
+
+impl PassRecord {
+    /// Instructions added (positive) or removed (negative) by the pass.
+    pub fn insts_delta(&self) -> i64 {
+        self.ir_after.insts as i64 - self.ir_before.insts as i64
+    }
+
+    /// SSA values added or removed by the pass.
+    pub fn values_delta(&self) -> i64 {
+        self.ir_after.values as i64 - self.ir_before.values as i64
+    }
+
+    /// Tape slots (8 B each) added or removed by the pass.
+    pub fn tape_slots_delta(&self) -> i64 {
+        self.ir_after.tape_slots as i64 - self.ir_before.tape_slots as i64
+    }
 }
 
 /// Per-pass wall time, statistics and snapshots for one pipeline run.

@@ -222,3 +222,35 @@ fn registry_lists_all_seven_passes() {
         ]
     );
 }
+
+#[test]
+fn per_pass_ir_deltas_chain_and_attribute_growth() {
+    let (func, x, loss) = sample();
+    let run = PipelineBuilder::full(
+        CompileOptions::default(),
+        AdOptions::new(vec![x], vec![loss]),
+    )
+    .run_source(&func)
+    .unwrap();
+    let recs = &run.report.records;
+    for w in recs.windows(2) {
+        assert_eq!(
+            w[0].ir_after, w[1].ir_before,
+            "per-pass counters must chain: {} -> {}",
+            w[0].name, w[1].name
+        );
+    }
+    // `ad` emits the reverse sweep: instructions and values must grow,
+    // and the conservative tape policy allocates tape capacity.
+    let ad = recs.iter().find(|r| r.name == "ad").unwrap();
+    assert!(ad.insts_delta() > 0, "ad added {} insts", ad.insts_delta());
+    assert!(ad.values_delta() > 0);
+    assert!(ad.tape_slots_delta() >= 0, "ad never removes tape capacity");
+    for r in recs {
+        assert_eq!(r.ir_insts, r.ir_after.insts);
+        assert_eq!(
+            r.insts_delta(),
+            r.ir_after.insts as i64 - r.ir_before.insts as i64
+        );
+    }
+}

@@ -108,6 +108,10 @@ impl Default for DramConfig {
 /// Datapath issue resources (16 PEs with dual FPUs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PeConfig {
+    /// Processing elements in the grid (the paper's 4×4). Issue slots are
+    /// shared across PEs; the cycle-attribution probe distributes
+    /// occupancy over this many units.
+    pub pes: usize,
     /// Floating-point operations issued per cycle.
     pub fp_issue: usize,
     /// Integer (address-generation) operations issued per cycle.
@@ -125,6 +129,7 @@ pub struct PeConfig {
 impl Default for PeConfig {
     fn default() -> Self {
         PeConfig {
+            pes: 16,
             fp_issue: 32,
             int_issue: 32,
             fp_alu_latency: 3,
@@ -243,6 +248,7 @@ impl SystemConfig {
         mix(self.spad.latency);
         mix(self.dram.bytes_per_cycle.to_bits());
         mix(self.dram.latency);
+        mix(self.pe.pes as u64);
         mix(self.pe.fp_issue as u64);
         mix(self.pe.int_issue as u64);
         mix(self.pe.fp_alu_latency);

@@ -11,6 +11,7 @@
 
 use crate::cache::Cache;
 use crate::config::{EnergyTable, SystemConfig};
+use crate::probe::{CacheAccessEvent, NoProbe, ProbeGeometry, SimProbe};
 use crate::report::{EnergyReport, SimReport};
 use std::collections::{BinaryHeap, VecDeque};
 use tapeflow_ir::trace::Phase;
@@ -49,6 +50,19 @@ impl Dram {
 
 /// Simulates `trace` on `cfg`.
 pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimReport {
+    simulate_probed(trace, cfg, opts, &mut NoProbe)
+}
+
+/// Simulates `trace` on `cfg`, reporting every issue, stall and
+/// completion to `probe` (see [`crate::probe`]). With [`NoProbe`] this
+/// monomorphizes to the unprobed hot loop, which is what [`simulate`]
+/// calls — observability costs nothing unless a probe asks for it.
+pub fn simulate_probed<P: SimProbe>(
+    trace: &Trace,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+    probe: &mut P,
+) -> SimReport {
     let n = trace.len();
     let mut report = SimReport::default();
     if n == 0 {
@@ -110,6 +124,7 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
     let mut stream_free = [0u64; 2];
 
     let phase_barrier_idx = trace.nodes().iter().position(|nd| nd.phase == Phase::Rev);
+    probe.on_start(&ProbeGeometry::of(cfg, phase_barrier_idx.is_some()));
 
     let mut now: u64 = 0;
     let mut completed: usize = 0;
@@ -123,11 +138,17 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
             finish[id] = fin;
             max_finish = max_finish.max(fin);
             completed += 1;
+            if phase_barrier_idx == Some(id) {
+                probe.on_phase_barrier(fin);
+            }
             for s in &succ_dat[succ_off[id] as usize..succ_off[id + 1] as usize] {
                 let si = *s as usize;
                 ready_time[si] = ready_time[si].max(fin);
                 indeg[si] -= 1;
                 if indeg[si] == 0 {
+                    if phase_barrier_idx == Some(si) {
+                        probe.on_barrier_ready(now, ready_time[si]);
+                    }
                     events.push(std::cmp::Reverse((ready_time[si], *s)));
                 }
             }
@@ -135,6 +156,7 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
     }
 
     while completed < n {
+        probe.on_cycle_start(now);
         // Drain events that became ready.
         while let Some(&std::cmp::Reverse((t, id))) = events.peek() {
             if t > now {
@@ -164,11 +186,13 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
             let Some(id) = q_fp.pop_front() else { break };
             fp_left -= 1;
             report.fp_ops += 1;
-            let lat = match trace.nodes()[id as usize].class() {
+            let class = trace.nodes()[id as usize].class();
+            let lat = match class {
                 OpClass::FpAlu => cfg.pe.fp_alu_latency,
                 OpClass::FpMul => cfg.pe.fp_mul_latency,
                 _ => cfg.pe.fp_long_latency,
             };
+            probe.on_fp_issue(now, now + lat, class);
             complete!(id, now + lat);
         }
 
@@ -178,6 +202,7 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
             let Some(id) = q_int.pop_front() else { break };
             int_left -= 1;
             report.int_ops += 1;
+            probe.on_int_issue(now, now + cfg.pe.int_latency);
             complete!(id, now + cfg.pe.int_latency);
         }
 
@@ -214,6 +239,16 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
                 let (_, fin) = dram.transfer(start, line_bytes);
                 mshr[mshr_slot] = fin;
                 q_mem.pop_front();
+                probe.on_mshr_stall(now, node.is_tape);
+                probe.on_cache_access(&CacheAccessEvent {
+                    now,
+                    fin: fin + cfg.cache.hit_latency,
+                    port: cfg.cache.ports - ports_left,
+                    hit: false,
+                    is_tape: node.is_tape,
+                    is_rev: node.phase == Phase::Rev,
+                    is_write,
+                });
                 complete!(id, fin + cfg.cache.hit_latency);
                 // Head-of-line: nothing else issues behind a stalled miss.
                 break;
@@ -221,10 +256,20 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
             q_mem.pop_front();
             ports_left -= 1;
             let (is_tape, is_rev) = (node.is_tape, node.phase == Phase::Rev);
+            let port = cfg.cache.ports - ports_left - 1;
             if res.hit {
                 report.cache.hits += 1;
                 report.cache.tape_hits += u64::from(is_tape);
                 report.cache.rev_hits += u64::from(is_rev);
+                probe.on_cache_access(&CacheAccessEvent {
+                    now,
+                    fin: now + cfg.cache.hit_latency,
+                    port,
+                    hit: true,
+                    is_tape,
+                    is_rev,
+                    is_write,
+                });
                 complete!(id, now + cfg.cache.hit_latency);
             } else {
                 report.cache.misses += 1;
@@ -238,6 +283,15 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
                 }
                 let (_, fin) = dram.transfer(now, line_bytes);
                 mshr[mshr_slot] = fin;
+                probe.on_cache_access(&CacheAccessEvent {
+                    now,
+                    fin: fin + cfg.cache.hit_latency,
+                    port,
+                    hit: false,
+                    is_tape,
+                    is_rev,
+                    is_write,
+                });
                 complete!(id, fin + cfg.cache.hit_latency);
             }
         }
@@ -255,8 +309,10 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
             if banks_used & (1u64 << bank) == 0 {
                 banks_used |= 1u64 << bank;
                 report.spad_accesses += 1;
+                probe.on_spad_access(now, now + cfg.spad.latency, bank);
                 complete!(id, now + cfg.spad.latency);
             } else {
+                probe.on_spad_conflict(now, bank);
                 stash.push(id);
             }
         }
@@ -274,21 +330,23 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
                     report.dram_stream_bytes += bytes;
                     let (bw_done, fin) = dram.transfer(now, bytes);
                     stream_free[dir] = bw_done;
+                    probe.on_stream(now, bw_done, fin, dir, bytes);
                     complete!(id, fin);
                 }
             }
         }
 
-        if completed >= n {
-            break;
-        }
-        // Advance time: to the next event if idle, else one cycle.
         let queues_busy = !q_fp.is_empty()
             || !q_int.is_empty()
             || !q_mem.is_empty()
             || !q_spad.is_empty()
             || !q_stream[0].is_empty()
             || !q_stream[1].is_empty();
+        probe.on_cycle_end(now, queues_busy);
+        if completed >= n {
+            break;
+        }
+        // Advance time: to the next event if idle, else one cycle.
         if queues_busy {
             now += 1;
         } else if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
@@ -303,6 +361,7 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
 
     report.cycles = max_finish;
     report.fwd_cycles = phase_barrier_idx.map_or(max_finish, |i| finish[i]);
+    probe.on_finish(max_finish);
 
     // Cool-down: lines still dirty when the run ends must reach DRAM
     // eventually. Charge those write-backs to traffic exactly once — this

@@ -95,6 +95,23 @@ impl Value {
         }
     }
 
+    /// Signed view of the integer variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Renders the document with 2-space indentation and a trailing
     /// newline. Output is byte-deterministic for equal trees.
     pub fn render(&self) -> String {

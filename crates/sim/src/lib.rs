@@ -53,11 +53,15 @@ pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod json;
+pub mod probe;
 pub mod report;
 
 pub use cache::{Cache, ReplacementPolicy};
 pub use config::{CacheConfig, DramConfig, EnergyTable, PeConfig, SpadConfig, SystemConfig};
-pub use engine::{simulate, SimOptions};
+pub use engine::{simulate, simulate_probed, SimOptions};
+pub use probe::{
+    AttributionProbe, CycleBreakdown, NoProbe, ProbeGeometry, SimProbe, StallKind, TraceRecorder,
+};
 pub use report::{CacheStats, EnergyReport, SimReport};
 
 // The bench harness shares configurations and reports across worker

@@ -1,0 +1,990 @@
+//! Cycle-attribution probes: the simulator's observability layer.
+//!
+//! [`crate::engine::simulate_probed`] is generic over a [`SimProbe`] and
+//! calls a hook at every issue, stall and completion site. Every hook has
+//! an empty `#[inline]` default body, so the probe-less entry point
+//! ([`crate::simulate`], which passes [`NoProbe`]) monomorphizes to the
+//! exact pre-probe hot loop — observability is zero-cost when off.
+//!
+//! Two probes are provided:
+//!
+//! * [`AttributionProbe`] charges **every simulated PE-cycle** to exactly
+//!   one cause (FP busy, INT busy, MSHR head-of-line stall, scratchpad
+//!   bank conflict, tape-miss stall, non-tape miss stall, stream wait,
+//!   phase-barrier drain, idle), maintaining the invariant
+//!   `sum(attributed) == cycles * PEs`, plus a per-PE occupancy histogram
+//!   and per-bank scratchpad access/conflict counters.
+//! * [`TraceRecorder`] records a Chrome trace-event timeline (one track
+//!   per PE, cache port, stream engine and scratchpad bank) loadable in
+//!   `chrome://tracing` or Perfetto, serialized with [`crate::json`].
+//!
+//! Probes compose: `(&mut A, &mut B)`-style composition is provided via
+//! the tuple implementation, so one simulation can feed both.
+
+use crate::config::SystemConfig;
+use crate::json::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tapeflow_ir::OpClass;
+
+/// Machine geometry the probe needs to attribute cycles, derived from the
+/// [`SystemConfig`] once per simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeGeometry {
+    /// Processing elements in the grid.
+    pub pes: usize,
+    /// FP issue slots per PE (`fp_issue / pes`, rounded up).
+    pub fp_slots_per_pe: usize,
+    /// Integer issue slots per PE.
+    pub int_slots_per_pe: usize,
+    /// Scratchpad banks.
+    pub spad_banks: usize,
+    /// Cache ports.
+    pub cache_ports: usize,
+    /// Whether the trace has a FWD/REV phase barrier.
+    pub has_phase_barrier: bool,
+}
+
+impl ProbeGeometry {
+    /// Derives the geometry for `cfg`.
+    pub fn of(cfg: &SystemConfig, has_phase_barrier: bool) -> Self {
+        let pes = cfg.pe.pes.max(1);
+        ProbeGeometry {
+            pes,
+            fp_slots_per_pe: cfg.pe.fp_issue.div_ceil(pes).max(1),
+            int_slots_per_pe: cfg.pe.int_issue.div_ceil(pes).max(1),
+            spad_banks: cfg.spad.banks.max(1),
+            cache_ports: cfg.cache.ports.max(1),
+            has_phase_barrier,
+        }
+    }
+}
+
+/// One cache access as seen by the probe.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheAccessEvent {
+    /// Issue cycle.
+    pub now: u64,
+    /// Cycle the value is available to dependents.
+    pub fin: u64,
+    /// Port the access went through (the would-be port for a stalled
+    /// miss, which blocks the queue head without consuming a port).
+    pub port: usize,
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the access targets a tape array.
+    pub is_tape: bool,
+    /// Whether the access was issued by the reverse phase.
+    pub is_rev: bool,
+    /// Whether the access is a store.
+    pub is_write: bool,
+}
+
+/// Observation hooks called by [`crate::engine::simulate_probed`].
+///
+/// Every method has an empty inline default so an unused hook compiles
+/// away entirely; [`NoProbe`] overrides nothing.
+pub trait SimProbe {
+    /// Called once before the first cycle.
+    #[inline]
+    fn on_start(&mut self, _geom: &ProbeGeometry) {}
+    /// Called at the top of each scheduler iteration for cycle `_now`.
+    /// Cycles skipped between iterations (the engine jumps over gaps with
+    /// no issue work) are *not* announced individually; probes attribute
+    /// them from in-flight state.
+    #[inline]
+    fn on_cycle_start(&mut self, _now: u64) {}
+    /// An FP operation of `_class` issued at `_now`, finishing at `_fin`.
+    #[inline]
+    fn on_fp_issue(&mut self, _now: u64, _fin: u64, _class: OpClass) {}
+    /// An integer operation issued at `_now`, finishing at `_fin`.
+    #[inline]
+    fn on_int_issue(&mut self, _now: u64, _fin: u64) {}
+    /// A cache access issued (or, for `hit == false` after
+    /// [`Self::on_mshr_stall`], a stalled miss resolved at the queue head).
+    #[inline]
+    fn on_cache_access(&mut self, _ev: &CacheAccessEvent) {}
+    /// The memory queue stalled at its head: a demand miss found no free
+    /// MSHR this cycle.
+    #[inline]
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {}
+    /// A scratchpad access was serviced by `_bank`.
+    #[inline]
+    fn on_spad_access(&mut self, _now: u64, _fin: u64, _bank: usize) {}
+    /// A scratchpad access was deferred by a conflict on `_bank`.
+    #[inline]
+    fn on_spad_conflict(&mut self, _now: u64, _bank: usize) {}
+    /// A stream command started on engine `_dir` (0 = out/FWD-Stream,
+    /// 1 = in/REV-Stream); bandwidth frees at `_bw_done`, data lands at
+    /// `_fin`.
+    #[inline]
+    fn on_stream(&mut self, _now: u64, _bw_done: u64, _fin: u64, _dir: usize, _bytes: u64) {}
+    /// The phase barrier's last dependence completed at `_now`; the
+    /// barrier itself completes at `_at`. The half-open window
+    /// `[_now, _at)` is the FWD→REV drain.
+    #[inline]
+    fn on_barrier_ready(&mut self, _now: u64, _at: u64) {}
+    /// The phase barrier completed at `_at`.
+    #[inline]
+    fn on_phase_barrier(&mut self, _at: u64) {}
+    /// End of the scheduler iteration for cycle `_now`; `_queues_busy` is
+    /// whether any issue queue still holds work.
+    #[inline]
+    fn on_cycle_end(&mut self, _now: u64, _queues_busy: bool) {}
+    /// Simulation done; `_cycles` is the final cycle count.
+    #[inline]
+    fn on_finish(&mut self, _cycles: u64) {}
+}
+
+/// The probe that observes nothing — [`crate::simulate`]'s default. With
+/// it, `simulate_probed` monomorphizes to the unprobed hot loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProbe;
+
+impl SimProbe for NoProbe {}
+
+macro_rules! forward_both {
+    ($(fn $name:ident(&mut self $(, $arg:ident : $ty:ty)*);)*) => {
+        $(
+            #[inline]
+            fn $name(&mut self $(, $arg: $ty)*) {
+                self.0.$name($($arg),*);
+                self.1.$name($($arg),*);
+            }
+        )*
+    };
+}
+
+/// Probes compose pairwise: `(&mut attribution, &mut recorder)` feeds one
+/// simulation into both.
+impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
+    forward_both! {
+        fn on_start(&mut self, geom: &ProbeGeometry);
+        fn on_cycle_start(&mut self, now: u64);
+        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass);
+        fn on_int_issue(&mut self, now: u64, fin: u64);
+        fn on_cache_access(&mut self, ev: &CacheAccessEvent);
+        fn on_mshr_stall(&mut self, now: u64, is_tape: bool);
+        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize);
+        fn on_spad_conflict(&mut self, now: u64, bank: usize);
+        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64);
+        fn on_barrier_ready(&mut self, now: u64, at: u64);
+        fn on_phase_barrier(&mut self, at: u64);
+        fn on_cycle_end(&mut self, now: u64, queues_busy: bool);
+        fn on_finish(&mut self, cycles: u64);
+    }
+}
+
+macro_rules! forward_some {
+    ($(fn $name:ident(&mut self $(, $arg:ident : $ty:ty)*);)*) => {
+        $(
+            #[inline]
+            fn $name(&mut self $(, $arg: $ty)*) {
+                if let Some(p) = self {
+                    p.$name($($arg),*);
+                }
+            }
+        )*
+    };
+}
+
+/// `None` observes nothing; `Some(probe)` forwards — lets callers attach
+/// a probe behind a runtime flag without duplicating the call site.
+impl<P: SimProbe> SimProbe for Option<P> {
+    forward_some! {
+        fn on_start(&mut self, geom: &ProbeGeometry);
+        fn on_cycle_start(&mut self, now: u64);
+        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass);
+        fn on_int_issue(&mut self, now: u64, fin: u64);
+        fn on_cache_access(&mut self, ev: &CacheAccessEvent);
+        fn on_mshr_stall(&mut self, now: u64, is_tape: bool);
+        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize);
+        fn on_spad_conflict(&mut self, now: u64, bank: usize);
+        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64);
+        fn on_barrier_ready(&mut self, now: u64, at: u64);
+        fn on_phase_barrier(&mut self, at: u64);
+        fn on_cycle_end(&mut self, now: u64, queues_busy: bool);
+        fn on_finish(&mut self, cycles: u64);
+    }
+}
+
+/// The cause a PE-cycle is charged to. Exactly one cause per leftover
+/// unit per cycle, so the categories are disjoint by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallKind {
+    /// PE units executing FP work (an FP op in flight occupies its unit
+    /// for its full latency).
+    FpBusy,
+    /// PE units executing integer (address-generation) work.
+    IntBusy,
+    /// Demand miss stalled at the memory-queue head with no free MSHR —
+    /// the paper's "reactive fill" head-of-line bottleneck.
+    MshrStall,
+    /// Scratchpad bank conflict deferred at least one access this cycle.
+    SpadConflict,
+    /// Waiting on an outstanding cache miss for a *tape* array.
+    TapeMissStall,
+    /// Waiting on an outstanding cache miss for a non-tape array.
+    CacheMissStall,
+    /// Waiting on an outstanding stream-engine transfer.
+    StreamWait,
+    /// Draining the forward phase into the FWD/REV barrier: the barrier's
+    /// dependences are all issued but not yet complete.
+    PhaseBarrier,
+    /// No attributable cause: insufficient parallelism, or short
+    /// fixed-latency waits (cache hits, scratchpad reads).
+    Idle,
+}
+
+impl StallKind {
+    /// Every kind, in priority/report order.
+    pub const ALL: [StallKind; 9] = [
+        StallKind::FpBusy,
+        StallKind::IntBusy,
+        StallKind::MshrStall,
+        StallKind::SpadConflict,
+        StallKind::TapeMissStall,
+        StallKind::CacheMissStall,
+        StallKind::StreamWait,
+        StallKind::PhaseBarrier,
+        StallKind::Idle,
+    ];
+
+    /// Stable machine-readable key (JSON field name).
+    pub fn key(self) -> &'static str {
+        match self {
+            StallKind::FpBusy => "fp_busy",
+            StallKind::IntBusy => "int_busy",
+            StallKind::MshrStall => "mshr_stall",
+            StallKind::SpadConflict => "spad_conflict",
+            StallKind::TapeMissStall => "tape_miss_stall",
+            StallKind::CacheMissStall => "cache_miss_stall",
+            StallKind::StreamWait => "stream_wait",
+            StallKind::PhaseBarrier => "phase_barrier",
+            StallKind::Idle => "idle",
+        }
+    }
+
+    /// Human-readable table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::FpBusy => "FP busy",
+            StallKind::IntBusy => "INT busy",
+            StallKind::MshrStall => "MSHR head-of-line stall",
+            StallKind::SpadConflict => "spad bank conflict",
+            StallKind::TapeMissStall => "cache-miss stall (tape)",
+            StallKind::CacheMissStall => "cache-miss stall (non-tape)",
+            StallKind::StreamWait => "stream-engine wait",
+            StallKind::PhaseBarrier => "phase-barrier drain",
+            StallKind::Idle => "idle",
+        }
+    }
+}
+
+const KINDS: usize = StallKind::ALL.len();
+
+/// Where every PE-cycle of a simulation went.
+///
+/// `sum(units) == cycles * pes` exactly ([`CycleBreakdown::check`]); the
+/// per-PE occupancy histogram sums to `cycles`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// PEs the attribution distributed each cycle over.
+    pub pes: usize,
+    /// Total attributed cycles (== the report's `cycles`).
+    pub cycles: u64,
+    /// PE-cycles per cause, indexed in [`StallKind::ALL`] order.
+    pub units: [u64; KINDS],
+    /// `pe_occupancy[k]` = cycles during which exactly `k` PE units were
+    /// busy with FP or INT work (length `pes + 1`).
+    pub pe_occupancy: Vec<u64>,
+    /// Scratchpad accesses serviced per bank.
+    pub bank_accesses: Vec<u64>,
+    /// Scratchpad conflicts (deferrals) per bank.
+    pub bank_conflicts: Vec<u64>,
+}
+
+impl CycleBreakdown {
+    /// PE-cycles charged to `kind`.
+    pub fn get(&self, kind: StallKind) -> u64 {
+        self.units[StallKind::ALL.iter().position(|k| *k == kind).unwrap()]
+    }
+
+    /// The attribution budget: `cycles * pes`.
+    pub fn total_units(&self) -> u64 {
+        self.cycles * self.pes as u64
+    }
+
+    /// PE-cycles attributed across all causes.
+    pub fn attributed(&self) -> u64 {
+        self.units.iter().sum()
+    }
+
+    /// Mean busy PEs per cycle (FP + INT).
+    pub fn avg_busy_pes(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.get(StallKind::FpBusy) + self.get(StallKind::IntBusy)) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Verifies the accounting invariants; returns a description of the
+    /// first violation. Cheap — tests and the profile CLI always run it.
+    pub fn check(&self) -> Result<(), String> {
+        if self.attributed() != self.total_units() {
+            return Err(format!(
+                "attributed {} PE-cycles != cycles({}) * pes({}) = {}",
+                self.attributed(),
+                self.cycles,
+                self.pes,
+                self.total_units()
+            ));
+        }
+        let occ: u64 = self.pe_occupancy.iter().sum();
+        if occ != self.cycles {
+            return Err(format!(
+                "occupancy histogram sums to {occ}, expected {} cycles",
+                self.cycles
+            ));
+        }
+        if self.pe_occupancy.len() != self.pes + 1
+            && !(self.pes == 0 && self.pe_occupancy.is_empty())
+        {
+            return Err(format!(
+                "occupancy histogram has {} bins for {} PEs",
+                self.pe_occupancy.len(),
+                self.pes
+            ));
+        }
+        Ok(())
+    }
+
+    /// The per-cause summary as JSON (the bench harness's compact form):
+    /// category PE-cycles plus `cycles`, `pes` and the mean occupancy.
+    pub fn summary_json(&self) -> Value {
+        let mut o = Value::object();
+        o.set("cycles", self.cycles).set("pes", self.pes as u64);
+        for k in StallKind::ALL {
+            o.set(k.key(), self.get(k));
+        }
+        o.set("avg_busy_pes", self.avg_busy_pes());
+        o
+    }
+
+    /// The full breakdown as JSON: the summary plus the occupancy
+    /// histogram and per-bank scratchpad counters.
+    pub fn to_json(&self) -> Value {
+        let mut o = self.summary_json();
+        o.set(
+            "pe_occupancy",
+            Value::Arr(self.pe_occupancy.iter().map(|&c| Value::UInt(c)).collect()),
+        )
+        .set(
+            "bank_accesses",
+            Value::Arr(self.bank_accesses.iter().map(|&c| Value::UInt(c)).collect()),
+        )
+        .set(
+            "bank_conflicts",
+            Value::Arr(
+                self.bank_conflicts
+                    .iter()
+                    .map(|&c| Value::UInt(c))
+                    .collect(),
+            ),
+        );
+        o
+    }
+}
+
+/// Attributes every simulated PE-cycle to a [`StallKind`].
+///
+/// FP/INT occupancy is tracked with min-heaps of in-flight finish times
+/// (an op occupies its issue slot for `[issue, fin)`); leftover PE units
+/// in a cycle are charged to a single cause chosen by priority:
+/// MSHR stall > bank conflict > tape miss > non-tape miss > stream wait >
+/// phase-barrier drain > idle. Cycles the engine skips (no issue work)
+/// are attributed in O(#completions) by walking run-lengths between
+/// in-flight finish times, so the probe never makes a long simulation
+/// superlinear.
+#[derive(Debug, Default)]
+pub struct AttributionProbe {
+    geom: Option<ProbeGeometry>,
+    fp: BinaryHeap<Reverse<u64>>,
+    int: BinaryHeap<Reverse<u64>>,
+    fills_tape: BinaryHeap<Reverse<u64>>,
+    fills_other: BinaryHeap<Reverse<u64>>,
+    streams: BinaryHeap<Reverse<u64>>,
+    mshr_stalled: bool,
+    conflicted: bool,
+    barrier_window: Option<(u64, u64)>,
+    /// First cycle not yet committed or walked.
+    cursor: u64,
+    /// The last processed cycle's record, committed at the next cycle
+    /// start (or discarded at finish if it lies beyond the final cycle
+    /// count — the engine may process one iteration at `cycles` itself
+    /// when the final node is a zero-cost sync).
+    pending: Option<(u64, [u64; KINDS], usize)>,
+    bd: CycleBreakdown,
+}
+
+impl AttributionProbe {
+    /// A fresh probe; pass to [`crate::engine::simulate_probed`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The finished breakdown. Meaningful after the simulation ran.
+    pub fn breakdown(&self) -> &CycleBreakdown {
+        &self.bd
+    }
+
+    /// Consumes the probe, returning the breakdown.
+    pub fn into_breakdown(self) -> CycleBreakdown {
+        self.bd
+    }
+
+    fn geom(&self) -> &ProbeGeometry {
+        self.geom.as_ref().expect("probe not started")
+    }
+
+    /// Drops every in-flight entry that finished at or before `c`.
+    fn pop_done(&mut self, c: u64) {
+        for h in [
+            &mut self.fp,
+            &mut self.int,
+            &mut self.fills_tape,
+            &mut self.fills_other,
+            &mut self.streams,
+        ] {
+            while h.peek().is_some_and(|Reverse(t)| *t <= c) {
+                h.pop();
+            }
+        }
+    }
+
+    /// Attribution for one cycle from current in-flight state; `flags`
+    /// carries the per-cycle MSHR/conflict markers (false on walked
+    /// gap cycles, which by definition issued nothing).
+    fn classify(&self, c: u64, mshr: bool, conflict: bool) -> ([u64; KINDS], usize) {
+        let g = self.geom();
+        let fp_units = (self.fp.len().div_ceil(g.fp_slots_per_pe)).min(g.pes);
+        let int_units = (self.int.len().div_ceil(g.int_slots_per_pe)).min(g.pes - fp_units);
+        let busy = fp_units + int_units;
+        let rest = g.pes - busy;
+        let mut units = [0u64; KINDS];
+        units[0] = fp_units as u64; // FpBusy
+        units[1] = int_units as u64; // IntBusy
+        if rest > 0 {
+            let kind = if mshr {
+                StallKind::MshrStall
+            } else if conflict {
+                StallKind::SpadConflict
+            } else if !self.fills_tape.is_empty() {
+                StallKind::TapeMissStall
+            } else if !self.fills_other.is_empty() {
+                StallKind::CacheMissStall
+            } else if !self.streams.is_empty() {
+                StallKind::StreamWait
+            } else if self.barrier_window.is_some_and(|(s, e)| s <= c && c < e) {
+                StallKind::PhaseBarrier
+            } else {
+                StallKind::Idle
+            };
+            let ki = StallKind::ALL.iter().position(|k| *k == kind).unwrap();
+            units[ki] = rest as u64;
+        }
+        (units, busy)
+    }
+
+    fn commit_span(&mut self, units: [u64; KINDS], busy: usize, span: u64) {
+        for (acc, u) in self.bd.units.iter_mut().zip(units) {
+            *acc += u * span;
+        }
+        self.bd.pe_occupancy[busy] += span;
+    }
+
+    /// Attributes the half-open gap `[from, to)` the engine skipped,
+    /// advancing through in-flight completion boundaries run-length-wise.
+    fn walk(&mut self, from: u64, to: u64) {
+        let mut c = from;
+        while c < to {
+            self.pop_done(c);
+            let (units, busy) = self.classify(c, false, false);
+            let mut nb = to;
+            for h in [
+                &self.fp,
+                &self.int,
+                &self.fills_tape,
+                &self.fills_other,
+                &self.streams,
+            ] {
+                if let Some(Reverse(t)) = h.peek() {
+                    nb = nb.min(*t);
+                }
+            }
+            if let Some((s, e)) = self.barrier_window {
+                for edge in [s, e] {
+                    if edge > c {
+                        nb = nb.min(edge);
+                    }
+                }
+            }
+            let nb = nb.clamp(c + 1, to);
+            self.commit_span(units, busy, nb - c);
+            c = nb;
+        }
+    }
+}
+
+impl SimProbe for AttributionProbe {
+    fn on_start(&mut self, geom: &ProbeGeometry) {
+        self.geom = Some(*geom);
+        self.bd.pes = geom.pes;
+        self.bd.pe_occupancy = vec![0; geom.pes + 1];
+        self.bd.bank_accesses = vec![0; geom.spad_banks];
+        self.bd.bank_conflicts = vec![0; geom.spad_banks];
+    }
+
+    fn on_cycle_start(&mut self, now: u64) {
+        if let Some((c, units, busy)) = self.pending {
+            if c < now {
+                self.pending = None;
+                self.commit_span(units, busy, 1);
+                self.cursor = c + 1;
+            }
+        }
+        if self.cursor < now {
+            self.walk(self.cursor, now);
+            self.cursor = now;
+        }
+    }
+
+    fn on_fp_issue(&mut self, _now: u64, fin: u64, _class: OpClass) {
+        self.fp.push(Reverse(fin));
+    }
+
+    fn on_int_issue(&mut self, _now: u64, fin: u64) {
+        self.int.push(Reverse(fin));
+    }
+
+    fn on_cache_access(&mut self, ev: &CacheAccessEvent) {
+        if !ev.hit {
+            if ev.is_tape {
+                self.fills_tape.push(Reverse(ev.fin));
+            } else {
+                self.fills_other.push(Reverse(ev.fin));
+            }
+        }
+    }
+
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {
+        self.mshr_stalled = true;
+    }
+
+    fn on_spad_access(&mut self, _now: u64, _fin: u64, bank: usize) {
+        self.bd.bank_accesses[bank] += 1;
+    }
+
+    fn on_spad_conflict(&mut self, _now: u64, bank: usize) {
+        self.bd.bank_conflicts[bank] += 1;
+        self.conflicted = true;
+    }
+
+    fn on_stream(&mut self, _now: u64, _bw_done: u64, fin: u64, _dir: usize, _bytes: u64) {
+        self.streams.push(Reverse(fin));
+    }
+
+    fn on_barrier_ready(&mut self, now: u64, at: u64) {
+        self.barrier_window = Some((now, at));
+    }
+
+    fn on_cycle_end(&mut self, now: u64, _queues_busy: bool) {
+        self.pop_done(now);
+        let (units, busy) = self.classify(now, self.mshr_stalled, self.conflicted);
+        self.mshr_stalled = false;
+        self.conflicted = false;
+        self.pending = Some((now, units, busy));
+    }
+
+    fn on_finish(&mut self, cycles: u64) {
+        if let Some((c, units, busy)) = self.pending.take() {
+            if c < cycles {
+                self.commit_span(units, busy, 1);
+                self.cursor = c + 1;
+            } else {
+                self.cursor = self.cursor.max(c);
+            }
+        }
+        if self.cursor < cycles {
+            self.walk(self.cursor, cycles);
+            self.cursor = cycles;
+        }
+        self.bd.cycles = cycles;
+        debug_assert_eq!(self.bd.check(), Ok(()));
+    }
+}
+
+/// Records a Chrome trace-event timeline of one simulation.
+///
+/// Track layout per process (`pid`): one thread per PE (FP/INT ops are
+/// placed greedily on the least-recently-busy PE lane), one per cache
+/// port, one per stream engine, one per scratchpad bank. Timestamps are
+/// cycles rendered as trace microseconds; events on each track are
+/// emitted in non-decreasing `ts` order.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    pid: u64,
+    name: String,
+    geom: Option<ProbeGeometry>,
+    /// Per-PE-lane busy-until cycle, for greedy lane assignment.
+    lanes: Vec<u64>,
+    mshr_pending: bool,
+    events: Vec<Value>,
+}
+
+impl TraceRecorder {
+    /// A recorder labelling its process `name` with trace `pid`.
+    pub fn new(pid: u64, name: impl Into<String>) -> Self {
+        TraceRecorder {
+            pid,
+            name: name.into(),
+            geom: None,
+            lanes: Vec::new(),
+            mshr_pending: false,
+            events: Vec::new(),
+        }
+    }
+
+    fn meta(&mut self, which: &str, tid: Option<u64>, name: &str) {
+        let mut args = Value::object();
+        args.set("name", name);
+        let mut e = Value::object();
+        e.set("name", which)
+            .set("ph", "M")
+            .set("pid", self.pid)
+            .set("tid", tid.unwrap_or(0));
+        e.set("args", args);
+        self.events.push(e);
+    }
+
+    fn slice(&mut self, tid: u64, name: &str, ts: u64, dur: u64, args: Option<Value>) {
+        let mut e = Value::object();
+        e.set("name", name)
+            .set("ph", "X")
+            .set("ts", ts)
+            .set("dur", dur.max(1))
+            .set("pid", self.pid)
+            .set("tid", tid);
+        if let Some(a) = args {
+            e.set("args", a);
+        }
+        self.events.push(e);
+    }
+
+    fn instant(&mut self, tid: u64, name: &str, ts: u64, scope: &str) {
+        let mut e = Value::object();
+        e.set("name", name)
+            .set("ph", "i")
+            .set("ts", ts)
+            .set("pid", self.pid)
+            .set("tid", tid)
+            .set("s", scope);
+        self.events.push(e);
+    }
+
+    fn tid_cache(&self, port: usize) -> u64 {
+        (self.geom.as_ref().unwrap().pes + port) as u64
+    }
+
+    fn tid_stream(&self, dir: usize) -> u64 {
+        let g = self.geom.as_ref().unwrap();
+        (g.pes + g.cache_ports + dir) as u64
+    }
+
+    fn tid_bank(&self, bank: usize) -> u64 {
+        let g = self.geom.as_ref().unwrap();
+        (g.pes + g.cache_ports + 2 + bank) as u64
+    }
+
+    /// The recorded events (metadata first, then the timeline).
+    pub fn into_events(self) -> Vec<Value> {
+        self.events
+    }
+
+    /// Wraps recorders into one Chrome trace-event document. Load the
+    /// rendered text in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace(parts: impl IntoIterator<Item = TraceRecorder>) -> Value {
+        let mut events = Vec::new();
+        for p in parts {
+            events.extend(p.into_events());
+        }
+        let mut doc = Value::object();
+        doc.set("displayTimeUnit", "ns")
+            .set("traceEvents", Value::Arr(events));
+        doc
+    }
+}
+
+impl SimProbe for TraceRecorder {
+    fn on_start(&mut self, geom: &ProbeGeometry) {
+        self.geom = Some(*geom);
+        self.lanes = vec![0; geom.pes];
+        self.meta("process_name", None, &self.name.clone());
+        for p in 0..geom.pes {
+            self.meta("thread_name", Some(p as u64), &format!("PE {p}"));
+        }
+        for c in 0..geom.cache_ports {
+            let tid = self.tid_cache(c);
+            self.meta("thread_name", Some(tid), &format!("cache port {c}"));
+        }
+        for (dir, label) in ["FWD-Stream (out)", "REV-Stream (in)"].iter().enumerate() {
+            let tid = self.tid_stream(dir);
+            self.meta("thread_name", Some(tid), label);
+        }
+        for b in 0..geom.spad_banks {
+            let tid = self.tid_bank(b);
+            self.meta("thread_name", Some(tid), &format!("spad bank {b}"));
+        }
+    }
+
+    fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass) {
+        let lane = (0..self.lanes.len())
+            .min_by_key(|&i| self.lanes[i])
+            .unwrap_or(0);
+        self.lanes[lane] = self.lanes[lane].max(fin);
+        let name = match class {
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpLong => "fp-long",
+            _ => "fp-alu",
+        };
+        self.slice(lane as u64, name, now, fin - now, None);
+    }
+
+    fn on_int_issue(&mut self, now: u64, fin: u64) {
+        let lane = (0..self.lanes.len())
+            .min_by_key(|&i| self.lanes[i])
+            .unwrap_or(0);
+        self.lanes[lane] = self.lanes[lane].max(fin);
+        self.slice(lane as u64, "int", now, fin - now, None);
+    }
+
+    fn on_cache_access(&mut self, ev: &CacheAccessEvent) {
+        let name = match (ev.hit, std::mem::take(&mut self.mshr_pending)) {
+            (true, _) => "hit",
+            (false, false) => "miss",
+            (false, true) => "miss (mshr stall)",
+        };
+        let mut args = Value::object();
+        args.set("tape", Value::Bool(ev.is_tape))
+            .set("rev", Value::Bool(ev.is_rev))
+            .set("write", Value::Bool(ev.is_write));
+        self.slice(
+            self.tid_cache(ev.port),
+            name,
+            ev.now,
+            ev.fin.saturating_sub(ev.now),
+            Some(args),
+        );
+    }
+
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {
+        self.mshr_pending = true;
+    }
+
+    fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize) {
+        self.slice(self.tid_bank(bank), "spad", now, fin - now, None);
+    }
+
+    fn on_spad_conflict(&mut self, now: u64, bank: usize) {
+        self.instant(self.tid_bank(bank), "bank conflict", now, "t");
+    }
+
+    fn on_stream(&mut self, now: u64, _bw_done: u64, fin: u64, dir: usize, bytes: u64) {
+        let mut args = Value::object();
+        args.set("bytes", bytes);
+        let name = if dir == 0 { "stream-out" } else { "stream-in" };
+        self.slice(self.tid_stream(dir), name, now, fin - now, Some(args));
+    }
+
+    fn on_phase_barrier(&mut self, at: u64) {
+        self.instant(0, "phase barrier", at, "p");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::engine::{simulate, simulate_probed, SimOptions};
+    use tapeflow_ir::trace::{trace_function, TraceOptions};
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+
+    fn run_probed(
+        build: impl FnOnce(&mut FunctionBuilder),
+        cfg: &SystemConfig,
+    ) -> (crate::SimReport, CycleBreakdown) {
+        let mut b = FunctionBuilder::new("t");
+        build(&mut b);
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let mut probe = AttributionProbe::new();
+        let r = simulate_probed(&trace, cfg, &SimOptions::default(), &mut probe);
+        (r, probe.into_breakdown())
+    }
+
+    #[test]
+    fn empty_trace_attributes_nothing() {
+        let (r, bd) = run_probed(|_| {}, &SystemConfig::default());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(bd.attributed(), 0);
+    }
+
+    #[test]
+    fn chain_holds_invariant_and_marks_fp() {
+        let cfg = SystemConfig::default();
+        let (r, bd) = run_probed(
+            |b| {
+                let one = b.f64(1.0);
+                let mut v = b.f64(0.0);
+                for _ in 0..40 {
+                    v = b.fadd(v, one);
+                }
+            },
+            &cfg,
+        );
+        bd.check().unwrap();
+        assert_eq!(bd.cycles, r.cycles);
+        assert_eq!(bd.attributed(), bd.total_units());
+        // A serial chain keeps exactly one FP unit busy every cycle.
+        assert_eq!(bd.get(StallKind::FpBusy), r.cycles);
+        assert_eq!(
+            bd.get(StallKind::Idle),
+            r.cycles * (bd.pes as u64 - 1),
+            "remaining PEs idle: {bd:?}"
+        );
+        assert_eq!(bd.pe_occupancy[1], r.cycles);
+    }
+
+    #[test]
+    fn misses_attributed_to_cache_stall() {
+        let cfg = SystemConfig::with_cache_bytes(1024);
+        let (r, bd) = run_probed(
+            |b| {
+                let x = b.array("x", 64 * 8, ArrayKind::Input, Scalar::F64);
+                for i in 0..64i64 {
+                    let idx = b.i64(i * 8);
+                    let _ = b.load(x, idx);
+                }
+            },
+            &cfg,
+        );
+        bd.check().unwrap();
+        let miss_units = bd.get(StallKind::CacheMissStall) + bd.get(StallKind::MshrStall);
+        assert!(
+            miss_units > 0,
+            "64 distinct-line misses must show up as miss/MSHR stall: {bd:?}"
+        );
+        assert_eq!(bd.cycles, r.cycles);
+    }
+
+    #[test]
+    fn bank_conflicts_counted_per_bank() {
+        let cfg = SystemConfig::default();
+        let (_, bd) = run_probed(
+            |b| {
+                use tapeflow_ir::Op;
+                b.push_inst(Op::SAlloc { size: 128, base: 0 }, vec![]);
+                let v = b.f64(1.0);
+                for k in 0..8 {
+                    let e = b.i64(k * 16);
+                    b.push_inst(Op::SpadStore, vec![e, v]);
+                }
+            },
+            &cfg,
+        );
+        bd.check().unwrap();
+        assert_eq!(bd.bank_accesses[0], 8, "all accesses land in bank 0");
+        assert!(
+            bd.bank_conflicts[0] >= 7,
+            "seven deferrals behind the first access: {:?}",
+            bd.bank_conflicts
+        );
+        assert!(bd.get(StallKind::SpadConflict) > 0);
+    }
+
+    #[test]
+    fn probed_report_matches_unprobed() {
+        let cfg = SystemConfig::with_cache_bytes(2048);
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", 64, ArrayKind::InOut, Scalar::F64);
+        let a = b.f64(3.0);
+        b.for_loop("i", 0, 64, |b, i| {
+            let xi = b.load(x, i);
+            let yi = b.load(y, i);
+            let t = b.fmul(a, xi);
+            let s = b.fadd(t, yi);
+            b.store(y, i, s);
+        });
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let plain = simulate(&trace, &cfg, &SimOptions::default());
+        let mut probe = (AttributionProbe::new(), TraceRecorder::new(1, "t"));
+        let probed = simulate_probed(&trace, &cfg, &SimOptions::default(), &mut probe);
+        assert_eq!(plain.cycles, probed.cycles);
+        assert_eq!(plain.cache, probed.cache);
+        assert_eq!(plain.fp_ops, probed.fp_ops);
+        probe.0.breakdown().check().unwrap();
+    }
+
+    #[test]
+    fn breakdown_json_round_trips() {
+        let cfg = SystemConfig::default();
+        let (_, bd) = run_probed(
+            |b| {
+                let one = b.f64(1.0);
+                let _ = b.fadd(one, one);
+            },
+            &cfg,
+        );
+        let j = bd.to_json();
+        assert_eq!(j.get("pes").unwrap().as_u64(), Some(bd.pes as u64));
+        let text = j.render();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn trace_recorder_emits_monotonic_tracks() {
+        let cfg = SystemConfig::with_cache_bytes(1024);
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+        b.for_loop("i", 0, 32, |b, i| {
+            let v = b.load(x, i);
+            let _ = b.fadd(v, v);
+        });
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let mut rec = TraceRecorder::new(7, "unit");
+        simulate_probed(&trace, &cfg, &SimOptions::default(), &mut rec);
+        let doc = TraceRecorder::chrome_trace([rec]);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let mut last_ts: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let pid = e.get("pid").unwrap().as_u64().unwrap();
+            let tid = e.get("tid").unwrap().as_u64().unwrap();
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            let prev = last_ts.entry((pid, tid)).or_insert(0);
+            assert!(ts >= *prev, "track ({pid},{tid}) went backwards");
+            *prev = ts;
+        }
+    }
+}

@@ -29,20 +29,24 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Overall hit rate in `[0, 1]`; 1 for an idle cache.
+    /// Overall hit rate in `[0, 1]`. An idle cache reports 0 (not the
+    /// NaN the ratio would give, and not the fake 100% this used to
+    /// return); check [`Self::accesses`] — surfaced as the JSON `idle`
+    /// flag — to tell "never accessed" apart from "always missed".
     pub fn hit_rate(&self) -> f64 {
         if self.accesses() == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / self.accesses() as f64
         }
     }
 
-    /// Reverse-phase hit rate (Figure 4.1's right axis).
+    /// Reverse-phase hit rate (Figure 4.1's right axis); 0 when the
+    /// reverse phase never touched the cache (JSON flag `rev_idle`).
     pub fn rev_hit_rate(&self) -> f64 {
         let acc = self.rev_hits + self.rev_misses;
         if acc == 0 {
-            1.0
+            0.0
         } else {
             self.rev_hits as f64 / acc as f64
         }
@@ -152,7 +156,12 @@ impl SimReport {
             .set("writebacks", self.cache.writebacks)
             .set("flush_writebacks", self.cache.flush_writebacks)
             .set("hit_rate", self.cache.hit_rate())
-            .set("rev_hit_rate", self.cache.rev_hit_rate());
+            .set("rev_hit_rate", self.cache.rev_hit_rate())
+            .set("idle", Value::Bool(self.cache.accesses() == 0))
+            .set(
+                "rev_idle",
+                Value::Bool(self.cache.rev_hits + self.cache.rev_misses == 0),
+            );
         let mut energy = Value::object();
         energy
             .set("cache_pj", self.energy.cache_pj)
@@ -195,7 +204,18 @@ mod tests {
         assert_eq!(c.accesses(), 100);
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
         assert!((c.rev_hit_rate() - 0.25).abs() < 1e-12);
-        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+        // An idle cache must not report a fake 100% hit rate.
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().rev_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn idle_cache_flagged_in_json() {
+        let j = SimReport::default().to_json();
+        let cache = j.get("cache").unwrap();
+        assert_eq!(cache.get("idle").unwrap().as_bool(), Some(true));
+        assert_eq!(cache.get("rev_idle").unwrap().as_bool(), Some(true));
+        assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

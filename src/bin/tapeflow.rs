@@ -10,15 +10,26 @@
 //!                    [--single-buffer]                spad-index)
 //! tapeflow simulate  FILE --wrt a,b --loss l      AD → compile → trace → simulate,
 //!                    [--cache-bytes N] [--spad-bytes N]   Enzyme vs Tapeflow
+//! tapeflow profile   FILE --wrt a,b --loss l      simulate with the cycle-attribution
+//!                    [--trace-out trace.json]         probe: stall-breakdown table,
+//!                                                     per-pass IR deltas, Chrome trace
 //! tapeflow passes                                 list registered passes
 //! ```
 //!
-//! `compile` and `simulate` drive the `tapeflow_core::pipeline` pass
-//! manager and accept LLVM-style pipeline flags: `--passes a,b,c` runs a
-//! custom pass list, `--print-after-all` prints the verified IR after
-//! every pass, `--time-passes` prints a per-pass wall-time table to
+//! `compile`, `simulate` and `profile` drive the `tapeflow_core::pipeline`
+//! pass manager and accept LLVM-style pipeline flags: `--passes a,b,c`
+//! runs a custom pass list, `--print-after-all` prints the verified IR
+//! after every pass, `--time-passes` prints a per-pass wall-time table to
 //! stderr. `simulate --json PATH` includes a `passes` section with the
-//! per-pass records.
+//! per-pass records and IR deltas.
+//!
+//! `profile` attaches the [`tapeflow::sim::probe`] observability layer:
+//! it prints a table charging every PE-cycle of both the Enzyme baseline
+//! and the Tapeflow build to a cause (enforcing the
+//! `sum(attributed) == cycles × PEs` invariant), a per-pass IR-delta
+//! table, and with `--trace-out FILE.json` writes a Chrome trace-event
+//! timeline (one track per PE, cache port, stream engine and scratchpad
+//! bank) loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! `FILE` is textual IR in the `pretty`/`parse` format (see
 //! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
@@ -26,12 +37,16 @@
 //! program runs without an input file.
 
 use std::process::ExitCode;
-use tapeflow::autodiff::{differentiate, AdOptions, TapePolicy};
-use tapeflow::core::pipeline::{registered_passes, PipelineBuilder};
-use tapeflow::core::{CompileMode, CompileOptions};
+use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
+use tapeflow::core::pipeline::{registered_passes, PassRecord, PipelineBuilder, PipelineReport};
+use tapeflow::core::{CompileMode, CompileOptions, CompiledProgram};
 use tapeflow::ir::trace::{trace_function, TraceOptions};
 use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Scalar};
-use tapeflow::sim::{simulate, SimOptions, SystemConfig};
+use tapeflow::sim::json::Value;
+use tapeflow::sim::{
+    simulate, simulate_probed, AttributionProbe, CycleBreakdown, SimOptions, SimReport, StallKind,
+    SystemConfig, TraceRecorder,
+};
 
 struct Args {
     file: String,
@@ -43,6 +58,7 @@ struct Args {
     double_buffer: bool,
     policy: TapePolicy,
     json: Option<String>,
+    trace_out: Option<String>,
     passes: Option<Vec<String>>,
     print_after_all: bool,
     time_passes: bool,
@@ -50,11 +66,11 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tapeflow <show|opt|grad|compile|simulate|passes> FILE \
+        "usage: tapeflow <show|opt|grad|compile|simulate|profile|passes> FILE \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
          [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
          [--passes a,b,c] [--print-after-all] [--time-passes] \
-         [--json PATH]"
+         [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
 }
@@ -71,6 +87,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         double_buffer: true,
         policy: TapePolicy::Conservative,
         json: None,
+        trace_out: None,
         passes: None,
         print_after_all: false,
         time_passes: false,
@@ -97,6 +114,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--aos-only" => args.aos_only = true,
             "--single-buffer" => args.double_buffer = false,
             "--json" => args.json = Some(argv.next().ok_or("--json needs a path")?),
+            "--trace-out" => {
+                args.trace_out = Some(argv.next().ok_or("--trace-out needs a path")?);
+            }
             "--passes" => {
                 let v = argv.next().ok_or("--passes needs a comma-separated list")?;
                 args.passes = Some(v.split(',').map(str::to_string).collect());
@@ -193,6 +213,177 @@ fn pipeline_for(
     PipelineBuilder::from_names(&names, copts, ad).map_err(|e| e.to_string())
 }
 
+/// Everything `simulate`/`profile` need after the pipeline ran: the
+/// pass report plus the two programs to race (the gradient is the
+/// Enzyme baseline, the compiled program the Tapeflow build).
+struct SimSetup {
+    report: PipelineReport,
+    grad: Gradient,
+    compiled: CompiledProgram,
+}
+
+/// Compiles `func` through the simulate pipeline (no `opt` by default,
+/// matching the established Enzyme-vs-Tapeflow numbers; opt in via
+/// `--passes opt,ad,...`).
+fn compile_variants(args: &Args, func: &Function) -> Result<(AdOptions, SimSetup), String> {
+    let opts = ad_options(func, args)?;
+    let copts = compile_options(args, CompileMode::Full);
+    let builder = pipeline_for(
+        args,
+        func,
+        copts,
+        &["ad", "regions", "layering", "streams", "spad-index"],
+    )?
+    .with_verify(true)
+    .with_ir_capture(args.print_after_all);
+    let run = builder.run_source(func).map_err(|e| e.to_string())?;
+    if args.print_after_all {
+        // stderr: simulate/profile's stdout stays the result tables.
+        eprint!("{}", run.report.render_snapshots());
+    }
+    if args.time_passes {
+        eprint!("{}", run.report.render_timings());
+    }
+    let report = run.report.clone();
+    let grad = run
+        .state
+        .gradient
+        .clone()
+        .ok_or("this command needs the `ad` pass in --passes")?;
+    let compiled = run.into_compiled().map_err(|e| e.to_string())?;
+    Ok((
+        opts,
+        SimSetup {
+            report,
+            grad,
+            compiled,
+        },
+    ))
+}
+
+/// Inputs for one simulated variant: the shared deterministic base
+/// arrays plus a unit seed in the loss shadow.
+fn variant_memory(
+    source: &Function,
+    variant: &Function,
+    base: &Memory,
+    grad: &Gradient,
+    opts: &AdOptions,
+) -> Memory {
+    let mut mem = Memory::for_function(variant);
+    for i in 0..source.arrays().len() {
+        mem.clone_array_from(base, ArrayId::new(i));
+    }
+    mem.set_f64_at(grad.shadow_of(opts.seeds[0]).expect("loss shadow"), 0, 1.0);
+    mem
+}
+
+/// The JSON `passes` section shared by `simulate` and `profile`:
+/// per-pass wall time, post-pass IR counters and the per-pass deltas.
+fn passes_json(records: &[PassRecord]) -> Vec<Value> {
+    records
+        .iter()
+        .map(|r| {
+            let mut p = Value::object();
+            p.set("pass", r.name)
+                .set("seconds", r.wall.as_secs_f64())
+                .set("insts", r.ir_insts)
+                .set("values", r.ir_after.values)
+                .set("tape_slots", r.ir_after.tape_slots)
+                .set("insts_delta", r.insts_delta())
+                .set("values_delta", r.values_delta())
+                .set("tape_slots_delta", r.tape_slots_delta())
+                .set("detail", r.detail.as_str());
+            p
+        })
+        .collect()
+}
+
+/// `+n` / `-n` / `0`, so growth and shrinkage read at a glance.
+fn signed(v: i64) -> String {
+    if v > 0 {
+        format!("+{v}")
+    } else {
+        v.to_string()
+    }
+}
+
+/// The profile stall table: one column pair per simulated variant, one
+/// row per attribution cause, footers with totals and occupancy.
+fn render_stall_table(rows: &[(&str, SimReport, CycleBreakdown)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let pes = rows.iter().map(|r| r.2.pes).max().unwrap_or(0);
+    let _ = writeln!(out, "=== cycle attribution ({pes} PEs, PE-cycles) ===");
+    let _ = write!(out, "{:<28}", "cause");
+    for (label, _, _) in rows {
+        let _ = write!(out, "{label:>14} {:>6}", "%");
+    }
+    let _ = writeln!(out);
+    for kind in StallKind::ALL {
+        let _ = write!(out, "{:<28}", kind.label());
+        for (_, _, bd) in rows {
+            let u = bd.get(kind);
+            let pct = if bd.total_units() == 0 {
+                0.0
+            } else {
+                u as f64 / bd.total_units() as f64 * 100.0
+            };
+            let _ = write!(out, "{u:>14} {pct:>5.1}%");
+        }
+        let _ = writeln!(out);
+    }
+    let mut footer = |name: &str, cells: Vec<String>| {
+        let _ = write!(out, "{name:<28}");
+        for c in cells {
+            let _ = write!(out, "{c:>14} {:>6}", "");
+        }
+        let _ = writeln!(out);
+    };
+    footer(
+        "total PE-cycles",
+        rows.iter().map(|r| r.2.total_units().to_string()).collect(),
+    );
+    footer(
+        "cycles",
+        rows.iter().map(|r| r.1.cycles.to_string()).collect(),
+    );
+    footer(
+        "avg busy PEs",
+        rows.iter()
+            .map(|r| format!("{:.2}", r.2.avg_busy_pes()))
+            .collect(),
+    );
+    out
+}
+
+/// The profile per-pass table: post-pass IR counters and their deltas.
+fn render_pass_deltas(report: &PipelineReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== per-pass IR deltas ===");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>8} {:>7} {:>8} {:>10} {:>8}  detail",
+        "pass", "insts", "Δinsts", "values", "Δvalues", "tape slots", "Δslots"
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>8} {:>7} {:>8} {:>10} {:>8}  {}",
+            r.name,
+            r.ir_after.insts,
+            signed(r.insts_delta()),
+            r.ir_after.values,
+            signed(r.values_delta()),
+            r.ir_after.tape_slots,
+            signed(r.tape_slots_delta()),
+            r.detail
+        );
+    }
+    out
+}
+
 fn run() -> Result<(), String> {
     let mut argv = std::env::args().skip(1);
     let (cmd, args) = parse_args(&mut argv)?;
@@ -265,46 +456,19 @@ fn run() -> Result<(), String> {
             }
         }
         "simulate" => {
-            let opts = ad_options(&func, &args)?;
-            // The standard simulate pipeline skips `opt`, matching the
-            // established Enzyme-vs-Tapeflow numbers exactly; opt in via
-            // `--passes opt,ad,...`.
-            let copts = compile_options(&args, CompileMode::Full);
-            let builder = pipeline_for(
-                &args,
-                &func,
-                copts,
-                &["ad", "regions", "layering", "streams", "spad-index"],
-            )?
-            .with_verify(true)
-            .with_ir_capture(args.print_after_all);
-            let run = builder.run_source(&func).map_err(|e| e.to_string())?;
-            if args.print_after_all {
-                // stderr: simulate's stdout stays the result lines.
-                eprint!("{}", run.report.render_snapshots());
-            }
-            if args.time_passes {
-                eprint!("{}", run.report.render_timings());
-            }
-            let report = run.report.clone();
-            let grad = run
-                .state
-                .gradient
-                .clone()
-                .ok_or("simulate needs the `ad` pass in --passes")?;
-            let compiled = run.into_compiled().map_err(|e| e.to_string())?;
+            let (opts, setup) = compile_variants(&args, &func)?;
             let base = default_memory(&func);
             let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
             let mut reports = Vec::new();
             for (label, f, barrier) in [
-                ("Enzyme", &grad.func, grad.phase_barrier),
-                ("Tapeflow", &compiled.func, compiled.phase_barrier),
+                ("Enzyme", &setup.grad.func, setup.grad.phase_barrier),
+                (
+                    "Tapeflow",
+                    &setup.compiled.func,
+                    setup.compiled.phase_barrier,
+                ),
             ] {
-                let mut mem = Memory::for_function(f);
-                for i in 0..func.arrays().len() {
-                    mem.clone_array_from(&base, ArrayId::new(i));
-                }
-                mem.set_f64_at(grad.shadow_of(opts.seeds[0]).expect("loss shadow"), 0, 1.0);
+                let mut mem = variant_memory(&func, f, &base, &setup.grad, &opts);
                 let trace = trace_function(
                     f,
                     &mut mem,
@@ -329,27 +493,84 @@ fn run() -> Result<(), String> {
                 reports[0].energy.on_chip_pj() / reports[1].energy.on_chip_pj().max(1.0)
             );
             if let Some(path) = &args.json {
-                use tapeflow::sim::json::Value;
                 let mut doc = Value::object();
-                let passes: Vec<Value> = report
-                    .records
-                    .iter()
-                    .map(|r| {
-                        let mut p = Value::object();
-                        p.set("pass", r.name)
-                            .set("seconds", r.wall.as_secs_f64())
-                            .set("insts", r.ir_insts)
-                            .set("detail", r.detail.as_str());
-                        p
-                    })
-                    .collect();
                 doc.set("schema", "tapeflow.cli.simulate/v1")
                     .set("cache_bytes", args.cache_bytes)
                     .set("spad_bytes", args.spad_bytes)
-                    .set("passes", Value::Arr(passes))
+                    .set("passes", Value::Arr(passes_json(&setup.report.records)))
                     .set("enzyme", reports[0].to_json())
                     .set("tapeflow", reports[1].to_json())
                     .set("speedup", reports[1].speedup_over(&reports[0]));
+                std::fs::write(path, doc.render())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("// machine-readable report: {path}");
+            }
+        }
+        "profile" => {
+            let (opts, setup) = compile_variants(&args, &func)?;
+            let base = default_memory(&func);
+            let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
+            let mut rows: Vec<(&str, SimReport, CycleBreakdown)> = Vec::new();
+            let mut recorders: Vec<TraceRecorder> = Vec::new();
+            for (pid, (label, f, barrier)) in [
+                ("Enzyme", &setup.grad.func, setup.grad.phase_barrier),
+                (
+                    "Tapeflow",
+                    &setup.compiled.func,
+                    setup.compiled.phase_barrier,
+                ),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut mem = variant_memory(&func, f, &base, &setup.grad, &opts);
+                let trace = trace_function(
+                    f,
+                    &mut mem,
+                    TraceOptions {
+                        phase_barrier: Some(barrier),
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                let recorder = args
+                    .trace_out
+                    .as_ref()
+                    .map(|_| TraceRecorder::new(pid as u64 + 1, label));
+                let mut probe = (AttributionProbe::new(), recorder);
+                let r = simulate_probed(&trace, &cfg, &SimOptions::default(), &mut probe);
+                let (attr, recorder) = probe;
+                let bd = attr.into_breakdown();
+                bd.check()
+                    .map_err(|e| format!("{label}: cycle attribution broke its invariant: {e}"))?;
+                recorders.extend(recorder);
+                rows.push((label, r, bd));
+            }
+            print!("{}", render_stall_table(&rows));
+            print!("{}", render_pass_deltas(&setup.report));
+            println!("speedup {:.2}x", rows[1].1.speedup_over(&rows[0].1));
+            if let Some(path) = &args.trace_out {
+                let doc = TraceRecorder::chrome_trace(recorders);
+                std::fs::write(path, doc.render())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "// chrome trace: {path} (load in chrome://tracing or https://ui.perfetto.dev)"
+                );
+            }
+            if let Some(path) = &args.json {
+                let mut doc = Value::object();
+                let variant = |row: &(&str, SimReport, CycleBreakdown)| {
+                    let mut v = Value::object();
+                    v.set("report", row.1.to_json())
+                        .set("stalls", row.2.to_json());
+                    v
+                };
+                doc.set("schema", "tapeflow.cli.profile/v1")
+                    .set("cache_bytes", args.cache_bytes)
+                    .set("spad_bytes", args.spad_bytes)
+                    .set("passes", Value::Arr(passes_json(&setup.report.records)))
+                    .set("enzyme", variant(&rows[0]))
+                    .set("tapeflow", variant(&rows[1]))
+                    .set("speedup", rows[1].1.speedup_over(&rows[0].1));
                 std::fs::write(path, doc.render())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!("// machine-readable report: {path}");

@@ -1,0 +1,161 @@
+//! End-to-end tests for `tapeflow profile`: the stall-breakdown table is
+//! pinned as a golden snapshot (regenerate with `BLESS=1 cargo test
+//! --test profile_cli`), and the `--trace-out` Chrome trace must be
+//! structurally valid — parseable JSON, complete "X" events, and
+//! monotonic timestamps within every (pid, tid) track, which is what
+//! chrome://tracing and Perfetto require to render it.
+//!
+//! `validates_trace_file_from_env` re-runs the same validator against an
+//! externally produced file named by `TAPEFLOW_TRACE_VALIDATE`; `ci.sh`
+//! uses it to vet the trace its smoke run emits.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+use tapeflow::sim::json::Value;
+
+fn target_tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create target tmpdir");
+    dir.join(name)
+}
+
+fn run_profile(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tapeflow"))
+        .arg("profile")
+        .arg("programs/sumexp.tf")
+        .args(["--wrt", "x", "--loss", "loss"])
+        .args(extra)
+        .output()
+        .expect("run tapeflow profile")
+}
+
+#[test]
+fn profile_sumexp_table_is_golden() {
+    let runs: Vec<String> = (0..2)
+        .map(|_| {
+            let out = run_profile(&[]);
+            assert!(
+                out.status.success(),
+                "profile failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8(out.stdout).expect("utf-8 stdout")
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "profile output differs across runs");
+    let path = "tests/golden/profile_sumexp.txt";
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &runs[0]).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with BLESS=1)"));
+    assert_eq!(
+        runs[0], want,
+        "profile table drifted from {path} \
+         (intentional? regenerate with BLESS=1 cargo test --test profile_cli)"
+    );
+}
+
+#[test]
+fn trace_out_emits_a_valid_chrome_trace() {
+    let trace_path = target_tmp("profile_sumexp_trace.json");
+    let out = run_profile(&["--trace-out", trace_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "profile --trace-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let names = validate_chrome_trace(&text);
+    // Both variants and every engine kind show up in a sumexp profile.
+    for expected in [
+        "fp-alu",
+        "int",
+        "hit",
+        "miss",
+        "stream-in",
+        "stream-out",
+        "spad",
+    ] {
+        assert!(
+            names.contains(&expected.to_string()),
+            "trace misses {expected:?} events (has: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn validates_trace_file_from_env() {
+    let Some(path) = std::env::var_os("TAPEFLOW_TRACE_VALIDATE") else {
+        return;
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.to_string_lossy()));
+    let names = validate_chrome_trace(&text);
+    assert!(!names.is_empty(), "trace has no slice events");
+}
+
+/// Structural validation of a Chrome trace-event document; returns the
+/// distinct "X" (complete-slice) event names found.
+fn validate_chrome_trace(text: &str) -> Vec<String> {
+    let doc = Value::parse(text).expect("trace JSON parses");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ns"),
+        "displayTimeUnit"
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no events");
+    let mut last_ts: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut slices = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("event phase");
+        let pid = e.get("pid").and_then(Value::as_u64).expect("event pid");
+        match ph {
+            // Metadata names a process or thread; no timestamp to check.
+            "M" => {
+                let name = e.get("name").and_then(Value::as_str).expect("meta name");
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata {name:?}"
+                );
+                assert!(
+                    e.get("args").and_then(|a| a.get("name")).is_some(),
+                    "metadata without args.name"
+                );
+            }
+            "X" => {
+                slices += 1;
+                let tid = e.get("tid").and_then(Value::as_u64).expect("slice tid");
+                let ts = e.get("ts").and_then(Value::as_u64).expect("slice ts");
+                let dur = e.get("dur").and_then(Value::as_u64).expect("slice dur");
+                let name = e.get("name").and_then(Value::as_str).expect("slice name");
+                assert!(dur >= 1, "zero-width slice {name:?}");
+                // Per-track monotonicity: Perfetto tolerates overlaps
+                // across tracks, not time running backwards within one.
+                let prev = last_ts.entry((pid, tid)).or_insert(0);
+                assert!(
+                    ts >= *prev,
+                    "track ({pid},{tid}): ts {ts} after {prev} — not monotonic"
+                );
+                *prev = ts;
+                if !names.iter().any(|n| n == name) {
+                    names.push(name.to_string());
+                }
+            }
+            "i" => {
+                assert!(e.get("s").is_some(), "instant event without scope");
+                assert!(e.get("ts").and_then(Value::as_u64).is_some(), "instant ts");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(slices > 0, "trace has metadata but no slices");
+    names
+}
