@@ -41,6 +41,26 @@ EOF
 TAPEFLOW_TRACE_VALIDATE=target/ci/profile_sumexp_trace.json \
     cargo test -q --release --test profile_cli validates_trace_file_from_env
 
+echo "== lint smoke (all registered benchmarks) =="
+# Every in-tree benchmark must lint clean at the default config — any
+# error-severity finding makes `tapeflow lint` exit 1 and fails CI under
+# `set -e`. The machine-readable report is schema-checked like the
+# profile JSON above.
+for b in gravity nn logsum matdescent mttkrp somier lenet5 pathfinder mass_spring; do
+    cargo run --release --bin tapeflow -- lint "$b" --scale tiny > /dev/null
+done
+cargo run --release --bin tapeflow -- \
+    lint logsum --scale tiny --json target/ci/lint_logsum.json > /dev/null
+python3 - target/ci/lint_logsum.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tapeflow.cli.lint/v1", doc.get("schema")
+assert doc["errors"] == 0 and doc["warnings"] == 0, doc
+assert isinstance(doc["diagnostics"], list) and not doc["diagnostics"]
+for key in ("program", "spad_entries", "spad_banks"):
+    assert key in doc, key
+EOF
+
 echo "== experiments regression (tiny scale, stable JSON) =="
 # Regenerate the machine-readable results at tiny scale with every
 # wall-clock field zeroed and diff against the checked-in reference —

@@ -1210,6 +1210,7 @@ impl Lab {
             let mut b = Value::object();
             b.set("name", p.bench.name)
                 .set("tape_elems", p.grad.tape_elems())
+                .set("lint", lint_json(p))
                 .set("configs", Value::Arr(per_config));
             benches.push(b);
         }
@@ -1239,6 +1240,34 @@ impl Lab {
         }
         out
     }
+}
+
+/// Lint summary for the paper-baseline compilation: error/warning counts
+/// plus a per-rule breakdown, deterministically ordered by rule name.
+/// `feasible: false` when the 1 KB baseline cannot compile the benchmark.
+fn lint_json(p: &mut Prepared) -> Value {
+    let mut o = Value::object();
+    match p.lint_findings() {
+        Some(diags) => {
+            let (errors, warnings) = tapeflow_ir::lint::counts(&diags);
+            o.set("feasible", true)
+                .set("errors", errors)
+                .set("warnings", warnings);
+            let mut rules: BTreeMap<&'static str, usize> = BTreeMap::new();
+            for d in &diags {
+                *rules.entry(d.rule).or_insert(0) += 1;
+            }
+            let mut rv = Value::object();
+            for (rule, n) in rules {
+                rv.set(rule, n);
+            }
+            o.set("rules", rv);
+        }
+        None => {
+            o.set("feasible", false);
+        }
+    }
+    o
 }
 
 /// Table 2.1: the qualitative framework comparison (static).

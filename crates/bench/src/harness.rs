@@ -298,6 +298,34 @@ impl Prepared {
         self.try_compiled_for(Self::key_of(config))
     }
 
+    /// Static lint findings for the paper-baseline Tapeflow compilation
+    /// (1 KB scratchpad, double buffered): the function-level rules over
+    /// the rewritten program plus the plan-level rules against its layer
+    /// plan, merged and canonically sorted. `None` when the baseline is
+    /// infeasible for this benchmark. Purely static — no wall clock, no
+    /// simulation — so the findings are byte-stable at any job count.
+    pub fn lint_findings(&mut self) -> Option<Vec<tapeflow_ir::lint::Diagnostic>> {
+        let key = ProgramKey::Compiled {
+            spad_bytes: 1024,
+            double_buffer: true,
+            aos_only: false,
+        };
+        self.try_compiled_for(key).ok()?;
+        let compiled = Arc::clone(&self.compiled[&key]);
+        let cfg = tapeflow_ir::lint::LintConfig {
+            spad_entries: compiled.options.spad_entries,
+            spad_banks: SystemConfig::default().spad.banks,
+        };
+        let mut diags = tapeflow_ir::lint::lint_function(&compiled.func, &cfg);
+        diags.extend(tapeflow_core::lint::lint_plan(
+            &self.grad,
+            &compiled.plan,
+            &compiled.options,
+        ));
+        tapeflow_ir::lint::sort_diagnostics(&mut diags);
+        Some(diags)
+    }
+
     /// The cached compilation failure for `config`, if an earlier attempt
     /// found it infeasible. `None` means "compiled fine" or "never
     /// attempted".

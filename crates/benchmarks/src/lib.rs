@@ -124,13 +124,10 @@ impl Benchmark {
     }
 }
 
-/// Builds one benchmark by name.
-///
-/// # Panics
-///
-/// Panics on an unknown name; see [`NAMES`].
-pub fn by_name(name: &str, scale: Scale) -> Benchmark {
-    match name {
+/// Builds one benchmark by name, or `None` for a name absent from the
+/// registry; see [`NAMES`].
+pub fn try_by_name(name: &str, scale: Scale) -> Option<Benchmark> {
+    Some(match name {
         "gravity" => gravity::build(scale),
         "nn" => nn::build(scale),
         "logsum" => logsum::build(scale),
@@ -140,8 +137,22 @@ pub fn by_name(name: &str, scale: Scale) -> Benchmark {
         "lenet5" => lenet5::build(scale),
         "pathfinder" => pathfinder::build(scale),
         "mass_spring" => mass_spring::build(scale),
-        other => panic!("unknown benchmark {other:?}"),
-    }
+        _ => return None,
+    })
+}
+
+/// Builds one benchmark by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name; see [`NAMES`] and [`try_by_name`].
+pub fn by_name(name: &str, scale: Scale) -> Benchmark {
+    try_by_name(name, scale).unwrap_or_else(|| {
+        panic!(
+            "unknown benchmark {name:?} (registered: {})",
+            NAMES.join(", ")
+        )
+    })
 }
 
 /// All benchmark names, regular first (the paper's Table 4.1 order).

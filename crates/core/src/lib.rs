@@ -56,6 +56,7 @@
 
 pub mod apply;
 pub mod layering;
+pub mod lint;
 pub mod pipeline;
 pub mod regions;
 

@@ -1,0 +1,347 @@
+//! Plan-aware static lints: checks over the `FtoR` pairing and the layer
+//! plan that the function-level analyses in `tapeflow_ir::lint` cannot
+//! see.
+//!
+//! The function-level lints prove properties of one IR view in isolation;
+//! the rules here cross-check the compilation *artifacts* against each
+//! other — every FWD tape store must have a landing site in the layer
+//! plan, every REV load must resolve to the same site its store filled,
+//! per-layer footprints must fit the scratchpad partition they were
+//! assigned, and §3.7 segment duplication must actually cover every
+//! cross-segment consumer.
+//!
+//! Entry point: [`lint_plan`]. Diagnostics reuse
+//! [`tapeflow_ir::lint::Diagnostic`] and the same deterministic order.
+
+use crate::layering::{LayerPlan, RegionLayout, Site};
+use crate::CompileOptions;
+use tapeflow_autodiff::Gradient;
+use tapeflow_ir::lint::{sort_diagnostics, Diagnostic, Severity, Span};
+
+fn tape_label(grad: &Gradient, k: usize) -> String {
+    let arr = grad.tapes[k].array;
+    format!("tape {k} ({} `{}`)", arr, grad.func.array(arr).name)
+}
+
+/// Runs every plan-level rule over a gradient and its layer plan and
+/// returns the findings in canonical order.
+///
+/// `tape-never-loaded` warnings are only raised for region-managed tapes;
+/// unmanaged tapes keep their plain store/load instructions in the
+/// compiled function, where the function-level rule of the same name
+/// already reports them.
+pub fn lint_plan(grad: &Gradient, plan: &LayerPlan, opts: &CompileOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    ftor_pairing(grad, plan, &mut diags);
+    layer_capacity(plan, opts, &mut diags);
+    spad_partition(plan, opts, &mut diags);
+    segment_dups(grad, plan, &mut diags);
+    tape_liveness(grad, plan, &mut diags);
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// `ftor-unmapped` / `ftor-mismatch` (errors): every managed FWD tape
+/// store must have a site in the plan, every REV load of that tape must
+/// have one too, and the two must agree on region, slot and DRAM offset —
+/// otherwise REV restores a different value than FWD saved.
+fn ftor_pairing(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) {
+    for (k, t) in grad.tapes.iter().enumerate() {
+        if plan.unmanaged.contains(&k) {
+            continue;
+        }
+        let store = match plan.store_site.get(&t.store) {
+            Some(s) => *s,
+            None => {
+                diags.push(Diagnostic {
+                    rule: "ftor-unmapped",
+                    severity: Severity::Error,
+                    span: Span::at_inst_array(t.store, t.array),
+                    message: format!(
+                        "{}: FWD store {} has no site in the layer plan",
+                        tape_label(grad, k),
+                        t.store
+                    ),
+                });
+                continue;
+            }
+        };
+        for &load in &t.loads {
+            let Some(site) = plan.load_site.get(&load) else {
+                diags.push(Diagnostic {
+                    rule: "ftor-unmapped",
+                    severity: Severity::Error,
+                    span: Span::at_inst_array(load, t.array),
+                    message: format!(
+                        "{}: REV load {} has no site in the layer plan",
+                        tape_label(grad, k),
+                        load
+                    ),
+                });
+                continue;
+            };
+            if (site.region, site.tape, site.global_off)
+                != (store.region, store.tape, store.global_off)
+            {
+                diags.push(Diagnostic {
+                    rule: "ftor-mismatch",
+                    severity: Severity::Error,
+                    span: Span::at_inst_array(load, t.array),
+                    message: format!(
+                        "{}: REV load {} resolves to region {} slot {} but the \
+                         FWD store fills region {} slot {}",
+                        tape_label(grad, k),
+                        load,
+                        site.region,
+                        site.global_off,
+                        store.region,
+                        store.global_off
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Per-layer scratchpad footprint of a region, in entries.
+fn layer_footprint(layout: &RegionLayout, rsize_total: usize) -> Option<u64> {
+    match layout {
+        RegionLayout::LayoutOnly => None,
+        RegionLayout::Tiled {
+            tile_iters,
+            inner_prod,
+            ..
+        } => Some(tile_iters * inner_prod * rsize_total as u64),
+        RegionLayout::Segmented { segments } => segments.iter().map(|s| s.size() as u64).max(),
+    }
+}
+
+/// `layer-capacity` / `double-buffer-overlap` (errors): a layer's tape
+/// footprint must fit its region's scratchpad range — the whole range
+/// single-buffered, half of it when double buffering keeps the other half
+/// streaming.
+fn layer_capacity(plan: &LayerPlan, opts: &CompileOptions, diags: &mut Vec<Diagnostic>) {
+    for (ri, rp) in plan.regions.iter().enumerate() {
+        let Some(fp) = layer_footprint(&rp.layout, rp.rsize_total) else {
+            continue;
+        };
+        let range = u64::from(rp.spad_range);
+        if fp > range {
+            diags.push(Diagnostic {
+                rule: "layer-capacity",
+                severity: Severity::Error,
+                span: Span::default(),
+                message: format!(
+                    "region {ri}: layer footprint of {fp} entries exceeds its \
+                     {range}-entry scratchpad range"
+                ),
+            });
+        } else if opts.double_buffer && fp > range / 2 {
+            diags.push(Diagnostic {
+                rule: "double-buffer-overlap",
+                severity: Severity::Error,
+                span: Span::default(),
+                message: format!(
+                    "region {ri}: layer footprint of {fp} entries overlaps the \
+                     second double-buffer half ({} entries per half)",
+                    range / 2
+                ),
+            });
+        }
+    }
+}
+
+/// `spad-partition` (error): a region's assigned range must lie inside
+/// the scratchpad.
+fn spad_partition(plan: &LayerPlan, opts: &CompileOptions, diags: &mut Vec<Diagnostic>) {
+    for (ri, rp) in plan.regions.iter().enumerate() {
+        if matches!(rp.layout, RegionLayout::LayoutOnly) {
+            continue;
+        }
+        let end = u64::from(rp.spad_base) + u64::from(rp.spad_range);
+        if end > opts.spad_entries as u64 {
+            diags.push(Diagnostic {
+                rule: "spad-partition",
+                severity: Severity::Error,
+                span: Span::default(),
+                message: format!(
+                    "region {ri}: scratchpad range [{}, {end}) overruns the \
+                     {}-entry scratchpad",
+                    rp.spad_base, opts.spad_entries
+                ),
+            });
+        }
+    }
+}
+
+/// `segment-dup-missing` (error): a REV load placed in a §3.7 segment
+/// whose slot list (own + duplicated) does not actually contain the tape
+/// it restores — the duplication pass failed to localize the read.
+fn segment_dups(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) {
+    for (k, t) in grad.tapes.iter().enumerate() {
+        for &load in &t.loads {
+            let Some(site) = plan.load_site.get(&load) else {
+                continue; // ftor_pairing already reported it
+            };
+            let Some(seg_idx) = site.segment else {
+                continue;
+            };
+            let rp = &plan.regions[site.region];
+            let RegionLayout::Segmented { segments } = &rp.layout else {
+                continue;
+            };
+            let seg = &segments[seg_idx];
+            if !seg.own.contains(&site.tape) && !seg.dups.contains(&site.tape) {
+                diags.push(Diagnostic {
+                    rule: "segment-dup-missing",
+                    severity: Severity::Error,
+                    span: Span::at_inst_array(load, t.array),
+                    message: format!(
+                        "{}: REV load {} lands in segment {} of region {}, which \
+                         neither owns nor duplicates slot {}",
+                        tape_label(grad, k),
+                        load,
+                        seg_idx,
+                        site.region,
+                        site.tape
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `tape-never-loaded` (warning): a region-managed tape with no REV
+/// loads — it is streamed out and back in but never read, so the min-tape
+/// heuristic missed a recompute opportunity.
+fn tape_liveness(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) {
+    for (k, t) in grad.tapes.iter().enumerate() {
+        if plan.unmanaged.contains(&k) || !t.loads.is_empty() {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "tape-never-loaded",
+            severity: Severity::Warning,
+            span: Span::at_array(t.array),
+            message: format!(
+                "{}: stored in FWD but never loaded in REV",
+                tape_label(grad, k)
+            ),
+        });
+    }
+}
+
+/// Checks whether this [`Site`] belongs to `plan` at all (used by tests
+/// and debugging tools; sites are plain data and can go stale when plans
+/// are rebuilt).
+pub fn site_in_plan(site: &Site, plan: &LayerPlan) -> bool {
+    site.region < plan.regions.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineBuilder;
+    use crate::CompileOptions;
+    use tapeflow_autodiff::AdOptions;
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Scalar};
+
+    /// sum_i exp(x[i]) — compiles with one tiled region at default options.
+    fn toy() -> (Gradient, LayerPlan, CompileOptions) {
+        let mut b = FunctionBuilder::new("toy");
+        let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+        let loss = b.cell_f64("loss", 0.0);
+        b.for_loop("i", 0, 64, |b, i| {
+            let v = b.load(x, i);
+            let e = b.exp(v);
+            let acc = b.load_cell(loss);
+            let s = b.fadd(acc, e);
+            b.store_cell(loss, s);
+        });
+        let f = b.finish();
+        let loss_id = f.array_by_name("loss").unwrap();
+        let opts = CompileOptions::default();
+        let run = PipelineBuilder::full(opts, AdOptions::new(vec![x], vec![loss_id]))
+            .with_verify(true)
+            .run_source(&f)
+            .unwrap();
+        let grad = run.state.gradient.clone().unwrap();
+        let plan = run.state.plan.clone().unwrap();
+        (grad, plan, opts)
+    }
+
+    #[test]
+    fn healthy_plan_is_clean_of_errors() {
+        let (grad, plan, opts) = toy();
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(
+            diags.iter().all(|d| d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn dropping_a_load_site_is_an_ftor_error() {
+        let (grad, mut plan, opts) = toy();
+        let victim = *plan.load_site.keys().min().unwrap();
+        plan.load_site.remove(&victim);
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(diags.iter().any(|d| d.rule == "ftor-unmapped"), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupting_a_site_offset_is_a_mismatch() {
+        let (grad, mut plan, opts) = toy();
+        let victim = *plan.load_site.keys().min().unwrap();
+        plan.load_site.get_mut(&victim).unwrap().global_off += 1;
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(diags.iter().any(|d| d.rule == "ftor-mismatch"), "{diags:?}");
+    }
+
+    #[test]
+    fn shrinking_a_region_range_breaks_capacity() {
+        let (grad, mut plan, opts) = toy();
+        let rp = plan
+            .regions
+            .iter_mut()
+            .find(|r| !matches!(r.layout, RegionLayout::LayoutOnly))
+            .expect("toy has a streamed region");
+        rp.spad_range = 1;
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(
+            diags.iter().any(|d| d.rule == "layer-capacity"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn moving_a_region_past_the_spad_is_a_partition_error() {
+        let (grad, mut plan, opts) = toy();
+        plan.regions[0].spad_base = opts.spad_entries as u32;
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(
+            diags.iter().any(|d| d.rule == "spad-partition"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn double_buffer_overlap_is_detected() {
+        let (grad, mut plan, opts) = toy();
+        assert!(opts.double_buffer);
+        let rp = plan
+            .regions
+            .iter_mut()
+            .find(|r| !matches!(r.layout, RegionLayout::LayoutOnly))
+            .unwrap();
+        // Keep the footprint inside the full range but past one half.
+        if let Some(fp) = layer_footprint(&rp.layout, rp.rsize_total) {
+            rp.spad_range = (fp + fp / 2).max(2) as u32;
+        }
+        let diags = lint_plan(&grad, &plan, &opts);
+        assert!(
+            diags.iter().any(|d| d.rule == "double-buffer-overlap"),
+            "{diags:?}"
+        );
+    }
+}

@@ -65,6 +65,7 @@ use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreErro
 use std::fmt;
 use std::time::{Duration, Instant};
 use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
+use tapeflow_ir::lint::{self, Diagnostic, LintConfig};
 use tapeflow_ir::{opt::OptStats, pretty, verify, ArrayKind, Function};
 
 /// The evolving program plus the sidecar artifacts passes read and
@@ -455,6 +456,7 @@ pub struct PipelineBuilder {
     passes: Vec<Box<dyn Pass + Send + Sync>>,
     verify: bool,
     capture_ir: bool,
+    lint: Option<LintConfig>,
 }
 
 impl fmt::Debug for PipelineBuilder {
@@ -463,6 +465,7 @@ impl fmt::Debug for PipelineBuilder {
             .field("passes", &self.pass_names())
             .field("verify", &self.verify)
             .field("capture_ir", &self.capture_ir)
+            .field("lint", &self.lint)
             .finish()
     }
 }
@@ -475,6 +478,7 @@ impl PipelineBuilder {
             passes: Vec::new(),
             verify: cfg!(debug_assertions),
             capture_ir: false,
+            lint: None,
         }
     }
 
@@ -640,6 +644,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Turns post-pass static-analysis linting on (`Some(config)`) or off
+    /// (`None`; the default) — the CLI's `--lint-after-all`, mirroring
+    /// `--print-after-all`. The lints only *record* findings into each
+    /// [`PassRecord`]; they never abort the pipeline or perturb the
+    /// compiled output.
+    #[must_use]
+    pub fn with_lint(mut self, cfg: Option<LintConfig>) -> Self {
+        self.lint = cfg;
+        self
+    }
+
     /// Names of the assembled passes, in run order.
     pub fn pass_names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
@@ -703,6 +718,10 @@ impl PipelineBuilder {
             } else {
                 None
             };
+            let lint = match &self.lint {
+                Some(cfg) => state.current_ir().map(|f| lint::lint_function(f, cfg)),
+                None => None,
+            };
             let ir_after = state.current_ir().map(IrCounts::of).unwrap_or_default();
             records.push(PassRecord {
                 name: pass.name(),
@@ -715,6 +734,7 @@ impl PipelineBuilder {
                 verified,
                 detail: std::mem::take(&mut state.detail),
                 snapshot,
+                lint,
             });
             ir_before = ir_after;
         }
@@ -782,6 +802,10 @@ pub struct PassRecord {
     pub detail: String,
     /// Pretty-printed IR after the pass (only with IR capture).
     pub snapshot: Option<String>,
+    /// Static-analysis findings on the IR after the pass (only with
+    /// [`PipelineBuilder::with_lint`]; `None` when linting was off or no
+    /// IR existed yet).
+    pub lint: Option<Vec<Diagnostic>>,
 }
 
 impl PassRecord {
@@ -869,6 +893,31 @@ impl PipelineReport {
                 r.description
             );
             out.push_str(ir);
+        }
+        out
+    }
+
+    /// The per-pass lint findings with `--lint-after-all`-style banners.
+    /// Every linted pass gets a banner (like `--print-after-all` prints
+    /// every pass's IR); tables follow only where there are findings.
+    /// Empty when the run linted nothing.
+    pub fn render_lint(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let n = self.records.len();
+        for (i, r) in self.records.iter().enumerate() {
+            let Some(diags) = &r.lint else { continue };
+            let (errors, warnings) = lint::counts(diags);
+            let _ = writeln!(
+                out,
+                "// ===== lint after pass {}/{}: {} ({} error(s), {} warning(s)) =====",
+                i + 1,
+                n,
+                r.name,
+                errors,
+                warnings
+            );
+            out.push_str(&lint::render_table(diags));
         }
         out
     }

@@ -351,6 +351,14 @@ impl Function {
         (inst_id, result)
     }
 
+    /// Mutable access to instruction `id`, for passes that rewrite operands
+    /// in place. The caller is responsible for keeping the instruction
+    /// well-formed; run [`crate::verify::verify`] afterwards.
+    #[inline]
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
     /// Creates a loop and its induction-variable value.
     pub fn add_loop(
         &mut self,

@@ -56,6 +56,7 @@ pub mod builder;
 pub mod function;
 pub mod ids;
 pub mod interp;
+pub mod lint;
 pub mod memory;
 pub mod ops;
 pub mod opt;

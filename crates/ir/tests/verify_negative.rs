@@ -1,0 +1,161 @@
+//! Negative-path coverage for `ir::verify` through the public mutation
+//! API: every [`VerifyError`] variant is provoked by a hand-built
+//! malformed function. Each case starts from a function the verifier
+//! accepts and applies the single mutation under test, so the asserted
+//! error is attributable to that mutation alone.
+
+use tapeflow_ir::function::{ArrayKind, Bound, Stmt};
+use tapeflow_ir::ops::Op;
+use tapeflow_ir::verify::{verify, VerifyError};
+use tapeflow_ir::{Const, Function, FunctionBuilder, Scalar};
+
+/// A small well-formed function: `y[i] = -x[i]` over 4 elements.
+fn well_formed() -> Function {
+    let mut b = FunctionBuilder::new("base");
+    let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+    let y = b.array("y", 4, ArrayKind::Output, Scalar::F64);
+    b.for_loop("i", 0, 4, |b, i| {
+        let v = b.load(x, i);
+        let n = b.fneg(v);
+        b.store(y, i, n);
+    });
+    let f = b.finish();
+    verify(&f).expect("baseline function must verify");
+    f
+}
+
+#[test]
+fn use_before_def_from_reordered_body() {
+    // Swapping two top-level statements makes the consumer run first.
+    let mut f = Function::new("bad");
+    let c = f.add_const(Const::F64(2.0));
+    let (producer, v) = f.add_inst(Op::FNeg, vec![c]);
+    let (consumer, _) = f.add_inst(Op::FAbs, vec![v.unwrap()]);
+    f.body.push(Stmt::Inst(consumer));
+    f.body.push(Stmt::Inst(producer));
+    assert_eq!(
+        verify(&f),
+        Err(VerifyError::UseBeforeDef {
+            value: v.unwrap(),
+            inst: consumer,
+        })
+    );
+}
+
+#[test]
+fn type_mismatch_from_operand_rewrite() {
+    // inst_mut lets a pass replace an operand; replacing the f64 input
+    // of the fneg with an i64 constant must be diagnosed at operand 0.
+    let mut f = well_formed();
+    let bad = f.add_const(Const::I64(7));
+    let fneg = (0..f.insts().len())
+        .map(tapeflow_ir::InstId::new)
+        .find(|&i| matches!(f.inst(i).op, Op::FNeg))
+        .expect("baseline has an fneg");
+    f.inst_mut(fneg).args[0] = bad;
+    assert!(
+        matches!(
+            verify(&f),
+            Err(VerifyError::TypeMismatch {
+                inst,
+                operand: 0,
+                expected: Scalar::F64,
+                found: Scalar::I64,
+            }) if inst == fneg
+        ),
+        "got {:?}",
+        verify(&f)
+    );
+}
+
+#[test]
+fn bad_arity_from_dropped_operand() {
+    // `add_inst` asserts arity at construction; a buggy pass can still
+    // shrink the operand vector afterwards.
+    let mut f = well_formed();
+    let fneg = (0..f.insts().len())
+        .map(tapeflow_ir::InstId::new)
+        .find(|&i| matches!(f.inst(i).op, Op::FNeg))
+        .expect("baseline has an fneg");
+    f.inst_mut(fneg).args.pop();
+    assert_eq!(verify(&f), Err(VerifyError::BadArity { inst: fneg }));
+}
+
+#[test]
+fn duplicate_inst_from_rescheduling() {
+    let mut f = Function::new("bad");
+    let c = f.add_const(Const::F64(1.0));
+    let (i, _) = f.add_inst(Op::FNeg, vec![c]);
+    f.body.push(Stmt::Inst(i));
+    f.body.push(Stmt::Inst(i));
+    assert_eq!(verify(&f), Err(VerifyError::DuplicateInst(i)));
+}
+
+#[test]
+fn unreachable_inst_from_dropped_statement() {
+    // Deleting the schedule entry strands the instruction in the table.
+    let mut f = Function::new("bad");
+    let c = f.add_const(Const::F64(1.0));
+    let (kept, _) = f.add_inst(Op::FNeg, vec![c]);
+    let (dropped, _) = f.add_inst(Op::FAbs, vec![c]);
+    f.body.push(Stmt::Inst(kept));
+    assert_eq!(verify(&f), Err(VerifyError::UnreachableInst(dropped)));
+}
+
+#[test]
+fn bad_loop_bound_on_float_value() {
+    // A loop bound must be an i64 value defined before the loop; an f64
+    // constant satisfies neither the type nor (thus) the contract.
+    let mut f = Function::new("bad");
+    let fbound = f.add_const(Const::F64(4.0));
+    let (lid, _) = f.add_loop("i", Bound::Const(0), Bound::Value(fbound), 1);
+    f.body.push(Stmt::For {
+        loop_id: lid,
+        body: vec![],
+    });
+    assert_eq!(
+        verify(&f),
+        Err(VerifyError::BadLoopBound {
+            loop_name: "i".to_string(),
+        })
+    );
+}
+
+#[test]
+fn select_branch_mismatch() {
+    // select's branches must agree in type; i64 cond with f64/i64
+    // branches is caught as a branch mismatch, not a plain type error.
+    let mut f = Function::new("bad");
+    let cond = f.add_const(Const::I64(1));
+    let t = f.add_const(Const::F64(1.0));
+    let e = f.add_const(Const::I64(0));
+    let (sel, _) = f.add_inst(Op::Select, vec![cond, t, e]);
+    f.body.push(Stmt::Inst(sel));
+    assert_eq!(verify(&f), Err(VerifyError::SelectBranchMismatch(sel)));
+}
+
+#[test]
+fn store_to_read_only_array() {
+    let mut f = Function::new("bad");
+    let x = f.add_array("x", 4, ArrayKind::Input, Scalar::F64);
+    let idx = f.add_const(Const::I64(0));
+    let v = f.add_const(Const::F64(3.0));
+    let (s, _) = f.add_inst(Op::Store(x), vec![idx, v]);
+    f.body.push(Stmt::Inst(s));
+    assert_eq!(verify(&f), Err(VerifyError::StoreToReadOnly(s)));
+}
+
+#[test]
+fn first_error_in_program_order_wins() {
+    // Two defects: a use-before-def at the top and an unscheduled inst.
+    // The verifier reports the scheduled-code defect first.
+    let mut f = Function::new("bad");
+    let c = f.add_const(Const::F64(2.0));
+    let (producer, v) = f.add_inst(Op::FNeg, vec![c]);
+    let (consumer, _) = f.add_inst(Op::FAbs, vec![v.unwrap()]);
+    let (stranded, _) = f.add_inst(Op::Sqrt, vec![c]);
+    let _ = stranded;
+    f.body.push(Stmt::Inst(consumer));
+    f.body.push(Stmt::Inst(producer));
+    assert!(matches!(verify(&f), Err(VerifyError::UseBeforeDef { .. })));
+}

@@ -13,6 +13,9 @@
 //! tapeflow profile   FILE --wrt a,b --loss l      simulate with the cycle-attribution
 //!                    [--trace-out trace.json]         probe: stall-breakdown table,
 //!                                                     per-pass IR deltas, Chrome trace
+//! tapeflow lint      FILE|NAME [--json PATH]      static tape-safety / scratchpad /
+//!                                                     stream-schedule analysis; exit 1
+//!                                                     on any error-severity finding
 //! tapeflow passes                                 list registered passes
 //! ```
 //!
@@ -35,13 +38,30 @@
 //! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
 //! deterministic ramp and `i64` inputs with `0..len` so any well-formed
 //! program runs without an input file.
+//!
+//! Where a `FILE` is accepted, a registered benchmark name (`tapeflow
+//! passes` lists passes; see `tapeflow::benchmarks::NAMES` for programs)
+//! works too: `lint`, `simulate` and `profile` then use the benchmark's
+//! own inputs and `--wrt`/`--loss` default to its gradient spec.
+//! `--scale tiny|small|large` picks the benchmark size.
+//!
+//! `lint` runs the `tapeflow_ir::lint` + `tapeflow_core::lint` analyses
+//! over the fully compiled program (or directly over an already-lowered
+//! IR file), prints the findings as a table, optionally as `--json`
+//! (schema `tapeflow.cli.lint/v1`), and exits non-zero when any
+//! error-severity finding fires. `--lint-after-all` (any pipeline-driving
+//! command) additionally runs the function-level lints after every pass
+//! and reports per-pass findings on stderr, mirroring
+//! `--print-after-all` — it never changes the compiled output.
 
 use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
+use tapeflow::benchmarks::{self, Benchmark, Scale};
 use tapeflow::core::pipeline::{registered_passes, PassRecord, PipelineBuilder, PipelineReport};
-use tapeflow::core::{CompileMode, CompileOptions, CompiledProgram};
+use tapeflow::core::{lint as plan_lint, CompileMode, CompileOptions, CompiledProgram};
+use tapeflow::ir::lint::{self, LintConfig};
 use tapeflow::ir::trace::{trace_function, TraceOptions};
-use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Scalar};
+use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Op, Scalar};
 use tapeflow::sim::json::Value;
 use tapeflow::sim::{
     simulate, simulate_probed, AttributionProbe, CycleBreakdown, SimOptions, SimReport, StallKind,
@@ -62,15 +82,17 @@ struct Args {
     passes: Option<Vec<String>>,
     print_after_all: bool,
     time_passes: bool,
+    lint_after_all: bool,
+    scale: Scale,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tapeflow <show|opt|grad|compile|simulate|profile|passes> FILE \
+        "usage: tapeflow <show|opt|grad|compile|simulate|profile|lint|passes> FILE|NAME \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
          [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
-         [--passes a,b,c] [--print-after-all] [--time-passes] \
-         [--json PATH] [--trace-out PATH]"
+         [--passes a,b,c] [--print-after-all] [--time-passes] [--lint-after-all] \
+         [--scale tiny|small|large] [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
 }
@@ -91,6 +113,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         passes: None,
         print_after_all: false,
         time_passes: false,
+        lint_after_all: false,
+        scale: Scale::default(),
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -123,6 +147,15 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             }
             "--print-after-all" => args.print_after_all = true,
             "--time-passes" => args.time_passes = true,
+            "--lint-after-all" => args.lint_after_all = true,
+            "--scale" => {
+                args.scale = match argv.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("large") => Scale::Large,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
             "--policy" => {
                 args.policy = match argv.next().as_deref() {
                     Some("minimal") => TapePolicy::Minimal,
@@ -151,14 +184,59 @@ fn resolve_arrays(func: &Function, names: &[String]) -> Result<Vec<ArrayId>, Str
         .collect()
 }
 
-fn ad_options(func: &Function, args: &Args) -> Result<AdOptions, String> {
+/// The program a command operates on: a parsed IR file, or a registered
+/// benchmark (which also carries its inputs and gradient spec).
+struct Input {
+    func: Function,
+    bench: Option<Benchmark>,
+}
+
+/// Resolves the positional argument: an IR file when it exists on disk,
+/// else a registered benchmark name. A miss on both is a structured
+/// error (never a panic), listing the registry.
+fn load_input(args: &Args) -> Result<Input, String> {
+    if std::path::Path::new(&args.file).exists() {
+        let text = std::fs::read_to_string(&args.file)
+            .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+        let func = parse::parse(&text).map_err(|e| e.to_string())?;
+        return Ok(Input { func, bench: None });
+    }
+    match benchmarks::try_by_name(&args.file, args.scale) {
+        Some(bench) => Ok(Input {
+            func: bench.func.clone(),
+            bench: Some(bench),
+        }),
+        None => Err(format!(
+            "{:?} is neither a readable IR file nor a registered benchmark \
+             (registered: {})",
+            args.file,
+            benchmarks::NAMES.join(", ")
+        )),
+    }
+}
+
+fn ad_options(input: &Input, args: &Args) -> Result<AdOptions, String> {
     if args.wrt.is_empty() {
+        // A benchmark carries its own gradient spec; use it when the user
+        // gave none.
+        if let Some(b) = &input.bench {
+            return Ok(AdOptions::new(b.wrt.clone(), vec![b.loss.array]).with_policy(args.policy));
+        }
         return Err("--wrt is required for this command".into());
     }
     let loss_name = args.loss.as_ref().ok_or("--loss is required")?;
-    let wrt = resolve_arrays(func, &args.wrt)?;
-    let loss = resolve_arrays(func, std::slice::from_ref(loss_name))?[0];
+    let wrt = resolve_arrays(&input.func, &args.wrt)?;
+    let loss = resolve_arrays(&input.func, std::slice::from_ref(loss_name))?[0];
     Ok(AdOptions::new(wrt, vec![loss]).with_policy(args.policy))
+}
+
+/// The base input arrays for simulation: a benchmark's own inputs, or
+/// the deterministic defaults for a plain IR file.
+fn base_memory(input: &Input) -> Memory {
+    match &input.bench {
+        Some(b) => b.mem.clone(),
+        None => default_memory(&input.func),
+    }
 }
 
 /// Deterministic inputs: f64 ramps, i64 identity indices.
@@ -192,12 +270,21 @@ fn compile_options(args: &Args, mode: CompileMode) -> CompileOptions {
     }
 }
 
+/// The lint machine model the flags select: scratchpad size from
+/// `--spad-bytes`, bank count from the simulated system config.
+fn lint_config(copts: &CompileOptions) -> LintConfig {
+    LintConfig {
+        spad_entries: copts.spad_entries,
+        spad_banks: SystemConfig::default().spad.banks,
+    }
+}
+
 /// The pipeline behind `compile`/`simulate`: the flags' standard
 /// pipeline, or `--passes`'s custom list (which only needs `--wrt`/
 /// `--loss` when it contains `ad`).
 fn pipeline_for(
     args: &Args,
-    func: &Function,
+    input: &Input,
     copts: CompileOptions,
     default_names: &[&str],
 ) -> Result<PipelineBuilder, String> {
@@ -206,11 +293,14 @@ fn pipeline_for(
         None => default_names.to_vec(),
     };
     let ad = if names.contains(&"ad") {
-        Some(ad_options(func, args)?)
+        Some(ad_options(input, args)?)
     } else {
         None
     };
-    PipelineBuilder::from_names(&names, copts, ad).map_err(|e| e.to_string())
+    let lint = args.lint_after_all.then(|| lint_config(&copts));
+    Ok(PipelineBuilder::from_names(&names, copts, ad)
+        .map_err(|e| e.to_string())?
+        .with_lint(lint))
 }
 
 /// Everything `simulate`/`profile` need after the pipeline ran: the
@@ -225,24 +315,27 @@ struct SimSetup {
 /// Compiles `func` through the simulate pipeline (no `opt` by default,
 /// matching the established Enzyme-vs-Tapeflow numbers; opt in via
 /// `--passes opt,ad,...`).
-fn compile_variants(args: &Args, func: &Function) -> Result<(AdOptions, SimSetup), String> {
-    let opts = ad_options(func, args)?;
+fn compile_variants(args: &Args, input: &Input) -> Result<(AdOptions, SimSetup), String> {
+    let opts = ad_options(input, args)?;
     let copts = compile_options(args, CompileMode::Full);
     let builder = pipeline_for(
         args,
-        func,
+        input,
         copts,
         &["ad", "regions", "layering", "streams", "spad-index"],
     )?
     .with_verify(true)
     .with_ir_capture(args.print_after_all);
-    let run = builder.run_source(func).map_err(|e| e.to_string())?;
+    let run = builder.run_source(&input.func).map_err(|e| e.to_string())?;
     if args.print_after_all {
         // stderr: simulate/profile's stdout stays the result tables.
         eprint!("{}", run.report.render_snapshots());
     }
     if args.time_passes {
         eprint!("{}", run.report.render_timings());
+    }
+    if args.lint_after_all {
+        eprint!("{}", run.report.render_lint());
     }
     let report = run.report.clone();
     let grad = run
@@ -384,18 +477,17 @@ fn render_pass_deltas(report: &PipelineReport) -> String {
     out
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let mut argv = std::env::args().skip(1);
     let (cmd, args) = parse_args(&mut argv)?;
     if cmd == "passes" {
         for (name, desc) in registered_passes() {
             println!("{name:<11} {desc}");
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
-    let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let func = parse::parse(&text).map_err(|e| e.to_string())?;
+    let input = load_input(&args)?;
+    let func = input.func.clone();
 
     match cmd.as_str() {
         "show" => print!("{}", pretty::pretty(&func)),
@@ -408,7 +500,7 @@ fn run() -> Result<(), String> {
             );
         }
         "grad" => {
-            let opts = ad_options(&func, &args)?;
+            let opts = ad_options(&input, &args)?;
             let grad = differentiate(&func, &opts).map_err(|e| e.to_string())?;
             print!("{}", pretty::pretty(&grad.func));
             eprintln!(
@@ -431,7 +523,7 @@ fn run() -> Result<(), String> {
             } else {
                 &["opt", "ad", "regions", "layering", "streams", "spad-index"]
             };
-            let builder = pipeline_for(&args, &func, copts, default_names)?
+            let builder = pipeline_for(&args, &input, copts, default_names)?
                 .with_verify(true)
                 .with_ir_capture(args.print_after_all);
             let run = builder.run_source(&func).map_err(|e| e.to_string())?;
@@ -445,6 +537,9 @@ fn run() -> Result<(), String> {
             if args.time_passes {
                 eprint!("{}", run.report.render_timings());
             }
+            if args.lint_after_all {
+                eprint!("{}", run.report.render_lint());
+            }
             if let Some(c) = &run.state.compiled {
                 eprintln!(
                     "// {} regions, {} fwd layers, {} duplicated slots, {} merged tape bytes",
@@ -456,8 +551,8 @@ fn run() -> Result<(), String> {
             }
         }
         "simulate" => {
-            let (opts, setup) = compile_variants(&args, &func)?;
-            let base = default_memory(&func);
+            let (opts, setup) = compile_variants(&args, &input)?;
+            let base = base_memory(&input);
             let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
             let mut reports = Vec::new();
             for (label, f, barrier) in [
@@ -507,8 +602,8 @@ fn run() -> Result<(), String> {
             }
         }
         "profile" => {
-            let (opts, setup) = compile_variants(&args, &func)?;
-            let base = default_memory(&func);
+            let (opts, setup) = compile_variants(&args, &input)?;
+            let base = base_memory(&input);
             let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
             let mut rows: Vec<(&str, SimReport, CycleBreakdown)> = Vec::new();
             let mut recorders: Vec<TraceRecorder> = Vec::new();
@@ -576,14 +671,93 @@ fn run() -> Result<(), String> {
                 eprintln!("// machine-readable report: {path}");
             }
         }
+        "lint" => {
+            let mode = if args.aos_only {
+                CompileMode::AosOnly
+            } else {
+                CompileMode::Full
+            };
+            let copts = compile_options(&args, mode);
+            let cfg = lint_config(&copts);
+            // Already-lowered IR (tape/scratchpad/stream ops present) is
+            // linted directly; a plain source program with a gradient spec
+            // is compiled first so the lints see the post-pipeline
+            // FWD/REV function and the layer plan.
+            let lowered = func.insts().iter().any(|i| {
+                matches!(
+                    i.op,
+                    Op::SAlloc { .. }
+                        | Op::SpadLoad
+                        | Op::SpadStore
+                        | Op::StreamIn(_)
+                        | Op::StreamOut(_)
+                )
+            }) || func.arrays_of_kind(ArrayKind::Tape).next().is_some();
+            let has_grad_spec = input.bench.is_some() || !args.wrt.is_empty();
+            let mut diags;
+            if lowered || !has_grad_spec {
+                diags = lint::lint_function(&func, &cfg);
+            } else {
+                let default_names: &[&str] = if args.aos_only {
+                    &["opt", "ad", "regions", "aos-layout"]
+                } else {
+                    &["opt", "ad", "regions", "layering", "streams", "spad-index"]
+                };
+                let builder = pipeline_for(&args, &input, copts, default_names)?.with_verify(true);
+                let run = builder.run_source(&func).map_err(|e| e.to_string())?;
+                if args.lint_after_all {
+                    eprint!("{}", run.report.render_lint());
+                }
+                let compiled = run
+                    .state
+                    .current_ir()
+                    .ok_or("the lint pipeline produced no IR")?;
+                diags = lint::lint_function(compiled, &cfg);
+                if let (Some(grad), Some(plan)) = (&run.state.gradient, &run.state.plan) {
+                    diags.extend(plan_lint::lint_plan(grad, plan, &copts));
+                }
+                lint::sort_diagnostics(&mut diags);
+            }
+            let (errors, warnings) = lint::counts(&diags);
+            print!("{}", lint::render_table(&diags));
+            println!("{}: {errors} error(s), {warnings} warning(s)", args.file);
+            if let Some(path) = &args.json {
+                let ds: Vec<Value> = diags
+                    .iter()
+                    .map(|d| {
+                        let mut o = Value::object();
+                        o.set("rule", d.rule)
+                            .set("severity", d.severity.label())
+                            .set("inst", d.span.inst.map_or(Value::Null, Value::from))
+                            .set("array", d.span.array.map_or(Value::Null, Value::from))
+                            .set("message", d.message.as_str());
+                        o
+                    })
+                    .collect();
+                let mut doc = Value::object();
+                doc.set("schema", "tapeflow.cli.lint/v1")
+                    .set("program", args.file.as_str())
+                    .set("spad_entries", cfg.spad_entries)
+                    .set("spad_banks", cfg.spad_banks)
+                    .set("errors", errors)
+                    .set("warnings", warnings)
+                    .set("diagnostics", Value::Arr(ds));
+                std::fs::write(path, doc.render())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("// machine-readable report: {path}");
+            }
+            if errors > 0 {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
         other => return Err(format!("unknown command {other:?}")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("tapeflow: {e}");
             usage()

@@ -1,0 +1,10 @@
+// Seeded lint fixture (warning only): the load strides by 16 entries
+// per iteration, so every access of the loop lands in the same bank of
+// the 16-bank scratchpad and the accesses serialize.
+func @bank_stride {
+  %0 = salloc 128 @0
+  for i in 0..8 step 1 {
+    %1 = imul i 16i
+    %2 = spad.load %1
+  }
+}

@@ -1,0 +1,11 @@
+// Seeded lint fixture: both loops run to 16 but the tape holds 8
+// elements, so the store and the load provably leave [0, 8).
+func @oob_tape {
+  array @0 t : f64[8] (Tape)
+  for i in 0..16 step 1 {
+    store @0 i 1.5
+  }
+  for r in 0..16 step 1 {
+    %0 = load @0 r
+  }
+}

@@ -1,0 +1,6 @@
+// Seeded lint fixture: the layer allocation claims 192 entries of a
+// 128-entry scratchpad, and the store's index 191 lands past the end.
+func @spad_overflow {
+  %0 = salloc 192 @0
+  spad.store 191i 1.5
+}

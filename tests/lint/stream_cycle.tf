@@ -1,0 +1,13 @@
+// Seeded lint fixture: a circular fill/drain handshake. The drain is
+// queued first, so the stream engine holds the fill until the drain
+// completes; the drain waits on the core's spad.store, which sits in
+// program order behind a spad.load that waits on the fill. Deadlock.
+func @stream_cycle {
+  array @0 t : f64[8] (Tape)
+  %0 = salloc 8 @0
+  stream.out @0 0i 0i 8i
+  %1 = spad.load 0i
+  spad.store 1i %1
+  stream.in @0 0i 0i 8i
+  barrier
+}
