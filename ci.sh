@@ -61,14 +61,48 @@ for key in ("program", "spad_entries", "spad_banks"):
     assert key in doc, key
 EOF
 
+echo "== cross-engine equivalence =="
+# The event-driven core vs the legacy scalar oracle: reports, stall
+# attributions and Chrome traces must match byte-for-byte on all nine
+# benchmarks, probes must not perturb, and the incremental-resim
+# session must derive exactly what a cold run produces.
+cargo test -q --release -p tapeflow-bench --test equivalence
+
+echo "== bench-host smoke (host-throughput tracking) =="
+# One pass of the host-perf sweep: the subcommand must run end to end
+# and emit a schema-valid document. Throughput numbers are noisy in CI,
+# so only structure and the deterministic cycle totals are asserted —
+# the checked-in results/BENCH_host_perf.json records a reference run.
+cargo run --release --bin tapeflow -- \
+    bench-host --scale tiny --repeats 1 \
+    --json target/ci/BENCH_host_perf.json > /dev/null
+python3 - target/ci/BENCH_host_perf.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tapeflow.bench.host_perf/v1", doc.get("schema")
+assert doc["ladder_bytes"] and doc["ladder_bytes"] == sorted(doc["ladder_bytes"], reverse=True)
+assert len(doc["benchmarks"]) == 9, len(doc["benchmarks"])
+for b in doc["benchmarks"]:
+    for sweep in ("cache_ladder", "mixed_sweep"):
+        s = b[sweep]
+        assert s["configs"] > 0 and s["sim_cycles"] > 0, (b["name"], sweep)
+        for eng in ("event", "legacy"):
+            e = s["engines"][eng]
+            assert e["seconds"] > 0 and e["sim_cycles_per_sec"] > 0, (b["name"], sweep, eng)
+        assert s["speedup"] > 0, (b["name"], sweep)
+    assert b["cache_ladder"]["configs"] == len(doc["ladder_bytes"])
+assert doc["geomean_ladder_speedup"] > 0 and doc["geomean_mixed_speedup"] > 0
+EOF
+
 echo "== experiments regression (tiny scale, stable JSON) =="
 # Regenerate the machine-readable results at tiny scale with every
 # wall-clock field zeroed and diff against the checked-in reference —
-# stall breakdowns included (cycle counters, so byte-stable by
-# construction). Catches perf-model / accounting drift that unit tests
-# miss.
+# stall breakdowns and the host-perf fold included (the scrub leaves
+# only deterministic structure and cycle counters, so the document is
+# byte-stable by construction). Catches perf-model / accounting drift
+# that unit tests miss.
 cargo run --release -p tapeflow-bench --bin experiments -- \
-    all --scale tiny --jobs 2 --stable-json --stall-breakdown \
+    all --scale tiny --jobs 2 --stable-json --stall-breakdown --host-perf \
     --json target/ci/BENCH_experiments_tiny.json > /dev/null
 if ! diff -u results/BENCH_experiments_tiny.json \
         target/ci/BENCH_experiments_tiny.json > target/ci/experiments.diff; then

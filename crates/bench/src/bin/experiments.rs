@@ -18,11 +18,14 @@
 //! `--stall-breakdown` re-runs the sweep under the cycle-attribution
 //! probe and folds a per-cause `stalls` object into every feasible
 //! configuration entry — pure cycle counters, so the fold needs no
-//! `--stable-json` scrubbing to stay reproducible.
+//! `--stable-json` scrubbing to stay reproducible. `--host-perf` times
+//! the sweep on both simulator engines (event-driven vs legacy scalar)
+//! and folds a `host_perf` section in; its wall-derived fields are
+//! zeroed under `--stable-json`.
 
 use std::path::PathBuf;
 use tapeflow_bench::experiments::{Lab, IDS};
-use tapeflow_bench::pool;
+use tapeflow_bench::{hostperf, pool};
 use tapeflow_benchmarks::Scale;
 use tapeflow_sim::json::Value;
 
@@ -35,6 +38,7 @@ fn main() {
     let mut json_path: Option<PathBuf> = Some(PathBuf::from("results/BENCH_experiments.json"));
     let mut stable_json = false;
     let mut stall_breakdown = false;
+    let mut host_perf = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,13 +59,22 @@ fn main() {
             }
             "--jobs" => {
                 let v = it.next().unwrap_or_default();
-                jobs = match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => n,
-                    _ => {
-                        eprintln!("--jobs needs a positive integer, got {v:?}");
+                // `0` means "auto" and oversized requests are clamped to
+                // a sane pool size (with a stderr note) — results are
+                // byte-identical at any job count, so there is nothing
+                // to refuse.
+                let requested = match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--jobs needs an integer, got {v:?}");
                         std::process::exit(2);
                     }
                 };
+                let (effective, note) = pool::clamp_jobs(requested);
+                if let Some(note) = note {
+                    eprintln!("{note}");
+                }
+                jobs = effective;
             }
             "--json" => {
                 let v = it.next().unwrap_or_else(|| "-".into());
@@ -73,12 +86,13 @@ fn main() {
             }
             "--stable-json" => stable_json = true,
             "--stall-breakdown" => stall_breakdown = true,
+            "--host-perf" => host_perf = true,
             "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all | <id>...] [--scale tiny|small|large] \
                      [--csv DIR] [--jobs N] [--json PATH|-] [--stable-json] \
-                     [--stall-breakdown]"
+                     [--stall-breakdown] [--host-perf]"
                 );
                 println!("ids: {}", IDS.join(" "));
                 return;
@@ -160,15 +174,32 @@ fn main() {
             .set("jobs", if stable_json { 0 } else { jobs })
             .set("experiments", Value::Arr(experiments_json))
             .set("passes", Value::Arr(passes))
-            .set("benchmarks", sweep)
-            .set(
-                "total_wall_clock_seconds",
-                if stable_json {
-                    0.0
-                } else {
-                    wall.elapsed().as_secs_f64()
-                },
+            .set("benchmarks", sweep);
+        if host_perf {
+            // Fold the host-throughput sweep in. Under --stable-json the
+            // wall-derived fields (seconds, cycles/sec, speedups) are
+            // zeroed — only the structure and simulated-cycle totals
+            // stay, which are deterministic.
+            let start = std::time::Instant::now();
+            let results = hostperf::measure(scale, 1);
+            eprintln!(
+                "[host-perf sweep done in {:.1}s; geomean speedup {:.2}x]",
+                start.elapsed().as_secs_f64(),
+                hostperf::geomean_speedup(&results)
             );
+            doc.set(
+                "host_perf",
+                hostperf::host_perf_json(&results, scale, stable_json),
+            );
+        }
+        doc.set(
+            "total_wall_clock_seconds",
+            if stable_json {
+                0.0
+            } else {
+                wall.elapsed().as_secs_f64()
+            },
+        );
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).expect("create json dir");
         }

@@ -1126,8 +1126,10 @@ impl Lab {
     }
 
     /// The canonical per-benchmark configuration sweep reported in the
-    /// machine-readable results document.
-    fn json_configs() -> Vec<Config> {
+    /// machine-readable results document (and timed by
+    /// [`crate::hostperf`], so the host-throughput numbers describe the
+    /// sweep CI actually regenerates).
+    pub fn json_configs() -> Vec<Config> {
         vec![
             Config::enzyme(1024),
             Config::enzyme(2048),

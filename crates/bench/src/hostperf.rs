@@ -1,0 +1,438 @@
+//! Host-throughput measurement: simulated cycles per wall-clock second.
+//!
+//! Two sweeps are timed per benchmark, on both engines:
+//!
+//! * **Cache ladder** — the gradient (Enzyme-mode) trace swept over a
+//!   descending ladder of cache sizes ([`LADDER`]). This is the
+//!   incremental-re-simulation scenario: the event core drives the whole
+//!   ladder through one [`SweepSession`], which records the first run's
+//!   per-access cache outcomes and re-simulates each subsequent size by
+//!   replaying the recorded address stream — a full match costs a cache
+//!   replay instead of a scheduler run, and a divergence resumes from
+//!   the last unchanged checkpoint. The legacy scalar loop runs every
+//!   ladder point from scratch.
+//! * **Mixed sweep** — the canonical nine-configuration sweep (the one
+//!   `experiments --json` reports and CI regenerates), which changes the
+//!   program between points (Enzyme vs. Tapeflow vs. AoS), so no run can
+//!   reuse another's prefix. The event core still amortizes one
+//!   config-independent [`PreparedSim`] arena per program; legacy
+//!   rebuilds its dependence bookkeeping from the trace every run and
+//!   burns a host iteration per simulated cycle even while only a
+//!   stream transfer is in flight.
+//!
+//! Both engines produce byte-identical reports (the equivalence suite is
+//! the oracle); the cycle totals are asserted equal here as a cheap
+//! tripwire. Wall-clock derived fields are nondeterministic by nature;
+//! the JSON document ([`host_perf_json`]) zeroes them under `stable`,
+//! keeping only the structure and cycle counts, so the fold into
+//! `experiments --stable-json` stays byte-reproducible.
+
+use crate::experiments::Lab;
+use crate::harness::{geomean, sys_for, Config, Prepared};
+use std::sync::Arc;
+use std::time::Instant;
+use tapeflow_benchmarks::{by_name, Scale, NAMES};
+use tapeflow_ir::Trace;
+use tapeflow_sim::json::Value;
+use tapeflow_sim::{
+    simulate_prepared, try_simulate_probed_with, Engine, NoProbe, PreparedSim, SimOptions,
+    SweepSession, SystemConfig,
+};
+
+const KIB: usize = 1024;
+
+/// The cache-size ladder (bytes, descending): a miss-ratio-curve grid
+/// at four points per octave ({1, 1.25, 1.5, 1.75} x 2^k) from 2 MiB
+/// down to 16 KiB — the resolution a cache study needs to place the
+/// working-set knee — then power-of-two steps through the tail where
+/// every tiny-scale trace is far off-knee. Descending order maximizes
+/// prefix reuse in the session: every access that hits in an N-byte
+/// cache also hits in the larger predecessors that recorded the
+/// outcome stream, so shrinking sweeps diverge late (or not at all
+/// once the working set stops fitting either size).
+pub const LADDER: [usize; 33] = [
+    2048 * KIB,
+    1792 * KIB,
+    1536 * KIB,
+    1280 * KIB,
+    1024 * KIB,
+    896 * KIB,
+    768 * KIB,
+    640 * KIB,
+    512 * KIB,
+    448 * KIB,
+    384 * KIB,
+    320 * KIB,
+    256 * KIB,
+    224 * KIB,
+    192 * KIB,
+    160 * KIB,
+    128 * KIB,
+    112 * KIB,
+    96 * KIB,
+    80 * KIB,
+    64 * KIB,
+    56 * KIB,
+    48 * KIB,
+    40 * KIB,
+    32 * KIB,
+    28 * KIB,
+    24 * KIB,
+    20 * KIB,
+    16 * KIB,
+    8 * KIB,
+    4 * KIB,
+    2 * KIB,
+    KIB,
+];
+
+/// One engine's timing over a sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineTiming {
+    /// Wall-clock seconds for the whole sweep (best of the repeats).
+    pub seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+}
+
+impl EngineTiming {
+    fn from(seconds: f64, cycles: u64) -> Self {
+        EngineTiming {
+            seconds,
+            sim_cycles_per_sec: if seconds > 0.0 {
+                cycles as f64 / seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Both engines' timings over one sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepTiming {
+    /// Configurations the sweep simulated.
+    pub configs: usize,
+    /// Total simulated cycles across the sweep (identical for both
+    /// engines — asserted during measurement).
+    pub sim_cycles: u64,
+    /// Event-driven core (shared arena; session reuse on the ladder).
+    pub event: EngineTiming,
+    /// Legacy scalar loop (per-run rebuild, no gap-skipping, no reuse).
+    pub legacy: EngineTiming,
+    /// `legacy.seconds / event.seconds`.
+    pub speedup: f64,
+}
+
+impl SweepTiming {
+    fn from(configs: usize, sim_cycles: u64, event_secs: f64, legacy_secs: f64) -> Self {
+        SweepTiming {
+            configs,
+            sim_cycles,
+            event: EngineTiming::from(event_secs, sim_cycles),
+            legacy: EngineTiming::from(legacy_secs, sim_cycles),
+            speedup: if event_secs > 0.0 {
+                legacy_secs / event_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Host throughput of one benchmark under both engines.
+#[derive(Clone, Debug)]
+pub struct HostPerf {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The cache-size ladder on the gradient trace (incremental resim).
+    pub ladder: SweepTiming,
+    /// The canonical mixed nine-configuration sweep.
+    pub mixed: SweepTiming,
+}
+
+/// The mixed sweep's units: every feasible canonical configuration, as
+/// `(system, trace, shared arena)` triples. Compilation and tracing are
+/// outside the timed region — they are shared by both engines.
+fn sweep_units(p: &mut Prepared) -> Vec<(SystemConfig, Arc<Trace>, Arc<PreparedSim>)> {
+    Lab::json_configs()
+        .iter()
+        .filter_map(|c| {
+            let trace = p.try_trace_shared(c)?;
+            let prep = p.try_prepared_sim(c)?;
+            Some((sys_for(c), trace, prep))
+        })
+        .collect()
+}
+
+/// Times the legacy engine over `(system, trace)` pairs, best of
+/// `repeats`; returns `(seconds, total cycles)`.
+fn time_legacy(
+    units: &[(SystemConfig, Arc<Trace>)],
+    opts: &SimOptions,
+    repeats: usize,
+) -> (f64, u64) {
+    let mut secs = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    for rep in 0..repeats {
+        let start = Instant::now();
+        let mut cycles = 0u64;
+        for (sys, trace) in units {
+            cycles += try_simulate_probed_with(Engine::Legacy, trace, sys, opts, &mut NoProbe)
+                .expect("sweep traces fit the index limits")
+                .cycles;
+        }
+        secs = secs.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            sim_cycles = cycles;
+        }
+    }
+    (secs, sim_cycles)
+}
+
+/// Times the cache ladder on the gradient trace: the event side drives
+/// one [`SweepSession`] down the ladder (a fresh session per repeat —
+/// the session *is* the thing being measured), the legacy side runs
+/// every point cold.
+fn measure_ladder(p: &mut Prepared, repeats: usize) -> SweepTiming {
+    let config = Config::enzyme(LADDER[0]);
+    let trace = p.try_trace_shared(&config).expect("gradient always traces");
+    let prep = p.try_prepared_sim(&config).expect("gradient always preps");
+    let systems: Vec<SystemConfig> = LADDER
+        .iter()
+        .map(|&b| SystemConfig::with_cache_bytes(b))
+        .collect();
+    let opts = SimOptions::default();
+
+    let mut sim_cycles = 0u64;
+    let mut event_secs = f64::INFINITY;
+    for rep in 0..repeats {
+        let start = Instant::now();
+        let mut session = SweepSession::new(Arc::clone(&prep), opts);
+        let mut cycles = 0u64;
+        for sys in &systems {
+            cycles += session.simulate(sys).cycles;
+        }
+        event_secs = event_secs.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            sim_cycles = cycles;
+        }
+    }
+
+    let legacy_units: Vec<_> = systems
+        .iter()
+        .map(|&sys| (sys, Arc::clone(&trace)))
+        .collect();
+    let (legacy_secs, legacy_cycles) = time_legacy(&legacy_units, &opts, repeats);
+    assert_eq!(
+        legacy_cycles, sim_cycles,
+        "{}: engines disagree on ladder cycles",
+        p.bench.name
+    );
+    SweepTiming::from(systems.len(), sim_cycles, event_secs, legacy_secs)
+}
+
+/// Times the canonical mixed sweep on both engines.
+fn measure_mixed(p: &mut Prepared, repeats: usize) -> SweepTiming {
+    let units = sweep_units(p);
+    let opts = SimOptions::default();
+
+    let mut sim_cycles = 0u64;
+    let mut event_secs = f64::INFINITY;
+    for rep in 0..repeats {
+        let start = Instant::now();
+        let mut cycles = 0u64;
+        // The arena is prepared once per program and reused for every
+        // configuration; `sweep_units` handed out shared clones of the
+        // ones the harness already built, so the timed region is exactly
+        // the per-configuration scheduler work.
+        for (sys, _, prep) in &units {
+            cycles += simulate_prepared(prep, sys, &opts).cycles;
+        }
+        event_secs = event_secs.min(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            sim_cycles = cycles;
+        }
+    }
+
+    let legacy_units: Vec<_> = units
+        .iter()
+        .map(|(sys, trace, _)| (*sys, Arc::clone(trace)))
+        .collect();
+    let (legacy_secs, legacy_cycles) = time_legacy(&legacy_units, &opts, repeats);
+    assert_eq!(
+        legacy_cycles, sim_cycles,
+        "{}: engines disagree on mixed-sweep cycles",
+        p.bench.name
+    );
+    SweepTiming::from(units.len(), sim_cycles, event_secs, legacy_secs)
+}
+
+/// Times one benchmark on both engines. `repeats` runs each sweep that
+/// many times per engine and keeps the fastest wall time (minimum is the
+/// standard noise filter for throughput numbers).
+pub fn measure_one(bench: &'static str, scale: Scale, repeats: usize) -> HostPerf {
+    let mut p = Prepared::new(by_name(bench, scale));
+    let repeats = repeats.max(1);
+    HostPerf {
+        name: bench,
+        ladder: measure_ladder(&mut p, repeats),
+        mixed: measure_mixed(&mut p, repeats),
+    }
+}
+
+/// Times the full registry at `scale`.
+pub fn measure(scale: Scale, repeats: usize) -> Vec<HostPerf> {
+    NAMES
+        .iter()
+        .map(|b| measure_one(b, scale, repeats))
+        .collect()
+}
+
+/// Geometric mean of the per-benchmark ladder-sweep speedups (the
+/// headline number — the incremental-resim scenario).
+pub fn geomean_speedup(results: &[HostPerf]) -> f64 {
+    geomean(&results.iter().map(|r| r.ladder.speedup).collect::<Vec<_>>())
+}
+
+/// Geometric mean of the per-benchmark mixed-sweep speedups.
+pub fn geomean_mixed_speedup(results: &[HostPerf]) -> f64 {
+    geomean(&results.iter().map(|r| r.mixed.speedup).collect::<Vec<_>>())
+}
+
+/// The machine-readable document (`tapeflow.bench.host_perf/v1`).
+/// `stable` zeroes every wall-clock-derived field (seconds, throughput,
+/// speedups) so the bytes reproduce across hosts and runs; the schema,
+/// benchmark list, config counts and simulated-cycle totals remain.
+pub fn host_perf_json(results: &[HostPerf], scale: Scale, stable: bool) -> Value {
+    let scrub = |v: f64| if stable { 0.0 } else { v };
+    let timing = |t: &EngineTiming| {
+        let mut e = Value::object();
+        e.set("seconds", scrub(t.seconds))
+            .set("sim_cycles_per_sec", scrub(t.sim_cycles_per_sec));
+        e
+    };
+    let sweep = |s: &SweepTiming| {
+        let mut engines = Value::object();
+        engines
+            .set("event", timing(&s.event))
+            .set("legacy", timing(&s.legacy));
+        let mut v = Value::object();
+        v.set("configs", s.configs)
+            .set("sim_cycles", s.sim_cycles)
+            .set("engines", engines)
+            .set("speedup", scrub(s.speedup));
+        v
+    };
+    let benches: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            let mut b = Value::object();
+            b.set("name", r.name)
+                .set("cache_ladder", sweep(&r.ladder))
+                .set("mixed_sweep", sweep(&r.mixed));
+            b
+        })
+        .collect();
+    let ladder: Vec<Value> = LADDER.iter().map(|&b| Value::from(b)).collect();
+    let mut doc = Value::object();
+    doc.set("schema", "tapeflow.bench.host_perf/v1")
+        .set("scale", format!("{scale:?}"))
+        .set("ladder_bytes", Value::Arr(ladder))
+        .set("benchmarks", Value::Arr(benches))
+        .set("geomean_ladder_speedup", scrub(geomean_speedup(results)))
+        .set(
+            "geomean_mixed_speedup",
+            scrub(geomean_mixed_speedup(results)),
+        );
+    doc
+}
+
+/// Human-readable table for the CLI.
+pub fn render_table(results: &[HostPerf]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>14} {:>14} {:>9} {:>9}",
+        "bench", "sim cycles", "event Mcyc/s", "legacy Mcyc/s", "ladder", "mixed"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>14.2} {:>14.2} {:>8.2}x {:>8.2}x",
+            r.name,
+            r.ladder.sim_cycles + r.mixed.sim_cycles,
+            r.ladder.event.sim_cycles_per_sec / 1e6,
+            r.ladder.legacy.sim_cycles_per_sec / 1e6,
+            r.ladder.speedup,
+            r.mixed.speedup
+        );
+    }
+    let _ = writeln!(
+        out,
+        "geomean sweep speedup: ladder {:.2}x, mixed {:.2}x",
+        geomean_speedup(results),
+        geomean_mixed_speedup(results)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_benchmark_measures_and_serializes() {
+        let r = measure_one("logsum", Scale::Tiny, 1);
+        assert!(r.ladder.configs == LADDER.len());
+        assert!(r.mixed.configs > 0, "no feasible mixed configs timed");
+        assert!(r.ladder.sim_cycles > 0 && r.mixed.sim_cycles > 0);
+        assert!(r.ladder.event.seconds > 0.0 && r.ladder.legacy.seconds > 0.0);
+        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, false);
+        let parsed = Value::parse(&doc.render()).expect("emitted JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some("tapeflow.bench.host_perf/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("ladder_bytes")
+                .and_then(Value::as_arr)
+                .map(|a| a.len()),
+            Some(LADDER.len())
+        );
+        let b = &parsed.get("benchmarks").and_then(Value::as_arr).unwrap()[0];
+        assert_eq!(b.get("name").and_then(Value::as_str), Some("logsum"));
+        for sweep in ["cache_ladder", "mixed_sweep"] {
+            let s = b.get(sweep).expect(sweep);
+            assert!(s.get("sim_cycles").and_then(Value::as_u64).unwrap() > 0);
+            assert!(s.get("engines").and_then(|e| e.get("event")).is_some());
+        }
+    }
+
+    #[test]
+    fn stable_json_zeroes_every_wall_field() {
+        let r = measure_one("logsum", Scale::Tiny, 1);
+        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, true);
+        let parsed = Value::parse(&doc.render()).expect("parses");
+        assert_eq!(parsed.get("geomean_ladder_speedup"), Some(&Value::Num(0.0)));
+        assert_eq!(parsed.get("geomean_mixed_speedup"), Some(&Value::Num(0.0)));
+        let b = &parsed.get("benchmarks").and_then(Value::as_arr).unwrap()[0];
+        for sweep in ["cache_ladder", "mixed_sweep"] {
+            let s = b.get(sweep).expect(sweep);
+            assert_eq!(s.get("speedup"), Some(&Value::Num(0.0)), "{sweep}");
+            for engine in ["event", "legacy"] {
+                let e = s.get("engines").and_then(|e| e.get(engine)).unwrap();
+                assert_eq!(e.get("seconds"), Some(&Value::Num(0.0)), "{sweep}/{engine}");
+                assert_eq!(
+                    e.get("sim_cycles_per_sec"),
+                    Some(&Value::Num(0.0)),
+                    "{sweep}/{engine}"
+                );
+            }
+            // The deterministic parts survive the scrub.
+            assert!(s.get("sim_cycles").and_then(Value::as_u64).unwrap() > 0);
+        }
+    }
+}

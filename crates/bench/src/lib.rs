@@ -23,6 +23,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod hostperf;
 pub mod microbench;
 pub mod pool;
 pub mod table;

@@ -16,6 +16,35 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Normalizes a user-requested worker count to a sane pool size:
+/// `0` means "auto" (all available cores), and anything beyond 8× the
+/// available cores is clamped there (thousands of scoped threads only
+/// add scheduling overhead — the pool pulls indices off one counter, so
+/// extra workers never change the results, just burn stacks). Returns
+/// the effective count plus a human-readable note when the request was
+/// adjusted, so CLIs can report the adjustment on stderr instead of
+/// refusing the flag.
+pub fn clamp_jobs(requested: usize) -> (usize, Option<String>) {
+    let avail = available_jobs();
+    let cap = avail.saturating_mul(8).max(1);
+    if requested == 0 {
+        (
+            avail,
+            Some(format!("--jobs 0: auto-selected {avail} worker thread(s)")),
+        )
+    } else if requested > cap {
+        (
+            cap,
+            Some(format!(
+                "--jobs {requested} oversubscribes {avail} available core(s); \
+                 clamped to {cap}"
+            )),
+        )
+    } else {
+        (requested, None)
+    }
+}
+
 /// Applies `f` to every item on up to `jobs` scoped worker threads and
 /// returns the results in item order. `f` receives `(index, &item)`.
 /// With `jobs <= 1` (or a single item) this degenerates to a plain
@@ -121,5 +150,18 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn clamp_jobs_normalizes_the_edges() {
+        let avail = available_jobs();
+        let (auto, note) = clamp_jobs(0);
+        assert_eq!(auto, avail);
+        assert!(note.expect("zero gets a note").contains("auto"));
+        let (same, note) = clamp_jobs(2);
+        assert_eq!((same, note), (2, None));
+        let (capped, note) = clamp_jobs(usize::MAX);
+        assert_eq!(capped, avail.saturating_mul(8).max(1));
+        assert!(note.expect("oversized gets a note").contains("clamped"));
     }
 }

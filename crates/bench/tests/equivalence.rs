@@ -1,0 +1,124 @@
+//! Cross-engine equivalence: the event-driven core is a performance
+//! rework, not a model change, so the legacy scalar loop is kept as the
+//! reference oracle and every observable output must match it **byte
+//! for byte** — rendered report JSON, stall attributions, and Chrome
+//! trace timelines — across all nine paper benchmarks. A probe must
+//! also never perturb the simulation it observes, and the incremental
+//! re-simulation session must derive exactly the reports a cold run
+//! produces.
+
+use std::sync::Arc;
+use tapeflow_bench::harness::{sys_for, Config, Prepared};
+use tapeflow_benchmarks::{by_name, Scale, NAMES};
+use tapeflow_sim::{
+    simulate_prepared, try_simulate_probed_with, AttributionProbe, Engine, NoProbe, SimOptions,
+    SweepSession, SystemConfig, TraceRecorder,
+};
+
+/// Program variants exercised per benchmark: the Enzyme baseline and
+/// the Tapeflow build at the default cache, plus a thrash-sized cache
+/// so miss/writeback/MSHR paths diverge from the hit path.
+fn configs() -> [Config; 3] {
+    [
+        Config::enzyme(32 * 1024),
+        Config::tapeflow(32 * 1024),
+        Config::enzyme(4 * 1024),
+    ]
+}
+
+#[test]
+fn reports_attributions_and_traces_match_across_engines() {
+    let opts = SimOptions::default();
+    let mut compared = 0usize;
+    for name in NAMES {
+        let mut p = Prepared::new(by_name(name, Scale::Tiny));
+        for config in configs() {
+            let Some(trace) = p.try_trace_shared(&config) else {
+                continue;
+            };
+            let sys = sys_for(&config);
+            let label = format!("{name}/{}", config.label());
+            let mut runs = Vec::new();
+            for engine in [Engine::Event, Engine::Legacy] {
+                // Same pid/name on both engines: the Chrome traces can
+                // only differ if the simulated timelines differ.
+                let mut probe = (AttributionProbe::new(), TraceRecorder::new(1, name));
+                let report = try_simulate_probed_with(engine, &trace, &sys, &opts, &mut probe)
+                    .unwrap_or_else(|e| panic!("{label}: {engine:?} failed: {e}"));
+                let (attr, recorder) = probe;
+                let breakdown = attr.into_breakdown();
+                breakdown
+                    .check()
+                    .unwrap_or_else(|e| panic!("{label}: {engine:?} attribution broke: {e}"));
+                runs.push((
+                    report.to_json().render(),
+                    breakdown.to_json().render(),
+                    TraceRecorder::chrome_trace([recorder]).render(),
+                ));
+            }
+            let (legacy, event) = (runs.pop().unwrap(), runs.pop().unwrap());
+            assert_eq!(event.0, legacy.0, "{label}: report JSON differs");
+            assert_eq!(event.1, legacy.1, "{label}: stall attribution differs");
+            assert_eq!(event.2, legacy.2, "{label}: chrome trace differs");
+            compared += 1;
+        }
+    }
+    // Every benchmark must contribute at least its Enzyme variants.
+    assert!(
+        compared >= 2 * NAMES.len(),
+        "only {compared} comparisons ran"
+    );
+}
+
+#[test]
+fn probes_do_not_perturb_reports() {
+    let opts = SimOptions::default();
+    for name in NAMES {
+        let mut p = Prepared::new(by_name(name, Scale::Tiny));
+        let config = Config::enzyme(32 * 1024);
+        let trace = p.try_trace_shared(&config).expect("gradient always traces");
+        let sys = sys_for(&config);
+        for engine in [Engine::Event, Engine::Legacy] {
+            let bare = try_simulate_probed_with(engine, &trace, &sys, &opts, &mut NoProbe)
+                .expect("bare run");
+            let mut probe = (AttributionProbe::new(), TraceRecorder::new(1, name));
+            let probed = try_simulate_probed_with(engine, &trace, &sys, &opts, &mut probe)
+                .expect("probed run");
+            assert_eq!(
+                bare.to_json().render(),
+                probed.to_json().render(),
+                "{name}: {engine:?} probe perturbed the report"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_session_derives_cold_run_reports() {
+    // The incremental-resim path (what the harness memo routes sweeps
+    // through) must be invisible: every report it derives from the
+    // recorded outcome stream must match both a cold event run and the
+    // legacy oracle, in an order chosen to force replay hits, late
+    // divergences and full re-records.
+    let sizes: [usize; 6] = [64 * 1024, 32 * 1024, 16 * 1024, 4 * 1024, 1024, 8 * 1024];
+    let opts = SimOptions::default();
+    for name in NAMES {
+        let mut p = Prepared::new(by_name(name, Scale::Tiny));
+        let config = Config::enzyme(sizes[0]);
+        let trace = p.try_trace_shared(&config).expect("gradient always traces");
+        let prep = p.try_prepared_sim(&config).expect("gradient always preps");
+        let mut session = SweepSession::new(Arc::clone(&prep), opts);
+        for bytes in sizes {
+            let sys = SystemConfig::with_cache_bytes(bytes);
+            let derived = session.simulate(&sys).to_json().render();
+            let event = simulate_prepared(&prep, &sys, &opts).to_json().render();
+            let legacy =
+                try_simulate_probed_with(Engine::Legacy, &trace, &sys, &opts, &mut NoProbe)
+                    .expect("legacy run")
+                    .to_json()
+                    .render();
+            assert_eq!(derived, event, "{name}@{bytes}: session vs cold event run");
+            assert_eq!(derived, legacy, "{name}@{bytes}: session vs legacy oracle");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! `--jobs` edge cases must degrade gracefully end to end: `0` means
+//! "auto", absurd requests clamp to the 8×-cores cap, and — since the
+//! pool only changes scheduling, never results — every normalized count
+//! drives the harness to byte-identical output.
+
+use tapeflow_bench::experiments::Lab;
+use tapeflow_bench::pool::{available_jobs, clamp_jobs};
+use tapeflow_benchmarks::Scale;
+
+#[test]
+fn clamped_job_counts_run_and_match_serial_bytes() {
+    let (auto, auto_note) = clamp_jobs(0);
+    assert_eq!(auto, available_jobs());
+    assert!(auto_note.is_some(), "--jobs 0 must explain itself");
+    let (capped, cap_note) = clamp_jobs(usize::MAX);
+    assert_eq!(capped, available_jobs().saturating_mul(8).max(1));
+    assert!(cap_note.is_some(), "oversized --jobs must explain itself");
+
+    let mut serial = Lab::new(Scale::Tiny);
+    let reference_table = serial.run("table4.1");
+    let reference_json = serial.json_report().render();
+    for jobs in [auto, capped] {
+        let mut lab = Lab::with_jobs(Scale::Tiny, jobs);
+        assert_eq!(lab.jobs(), jobs);
+        let tables = lab.run("table4.1");
+        assert_eq!(tables.len(), reference_table.len(), "jobs={jobs}");
+        for (a, b) in reference_table.iter().zip(&tables) {
+            assert_eq!(a.render(), b.render(), "jobs={jobs}: table differs");
+        }
+        assert_eq!(
+            lab.json_report().render(),
+            reference_json,
+            "jobs={jobs}: sweep JSON differs"
+        );
+    }
+}

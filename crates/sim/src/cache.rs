@@ -12,14 +12,10 @@ pub enum ReplacementPolicy {
     Fifo,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU stamp or FIFO insertion stamp.
-    stamp: u64,
-}
+/// Tag-word flag: the line holds a block.
+const TF_VALID: u64 = 1 << 0;
+/// Tag-word flag: the line has been written since it was filled.
+const TF_DIRTY: u64 = 1 << 1;
 
 /// Result of one access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,12 +27,37 @@ pub struct AccessResult {
 }
 
 /// The cache.
+///
+/// Line state lives in one all-zero-initial allocation so construction
+/// is a single `alloc_zeroed` (fresh zero pages from the OS, faulted in
+/// lazily) — a parameter sweep builds one cache per configuration, and
+/// a multi-megabyte model whose simulation only touches a few kilobytes
+/// of it should not pay a full memset up front nor a full scan at the
+/// end ([`Cache::dirty_lines`] is O(1)).
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: usize,
-    lines: Vec<Line>,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// case), letting [`Cache::access`] mask instead of divide; zero
+    /// otherwise (a one-set cache masks with zero correctly).
+    set_mask: usize,
+    /// Total lines (`sets * assoc`); also the offset of the stamp half
+    /// of `buf`.
+    ways: usize,
+    /// Two halves of one allocation. `buf[i]` is line *i*'s **tag
+    /// word** — the full block number shifted left two with `TF_*`
+    /// flag bits below (storing the whole block rather than
+    /// `block / sets` keeps the probe division-free: equality within a
+    /// set is the same predicate, and the victim's base address is
+    /// just the word shifted back). `buf[ways + i]` is its LRU/FIFO
+    /// stamp. An 8-way probe therefore scans one contiguous cache line
+    /// of tag words with a single masked compare per way.
+    buf: Vec<u64>,
     tick: u64,
+    /// Count of lines currently valid and dirty, maintained on every
+    /// transition so end-of-run flush accounting never scans the array.
+    dirty: u64,
 }
 
 impl Cache {
@@ -54,19 +75,15 @@ impl Cache {
         let sets = (total / assoc).max(1);
         let mut adjusted = cfg;
         adjusted.assoc = assoc;
+        let n = sets * assoc;
         Cache {
             cfg: adjusted,
             sets,
-            lines: vec![
-                Line {
-                    tag: 0,
-                    valid: false,
-                    dirty: false,
-                    stamp: 0,
-                };
-                sets * assoc
-            ],
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
+            ways: n,
+            buf: vec![0; 2 * n],
             tick: 0,
+            dirty: 0,
         }
     }
 
@@ -82,64 +99,98 @@ impl Cache {
     }
 
     /// Performs one access at byte address `addr`.
+    ///
+    /// Inlined so a sweep's replay loop — millions of back-to-back
+    /// calls — hoists the geometry invariants out of the loop. The
+    /// standard associativities dispatch to a const-specialized body
+    /// whose way-probe unrolls to straight-line compares.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        match self.cfg.assoc {
+            2 => self.access_ways::<2>(addr, is_write),
+            4 => self.access_ways::<4>(addr, is_write),
+            8 => self.access_ways::<8>(addr, is_write),
+            // `0` means "read the associativity at runtime".
+            _ => self.access_ways::<0>(addr, is_write),
+        }
+    }
+
+    #[inline]
+    fn access_ways<const A: usize>(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.tick += 1;
         let line_bits = self.cfg.line_bytes.trailing_zeros();
         let block = addr >> line_bits;
-        let set = (block as usize) % self.sets;
-        let tag = block / self.sets as u64;
-        let base = set * self.cfg.assoc;
-        let ways = &mut self.lines[base..base + self.cfg.assoc];
-        // Hit?
-        for l in ways.iter_mut() {
-            if l.valid && l.tag == tag {
-                if is_write {
-                    l.dirty = true;
-                }
-                if self.cfg.policy == ReplacementPolicy::Lru {
-                    l.stamp = self.tick;
-                }
-                return AccessResult {
-                    hit: true,
-                    writeback: None,
-                };
-            }
-        }
-        // Miss: pick a victim (invalid first, else lowest stamp).
-        let victim = ways
+        let set = if self.set_mask != 0 || self.sets == 1 {
+            (block as usize) & self.set_mask
+        } else {
+            (block as usize) % self.sets
+        };
+        let assoc = if A == 0 { self.cfg.assoc } else { A };
+        let base = set * assoc;
+        let want = (block << 2) | TF_VALID;
+        // Hit? One masked compare per way (dirty bit ignored); the
+        // slice gives the probe a single bounds check.
+        let hit_way = self.buf[base..base + assoc]
             .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| (l.valid, l.stamp))
-            .map(|(i, _)| i)
-            .expect("at least one way");
-        let v = &mut ways[victim];
-        let writeback = if v.valid && v.dirty {
-            // Reconstruct the victim's base address.
-            let vblock = v.tag * self.sets as u64 + set as u64;
-            Some(vblock << line_bits)
+            .position(|&t| t & !TF_DIRTY == want);
+        if let Some(w) = hit_way {
+            let i = base + w;
+            if is_write && self.buf[i] & TF_DIRTY == 0 {
+                self.buf[i] |= TF_DIRTY;
+                self.dirty += 1;
+            }
+            if self.cfg.policy == ReplacementPolicy::Lru {
+                self.buf[self.ways + i] = self.tick;
+            }
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        // Miss: pick a victim (invalid first, else lowest stamp; first
+        // way wins ties, matching `min_by_key`'s first-minimum rule).
+        let victim = base
+            + self.buf[base..base + assoc]
+                .iter()
+                .zip(&self.buf[self.ways + base..self.ways + base + assoc])
+                .map(|(&t, &s)| (t & TF_VALID != 0, s))
+                .enumerate()
+                .min_by_key(|&(_, k)| k)
+                .expect("at least one way")
+                .0;
+        let vt = self.buf[victim];
+        let writeback = if vt & (TF_VALID | TF_DIRTY) == TF_VALID | TF_DIRTY {
+            self.dirty -= 1;
+            // The tag word holds the victim's full block number.
+            Some((vt >> 2) << line_bits)
         } else {
             None
         };
-        *v = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            stamp: self.tick,
-        };
+        self.buf[victim] = (block << 2) | TF_VALID | (TF_DIRTY * u64::from(is_write));
+        self.buf[self.ways + victim] = self.tick;
+        self.dirty += u64::from(is_write);
         AccessResult {
             hit: false,
             writeback,
         }
     }
 
+    /// Number of lines currently valid and dirty — what an end-of-run
+    /// flush would write back. O(1): the count is maintained on every
+    /// access, so terminal accounting never scans a multi-megabyte
+    /// model to bill a few dirty lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.dirty
+    }
+
     /// Flushes all dirty lines, returning how many write-backs occur.
     pub fn flush_dirty(&mut self) -> u64 {
-        let mut n = 0;
-        for l in &mut self.lines {
-            if l.valid && l.dirty {
-                n += 1;
-                l.dirty = false;
+        let n = self.dirty;
+        if n > 0 {
+            for t in &mut self.buf[..self.ways] {
+                *t &= !TF_DIRTY;
             }
+            self.dirty = 0;
         }
         n
     }

@@ -1,4 +1,4 @@
-//! The cycle-level dataflow scheduler.
+//! The cycle-level dataflow scheduler (event-driven core).
 //!
 //! Executes a [`Trace`] (dynamic dataflow graph) against the modelled
 //! datapath: every node issues once its dependences complete and its
@@ -8,14 +8,45 @@
 //! run decoupled from the compute barriers, which is what lets
 //! double-buffered layers overlap streaming with the adjacent layer's
 //! compute exactly as in the paper's §3.5.
+//!
+//! ## Host-throughput architecture
+//!
+//! The scheduler runs off a [`PreparedSim`] arena — a config-independent
+//! struct-of-arrays flattening of the trace (dependence CSR, fused
+//! ready/indegree state, per-node class/address/flags) built once and
+//! reused across an entire parameter sweep. The hot loop never touches
+//! the trace's per-node heap-allocated `deps` vectors, keeps a single
+//! reusable conflict scratch buffer instead of a per-cycle allocation,
+//! and **gap-skips**: whenever nothing can issue before the next
+//! engine-free or node-ready boundary, time jumps straight there instead
+//! of crawling cycle by cycle.
+//!
+//! On top of that, unprobed runs (statically known via
+//! [`SimProbe::IS_NOOP`]) serve the in-order FP and integer issue queues
+//! *analytically*: the event heap pops ready nodes in exactly the order
+//! they would have entered those queues, and a width-limited in-order
+//! queue has a two-word closed form ([`IssueSrv`]) that assigns each op
+//! its exact issue cycle — contention included — without queue
+//! round-trips or per-cycle crawling. Traces that never touch the
+//! scratchpad or stream engines (every non-streaming variant) drop the
+//! cycle loop entirely and run as a pure event loop ([`run_dataflow`])
+//! in which the memory queue is served by the same closed form plus the
+//! MSHR stall rule. All of this is schedule-preserving, not
+//! approximate: reports, stall attributions and timelines stay
+//! byte-identical to the scalar loop (kept in [`crate::legacy`] behind
+//! `--engine legacy` and pinned by the cross-engine equivalence suite).
+//! Probes are not announced skipped cycles individually;
+//! [`crate::probe::AttributionProbe`] attributes them run-length-wise
+//! from in-flight state, preserving `sum(attributed) == cycles * PEs`.
 
 use crate::cache::Cache;
 use crate::config::{EnergyTable, SystemConfig};
+use crate::error::SimError;
+use crate::prep::{NodeState, PreparedSim, FLAG_REV, FLAG_STREAM_IN, FLAG_TAPE};
 use crate::probe::{CacheAccessEvent, NoProbe, ProbeGeometry, SimProbe};
 use crate::report::{EnergyReport, SimReport};
 use std::collections::{BinaryHeap, VecDeque};
-use tapeflow_ir::trace::Phase;
-use tapeflow_ir::{Op, OpClass, Trace};
+use tapeflow_ir::{OpClass, Trace};
 
 /// Simulation options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -25,22 +56,61 @@ pub struct SimOptions {
     pub record_node_times: bool,
 }
 
+/// Which scheduler core to run. The event-driven core is the default;
+/// the scalar loop it replaced remains available for one release as an
+/// escape hatch (`--engine legacy`) and as the equivalence oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The event-driven, gap-skipping core (this module).
+    #[default]
+    Event,
+    /// The previous scalar per-cycle loop ([`crate::legacy`]).
+    Legacy,
+}
+
+impl Engine {
+    /// Parses a CLI engine name.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "event" => Some(Engine::Event),
+            "legacy" => Some(Engine::Legacy),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Event => "event",
+            Engine::Legacy => "legacy",
+        }
+    }
+}
+
 /// How many queued accesses a banked resource may inspect per cycle
 /// (a bounded scheduling window keeps contended simulations linear).
 const SPAD_SCAN_WINDOW: usize = 64;
 
-struct Dram {
+pub(crate) struct Dram {
     busy: f64,
     bytes_per_cycle: f64,
     latency: u64,
 }
 
 impl Dram {
+    pub(crate) fn new(cfg: &SystemConfig) -> Self {
+        Dram {
+            busy: 0.0,
+            bytes_per_cycle: cfg.dram.bytes_per_cycle,
+            latency: cfg.dram.latency,
+        }
+    }
+
     /// Reserves bandwidth for `bytes` starting no earlier than `now`;
     /// returns `(bandwidth_done, completion)` — pipelined consumers (the
     /// stream engines) free up at `bandwidth_done` while the data itself
     /// lands at `completion`.
-    fn transfer(&mut self, now: u64, bytes: u64) -> (u64, u64) {
+    pub(crate) fn transfer(&mut self, now: u64, bytes: u64) -> (u64, u64) {
         let start = self.busy.max(now as f64);
         self.busy = start + bytes as f64 / self.bytes_per_cycle;
         let bw_done = self.busy.ceil() as u64;
@@ -49,6 +119,10 @@ impl Dram {
 }
 
 /// Simulates `trace` on `cfg`.
+///
+/// # Panics
+/// Panics if the trace exceeds the scheduler's 32-bit index limits; use
+/// [`try_simulate`] to handle that case as a [`SimError`].
 pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimReport {
     simulate_probed(trace, cfg, opts, &mut NoProbe)
 }
@@ -57,57 +131,186 @@ pub fn simulate(trace: &Trace, cfg: &SystemConfig, opts: &SimOptions) -> SimRepo
 /// completion to `probe` (see [`crate::probe`]). With [`NoProbe`] this
 /// monomorphizes to the unprobed hot loop, which is what [`simulate`]
 /// calls — observability costs nothing unless a probe asks for it.
+///
+/// # Panics
+/// Panics if the trace exceeds the scheduler's 32-bit index limits; use
+/// [`try_simulate_probed`] to handle that case as a [`SimError`].
 pub fn simulate_probed<P: SimProbe>(
     trace: &Trace,
     cfg: &SystemConfig,
     opts: &SimOptions,
     probe: &mut P,
 ) -> SimReport {
-    let n = trace.len();
+    try_simulate_probed(trace, cfg, opts, probe).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`simulate`]: rejects over-large traces instead of
+/// panicking (the old scheduler silently truncated node ids to `u32`).
+pub fn try_simulate(
+    trace: &Trace,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    try_simulate_probed(trace, cfg, opts, &mut NoProbe)
+}
+
+/// Fallible [`simulate_probed`].
+pub fn try_simulate_probed<P: SimProbe>(
+    trace: &Trace,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
+    let prep = PreparedSim::new(trace)?;
+    Ok(simulate_prepared_probed(&prep, cfg, opts, probe))
+}
+
+/// Fallible simulation on the engine selected by `engine` — the CLI's
+/// dispatch point for the `--engine` flag.
+pub fn try_simulate_probed_with<P: SimProbe>(
+    engine: Engine,
+    trace: &Trace,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+    probe: &mut P,
+) -> Result<SimReport, SimError> {
+    match engine {
+        Engine::Event => try_simulate_probed(trace, cfg, opts, probe),
+        Engine::Legacy => crate::legacy::try_simulate_probed(trace, cfg, opts, probe),
+    }
+}
+
+/// Simulates a [`PreparedSim`] arena on `cfg` — the sweep entry point:
+/// prepare once, simulate every configuration.
+pub fn simulate_prepared(prep: &PreparedSim, cfg: &SystemConfig, opts: &SimOptions) -> SimReport {
+    simulate_prepared_probed(prep, cfg, opts, &mut NoProbe)
+}
+
+/// Probed variant of [`simulate_prepared`].
+pub fn simulate_prepared_probed<P: SimProbe>(
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+    probe: &mut P,
+) -> SimReport {
+    // Fast path: when the probe statically observes nothing
+    // ([`SimProbe::IS_NOOP`]) and the trace/config pair admits the
+    // analytic service disciplines, the per-cycle loop drops away
+    // entirely ([`dataflow_loop`]). Probed runs keep the per-cycle core
+    // so every hook fires in the legacy order.
+    if P::IS_NOOP && dataflow_ok(prep, cfg) {
+        let mut st = DfState::new(prep, cfg);
+        let mut cache = Cache::new(cfg.cache);
+        dataflow_loop::<false>(prep, cfg, &mut st, &mut cache, &mut Recording::disabled());
+        return finalize_dataflow(st, cache, prep, cfg, opts);
+    }
+    run_core(prep, cfg, opts, probe)
+}
+
+/// Whether `prep` on `cfg` is served by the pure event loop
+/// ([`dataflow_loop`]) when unprobed: no scratchpad or stream nodes, at
+/// least one cache port, and the analytic-server preconditions hold.
+/// (The empty trace stays on the per-cycle core's trivial early
+/// return.)
+pub(crate) fn dataflow_ok(prep: &PreparedSim, cfg: &SystemConfig) -> bool {
+    prep.n > 0 && !prep.spad_or_stream && cfg.cache.ports >= 1 && analytic_ok(cfg)
+}
+
+/// Whether the analytic issue servers model `cfg` exactly: every
+/// compute latency ≥ 1 keeps completions strictly after their drain
+/// cycle (so serving at drain time cannot reorder same-cycle queue
+/// arrivals), and nonzero widths keep the server recurrence
+/// well-defined (a zero-width config livelocks identically on every
+/// core, so it stays on the per-cycle loop). The canonical
+/// configurations all qualify.
+fn analytic_ok(cfg: &SystemConfig) -> bool {
+    cfg.pe.fp_issue >= 1
+        && cfg.pe.int_issue >= 1
+        && cfg.pe.fp_alu_latency >= 1
+        && cfg.pe.fp_mul_latency >= 1
+        && cfg.pe.fp_long_latency >= 1
+        && cfg.pe.int_latency >= 1
+        && cfg.cache.hit_latency >= 1
+}
+
+/// Analytic in-order issue server for a width-limited resource.
+///
+/// The event heap pops ready nodes in `(cycle, id)` order — exactly the
+/// order they would have entered the corresponding in-order issue queue
+/// (the per-cycle loop drains the heap into the queues in that same
+/// order, and arrival cycles are non-decreasing over a run). A width-`w`
+/// FIFO queue serving up to `w` ops per cycle then has a two-word
+/// closed form: `cur` is the cycle the previous op issued and `used` how
+/// many ops have issued at `cur`. An op arriving at `at > cur` finds
+/// the queue drained and issues immediately; an op arriving at or
+/// behind the backlog issues at `cur` if a slot is left there, else
+/// opens cycle `cur + 1`. This reproduces the per-cycle loop's
+/// schedule exactly, width contention included.
+#[derive(Clone, Copy)]
+struct IssueSrv {
+    cur: u64,
+    used: usize,
+}
+
+impl IssueSrv {
+    fn new() -> Self {
+        IssueSrv { cur: 0, used: 0 }
+    }
+
+    #[inline]
+    fn issue_at(&mut self, at: u64, width: usize) -> u64 {
+        if self.cur < at {
+            self.cur = at;
+            self.used = 1;
+        } else if self.used < width {
+            self.used += 1;
+        } else {
+            self.cur += 1;
+            self.used = 1;
+        }
+        self.cur
+    }
+}
+
+/// The per-cycle scheduler core: the fully announced loop (every issue
+/// reported to `probe`, any probe type), with stream gap-skipping. Runs
+/// whatever the pure event loop cannot: probed simulations and traces
+/// that touch the scratchpad or stream engines.
+fn run_core<P: SimProbe>(
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+    probe: &mut P,
+) -> SimReport {
+    let n = prep.n;
     let mut report = SimReport::default();
     if n == 0 {
         return report;
     }
 
-    // Successor lists in CSR form + indegrees.
-    let mut indeg = vec![0u32; n];
-    let mut succ_cnt = vec![0u32; n];
-    for node in trace.nodes() {
-        for d in &node.deps {
-            succ_cnt[d.index()] += 1;
-        }
-    }
-    let mut succ_off = vec![0u32; n + 1];
-    for i in 0..n {
-        succ_off[i + 1] = succ_off[i] + succ_cnt[i];
-    }
-    let mut succ_dat = vec![0u32; succ_off[n] as usize];
-    let mut fill = succ_off.clone();
-    for (i, node) in trace.nodes().iter().enumerate() {
-        indeg[i] = node.deps.len() as u32;
-        for d in &node.deps {
-            let di = d.index();
-            succ_dat[fill[di] as usize] = i as u32;
-            fill[di] += 1;
-        }
-    }
+    let class = &prep.class[..n];
+    let flags = &prep.flags[..n];
+    let addr = &prep.addr[..n];
+    let nbytes = &prep.bytes[..n];
+    let succ_off = &prep.succ_off[..n + 1];
+    let succ_dat = &prep.succ_dat[..];
 
-    let mut ready_time = vec![0u64; n];
+    // Fused (ready, indeg) state: one memcpy from the arena template, one
+    // random access per dependence edge in the completion walk.
+    let mut pend = prep.pend0.clone();
     let mut finish = vec![0u64; n];
-    // Future-ready events.
-    let mut events: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
-    for (i, d) in indeg.iter().enumerate() {
-        if *d == 0 {
-            events.push(std::cmp::Reverse((0, i as u32)));
-        }
-    }
+    let mut events: BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
+        BinaryHeap::with_capacity(prep.roots.len().max(64));
 
     // Per-class in-order wait queues.
-    let mut q_fp: VecDeque<u32> = VecDeque::new();
-    let mut q_int: VecDeque<u32> = VecDeque::new();
-    let mut q_mem: VecDeque<u32> = VecDeque::new();
-    let mut q_spad: VecDeque<u32> = VecDeque::new();
-    let mut q_stream: [VecDeque<u32>; 2] = [VecDeque::new(), VecDeque::new()];
+    let mut q_fp: VecDeque<u32> = VecDeque::with_capacity(64);
+    let mut q_int: VecDeque<u32> = VecDeque::with_capacity(64);
+    let mut q_mem: VecDeque<u32> = VecDeque::with_capacity(64);
+    let mut q_spad: VecDeque<u32> = VecDeque::with_capacity(64);
+    let mut q_stream: [VecDeque<u32>; 2] =
+        [VecDeque::with_capacity(16), VecDeque::with_capacity(16)];
+    // Reusable conflict scratch (the old loop allocated one per cycle).
+    let mut stash: Vec<u32> = Vec::with_capacity(SPAD_SCAN_WINDOW);
 
     let mut cache = Cache::new(cfg.cache);
     // Byte accounting must use the geometry the cache actually built
@@ -116,14 +319,10 @@ pub fn simulate_probed<P: SimProbe>(
     // MSHR free times: a demand miss needs a slot, else the memory queue
     // stalls at its head.
     let mut mshr: Vec<u64> = vec![0; cfg.cache.mshrs.max(1)];
-    let mut dram = Dram {
-        busy: 0.0,
-        bytes_per_cycle: cfg.dram.bytes_per_cycle,
-        latency: cfg.dram.latency,
-    };
+    let mut dram = Dram::new(cfg);
     let mut stream_free = [0u64; 2];
 
-    let phase_barrier_idx = trace.nodes().iter().position(|nd| nd.phase == Phase::Rev);
+    let phase_barrier_idx = prep.phase_barrier_idx;
     probe.on_start(&ProbeGeometry::of(cfg, phase_barrier_idx.is_some()));
 
     let mut now: u64 = 0;
@@ -143,28 +342,36 @@ pub fn simulate_probed<P: SimProbe>(
             }
             for s in &succ_dat[succ_off[id] as usize..succ_off[id + 1] as usize] {
                 let si = *s as usize;
-                ready_time[si] = ready_time[si].max(fin);
-                indeg[si] -= 1;
-                if indeg[si] == 0 {
+                let p = &mut pend[si];
+                if p.ready < fin {
+                    p.ready = fin;
+                }
+                p.indeg -= 1;
+                if p.indeg == 0 {
                     if phase_barrier_idx == Some(si) {
-                        probe.on_barrier_ready(now, ready_time[si]);
+                        probe.on_barrier_ready(now, p.ready);
                     }
-                    events.push(std::cmp::Reverse((ready_time[si], *s)));
+                    events.push(std::cmp::Reverse((p.ready, *s)));
                 }
             }
         }};
     }
 
+    for &r in &prep.roots {
+        events.push(std::cmp::Reverse((0, r)));
+    }
+
     while completed < n {
         probe.on_cycle_start(now);
-        // Drain events that became ready.
+        // Drain events that became ready. The loop never jumps past a
+        // pending event, so a node drains exactly at its ready cycle
+        // (`t == now`).
         while let Some(&std::cmp::Reverse((t, id))) = events.peek() {
             if t > now {
                 break;
             }
             events.pop();
-            let node = &trace.nodes()[id as usize];
-            match node.class() {
+            match class[id as usize] {
                 OpClass::Sync => {
                     // Barriers and SAlloc cost nothing by themselves.
                     complete!(id, now);
@@ -174,29 +381,28 @@ pub fn simulate_probed<P: SimProbe>(
                 OpClass::MemLoad | OpClass::MemStore => q_mem.push_back(id),
                 OpClass::SpadLoad | OpClass::SpadStore => q_spad.push_back(id),
                 OpClass::Stream => {
-                    let dir = usize::from(matches!(node.op, Op::StreamIn(_)));
+                    let dir = usize::from(flags[id as usize] & FLAG_STREAM_IN != 0);
                     q_stream[dir].push_back(id);
                 }
             }
         }
 
-        // Issue FP ops.
+        // Issue FP and integer ops through the width-limited slots.
         let mut fp_left = cfg.pe.fp_issue;
         while fp_left > 0 {
             let Some(id) = q_fp.pop_front() else { break };
             fp_left -= 1;
             report.fp_ops += 1;
-            let class = trace.nodes()[id as usize].class();
-            let lat = match class {
+            let c = class[id as usize];
+            let lat = match c {
                 OpClass::FpAlu => cfg.pe.fp_alu_latency,
                 OpClass::FpMul => cfg.pe.fp_mul_latency,
                 _ => cfg.pe.fp_long_latency,
             };
-            probe.on_fp_issue(now, now + lat, class);
+            probe.on_fp_issue(now, now + lat, c);
             complete!(id, now + lat);
         }
 
-        // Issue integer ops.
         let mut int_left = cfg.pe.int_issue;
         while int_left > 0 {
             let Some(id) = q_int.pop_front() else { break };
@@ -212,23 +418,26 @@ pub fn simulate_probed<P: SimProbe>(
         let mut ports_left = cfg.cache.ports;
         while ports_left > 0 {
             let Some(&id) = q_mem.front() else { break };
-            let node = &trace.nodes()[id as usize];
-            let is_write = node.class() == OpClass::MemStore;
-            // Peek whether this would miss without an MSHR available.
-            let mshr_slot = mshr
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .map(|(i, _)| i)
-                .expect("mshr vec non-empty");
-            let res = cache.access(node.addr, is_write);
+            let f = flags[id as usize];
+            let is_write = class[id as usize] == OpClass::MemStore;
+            let (is_tape, is_rev) = (f & FLAG_TAPE != 0, f & FLAG_REV != 0);
+            // Peek whether this would miss without an MSHR available
+            // (first slot with the minimum free time, same pick as the
+            // iterator-based scan this replaced).
+            let mut mshr_slot = 0;
+            for i in 1..mshr.len() {
+                if mshr[i] < mshr[mshr_slot] {
+                    mshr_slot = i;
+                }
+            }
+            let res = cache.access(addr[id as usize], is_write);
             if !res.hit && mshr[mshr_slot] > now {
                 // Undo nothing: the line was allocated, but the request
                 // still pays the stall — model the stall by waiting.
                 // (Allocation-on-stall slightly favours the baseline.)
                 report.cache.misses += 1;
-                report.cache.tape_misses += u64::from(node.is_tape);
-                report.cache.rev_misses += u64::from(node.phase == Phase::Rev);
+                report.cache.tape_misses += u64::from(is_tape);
+                report.cache.rev_misses += u64::from(is_rev);
                 report.dram_fill_bytes += line_bytes;
                 if res.writeback.is_some() {
                     report.cache.writebacks += 1;
@@ -239,14 +448,14 @@ pub fn simulate_probed<P: SimProbe>(
                 let (_, fin) = dram.transfer(start, line_bytes);
                 mshr[mshr_slot] = fin;
                 q_mem.pop_front();
-                probe.on_mshr_stall(now, node.is_tape);
+                probe.on_mshr_stall(now, is_tape);
                 probe.on_cache_access(&CacheAccessEvent {
                     now,
                     fin: fin + cfg.cache.hit_latency,
                     port: cfg.cache.ports - ports_left,
                     hit: false,
-                    is_tape: node.is_tape,
-                    is_rev: node.phase == Phase::Rev,
+                    is_tape,
+                    is_rev,
                     is_write,
                 });
                 complete!(id, fin + cfg.cache.hit_latency);
@@ -255,7 +464,6 @@ pub fn simulate_probed<P: SimProbe>(
             }
             q_mem.pop_front();
             ports_left -= 1;
-            let (is_tape, is_rev) = (node.is_tape, node.phase == Phase::Rev);
             let port = cfg.cache.ports - ports_left - 1;
             if res.hit {
                 report.cache.hits += 1;
@@ -298,34 +506,34 @@ pub fn simulate_probed<P: SimProbe>(
 
         // Issue scratchpad accesses, one per bank per cycle, scanning a
         // bounded window past bank conflicts.
-        let mut banks_used: u64 = 0;
-        let mut stash: Vec<u32> = Vec::new();
-        let mut scanned = 0;
-        while scanned < SPAD_SCAN_WINDOW {
-            let Some(id) = q_spad.pop_front() else { break };
-            scanned += 1;
-            let node = &trace.nodes()[id as usize];
-            let bank = (node.addr as usize) % cfg.spad.banks.max(1);
-            if banks_used & (1u64 << bank) == 0 {
-                banks_used |= 1u64 << bank;
-                report.spad_accesses += 1;
-                probe.on_spad_access(now, now + cfg.spad.latency, bank);
-                complete!(id, now + cfg.spad.latency);
-            } else {
-                probe.on_spad_conflict(now, bank);
-                stash.push(id);
+        if !q_spad.is_empty() {
+            let mut banks_used: u64 = 0;
+            let mut scanned = 0;
+            stash.clear();
+            while scanned < SPAD_SCAN_WINDOW {
+                let Some(id) = q_spad.pop_front() else { break };
+                scanned += 1;
+                let bank = (addr[id as usize] as usize) % cfg.spad.banks.max(1);
+                if banks_used & (1u64 << bank) == 0 {
+                    banks_used |= 1u64 << bank;
+                    report.spad_accesses += 1;
+                    probe.on_spad_access(now, now + cfg.spad.latency, bank);
+                    complete!(id, now + cfg.spad.latency);
+                } else {
+                    probe.on_spad_conflict(now, bank);
+                    stash.push(id);
+                }
             }
-        }
-        for id in stash.into_iter().rev() {
-            q_spad.push_front(id);
+            for id in stash.drain(..).rev() {
+                q_spad.push_front(id);
+            }
         }
 
         // Issue streams: one in flight per engine.
         for dir in 0..2 {
             if stream_free[dir] <= now {
                 if let Some(id) = q_stream[dir].pop_front() {
-                    let node = &trace.nodes()[id as usize];
-                    let bytes = node.bytes as u64;
+                    let bytes = nbytes[id as usize] as u64;
                     report.stream_cmds += 1;
                     report.dram_stream_bytes += bytes;
                     let (bw_done, fin) = dram.transfer(now, bytes);
@@ -336,20 +544,36 @@ pub fn simulate_probed<P: SimProbe>(
             }
         }
 
-        let queues_busy = !q_fp.is_empty()
-            || !q_int.is_empty()
-            || !q_mem.is_empty()
-            || !q_spad.is_empty()
-            || !q_stream[0].is_empty()
-            || !q_stream[1].is_empty();
+        let compute_busy =
+            !q_fp.is_empty() || !q_int.is_empty() || !q_mem.is_empty() || !q_spad.is_empty();
+        let queues_busy = compute_busy || !q_stream[0].is_empty() || !q_stream[1].is_empty();
         probe.on_cycle_end(now, queues_busy);
         if completed >= n {
             break;
         }
-        // Advance time: to the next event if idle, else one cycle.
-        if queues_busy {
+        // Advance time.
+        if compute_busy {
+            // Memory/scratchpad queues make progress every cycle while
+            // non-empty; no cycle may be skipped.
             now += 1;
+        } else if queues_busy {
+            // Gap-skip: only stream commands are pending and every engine
+            // holding work is busy. Nothing can issue before the earliest
+            // engine-free or node-ready boundary, so jump straight there
+            // (at least one cycle, matching the scalar loop's `now += 1`
+            // when that boundary is immediate).
+            let mut next = u64::MAX;
+            for dir in 0..2 {
+                if !q_stream[dir].is_empty() {
+                    next = next.min(stream_free[dir]);
+                }
+            }
+            if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
+                next = next.min(t);
+            }
+            now = next.max(now + 1);
         } else if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
+            // Idle: jump to the next future-ready node.
             now = now.max(t);
         } else {
             // Nothing queued and no events: all in-flight work completes
@@ -367,7 +591,7 @@ pub fn simulate_probed<P: SimProbe>(
     // eventually. Charge those write-backs to traffic exactly once — this
     // happens before energy accounting so the DRAM energy sees them too —
     // otherwise small working sets hide store traffic by never evicting.
-    let flushed = cache.flush_dirty();
+    let flushed = cache.dirty_lines();
     report.cache.writebacks += flushed;
     report.cache.flush_writebacks = flushed;
     report.dram_writeback_bytes += flushed * line_bytes;
@@ -386,6 +610,601 @@ pub fn simulate_probed<P: SimProbe>(
     report
 }
 
+/// Calendar slots in the event wheel: a power of two comfortably above
+/// every service latency in the canonical configurations, so almost all
+/// events land inside the window and the overflow heap stays tiny.
+/// Small traces get a smaller wheel ([`wheel_slots`]) — zeroing the
+/// ring costs more than the events it would hold; the overflow heap
+/// absorbs the occasional far event either way.
+const WHEEL: usize = 4096;
+
+/// The wheel size for an `n`-node trace.
+fn wheel_slots(n: usize) -> usize {
+    (n / 4).next_power_of_two().clamp(64, WHEEL)
+}
+
+/// Calendar event queue for the pure event loop: a time wheel with a
+/// two-level occupancy bitmap plus an overflow heap for events beyond
+/// the horizon. Push is O(1); finding the next occupied cycle is at
+/// most four find-first-set scans; each occupied cycle drains as one
+/// sorted batch. Replaces the binary heap, whose per-event sift-downs
+/// dominated the event loop's host profile.
+struct EventQ {
+    ring: Vec<Vec<u32>>,
+    /// One bit per slot.
+    occ: Vec<u64>,
+    /// One bit per `occ` word (at most `WHEEL / 64 = 64` words).
+    occ_sum: u64,
+    over: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    /// Window start: every ring event's time is in `[cur, cur + slots)`
+    /// and every overflow event's time is `>= cur + slots`.
+    cur: u64,
+    /// `slots - 1` (slot count is a power of two).
+    mask: usize,
+    len: usize,
+}
+
+impl EventQ {
+    fn new(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two() && (64..=WHEEL).contains(&slots));
+        EventQ {
+            ring: vec![Vec::new(); slots],
+            occ: vec![0; slots / 64],
+            occ_sum: 0,
+            over: BinaryHeap::new(),
+            cur: 0,
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Queues `id` at time `t`. Requires `t >= self.cur`: service times
+    /// never precede arrival times and the window only moves forward.
+    #[inline]
+    fn push(&mut self, t: u64, id: u32) {
+        self.len += 1;
+        if t - self.cur <= self.mask as u64 {
+            let s = t as usize & self.mask;
+            self.ring[s].push(id);
+            self.occ[s >> 6] |= 1 << (s & 63);
+            self.occ_sum |= 1 << (s >> 6);
+        } else {
+            self.over.push(std::cmp::Reverse((t, id)));
+        }
+    }
+
+    /// First occupied slot at or after `cur`'s slot in window order
+    /// (wrapped slots hold later times than unwrapped ones).
+    fn scan(&self) -> Option<usize> {
+        let base = self.cur as usize & self.mask;
+        let w0 = base >> 6;
+        let m = self.occ[w0] & (!0u64 << (base & 63));
+        if m != 0 {
+            return Some((w0 << 6) | m.trailing_zeros() as usize);
+        }
+        let hi = if w0 + 1 < 64 {
+            self.occ_sum & (!0u64 << (w0 + 1))
+        } else {
+            0
+        };
+        if hi != 0 {
+            let w = hi.trailing_zeros() as usize;
+            return Some((w << 6) | self.occ[w].trailing_zeros() as usize);
+        }
+        let lo = self.occ_sum & !(!0u64 << w0);
+        if lo != 0 {
+            let w = lo.trailing_zeros() as usize;
+            return Some((w << 6) | self.occ[w].trailing_zeros() as usize);
+        }
+        let m2 = self.occ[w0] & !(!0u64 << (base & 63));
+        if m2 != 0 {
+            return Some((w0 << 6) | m2.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Earliest queued time; advances the window there and refills it
+    /// from the overflow heap. `None` when the queue is empty.
+    fn next_time(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(slot) = self.scan() {
+            let base = self.cur as usize & self.mask;
+            let delta = (slot + self.mask + 1 - base) & self.mask;
+            self.cur += delta as u64;
+        } else {
+            // Ring empty: jump the window to the overflow minimum.
+            let &std::cmp::Reverse((t, _)) = self.over.peek().expect("len > 0 with an empty ring");
+            self.cur = t;
+        }
+        while let Some(&std::cmp::Reverse((t, id))) = self.over.peek() {
+            if t - self.cur > self.mask as u64 {
+                break;
+            }
+            self.over.pop();
+            let s = t as usize & self.mask;
+            self.ring[s].push(id);
+            self.occ[s >> 6] |= 1 << (s & 63);
+            self.occ_sum |= 1 << (s >> 6);
+        }
+        Some(self.cur)
+    }
+
+    /// Moves every event queued at `t` (the value [`EventQ::next_time`]
+    /// returned) into `batch`.
+    fn take_into(&mut self, t: u64, batch: &mut Vec<u32>) {
+        let s = t as usize & self.mask;
+        self.len -= self.ring[s].len();
+        batch.append(&mut self.ring[s]);
+        self.occ[s >> 6] &= !(1 << (s & 63));
+        if self.occ[s >> 6] == 0 {
+            self.occ_sum &= !(1 << (s >> 6));
+        }
+    }
+
+    /// Every queued `(time, id)` pair, unordered (for checkpoints).
+    fn snapshot(&self) -> Vec<(u64, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        let base = self.cur as usize & self.mask;
+        let anchor = self.cur - base as u64;
+        for (s, bucket) in self.ring.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let t = anchor + s as u64 + if s < base { self.mask as u64 + 1 } else { 0 };
+            for &id in bucket {
+                out.push((t, id));
+            }
+        }
+        for &std::cmp::Reverse(e) in &self.over {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Rebuilds a queue whose window starts at `cur` from a snapshot.
+    fn restore(cur: u64, events: &[(u64, u32)], slots: usize) -> Self {
+        let mut eq = EventQ::new(slots);
+        eq.cur = cur;
+        for &(t, id) in events {
+            eq.push(t, id);
+        }
+        eq
+    }
+}
+
+/// The pure event loop's complete scheduler state. Everything the loop
+/// mutates lives here except the cache (which an incremental
+/// re-simulation rebuilds by replay rather than by snapshot — see
+/// [`crate::sweep`]), so a checkpoint is a plain extract and a resume
+/// continues mid-run with byte-identical results.
+pub(crate) struct DfState {
+    pend: Vec<NodeState>,
+    finish: Vec<u64>,
+    eq: EventQ,
+    fp_srv: IssueSrv,
+    int_srv: IssueSrv,
+    mem_srv: IssueSrv,
+    mshr: Vec<u64>,
+    dram: Dram,
+    report: SimReport,
+    completed: usize,
+    max_finish: u64,
+    /// Cache accesses served so far — the recording/checkpoint clock.
+    accesses: u64,
+}
+
+impl DfState {
+    pub(crate) fn new(prep: &PreparedSim, cfg: &SystemConfig) -> Self {
+        let mut eq = EventQ::new(wheel_slots(prep.n));
+        for &r in &prep.roots {
+            eq.push(0, r);
+        }
+        DfState {
+            pend: prep.pend0.clone(),
+            finish: vec![0u64; prep.n],
+            eq,
+            fp_srv: IssueSrv::new(),
+            int_srv: IssueSrv::new(),
+            mem_srv: IssueSrv::new(),
+            mshr: vec![0; cfg.cache.mshrs.max(1)],
+            dram: Dram::new(cfg),
+            report: SimReport::default(),
+            completed: 0,
+            max_finish: 0,
+            accesses: 0,
+        }
+    }
+
+    fn snap(&self) -> DfSnap {
+        DfSnap {
+            pend: self.pend.clone(),
+            finish: self.finish.clone(),
+            events: self.eq.snapshot(),
+            eq_cur: self.eq.cur,
+            eq_slots: self.eq.mask + 1,
+            fp_srv: self.fp_srv,
+            int_srv: self.int_srv,
+            mem_srv: self.mem_srv,
+            mshr: self.mshr.clone(),
+            dram_busy: self.dram.busy,
+            report: self.report.clone(),
+            completed: self.completed,
+            max_finish: self.max_finish,
+            accesses: self.accesses,
+        }
+    }
+
+    /// Rebuilds the state a checkpoint captured. The caller supplies the
+    /// cache separately (replayed up to the same access count).
+    pub(crate) fn restore(s: &DfSnap, cfg: &SystemConfig) -> Self {
+        let mut dram = Dram::new(cfg);
+        dram.busy = s.dram_busy;
+        DfState {
+            pend: s.pend.clone(),
+            finish: s.finish.clone(),
+            eq: EventQ::restore(s.eq_cur, &s.events, s.eq_slots),
+            fp_srv: s.fp_srv,
+            int_srv: s.int_srv,
+            mem_srv: s.mem_srv,
+            mshr: s.mshr.clone(),
+            dram,
+            report: s.report.clone(),
+            completed: s.completed,
+            max_finish: s.max_finish,
+            accesses: s.accesses,
+        }
+    }
+}
+
+/// A scheduler-state checkpoint, taken at batch boundaries during a
+/// recorded run. Deliberately cache-free: the scheduler's evolution
+/// depends on the cache only through per-access outcomes, which the
+/// recording captures, so one set of checkpoints serves every geometry
+/// whose outcome stream shares the prefix.
+pub(crate) struct DfSnap {
+    pend: Vec<NodeState>,
+    finish: Vec<u64>,
+    events: Vec<(u64, u32)>,
+    eq_cur: u64,
+    eq_slots: usize,
+    fp_srv: IssueSrv,
+    int_srv: IssueSrv,
+    mem_srv: IssueSrv,
+    mshr: Vec<u64>,
+    dram_busy: f64,
+    report: SimReport,
+    completed: usize,
+    max_finish: u64,
+    pub(crate) accesses: u64,
+}
+
+/// Recorded access meta bit: the access was a store.
+pub(crate) const REC_WRITE: u8 = 1 << 0;
+/// Recorded access meta bit: the access hit.
+pub(crate) const REC_HIT: u8 = 1 << 1;
+/// Recorded access meta bit: the fill evicted a dirty line.
+pub(crate) const REC_WB: u8 = 1 << 2;
+
+/// The record of a dataflow run: the cache access stream in schedule
+/// order with each access's outcome, plus periodic scheduler
+/// checkpoints. A later run that only changes the cache geometry
+/// replays `addrs` through the new cache and compares outcomes; while
+/// they match, the schedule is provably identical, so the run can skip
+/// straight to the checkpoint before the first divergence.
+pub(crate) struct Recording {
+    pub(crate) addrs: Vec<u64>,
+    pub(crate) meta: Vec<u8>,
+    pub(crate) ckpts: Vec<Ckpt>,
+    next_ckpt: u64,
+    max_ckpts: usize,
+}
+
+/// One checkpoint: the scheduler state with `snap.accesses` cache
+/// accesses already served.
+pub(crate) struct Ckpt {
+    pub(crate) snap: DfSnap,
+}
+
+impl Recording {
+    /// A recording that records nothing (the plain-run mode; with
+    /// `REC = false` the loop never touches it).
+    pub(crate) fn disabled() -> Recording {
+        Recording {
+            addrs: Vec::new(),
+            meta: Vec::new(),
+            ckpts: Vec::new(),
+            next_ckpt: u64::MAX,
+            max_ckpts: 0,
+        }
+    }
+
+    /// A live recording: checkpoints on a geometric (doubling) access
+    /// schedule starting at `first`, at most `max_ckpts` of them
+    /// (memory bound; zero disables checkpointing while still
+    /// recording the outcome stream). The schedule is early-biased on
+    /// purpose — on a descending cache-size ladder, each smaller
+    /// configuration diverges *earlier* than the last (capacity
+    /// pressure bites sooner), so resumes cluster near the start of
+    /// the run while late checkpoints go unused. `cap` preallocates
+    /// the access buffers (the trace's memory-node count).
+    pub(crate) fn new(first: u64, max_ckpts: usize, cap: usize) -> Recording {
+        Recording {
+            addrs: Vec::with_capacity(cap),
+            meta: Vec::with_capacity(cap),
+            ckpts: Vec::new(),
+            next_ckpt: if max_ckpts == 0 {
+                u64::MAX
+            } else {
+                first.max(1)
+            },
+            max_ckpts,
+        }
+    }
+
+    fn take_ckpt(&mut self, st: &DfState) {
+        if self.ckpts.len() >= self.max_ckpts {
+            self.next_ckpt = u64::MAX;
+            return;
+        }
+        self.ckpts.push(Ckpt { snap: st.snap() });
+        // Doubling schedule; catch up past the current clock when a
+        // batch overshot several scheduled points at once.
+        let mut next = self.next_ckpt;
+        while next <= st.accesses {
+            next = next.saturating_mul(2);
+        }
+        self.next_ckpt = next;
+    }
+
+    /// Drops everything past checkpoint `keep` so the tail can be
+    /// re-recorded from there. The re-recorded tail takes **no new
+    /// checkpoints**: snapshots cost ~24 bytes/node of memcpy each,
+    /// and on a monotone ladder every later divergence lands at or
+    /// before this one, where the surviving prefix checkpoints
+    /// already serve.
+    pub(crate) fn truncate_to(&mut self, keep: usize) {
+        let cut = self.ckpts[keep].snap.accesses;
+        self.ckpts.truncate(keep + 1);
+        self.addrs.truncate(cut as usize);
+        self.meta.truncate(cut as usize);
+        self.next_ckpt = u64::MAX;
+    }
+}
+
+/// The pure event loop: no per-cycle iteration at all. Dispatched for
+/// no-op probes when [`dataflow_ok`] holds — the trace never touches
+/// the scratchpad or stream engines, so the only resources are the
+/// FP/INT slots and the cache, all of which have exact closed-form
+/// service disciplines once ops are fed in queue-arrival order. The
+/// event queue's pop order *is* that order, so cache accesses, DRAM
+/// transfers and MSHR assignments happen in exactly the per-cycle
+/// loop's sequence with exactly its timestamps; reports are
+/// byte-identical. Probe hooks are omitted — the probe is statically a
+/// no-op and cannot observe the difference.
+///
+/// Each occupied cycle drains as one id-sorted batch from the wheel.
+/// Zero-cost completions (`Sync`) may ready successors in the *same*
+/// cycle; those go to a small side heap merged against the remaining
+/// batch, reproducing the event heap's `(time, id)` pop order exactly.
+/// All other service latencies are ≥ 1 ([`analytic_ok`]), so their
+/// completions are strictly future events.
+///
+/// With `REC = true` every cache access's address and outcome is
+/// appended to `rec` and scheduler checkpoints are taken at batch
+/// boundaries — the raw material for [`crate::sweep`]'s incremental
+/// re-simulation. The recording hooks compile out under `REC = false`.
+pub(crate) fn dataflow_loop<const REC: bool>(
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    st: &mut DfState,
+    cache: &mut Cache,
+    rec: &mut Recording,
+) {
+    let n = prep.n;
+    let class = &prep.class[..n];
+    let flags = &prep.flags[..n];
+    let addr = &prep.addr[..n];
+    let succ_off = &prep.succ_off[..n + 1];
+    let succ_dat = &prep.succ_dat[..];
+    let line_bytes = cache.config().line_bytes as u64;
+
+    let mut batch: Vec<u32> = Vec::with_capacity(256);
+    let mut side: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+
+    while st.completed < n {
+        if REC && st.accesses >= rec.next_ckpt {
+            rec.take_ckpt(st);
+        }
+        // An empty queue before completion means unsatisfiable
+        // dependences (not a DAG); stop with a short report instead of
+        // spinning — no trace built through the public constructors can
+        // get here.
+        let Some(t) = st.eq.next_time() else { break };
+        st.eq.take_into(t, &mut batch);
+        batch.sort_unstable();
+
+        macro_rules! complete {
+            ($id:expr, $fin:expr) => {{
+                let id = $id as usize;
+                let fin: u64 = $fin;
+                st.finish[id] = fin;
+                if fin > st.max_finish {
+                    st.max_finish = fin;
+                }
+                st.completed += 1;
+                for s in &succ_dat[succ_off[id] as usize..succ_off[id + 1] as usize] {
+                    let si = *s as usize;
+                    let p = &mut st.pend[si];
+                    if p.ready < fin {
+                        p.ready = fin;
+                    }
+                    p.indeg -= 1;
+                    if p.indeg == 0 {
+                        if p.ready == t {
+                            side.push(std::cmp::Reverse(*s));
+                        } else {
+                            st.eq.push(p.ready, *s);
+                        }
+                    }
+                }
+            }};
+        }
+
+        let mut bi = 0;
+        loop {
+            let id = match (batch.get(bi).copied(), side.peek().copied()) {
+                (Some(b), Some(std::cmp::Reverse(s))) => {
+                    if s < b {
+                        side.pop();
+                        s
+                    } else {
+                        bi += 1;
+                        b
+                    }
+                }
+                (Some(b), None) => {
+                    bi += 1;
+                    b
+                }
+                (None, Some(_)) => {
+                    let std::cmp::Reverse(s) = side.pop().expect("peeked");
+                    s
+                }
+                (None, None) => break,
+            };
+            let idu = id as usize;
+            match class[idu] {
+                // Barriers and SAlloc cost nothing by themselves; their
+                // same-cycle successors merge into the batch in id
+                // order, exactly as the event heap would interleave
+                // them.
+                OpClass::Sync => complete!(id, t),
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpLong => {
+                    let lat = match class[idu] {
+                        OpClass::FpAlu => cfg.pe.fp_alu_latency,
+                        OpClass::FpMul => cfg.pe.fp_mul_latency,
+                        _ => cfg.pe.fp_long_latency,
+                    };
+                    st.report.fp_ops += 1;
+                    complete!(id, st.fp_srv.issue_at(t, cfg.pe.fp_issue) + lat);
+                }
+                OpClass::Int => {
+                    st.report.int_ops += 1;
+                    complete!(
+                        id,
+                        st.int_srv.issue_at(t, cfg.pe.int_issue) + cfg.pe.int_latency
+                    );
+                }
+                OpClass::MemLoad | OpClass::MemStore => {
+                    let is_write = class[idu] == OpClass::MemStore;
+                    let f = flags[idu];
+                    let (is_tape, is_rev) = (f & FLAG_TAPE != 0, f & FLAG_REV != 0);
+                    // The memory queue follows the same closed form
+                    // through the cache ports, with one extra rule at
+                    // the stall site: a miss with no free MSHR ends its
+                    // service cycle (head-of-line).
+                    let s = st.mem_srv.issue_at(t, cfg.cache.ports);
+                    let mut mshr_slot = 0;
+                    for i in 1..st.mshr.len() {
+                        if st.mshr[i] < st.mshr[mshr_slot] {
+                            mshr_slot = i;
+                        }
+                    }
+                    let res = cache.access(addr[idu], is_write);
+                    if REC {
+                        rec.addrs.push(addr[idu]);
+                        rec.meta.push(
+                            (REC_WRITE * u8::from(is_write))
+                                | (REC_HIT * u8::from(res.hit))
+                                | (REC_WB * u8::from(res.writeback.is_some())),
+                        );
+                    }
+                    st.accesses += 1;
+                    if res.hit {
+                        st.report.cache.hits += 1;
+                        st.report.cache.tape_hits += u64::from(is_tape);
+                        st.report.cache.rev_hits += u64::from(is_rev);
+                        complete!(id, s + cfg.cache.hit_latency);
+                    } else {
+                        st.report.cache.misses += 1;
+                        st.report.cache.tape_misses += u64::from(is_tape);
+                        st.report.cache.rev_misses += u64::from(is_rev);
+                        st.report.dram_fill_bytes += line_bytes;
+                        if res.writeback.is_some() {
+                            st.report.cache.writebacks += 1;
+                            st.report.dram_writeback_bytes += line_bytes;
+                            let _ = st.dram.transfer(s, line_bytes);
+                        }
+                        if st.mshr[mshr_slot] > s {
+                            // Head-of-line MSHR stall: the fill starts
+                            // when a slot frees, and nothing else issues
+                            // behind the stalled miss this cycle —
+                            // saturate it.
+                            let (_, fin) = st.dram.transfer(st.mshr[mshr_slot], line_bytes);
+                            st.mshr[mshr_slot] = fin;
+                            st.mem_srv.used = cfg.cache.ports;
+                            complete!(id, fin + cfg.cache.hit_latency);
+                        } else {
+                            let (_, fin) = st.dram.transfer(s, line_bytes);
+                            st.mshr[mshr_slot] = fin;
+                            complete!(id, fin + cfg.cache.hit_latency);
+                        }
+                    }
+                }
+                OpClass::SpadLoad | OpClass::SpadStore | OpClass::Stream => {
+                    unreachable!("dispatcher guarantees no scratchpad/stream nodes")
+                }
+            }
+        }
+        batch.clear();
+    }
+}
+
+/// Turns a finished [`DfState`] into the report: total/forward cycles,
+/// the end-of-run dirty flush, energy, and (on request) per-node finish
+/// times. Identical to the per-cycle core's epilogue.
+pub(crate) fn finalize_dataflow(
+    st: DfState,
+    cache: Cache,
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+) -> SimReport {
+    let mut report = st.report;
+    report.cycles = st.max_finish;
+    report.fwd_cycles = prep
+        .phase_barrier_idx
+        .map_or(st.max_finish, |i| st.finish[i]);
+
+    let line_bytes = cache.config().line_bytes as u64;
+    let flushed = cache.dirty_lines();
+    report.cache.writebacks += flushed;
+    report.cache.flush_writebacks = flushed;
+    report.dram_writeback_bytes += flushed * line_bytes;
+
+    recompute_energy(&mut report, cfg);
+    if opts.record_node_times {
+        report.node_finish = Some(st.finish);
+    }
+    report
+}
+
+/// (Re)derives the energy block from the report's counters — a pure
+/// function of them, which is what lets an incremental re-simulation
+/// reuse a recorded report across cache sizes (the table's per-access
+/// cache energy is the only size-dependent term).
+pub(crate) fn recompute_energy(report: &mut SimReport, cfg: &SystemConfig) {
+    let cache_access_pj = EnergyTable::cache_pj(cfg.cache.size_bytes);
+    report.energy = EnergyReport {
+        cache_pj: report.cache.accesses() as f64 * cache_access_pj,
+        spad_pj: report.spad_accesses as f64 * cfg.energy.spad_pj,
+        stream_pj: (report.dram_stream_bytes as f64 / 8.0) * cfg.energy.stream_elem_pj,
+        dram_pj: report.dram_bytes() as f64 * cfg.energy.dram_pj_per_byte,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,13 +1212,16 @@ mod tests {
     use tapeflow_ir::trace::{trace_function, TraceOptions};
     use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
 
-    fn sim_of(build: impl FnOnce(&mut FunctionBuilder), cfg: &SystemConfig) -> SimReport {
+    fn trace_of(build: impl FnOnce(&mut FunctionBuilder)) -> Trace {
         let mut b = FunctionBuilder::new("t");
         build(&mut b);
         let f = b.finish();
         let mut mem = Memory::for_function(&f);
-        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
-        simulate(&trace, cfg, &SimOptions::default())
+        trace_function(&f, &mut mem, TraceOptions::default()).unwrap()
+    }
+
+    fn sim_of(build: impl FnOnce(&mut FunctionBuilder), cfg: &SystemConfig) -> SimReport {
+        simulate(&trace_of(build), cfg, &SimOptions::default())
     }
 
     #[test]
@@ -606,5 +1428,117 @@ mod tests {
         let times = r.node_finish.unwrap();
         assert_eq!(times.len(), trace.len());
         assert!(times.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn engine_names_parse_and_round_trip() {
+        assert_eq!(Engine::parse("event"), Some(Engine::Event));
+        assert_eq!(Engine::parse("legacy"), Some(Engine::Legacy));
+        assert_eq!(Engine::parse("warp"), None);
+        assert_eq!(Engine::default(), Engine::Event);
+        for e in [Engine::Event, Engine::Legacy] {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+        }
+    }
+
+    #[test]
+    fn prepared_arena_reuses_across_configs() {
+        // One arena, many configs: results match fresh simulations.
+        let trace = trace_of(|b| {
+            let x = b.array("x", 64, ArrayKind::Input, Scalar::F64);
+            b.for_loop("i", 0, 64, |b, i| {
+                let v = b.load(x, i);
+                let _ = b.fmul(v, v);
+            });
+        });
+        let prep = PreparedSim::new(&trace).unwrap();
+        for bytes in [1024, 2048, 32768] {
+            let cfg = SystemConfig::with_cache_bytes(bytes);
+            let from_arena = simulate_prepared(&prep, &cfg, &SimOptions::default());
+            let fresh = simulate(&trace, &cfg, &SimOptions::default());
+            assert_eq!(from_arena.cycles, fresh.cycles);
+            assert_eq!(from_arena.cache, fresh.cache);
+            assert_eq!(from_arena.to_json().render(), fresh.to_json().render());
+        }
+    }
+
+    #[test]
+    fn stream_gap_skip_matches_legacy_cycle_for_cycle() {
+        // A stream-heavy trace: big transfers leave long engine-busy gaps
+        // that the event core skips and the legacy loop crawls. Reports
+        // must agree exactly.
+        let cfg = SystemConfig::default();
+        let trace = trace_of(|b| {
+            use tapeflow_ir::Op;
+            let tape = b.array("tape", 128, ArrayKind::Tape, Scalar::F64);
+            let base = b
+                .push_inst(Op::SAlloc { size: 128, base: 0 }, vec![])
+                .unwrap();
+            let zero = b.i64(0);
+            let elems = b.i64(128);
+            for _ in 0..4 {
+                b.push_inst(Op::StreamOut(tape), vec![base, zero, elems]);
+                b.push_inst(Op::StreamIn(tape), vec![base, zero, elems]);
+            }
+        });
+        let new = simulate(&trace, &cfg, &SimOptions::default());
+        let old = crate::legacy::try_simulate(&trace, &cfg, &SimOptions::default()).unwrap();
+        assert_eq!(new.cycles, old.cycles);
+        assert_eq!(new.stream_cmds, old.stream_cmds);
+        assert_eq!(new.dram_stream_bytes, old.dram_stream_bytes);
+        assert_eq!(new.to_json().render(), old.to_json().render());
+        assert!(new.stream_cmds == 8, "all streams executed: {new:?}");
+    }
+
+    #[test]
+    fn analytic_paths_match_the_probed_core_exactly() {
+        // The unprobed fast paths (issue servers, pure event loop) must
+        // reproduce the fully announced per-cycle core byte for byte.
+        // Build traces that exercise width contention, MSHR stalls, and
+        // mixed classes, then compare against a probed run (probed runs
+        // always take the exact per-cycle core).
+        use crate::probe::AttributionProbe;
+        type Build = Box<dyn Fn(&mut FunctionBuilder)>;
+        let builds: Vec<Build> = vec![
+            // Wide FP bursts: > fp_issue independent ops per cycle.
+            Box::new(|b: &mut FunctionBuilder| {
+                let one = b.f64(1.0);
+                let mut acc = b.f64(0.0);
+                for _ in 0..4 {
+                    let mut parts = Vec::new();
+                    for _ in 0..80 {
+                        parts.push(b.fmul(acc, one));
+                    }
+                    for p in parts {
+                        acc = b.fadd(acc, p);
+                    }
+                }
+            }),
+            // Miss storm through few MSHRs plus dependent integer work.
+            Box::new(|b: &mut FunctionBuilder| {
+                let x = b.array("x", 256 * 8, ArrayKind::Input, Scalar::F64);
+                let mut acc = b.f64(0.0);
+                for i in 0..256i64 {
+                    let idx = b.i64((i * 64) % (256 * 8));
+                    let v = b.load(x, idx);
+                    acc = b.fadd(acc, v);
+                }
+                let _ = acc;
+            }),
+        ];
+        for build in builds {
+            let trace = trace_of(&*build);
+            for bytes in [1024, 32768] {
+                let cfg = SystemConfig::with_cache_bytes(bytes);
+                let fast = simulate(&trace, &cfg, &SimOptions::default());
+                let mut probe = AttributionProbe::default();
+                let exact = simulate_probed(&trace, &cfg, &SimOptions::default(), &mut probe);
+                assert_eq!(
+                    fast.to_json().render(),
+                    exact.to_json().render(),
+                    "fast path diverged at cache={bytes}"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,54 @@
+//! Structured simulator errors.
+
+use std::fmt;
+
+/// Why a trace could not be simulated.
+///
+/// The scheduler indexes nodes with `u32` (event heap entries, successor
+/// CSR payloads) and stores CSR offsets as `u32`; traces beyond those
+/// limits used to truncate silently and corrupt the schedule. They are
+/// now rejected up front with this error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace exceeds a scheduler index width.
+    TraceTooLarge {
+        /// What overflowed: `"nodes"` or `"dependence edges"`.
+        what: &'static str,
+        /// How many the trace has.
+        count: usize,
+        /// The largest count the scheduler can index.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TraceTooLarge { what, count, limit } => write!(
+                f,
+                "trace too large: {count} {what} exceed the scheduler's \
+                 32-bit index limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_overflowing_dimension() {
+        let e = SimError::TraceTooLarge {
+            what: "nodes",
+            count: 5_000_000_000,
+            limit: u32::MAX as usize - 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("trace too large"), "{msg}");
+        assert!(msg.contains("nodes"), "{msg}");
+        assert!(msg.contains("5000000000"), "{msg}");
+    }
+}

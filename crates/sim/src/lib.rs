@@ -52,17 +52,27 @@
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod json;
+pub mod legacy;
+pub mod prep;
 pub mod probe;
 pub mod report;
+pub mod sweep;
 
 pub use cache::{Cache, ReplacementPolicy};
 pub use config::{CacheConfig, DramConfig, EnergyTable, PeConfig, SpadConfig, SystemConfig};
-pub use engine::{simulate, simulate_probed, SimOptions};
+pub use engine::{
+    simulate, simulate_prepared, simulate_prepared_probed, simulate_probed, try_simulate,
+    try_simulate_probed, try_simulate_probed_with, Engine, SimOptions,
+};
+pub use error::SimError;
+pub use prep::PreparedSim;
 pub use probe::{
     AttributionProbe, CycleBreakdown, NoProbe, ProbeGeometry, SimProbe, StallKind, TraceRecorder,
 };
 pub use report::{CacheStats, EnergyReport, SimReport};
+pub use sweep::SweepSession;
 
 // The bench harness shares configurations and reports across worker
 // threads; keep them thread-safe by construction.
@@ -71,4 +81,7 @@ const _: () = {
     assert_send_sync::<SystemConfig>();
     assert_send_sync::<SimReport>();
     assert_send_sync::<SimOptions>();
+    // The prepared-sim arena is shared (`Arc`) across sweep workers.
+    assert_send_sync::<PreparedSim>();
+    assert_send_sync::<SimError>();
 };

@@ -1,0 +1,232 @@
+//! Config-independent simulation arena.
+//!
+//! Everything the scheduler needs from a [`Trace`] that does not depend
+//! on the [`crate::SystemConfig`] is flattened here once: the dependence
+//! CSR, initial indegrees, root set, and a struct-of-arrays copy of the
+//! per-node scheduling metadata (class, address, byte count, flags). The
+//! hot loop then never chases the trace's per-node `deps` vectors or
+//! 80-byte node structs, and a parameter sweep that only perturbs
+//! cache/scratchpad/DRAM settings re-simulates from this shared prefix
+//! instead of rebuilding it per configuration (the bench harness keys the
+//! arena by program and the simulation result by the
+//! `SystemConfig::fingerprint` memo).
+
+use crate::error::SimError;
+use tapeflow_ir::trace::Phase;
+use tapeflow_ir::{Op, OpClass, Trace};
+
+/// Node flag: access targets a tape array.
+pub(crate) const FLAG_TAPE: u8 = 1 << 0;
+/// Node flag: node belongs to the reverse phase.
+pub(crate) const FLAG_REV: u8 = 1 << 1;
+/// Node flag: stream command moves data inward (`StreamIn`, engine 1).
+pub(crate) const FLAG_STREAM_IN: u8 = 1 << 2;
+
+/// Per-node mutable scheduling state, fused into one 16-byte entry so the
+/// completion walk touches a single cache line per successor (the old
+/// layout split `ready_time` and `indeg` across two arrays and paid two
+/// random accesses per dependence edge). A run starts from the arena's
+/// [`PreparedSim::pend0`] template with one `memcpy`.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
+pub(crate) struct NodeState {
+    /// Latest dependence finish time seen so far.
+    pub(crate) ready: u64,
+    /// Dependences still outstanding.
+    pub(crate) indeg: u32,
+}
+
+/// A [`Trace`] preprocessed for simulation: dependence CSR plus
+/// struct-of-arrays node metadata, independent of any `SystemConfig`.
+///
+/// Build once with [`PreparedSim::new`], then run any number of
+/// configurations through [`crate::engine::simulate_prepared`].
+#[derive(Clone, Debug)]
+pub struct PreparedSim {
+    pub(crate) n: usize,
+    /// Scheduling class per node.
+    pub(crate) class: Vec<OpClass>,
+    /// `FLAG_*` bits per node.
+    pub(crate) flags: Vec<u8>,
+    /// Byte address per node (scratchpad entries carry the spad-space bit).
+    pub(crate) addr: Vec<u64>,
+    /// Transfer size per node (stream commands).
+    pub(crate) bytes: Vec<u32>,
+    /// Initial scheduling state per node (`ready = 0`, indegree from the
+    /// trace) — the template each simulation run clones.
+    pub(crate) pend0: Vec<NodeState>,
+    /// CSR successor offsets (`n + 1` entries).
+    pub(crate) succ_off: Vec<u32>,
+    /// CSR successor payload.
+    pub(crate) succ_dat: Vec<u32>,
+    /// Nodes with no dependences, in id order.
+    pub(crate) roots: Vec<u32>,
+    /// Index of the FWD/REV phase barrier, if the trace has one.
+    pub(crate) phase_barrier_idx: Option<usize>,
+    /// Whether any node touches the scratchpad or a stream engine. When
+    /// none do, the engine's pure event loop applies (no per-cycle
+    /// iteration; see `engine::run_dataflow`).
+    pub(crate) spad_or_stream: bool,
+}
+
+impl PreparedSim {
+    /// Rejects traces whose node or edge count would overflow the
+    /// scheduler's 32-bit indices (event heap ids, CSR offsets). Kept
+    /// separate from [`PreparedSim::new`] so the guard is testable
+    /// without materializing a four-billion-node trace.
+    pub fn check_limits(nodes: usize, edges: usize) -> Result<(), SimError> {
+        // Node ids are stored as `u32` in the event heap and CSR payload.
+        const NODE_LIMIT: usize = u32::MAX as usize - 1;
+        // CSR offsets are cumulative `u32` edge counts.
+        const EDGE_LIMIT: usize = u32::MAX as usize;
+        if nodes > NODE_LIMIT {
+            return Err(SimError::TraceTooLarge {
+                what: "nodes",
+                count: nodes,
+                limit: NODE_LIMIT,
+            });
+        }
+        if edges > EDGE_LIMIT {
+            return Err(SimError::TraceTooLarge {
+                what: "dependence edges",
+                count: edges,
+                limit: EDGE_LIMIT,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flattens `trace` into the arena. Fails (instead of silently
+    /// truncating ids) when the trace exceeds the 32-bit index limits.
+    pub fn new(trace: &Trace) -> Result<Self, SimError> {
+        let n = trace.len();
+        Self::check_limits(n, trace.edge_count())?;
+
+        let mut class = Vec::with_capacity(n);
+        let mut flags = Vec::with_capacity(n);
+        let mut addr = Vec::with_capacity(n);
+        let mut bytes = Vec::with_capacity(n);
+        let mut pend0 = vec![NodeState { ready: 0, indeg: 0 }; n];
+        let mut succ_cnt = vec![0u32; n];
+        let mut phase_barrier_idx = None;
+        let mut spad_or_stream = false;
+        for (i, node) in trace.nodes().iter().enumerate() {
+            let c = node.class();
+            spad_or_stream |= matches!(c, OpClass::SpadLoad | OpClass::SpadStore | OpClass::Stream);
+            class.push(c);
+            let mut f = 0u8;
+            f |= FLAG_TAPE * u8::from(node.is_tape);
+            f |= FLAG_REV * u8::from(node.phase == Phase::Rev);
+            f |= FLAG_STREAM_IN * u8::from(matches!(node.op, Op::StreamIn(_)));
+            flags.push(f);
+            addr.push(node.addr);
+            bytes.push(node.bytes);
+            if phase_barrier_idx.is_none() && node.phase == Phase::Rev {
+                phase_barrier_idx = Some(i);
+            }
+            pend0[i].indeg = node.deps.len() as u32;
+            for d in &node.deps {
+                succ_cnt[d.index()] += 1;
+            }
+        }
+
+        let mut succ_off = vec![0u32; n + 1];
+        for i in 0..n {
+            succ_off[i + 1] = succ_off[i] + succ_cnt[i];
+        }
+        let mut succ_dat = vec![0u32; succ_off[n] as usize];
+        let mut fill = succ_off.clone();
+        for (i, node) in trace.nodes().iter().enumerate() {
+            for d in &node.deps {
+                let di = d.index();
+                succ_dat[fill[di] as usize] = i as u32;
+                fill[di] += 1;
+            }
+        }
+
+        let roots = (0..n as u32)
+            .filter(|&i| pend0[i as usize].indeg == 0)
+            .collect();
+        Ok(PreparedSim {
+            n,
+            class,
+            flags,
+            addr,
+            bytes,
+            pend0,
+            succ_off,
+            succ_dat,
+            roots,
+            phase_barrier_idx,
+            spad_or_stream,
+        })
+    }
+
+    /// Number of nodes in the prepared trace.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the prepared trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Approximate heap footprint in bytes (for capacity planning).
+    pub fn arena_bytes(&self) -> usize {
+        self.class.len() * std::mem::size_of::<OpClass>()
+            + self.flags.len()
+            + self.addr.len() * 8
+            + self.bytes.len() * 4
+            + self.pend0.len() * std::mem::size_of::<NodeState>()
+            + (self.succ_off.len() + self.succ_dat.len() + self.roots.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tapeflow_ir::trace::{trace_function, TraceOptions};
+    use tapeflow_ir::{FunctionBuilder, Memory};
+
+    #[test]
+    fn limits_reject_oversized_counts_without_building() {
+        assert_eq!(PreparedSim::check_limits(0, 0), Ok(()));
+        assert_eq!(PreparedSim::check_limits(1 << 20, 1 << 22), Ok(()));
+        let huge = u32::MAX as usize;
+        assert!(matches!(
+            PreparedSim::check_limits(huge, 0),
+            Err(SimError::TraceTooLarge { what: "nodes", .. })
+        ));
+        assert!(matches!(
+            PreparedSim::check_limits(16, huge + 1),
+            Err(SimError::TraceTooLarge {
+                what: "dependence edges",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn arena_mirrors_the_trace() {
+        let mut b = FunctionBuilder::new("t");
+        let one = b.f64(1.0);
+        let mut v = b.f64(0.0);
+        for _ in 0..5 {
+            v = b.fadd(v, one);
+        }
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let prep = PreparedSim::new(&trace).unwrap();
+        assert_eq!(prep.len(), trace.len());
+        assert_eq!(prep.succ_dat.len(), trace.edge_count());
+        assert_eq!(prep.phase_barrier_idx, None);
+        // Every root really has indegree zero and the CSR covers all edges.
+        for &r in &prep.roots {
+            assert_eq!(prep.pend0[r as usize].indeg, 0);
+        }
+        assert_eq!(prep.succ_off[prep.len()] as usize, trace.edge_count());
+        assert!(prep.arena_bytes() > 0);
+    }
+}

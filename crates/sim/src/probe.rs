@@ -85,6 +85,13 @@ pub struct CacheAccessEvent {
 /// Every method has an empty inline default so an unused hook compiles
 /// away entirely; [`NoProbe`] overrides nothing.
 pub trait SimProbe {
+    /// Promise that every hook on this probe is a no-op. The engine uses
+    /// this to take *schedule-preserving* shortcuts that do not announce
+    /// individual issues/stalls (reports stay byte-identical; only the
+    /// hook call sequence differs, which a no-op probe cannot observe).
+    /// Only set this to `true` when all hooks keep their empty defaults.
+    const IS_NOOP: bool = false;
+
     /// Called once before the first cycle.
     #[inline]
     fn on_start(&mut self, _geom: &ProbeGeometry) {}
@@ -141,7 +148,9 @@ pub trait SimProbe {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoProbe;
 
-impl SimProbe for NoProbe {}
+impl SimProbe for NoProbe {
+    const IS_NOOP: bool = true;
+}
 
 macro_rules! forward_both {
     ($(fn $name:ident(&mut self $(, $arg:ident : $ty:ty)*);)*) => {
@@ -158,6 +167,7 @@ macro_rules! forward_both {
 /// Probes compose pairwise: `(&mut attribution, &mut recorder)` feeds one
 /// simulation into both.
 impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
+    const IS_NOOP: bool = A::IS_NOOP && B::IS_NOOP;
     forward_both! {
         fn on_start(&mut self, geom: &ProbeGeometry);
         fn on_cycle_start(&mut self, now: u64);
@@ -191,6 +201,7 @@ macro_rules! forward_some {
 /// `None` observes nothing; `Some(probe)` forwards — lets callers attach
 /// a probe behind a runtime flag without duplicating the call site.
 impl<P: SimProbe> SimProbe for Option<P> {
+    const IS_NOOP: bool = P::IS_NOOP;
     forward_some! {
         fn on_start(&mut self, geom: &ProbeGeometry);
         fn on_cycle_start(&mut self, now: u64);
@@ -410,6 +421,10 @@ impl CycleBreakdown {
 #[derive(Debug, Default)]
 pub struct AttributionProbe {
     geom: Option<ProbeGeometry>,
+    /// Hook events that arrived before [`SimProbe::on_start`] announced
+    /// the geometry (a driver bug); dropped rather than panicking.
+    pre_geometry_drops: u64,
+    first_dropped_hook: Option<&'static str>,
     fp: BinaryHeap<Reverse<u64>>,
     int: BinaryHeap<Reverse<u64>>,
     fills_tape: BinaryHeap<Reverse<u64>>,
@@ -446,6 +461,27 @@ impl AttributionProbe {
 
     fn geom(&self) -> &ProbeGeometry {
         self.geom.as_ref().expect("probe not started")
+    }
+
+    /// Marks a hook that fired before geometry was announced. Returns
+    /// `false` so the hook can bail out instead of indexing
+    /// un-dimensioned state (the old code panicked on an opaque
+    /// `unwrap`). See [`Self::pre_geometry_drops`].
+    fn started_or_drop(&mut self, hook: &'static str) -> bool {
+        if self.geom.is_some() {
+            return true;
+        }
+        self.pre_geometry_drops += 1;
+        self.first_dropped_hook.get_or_insert(hook);
+        false
+    }
+
+    /// Events dropped because they arrived before [`SimProbe::on_start`],
+    /// with the first offending hook's name. `None` when the probe was
+    /// driven correctly.
+    pub fn pre_geometry_drops(&self) -> Option<(&'static str, u64)> {
+        self.first_dropped_hook
+            .map(|h| (h, self.pre_geometry_drops))
     }
 
     /// Drops every in-flight entry that finished at or before `c`.
@@ -547,6 +583,9 @@ impl SimProbe for AttributionProbe {
     }
 
     fn on_cycle_start(&mut self, now: u64) {
+        if !self.started_or_drop("on_cycle_start") {
+            return;
+        }
         if let Some((c, units, busy)) = self.pending {
             if c < now {
                 self.pending = None;
@@ -583,10 +622,16 @@ impl SimProbe for AttributionProbe {
     }
 
     fn on_spad_access(&mut self, _now: u64, _fin: u64, bank: usize) {
+        if !self.started_or_drop("on_spad_access") {
+            return;
+        }
         self.bd.bank_accesses[bank] += 1;
     }
 
     fn on_spad_conflict(&mut self, _now: u64, bank: usize) {
+        if !self.started_or_drop("on_spad_conflict") {
+            return;
+        }
         self.bd.bank_conflicts[bank] += 1;
         self.conflicted = true;
     }
@@ -600,6 +645,9 @@ impl SimProbe for AttributionProbe {
     }
 
     fn on_cycle_end(&mut self, now: u64, _queues_busy: bool) {
+        if !self.started_or_drop("on_cycle_end") {
+            return;
+        }
         self.pop_done(now);
         let (units, busy) = self.classify(now, self.mshr_stalled, self.conflicted);
         self.mshr_stalled = false;
@@ -608,6 +656,9 @@ impl SimProbe for AttributionProbe {
     }
 
     fn on_finish(&mut self, cycles: u64) {
+        if !self.started_or_drop("on_finish") {
+            return;
+        }
         if let Some((c, units, busy)) = self.pending.take() {
             if c < cycles {
                 self.commit_span(units, busy, 1);
@@ -641,6 +692,11 @@ pub struct TraceRecorder {
     lanes: Vec<u64>,
     mshr_pending: bool,
     events: Vec<Value>,
+    /// Hook events that arrived before [`SimProbe::on_start`] announced
+    /// the geometry (a driver bug); dropped — with a marker in the
+    /// rendered trace — rather than panicking on an opaque `unwrap`.
+    pre_geometry_drops: u64,
+    first_dropped_hook: Option<&'static str>,
 }
 
 impl TraceRecorder {
@@ -653,7 +709,28 @@ impl TraceRecorder {
             lanes: Vec::new(),
             mshr_pending: false,
             events: Vec::new(),
+            pre_geometry_drops: 0,
+            first_dropped_hook: None,
         }
+    }
+
+    /// The geometry, or `None` after recording that `hook` fired before
+    /// [`SimProbe::on_start`] — the hook then skips the event instead of
+    /// indexing tracks that do not exist yet.
+    fn geom_or_drop(&mut self, hook: &'static str) -> Option<ProbeGeometry> {
+        if self.geom.is_none() {
+            self.pre_geometry_drops += 1;
+            self.first_dropped_hook.get_or_insert(hook);
+        }
+        self.geom
+    }
+
+    /// Events dropped because they arrived before [`SimProbe::on_start`],
+    /// with the first offending hook's name. `None` when the probe was
+    /// driven correctly.
+    pub fn pre_geometry_drops(&self) -> Option<(&'static str, u64)> {
+        self.first_dropped_hook
+            .map(|h| (h, self.pre_geometry_drops))
     }
 
     fn meta(&mut self, which: &str, tid: Option<u64>, name: &str) {
@@ -693,22 +770,35 @@ impl TraceRecorder {
         self.events.push(e);
     }
 
-    fn tid_cache(&self, port: usize) -> u64 {
-        (self.geom.as_ref().unwrap().pes + port) as u64
+    fn tid_cache(g: &ProbeGeometry, port: usize) -> u64 {
+        (g.pes + port) as u64
     }
 
-    fn tid_stream(&self, dir: usize) -> u64 {
-        let g = self.geom.as_ref().unwrap();
+    fn tid_stream(g: &ProbeGeometry, dir: usize) -> u64 {
         (g.pes + g.cache_ports + dir) as u64
     }
 
-    fn tid_bank(&self, bank: usize) -> u64 {
-        let g = self.geom.as_ref().unwrap();
+    fn tid_bank(g: &ProbeGeometry, bank: usize) -> u64 {
         (g.pes + g.cache_ports + 2 + bank) as u64
     }
 
-    /// The recorded events (metadata first, then the timeline).
-    pub fn into_events(self) -> Vec<Value> {
+    /// The recorded events (metadata first, then the timeline). If any
+    /// hook fired before the geometry was announced, a marker instant is
+    /// appended so the anomaly is visible in the rendered trace.
+    pub fn into_events(mut self) -> Vec<Value> {
+        if let Some((hook, n)) = self.pre_geometry_drops() {
+            let mut args = Value::object();
+            args.set("dropped", n).set("first_hook", hook);
+            let mut e = Value::object();
+            e.set("name", "pre-geometry events dropped")
+                .set("ph", "i")
+                .set("ts", 0u64)
+                .set("pid", self.pid)
+                .set("tid", 0u64)
+                .set("s", "p");
+            e.set("args", args);
+            self.events.push(e);
+        }
         self.events
     }
 
@@ -735,20 +825,23 @@ impl SimProbe for TraceRecorder {
             self.meta("thread_name", Some(p as u64), &format!("PE {p}"));
         }
         for c in 0..geom.cache_ports {
-            let tid = self.tid_cache(c);
+            let tid = Self::tid_cache(geom, c);
             self.meta("thread_name", Some(tid), &format!("cache port {c}"));
         }
         for (dir, label) in ["FWD-Stream (out)", "REV-Stream (in)"].iter().enumerate() {
-            let tid = self.tid_stream(dir);
+            let tid = Self::tid_stream(geom, dir);
             self.meta("thread_name", Some(tid), label);
         }
         for b in 0..geom.spad_banks {
-            let tid = self.tid_bank(b);
+            let tid = Self::tid_bank(geom, b);
             self.meta("thread_name", Some(tid), &format!("spad bank {b}"));
         }
     }
 
     fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass) {
+        if self.geom_or_drop("on_fp_issue").is_none() {
+            return;
+        }
         let lane = (0..self.lanes.len())
             .min_by_key(|&i| self.lanes[i])
             .unwrap_or(0);
@@ -762,6 +855,9 @@ impl SimProbe for TraceRecorder {
     }
 
     fn on_int_issue(&mut self, now: u64, fin: u64) {
+        if self.geom_or_drop("on_int_issue").is_none() {
+            return;
+        }
         let lane = (0..self.lanes.len())
             .min_by_key(|&i| self.lanes[i])
             .unwrap_or(0);
@@ -770,6 +866,9 @@ impl SimProbe for TraceRecorder {
     }
 
     fn on_cache_access(&mut self, ev: &CacheAccessEvent) {
+        let Some(g) = self.geom_or_drop("on_cache_access") else {
+            return;
+        };
         let name = match (ev.hit, std::mem::take(&mut self.mshr_pending)) {
             (true, _) => "hit",
             (false, false) => "miss",
@@ -780,7 +879,7 @@ impl SimProbe for TraceRecorder {
             .set("rev", Value::Bool(ev.is_rev))
             .set("write", Value::Bool(ev.is_write));
         self.slice(
-            self.tid_cache(ev.port),
+            Self::tid_cache(&g, ev.port),
             name,
             ev.now,
             ev.fin.saturating_sub(ev.now),
@@ -793,18 +892,27 @@ impl SimProbe for TraceRecorder {
     }
 
     fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize) {
-        self.slice(self.tid_bank(bank), "spad", now, fin - now, None);
+        let Some(g) = self.geom_or_drop("on_spad_access") else {
+            return;
+        };
+        self.slice(Self::tid_bank(&g, bank), "spad", now, fin - now, None);
     }
 
     fn on_spad_conflict(&mut self, now: u64, bank: usize) {
-        self.instant(self.tid_bank(bank), "bank conflict", now, "t");
+        let Some(g) = self.geom_or_drop("on_spad_conflict") else {
+            return;
+        };
+        self.instant(Self::tid_bank(&g, bank), "bank conflict", now, "t");
     }
 
     fn on_stream(&mut self, now: u64, _bw_done: u64, fin: u64, dir: usize, bytes: u64) {
+        let Some(g) = self.geom_or_drop("on_stream") else {
+            return;
+        };
         let mut args = Value::object();
         args.set("bytes", bytes);
         let name = if dir == 0 { "stream-out" } else { "stream-in" };
-        self.slice(self.tid_stream(dir), name, now, fin - now, Some(args));
+        self.slice(Self::tid_stream(&g, dir), name, now, fin - now, Some(args));
     }
 
     fn on_phase_barrier(&mut self, at: u64) {
@@ -955,6 +1063,70 @@ mod tests {
         let text = j.render();
         let back = Value::parse(&text).unwrap();
         assert_eq!(back, j);
+    }
+
+    #[test]
+    fn recorder_survives_events_before_geometry() {
+        // A trace/port event arriving before on_start used to panic on
+        // `geom.as_ref().unwrap()`; it is now dropped and counted, with
+        // the offending hook named.
+        let mut rec = TraceRecorder::new(1, "early");
+        rec.on_cache_access(&CacheAccessEvent {
+            now: 0,
+            fin: 2,
+            port: 0,
+            hit: true,
+            is_tape: false,
+            is_rev: false,
+            is_write: false,
+        });
+        rec.on_fp_issue(0, 3, OpClass::FpAlu);
+        rec.on_int_issue(0, 1);
+        rec.on_spad_access(0, 1, 0);
+        rec.on_spad_conflict(0, 0);
+        rec.on_stream(0, 1, 2, 0, 64);
+        let (hook, n) = rec.pre_geometry_drops().expect("drops recorded");
+        assert_eq!(hook, "on_cache_access", "first offending hook named");
+        assert_eq!(n, 6);
+        // The rendered trace carries a marker for the anomaly.
+        let events = rec.into_events();
+        let marker = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("pre-geometry events dropped"))
+            .expect("marker instant present");
+        let args = marker.get("args").unwrap();
+        assert_eq!(args.get("dropped").unwrap().as_u64(), Some(6));
+        assert_eq!(
+            args.get("first_hook").unwrap().as_str(),
+            Some("on_cache_access")
+        );
+    }
+
+    #[test]
+    fn recorder_records_no_marker_when_driven_correctly() {
+        let cfg = SystemConfig::default();
+        let mut rec = TraceRecorder::new(1, "ok");
+        rec.on_start(&ProbeGeometry::of(&cfg, false));
+        rec.on_fp_issue(0, 3, OpClass::FpAlu);
+        assert_eq!(rec.pre_geometry_drops(), None);
+        let events = rec.into_events();
+        assert!(events
+            .iter()
+            .all(|e| e.get("name").and_then(Value::as_str) != Some("pre-geometry events dropped")));
+    }
+
+    #[test]
+    fn attribution_probe_survives_events_before_geometry() {
+        let mut p = AttributionProbe::new();
+        p.on_cycle_start(3);
+        p.on_spad_access(3, 4, 0);
+        p.on_spad_conflict(3, 1);
+        p.on_cycle_end(3, true);
+        p.on_finish(5);
+        let (hook, n) = p.pre_geometry_drops().expect("drops recorded");
+        assert_eq!(hook, "on_cycle_start");
+        assert_eq!(n, 5);
+        assert_eq!(p.breakdown().attributed(), 0, "nothing was attributed");
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Incremental re-simulation across a cache-parameter sweep.
+//!
+//! A sweep that only perturbs the cache geometry (the paper's
+//! cache-size sensitivity ladders) re-runs the *same* prepared trace
+//! with the *same* datapath timing over and over; the schedule of two
+//! such runs is identical up to the first cache access whose outcome
+//! (hit/miss, dirty eviction) differs. [`SweepSession`] exploits that:
+//!
+//! 1. The first configuration runs fully, recording the cache access
+//!    stream with outcomes and taking periodic scheduler checkpoints
+//!    ([`crate::engine::Recording`]).
+//! 2. Each later configuration **replays** the recorded address stream
+//!    through its own cold cache — pure `Cache::access` calls, no
+//!    scheduler at all — comparing outcomes against the record.
+//!    * Outcomes match to the end: the schedule is provably identical,
+//!      so the recorded report is reused wholesale; only the end-of-run
+//!      dirty flush (read off the replayed cache) and the
+//!      size-dependent energy terms are recomputed.
+//!    * First mismatch at access *k*: the run resumes from the last
+//!      checkpoint at or before *k* — scheduler state from the
+//!      checkpoint, cache state from the replay — and re-simulates
+//!      only the tail, re-recording it for the next configuration.
+//!
+//! Ordering a ladder from large caches to small maximizes shared
+//! prefixes (neighbouring sizes behave identically until capacity
+//! pressure bites). Correctness never depends on the order, only the
+//! amount of reuse does; every report is byte-identical to a fresh
+//! simulation, which the determinism suite and the harness's golden
+//! JSON pin down.
+//!
+//! Compatibility is keyed off the [`SystemConfig::fingerprint`] memo:
+//! two configurations chain if their fingerprints agree after
+//! normalizing the cache fields the replay itself validates
+//! (`size_bytes`, `assoc`, replacement policy). Everything else —
+//! line size, ports, hit latency, MSHRs, datapath, DRAM — feeds timing
+//! directly and forces a fresh recording when it changes. Traces the
+//! pure event loop cannot serve (scratchpad/stream nodes) fall back to
+//! [`simulate_prepared`] per configuration, unchanged.
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::engine::{
+    dataflow_loop, dataflow_ok, finalize_dataflow, recompute_energy, simulate_prepared, DfState,
+    Recording, SimOptions, REC_HIT, REC_WB, REC_WRITE,
+};
+use crate::prep::PreparedSim;
+use crate::report::SimReport;
+use std::sync::Arc;
+use tapeflow_ir::OpClass;
+
+/// Hard cap on scheduler checkpoints per recording (each costs ~24
+/// bytes per trace node).
+const MAX_CKPTS: usize = 8;
+/// Total checkpoint memory budget in bytes; large arenas get fewer
+/// checkpoints (possibly none — incremental reuse then degrades to
+/// "replay or re-run from scratch", still exact).
+const CKPT_BUDGET: usize = 256 << 20;
+
+/// A sweep-scoped simulation session over one prepared trace: same
+/// results as calling [`simulate_prepared`] per configuration, but
+/// configurations that only differ in cache geometry reuse the
+/// unchanged warm-up prefix of the previous run instead of
+/// re-simulating it.
+pub struct SweepSession {
+    prep: Arc<PreparedSim>,
+    opts: SimOptions,
+    /// First-checkpoint position (accesses), derived from the trace's
+    /// memory-node count; later checkpoints double from here.
+    interval: u64,
+    max_ckpts: usize,
+    /// Memory accesses in the trace (recording buffer preallocation).
+    n_mem: usize,
+    /// Whether any chained configuration has diverged yet. Checkpoints
+    /// are only worth their snapshot memcpys once a divergence has
+    /// actually been observed — an all-match ladder (working set fits
+    /// every size) records checkpoint-free.
+    diverged: bool,
+    base: Option<BaseRec>,
+}
+
+/// The most recent recorded run: its configuration, access record with
+/// checkpoints, and final report.
+struct BaseRec {
+    cfg: SystemConfig,
+    rec: Recording,
+    report: SimReport,
+}
+
+impl std::fmt::Debug for SweepSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepSession")
+            .field("nodes", &self.prep.len())
+            .field("interval", &self.interval)
+            .field("recorded", &self.base.is_some())
+            .finish()
+    }
+}
+
+impl SweepSession {
+    /// A session over `prep`. `opts` applies to every run.
+    pub fn new(prep: Arc<PreparedSim>, opts: SimOptions) -> SweepSession {
+        let n_mem = prep
+            .class
+            .iter()
+            .filter(|c| matches!(c, OpClass::MemLoad | OpClass::MemStore))
+            .count() as u64;
+        // First checkpoint after `interval` accesses, then doubling
+        // (geometric, early-biased — see [`crate::engine::Recording`]).
+        // Anchored so MAX_CKPTS doublings roughly span the whole access
+        // stream; never closer than 64 accesses (diminishing returns
+        // below that). Fewer checkpoints when the per-checkpoint state
+        // would blow the memory budget.
+        let interval = (n_mem >> MAX_CKPTS).max(64);
+        let per_ckpt = 24 * prep.len().max(1);
+        let max_ckpts = (CKPT_BUDGET / per_ckpt).min(MAX_CKPTS);
+        SweepSession {
+            prep,
+            opts,
+            interval,
+            max_ckpts,
+            n_mem: n_mem as usize,
+            diverged: false,
+            base: None,
+        }
+    }
+
+    /// Simulates `cfg`, reusing the previous run's prefix when the
+    /// configurations are sweep-compatible. Byte-identical to
+    /// [`simulate_prepared`] on the same inputs.
+    pub fn simulate(&mut self, cfg: &SystemConfig) -> SimReport {
+        if !dataflow_ok(&self.prep, cfg) {
+            // Scratchpad/stream traces (or exotic configs) don't run on
+            // the event loop; no recording to reuse.
+            self.base = None;
+            return simulate_prepared(&self.prep, cfg, &self.opts);
+        }
+        let chains = matches!(&self.base, Some(b) if sweep_compatible(&b.cfg, cfg));
+        if chains {
+            self.incremental(*cfg)
+        } else {
+            self.record_fresh(*cfg)
+        }
+    }
+
+    /// Full run with recording; becomes the new base. Checkpoints are
+    /// taken only once this session has seen a divergence — before
+    /// that, the snapshots would be pure overhead on ladders whose
+    /// outcome streams all match.
+    fn record_fresh(&mut self, cfg: SystemConfig) -> SimReport {
+        let ckpts = if self.diverged { self.max_ckpts } else { 0 };
+        let mut st = DfState::new(&self.prep, &cfg);
+        let mut cache = Cache::new(cfg.cache);
+        let mut rec = Recording::new(self.interval, ckpts, self.n_mem);
+        dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut cache, &mut rec);
+        let report = finalize_dataflow(st, cache, &self.prep, &cfg, &self.opts);
+        self.base = Some(BaseRec {
+            cfg,
+            rec,
+            report: report.clone(),
+        });
+        report
+    }
+
+    /// Replay the base record through `cfg`'s cache; skip what matches.
+    fn incremental(&mut self, cfg: SystemConfig) -> SimReport {
+        let b = self.base.as_mut().expect("incremental requires a base");
+        let mut cache = Cache::new(cfg.cache);
+
+        // Pass 1: replay the recorded address stream comparing outcomes.
+        // No state is saved along the way — the common full-match case
+        // must stay a pure `Cache::access` scan (snapshotting a multi-MB
+        // cache at every checkpoint boundary would dwarf the replay).
+        let mut div: Option<u64> = None;
+        for (i, (&addr, &m)) in b.rec.addrs.iter().zip(&b.rec.meta).enumerate() {
+            let res = cache.access(addr, m & REC_WRITE != 0);
+            let got = (REC_HIT * u8::from(res.hit)) | (REC_WB * u8::from(res.writeback.is_some()));
+            if got != m & (REC_HIT | REC_WB) {
+                div = Some(i as u64);
+                break;
+            }
+        }
+
+        let Some(div) = div else {
+            // Identical outcome stream end to end: identical schedule,
+            // identical counters. Only the end-of-run dirty flush (this
+            // geometry's resident dirty lines) and the size-dependent
+            // energy terms differ from the recorded report.
+            let mut report = b.report.clone();
+            let line = cache.config().line_bytes as u64;
+            let flushed = cache.dirty_lines();
+            report.cache.writebacks =
+                report.cache.writebacks - report.cache.flush_writebacks + flushed;
+            report.dram_writeback_bytes =
+                report.dram_writeback_bytes - report.cache.flush_writebacks * line + flushed * line;
+            report.cache.flush_writebacks = flushed;
+            recompute_energy(&mut report, &cfg);
+            // Chain: the record now equally describes this run.
+            b.cfg = cfg;
+            b.report = report.clone();
+            return report;
+        };
+
+        // Resume from the last checkpoint at or before the divergence.
+        // Pass 2 (divergence only) rebuilds that boundary's cache by
+        // re-replaying the already-validated prefix — every access
+        // before `div` matched, so no comparison is needed. With no
+        // usable checkpoint, re-record from scratch; the session now
+        // knows divergences happen on this ladder, so the re-record
+        // takes checkpoints.
+        self.diverged = true;
+        let usable = b.rec.ckpts.partition_point(|c| c.snap.accesses <= div);
+        let Some(j) = usable.checked_sub(1) else {
+            return self.record_fresh(cfg);
+        };
+        let snap = &b.rec.ckpts[j].snap;
+        let mut tail_cache = Cache::new(cfg.cache);
+        for i in 0..snap.accesses as usize {
+            tail_cache.access(b.rec.addrs[i], b.rec.meta[i] & REC_WRITE != 0);
+        }
+        let mut st = DfState::restore(snap, &cfg);
+        b.rec.truncate_to(j);
+        dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut tail_cache, &mut b.rec);
+        let report = finalize_dataflow(st, tail_cache, &self.prep, &cfg, &self.opts);
+        b.cfg = cfg;
+        b.report = report.clone();
+        report
+    }
+}
+
+/// Whether `b` can chain off `a`'s recording: identical fingerprints
+/// once the replay-validated cache fields are normalized away.
+fn sweep_compatible(a: &SystemConfig, b: &SystemConfig) -> bool {
+    let mut b2 = *b;
+    b2.cache.size_bytes = a.cache.size_bytes;
+    b2.cache.assoc = a.cache.assoc;
+    b2.cache.policy = a.cache.policy;
+    b2.fingerprint() == a.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use tapeflow_ir::trace::{trace_function, TraceOptions};
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar, Trace};
+
+    fn mixed_trace(arrays: usize, len: i64) -> Trace {
+        // Loads over several arrays with FP reductions and stores —
+        // enough working set that small caches diverge from large ones.
+        let mut b = FunctionBuilder::new("sweep");
+        let xs: Vec<_> = (0..arrays)
+            .map(|k| b.array(format!("x{k}"), len as usize, ArrayKind::InOut, Scalar::F64))
+            .collect();
+        let mut acc = b.f64(0.0);
+        for &x in &xs {
+            b.for_loop("i", 0, len, |b, i| {
+                let v = b.load(x, i);
+                let w = b.fmul(v, v);
+                b.store(x, i, w);
+            });
+            let z = b.i64(0);
+            let v0 = b.load(x, z);
+            acc = b.fadd(acc, v0);
+        }
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        trace_function(&f, &mut mem, TraceOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn session_matches_fresh_simulation_in_any_order() {
+        let trace = mixed_trace(4, 128);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        // Descending (the intended ladder), ascending, and zig-zag: the
+        // session must be byte-identical to fresh runs regardless.
+        let ladders: [&[usize]; 3] = [
+            &[131072, 32768, 8192, 2048, 1024],
+            &[1024, 2048, 8192, 32768, 131072],
+            &[32768, 1024, 131072, 2048, 32768],
+        ];
+        for ladder in ladders {
+            let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+            for &bytes in ladder {
+                let cfg = SystemConfig::with_cache_bytes(bytes);
+                let inc = sess.simulate(&cfg);
+                let fresh = simulate(&trace, &cfg, &SimOptions::default());
+                assert_eq!(
+                    inc.to_json().render(),
+                    fresh.to_json().render(),
+                    "sweep diverged at cache={bytes} in ladder {ladder:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuses_identical_outcome_streams() {
+        // Two huge cache sizes over a small working set: the second run
+        // must be served from the record (no tail re-simulation), which
+        // we observe through the record keeping its original config's
+        // report but still matching a fresh simulation bit for bit.
+        let trace = mixed_trace(2, 64);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        let big = SystemConfig::with_cache_bytes(1 << 20);
+        let bigger = SystemConfig::with_cache_bytes(2 << 20);
+        let first = sess.simulate(&big);
+        let second = sess.simulate(&bigger);
+        assert_eq!(first.cycles, second.cycles, "fits-in-cache: same schedule");
+        let fresh = simulate(&trace, &bigger, &SimOptions::default());
+        assert_eq!(second.to_json().render(), fresh.to_json().render());
+    }
+
+    #[test]
+    fn incompatible_configs_rerecord_instead_of_chaining() {
+        let trace = mixed_trace(2, 64);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        let a = SystemConfig::with_cache_bytes(32768);
+        let mut b = SystemConfig::with_cache_bytes(32768);
+        b.cache.mshrs = 1; // timing-relevant: must not chain
+        b.cache.hit_latency = 5;
+        let _ = sess.simulate(&a);
+        let rb = sess.simulate(&b);
+        let fresh = simulate(&trace, &b, &SimOptions::default());
+        assert_eq!(rb.to_json().render(), fresh.to_json().render());
+    }
+
+    #[test]
+    fn node_times_survive_incremental_reuse() {
+        let trace = mixed_trace(2, 64);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let opts = SimOptions {
+            record_node_times: true,
+        };
+        let mut sess = SweepSession::new(Arc::clone(&prep), opts);
+        for bytes in [1 << 20, 2 << 20, 1024] {
+            let cfg = SystemConfig::with_cache_bytes(bytes);
+            let inc = sess.simulate(&cfg);
+            let fresh = simulate(&trace, &cfg, &opts);
+            assert_eq!(inc.node_finish, fresh.node_finish, "cache={bytes}");
+        }
+    }
+}

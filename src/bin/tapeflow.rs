@@ -17,6 +17,10 @@
 //!                                                     stream-schedule analysis; exit 1
 //!                                                     on any error-severity finding
 //! tapeflow passes                                 list registered passes
+//! tapeflow bench-host [--scale S] [--repeats N]   time the configuration sweep on both
+//!                    [--json PATH]                    simulator engines (event-driven vs
+//!                                                     legacy scalar); writes
+//!                                                     results/BENCH_host_perf.json
 //! ```
 //!
 //! `compile`, `simulate` and `profile` drive the `tapeflow_core::pipeline`
@@ -33,6 +37,11 @@
 //! table, and with `--trace-out FILE.json` writes a Chrome trace-event
 //! timeline (one track per PE, cache port, stream engine and scratchpad
 //! bank) loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `simulate` and `profile` default to the event-driven simulator core;
+//! `--engine legacy` selects the scalar per-cycle reference engine
+//! instead (both produce byte-identical reports — `bench-host` measures
+//! the throughput gap between them).
 //!
 //! `FILE` is textual IR in the `pretty`/`parse` format (see
 //! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
@@ -56,6 +65,7 @@
 
 use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
+use tapeflow::bench::hostperf;
 use tapeflow::benchmarks::{self, Benchmark, Scale};
 use tapeflow::core::pipeline::{registered_passes, PassRecord, PipelineBuilder, PipelineReport};
 use tapeflow::core::{lint as plan_lint, CompileMode, CompileOptions, CompiledProgram};
@@ -64,8 +74,8 @@ use tapeflow::ir::trace::{trace_function, TraceOptions};
 use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Op, Scalar};
 use tapeflow::sim::json::Value;
 use tapeflow::sim::{
-    simulate, simulate_probed, AttributionProbe, CycleBreakdown, SimOptions, SimReport, StallKind,
-    SystemConfig, TraceRecorder,
+    try_simulate_probed_with, AttributionProbe, CycleBreakdown, Engine, NoProbe, SimOptions,
+    SimReport, StallKind, SystemConfig, TraceRecorder,
 };
 
 struct Args {
@@ -84,15 +94,19 @@ struct Args {
     time_passes: bool,
     lint_after_all: bool,
     scale: Scale,
+    engine: Engine,
+    repeats: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tapeflow <show|opt|grad|compile|simulate|profile|lint|passes> FILE|NAME \
+        "usage: tapeflow <show|opt|grad|compile|simulate|profile|lint|passes|bench-host> \
+         FILE|NAME \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
          [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
          [--passes a,b,c] [--print-after-all] [--time-passes] [--lint-after-all] \
-         [--scale tiny|small|large] [--json PATH] [--trace-out PATH]"
+         [--scale tiny|small|large] [--engine event|legacy] [--repeats N] \
+         [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +129,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         time_passes: false,
         lint_after_all: false,
         scale: Scale::default(),
+        engine: Engine::default(),
+        repeats: 5,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -156,6 +172,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                     other => return Err(format!("unknown scale {other:?}")),
                 };
             }
+            "--engine" => {
+                args.engine = match argv.next().as_deref() {
+                    Some("event") => Engine::Event,
+                    Some("legacy") => Engine::Legacy,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+            }
+            "--repeats" => {
+                args.repeats = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--repeats needs a positive number")?;
+            }
             "--policy" => {
                 args.policy = match argv.next().as_deref() {
                     Some("minimal") => TapePolicy::Minimal,
@@ -168,7 +198,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.file.is_empty() && cmd != "passes" {
+    if args.file.is_empty() && cmd != "passes" && cmd != "bench-host" {
         return Err("missing input file".into());
     }
     Ok((cmd, args))
@@ -486,6 +516,29 @@ fn run() -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::SUCCESS);
     }
+    if cmd == "bench-host" {
+        // Host-throughput tracking: every benchmark's cache ladder and
+        // mixed sweep, timed on both engines (min of --repeats runs).
+        let results = hostperf::measure(args.scale, args.repeats);
+        print!("{}", hostperf::render_table(&results));
+        let path = args
+            .json
+            .as_deref()
+            .unwrap_or("results/BENCH_host_perf.json");
+        if path != "-" {
+            let doc = hostperf::host_perf_json(&results, args.scale, false);
+            if let Some(dir) = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+            std::fs::write(path, doc.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("// machine-readable report: {path}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let input = load_input(&args)?;
     let func = input.func.clone();
 
@@ -572,7 +625,14 @@ fn run() -> Result<ExitCode, String> {
                     },
                 )
                 .map_err(|e| e.to_string())?;
-                let r = simulate(&trace, &cfg, &SimOptions::default());
+                let r = try_simulate_probed_with(
+                    args.engine,
+                    &trace,
+                    &cfg,
+                    &SimOptions::default(),
+                    &mut NoProbe,
+                )
+                .map_err(|e| e.to_string())?;
                 println!(
                     "{label:<8} cycles {:>10}  dram bytes {:>10}  on-chip pJ {:>12.0}  rev hit {:.1}%",
                     r.cycles,
@@ -632,7 +692,14 @@ fn run() -> Result<ExitCode, String> {
                     .as_ref()
                     .map(|_| TraceRecorder::new(pid as u64 + 1, label));
                 let mut probe = (AttributionProbe::new(), recorder);
-                let r = simulate_probed(&trace, &cfg, &SimOptions::default(), &mut probe);
+                let r = try_simulate_probed_with(
+                    args.engine,
+                    &trace,
+                    &cfg,
+                    &SimOptions::default(),
+                    &mut probe,
+                )
+                .map_err(|e| e.to_string())?;
                 let (attr, recorder) = probe;
                 let bd = attr.into_breakdown();
                 bd.check()

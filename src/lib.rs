@@ -4,6 +4,7 @@
 //! See the individual crates for details.
 
 pub use tapeflow_autodiff as autodiff;
+pub use tapeflow_bench as bench;
 pub use tapeflow_benchmarks as benchmarks;
 pub use tapeflow_core as core;
 pub use tapeflow_ir as ir;
