@@ -61,6 +61,53 @@ for key in ("program", "spad_entries", "spad_banks"):
     assert key in doc, key
 EOF
 
+echo "== streams terminal lowering (all registered benchmarks) =="
+# Pass 3 is a true terminal lowering: stopping the pipeline at `streams`
+# must produce a verified stream-command program for every benchmark
+# (the golden tests pin its exact text on the sample programs; this
+# sweeps the whole registry). Each benchmark then lints clean — the
+# lint smoke above already covers the full pipeline.
+for b in gravity nn logsum matdescent mttkrp somier lenet5 pathfinder mass_spring; do
+    cargo run --release --bin tapeflow -- \
+        compile "$b" --scale tiny \
+        --passes opt,ad,regions,layering,streams > /dev/null
+done
+
+echo "== cross-pass equivalence (split registry vs canonical pipeline) =="
+# The de-fused streams/spad-index passes, assembled by name through the
+# typed-artifact registry, must compile to the byte-identical program
+# the canonical builder produces — with and without Pass 5. Unknown and
+# dependency-violating pass lists must fail with exit 2.
+for b in gravity nn logsum matdescent mttkrp somier lenet5 pathfinder mass_spring; do
+    cargo run --release --bin tapeflow -- compile "$b" --scale tiny \
+        > target/ci/split_default.ir
+    cargo run --release --bin tapeflow -- compile "$b" --scale tiny \
+        --passes opt,ad,regions,layering,streams,spad-index \
+        > target/ci/split_named.ir
+    diff -q target/ci/split_default.ir target/ci/split_named.ir
+    cargo run --release --bin tapeflow -- compile "$b" --scale tiny --compress-tape \
+        > target/ci/split_default.ir
+    cargo run --release --bin tapeflow -- compile "$b" --scale tiny \
+        --passes opt,ad,regions,layering,tape-compress,streams,spad-index \
+        > target/ci/split_named.ir
+    diff -q target/ci/split_default.ir target/ci/split_named.ir
+done
+set +e
+cargo run --release --bin tapeflow -- compile logsum --scale tiny \
+    --passes opt,ad,frobnicate > /dev/null 2> target/ci/passes_err.txt
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "unknown pass: expected exit 2, got $rc"; exit 1; }
+grep -q 'unknown pass "frobnicate" (registered:' target/ci/passes_err.txt
+set +e
+cargo run --release --bin tapeflow -- compile logsum --scale tiny \
+    --passes opt,ad,regions,spad-index > /dev/null 2> target/ci/passes_err.txt
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "dependency violation: expected exit 2, got $rc"; exit 1; }
+grep -q 'requires `streams-ir`, produced by `streams`' target/ci/passes_err.txt
+cargo test -q --release -p tapeflow-bench --test compression
+
 echo "== cross-engine equivalence =="
 # The event-driven core vs the legacy scalar oracle: reports, stall
 # attributions and Chrome traces must match byte-for-byte on all nine

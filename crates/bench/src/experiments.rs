@@ -45,6 +45,7 @@ fn t_cfg(cache_bytes: usize) -> Config {
         cache_bytes,
         spad_bytes: 1024,
         double_buffer: true,
+        compress: false,
     }
 }
 
@@ -329,6 +330,7 @@ impl Lab {
                             cache_bytes: 32768,
                             spad_bytes,
                             double_buffer: true,
+                            compress: false,
                         },
                         false,
                     ));
@@ -344,6 +346,7 @@ impl Lab {
                                 cache_bytes: 32768,
                                 spad_bytes: s,
                                 double_buffer: true,
+                                compress: false,
                             },
                             false,
                         )
@@ -401,11 +404,13 @@ impl Lab {
                 vec![],
                 vec![
                     std_item(t_cfg(32768), false),
+                    std_item(Config::tapeflow_compressed(32768), false),
                     std_item(
                         Config::Tapeflow {
                             cache_bytes: 32768,
                             spad_bytes: 1024,
                             double_buffer: false,
+                            compress: false,
                         },
                         false,
                     ),
@@ -870,6 +875,7 @@ impl Lab {
                     cache_bytes: 32768,
                     spad_bytes: s,
                     double_buffer: true,
+                    compress: false,
                 };
                 match p.try_sim(&cfg, false) {
                     Some(r) => row.push(format!("{:.2}", ez / r.cycles.max(1) as f64)),
@@ -914,6 +920,7 @@ impl Lab {
                     cache_bytes: 32768,
                     spad_bytes: s,
                     double_buffer: true,
+                    compress: false,
                 };
                 match p.try_sim(&cfg, false) {
                     Some(r) => {
@@ -1073,6 +1080,7 @@ impl Lab {
                 cache_bytes: 32768,
                 spad_bytes: 1024,
                 double_buffer: false,
+                compress: false,
             };
             let off = match p.try_sim(&off_cfg, false) {
                 Some(r) => r.cycles,
@@ -1122,7 +1130,54 @@ impl Lab {
             ]);
         }
         rp.note("no policy choice rescues the cache from tape traffic (paper Obs 1.3)");
-        vec![pol, db, rp]
+
+        // (d) Pass 5 tape compression: delta/width-narrowed tape slots
+        // vs the uncompressed build at the paper-baseline configuration.
+        let mut tc = Table::new(
+            "Ablation D — tape compression (Pass 5, Tflow_32k vs TflowC_32k)",
+            &[
+                "bench",
+                "tape bytes",
+                "compressed",
+                "elided",
+                "narrowed",
+                "dram bytes",
+                "dram (compressed)",
+                "traffic ratio",
+            ],
+        );
+        for p in &mut self.prepared {
+            let on_cfg = Config::tapeflow_compressed(32768);
+            if !p.ensure_program(&on_cfg) {
+                tc.row(vec![p.bench.name.into(), "n/a".into()]);
+                continue;
+            }
+            let enc = p.compiled(&on_cfg).encoding.clone();
+            let off = p.sim(&t_cfg(32768), false).dram_bytes();
+            let on = p.sim(&on_cfg, false).dram_bytes();
+            let (before, after, elided, narrowed) = enc
+                .map(|e| {
+                    (
+                        e.bytes_before,
+                        e.bytes_after,
+                        e.elided_slots,
+                        e.narrowed_slots,
+                    )
+                })
+                .unwrap_or_default();
+            tc.row(vec![
+                p.bench.name.into(),
+                before.to_string(),
+                after.to_string(),
+                elided.to_string(),
+                narrowed.to_string(),
+                off.to_string(),
+                on.to_string(),
+                format!("{:.2}", on as f64 / off.max(1) as f64),
+            ]);
+        }
+        tc.note("input-copy slots rematerialize from REV ordinals; as-int slots narrow to 1-4 B");
+        vec![pol, db, rp, tc]
     }
 
     /// The canonical per-benchmark configuration sweep reported in the
@@ -1139,6 +1194,7 @@ impl Lab {
             t_cfg(1024),
             t_cfg(2048),
             t_cfg(32768),
+            Config::tapeflow_compressed(32768),
             Config::AosOnCache { cache_bytes: 4096 },
         ]
     }
@@ -1212,6 +1268,7 @@ impl Lab {
             let mut b = Value::object();
             b.set("name", p.bench.name)
                 .set("tape_elems", p.grad.tape_elems())
+                .set("compression", compression_json(p))
                 .set("lint", lint_json(p))
                 .set("configs", Value::Arr(per_config));
             benches.push(b);
@@ -1242,6 +1299,34 @@ impl Lab {
         }
         out
     }
+}
+
+/// What Pass 5 (`tape-compress`) does to the benchmark's tape at the
+/// `TflowC_32k` configuration; `feasible: false` when that build cannot
+/// compile.
+fn compression_json(p: &mut Prepared) -> Value {
+    let mut o = Value::object();
+    let cfg = Config::tapeflow_compressed(32768);
+    if !p.ensure_program(&cfg) {
+        o.set("feasible", false);
+        return o;
+    }
+    o.set("feasible", true);
+    match &p.compiled(&cfg).encoding {
+        Some(e) => {
+            o.set("elided_slots", e.elided_slots)
+                .set("narrowed_slots", e.narrowed_slots)
+                .set("tape_bytes_before", e.bytes_before)
+                .set("tape_bytes_after", e.bytes_after);
+        }
+        None => {
+            o.set("elided_slots", 0usize)
+                .set("narrowed_slots", 0usize)
+                .set("tape_bytes_before", 0u64)
+                .set("tape_bytes_after", 0u64);
+        }
+    }
+    o
 }
 
 /// Lint summary for the paper-baseline compilation: error/warning counts

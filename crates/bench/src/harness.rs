@@ -40,6 +40,8 @@ pub enum Config {
         spad_bytes: usize,
         /// Double-buffered layers.
         double_buffer: bool,
+        /// Run Pass 5 (`tape-compress`) before the terminal lowering.
+        compress: bool,
     },
     /// Pass 1 only: array-of-structs layout, still cache-resident
     /// (Figure 4.3).
@@ -61,6 +63,18 @@ impl Config {
             cache_bytes,
             spad_bytes: 1024,
             double_buffer: true,
+            compress: false,
+        }
+    }
+
+    /// `TflowC_N` shorthand: [`Config::tapeflow`] plus Pass 5 tape
+    /// compression.
+    pub fn tapeflow_compressed(cache_bytes: usize) -> Self {
+        Config::Tapeflow {
+            cache_bytes,
+            spad_bytes: 1024,
+            double_buffer: true,
+            compress: true,
         }
     }
 
@@ -75,6 +89,11 @@ impl Config {
         }
         match self {
             Config::Enzyme { cache_bytes } => format!("Enzyme_{}", size(*cache_bytes)),
+            Config::Tapeflow {
+                cache_bytes,
+                compress: true,
+                ..
+            } => format!("TflowC_{}", size(*cache_bytes)),
             Config::Tapeflow { cache_bytes, .. } => format!("Tflow_{}", size(*cache_bytes)),
             Config::AosOnCache { cache_bytes } => format!("AoS_{}", size(*cache_bytes)),
         }
@@ -103,6 +122,7 @@ enum ProgramKey {
         spad_bytes: usize,
         double_buffer: bool,
         aos_only: bool,
+        compress: bool,
     },
 }
 
@@ -183,16 +203,19 @@ impl Prepared {
             Config::Tapeflow {
                 spad_bytes,
                 double_buffer,
+                compress,
                 ..
             } => ProgramKey::Compiled {
                 spad_bytes: *spad_bytes,
                 double_buffer: *double_buffer,
                 aos_only: false,
+                compress: *compress,
             },
             Config::AosOnCache { .. } => ProgramKey::Compiled {
                 spad_bytes: 0,
                 double_buffer: false,
                 aos_only: true,
+                compress: false,
             },
         }
     }
@@ -202,6 +225,7 @@ impl Prepared {
             spad_bytes,
             double_buffer,
             aos_only,
+            compress,
         } = key
         else {
             // The old code panicked here ("gradient key has no compiled
@@ -224,6 +248,7 @@ impl Prepared {
                 } else {
                     CompileMode::Full
                 },
+                compress_tape: compress,
             };
             let run = PipelineBuilder::for_options(&opts).run_gradient(&self.grad);
             let compiled = run.and_then(|run| {
@@ -339,6 +364,7 @@ impl Prepared {
             spad_bytes: 1024,
             double_buffer: true,
             aos_only: false,
+            compress: false,
         };
         self.try_compiled_for(key).ok()?;
         let compiled = Arc::clone(&self.compiled[&key]);
@@ -351,6 +377,7 @@ impl Prepared {
             &self.grad,
             &compiled.plan,
             &compiled.options,
+            compiled.encoding.as_ref(),
         ));
         tapeflow_ir::lint::sort_diagnostics(&mut diags);
         Some(diags)
@@ -608,6 +635,7 @@ mod tests {
             cache_bytes: 32768,
             spad_bytes: 16, // 2 entries: too small for any real region
             double_buffer: true,
+            compress: false,
         };
         if p.ensure_program(&tiny_spad) {
             return; // feasible at this scale: nothing to assert

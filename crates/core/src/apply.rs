@@ -1,11 +1,11 @@
-//! Passes 1 (transform half), 3 and 4: the rewriter that produces the
-//! final Tapeflow program.
+//! The shared gradient-function rewriter behind Pass 1's layout change
+//! and Pass 3's terminal stream lowering.
 //!
 //! Walking the gradient function once, it
 //!
 //! * replaces every per-value tape array with its merged array-of-structs
 //!   region (Pass 1's layout change — also the whole story in
-//!   [`CompileMode::AosOnly`]);
+//!   [`CompileMode::AosOnly`], via [`Lowering::Aos`]);
 //! * restructures each region loop according to the Pass 2 plan — tiling
 //!   it into layer-sized chunks or cutting its body into segments — and
 //!   terminates every layer with a barrier (Pass 2's schedule);
@@ -14,74 +14,68 @@
 //!   scratchpad bases (Pass 3; the static mirrored addressing plays the
 //!   role of the paper's runtime stream stack, and a LIFO-order check in
 //!   the test suite verifies the equivalence);
-//! * rewrites tape stores/loads into scratchpad stores/loads with
-//!   compiler-generated indices, emitting §3.7 redundant duplicate stores
-//!   at segment tails (Pass 4).
+//! * lowers tape stores/loads to the first-class stream-command ops
+//!   [`Op::TapeStore`]/[`Op::TapeLoad`] — scratchpad side explicit, DRAM
+//!   side carried by the stream commands — emitting §3.7 redundant
+//!   duplicate stores at segment tails;
+//! * applies a Pass 5 [`TapeEncoding`] when one is present: elided slots'
+//!   stores disappear, their loads rematerialize from the input array,
+//!   and width-narrowed regions stream through
+//!   [`Op::StreamOutC`]/[`Op::StreamInC`] codecs.
+//!
+//! The result is the `streams` pass's terminal IR (see
+//! [`crate::streams`]); rewriting the tape ops into plain scratchpad
+//! accesses is Pass 4's job ([`crate::spad_index`]), a separate
+//! structural rewrite that no longer shares this walk.
 
+use crate::compress::{RematRecipe, TapeEncoding};
 use crate::layering::{LayerPlan, RegionLayout, Segment, Site};
-use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreError};
-use std::collections::HashMap;
+use crate::{CompileOptions, CompileStats, CoreError};
+use std::collections::{HashMap, HashSet};
 use tapeflow_autodiff::{Gradient, Span};
 use tapeflow_ir::{
     ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Scalar, Stmt, ValueDef, ValueId,
 };
 
 /// How far the rewriter lowers tape accesses.
-///
-/// `Aos` and `Spad` are the terminal lowerings behind
-/// [`CompileMode::AosOnly`] and [`CompileMode::Full`]. `Streams` is the
-/// post-Pass-3 intermediate the pass manager materializes between them:
-/// layers, barriers and `FWD-Stream`/`REV-Stream` commands are in place
-/// (with the scratchpad mirror kept written so `StreamOut` spills real
-/// data), but tape *loads* still read the merged DRAM region — rewriting
-/// them into scratchpad accesses is Pass 4's job. The intermediate
-/// verifies and computes the same gradients as both terminal forms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Lowering {
-    /// Pass 1 only: merged AoS regions, cache-resident accesses.
+    /// Pass 1 only: merged AoS regions, cache-resident accesses
+    /// ([`CompileMode::AosOnly`]).
     Aos,
-    /// Passes 1–3: layers + streams, tape loads still on DRAM.
-    Streams,
-    /// Passes 1–4: scratchpad-indexed accesses (the shipped program).
-    Spad,
+    /// Passes 1–3: layers, streams, and `tape.store`/`tape.load` ops —
+    /// the `streams` pass's terminal form.
+    Tape,
 }
 
-impl Lowering {
-    fn of(mode: CompileMode) -> Self {
-        match mode {
-            CompileMode::AosOnly => Lowering::Aos,
-            CompileMode::Full => Lowering::Spad,
-        }
-    }
-}
-
-/// Applies the plan, producing the compiled program.
+/// Runs the rewriter, returning the rewritten (verified) function and
+/// its FWD/REV phase barrier.
 ///
 /// # Errors
 ///
 /// [`CoreError::Internal`] if the rewritten function fails verification.
-pub fn apply(
+pub(crate) fn rewrite(
     grad: &Gradient,
-    plan: LayerPlan,
-    opts: CompileOptions,
-) -> Result<CompiledProgram, CoreError> {
-    apply_lowered(grad, plan, opts, Lowering::of(opts.mode))
-}
-
-/// [`apply`] with an explicit lowering depth (the pass manager's Pass-3
-/// snapshot hook).
-pub(crate) fn apply_lowered(
-    grad: &Gradient,
-    plan: LayerPlan,
+    plan: &LayerPlan,
     opts: CompileOptions,
     lowering: Lowering,
-) -> Result<CompiledProgram, CoreError> {
-    let mut rw = Rw::new(grad, &plan, opts, lowering);
+    encoding: Option<&TapeEncoding>,
+) -> Result<(Function, InstId), CoreError> {
+    let mut rw = Rw::new(grad, plan, opts, lowering, encoding);
     let mut body = Vec::new();
     rw.walk(&grad.func.body, &mut body)?;
     rw.g.body = body;
     tapeflow_ir::verify::verify(&rw.g)?;
-    let stats = CompileStats {
+    let phase_barrier = rw.new_phase_barrier.ok_or_else(|| {
+        CoreError::Pipeline("rewritten function lost its FWD/REV phase barrier".into())
+    })?;
+    Ok((rw.g, phase_barrier))
+}
+
+/// The compile-stats block summarizing a plan (shared by the terminal
+/// passes).
+pub(crate) fn compile_stats(plan: &LayerPlan, opts: &CompileOptions) -> CompileStats {
+    CompileStats {
         regions: plan.regions.len(),
         fwd_layers: plan.total_fwd_layers,
         duplicated_slots: plan
@@ -94,17 +88,7 @@ pub(crate) fn apply_lowered(
             .sum(),
         merged_tape_bytes: plan.regions.iter().map(|r| r.merged_len() as u64 * 8).sum(),
         spad_entries: opts.spad_entries,
-    };
-    let phase_barrier = rw.new_phase_barrier.ok_or_else(|| {
-        CoreError::Pipeline("rewritten function lost its FWD/REV phase barrier".into())
-    })?;
-    Ok(CompiledProgram {
-        func: rw.g,
-        phase_barrier,
-        plan,
-        options: opts,
-        stats,
-    })
+    }
 }
 
 struct TileCtx {
@@ -136,6 +120,12 @@ struct Rw<'a> {
     ord_stack: Vec<(LoopId, ValueId, u64)>,
     tile_stack: Vec<TileCtx>,
     new_phase_barrier: Option<InstId>,
+    /// Pass 5: FWD tape stores dropped entirely (elided slots).
+    elide: HashSet<InstId>,
+    /// Pass 5: REV tape loads rebuilt from an input array.
+    remat: HashMap<InstId, RematRecipe>,
+    /// Pass 5: per-region stream codec (`struct_elems`, `struct_bytes`).
+    codec: Vec<Option<(u16, u16)>>,
 }
 
 impl<'a> Rw<'a> {
@@ -144,15 +134,34 @@ impl<'a> Rw<'a> {
         plan: &'a LayerPlan,
         opts: CompileOptions,
         lowering: Lowering,
+        encoding: Option<&TapeEncoding>,
     ) -> Self {
         let mut g = Function::new(format!("tf_{}", grad.func.name));
         // Managed per-value tape arrays disappear (their merged region
         // replaces them); shrink to zero so they cost no address space.
-        let managed: std::collections::HashSet<ArrayId> = plan
+        // Elided slots' arrays disappear too: their accesses are dropped
+        // or rematerialized, so they are managed without being sited.
+        let mut managed: std::collections::HashSet<ArrayId> = plan
             .regions
             .iter()
             .flat_map(|r| r.region.tapes.iter().map(|&t| grad.tapes[t].array))
             .collect();
+        let (elide, remat, codec) = match encoding {
+            Some(enc) => {
+                let elide = enc.elided_stores(grad);
+                for (k, s) in enc.slots.iter().enumerate() {
+                    if matches!(s, crate::compress::SlotEncoding::Remat(_)) {
+                        managed.insert(grad.tapes[k].array);
+                    }
+                }
+                (elide, enc.remat_loads(grad), enc.region_codec.clone())
+            }
+            None => (
+                HashSet::new(),
+                HashMap::new(),
+                vec![None; plan.regions.len()],
+            ),
+        };
         for (i, a) in grad.func.arrays().iter().enumerate() {
             let len = if managed.contains(&ArrayId::new(i)) {
                 0
@@ -201,6 +210,9 @@ impl<'a> Rw<'a> {
             ord_stack: Vec::new(),
             tile_stack: Vec::new(),
             new_phase_barrier: None,
+            elide,
+            remat,
+            codec,
         }
     }
 
@@ -311,6 +323,49 @@ impl<'a> Rw<'a> {
         }
     }
 
+    /// Rebuilds an elided slot's value by reloading its input array:
+    /// `array[konst + sum(coeff * rev_ordinal)]` (Pass 5 remat).
+    fn emit_remat(&mut self, recipe: &RematRecipe, out: &mut Vec<Stmt>) -> ValueId {
+        let mut idx = self.ci(recipe.konst);
+        for &(rl, c) in &recipe.terms {
+            let ord = self
+                .ord_stack
+                .iter()
+                .rev()
+                .find(|(ol, _, _)| *ol == rl)
+                .map(|&(_, o, _)| o)
+                .expect("remat loop ordinal on stack");
+            let c_c = self.ci(c);
+            let m = self.emit_r(out, Op::IMul, vec![ord, c_c]);
+            idx = self.emit_r(out, Op::IAdd, vec![idx, m]);
+        }
+        self.emit_r(out, Op::Load(recipe.array), vec![idx])
+    }
+
+    /// `FWD-Stream` drain op for region `ri` (codec-aware).
+    fn stream_out_op(&self, ri: usize) -> Op {
+        match self.codec[ri] {
+            Some((e, b)) => Op::StreamOutC {
+                array: self.merged[ri],
+                struct_elems: e,
+                struct_bytes: b,
+            },
+            None => Op::StreamOut(self.merged[ri]),
+        }
+    }
+
+    /// `REV-Stream` fill op for region `ri` (codec-aware).
+    fn stream_in_op(&self, ri: usize) -> Op {
+        match self.codec[ri] {
+            Some((e, b)) => Op::StreamInC {
+                array: self.merged[ri],
+                struct_elems: e,
+                struct_bytes: b,
+            },
+            None => Op::StreamIn(self.merged[ri]),
+        }
+    }
+
     // ---- main walk -----------------------------------------------------------
 
     fn walk(&mut self, stmts: &[Stmt], out: &mut Vec<Stmt>) -> Result<(), CoreError> {
@@ -395,6 +450,15 @@ impl<'a> Rw<'a> {
 
     fn rewrite_inst(&mut self, old: InstId, out: &mut Vec<Stmt>) {
         let inst = self.grad.func.inst(old).clone();
+        if self.elide.contains(&old) {
+            // Elided slot: the FWD store vanishes; REV rematerializes.
+            return;
+        }
+        if let Some(recipe) = self.remat.get(&old).cloned() {
+            let res = self.emit_remat(&recipe, out);
+            self.vmap[inst.result.expect("load has result").index()] = Some(res);
+            return;
+        }
         if let Some(site) = self.plan.store_site.get(&old).copied() {
             let val = self.map_val(inst.args[1]);
             match self.lowering {
@@ -403,34 +467,36 @@ impl<'a> Rw<'a> {
                     let idx = self.aos_index(site, lin, out);
                     self.emit(out, Op::Store(self.merged[site.region]), vec![idx, val]);
                 }
-                Lowering::Streams => {
-                    // Keep the DRAM struct *and* the scratchpad mirror
-                    // written: loads still read DRAM at this depth, while
-                    // StreamOut spills the mirrored tile (over identical
-                    // bytes), so the snapshot runs and verifies.
-                    let lin = self.map_val(inst.args[0]);
-                    let idx = self.aos_index(site, lin, out);
-                    self.emit(out, Op::Store(self.merged[site.region]), vec![idx, val]);
-                    let sidx = self.spad_index(site, out);
-                    self.emit(out, Op::SpadStore, vec![sidx, val]);
-                }
-                Lowering::Spad => {
+                Lowering::Tape => {
                     let idx = self.spad_index(site, out);
-                    self.emit(out, Op::SpadStore, vec![idx, val]);
+                    let op = Op::TapeStore {
+                        array: self.merged[site.region],
+                        off: site.global_off as u32,
+                    };
+                    self.emit(out, op, vec![idx, val]);
                 }
             }
             return;
         }
         if let Some(site) = self.plan.load_site.get(&old).copied() {
             let res = match self.lowering {
-                Lowering::Aos | Lowering::Streams => {
+                Lowering::Aos => {
                     let lin = self.map_val(inst.args[0]);
                     let idx = self.aos_index(site, lin, out);
                     self.emit_r(out, Op::Load(self.merged[site.region]), vec![idx])
                 }
-                Lowering::Spad => {
+                Lowering::Tape => {
+                    // The struct's linear index is the original store/load
+                    // address chain, already cloned in the body — no new
+                    // instructions here, only a reference.
+                    let lin = self.map_val(inst.args[0]);
                     let idx = self.spad_index(site, out);
-                    self.emit_r(out, Op::SpadLoad, vec![idx])
+                    let op = Op::TapeLoad {
+                        array: self.merged[site.region],
+                        rsize: self.plan.regions[site.region].rsize_total as u32,
+                        off: site.global_off as u32,
+                    };
+                    self.emit_r(out, op, vec![lin, idx])
                 }
             };
             self.vmap[inst.result.expect("load has result").index()] = Some(res);
@@ -588,11 +654,8 @@ impl<'a> Rw<'a> {
         let r_c = self.ci((rsize as u64 * inner_prod) as i64);
         let elem = self.emit_r(&mut ob, Op::IMul, vec![b, r_c]);
         let elems = self.emit_r(&mut ob, Op::IMul, vec![cnt, r_c]);
-        self.emit(
-            &mut ob,
-            Op::StreamOut(self.merged[ri]),
-            vec![base, elem, elems],
-        );
+        let op = self.stream_out_op(ri);
+        self.emit(&mut ob, op, vec![base, elem, elems]);
         self.emit(&mut ob, Op::Barrier, vec![]);
         out.push(Stmt::For {
             loop_id: outer_lid,
@@ -663,11 +726,8 @@ impl<'a> Rw<'a> {
         let r_c = self.ci((rsize as u64 * inner_prod) as i64);
         let elem = self.emit_r(&mut ob, Op::IMul, vec![b, r_c]);
         let elems = self.emit_r(&mut ob, Op::IMul, vec![cnt, r_c]);
-        self.emit(
-            &mut ob,
-            Op::StreamIn(self.merged[ri]),
-            vec![base, elem, elems],
-        );
+        let op = self.stream_in_op(ri);
+        self.emit(&mut ob, op, vec![base, elem, elems]);
         let one = self.ci(1);
         let cnt_m1 = self.emit_r(&mut ob, Op::ISub, vec![cnt, one]);
         let (inner_lid, j_iv) = self.g.add_loop(
@@ -758,23 +818,13 @@ impl<'a> Rw<'a> {
             for (k, &t) in seg.dups.iter().enumerate() {
                 let store = self.grad.func.inst(self.grad.tapes[t].store).clone();
                 let val = self.map_val(store.args[1]);
-                if self.lowering == Lowering::Streams {
-                    // Mirror the duplicate into the DRAM struct so the
-                    // snapshot's merged region holds exactly what Pass 4
-                    // will stream.
-                    let outer_lin = self.fold_lin(&outer_path, &mut nb);
-                    let n_c = self.ci(n);
-                    let a = self.emit_r(&mut nb, Op::IMul, vec![outer_lin, n_c]);
-                    let b = self.emit_r(&mut nb, Op::IAdd, vec![a, o]);
-                    let r_c = self.ci(rsize as i64);
-                    let m = self.emit_r(&mut nb, Op::IMul, vec![b, r_c]);
-                    let off_c = self.ci((seg.offset + seg.own.len() + k) as i64);
-                    let elem = self.emit_r(&mut nb, Op::IAdd, vec![m, off_c]);
-                    self.emit(&mut nb, Op::Store(self.merged[ri]), vec![elem, val]);
-                }
                 let off = self.ci((seg.own.len() + k) as i64);
                 let idx = self.emit_r(&mut nb, Op::IAdd, vec![base, off]);
-                self.emit(&mut nb, Op::SpadStore, vec![idx, val]);
+                let op = Op::TapeStore {
+                    array: self.merged[ri],
+                    off: (seg.offset + seg.own.len() + k) as u32,
+                };
+                self.emit(&mut nb, op, vec![idx, val]);
             }
             self.tile_stack.pop();
             // FWD-Stream the segment struct.
@@ -787,11 +837,8 @@ impl<'a> Rw<'a> {
             let off_c = self.ci(seg.offset as i64);
             let elem = self.emit_r(&mut nb, Op::IAdd, vec![m, off_c]);
             let elems = self.ci(seg.size() as i64);
-            self.emit(
-                &mut nb,
-                Op::StreamOut(self.merged[ri]),
-                vec![base, elem, elems],
-            );
+            let op = self.stream_out_op(ri);
+            self.emit(&mut nb, op, vec![base, elem, elems]);
             self.emit(&mut nb, Op::Barrier, vec![]);
         }
         self.ord_stack.pop();
@@ -854,11 +901,8 @@ impl<'a> Rw<'a> {
             let off_c = self.ci(seg.offset as i64);
             let elem = self.emit_r(&mut nb, Op::IAdd, vec![m, off_c]);
             let elems = self.ci(seg.size() as i64);
-            self.emit(
-                &mut nb,
-                Op::StreamIn(self.merged[ri]),
-                vec![base, elem, elems],
-            );
+            let op = self.stream_in_op(ri);
+            self.emit(&mut nb, op, vec![base, elem, elems]);
             self.tile_stack.push(TileCtx {
                 region: ri,
                 base,

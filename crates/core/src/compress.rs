@@ -1,0 +1,385 @@
+//! Pass 5: tape compression — shrinking the modeled tape DRAM traffic
+//! without changing a single gradient bit.
+//!
+//! Runs between `layering` and `streams`, consuming the layer plan and
+//! producing a [`TapeEncoding`] plus a rewritten plan. Two mechanisms:
+//!
+//! * **Input rematerialization** ([`SlotEncoding::Remat`]): a tape slot
+//!   whose stored value is a load from a *read-only input array* at an
+//!   index affine in the enclosing loop induction variables does not need
+//!   to round-trip through DRAM at all — the REV phase can reload the
+//!   input directly. The slot is dropped from its region struct (the
+//!   struct shrinks, so every `FWD-Stream`/`REV-Stream` moves fewer
+//!   bytes) and each REV tape load is replaced by an input load whose
+//!   index is rebuilt from the REV ordinals. Because the input array is
+//!   never written, the reload returns the exact bits the store would
+//!   have taped.
+//! * **Width narrowing** ([`SlotEncoding::Keep`] with `width < 8`): a
+//!   tape slot holding an `itof`-converted integer whose interval
+//!   analysis range fits in 1/2/4 bytes is recorded at that width. The
+//!   region's stream commands become `stream.outc`/`stream.inc` with a
+//!   packed per-struct byte count, so the traffic model charges the
+//!   narrow wire format while the program still moves full values (a
+//!   transparent codec, like DRAM bus compression).
+//!
+//! Segmented (§3.7) regions are left untouched: their slot offsets are
+//! baked into per-segment duplication decisions, and re-cutting segments
+//! for a smaller struct is a layering concern, not a compression one.
+//!
+//! The interval ranges come from [`tapeflow_ir::lint::int_value_ranges`],
+//! the same analysis the static linter uses for tape-index bounds.
+
+use crate::layering::{LayerPlan, RegionLayout, Site};
+use std::collections::{HashMap, HashSet};
+use tapeflow_autodiff::Gradient;
+use tapeflow_ir::lint::int_value_ranges;
+use tapeflow_ir::{ArrayId, ArrayKind, Function, InstId, LoopId, Op, Stmt, ValueDef, ValueId};
+
+/// How a REV load of an elided slot rebuilds its value: load
+/// `array[konst + sum(coeff * ordinal(rev_loop))]`, where each ordinal is
+/// the REV loop's induction value (REV loops iterate FWD ordinals).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RematRecipe {
+    /// The read-only input array to reload from.
+    pub array: ArrayId,
+    /// Constant term of the rebuilt index.
+    pub konst: i64,
+    /// Per-REV-loop linear terms `(rev_loop, coefficient)`.
+    pub terms: Vec<(LoopId, i64)>,
+}
+
+/// Per-tape-slot encoding decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SlotEncoding {
+    /// The slot stays in its region struct, `width` bytes on the wire
+    /// (8 = uncompressed f64; 1/2/4 = narrowed integer).
+    Keep {
+        /// Modeled bytes per element on the stream wire.
+        width: u8,
+    },
+    /// The slot is elided; REV loads rematerialize from an input array.
+    Remat(RematRecipe),
+}
+
+/// Pass 5 artifact: one encoding per tape slot plus per-region stream
+/// codecs, with before/after traffic accounting.
+#[derive(Clone, Debug)]
+pub struct TapeEncoding {
+    /// Encoding per entry of [`Gradient::tapes`].
+    pub slots: Vec<SlotEncoding>,
+    /// Per-region `(struct_elems, struct_bytes)` for `stream.outc` /
+    /// `stream.inc`; `None` keeps the plain 8-byte-per-element streams.
+    pub region_codec: Vec<Option<(u16, u16)>>,
+    /// Slots removed from their region structs.
+    pub elided_slots: usize,
+    /// Slots kept at a width below 8 bytes.
+    pub narrowed_slots: usize,
+    /// Modeled merged-tape DRAM bytes before compression.
+    pub bytes_before: u64,
+    /// Modeled merged-tape DRAM bytes after compression.
+    pub bytes_after: u64,
+}
+
+impl TapeEncoding {
+    /// FWD store instructions of elided slots (the rewriter drops them).
+    pub fn elided_stores(&self, grad: &Gradient) -> HashSet<InstId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, SlotEncoding::Remat(_)))
+            .map(|(k, _)| grad.tapes[k].store)
+            .collect()
+    }
+
+    /// REV load instruction → remat recipe for every elided slot.
+    pub fn remat_loads(&self, grad: &Gradient) -> HashMap<InstId, RematRecipe> {
+        let mut m = HashMap::new();
+        for (k, s) in self.slots.iter().enumerate() {
+            if let SlotEncoding::Remat(r) = s {
+                for &l in &grad.tapes[k].loads {
+                    m.insert(l, r.clone());
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Width in bytes needed for integers in `[lo, hi]` after biasing by `lo`.
+fn width_for(lo: i64, hi: i64) -> u8 {
+    let span = hi.saturating_sub(lo);
+    if span < 1 << 8 {
+        1
+    } else if span < 1 << 16 {
+        2
+    } else if span < 1 << 32 {
+        4
+    } else {
+        8
+    }
+}
+
+/// `konst + sum(coeff * iv)` form of an integer value, or `None` when the
+/// value is not affine in loop induction variables.
+fn affine_of(func: &Function, v: ValueId, acc_depth: usize) -> Option<(i64, HashMap<LoopId, i64>)> {
+    if acc_depth > 64 {
+        return None;
+    }
+    match func.value(v).def {
+        ValueDef::Const(tapeflow_ir::Const::I64(c)) => Some((c, HashMap::new())),
+        ValueDef::Const(_) => None,
+        ValueDef::Iv(l) => {
+            let mut t = HashMap::new();
+            t.insert(l, 1i64);
+            Some((0, t))
+        }
+        ValueDef::Inst(i) => {
+            let inst = func.inst(i);
+            let bin = |sign: i64| -> Option<(i64, HashMap<LoopId, i64>)> {
+                let (ka, ta) = affine_of(func, inst.args[0], acc_depth + 1)?;
+                let (kb, tb) = affine_of(func, inst.args[1], acc_depth + 1)?;
+                let mut t = ta;
+                for (l, c) in tb {
+                    *t.entry(l).or_insert(0) += sign * c;
+                }
+                t.retain(|_, c| *c != 0);
+                Some((ka + sign * kb, t))
+            };
+            match inst.op {
+                Op::IAdd => bin(1),
+                Op::ISub => bin(-1),
+                Op::IMul => {
+                    let (ka, ta) = affine_of(func, inst.args[0], acc_depth + 1)?;
+                    let (kb, tb) = affine_of(func, inst.args[1], acc_depth + 1)?;
+                    if tb.is_empty() {
+                        let mut t = ta;
+                        t.values_mut().for_each(|c| *c *= kb);
+                        t.retain(|_, c| *c != 0);
+                        Some((ka * kb, t))
+                    } else if ta.is_empty() {
+                        let mut t = tb;
+                        t.values_mut().for_each(|c| *c *= ka);
+                        t.retain(|_, c| *c != 0);
+                        Some((ka * kb, t))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Enclosing loop path (outermost first) of every instruction.
+fn loop_paths(func: &Function) -> HashMap<InstId, Vec<LoopId>> {
+    fn walk(stmts: &[Stmt], stack: &mut Vec<LoopId>, out: &mut HashMap<InstId, Vec<LoopId>>) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(i) => {
+                    out.insert(*i, stack.clone());
+                }
+                Stmt::For { loop_id, body } => {
+                    stack.push(*loop_id);
+                    walk(body, stack, out);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    walk(&func.body, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Arrays written anywhere in `func` (a remat source must not be one).
+fn written_arrays(func: &Function) -> HashSet<ArrayId> {
+    func.insts()
+        .iter()
+        .filter_map(|i| match i.op {
+            Op::Store(a) | Op::StreamIn(a) | Op::StreamInC { array: a, .. } => Some(a),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Tries to build a remat recipe for tape `t`: stored value must be a
+/// load from a never-written input array at an affine index, and every
+/// REV load site must sit under the REV mirror of every loop the index
+/// depends on.
+fn remat_recipe(
+    grad: &Gradient,
+    t: usize,
+    written: &HashSet<ArrayId>,
+    paths: &HashMap<InstId, Vec<LoopId>>,
+) -> Option<RematRecipe> {
+    let info = &grad.tapes[t];
+    let store = grad.func.inst(info.store);
+    let ValueDef::Inst(src) = grad.func.value(store.args[1]).def else {
+        return None;
+    };
+    let src_inst = grad.func.inst(src);
+    let Op::Load(arr) = src_inst.op else {
+        return None;
+    };
+    if grad.func.array(arr).kind != ArrayKind::Input || written.contains(&arr) {
+        return None;
+    }
+    let (konst, terms) = affine_of(&grad.func, src_inst.args[0], 0)?;
+    let mut out_konst = konst;
+    let mut out_terms = Vec::new();
+    for (l, c) in terms {
+        let li = grad.func.loop_info(l);
+        let start = li.start.as_const()?;
+        let rl = *grad.loop_map.get(&l)?;
+        // Every load must be able to see this loop's REV ordinal.
+        for &load in &info.loads {
+            if !paths.get(&load).is_some_and(|p| p.contains(&rl)) {
+                return None;
+            }
+        }
+        out_konst += c * start;
+        if c * li.step != 0 {
+            out_terms.push((rl, c * li.step));
+        }
+    }
+    out_terms.sort_unstable_by_key(|&(l, _)| l.index());
+    Some(RematRecipe {
+        array: arr,
+        konst: out_konst,
+        terms: out_terms,
+    })
+}
+
+/// Compresses the tape layout: rewrites `plan` (dropping elided slots and
+/// compacting struct offsets) and returns it with the [`TapeEncoding`].
+pub fn compress_tapes(grad: &Gradient, mut plan: LayerPlan) -> (LayerPlan, TapeEncoding) {
+    let bytes_before: u64 = plan.regions.iter().map(|r| r.merged_len() as u64 * 8).sum();
+    let written = written_arrays(&grad.func);
+    let paths = loop_paths(&grad.func);
+    let mut slots: Vec<SlotEncoding> = vec![SlotEncoding::Keep { width: 8 }; grad.tapes.len()];
+    let any_as_int = grad.tapes.iter().any(|t| t.as_int);
+    let ranges = if any_as_int {
+        int_value_ranges(&grad.func)
+    } else {
+        Vec::new()
+    };
+
+    for rp in &plan.regions {
+        if matches!(
+            rp.layout,
+            RegionLayout::Segmented { .. } | RegionLayout::LayoutOnly
+        ) {
+            continue;
+        }
+        for &t in &rp.region.tapes {
+            if let Some(recipe) = remat_recipe(grad, t, &written, &paths) {
+                slots[t] = SlotEncoding::Remat(recipe);
+                continue;
+            }
+            if grad.tapes[t].as_int {
+                // The taped value is `itof(v)`; narrow by v's range.
+                let store = grad.func.inst(grad.tapes[t].store);
+                if let ValueDef::Inst(ci) = grad.func.value(store.args[1]).def {
+                    let conv = grad.func.inst(ci);
+                    if conv.op == Op::IToF {
+                        if let Some(Some((lo, hi))) = ranges.get(conv.args[0].index()).copied() {
+                            slots[t] = SlotEncoding::Keep {
+                                width: width_for(lo, hi),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rewrite the plan: drop elided slots, compact offsets, attach codecs.
+    let mut region_codec = vec![None; plan.regions.len()];
+    for (ri, rp) in plan.regions.iter_mut().enumerate() {
+        if matches!(
+            rp.layout,
+            RegionLayout::Segmented { .. } | RegionLayout::LayoutOnly
+        ) {
+            continue;
+        }
+        let (kept, dropped): (Vec<usize>, Vec<usize>) = rp
+            .region
+            .tapes
+            .iter()
+            .partition(|&&t| matches!(slots[t], SlotEncoding::Keep { .. }));
+        if !dropped.is_empty() {
+            for &t in &dropped {
+                plan.store_site.remove(&grad.tapes[t].store);
+                for l in &grad.tapes[t].loads {
+                    plan.load_site.remove(l);
+                }
+            }
+            if kept.is_empty() {
+                // Nothing left to stream: the region degenerates to a
+                // layout-only shell with an empty merged array.
+                rp.layout = RegionLayout::LayoutOnly;
+                rp.fwd_layers = 0;
+            } else {
+                for (off, &t) in kept.iter().enumerate() {
+                    let site = Site {
+                        region: ri,
+                        tape: t,
+                        global_off: off,
+                        segment: None,
+                        local_off: off,
+                    };
+                    plan.store_site.insert(grad.tapes[t].store, site);
+                    for &l in &grad.tapes[t].loads {
+                        plan.load_site.insert(l, site);
+                    }
+                }
+            }
+            rp.region.tapes = kept;
+            rp.region.rsize = rp.region.tapes.len();
+            rp.rsize_total = rp.region.tapes.len();
+        }
+        if !matches!(rp.layout, RegionLayout::LayoutOnly) {
+            let packed: u64 = rp
+                .region
+                .tapes
+                .iter()
+                .map(|&t| match slots[t] {
+                    SlotEncoding::Keep { width } => u64::from(width),
+                    SlotEncoding::Remat(_) => 0,
+                })
+                .sum();
+            if packed < rp.rsize_total as u64 * 8 && rp.rsize_total > 0 {
+                region_codec[ri] = Some((rp.rsize_total as u16, packed as u16));
+            }
+        }
+    }
+    plan.total_fwd_layers = plan.regions.iter().map(|r| r.fwd_layers).sum();
+
+    let bytes_after: u64 = plan
+        .regions
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| match region_codec[ri] {
+            Some((_, packed)) => r.region.trip_product * u64::from(packed),
+            None => r.merged_len() as u64 * 8,
+        })
+        .sum();
+    let elided_slots = slots
+        .iter()
+        .filter(|s| matches!(s, SlotEncoding::Remat(_)))
+        .count();
+    let narrowed_slots = slots
+        .iter()
+        .filter(|s| matches!(s, SlotEncoding::Keep { width } if *width < 8))
+        .count();
+    let encoding = TapeEncoding {
+        slots,
+        region_codec,
+        elided_slots,
+        narrowed_slots,
+        bytes_before,
+        bytes_after,
+    };
+    (plan, encoding)
+}

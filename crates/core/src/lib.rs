@@ -15,13 +15,21 @@
 //!   *segments* when a single iteration overflows the scratchpad,
 //!   duplicating tape stores whose consumers land in other segments
 //!   (paper §3.4 Algorithm 2 and §3.7).
-//! * **Pass 3 — Explicit streaming** ([`apply`]): inserts `FWD-Stream` /
-//!   `REV-Stream` commands at layer boundaries so tape tiles move between
-//!   DRAM and the scratchpad just in time, double-buffered so streams run
-//!   ahead of compute (paper §3.5).
-//! * **Pass 4 — Scratchpad indexing** ([`apply`]): rewrites tape loads
-//!   and stores into scratchpad accesses with compiler-generated indices
-//!   (paper §3.6, Algorithm 3).
+//! * **Pass 3 — Explicit streaming** ([`streams`]): terminal lowering to
+//!   first-class stream-command IR — `FWD-Stream` / `REV-Stream` commands
+//!   at layer boundaries so tape tiles move between DRAM and the
+//!   scratchpad just in time, double-buffered so streams run ahead of
+//!   compute (paper §3.5). The result is a complete, verifiable program
+//!   state, not a snapshot.
+//! * **Pass 4 — Scratchpad indexing** ([`spad_index`]): a standalone
+//!   rewrite of the stream-command IR, turning tape loads and stores into
+//!   scratchpad accesses with compiler-generated indices (paper §3.6,
+//!   Algorithm 3).
+//! * **Pass 5 — Tape compression** ([`compress`], opt-in): elides tape
+//!   slots whose values are rematerializable affine reads of unwritten
+//!   inputs and narrows integer-valued slots to their proven byte width,
+//!   shrinking the streamed DRAM footprint before Passes 3–4 consume the
+//!   plan.
 //!
 //! [`compile`] runs the pipeline; [`CompileMode::AosOnly`] stops after the
 //! layout change (both layouts still go through the cache), which is the
@@ -55,10 +63,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apply;
+pub mod compress;
 pub mod layering;
 pub mod lint;
 pub mod pipeline;
 pub mod regions;
+pub mod spad_index;
+pub mod streams;
 
 use std::error::Error;
 use std::fmt;
@@ -85,6 +96,10 @@ pub struct CompileOptions {
     pub double_buffer: bool,
     /// Pipeline depth.
     pub mode: CompileMode,
+    /// Run Pass 5 (`tape-compress`) between layering and the terminal
+    /// lowering: elide rematerializable tape slots and narrow
+    /// integer-valued ones (only meaningful in [`CompileMode::Full`]).
+    pub compress_tape: bool,
 }
 
 impl Default for CompileOptions {
@@ -95,6 +110,7 @@ impl Default for CompileOptions {
             spad_entries: 128,
             double_buffer: true,
             mode: CompileMode::Full,
+            compress_tape: false,
         }
     }
 }
@@ -136,6 +152,9 @@ pub struct CompiledProgram {
     pub plan: layering::LayerPlan,
     /// Pipeline configuration used.
     pub options: CompileOptions,
+    /// The Pass 5 tape encoding the program was lowered under, when
+    /// `tape-compress` ran.
+    pub encoding: Option<compress::TapeEncoding>,
     /// Summary statistics.
     pub stats: CompileStats,
 }
@@ -173,9 +192,31 @@ pub enum CoreError {
     },
     /// The AD front-end failed inside the pipeline (`ad` pass).
     Ad(tapeflow_autodiff::AdError),
-    /// The pipeline itself is assembled or driven wrong: unknown pass
-    /// name, missing prerequisite pass, or a pass run without the state
-    /// it needs.
+    /// `--passes` named a pass outside the registry.
+    UnknownPass {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A pass's required artifact is not available when the pass runs —
+    /// a dependency-violating `--passes` order (e.g. `spad-index` without
+    /// `streams`) or a pipeline seeded without the needed state.
+    MissingArtifact {
+        /// The pass whose requirement is unmet.
+        pass: &'static str,
+        /// The missing artifact (the violated dependency edge).
+        artifact: pipeline::Artifact,
+    },
+    /// A pass conflicts with an artifact an earlier pass already produced
+    /// (e.g. two terminal lowerings, or `opt` after `ad`).
+    ArtifactConflict {
+        /// The pass that cannot run.
+        pass: &'static str,
+        /// The already-present artifact it clashes with.
+        artifact: pipeline::Artifact,
+    },
+    /// The pipeline itself is assembled or driven wrong in some other
+    /// way: duplicate pass name, missing AD options, or no terminal
+    /// lowering.
     Pipeline(String),
 }
 
@@ -199,6 +240,37 @@ impl fmt::Display for CoreError {
                 write!(f, "IR invalid after pass `{pass}`: {error}")
             }
             CoreError::Ad(e) => write!(f, "ad pass: {e}"),
+            CoreError::UnknownPass { name } => {
+                let registry: Vec<&str> = pipeline::registered_passes()
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect();
+                write!(
+                    f,
+                    "unknown pass {name:?} (registered: {})",
+                    registry.join(", ")
+                )
+            }
+            CoreError::MissingArtifact { pass, artifact } => {
+                let producers = artifact.producers();
+                if producers.is_empty() {
+                    write!(
+                        f,
+                        "pass `{pass}` requires `{artifact}`, which only running the pipeline from a source function provides"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "pass `{pass}` requires `{artifact}`, produced by `{}` — add it before `{pass}`",
+                        producers.join("` or `")
+                    )
+                }
+            }
+            CoreError::ArtifactConflict { pass, artifact } => write!(
+                f,
+                "pass `{pass}` conflicts with `{artifact}`, already produced by `{}` earlier in the pipeline",
+                artifact.producers().join("` or `")
+            ),
             CoreError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
         }
     }

@@ -13,6 +13,7 @@
 //! Entry point: [`lint_plan`]. Diagnostics reuse
 //! [`tapeflow_ir::lint::Diagnostic`] and the same deterministic order.
 
+use crate::compress::{SlotEncoding, TapeEncoding};
 use crate::layering::{LayerPlan, RegionLayout, Site};
 use crate::CompileOptions;
 use tapeflow_autodiff::Gradient;
@@ -23,20 +24,36 @@ fn tape_label(grad: &Gradient, k: usize) -> String {
     format!("tape {k} ({} `{}`)", arr, grad.func.array(arr).name)
 }
 
+/// Whether Pass 5 elided tape slot `k` (no store/load sites remain in
+/// the plan; REV rematerializes the value from an input array instead).
+fn elided(encoding: Option<&TapeEncoding>, k: usize) -> bool {
+    encoding.is_some_and(|e| matches!(e.slots.get(k), Some(SlotEncoding::Remat(_))))
+}
+
 /// Runs every plan-level rule over a gradient and its layer plan and
 /// returns the findings in canonical order.
+///
+/// `encoding` is the Pass 5 tape encoding the plan was rewritten under,
+/// if `tape-compress` ran (e.g. [`crate::CompiledProgram::encoding`]):
+/// slots it elided legitimately have no sites in the plan and are skipped
+/// by the pairing rules.
 ///
 /// `tape-never-loaded` warnings are only raised for region-managed tapes;
 /// unmanaged tapes keep their plain store/load instructions in the
 /// compiled function, where the function-level rule of the same name
 /// already reports them.
-pub fn lint_plan(grad: &Gradient, plan: &LayerPlan, opts: &CompileOptions) -> Vec<Diagnostic> {
+pub fn lint_plan(
+    grad: &Gradient,
+    plan: &LayerPlan,
+    opts: &CompileOptions,
+    encoding: Option<&TapeEncoding>,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    ftor_pairing(grad, plan, &mut diags);
+    ftor_pairing(grad, plan, encoding, &mut diags);
     layer_capacity(plan, opts, &mut diags);
     spad_partition(plan, opts, &mut diags);
     segment_dups(grad, plan, &mut diags);
-    tape_liveness(grad, plan, &mut diags);
+    tape_liveness(grad, plan, encoding, &mut diags);
     sort_diagnostics(&mut diags);
     diags
 }
@@ -45,9 +62,14 @@ pub fn lint_plan(grad: &Gradient, plan: &LayerPlan, opts: &CompileOptions) -> Ve
 /// store must have a site in the plan, every REV load of that tape must
 /// have one too, and the two must agree on region, slot and DRAM offset —
 /// otherwise REV restores a different value than FWD saved.
-fn ftor_pairing(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) {
+fn ftor_pairing(
+    grad: &Gradient,
+    plan: &LayerPlan,
+    encoding: Option<&TapeEncoding>,
+    diags: &mut Vec<Diagnostic>,
+) {
     for (k, t) in grad.tapes.iter().enumerate() {
-        if plan.unmanaged.contains(&k) {
+        if plan.unmanaged.contains(&k) || elided(encoding, k) {
             continue;
         }
         let store = match plan.store_site.get(&t.store) {
@@ -214,9 +236,14 @@ fn segment_dups(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) 
 /// `tape-never-loaded` (warning): a region-managed tape with no REV
 /// loads — it is streamed out and back in but never read, so the min-tape
 /// heuristic missed a recompute opportunity.
-fn tape_liveness(grad: &Gradient, plan: &LayerPlan, diags: &mut Vec<Diagnostic>) {
+fn tape_liveness(
+    grad: &Gradient,
+    plan: &LayerPlan,
+    encoding: Option<&TapeEncoding>,
+    diags: &mut Vec<Diagnostic>,
+) {
     for (k, t) in grad.tapes.iter().enumerate() {
-        if plan.unmanaged.contains(&k) || !t.loads.is_empty() {
+        if plan.unmanaged.contains(&k) || !t.loads.is_empty() || elided(encoding, k) {
             continue;
         }
         diags.push(Diagnostic {
@@ -273,7 +300,7 @@ mod tests {
     #[test]
     fn healthy_plan_is_clean_of_errors() {
         let (grad, plan, opts) = toy();
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(
             diags.iter().all(|d| d.severity == Severity::Warning),
             "{diags:?}"
@@ -285,7 +312,7 @@ mod tests {
         let (grad, mut plan, opts) = toy();
         let victim = *plan.load_site.keys().min().unwrap();
         plan.load_site.remove(&victim);
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(diags.iter().any(|d| d.rule == "ftor-unmapped"), "{diags:?}");
     }
 
@@ -294,7 +321,7 @@ mod tests {
         let (grad, mut plan, opts) = toy();
         let victim = *plan.load_site.keys().min().unwrap();
         plan.load_site.get_mut(&victim).unwrap().global_off += 1;
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(diags.iter().any(|d| d.rule == "ftor-mismatch"), "{diags:?}");
     }
 
@@ -307,7 +334,7 @@ mod tests {
             .find(|r| !matches!(r.layout, RegionLayout::LayoutOnly))
             .expect("toy has a streamed region");
         rp.spad_range = 1;
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(
             diags.iter().any(|d| d.rule == "layer-capacity"),
             "{diags:?}"
@@ -318,7 +345,7 @@ mod tests {
     fn moving_a_region_past_the_spad_is_a_partition_error() {
         let (grad, mut plan, opts) = toy();
         plan.regions[0].spad_base = opts.spad_entries as u32;
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(
             diags.iter().any(|d| d.rule == "spad-partition"),
             "{diags:?}"
@@ -338,7 +365,7 @@ mod tests {
         if let Some(fp) = layer_footprint(&rp.layout, rp.rsize_total) {
             rp.spad_range = (fp + fp / 2).max(2) as u32;
         }
-        let diags = lint_plan(&grad, &plan, &opts);
+        let diags = lint_plan(&grad, &plan, &opts, None);
         assert!(
             diags.iter().any(|d| d.rule == "double-buffer-overlap"),
             "{diags:?}"

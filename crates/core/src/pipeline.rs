@@ -1,33 +1,36 @@
 //! The pass manager: every stage of the Tapeflow compilation flow —
-//! `ir::opt` cleanups, the AD transform and core Passes 1–4 — as a
+//! `ir::opt` cleanups, the AD transform and core Passes 1–5 — as a
 //! registered [`Pass`] running over a shared [`PipelineState`], assembled
 //! by a [`PipelineBuilder`] and reported on by a [`PipelineReport`].
 //!
 //! This is the architecture the paper's toolflow implies (Enzyme sits
-//! inside LLVM's pass pipeline; Tapeflow's four passes follow it): each
-//! stage is a named pass with explicit prerequisites, the IR is verified
-//! after every pass in checked mode, and per-pass wall time,
-//! [`CompileStats`] and optional post-pass IR snapshots are recorded —
-//! the in-tree analogue of `opt`'s `--time-passes` / `--print-after-all`.
+//! inside LLVM's pass pipeline; Tapeflow's passes follow it): each stage
+//! is a named pass declaring the typed [`Artifact`]s it *requires*,
+//! *produces* and *conflicts with*, the IR is verified after every pass
+//! in checked mode, and per-pass wall time, [`CompileStats`] and optional
+//! post-pass IR snapshots are recorded — the in-tree analogue of `opt`'s
+//! `--time-passes` / `--print-after-all`.
 //!
 //! Registered passes, in canonical order:
 //!
-//! | name | stage |
-//! |---|---|
-//! | `opt` | const-fold / CSE / DCE (the paper's `-O3` assumption) |
-//! | `ad` | reverse-mode AD: FWD + tape + REV gradient function |
-//! | `regions` | Pass 1 (§3.3): merge SoA tape arrays into AoS regions |
-//! | `layering` | Pass 2 (§3.4/§3.7): scratchpad-sized layers |
-//! | `streams` | Pass 3 (§3.5): `FWD-Stream`/`REV-Stream` at layer bounds |
-//! | `spad-index` | Pass 4 (§3.6): tape accesses → scratchpad indices |
-//! | `aos-layout` | terminal AoS lowering ([`CompileMode::AosOnly`]) |
+//! | name | stage | requires | produces |
+//! |---|---|---|---|
+//! | `opt` | const-fold / CSE / DCE (the paper's `-O3` assumption) | source-ir | source-ir |
+//! | `ad` | reverse-mode AD: FWD + tape + REV gradient function | source-ir | gradient-ir |
+//! | `regions` | Pass 1 (§3.3): merge SoA tape arrays into AoS regions | gradient-ir | regions |
+//! | `layering` | Pass 2 (§3.4/§3.7): scratchpad-sized layers | gradient-ir, regions | layer-plan |
+//! | `tape-compress` | Pass 5: elide / narrow tape slots per region | gradient-ir, layer-plan | tape-encoding |
+//! | `streams` | Pass 3 (§3.5): terminal lowering to stream-command IR | gradient-ir, layer-plan | streams-ir |
+//! | `spad-index` | Pass 4 (§3.6): tape ops → scratchpad accesses | streams-ir | compiled-ir |
+//! | `aos-layout` | terminal AoS lowering ([`CompileMode::AosOnly`]) | gradient-ir, regions | layer-plan, compiled-ir |
 //!
-//! Passes 3 and 4 share one rewriter walk ([`crate::apply`]); `streams`
-//! therefore only materializes its own output function when IR capture is
-//! on (a verified, runnable intermediate whose tape loads still read the
-//! merged DRAM regions), and otherwise records that the stream insertion
-//! is fused into the `spad-index` rewrite — which is also where the fused
-//! wall time lands.
+//! `streams` and `spad-index` are genuinely independent rewrites:
+//! `streams` materializes a complete, verified stream-command program
+//! ([`crate::streams::StreamsProgram`]) and `spad-index` consumes that
+//! form — there is no fused walk and no snapshot side-channel. Pipeline
+//! assembly ([`PipelineBuilder::from_names`]) and execution both validate
+//! the artifact graph, so a missing or conflicting dependency is a
+//! structured error naming the violated edge.
 //!
 //! [`crate::compile`] is a thin wrapper over the builder, so the standard
 //! entry point and the pass manager can never drift apart.
@@ -58,19 +61,83 @@
 //! assert!(compiled.stats.fwd_layers > 0);
 //! ```
 
-use crate::apply::{apply_lowered, Lowering};
+use crate::apply::{compile_stats, rewrite, Lowering};
+use crate::compress::{compress_tapes, TapeEncoding};
 use crate::layering::{self, LayerPlan, RegionLayout};
 use crate::regions::{self, FormedRegions};
+use crate::spad_index::apply_spad_index;
+use crate::streams::{lower_streams, StreamsProgram};
 use crate::{CompileMode, CompileOptions, CompileStats, CompiledProgram, CoreError};
 use std::fmt;
 use std::time::{Duration, Instant};
 use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
 use tapeflow_ir::lint::{self, Diagnostic, LintConfig};
-use tapeflow_ir::{opt::OptStats, pretty, verify, ArrayKind, Function};
+use tapeflow_ir::{opt::OptStats, pretty, verify, ArrayKind, Function, Op};
 
-/// The evolving program plus the sidecar artifacts passes read and
-/// write. Transform passes replace [`PipelineState::current_ir`]'s view;
-/// analysis passes (Passes 1 and 2) only attach artifacts.
+/// A typed pipeline artifact: one kind of state a pass can require,
+/// produce, or conflict with. The artifact graph replaces ad-hoc
+/// prerequisite tables — [`PipelineBuilder::from_names`] simulates it at
+/// assembly time and [`PipelineBuilder::run_source`] re-checks it per
+/// pass at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// The (possibly optimized) source function
+    /// ([`PipelineState::func`]).
+    SourceIr,
+    /// The AD front-end's gradient ([`PipelineState::gradient`]).
+    GradientIr,
+    /// Pass 1's formed regions ([`PipelineState::formed`]).
+    Regions,
+    /// Pass 2's layer plan ([`PipelineState::plan`]).
+    LayerPlan,
+    /// Pass 5's tape encoding ([`PipelineState::encoding`]).
+    TapeEncoding,
+    /// Pass 3's terminal stream-command program
+    /// ([`PipelineState::streams`]).
+    StreamsIr,
+    /// A terminal lowering's compiled program
+    /// ([`PipelineState::compiled`]).
+    CompiledIr,
+}
+
+impl Artifact {
+    /// Stable kebab-case name used in errors and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::SourceIr => "source-ir",
+            Artifact::GradientIr => "gradient-ir",
+            Artifact::Regions => "regions",
+            Artifact::LayerPlan => "layer-plan",
+            Artifact::TapeEncoding => "tape-encoding",
+            Artifact::StreamsIr => "streams-ir",
+            Artifact::CompiledIr => "compiled-ir",
+        }
+    }
+
+    /// Registered passes that produce this artifact (empty for
+    /// `source-ir`, which is seeded by `run_source`).
+    pub fn producers(self) -> &'static [&'static str] {
+        match self {
+            Artifact::SourceIr => &[],
+            Artifact::GradientIr => &["ad"],
+            Artifact::Regions => &["regions"],
+            Artifact::LayerPlan => &["layering", "aos-layout"],
+            Artifact::TapeEncoding => &["tape-compress"],
+            Artifact::StreamsIr => &["streams"],
+            Artifact::CompiledIr => &["spad-index", "aos-layout"],
+        }
+    }
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The evolving program plus the typed artifacts passes read and write.
+/// Transform passes replace [`PipelineState::current_ir`]'s view;
+/// analysis passes (Passes 1, 2 and 5) only attach artifacts.
 #[derive(Debug, Default)]
 pub struct PipelineState {
     /// The source function (set by [`PipelineBuilder::run_source`],
@@ -81,33 +148,42 @@ pub struct PipelineState {
     pub gradient: Option<Gradient>,
     /// Pass 1 artifact: formed regions.
     pub formed: Option<FormedRegions>,
-    /// Pass 2 artifact: the layer plan.
+    /// Pass 2 artifact: the layer plan (rewritten in place by
+    /// `tape-compress` when that pass runs).
     pub plan: Option<LayerPlan>,
-    /// The post-Pass-3 IR snapshot (layers + streams, tape loads still
-    /// DRAM-resident). Only materialized when IR capture is on.
-    pub streams_ir: Option<Function>,
+    /// Pass 5 artifact: the tape encoding.
+    pub encoding: Option<TapeEncoding>,
+    /// Pass 3 artifact: the terminal stream-command program.
+    pub streams: Option<StreamsProgram>,
     /// Terminal lowering output (`spad-index` or `aos-layout`).
     pub compiled: Option<CompiledProgram>,
     /// `opt` pass statistics.
     pub opt_stats: Option<OptStats>,
-    /// Whether post-pass IR snapshots are being captured (set from
-    /// [`PipelineBuilder::with_ir_capture`]; the `streams` pass reads it).
-    pub capture_ir: bool,
-    /// One-line detail the running pass leaves for the report (cleared
-    /// before each pass).
-    pub detail: String,
 }
 
 impl PipelineState {
+    /// Whether the typed artifact is present in the state.
+    pub fn has(&self, a: Artifact) -> bool {
+        match a {
+            Artifact::SourceIr => self.func.is_some(),
+            Artifact::GradientIr => self.gradient.is_some(),
+            Artifact::Regions => self.formed.is_some(),
+            Artifact::LayerPlan => self.plan.is_some(),
+            Artifact::TapeEncoding => self.encoding.is_some(),
+            Artifact::StreamsIr => self.streams.is_some(),
+            Artifact::CompiledIr => self.compiled.is_some(),
+        }
+    }
+
     /// The most-lowered function currently in the state: the compiled
-    /// program if a terminal pass ran, else the streams snapshot, else
-    /// the gradient function, else the (possibly optimized) source.
+    /// program if a terminal pass ran, else the stream-command program,
+    /// else the gradient function, else the (possibly optimized) source.
     pub fn current_ir(&self) -> Option<&Function> {
         if let Some(c) = &self.compiled {
             return Some(&c.func);
         }
-        if let Some(f) = &self.streams_ir {
-            return Some(f);
+        if let Some(sp) = &self.streams {
+            return Some(&sp.func);
         }
         if let Some(g) = &self.gradient {
             return Some(&g.func);
@@ -145,24 +221,51 @@ impl PipelineState {
     }
 }
 
+/// What a pass hands back to the manager on success.
+#[derive(Clone, Debug, Default)]
+pub struct PassOutcome {
+    /// One-line pass-specific detail for the report (counts, sizes).
+    pub detail: String,
+}
+
+impl PassOutcome {
+    fn detail(detail: String) -> Self {
+        PassOutcome { detail }
+    }
+}
+
 /// One registered stage of the compilation flow.
 pub trait Pass {
-    /// Registry name (`opt`, `ad`, `regions`, `layering`, `streams`,
-    /// `spad-index`, `aos-layout`).
+    /// Registry name (`opt`, `ad`, `regions`, `layering`,
+    /// `tape-compress`, `streams`, `spad-index`, `aos-layout`).
     fn name(&self) -> &'static str;
     /// One-line description for reports and `--passes help`.
     fn description(&self) -> &'static str;
-    /// Runs the pass over the evolving state.
+    /// Artifacts that must be present before the pass runs.
+    fn requires(&self) -> &'static [Artifact] {
+        &[]
+    }
+    /// Artifacts the pass leaves in the state.
+    fn produces(&self) -> &'static [Artifact] {
+        &[]
+    }
+    /// Artifacts that must *not* be present when the pass runs (e.g. a
+    /// terminal lowering forbids an existing compiled program).
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[]
+    }
+    /// Runs the pass over the evolving state. The manager has already
+    /// checked [`Pass::requires`]/[`Pass::conflicts`] against the state.
     ///
     /// # Errors
     ///
-    /// Any [`CoreError`]; missing prerequisites surface as
-    /// [`CoreError::Pipeline`].
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError>;
+    /// Any [`CoreError`]; a direct call with missing prerequisite
+    /// artifacts surfaces as [`CoreError::MissingArtifact`].
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError>;
 }
 
-fn missing(pass: &str, what: &str) -> CoreError {
-    CoreError::Pipeline(format!("pass `{pass}` needs {what} in the pipeline state"))
+fn missing(pass: &'static str, artifact: Artifact) -> CoreError {
+    CoreError::MissingArtifact { pass, artifact }
 }
 
 // ---- the registered passes -------------------------------------------------
@@ -176,24 +279,35 @@ impl Pass for OptPass {
     fn description(&self) -> &'static str {
         "const-fold / CSE / DCE cleanups (the paper's -O3 assumption)"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::SourceIr]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::SourceIr]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        // A source rewrite after `ad` would invalidate the AD maps.
+        &[Artifact::GradientIr]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         if state.gradient.is_some() {
-            return Err(CoreError::Pipeline(
-                "pass `opt` must run before `ad`: a rewrite would invalidate the AD maps".into(),
-            ));
+            return Err(CoreError::ArtifactConflict {
+                pass: "opt",
+                artifact: Artifact::GradientIr,
+            });
         }
         let func = state
             .func
             .take()
-            .ok_or_else(|| missing("opt", "a source function (run_source)"))?;
+            .ok_or_else(|| missing("opt", Artifact::SourceIr))?;
         let (g, stats) = tapeflow_ir::opt::optimize(&func);
-        state.detail = format!(
+        let detail = format!(
             "folded {}, cse {}, dce {}",
             stats.folded, stats.cse_hits, stats.dce_removed
         );
         state.func = Some(g);
         state.opt_stats = Some(stats);
-        Ok(())
+        Ok(PassOutcome::detail(detail))
     }
 }
 
@@ -208,18 +322,28 @@ impl Pass for AdPass {
     fn description(&self) -> &'static str {
         "reverse-mode AD: FWD + tape + REV gradient function"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::SourceIr]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         if state.gradient.is_some() {
-            return Err(CoreError::Pipeline(
-                "pass `ad` ran on a state that already has a gradient".into(),
-            ));
+            return Err(CoreError::ArtifactConflict {
+                pass: "ad",
+                artifact: Artifact::GradientIr,
+            });
         }
         let func = state
             .func
             .as_ref()
-            .ok_or_else(|| missing("ad", "a source function (run_source)"))?;
+            .ok_or_else(|| missing("ad", Artifact::SourceIr))?;
         let grad = differentiate(func, &self.opts)?;
-        state.detail = format!(
+        let detail = format!(
             "taped {} values ({} B), recomputed {}, adjoint cells {}",
             grad.stats.taped_values,
             grad.stats.tape_bytes,
@@ -227,7 +351,7 @@ impl Pass for AdPass {
             grad.stats.adjoint_cells
         );
         state.gradient = Some(grad);
-        Ok(())
+        Ok(PassOutcome::detail(detail))
     }
 }
 
@@ -240,20 +364,26 @@ impl Pass for RegionsPass {
     fn description(&self) -> &'static str {
         "Pass 1 (3.3): merge SoA tape arrays into AoS regions"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::Regions]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         let grad = state
             .gradient
             .as_ref()
-            .ok_or_else(|| missing("regions", "a gradient (`ad` or run_gradient)"))?;
+            .ok_or_else(|| missing("regions", Artifact::GradientIr))?;
         let formed = regions::form_regions(grad);
-        state.detail = format!(
+        let detail = format!(
             "{} regions, {} unmanaged tapes, {} nesting levels",
             formed.regions.len(),
             formed.unmanaged.len(),
             formed.levels
         );
         state.formed = Some(formed);
-        Ok(())
+        Ok(PassOutcome::detail(detail))
     }
 }
 
@@ -268,22 +398,31 @@ impl Pass for LayeringPass {
     fn description(&self) -> &'static str {
         "Pass 2 (3.4/3.7): schedule FWD/REV into scratchpad-sized layers"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr, Artifact::Regions]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::LayerPlan]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[Artifact::CompiledIr]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         let grad = state
             .gradient
             .as_ref()
-            .ok_or_else(|| missing("layering", "a gradient"))?;
+            .ok_or_else(|| missing("layering", Artifact::GradientIr))?;
         let formed = state
             .formed
             .clone()
-            .ok_or_else(|| missing("layering", "formed regions (`regions`)"))?;
+            .ok_or_else(|| missing("layering", Artifact::Regions))?;
         let plan = layering::plan_layers(grad, formed, &self.opts)?;
         let segmented = plan
             .regions
             .iter()
             .filter(|r| matches!(r.layout, RegionLayout::Segmented { .. }))
             .count();
-        state.detail = format!(
+        let detail = format!(
             "{} fwd layers, {} segmented regions, {} duplicated slots",
             plan.total_fwd_layers,
             segmented,
@@ -297,7 +436,54 @@ impl Pass for LayeringPass {
                 .sum::<usize>()
         );
         state.plan = Some(plan);
-        Ok(())
+        Ok(PassOutcome::detail(detail))
+    }
+}
+
+struct TapeCompressPass;
+
+impl Pass for TapeCompressPass {
+    fn name(&self) -> &'static str {
+        "tape-compress"
+    }
+    fn description(&self) -> &'static str {
+        "Pass 5: elide rematerializable slots, narrow integer slots"
+    }
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr, Artifact::LayerPlan]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::TapeEncoding]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        // Must run before the terminal lowerings consume the plan.
+        &[
+            Artifact::TapeEncoding,
+            Artifact::StreamsIr,
+            Artifact::CompiledIr,
+        ]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
+        let plan = state
+            .plan
+            .take()
+            .ok_or_else(|| missing("tape-compress", Artifact::LayerPlan))?;
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("tape-compress", Artifact::GradientIr))?;
+        let (plan, enc) = compress_tapes(grad, plan);
+        let detail = format!(
+            "elided {}/{} slots, narrowed {}, tape bytes {} -> {}",
+            enc.elided_slots,
+            enc.slots.len(),
+            enc.narrowed_slots,
+            enc.bytes_before,
+            enc.bytes_after
+        );
+        state.plan = Some(plan);
+        state.encoding = Some(enc);
+        Ok(PassOutcome::detail(detail))
     }
 }
 
@@ -310,35 +496,44 @@ impl Pass for StreamsPass {
         "streams"
     }
     fn description(&self) -> &'static str {
-        "Pass 3 (3.5): FWD-Stream/REV-Stream commands at layer boundaries"
+        "Pass 3 (3.5): terminal lowering to stream-command IR"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr, Artifact::LayerPlan]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::StreamsIr]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[Artifact::StreamsIr, Artifact::CompiledIr]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         let grad = state
             .gradient
             .as_ref()
-            .ok_or_else(|| missing("streams", "a gradient"))?;
+            .ok_or_else(|| missing("streams", Artifact::GradientIr))?;
         let plan = state
             .plan
-            .as_ref()
-            .ok_or_else(|| missing("streams", "a layer plan (`layering`)"))?;
-        if state.capture_ir {
-            // Materialize the post-Pass-3 intermediate: restructured
-            // layers, barriers and stream commands, with tape loads still
-            // reading the merged DRAM regions. It verifies and computes
-            // the same gradients as the final program.
-            let snap = apply_lowered(grad, plan.clone(), self.opts, Lowering::Streams)?;
-            state.streams_ir = Some(snap.func);
-            state.detail = "materialized stream snapshot (tape loads still DRAM-resident)".into();
-        } else {
-            state.detail = "stream insertion fused into the spad-index rewrite".into();
-        }
-        Ok(())
+            .clone()
+            .ok_or_else(|| missing("streams", Artifact::LayerPlan))?;
+        let sp = lower_streams(grad, plan, self.opts, state.encoding.clone())?;
+        let (stores, loads, outs) =
+            sp.func
+                .insts()
+                .iter()
+                .fold((0, 0, 0), |(s, l, o), i| match i.op {
+                    Op::TapeStore { .. } => (s + 1, l, o),
+                    Op::TapeLoad { .. } => (s, l + 1, o),
+                    Op::StreamOut(_) | Op::StreamOutC { .. } => (s, l, o + 1),
+                    _ => (s, l, o),
+                });
+        let detail = format!("{stores} tape stores, {loads} tape loads, {outs} stream pairs");
+        state.streams = Some(sp);
+        Ok(PassOutcome::detail(detail))
     }
 }
 
-struct SpadIndexPass {
-    opts: CompileOptions,
-}
+struct SpadIndexPass;
 
 impl Pass for SpadIndexPass {
     fn name(&self) -> &'static str {
@@ -347,22 +542,27 @@ impl Pass for SpadIndexPass {
     fn description(&self) -> &'static str {
         "Pass 4 (3.6): rewrite tape accesses into scratchpad indices"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
-        let grad = state
-            .gradient
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::StreamsIr]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::CompiledIr]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[Artifact::CompiledIr]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
+        let sp = state
+            .streams
             .as_ref()
-            .ok_or_else(|| missing("spad-index", "a gradient"))?;
-        let plan = state
-            .plan
-            .clone()
-            .ok_or_else(|| missing("spad-index", "a layer plan (`layering`)"))?;
-        let compiled = apply_lowered(grad, plan, self.opts, Lowering::Spad)?;
-        state.detail = format!(
+            .ok_or_else(|| missing("spad-index", Artifact::StreamsIr))?;
+        let compiled = apply_spad_index(sp)?;
+        let detail = format!(
             "{} merged tape bytes, {} spad entries",
             compiled.stats.merged_tape_bytes, compiled.stats.spad_entries
         );
         state.compiled = Some(compiled);
-        Ok(())
+        Ok(PassOutcome::detail(detail))
     }
 }
 
@@ -377,32 +577,54 @@ impl Pass for AosLayoutPass {
     fn description(&self) -> &'static str {
         "terminal AoS lowering: merged regions stay cache-resident (Fig 4.3)"
     }
-    fn run(&self, state: &mut PipelineState) -> Result<(), CoreError> {
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr, Artifact::Regions]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::LayerPlan, Artifact::CompiledIr]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[
+            Artifact::LayerPlan,
+            Artifact::TapeEncoding,
+            Artifact::StreamsIr,
+            Artifact::CompiledIr,
+        ]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
         let grad = state
             .gradient
             .as_ref()
-            .ok_or_else(|| missing("aos-layout", "a gradient"))?;
+            .ok_or_else(|| missing("aos-layout", Artifact::GradientIr))?;
         let formed = state
             .formed
             .clone()
-            .ok_or_else(|| missing("aos-layout", "formed regions (`regions`)"))?;
+            .ok_or_else(|| missing("aos-layout", Artifact::Regions))?;
         let opts = CompileOptions {
             mode: CompileMode::AosOnly,
             ..self.opts
         };
         let plan = layering::plan_layers(grad, formed, &opts)?;
         state.plan = Some(plan.clone());
-        let compiled = apply_lowered(grad, plan, opts, Lowering::Aos)?;
-        state.detail = format!("{} merged tape bytes", compiled.stats.merged_tape_bytes);
-        state.compiled = Some(compiled);
-        Ok(())
+        let (func, phase_barrier) = rewrite(grad, &plan, opts, Lowering::Aos, None)?;
+        let stats = compile_stats(&plan, &opts);
+        let detail = format!("{} merged tape bytes", stats.merged_tape_bytes);
+        state.compiled = Some(CompiledProgram {
+            func,
+            phase_barrier,
+            plan,
+            options: opts,
+            encoding: None,
+            stats,
+        });
+        Ok(PassOutcome::detail(detail))
     }
 }
 
 // ---- builder ---------------------------------------------------------------
 
 /// Registered pass names with one-line descriptions, in canonical order.
-pub fn registered_passes() -> [(&'static str, &'static str); 7] {
+pub fn registered_passes() -> [(&'static str, &'static str); 8] {
     [
         ("opt", OptPass.description()),
         (
@@ -420,6 +642,7 @@ pub fn registered_passes() -> [(&'static str, &'static str); 7] {
             }
             .description(),
         ),
+        ("tape-compress", TapeCompressPass.description()),
         (
             "streams",
             StreamsPass {
@@ -427,13 +650,7 @@ pub fn registered_passes() -> [(&'static str, &'static str); 7] {
             }
             .description(),
         ),
-        (
-            "spad-index",
-            SpadIndexPass {
-                opts: CompileOptions::default(),
-            }
-            .description(),
-        ),
+        ("spad-index", SpadIndexPass.description()),
         (
             "aos-layout",
             AosLayoutPass {
@@ -491,16 +708,24 @@ impl PipelineBuilder {
 
     /// The standard gradient-seeded pipeline for `options.mode`:
     /// `regions → layering → streams → spad-index` for
-    /// [`CompileMode::Full`], `regions → aos-layout` for
-    /// [`CompileMode::AosOnly`]. This is what [`crate::compile`] runs.
+    /// [`CompileMode::Full`] (plus `tape-compress` between `layering` and
+    /// `streams` when `options.compress_tape` is set), `regions →
+    /// aos-layout` for [`CompileMode::AosOnly`]. This is what
+    /// [`crate::compile`] runs.
     pub fn for_options(options: &CompileOptions) -> Self {
         let opts = *options;
         let b = Self::empty().push(Box::new(RegionsPass));
         match opts.mode {
-            CompileMode::Full => b
-                .push(Box::new(LayeringPass { opts }))
-                .push(Box::new(StreamsPass { opts }))
-                .push(Box::new(SpadIndexPass { opts })),
+            CompileMode::Full => {
+                let b = b.push(Box::new(LayeringPass { opts }));
+                let b = if opts.compress_tape {
+                    b.push(Box::new(TapeCompressPass))
+                } else {
+                    b
+                };
+                b.push(Box::new(StreamsPass { opts }))
+                    .push(Box::new(SpadIndexPass))
+            }
             CompileMode::AosOnly => b.push(Box::new(AosLayoutPass { opts })),
         }
     }
@@ -512,13 +737,18 @@ impl PipelineBuilder {
             mode: CompileMode::Full,
             ..options
         };
-        Self::empty()
+        let b = Self::empty()
             .push(Box::new(OptPass))
             .push(Box::new(AdPass { opts: ad }))
             .push(Box::new(RegionsPass))
-            .push(Box::new(LayeringPass { opts }))
-            .push(Box::new(StreamsPass { opts }))
-            .push(Box::new(SpadIndexPass { opts }))
+            .push(Box::new(LayeringPass { opts }));
+        let b = if opts.compress_tape {
+            b.push(Box::new(TapeCompressPass))
+        } else {
+            b
+        };
+        b.push(Box::new(StreamsPass { opts }))
+            .push(Box::new(SpadIndexPass))
     }
 
     /// The Pass-1-only toolflow from source: `opt → ad → regions →
@@ -540,15 +770,21 @@ impl PipelineBuilder {
     }
 
     /// Assembles a pipeline from registered pass names (the CLI's
-    /// `--passes a,b,c`). `ad_opts` is required iff the list contains
-    /// `ad`.
+    /// `--passes a,b,c`), validating the artifact graph: every pass's
+    /// required artifacts must be produced earlier in the list (the run
+    /// is assumed to start from a source function), and no pass may
+    /// produce an artifact an earlier pass's conflict set forbids.
+    /// `ad_opts` is required iff the list contains `ad`.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Pipeline`] on an unknown or duplicate name, a
-    /// missing prerequisite (e.g. `layering` without `regions` before
-    /// it, `spad-index` without `streams` — the two share one rewriter
-    /// walk), or `aos-layout` combined with the streaming passes.
+    /// [`CoreError::UnknownPass`] for a name outside the registry;
+    /// [`CoreError::MissingArtifact`] when a pass's requirement is not
+    /// produced before it (e.g. `spad-index` without `streams`, or
+    /// `tape-compress` without `layering`); [`CoreError::ArtifactConflict`]
+    /// when a pass would clash with an artifact already produced (e.g.
+    /// `aos-layout` after `layering`); [`CoreError::Pipeline`] for a
+    /// duplicate name or missing AD options.
     pub fn from_names(
         names: &[&str],
         options: CompileOptions,
@@ -557,54 +793,17 @@ impl PipelineBuilder {
         let known: Vec<&str> = registered_passes().iter().map(|(n, _)| *n).collect();
         for n in names {
             if !known.contains(n) {
-                return Err(CoreError::Pipeline(format!(
-                    "unknown pass {n:?} (registered: {})",
-                    known.join(", ")
-                )));
+                return Err(CoreError::UnknownPass {
+                    name: (*n).to_string(),
+                });
             }
         }
-        let pos = |n: &str| names.iter().position(|x| *x == n);
         for n in &known {
             if names.iter().filter(|x| *x == n).count() > 1 {
                 return Err(CoreError::Pipeline(format!("pass `{n}` listed twice")));
             }
         }
-        let requires = [
-            ("layering", "regions"),
-            ("streams", "layering"),
-            ("spad-index", "streams"),
-            ("aos-layout", "regions"),
-        ];
-        for (pass, prereq) in requires {
-            if let Some(p) = pos(pass) {
-                match pos(prereq) {
-                    Some(q) if q < p => {}
-                    _ => {
-                        return Err(CoreError::Pipeline(format!(
-                            "pass `{pass}` requires `{prereq}` before it"
-                        )))
-                    }
-                }
-            }
-        }
-        if let (Some(o), Some(a)) = (pos("opt"), pos("ad")) {
-            if o > a {
-                return Err(CoreError::Pipeline(
-                    "pass `opt` must come before `ad` (a rewrite would invalidate the AD maps)"
-                        .into(),
-                ));
-            }
-        }
-        if pos("aos-layout").is_some() {
-            for conflict in ["layering", "streams", "spad-index"] {
-                if pos(conflict).is_some() {
-                    return Err(CoreError::Pipeline(format!(
-                        "pass `aos-layout` conflicts with `{conflict}`: pick one terminal lowering"
-                    )));
-                }
-            }
-        }
-        if pos("ad").is_some() && ad_opts.is_none() {
+        if names.contains(&"ad") && ad_opts.is_none() {
             return Err(CoreError::Pipeline(
                 "pass list contains `ad` but no AD options (wrt/loss) were supplied".into(),
             ));
@@ -612,17 +811,44 @@ impl PipelineBuilder {
         let mut b = Self::empty();
         for n in names {
             b = b.push(match *n {
-                "opt" => Box::new(OptPass),
+                "opt" => Box::new(OptPass) as Box<dyn Pass + Send + Sync>,
                 "ad" => Box::new(AdPass {
                     opts: ad_opts.clone().expect("checked above"),
                 }),
                 "regions" => Box::new(RegionsPass),
                 "layering" => Box::new(LayeringPass { opts: options }),
+                "tape-compress" => Box::new(TapeCompressPass),
                 "streams" => Box::new(StreamsPass { opts: options }),
-                "spad-index" => Box::new(SpadIndexPass { opts: options }),
+                "spad-index" => Box::new(SpadIndexPass),
                 "aos-layout" => Box::new(AosLayoutPass { opts: options }),
                 _ => unreachable!("validated against the registry"),
             });
+        }
+        // Simulate the artifact graph over the assembled order, seeded
+        // with the source function `run_source` provides.
+        let mut avail = vec![Artifact::SourceIr];
+        for pass in &b.passes {
+            for &a in pass.requires() {
+                if !avail.contains(&a) {
+                    return Err(CoreError::MissingArtifact {
+                        pass: pass.name(),
+                        artifact: a,
+                    });
+                }
+            }
+            for &a in pass.conflicts() {
+                if avail.contains(&a) {
+                    return Err(CoreError::ArtifactConflict {
+                        pass: pass.name(),
+                        artifact: a,
+                    });
+                }
+            }
+            for &a in pass.produces() {
+                if !avail.contains(&a) {
+                    avail.push(a);
+                }
+            }
         }
         Ok(b)
     }
@@ -636,8 +862,7 @@ impl PipelineBuilder {
     }
 
     /// Turns post-pass IR snapshot capture on or off (the CLI's
-    /// `--print-after-all`). Capture also materializes the `streams`
-    /// pass's intermediate function.
+    /// `--print-after-all`).
     #[must_use]
     pub fn with_ir_capture(mut self, on: bool) -> Self {
         self.capture_ir = on;
@@ -665,7 +890,9 @@ impl PipelineBuilder {
     ///
     /// # Errors
     ///
-    /// The first failing pass's [`CoreError`], or
+    /// The first failing pass's [`CoreError`];
+    /// [`CoreError::MissingArtifact`]/[`CoreError::ArtifactConflict`]
+    /// when a pass's artifact contract does not hold at its turn; or
     /// [`CoreError::PassVerify`] when a post-pass verification fails.
     pub fn run_source(&self, func: &Function) -> Result<PipelineRun, CoreError> {
         let state = PipelineState {
@@ -691,13 +918,30 @@ impl PipelineBuilder {
     }
 
     fn execute(&self, mut state: PipelineState) -> Result<PipelineRun, CoreError> {
-        state.capture_ir = self.capture_ir;
         let mut records = Vec::with_capacity(self.passes.len());
         let mut ir_before = state.current_ir().map(IrCounts::of).unwrap_or_default();
         for pass in &self.passes {
-            state.detail.clear();
+            // Re-check the artifact contract against the live state (the
+            // assembly-time simulation cannot know how the run was
+            // seeded).
+            for &a in pass.requires() {
+                if !state.has(a) {
+                    return Err(CoreError::MissingArtifact {
+                        pass: pass.name(),
+                        artifact: a,
+                    });
+                }
+            }
+            for &a in pass.conflicts() {
+                if state.has(a) {
+                    return Err(CoreError::ArtifactConflict {
+                        pass: pass.name(),
+                        artifact: a,
+                    });
+                }
+            }
             let t0 = Instant::now();
-            pass.run(&mut state)?;
+            let outcome = pass.run(&mut state)?;
             let wall = t0.elapsed();
             let verified = if self.verify {
                 match state.current_ir() {
@@ -732,7 +976,7 @@ impl PipelineBuilder {
                 ir_before,
                 ir_after,
                 verified,
-                detail: std::mem::take(&mut state.detail),
+                detail: outcome.detail,
                 snapshot,
                 lint,
             });
@@ -855,7 +1099,7 @@ impl PipelineReport {
             let share = r.wall.as_secs_f64() / total * 100.0;
             let _ = writeln!(
                 out,
-                "//   {:<11} {:>9.3} ms ({:>5.1}%)  {:>6} insts  {}  {}",
+                "//   {:<13} {:>9.3} ms ({:>5.1}%)  {:>6} insts  {}  {}",
                 r.name,
                 ms,
                 share,
@@ -869,7 +1113,7 @@ impl PipelineReport {
         }
         let _ = writeln!(
             out,
-            "//   {:<11} {:>9.3} ms",
+            "//   {:<13} {:>9.3} ms",
             "total",
             self.total_wall().as_secs_f64() * 1e3
         );

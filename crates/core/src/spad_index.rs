@@ -1,0 +1,139 @@
+//! Pass 4: `spad-index` — rewriting stream-command tape ops into plain
+//! scratchpad accesses.
+//!
+//! A standalone structural rewrite over the `streams` terminal IR
+//! (nothing here touches the gradient function or the fused rewriter):
+//!
+//! * `tape.store @R +off [sidx, val]` becomes `spad.store [sidx, val]` —
+//!   the DRAM side of the store is already carried by the layer's
+//!   `FWD-Stream` spill;
+//! * `tape.load @R xrsize +off [lin, sidx]` becomes `spad.load [sidx]` —
+//!   the DRAM element the load named is the one the layer's `REV-Stream`
+//!   fill placed at `sidx`, so the linear index operand is simply
+//!   dropped (its defining chain stays behind as dead code, exactly as
+//!   the address chains always have in the compiled program);
+//! * everything else — loops, bounds, constants, stream commands,
+//!   barriers — is cloned verbatim.
+//!
+//! The clone replays the streams program in body order, so value,
+//! constant and loop numbering in the output is identical to what the
+//! historical fused streams+spad walk produced.
+
+use crate::apply::compile_stats;
+use crate::streams::StreamsProgram;
+use crate::{CompiledProgram, CoreError};
+use std::collections::HashMap;
+use tapeflow_ir::{Bound, Const, Function, InstId, Op, Stmt, ValueDef, ValueId};
+
+/// Runs Pass 4, producing the compiled (scratchpad-indexed) program.
+///
+/// # Errors
+///
+/// [`CoreError::Internal`] if the rewritten function fails verification;
+/// [`CoreError::Pipeline`] if the input lost its phase barrier.
+pub fn apply_spad_index(sp: &StreamsProgram) -> Result<CompiledProgram, CoreError> {
+    let mut cl = Cloner {
+        src: &sp.func,
+        g: Function::new(sp.func.name.clone()),
+        vmap: vec![None; sp.func.values().len()],
+        consts: HashMap::new(),
+        src_barrier: sp.phase_barrier,
+        phase_barrier: None,
+    };
+    for a in cl.src.arrays() {
+        cl.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+    }
+    let mut body = Vec::new();
+    cl.walk(&sp.func.body, &mut body);
+    cl.g.body = body;
+    tapeflow_ir::verify::verify(&cl.g)?;
+    let phase_barrier = cl.phase_barrier.ok_or_else(|| {
+        CoreError::Pipeline("spad-index input lost its FWD/REV phase barrier".into())
+    })?;
+    Ok(CompiledProgram {
+        func: cl.g,
+        phase_barrier,
+        plan: sp.plan.clone(),
+        options: sp.options,
+        encoding: sp.encoding.clone(),
+        stats: compile_stats(&sp.plan, &sp.options),
+    })
+}
+
+struct Cloner<'a> {
+    src: &'a Function,
+    g: Function,
+    vmap: Vec<Option<ValueId>>,
+    consts: HashMap<(bool, u64), ValueId>,
+    src_barrier: InstId,
+    phase_barrier: Option<InstId>,
+}
+
+impl Cloner<'_> {
+    fn map_val(&mut self, v: ValueId) -> ValueId {
+        let key = match self.src.value(v).def {
+            ValueDef::Const(Const::F64(c)) => (true, c.to_bits()),
+            ValueDef::Const(Const::I64(c)) => (false, c as u64),
+            _ => return self.vmap[v.index()].expect("value mapped before use"),
+        };
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let c = match self.src.value(v).def {
+            ValueDef::Const(c) => c,
+            _ => unreachable!(),
+        };
+        let id = self.g.add_const(c);
+        self.consts.insert(key, id);
+        id
+    }
+
+    fn map_bound(&mut self, b: Bound) -> Bound {
+        match b {
+            Bound::Const(c) => Bound::Const(c),
+            Bound::Value(v) => Bound::Value(self.map_val(v)),
+        }
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], out: &mut Vec<Stmt>) {
+        for s in stmts {
+            match s {
+                Stmt::Inst(old) => {
+                    let inst = self.src.inst(*old).clone();
+                    let (op, args) = match inst.op {
+                        Op::TapeStore { .. } => (
+                            Op::SpadStore,
+                            vec![self.map_val(inst.args[0]), self.map_val(inst.args[1])],
+                        ),
+                        // The linear-index operand is dropped unmapped:
+                        // referencing it here would materialize constants
+                        // the output never uses.
+                        Op::TapeLoad { .. } => (Op::SpadLoad, vec![self.map_val(inst.args[1])]),
+                        op => (op, inst.args.iter().map(|&a| self.map_val(a)).collect()),
+                    };
+                    let (nid, res) = self.g.add_inst(op, args);
+                    out.push(Stmt::Inst(nid));
+                    if let (Some(r0), Some(r)) = (inst.result, res) {
+                        self.vmap[r0.index()] = Some(r);
+                    }
+                    if *old == self.src_barrier {
+                        self.phase_barrier = Some(nid);
+                    }
+                }
+                Stmt::For { loop_id, body } => {
+                    let info = self.src.loop_info(*loop_id).clone();
+                    let start = self.map_bound(info.start);
+                    let end = self.map_bound(info.end);
+                    let (nlid, niv) = self.g.add_loop(info.name.clone(), start, end, info.step);
+                    self.vmap[info.iv.index()] = Some(niv);
+                    let mut inner = Vec::new();
+                    self.walk(body, &mut inner);
+                    out.push(Stmt::For {
+                        loop_id: nlid,
+                        body: inner,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! rejected with structured errors, and the `streams` pass's captured
 //! intermediate must be verified and gradient-equivalent.
 
-use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
+use tapeflow_autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
 use tapeflow_core::pipeline::{registered_passes, PipelineBuilder};
 use tapeflow_core::{compile, CompileMode, CompileOptions, CoreError};
 use tapeflow_ir::{pretty, ArrayId, ArrayKind, Function, FunctionBuilder, Memory, Scalar};
@@ -107,39 +107,105 @@ fn custom_order_omitting_streaming_matches_aos_mode() {
 fn from_names_rejects_bad_assemblies() {
     let opts = CompileOptions::default();
     let ad = AdOptions::new(vec![], vec![]);
-    let err = |names: &[&str], ad: Option<AdOptions>| match PipelineBuilder::from_names(
-        names, opts, ad,
-    ) {
-        Err(CoreError::Pipeline(msg)) => msg,
-        other => panic!("expected Pipeline error for {names:?}, got {other:?}"),
+    let err = |names: &[&str], ad: Option<AdOptions>| {
+        PipelineBuilder::from_names(names, opts, ad)
+            .err()
+            .unwrap_or_else(|| panic!("expected error for {names:?}"))
     };
-    assert!(err(&["frobnicate"], None).contains("unknown pass"));
-    assert!(err(&["regions", "regions"], Some(ad.clone())).contains("twice"));
-    assert!(err(&["ad", "layering"], Some(ad.clone())).contains("requires `regions`"));
-    assert!(err(
+
+    // Unknown names list the registry (satellite for `--passes` exit 2).
+    let unknown = err(&["frobnicate"], None);
+    assert!(matches!(unknown, CoreError::UnknownPass { ref name } if name == "frobnicate"));
+    let msg = unknown.to_string();
+    assert!(msg.contains("unknown pass"), "{msg}");
+    assert!(
+        msg.contains("tape-compress") && msg.contains("spad-index"),
+        "{msg}"
+    );
+
+    // Dependency violations name the violated artifact edge.
+    let e = err(&["ad", "layering"], Some(ad.clone()));
+    assert!(
+        matches!(e, CoreError::MissingArtifact { pass: "layering", artifact }
+            if artifact.name() == "regions"),
+        "{e:?}"
+    );
+    assert!(e.to_string().contains("requires `regions`"), "{e}");
+    assert!(e.to_string().contains("produced by `regions`"), "{e}");
+
+    let e = err(
         &["ad", "regions", "layering", "spad-index"],
-        Some(ad.clone())
-    )
-    .contains("requires `streams`"));
-    assert!(err(
+        Some(ad.clone()),
+    );
+    assert!(
+        matches!(e, CoreError::MissingArtifact { pass: "spad-index", artifact }
+            if artifact.name() == "streams-ir"),
+        "{e:?}"
+    );
+    assert!(e.to_string().contains("produced by `streams`"), "{e}");
+
+    let e = err(&["ad", "regions", "tape-compress"], Some(ad.clone()));
+    assert!(
+        matches!(e, CoreError::MissingArtifact { pass: "tape-compress", artifact }
+            if artifact.name() == "layer-plan"),
+        "{e:?}"
+    );
+
+    // Conflicts: two terminal lowerings, or a source rewrite after `ad`.
+    let e = err(
         &["ad", "regions", "layering", "aos-layout"],
-        Some(ad.clone())
-    )
-    .contains("conflicts"));
-    assert!(err(&["ad"], None).contains("no AD options"));
-    assert!(err(&["ad", "opt"], Some(ad)).contains("before `ad`"));
+        Some(ad.clone()),
+    );
+    assert!(
+        matches!(
+            e,
+            CoreError::ArtifactConflict {
+                pass: "aos-layout",
+                ..
+            }
+        ),
+        "{e:?}"
+    );
+    assert!(e.to_string().contains("conflicts"), "{e}");
+    let e = err(&["ad", "opt"], Some(ad.clone()));
+    assert!(
+        matches!(e, CoreError::ArtifactConflict { pass: "opt", artifact }
+            if artifact.name() == "gradient-ir"),
+        "{e:?}"
+    );
+
+    // Plain assembly mistakes stay `Pipeline` errors.
+    assert!(err(&["regions", "regions"], Some(ad))
+        .to_string()
+        .contains("twice"));
+    assert!(err(&["ad"], None).to_string().contains("no AD options"));
 }
 
 #[test]
 fn missing_prerequisite_state_is_a_structured_error() {
-    // `regions` without a gradient (no `ad`, pipeline fed a source
-    // function) must fail with a Pipeline error, not a panic.
-    let (func, _, _) = sample();
-    let b =
-        PipelineBuilder::from_names(&["opt", "regions"], CompileOptions::default(), None).unwrap();
-    match b.run_source(&func) {
-        Err(CoreError::Pipeline(msg)) => assert!(msg.contains("gradient")),
-        other => panic!("expected Pipeline error, got {other:?}"),
+    // `regions` without `ad` is now caught at assembly time: the
+    // artifact simulation sees no producer of `gradient-ir`.
+    let e = PipelineBuilder::from_names(&["opt", "regions"], CompileOptions::default(), None)
+        .expect_err("assembly must fail");
+    assert!(
+        matches!(e, CoreError::MissingArtifact { pass: "regions", artifact }
+            if artifact.name() == "gradient-ir"),
+        "{e:?}"
+    );
+
+    // The runtime re-check still guards seeds the simulation cannot see:
+    // a gradient-seeded run has no source IR for `opt`.
+    let (func, x, loss) = sample();
+    let grad = gradient(&func, x, loss);
+    let b = PipelineBuilder::from_names(&["opt"], CompileOptions::default(), None).unwrap();
+    match b.run_gradient(&grad) {
+        Err(CoreError::MissingArtifact {
+            pass: "opt",
+            artifact,
+        }) => {
+            assert_eq!(artifact.name(), "source-ir");
+        }
+        other => panic!("expected MissingArtifact, got {other:?}"),
     }
 }
 
@@ -157,10 +223,11 @@ fn into_compiled_without_terminal_pass_is_an_error() {
 }
 
 #[test]
-fn streams_snapshot_is_verified_and_gradient_equivalent() {
-    // With IR capture on, the streams pass materializes the post-Pass-3
-    // intermediate: it must verify and compute the same gradients as
-    // both the plain gradient function and the final program.
+fn streams_terminal_ir_is_verified_and_gradient_equivalent() {
+    // The streams pass always materializes the post-Pass-3 program as a
+    // first-class artifact (no capture flag, no side-channel): it must
+    // verify and compute the same gradients as both the plain gradient
+    // function and the final program.
     let (func, x, loss) = sample();
     let grad = gradient(&func, x, loss);
     let run = PipelineBuilder::full(
@@ -168,13 +235,12 @@ fn streams_snapshot_is_verified_and_gradient_equivalent() {
         AdOptions::new(vec![x], vec![loss]),
     )
     .with_verify(true)
-    .with_ir_capture(true)
     .run_source(&func)
     .unwrap();
-    let streams_ir = run.state.streams_ir.clone().expect("captured snapshot");
-    tapeflow_ir::verify::verify(&streams_ir).unwrap();
+    let sp = run.state.streams.clone().expect("streams artifact");
+    tapeflow_ir::verify::verify(&sp.func).unwrap();
     let baseline = shadow_of(&grad.func, &grad, &func, x, loss);
-    assert_eq!(baseline, shadow_of(&streams_ir, &grad, &func, x, loss));
+    assert_eq!(baseline, shadow_of(&sp.func, &grad, &func, x, loss));
     let final_func = run.into_compiled().unwrap().func;
     assert_eq!(baseline, shadow_of(&final_func, &grad, &func, x, loss));
 }
@@ -207,7 +273,7 @@ fn report_records_timing_verification_and_snapshots() {
 }
 
 #[test]
-fn registry_lists_all_seven_passes() {
+fn registry_lists_all_eight_passes() {
     let names: Vec<&str> = registered_passes().iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
@@ -216,11 +282,77 @@ fn registry_lists_all_seven_passes() {
             "ad",
             "regions",
             "layering",
+            "tape-compress",
             "streams",
             "spad-index",
             "aos-layout"
         ]
     );
+}
+
+#[test]
+fn compressed_pipeline_keeps_gradients_and_shrinks_tape_bytes() {
+    // `loss += exp(v) * v` needs v itself in REV (d/dv = e*v + e), and
+    // the Enzyme-realistic Conservative policy tapes the raw x[i] load
+    // instead of reloading it — exactly the slot the remat rule elides:
+    // the compressed pipeline must shrink the modeled tape traffic while
+    // keeping every gradient bit.
+    let mut b = FunctionBuilder::new("pm_remat");
+    let x = b.array("x", 96, ArrayKind::Input, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    b.for_loop("i", 0, 96, |b, i| {
+        let v = b.load(x, i);
+        let e = b.exp(v);
+        let p = b.fmul(e, v);
+        let c = b.load_cell(loss);
+        let s = b.fadd(c, p);
+        b.store_cell(loss, s);
+    });
+    let func = b.finish();
+    let loss = func.array_by_name("loss").unwrap();
+    let ad = AdOptions::new(vec![x], vec![loss]).with_policy(TapePolicy::Conservative);
+    let grad = differentiate(&func, &ad).unwrap();
+    let baseline = shadow_of(&grad.func, &grad, &func, x, loss);
+    let run = PipelineBuilder::from_names(
+        &[
+            "opt",
+            "ad",
+            "regions",
+            "layering",
+            "tape-compress",
+            "streams",
+            "spad-index",
+        ],
+        CompileOptions::with_spad_bytes(256),
+        Some(ad),
+    )
+    .unwrap()
+    .with_verify(true)
+    .run_source(&func)
+    .unwrap();
+    assert_eq!(
+        run.report.pass_names(),
+        [
+            "opt",
+            "ad",
+            "regions",
+            "layering",
+            "tape-compress",
+            "streams",
+            "spad-index"
+        ]
+    );
+    let enc = run.state.encoding.clone().expect("tape-compress artifact");
+    assert!(enc.elided_slots > 0, "x[i] slot should rematerialize");
+    assert!(
+        enc.bytes_after < enc.bytes_before,
+        "tape bytes {} -> {}",
+        enc.bytes_before,
+        enc.bytes_after
+    );
+    let built = run.into_compiled().unwrap();
+    assert!(built.encoding.is_some());
+    assert_eq!(baseline, shadow_of(&built.func, &grad, &func, x, loss));
 }
 
 #[test]

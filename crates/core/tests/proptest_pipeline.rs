@@ -176,6 +176,7 @@ fn compiled_gradients_bit_identical() {
             } else {
                 CompileMode::Full
             },
+            compress_tape: false,
         };
         match compile(&grad, &opts) {
             Err(tapeflow_core::CoreError::RegionTooLarge { .. })

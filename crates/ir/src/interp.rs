@@ -298,15 +298,30 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
                 effect = MemEffect::SpadLoad { entry: e as u64 };
                 Some(Value::F64(f64::from_bits(self.spad[e])))
             }
-            SpadStore => {
+            SpadStore | TapeStore { .. } => {
                 let e = self.spad_entry(self.geti(a[0])?)?;
                 let v = self.getf(a[1])?;
                 effect = MemEffect::SpadStore { entry: e as u64 };
                 self.spad[e] = v.to_bits();
                 None
             }
-            StreamOut(arr) | StreamIn(arr) => {
-                let to_dram = matches!(inst.op, StreamOut(_));
+            TapeLoad { array, rsize, off } => {
+                let lin = self.geti(a[0])?;
+                let idx = self.check_index(
+                    array,
+                    lin.wrapping_mul(rsize as i64).wrapping_add(off as i64),
+                )?;
+                effect = MemEffect::Load {
+                    addr: self.mem.addr_of(array, idx),
+                    array,
+                };
+                Some(self.mem.load(array, idx))
+            }
+            StreamOut(arr)
+            | StreamIn(arr)
+            | StreamOutC { array: arr, .. }
+            | StreamInC { array: arr, .. } => {
+                let to_dram = matches!(inst.op, StreamOut(_) | StreamOutC { .. });
                 let sbase = self.geti(a[0])?;
                 let dbase = self.geti(a[1])?;
                 let elems = self.geti(a[2])?;
@@ -528,6 +543,82 @@ mod tests {
         sched.push(Stmt::Inst(e3));
         let e3v = f.inst(e3).result.unwrap();
         let (l1, r1) = f.add_inst(Op::SpadLoad, vec![e3v]);
+        sched.push(Stmt::Inst(l1));
+        let (w0, _) = f.add_inst(Op::Store(out), vec![c0, r0.unwrap()]);
+        sched.push(Stmt::Inst(w0));
+        let (w1, _) = f.add_inst(Op::Store(out), vec![c1, r1.unwrap()]);
+        sched.push(Stmt::Inst(w1));
+        f.body = sched;
+        crate::verify::verify(&f).unwrap();
+        let mut mem = Memory::for_function(&f);
+        run(&f, &mut mem).unwrap();
+        assert_eq!(mem.get_f64(out), vec![1.5, 2.5]);
+        assert_eq!(mem.get_f64(tape)[..2], [1.5, 2.5]);
+    }
+
+    #[test]
+    fn streamed_tape_form_executes() {
+        use crate::function::Stmt;
+        use crate::ops::Op;
+        // tape.store writes the scratchpad, stream.outc drains it to DRAM,
+        // tape.load reads the drained element straight from DRAM.
+        let mut f = crate::Function::new("st");
+        let tape = f.add_array("R0", 4, ArrayKind::Tape, Scalar::F64);
+        let out = f.add_array("o", 2, ArrayKind::Output, Scalar::F64);
+        let mut sched = Vec::new();
+        let (al, base) = f.add_inst(Op::SAlloc { size: 2, base: 0 }, vec![]);
+        sched.push(Stmt::Inst(al));
+        let base = base.unwrap();
+        let c0 = f.add_const(crate::Const::I64(0));
+        let c1 = f.add_const(crate::Const::I64(1));
+        let c2 = f.add_const(crate::Const::I64(2));
+        let v15 = f.add_const(crate::Const::F64(1.5));
+        let v25 = f.add_const(crate::Const::F64(2.5));
+        let (e1, _) = f.add_inst(Op::IAdd, vec![base, c1]);
+        sched.push(Stmt::Inst(e1));
+        let e1v = f.inst(e1).result.unwrap();
+        let (s0, _) = f.add_inst(
+            Op::TapeStore {
+                array: tape,
+                off: 0,
+            },
+            vec![base, v15],
+        );
+        sched.push(Stmt::Inst(s0));
+        let (s1, _) = f.add_inst(
+            Op::TapeStore {
+                array: tape,
+                off: 1,
+            },
+            vec![e1v, v25],
+        );
+        sched.push(Stmt::Inst(s1));
+        let (so, _) = f.add_inst(
+            Op::StreamOutC {
+                array: tape,
+                struct_elems: 2,
+                struct_bytes: 10,
+            },
+            vec![base, c0, c2],
+        );
+        sched.push(Stmt::Inst(so));
+        let (l0, r0) = f.add_inst(
+            Op::TapeLoad {
+                array: tape,
+                rsize: 2,
+                off: 0,
+            },
+            vec![c0, base],
+        );
+        sched.push(Stmt::Inst(l0));
+        let (l1, r1) = f.add_inst(
+            Op::TapeLoad {
+                array: tape,
+                rsize: 2,
+                off: 1,
+            },
+            vec![c0, e1v],
+        );
         sched.push(Stmt::Inst(l1));
         let (w0, _) = f.add_inst(Op::Store(out), vec![c0, r0.unwrap()]);
         sched.push(Stmt::Inst(w0));

@@ -580,6 +580,18 @@ pub fn lint_function(func: &Function, cfg: &LintConfig) -> Vec<Diagnostic> {
     diags
 }
 
+/// Proven inclusive range of every `i64` value, indexed by [`ValueId`]
+/// (`None` for `f64` values and values the interval analysis cannot
+/// bound). This is the same dataflow the lint rules run on, exposed so the
+/// tape-compression pass can pick per-slot storage widths from it.
+pub fn int_value_ranges(func: &Function) -> Vec<Option<(i64, i64)>> {
+    Analysis::run(func)
+        .interval
+        .iter()
+        .map(|i| i.map(|i| (i.lo, i.hi)))
+        .collect()
+}
+
 fn arr_label(func: &Function, a: ArrayId) -> String {
     format!("{a} `{}`", func.array(a).name)
 }
@@ -601,7 +613,23 @@ fn tape_index_oob(func: &Function, a: &Analysis, diags: &mut Vec<Diagnostic>) {
                 };
                 (arr, r, what)
             }
-            Op::StreamIn(arr) | Op::StreamOut(arr) => {
+            Op::TapeLoad {
+                array: arr,
+                rsize,
+                off,
+            } => {
+                let Some(lin) = a.interval[inst.args[0].index()] else {
+                    continue;
+                };
+                let r = lin
+                    .mul(Interval::point(rsize as i64))
+                    .add(Interval::point(off as i64));
+                (arr, r, "tape.load")
+            }
+            Op::StreamIn(arr)
+            | Op::StreamOut(arr)
+            | Op::StreamInC { array: arr, .. }
+            | Op::StreamOutC { array: arr, .. } => {
                 let (Some(base), Some(elems)) = (
                     a.interval[inst.args[1].index()],
                     a.interval[inst.args[2].index()],
@@ -619,7 +647,7 @@ fn tape_index_oob(func: &Function, a: &Analysis, diags: &mut Vec<Diagnostic>) {
                     lo: base.lo,
                     hi: hi.max(base.lo),
                 };
-                let what = if matches!(inst.op, Op::StreamIn(_)) {
+                let what = if matches!(inst.op, Op::StreamIn(_) | Op::StreamInC { .. }) {
                     "stream.in"
                 } else {
                     "stream.out"
@@ -654,10 +682,15 @@ fn tape_read_before_write(func: &Function, a: &Analysis, diags: &mut Vec<Diagnos
     for &(id, _) in &a.order {
         let inst = func.inst(id);
         match inst.op {
-            Op::Store(arr) | Op::StreamOut(arr) if func.array(arr).kind.is_tape() => {
+            Op::Store(arr) | Op::StreamOut(arr) | Op::StreamOutC { array: arr, .. }
+                if func.array(arr).kind.is_tape() =>
+            {
                 written.insert(arr);
             }
-            Op::Load(arr) | Op::StreamIn(arr)
+            Op::Load(arr)
+            | Op::StreamIn(arr)
+            | Op::StreamInC { array: arr, .. }
+            | Op::TapeLoad { array: arr, .. }
                 if func.array(arr).kind.is_tape()
                     && !written.contains(&arr)
                     && flagged.insert(arr) =>
@@ -703,8 +736,9 @@ fn spad_capacity(func: &Function, a: &Analysis, cfg: &LintConfig, diags: &mut Ve
 fn spad_range(func: &Function, a: &Analysis, id: InstId) -> Option<Interval> {
     let inst = func.inst(id);
     match inst.op {
-        Op::SpadLoad | Op::SpadStore => a.interval[inst.args[0].index()],
-        Op::StreamIn(_) | Op::StreamOut(_) => {
+        Op::SpadLoad | Op::SpadStore | Op::TapeStore { .. } => a.interval[inst.args[0].index()],
+        Op::TapeLoad { .. } => a.interval[inst.args[1].index()],
+        Op::StreamIn(_) | Op::StreamOut(_) | Op::StreamInC { .. } | Op::StreamOutC { .. } => {
             let base = a.interval[inst.args[0].index()]?;
             let elems = a.interval[inst.args[2].index()]?;
             let hi = match a.sum_hi(func, inst.args[0], inst.args[2]) {
@@ -727,7 +761,14 @@ fn spad_oob(func: &Function, a: &Analysis, cfg: &LintConfig, diags: &mut Vec<Dia
         let inst = func.inst(id);
         if !matches!(
             inst.op,
-            Op::SpadLoad | Op::SpadStore | Op::StreamIn(_) | Op::StreamOut(_)
+            Op::SpadLoad
+                | Op::SpadStore
+                | Op::TapeStore { .. }
+                | Op::TapeLoad { .. }
+                | Op::StreamIn(_)
+                | Op::StreamOut(_)
+                | Op::StreamInC { .. }
+                | Op::StreamOutC { .. }
         ) {
             continue;
         }
@@ -773,13 +814,18 @@ fn spad_bank_conflict(
     }
     for (id, path) in &a.order {
         let inst = func.inst(*id);
-        if !matches!(inst.op, Op::SpadLoad | Op::SpadStore) {
-            continue;
-        }
+        // TapeStore/TapeLoad carry their (future) scratchpad entry in the
+        // same operand Pass 4 redirects them to, so the stride warning is
+        // already meaningful on the streams terminal form.
+        let entry_arg = match inst.op {
+            Op::SpadLoad | Op::SpadStore | Op::TapeStore { .. } => inst.args[0],
+            Op::TapeLoad { .. } => inst.args[1],
+            _ => continue,
+        };
         let Some(innermost) = path.last() else {
             continue;
         };
-        let Some(affine) = &a.affine[inst.args[0].index()] else {
+        let Some(affine) = &a.affine[entry_arg.index()] else {
             continue;
         };
         let info = func.loop_info(*innermost);
@@ -834,10 +880,10 @@ fn stream_deadlock(func: &Function, a: &Analysis, cfg: &LintConfig, diags: &mut 
     let mut sections: Vec<Vec<(InstId, Kind, Interval)>> = Vec::new();
     for &(id, _) in &a.order {
         let kind = match func.inst(id).op {
-            Op::StreamIn(_) => Kind::Fill,
-            Op::StreamOut(_) => Kind::Drain,
-            Op::SpadLoad => Kind::Load,
-            Op::SpadStore => Kind::Store,
+            Op::StreamIn(_) | Op::StreamInC { .. } => Kind::Fill,
+            Op::StreamOut(_) | Op::StreamOutC { .. } => Kind::Drain,
+            Op::SpadLoad | Op::TapeLoad { .. } => Kind::Load,
+            Op::SpadStore | Op::TapeStore { .. } => Kind::Store,
             Op::Barrier => {
                 sections.push(std::mem::take(&mut section));
                 continue;
@@ -957,10 +1003,20 @@ fn tape_never_loaded(func: &Function, a: &Analysis, diags: &mut Vec<Diagnostic>)
     let mut read: HashSet<ArrayId> = HashSet::new();
     for &(id, _) in &a.order {
         match func.inst(id).op {
-            Op::Store(arr) | Op::StreamOut(arr) if func.array(arr).kind.is_tape() => {
+            Op::Store(arr)
+            | Op::StreamOut(arr)
+            | Op::StreamOutC { array: arr, .. }
+            | Op::TapeStore { array: arr, .. }
+                if func.array(arr).kind.is_tape() =>
+            {
                 written.entry(arr).or_insert(id);
             }
-            Op::Load(arr) | Op::StreamIn(arr) if func.array(arr).kind.is_tape() => {
+            Op::Load(arr)
+            | Op::StreamIn(arr)
+            | Op::StreamInC { array: arr, .. }
+            | Op::TapeLoad { array: arr, .. }
+                if func.array(arr).kind.is_tape() =>
+            {
                 read.insert(arr);
             }
             _ => {}
@@ -1275,6 +1331,84 @@ mod tests {
         let diags = lint_function(&f, &cfg());
         assert_eq!(rules(&diags), ["tape-never-loaded"]);
         assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn streamed_tape_form_lints_clean() {
+        // The Pass-3 terminal shape: FWD tape.store + stream.out, barrier,
+        // REV stream.in + tape.load.
+        let mut b = FunctionBuilder::new("st");
+        let t = b.array("R0", 16, ArrayKind::Tape, Scalar::F64);
+        b.push_inst(Op::SAlloc { size: 16, base: 0 }, vec![]);
+        let z = b.i64(0);
+        let n = b.i64(16);
+        b.for_loop("i", 0, 16, |b, i| {
+            let v = b.f64(1.0);
+            b.push_inst(Op::TapeStore { array: t, off: 0 }, vec![i, v]);
+        });
+        b.push_inst(Op::StreamOut(t), vec![z, z, n]);
+        b.push_inst(Op::Barrier, vec![]);
+        b.push_inst(
+            Op::StreamInC {
+                array: t,
+                struct_elems: 1,
+                struct_bytes: 4,
+            },
+            vec![z, z, n],
+        );
+        b.for_loop("r", 0, 16, |b, i| {
+            let _ = b.push_inst(
+                Op::TapeLoad {
+                    array: t,
+                    rsize: 1,
+                    off: 0,
+                },
+                vec![i, i],
+            );
+        });
+        b.push_inst(Op::Barrier, vec![]);
+        let f = b.finish();
+        verify(&f).unwrap();
+        let diags = lint_function(&f, &cfg());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_tape_load_oob() {
+        let mut b = FunctionBuilder::new("tl_oob");
+        let t = b.array("R0", 16, ArrayKind::Tape, Scalar::F64);
+        b.for_loop("i", 0, 16, |b, i| {
+            let v = b.f64(1.0);
+            b.store(t, i, v);
+        });
+        b.for_loop("r", 0, 16, |b, i| {
+            // lin reaches 15, rsize 2 -> element 30 past the 16-entry tape.
+            let _ = b.push_inst(
+                Op::TapeLoad {
+                    array: t,
+                    rsize: 2,
+                    off: 0,
+                },
+                vec![i, i],
+            );
+        });
+        let f = b.finish();
+        verify(&f).unwrap();
+        let diags = lint_function(&f, &cfg());
+        assert!(rules(&diags).contains(&"tape-index-oob"), "{diags:?}");
+    }
+
+    #[test]
+    fn int_value_ranges_exposed() {
+        let mut b = FunctionBuilder::new("iv");
+        let k = b.i64(3);
+        let mut prod = None;
+        b.for_loop("i", 0, 8, |b, i| {
+            prod = Some(b.imul(i, k));
+        });
+        let f = b.finish();
+        let ranges = int_value_ranges(&f);
+        assert_eq!(ranges[prod.unwrap().index()], Some((0, 21)));
     }
 
     #[test]

@@ -163,6 +163,61 @@ pub enum Op {
     /// Layer barrier: orders everything before it in program order ahead of
     /// everything after it. `args = []`, no result.
     Barrier,
+
+    // ---- streamed-tape form (Pass 3 terminal lowering) -------------------
+    /// Streamed tape write: store `args[1]` to scratchpad entry `args[0]`;
+    /// the enclosing layer's [`Op::StreamOut`] drains it to slot `off` of
+    /// its struct in the merged tape `array`. `args = [spad_idx (i64),
+    /// value (f64)]`, no result.
+    ///
+    /// This is the post-Pass-3 form of a tape store: the scratchpad side is
+    /// explicit, the DRAM side is carried by the stream command. Pass 4
+    /// rewrites it to a plain [`Op::SpadStore`].
+    TapeStore {
+        /// Merged tape array the enclosing stream drains into.
+        array: ArrayId,
+        /// Slot within the region struct (`0..rsize`).
+        off: u32,
+    },
+    /// Streamed tape read: load element `args[0] * rsize + off` of the
+    /// merged tape `array` from DRAM. `args = [lin (i64), spad_idx (i64)]`,
+    /// result `f64`.
+    ///
+    /// `lin` is the struct's linear index; `spad_idx` names the scratchpad
+    /// entry the enclosing [`Op::StreamIn`] fills with the same element,
+    /// which Pass 4 redirects the load to (becoming [`Op::SpadLoad`]).
+    TapeLoad {
+        /// Merged tape array read from.
+        array: ArrayId,
+        /// Struct size in slots (the region's `rsize_total`).
+        rsize: u32,
+        /// Slot within the struct (`0..rsize`).
+        off: u32,
+    },
+    /// Width-compressed `FWD-Stream` drain: like [`Op::StreamOut`] but each
+    /// group of `struct_elems` scratchpad entries is encoded into
+    /// `struct_bytes` bytes of DRAM traffic (delta/narrowed slots). Element
+    /// addressing and interpretation are unchanged — compression only
+    /// affects the modeled byte count. `args = [spad_base, dram_elem_base,
+    /// elems]`, all `i64`.
+    StreamOutC {
+        /// Merged tape array drained into.
+        array: ArrayId,
+        /// Entries per encoded struct (the region's struct size).
+        struct_elems: u16,
+        /// Encoded bytes per struct (≤ `8 * struct_elems`).
+        struct_bytes: u16,
+    },
+    /// Width-compressed `REV-Stream` fill: the decode mirror of
+    /// [`Op::StreamOutC`]. `args = [spad_base, dram_elem_base, elems]`.
+    StreamInC {
+        /// Merged tape array filled from.
+        array: ArrayId,
+        /// Entries per encoded struct (the region's struct size).
+        struct_elems: u16,
+        /// Encoded bytes per struct (≤ `8 * struct_elems`).
+        struct_bytes: u16,
+    },
 }
 
 /// Coarse scheduling class of an operation, used by the simulator to pick
@@ -206,7 +261,8 @@ impl Op {
             SAlloc { .. } => 0,
             SpadLoad => 1,
             SpadStore => 2,
-            StreamOut(_) | StreamIn(_) => 3,
+            TapeStore { .. } | TapeLoad { .. } => 2,
+            StreamOut(_) | StreamIn(_) | StreamOutC { .. } | StreamInC { .. } => 3,
             Barrier => 0,
         }
     }
@@ -218,8 +274,24 @@ impl Op {
     pub fn fixed_result(&self) -> Option<Option<Scalar>> {
         use Op::*;
         match self {
-            FAdd | FSub | FMul | FDiv | FMin | FMax | FNeg | FAbs | Sqrt | Sin | Cos | Exp | Ln
-            | Tanh | FPow | IToF | SpadLoad => Some(Some(Scalar::F64)),
+            FAdd
+            | FSub
+            | FMul
+            | FDiv
+            | FMin
+            | FMax
+            | FNeg
+            | FAbs
+            | Sqrt
+            | Sin
+            | Cos
+            | Exp
+            | Ln
+            | Tanh
+            | FPow
+            | IToF
+            | SpadLoad
+            | TapeLoad { .. } => Some(Some(Scalar::F64)),
             FCmp(_)
             | ICmp(_)
             | IAdd
@@ -231,7 +303,14 @@ impl Op {
             | IMax
             | FToI
             | SAlloc { .. } => Some(Some(Scalar::I64)),
-            Store(_) | SpadStore | StreamOut(_) | StreamIn(_) | Barrier => Some(None),
+            Store(_)
+            | SpadStore
+            | TapeStore { .. }
+            | StreamOut(_)
+            | StreamIn(_)
+            | StreamOutC { .. }
+            | StreamInC { .. }
+            | Barrier => Some(None),
             Load(_) | Select => None,
         }
     }
@@ -246,11 +325,11 @@ impl Op {
             FMul => OpClass::FpMul,
             FDiv | Sqrt | Sin | Cos | Exp | Ln | Tanh | FPow => OpClass::FpLong,
             IAdd | ISub | IMul | IDiv | IRem | IMin | IMax | ICmp(_) => OpClass::Int,
-            Load(_) => OpClass::MemLoad,
+            Load(_) | TapeLoad { .. } => OpClass::MemLoad,
             Store(_) => OpClass::MemStore,
             SpadLoad => OpClass::SpadLoad,
-            SpadStore => OpClass::SpadStore,
-            StreamOut(_) | StreamIn(_) => OpClass::Stream,
+            SpadStore | TapeStore { .. } => OpClass::SpadStore,
+            StreamOut(_) | StreamIn(_) | StreamOutC { .. } | StreamInC { .. } => OpClass::Stream,
             SAlloc { .. } | Barrier => OpClass::Sync,
         }
     }
@@ -258,7 +337,14 @@ impl Op {
     /// Whether the op touches an array in DRAM, and which one.
     pub fn touched_array(&self) -> Option<ArrayId> {
         match *self {
-            Op::Load(a) | Op::Store(a) | Op::StreamOut(a) | Op::StreamIn(a) => Some(a),
+            Op::Load(a)
+            | Op::Store(a)
+            | Op::StreamOut(a)
+            | Op::StreamIn(a)
+            | Op::TapeStore { array: a, .. }
+            | Op::TapeLoad { array: a, .. }
+            | Op::StreamOutC { array: a, .. }
+            | Op::StreamInC { array: a, .. } => Some(a),
             _ => None,
         }
     }
@@ -301,6 +387,18 @@ impl Op {
             SpadStore => "spad.store".into(),
             StreamOut(a) => format!("stream.out {a}"),
             StreamIn(a) => format!("stream.in {a}"),
+            TapeStore { array, off } => format!("tape.store {array} +{off}"),
+            TapeLoad { array, rsize, off } => format!("tape.load {array} x{rsize} +{off}"),
+            StreamOutC {
+                array,
+                struct_elems,
+                struct_bytes,
+            } => format!("stream.outc {array} {struct_elems}x{struct_bytes}"),
+            StreamInC {
+                array,
+                struct_elems,
+                struct_bytes,
+            } => format!("stream.inc {array} {struct_elems}x{struct_bytes}"),
             Barrier => "barrier".into(),
         }
     }
@@ -343,5 +441,41 @@ mod tests {
         assert_eq!(Op::Load(a).touched_array(), Some(a));
         assert_eq!(Op::FAdd.touched_array(), None);
         assert_eq!(Op::StreamOut(a).touched_array(), Some(a));
+        assert_eq!(
+            Op::TapeLoad {
+                array: a,
+                rsize: 2,
+                off: 0
+            }
+            .touched_array(),
+            Some(a)
+        );
+    }
+
+    #[test]
+    fn streamed_tape_ops() {
+        let a = ArrayId::new(2);
+        let ts = Op::TapeStore { array: a, off: 1 };
+        let tl = Op::TapeLoad {
+            array: a,
+            rsize: 3,
+            off: 1,
+        };
+        let oc = Op::StreamOutC {
+            array: a,
+            struct_elems: 3,
+            struct_bytes: 12,
+        };
+        assert_eq!(ts.arity(), 2);
+        assert_eq!(tl.arity(), 2);
+        assert_eq!(oc.arity(), 3);
+        assert_eq!(ts.class(), OpClass::SpadStore);
+        assert_eq!(tl.class(), OpClass::MemLoad);
+        assert_eq!(oc.class(), OpClass::Stream);
+        assert_eq!(ts.fixed_result(), Some(None));
+        assert_eq!(tl.fixed_result(), Some(Some(Scalar::F64)));
+        assert_eq!(ts.mnemonic(), "tape.store @2 +1");
+        assert_eq!(tl.mnemonic(), "tape.load @2 x3 +1");
+        assert_eq!(oc.mnemonic(), "stream.outc @2 3x12");
     }
 }

@@ -345,6 +345,61 @@ impl<'s> Parser<'s> {
                 };
                 Ok((op, rest.to_vec()))
             }
+            "tape.store" => {
+                // tape.store @A +OFF <spad_idx> <value>
+                let Some((&arr, rest)) = args.split_first() else {
+                    return self.err("tape.store needs an array operand");
+                };
+                let array = self.array_ref(arr)?;
+                let Some((&off_tok, rest)) = rest.split_first() else {
+                    return self.err("tape.store needs `+<off>` after the array");
+                };
+                let Some(off) = off_tok.strip_prefix('+').and_then(|o| o.parse().ok()) else {
+                    return self.err(format!("bad tape.store offset {off_tok:?}"));
+                };
+                Ok((TapeStore { array, off }, rest.to_vec()))
+            }
+            "tape.load" => {
+                // tape.load @A xRSIZE +OFF <lin> <spad_idx>
+                if args.len() < 3 {
+                    return self.err("tape.load needs `@<array> x<rsize> +<off>`");
+                }
+                let array = self.array_ref(args[0])?;
+                let Some(rsize) = args[1].strip_prefix('x').and_then(|r| r.parse().ok()) else {
+                    return self.err(format!("bad tape.load struct size {:?}", args[1]));
+                };
+                let Some(off) = args[2].strip_prefix('+').and_then(|o| o.parse().ok()) else {
+                    return self.err(format!("bad tape.load offset {:?}", args[2]));
+                };
+                Ok((TapeLoad { array, rsize, off }, args[3..].to_vec()))
+            }
+            "stream.outc" | "stream.inc" => {
+                // stream.outc @A ELEMSxBYTES <spad_base> <dram_base> <elems>
+                if args.len() < 2 {
+                    return self.err(format!("{mn} needs `@<array> <elems>x<bytes>`"));
+                }
+                let array = self.array_ref(args[0])?;
+                let enc = args[1]
+                    .split_once('x')
+                    .and_then(|(e, b)| Some((e.parse().ok()?, b.parse().ok()?)));
+                let Some((struct_elems, struct_bytes)) = enc else {
+                    return self.err(format!("bad stream encoding {:?}", args[1]));
+                };
+                let op = if mn == "stream.outc" {
+                    StreamOutC {
+                        array,
+                        struct_elems,
+                        struct_bytes,
+                    }
+                } else {
+                    StreamInC {
+                        array,
+                        struct_elems,
+                        struct_bytes,
+                    }
+                };
+                Ok((op, args[2..].to_vec()))
+            }
             "salloc" => {
                 // salloc SIZE @BASE
                 if args.len() != 2 {
@@ -494,6 +549,43 @@ mod tests {
             mem.get_f64_at(ArrayId::new(1), 0)
         };
         assert_eq!(run(&f), run(&g));
+    }
+
+    #[test]
+    fn streamed_tape_form_roundtrips() {
+        let text = r"func @st {
+  array @0 x : f64[8] (Input)
+  array @1 R0 : f64[8] (Tape)
+  for i in 0..4 step 1 {
+    %0 = load @0 i
+    tape.store @1 +0 i %0
+    stream.outc @1 2x8 i i 2i
+  }
+  barrier
+  for r in 0..4 step 1 {
+    %1 = tape.load @1 x2 +0 r r
+    stream.inc @1 2x8 r r 2i
+  }
+}";
+        let f = parse(text).unwrap();
+        let ops: Vec<_> = f.insts().iter().map(|i| i.op).collect();
+        assert!(ops.contains(&crate::Op::TapeStore {
+            array: ArrayId::new(1),
+            off: 0
+        }));
+        assert!(ops.contains(&crate::Op::TapeLoad {
+            array: ArrayId::new(1),
+            rsize: 2,
+            off: 0
+        }));
+        assert!(ops.contains(&crate::Op::StreamOutC {
+            array: ArrayId::new(1),
+            struct_elems: 2,
+            struct_bytes: 8
+        }));
+        let text2 = pretty(&f).to_string();
+        let text3 = pretty(&parse(&text2).unwrap()).to_string();
+        assert_eq!(text2, text3, "pretty → parse → pretty is a fixpoint");
     }
 
     #[test]

@@ -197,7 +197,10 @@ impl ExecHook for Tracer {
             }
         }
 
-        let is_stream = matches!(decl.op, Op::StreamOut(_) | Op::StreamIn(_));
+        let is_stream = matches!(
+            decl.op,
+            Op::StreamOut(_) | Op::StreamIn(_) | Op::StreamOutC { .. } | Op::StreamInC { .. }
+        );
         let is_sync = matches!(decl.op, Op::Barrier | Op::SAlloc { .. });
         // Integer address generation is the decoupled access slice
         // (paper §2.2.3): it runs ahead of layer barriers so the stream
@@ -252,7 +255,22 @@ impl ExecHook for Tracer {
                         self.read_addr(a, me, &mut deps);
                     }
                 }
-                (*dram_start, (*elems as u32) * 8, true)
+                let bytes = match decl.op {
+                    // Width-compressed streams move `struct_bytes` bytes per
+                    // group of `struct_elems` entries instead of 8 per entry.
+                    Op::StreamOutC {
+                        struct_elems,
+                        struct_bytes,
+                        ..
+                    }
+                    | Op::StreamInC {
+                        struct_elems,
+                        struct_bytes,
+                        ..
+                    } => (elems.div_ceil(struct_elems as u64) * struct_bytes as u64) as u32,
+                    _ => (*elems as u32) * 8,
+                };
+                (*dram_start, bytes, true)
             }
         };
 
@@ -275,7 +293,14 @@ impl ExecHook for Tracer {
         // Streams are decoupled engines: they neither wait for barriers
         // nor hold them back (buffer reuse is ordered by the per-entry
         // scratchpad dependences); everything else joins the barrier set.
-        if !matches!(decl.op, Op::Barrier | Op::StreamOut(_) | Op::StreamIn(_)) {
+        if !matches!(
+            decl.op,
+            Op::Barrier
+                | Op::StreamOut(_)
+                | Op::StreamIn(_)
+                | Op::StreamOutC { .. }
+                | Op::StreamInC { .. }
+        ) {
             self.since_barrier.push(me);
         }
         let node = TraceNode {
@@ -408,6 +433,39 @@ mod tests {
         // on everything before it.
         assert!(t.nodes()[2].deps.contains(&NodeId::new(1)));
         assert!(t.nodes()[1].deps.contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn compressed_stream_bytes() {
+        // A stream.outc of 4 elements at 2 entries / 6 bytes per struct
+        // models 12 bytes of traffic instead of 32.
+        let mut f = Function::new("c");
+        let tape = f.add_array("R0", 4, ArrayKind::Tape, Scalar::F64);
+        let mut sched = Vec::new();
+        let (al, base) = f.add_inst(Op::SAlloc { size: 4, base: 0 }, vec![]);
+        sched.push(crate::Stmt::Inst(al));
+        let base = base.unwrap();
+        let c0 = f.add_const(crate::Const::I64(0));
+        let c4 = f.add_const(crate::Const::I64(4));
+        let (so, _) = f.add_inst(
+            Op::StreamOutC {
+                array: tape,
+                struct_elems: 2,
+                struct_bytes: 6,
+            },
+            vec![base, c0, c4],
+        );
+        sched.push(crate::Stmt::Inst(so));
+        f.body = sched;
+        let mut mem = Memory::for_function(&f);
+        let t = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let sn = t
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::StreamOutC { .. }))
+            .unwrap();
+        assert_eq!(sn.bytes, 12);
+        assert!(sn.is_tape);
     }
 
     #[test]

@@ -170,11 +170,15 @@ impl<'f> Checker<'f> {
             }
             SAlloc { .. } | Barrier => {}
             SpadLoad => self.require_ty(id, 0, inst.args[0], i)?,
-            SpadStore => {
+            SpadStore | TapeStore { .. } => {
                 self.require_ty(id, 0, inst.args[0], i)?;
                 self.require_ty(id, 1, inst.args[1], f)?;
             }
-            StreamOut(_) | StreamIn(_) => {
+            TapeLoad { .. } => {
+                self.require_ty(id, 0, inst.args[0], i)?;
+                self.require_ty(id, 1, inst.args[1], i)?;
+            }
+            StreamOut(_) | StreamIn(_) | StreamOutC { .. } | StreamInC { .. } => {
                 for k in 0..3 {
                     self.require_ty(id, k, inst.args[k], i)?;
                 }
@@ -327,6 +331,36 @@ mod tests {
         });
         f.body.push(Stmt::Inst(add));
         assert!(matches!(verify(&f), Err(VerifyError::BadLoopBound { .. })));
+    }
+
+    #[test]
+    fn checks_streamed_tape_ops() {
+        let mut f = Function::new("st");
+        let t = f.add_array("R0", 8, ArrayKind::Tape, Scalar::F64);
+        let idx = f.add_const(crate::Const::I64(0));
+        let val = f.add_const(crate::Const::F64(1.0));
+        let (s, _) = f.add_inst(Op::TapeStore { array: t, off: 0 }, vec![idx, val]);
+        let (l, _) = f.add_inst(
+            Op::TapeLoad {
+                array: t,
+                rsize: 2,
+                off: 1,
+            },
+            vec![idx, idx],
+        );
+        f.body.push(Stmt::Inst(s));
+        f.body.push(Stmt::Inst(l));
+        assert_eq!(verify(&f), Ok(()));
+
+        let mut g = Function::new("bad");
+        let t = g.add_array("R0", 8, ArrayKind::Tape, Scalar::F64);
+        let val = g.add_const(crate::Const::F64(1.0));
+        let (s, _) = g.add_inst(Op::TapeStore { array: t, off: 0 }, vec![val, val]);
+        g.body.push(Stmt::Inst(s));
+        assert!(matches!(
+            verify(&g),
+            Err(VerifyError::TypeMismatch { operand: 0, .. })
+        ));
     }
 
     #[test]

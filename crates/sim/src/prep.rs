@@ -117,7 +117,8 @@ impl PreparedSim {
             let mut f = 0u8;
             f |= FLAG_TAPE * u8::from(node.is_tape);
             f |= FLAG_REV * u8::from(node.phase == Phase::Rev);
-            f |= FLAG_STREAM_IN * u8::from(matches!(node.op, Op::StreamIn(_)));
+            f |= FLAG_STREAM_IN
+                * u8::from(matches!(node.op, Op::StreamIn(_) | Op::StreamInC { .. }));
             flags.push(f);
             addr.push(node.addr);
             bytes.push(node.bytes);

@@ -7,7 +7,8 @@
 //! tapeflow grad      FILE --wrt a,b --loss l      differentiate (prints gradient IR)
 //! tapeflow compile   FILE --wrt a,b --loss l      pass-manager pipeline (opt → ad →
 //!                    [--spad-bytes N] [--aos-only]    regions → layering → streams →
-//!                    [--single-buffer]                spad-index)
+//!                    [--single-buffer]                spad-index; --compress-tape adds
+//!                    [--compress-tape]                tape-compress before streams)
 //! tapeflow simulate  FILE --wrt a,b --loss l      AD → compile → trace → simulate,
 //!                    [--cache-bytes N] [--spad-bytes N]   Enzyme vs Tapeflow
 //! tapeflow profile   FILE --wrt a,b --loss l      simulate with the cycle-attribution
@@ -67,7 +68,10 @@ use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
 use tapeflow::bench::hostperf;
 use tapeflow::benchmarks::{self, Benchmark, Scale};
-use tapeflow::core::pipeline::{registered_passes, PassRecord, PipelineBuilder, PipelineReport};
+use tapeflow::core::compress::TapeEncoding;
+use tapeflow::core::pipeline::{
+    registered_passes, IrCounts, PassRecord, PipelineBuilder, PipelineReport,
+};
 use tapeflow::core::{lint as plan_lint, CompileMode, CompileOptions, CompiledProgram};
 use tapeflow::ir::lint::{self, LintConfig};
 use tapeflow::ir::trace::{trace_function, TraceOptions};
@@ -85,6 +89,7 @@ struct Args {
     spad_bytes: usize,
     cache_bytes: usize,
     aos_only: bool,
+    compress_tape: bool,
     double_buffer: bool,
     policy: TapePolicy,
     json: Option<String>,
@@ -103,7 +108,8 @@ fn usage() -> ExitCode {
         "usage: tapeflow <show|opt|grad|compile|simulate|profile|lint|passes|bench-host> \
          FILE|NAME \
          [--wrt a,b] [--loss l] [--spad-bytes N] [--cache-bytes N] \
-         [--aos-only] [--single-buffer] [--policy minimal|conservative|all] \
+         [--aos-only] [--compress-tape] [--single-buffer] \
+         [--policy minimal|conservative|all] \
          [--passes a,b,c] [--print-after-all] [--time-passes] [--lint-after-all] \
          [--scale tiny|small|large] [--engine event|legacy] [--repeats N] \
          [--json PATH] [--trace-out PATH]"
@@ -120,6 +126,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         spad_bytes: 1024,
         cache_bytes: 32 * 1024,
         aos_only: false,
+        compress_tape: false,
         double_buffer: true,
         policy: TapePolicy::Conservative,
         json: None,
@@ -152,6 +159,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                     .ok_or("--cache-bytes needs a number")?;
             }
             "--aos-only" => args.aos_only = true,
+            "--compress-tape" => args.compress_tape = true,
             "--single-buffer" => args.double_buffer = false,
             "--json" => args.json = Some(argv.next().ok_or("--json needs a path")?),
             "--trace-out" => {
@@ -297,6 +305,7 @@ fn compile_options(args: &Args, mode: CompileMode) -> CompileOptions {
         spad_entries: (args.spad_bytes / 8).max(2),
         double_buffer: args.double_buffer,
         mode,
+        compress_tape: args.compress_tape,
     }
 }
 
@@ -307,6 +316,22 @@ fn lint_config(copts: &CompileOptions) -> LintConfig {
         spad_entries: copts.spad_entries,
         spad_banks: SystemConfig::default().spad.banks,
     }
+}
+
+/// The standard Full-mode pass list the flags select. `--compress-tape`
+/// inserts Pass 5 (`tape-compress`) between `layering` and the
+/// `streams` terminal lowering.
+fn full_pass_names(args: &Args, with_opt: bool) -> Vec<&'static str> {
+    let mut names = Vec::new();
+    if with_opt {
+        names.push("opt");
+    }
+    names.extend(["ad", "regions", "layering"]);
+    if args.compress_tape {
+        names.push("tape-compress");
+    }
+    names.extend(["streams", "spad-index"]);
+    names
 }
 
 /// The pipeline behind `compile`/`simulate`: the flags' standard
@@ -348,14 +373,9 @@ struct SimSetup {
 fn compile_variants(args: &Args, input: &Input) -> Result<(AdOptions, SimSetup), String> {
     let opts = ad_options(input, args)?;
     let copts = compile_options(args, CompileMode::Full);
-    let builder = pipeline_for(
-        args,
-        input,
-        copts,
-        &["ad", "regions", "layering", "streams", "spad-index"],
-    )?
-    .with_verify(true)
-    .with_ir_capture(args.print_after_all);
+    let builder = pipeline_for(args, input, copts, &full_pass_names(args, false))?
+        .with_verify(true)
+        .with_ir_capture(args.print_after_all);
     let run = builder.run_source(&input.func).map_err(|e| e.to_string())?;
     if args.print_after_all {
         // stderr: simulate/profile's stdout stays the result tables.
@@ -401,8 +421,17 @@ fn variant_memory(
     mem
 }
 
+/// One `{insts, values, tape_slots}` IR-size object.
+fn ir_counts_json(c: &IrCounts) -> Value {
+    let mut v = Value::object();
+    v.set("insts", c.insts)
+        .set("values", c.values)
+        .set("tape_slots", c.tape_slots);
+    v
+}
+
 /// The JSON `passes` section shared by `simulate` and `profile`:
-/// per-pass wall time, post-pass IR counters and the per-pass deltas.
+/// per-pass wall time, pre/post IR counters and the per-pass deltas.
 fn passes_json(records: &[PassRecord]) -> Vec<Value> {
     records
         .iter()
@@ -413,6 +442,8 @@ fn passes_json(records: &[PassRecord]) -> Vec<Value> {
                 .set("insts", r.ir_insts)
                 .set("values", r.ir_after.values)
                 .set("tape_slots", r.ir_after.tape_slots)
+                .set("ir_before", ir_counts_json(&r.ir_before))
+                .set("ir_after", ir_counts_json(&r.ir_after))
                 .set("insts_delta", r.insts_delta())
                 .set("values_delta", r.values_delta())
                 .set("tape_slots_delta", r.tape_slots_delta())
@@ -420,6 +451,17 @@ fn passes_json(records: &[PassRecord]) -> Vec<Value> {
             p
         })
         .collect()
+}
+
+/// The JSON `compression` section: what Pass 5 (`tape-compress`) did to
+/// the tape layout (only present when the pass ran).
+fn compression_json(enc: &TapeEncoding) -> Value {
+    let mut v = Value::object();
+    v.set("elided_slots", enc.elided_slots)
+        .set("narrowed_slots", enc.narrowed_slots)
+        .set("tape_bytes_before", enc.bytes_before)
+        .set("tape_bytes_after", enc.bytes_after);
+    v
 }
 
 /// `+n` / `-n` / `0`, so growth and shrinkage read at a glance.
@@ -512,7 +554,7 @@ fn run() -> Result<ExitCode, String> {
     let (cmd, args) = parse_args(&mut argv)?;
     if cmd == "passes" {
         for (name, desc) in registered_passes() {
-            println!("{name:<11} {desc}");
+            println!("{name:<13} {desc}");
         }
         return Ok(ExitCode::SUCCESS);
     }
@@ -571,12 +613,12 @@ fn run() -> Result<ExitCode, String> {
                 CompileMode::Full
             };
             let copts = compile_options(&args, mode);
-            let default_names: &[&str] = if args.aos_only {
-                &["opt", "ad", "regions", "aos-layout"]
+            let default_names: Vec<&str> = if args.aos_only {
+                vec!["opt", "ad", "regions", "aos-layout"]
             } else {
-                &["opt", "ad", "regions", "layering", "streams", "spad-index"]
+                full_pass_names(&args, true)
             };
-            let builder = pipeline_for(&args, &input, copts, default_names)?
+            let builder = pipeline_for(&args, &input, copts, &default_names)?
                 .with_verify(true)
                 .with_ir_capture(args.print_after_all);
             let run = builder.run_source(&func).map_err(|e| e.to_string())?;
@@ -601,6 +643,12 @@ fn run() -> Result<ExitCode, String> {
                     c.stats.duplicated_slots,
                     c.stats.merged_tape_bytes
                 );
+                if let Some(enc) = &c.encoding {
+                    eprintln!(
+                        "// tape-compress: elided {} slots, narrowed {}, tape bytes {} -> {}",
+                        enc.elided_slots, enc.narrowed_slots, enc.bytes_before, enc.bytes_after
+                    );
+                }
             }
         }
         "simulate" => {
@@ -652,8 +700,11 @@ fn run() -> Result<ExitCode, String> {
                 doc.set("schema", "tapeflow.cli.simulate/v1")
                     .set("cache_bytes", args.cache_bytes)
                     .set("spad_bytes", args.spad_bytes)
-                    .set("passes", Value::Arr(passes_json(&setup.report.records)))
-                    .set("enzyme", reports[0].to_json())
+                    .set("passes", Value::Arr(passes_json(&setup.report.records)));
+                if let Some(enc) = &setup.compiled.encoding {
+                    doc.set("compression", compression_json(enc));
+                }
+                doc.set("enzyme", reports[0].to_json())
                     .set("tapeflow", reports[1].to_json())
                     .set("speedup", reports[1].speedup_over(&reports[0]));
                 std::fs::write(path, doc.render())
@@ -729,8 +780,11 @@ fn run() -> Result<ExitCode, String> {
                 doc.set("schema", "tapeflow.cli.profile/v1")
                     .set("cache_bytes", args.cache_bytes)
                     .set("spad_bytes", args.spad_bytes)
-                    .set("passes", Value::Arr(passes_json(&setup.report.records)))
-                    .set("enzyme", variant(&rows[0]))
+                    .set("passes", Value::Arr(passes_json(&setup.report.records)));
+                if let Some(enc) = &setup.compiled.encoding {
+                    doc.set("compression", compression_json(enc));
+                }
+                doc.set("enzyme", variant(&rows[0]))
                     .set("tapeflow", variant(&rows[1]))
                     .set("speedup", rows[1].1.speedup_over(&rows[0].1));
                 std::fs::write(path, doc.render())
@@ -765,12 +819,12 @@ fn run() -> Result<ExitCode, String> {
             if lowered || !has_grad_spec {
                 diags = lint::lint_function(&func, &cfg);
             } else {
-                let default_names: &[&str] = if args.aos_only {
-                    &["opt", "ad", "regions", "aos-layout"]
+                let default_names: Vec<&str> = if args.aos_only {
+                    vec!["opt", "ad", "regions", "aos-layout"]
                 } else {
-                    &["opt", "ad", "regions", "layering", "streams", "spad-index"]
+                    full_pass_names(&args, true)
                 };
-                let builder = pipeline_for(&args, &input, copts, default_names)?.with_verify(true);
+                let builder = pipeline_for(&args, &input, copts, &default_names)?.with_verify(true);
                 let run = builder.run_source(&func).map_err(|e| e.to_string())?;
                 if args.lint_after_all {
                     eprint!("{}", run.report.render_lint());
@@ -781,7 +835,12 @@ fn run() -> Result<ExitCode, String> {
                     .ok_or("the lint pipeline produced no IR")?;
                 diags = lint::lint_function(compiled, &cfg);
                 if let (Some(grad), Some(plan)) = (&run.state.gradient, &run.state.plan) {
-                    diags.extend(plan_lint::lint_plan(grad, plan, &copts));
+                    diags.extend(plan_lint::lint_plan(
+                        grad,
+                        plan,
+                        &copts,
+                        run.state.encoding.as_ref(),
+                    ));
                 }
                 lint::sort_diagnostics(&mut diags);
             }

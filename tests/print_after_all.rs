@@ -11,11 +11,13 @@
 use tapeflow::autodiff::{AdOptions, TapePolicy};
 use tapeflow::core::pipeline::{PipelineBuilder, PipelineRun};
 use tapeflow::core::CompileOptions;
-use tapeflow::ir::parse;
+use tapeflow::ir::lint::{self, LintConfig};
+use tapeflow::ir::{parse, pretty, verify};
 
-/// Mirrors the CLI's default `compile` invocation: 1 KB scratchpad,
-/// double buffering, conservative tape policy, full pipeline.
-fn cli_compile_run(file: &str, wrt: &[&str], loss: &str) -> PipelineRun {
+/// Mirrors the CLI's `compile` invocation — 1 KB scratchpad, double
+/// buffering, conservative tape policy — through an explicit `--passes`
+/// list (`None` = the default full pipeline).
+fn cli_passes_run(file: &str, wrt: &[&str], loss: &str, passes: Option<&[&str]>) -> PipelineRun {
     let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("{file}: {e}"));
     let func = parse::parse(&text).unwrap();
     let wrt = wrt
@@ -24,7 +26,13 @@ fn cli_compile_run(file: &str, wrt: &[&str], loss: &str) -> PipelineRun {
         .collect();
     let loss = func.array_by_name(loss).expect("loss array");
     let ad = AdOptions::new(wrt, vec![loss]).with_policy(TapePolicy::Conservative);
-    PipelineBuilder::full(CompileOptions::with_spad_bytes(1024), ad)
+    let copts = CompileOptions::with_spad_bytes(1024);
+    let builder = match passes {
+        Some(names) => PipelineBuilder::from_names(names, copts, Some(ad))
+            .unwrap_or_else(|e| panic!("{file}: {e}")),
+        None => PipelineBuilder::full(copts, ad),
+    };
+    builder
         .with_verify(true)
         .with_ir_capture(true)
         .run_source(&func)
@@ -32,9 +40,19 @@ fn cli_compile_run(file: &str, wrt: &[&str], loss: &str) -> PipelineRun {
 }
 
 fn check_golden(golden: &str, file: &str, wrt: &[&str], loss: &str) {
+    check_passes_golden(golden, file, wrt, loss, None);
+}
+
+fn check_passes_golden(
+    golden: &str,
+    file: &str,
+    wrt: &[&str],
+    loss: &str,
+    passes: Option<&[&str]>,
+) {
     let runs: Vec<String> = (0..2)
         .map(|_| {
-            let run = cli_compile_run(file, wrt, loss);
+            let run = cli_passes_run(file, wrt, loss, passes);
             for r in &run.report.records {
                 assert_eq!(
                     r.verified,
@@ -78,5 +96,89 @@ fn pathfinder_mini_print_after_all_is_golden() {
         "programs/pathfinder_mini.tf",
         &["w", "src"],
         "loss",
+    );
+}
+
+/// Pass 3 as a genuine terminal lowering: stopping the pipeline at
+/// `streams` leaves a first-class program state.
+const STREAMS_TERMINAL: &[&str] = &["opt", "ad", "regions", "layering", "streams"];
+
+/// The de-fused `streams` output is a complete program: verified,
+/// parseable (pretty → parse round-trips losslessly) and lintable,
+/// not a snapshot side-channel.
+fn check_streams_terminal(golden: &str, file: &str, wrt: &[&str], loss: &str) {
+    check_passes_golden(golden, file, wrt, loss, Some(STREAMS_TERMINAL));
+    let run = cli_passes_run(file, wrt, loss, Some(STREAMS_TERMINAL));
+    let sp = run.state.streams.as_ref().expect("streams artifact");
+    assert!(run.state.compiled.is_none(), "{file}: no spad-index ran");
+    verify::verify(&sp.func).unwrap_or_else(|e| panic!("{file}: terminal IR: {e}"));
+    // Parse/pretty fixpoint: one reparse may renumber const values, but
+    // the text must be stable from then on (no structure is lost).
+    let printed = pretty::pretty(&sp.func).to_string();
+    let reparsed = parse::parse(&printed)
+        .unwrap_or_else(|e| panic!("{file}: terminal IR does not re-parse: {e}"));
+    verify::verify(&reparsed).unwrap_or_else(|e| panic!("{file}: reparsed terminal IR: {e}"));
+    let printed2 = pretty::pretty(&reparsed).to_string();
+    let reparsed2 = parse::parse(&printed2)
+        .unwrap_or_else(|e| panic!("{file}: terminal IR does not re-parse twice: {e}"));
+    assert_eq!(
+        pretty::pretty(&reparsed2).to_string(),
+        printed2,
+        "{file}: terminal IR pretty/parse never reaches a fixpoint"
+    );
+    let diags = lint::lint_function(&sp.func, &LintConfig::default());
+    let (errors, _) = lint::counts(&diags);
+    assert_eq!(errors, 0, "{file}: terminal IR lints dirty: {diags:?}");
+}
+
+#[test]
+fn sumexp_streams_terminal_is_golden_and_roundtrips() {
+    check_streams_terminal(
+        "streams_terminal_sumexp.txt",
+        "programs/sumexp.tf",
+        &["x"],
+        "loss",
+    );
+}
+
+#[test]
+fn pathfinder_mini_streams_terminal_is_golden_and_roundtrips() {
+    check_streams_terminal(
+        "streams_terminal_pathfinder_mini.txt",
+        "programs/pathfinder_mini.tf",
+        &["w", "src"],
+        "loss",
+    );
+}
+
+const COMPRESSED: &[&str] = &[
+    "opt",
+    "ad",
+    "regions",
+    "layering",
+    "tape-compress",
+    "streams",
+    "spad-index",
+];
+
+#[test]
+fn sumexp_tape_compress_is_golden() {
+    check_passes_golden(
+        "tape_compress_sumexp.txt",
+        "programs/sumexp.tf",
+        &["x"],
+        "loss",
+        Some(COMPRESSED),
+    );
+}
+
+#[test]
+fn pathfinder_mini_tape_compress_is_golden() {
+    check_passes_golden(
+        "tape_compress_pathfinder_mini.txt",
+        "programs/pathfinder_mini.tf",
+        &["w", "src"],
+        "loss",
+        Some(COMPRESSED),
     );
 }
