@@ -16,29 +16,67 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
-echo "== profile smoke (stall attribution + chrome trace) =="
+echo "== profile smoke (stall attribution + provenance + chrome trace) =="
 # The profile subcommand must run end to end: the invariant-checked
-# stall table, a machine-readable report, and a Chrome trace that the
-# structural validator (tests/profile_cli.rs) accepts — parseable,
-# complete slices, monotonic per-track timestamps.
+# stall table, source-attributed hot spots, a machine-readable report,
+# a collapsed-stack flamegraph, and a Chrome trace that the structural
+# validator (tests/profile_cli.rs) accepts — parseable, complete
+# slices, monotonic per-track timestamps.
 mkdir -p target/ci
 cargo run --release --bin tapeflow -- \
     profile programs/sumexp.tf --wrt x --loss loss \
+    --by-inst --top 8 \
     --trace-out target/ci/profile_sumexp_trace.json \
-    --json target/ci/profile_sumexp.json > /dev/null
+    --flame-out target/ci/profile_sumexp.folded \
+    --json target/ci/profile_sumexp.json > target/ci/profile_sumexp.txt
+# The hot-spot table is pinned: the per-inst rollup must match the
+# golden snapshot byte for byte (side-channel notes go to stderr, so
+# this stdout is the same as the golden test's invocation).
+diff -u tests/golden/profile_by_inst_sumexp.txt target/ci/profile_sumexp.txt
 python3 - target/ci/profile_sumexp.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "tapeflow.cli.profile/v1", doc.get("schema")
+assert doc["schema"] == "tapeflow.cli.profile/v2", doc.get("schema")
+kinds = ("fp_busy", "int_busy", "mshr_stall", "spad_conflict",
+         "tape_miss_stall", "cache_miss_stall", "stream_wait",
+         "phase_barrier", "idle")
 for variant in ("enzyme", "tapeflow"):
     s = doc[variant]["stalls"]
-    kinds = ("fp_busy", "int_busy", "mshr_stall", "spad_conflict",
-             "tape_miss_stall", "cache_miss_stall", "stream_wait",
-             "phase_barrier", "idle")
     assert sum(s[k] for k in kinds) == s["cycles"] * s["pes"], variant
+    # v2 additions: per-inst rows (each summing exactly to its total)
+    # and the provenance census.
+    rows = doc[variant]["insts"]
+    assert rows, f"{variant}: no inst rows"
+    for r in rows:
+        assert sum(r["stalls"].values()) == r["total_pe_cycles"], r
+    prov = doc[variant]["provenance"]
+    assert prov["insts"] > 0 and "created_by" in prov, variant
+assert doc["tapeflow"]["provenance"]["created_by"].get("streams", 0) > 0
 assert doc["passes"], "per-pass deltas missing"
 EOF
+# Flamegraph stacks: `root;region;layer;source;op count`, five frames.
+python3 - target/ci/profile_sumexp.folded <<'EOF'
+import sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty flamegraph"
+roots = []
+for line in lines:
+    stack, count = line.rsplit(" ", 1)
+    assert int(count) > 0, line
+    frames = stack.split(";")
+    assert len(frames) == 5, line
+    if frames[0] not in roots:
+        roots.append(frames[0])
+assert roots == ["Enzyme", "Tapeflow"], roots
+EOF
 TAPEFLOW_TRACE_VALIDATE=target/ci/profile_sumexp_trace.json \
+    cargo test -q --release --test profile_cli validates_trace_file_from_env
+# Sampled timelines must also validate (and stay deterministic — the
+# dedicated test covers that; here CI vets the emitted artifact).
+cargo run --release --bin tapeflow -- \
+    profile programs/sumexp.tf --wrt x --loss loss \
+    --trace-out target/ci/profile_sumexp_sampled.json --sample 8 > /dev/null
+TAPEFLOW_TRACE_VALIDATE=target/ci/profile_sumexp_sampled.json \
     cargo test -q --release --test profile_cli validates_trace_file_from_env
 
 echo "== lint smoke (all registered benchmarks) =="
@@ -144,13 +182,13 @@ EOF
 echo "== experiments regression (tiny scale, stable JSON) =="
 # Regenerate the machine-readable results at tiny scale with every
 # wall-clock field zeroed and diff against the checked-in reference —
-# stall breakdowns and the host-perf fold included (the scrub leaves
-# only deterministic structure and cycle counters, so the document is
-# byte-stable by construction). Catches perf-model / accounting drift
-# that unit tests miss.
+# stall breakdowns, provenance-resolved hot spots and the host-perf
+# fold included (the scrub leaves only deterministic structure and
+# cycle counters, so the document is byte-stable by construction).
+# Catches perf-model / accounting drift that unit tests miss.
 cargo run --release -p tapeflow-bench --bin experiments -- \
-    all --scale tiny --jobs 2 --stable-json --stall-breakdown --host-perf \
-    --json target/ci/BENCH_experiments_tiny.json > /dev/null
+    all --scale tiny --jobs 2 --stable-json --stall-breakdown --hot-spots \
+    --host-perf --json target/ci/BENCH_experiments_tiny.json > /dev/null
 if ! diff -u results/BENCH_experiments_tiny.json \
         target/ci/BENCH_experiments_tiny.json > target/ci/experiments.diff; then
     echo "experiments output drifted from results/BENCH_experiments_tiny.json:"

@@ -6,7 +6,9 @@ use crate::plan::{self, Decision, TapePlan};
 use crate::{AdError, AdOptions, AdStats, Gradient, Span, SpanTable, TapeArrayInfo};
 use std::collections::HashMap;
 use tapeflow_ir::function::{ArrayKind, Bound, Stmt, ValueDef};
-use tapeflow_ir::{ArrayId, CmpKind, Const, Function, InstId, LoopId, Op, Scalar, ValueId};
+use tapeflow_ir::{
+    ArrayId, CmpKind, Const, Function, InstId, LoopId, Op, Provenance, Scalar, ValueId,
+};
 
 /// Differentiates `src` in reverse mode, producing the gradient function
 /// and the compile-time tape maps (see [`Gradient`]).
@@ -138,9 +140,15 @@ impl<'a> Gen<'a> {
     }
 
     fn run(&mut self) -> Result<Gradient, AdError> {
+        // Everything this generator emits is AD-created; the per-source-
+        // statement walks below refine the template with the primal
+        // instruction each emission descends from.
+        self.g.set_prov_ctx(Provenance::created_by("ad"));
         let src_body = self.src.body.clone();
         let mut body = Vec::new();
         self.gen_fwd(&src_body, &mut body);
+        // The phase barrier belongs to no single primal op.
+        self.g.set_prov_ctx(Provenance::created_by("ad"));
         let (bar, _) = self.g.add_inst(Op::Barrier, vec![]);
         body.push(Stmt::Inst(bar));
         self.rev_stack.push(RevFrame::default());
@@ -242,6 +250,8 @@ impl<'a> Gen<'a> {
             let start = out.len();
             match s {
                 Stmt::Inst(id) => {
+                    self.g
+                        .set_prov_ctx(Provenance::created_by("ad").with_source(*id));
                     let inst = self.src.inst(*id).clone();
                     let args: Vec<ValueId> = inst.args.iter().map(|&a| self.fwd_val(a)).collect();
                     let (nid, res) = self.g.add_inst(inst.op, args);
@@ -422,6 +432,10 @@ impl<'a> Gen<'a> {
     }
 
     fn rev_inst(&mut self, id: InstId, out: &mut Vec<Stmt>) {
+        // Adjoint code (including tape reloads and recomputation chains
+        // emitted on its behalf) descends from the primal it reverses.
+        self.g
+            .set_prov_ctx(Provenance::created_by("ad").with_source(id));
         let inst = self.src.inst(id).clone();
         match inst.op {
             Op::Store(arr) => {

@@ -18,7 +18,10 @@
 //! `--stall-breakdown` re-runs the sweep under the cycle-attribution
 //! probe and folds a per-cause `stalls` object into every feasible
 //! configuration entry — pure cycle counters, so the fold needs no
-//! `--stable-json` scrubbing to stay reproducible. `--host-perf` times
+//! `--stable-json` scrubbing to stay reproducible. `--hot-spots`
+//! likewise folds a `hot_spots` array per entry: the heaviest
+//! instructions by attributed PE-cycles, resolved through the IR
+//! provenance chain to their source ops, regions and layers. `--host-perf` times
 //! the sweep on both simulator engines (event-driven vs legacy scalar)
 //! and folds a `host_perf` section in; its wall-derived fields are
 //! zeroed under `--stable-json`.
@@ -38,6 +41,7 @@ fn main() {
     let mut json_path: Option<PathBuf> = Some(PathBuf::from("results/BENCH_experiments.json"));
     let mut stable_json = false;
     let mut stall_breakdown = false;
+    let mut hot_spots = false;
     let mut host_perf = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -86,13 +90,14 @@ fn main() {
             }
             "--stable-json" => stable_json = true,
             "--stall-breakdown" => stall_breakdown = true,
+            "--hot-spots" => hot_spots = true,
             "--host-perf" => host_perf = true,
             "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [all | <id>...] [--scale tiny|small|large] \
                      [--csv DIR] [--jobs N] [--json PATH|-] [--stable-json] \
-                     [--stall-breakdown] [--host-perf]"
+                     [--stall-breakdown] [--hot-spots] [--host-perf]"
                 );
                 println!("ids: {}", IDS.join(" "));
                 return;
@@ -152,7 +157,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let sweep = lab
-            .json_report_with(stall_breakdown)
+            .json_report_with(stall_breakdown, hot_spots)
             .get("benchmarks")
             .cloned()
             .unwrap_or(Value::Arr(Vec::new()));

@@ -40,6 +40,11 @@ pub const IDS: [&str; 19] = [
 
 const E32K: Config = Config::Enzyme { cache_bytes: 32768 };
 
+/// Hot-spot rows folded per configuration entry by
+/// [`Lab::json_report_with`] — enough to name the dominant source ops
+/// without ballooning the results document.
+pub const HOT_SPOT_TOP: usize = 5;
+
 fn t_cfg(cache_bytes: usize) -> Config {
     Config::Tapeflow {
         cache_bytes,
@@ -1206,7 +1211,7 @@ impl Lab {
     /// assembled serially in registry order, so its bytes are identical
     /// for any job count.
     pub fn json_report(&mut self) -> Value {
-        self.json_report_with(false)
+        self.json_report_with(false, false)
     }
 
     /// [`Lab::json_report`], optionally folding a per-cause stall
@@ -1215,7 +1220,13 @@ impl Lab {
     /// pure function of the trace and system configuration — all cycle
     /// counters, no wall clock — so the document stays byte-identical
     /// at any `--jobs` count with no `--stable-json` scrubbing.
-    pub fn json_report_with(&mut self, stalls: bool) -> Value {
+    ///
+    /// `hot_spots` additionally folds the per-benchmark source-level
+    /// hot-spot rows (`hot_spots` key, [`crate::attr::rows_json`] of the
+    /// [`HOT_SPOT_TOP`] heaviest instructions) into every feasible
+    /// entry — also pure cycle counters joined against static IR, so
+    /// equally byte-stable.
+    pub fn json_report_with(&mut self, stalls: bool, hot_spots: bool) -> Value {
         let configs = Self::json_configs();
         let items: Vec<SimItem> = configs.iter().map(|c| std_item(*c, false)).collect();
         self.warm_items(&WarmPlan {
@@ -1223,22 +1234,33 @@ impl Lab {
             items,
             variants: vec![],
         });
-        // Stall breakdowns re-run each simulation under the attribution
-        // probe; prepare every program (warm_items is a no-op with one
-        // job), fan the probed runs out over read-only state like the
-        // warm-up, and look them up during the serial assembly below.
-        let breakdowns = if stalls {
+        // Stall breakdowns and hot spots re-run each simulation under
+        // the attribution probe; prepare every program (warm_items is a
+        // no-op with one job), fan the probed runs out over read-only
+        // state like the warm-up, and look them up during the serial
+        // assembly below.
+        let work: Vec<(usize, usize)> = (0..self.prepared.len())
+            .flat_map(|bi| (0..configs.len()).map(move |ci| (bi, ci)))
+            .collect();
+        if stalls || hot_spots {
             for p in &mut self.prepared {
                 for c in &configs {
                     let _ = p.ensure_program(c);
                 }
             }
-            let work: Vec<(usize, usize)> = (0..self.prepared.len())
-                .flat_map(|bi| (0..configs.len()).map(move |ci| (bi, ci)))
-                .collect();
+        }
+        let breakdowns = if stalls {
             let prepared = &self.prepared;
             pool::map_parallel(&work, self.jobs, |_, &(bi, ci)| {
                 prepared[bi].stall_breakdown(&configs[ci], &sys_for(&configs[ci]))
+            })
+        } else {
+            Vec::new()
+        };
+        let spots = if hot_spots {
+            let prepared = &self.prepared;
+            pool::map_parallel(&work, self.jobs, |_, &(bi, ci)| {
+                prepared[bi].hot_spots(&configs[ci], &sys_for(&configs[ci]), HOT_SPOT_TOP)
             })
         } else {
             Vec::new()
@@ -1256,6 +1278,14 @@ impl Lab {
                         if stalls {
                             if let Some(bd) = &breakdowns[bi * configs.len() + ci] {
                                 entry.set("stalls", bd.summary_json());
+                            }
+                        }
+                        if hot_spots {
+                            if let Some(rows) = &spots[bi * configs.len() + ci] {
+                                entry.set(
+                                    "hot_spots",
+                                    Value::Arr(crate::attr::rows_json(rows, HOT_SPOT_TOP)),
+                                );
                             }
                         }
                     }

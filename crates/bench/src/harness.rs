@@ -473,6 +473,47 @@ impl Prepared {
         Some(bd)
     }
 
+    /// Re-runs one simulation with the attribution probe in per-inst
+    /// mode and resolves the result into source-attributed hot-spot
+    /// rows (descending PE-cycles, truncated to `top`). Requires
+    /// [`Prepared::ensure_program`] first and takes `&self` like
+    /// [`Prepared::stall_breakdown`], so a worker pool can fan out over
+    /// shared references; `None` for infeasible configurations. Pure
+    /// cycle counters joined against static IR — byte-stable at any job
+    /// count.
+    pub fn hot_spots(
+        &self,
+        config: &Config,
+        sys: &SystemConfig,
+        top: usize,
+    ) -> Option<Vec<crate::attr::InstAttr>> {
+        let key = Self::key_of(config);
+        let prep = self.preps.get(&key)?;
+        let trace = self.traces.get(&key)?;
+        let func = match key {
+            ProgramKey::Gradient => &self.grad.func,
+            k => &self.compiled.get(&k)?.func,
+        };
+        let mut probe =
+            AttributionProbe::with_inst_map(crate::attr::node_to_inst(trace), func.insts().len());
+        simulate_prepared_probed(
+            prep,
+            sys,
+            &SimOptions {
+                record_node_times: false,
+            },
+            &mut probe,
+        );
+        let (bd, inst_bd) = probe.into_parts();
+        let inst_bd = inst_bd.expect("per-inst mode requested");
+        inst_bd
+            .check_against(&bd)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.bench.name));
+        let mut rows = crate::attr::resolve(func, Some(&self.bench.func), &inst_bd);
+        rows.truncate(top);
+        Some(rows)
+    }
+
     /// Stores a simulation result computed elsewhere (by
     /// [`Prepared::sim_uncached`] on a worker thread) into the memo.
     pub fn insert_sim(

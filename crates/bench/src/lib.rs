@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attr;
 pub mod experiments;
 pub mod harness;
 pub mod hostperf;

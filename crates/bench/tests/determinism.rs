@@ -37,8 +37,8 @@ fn four_jobs_byte_identical_to_serial() {
 fn stall_breakdown_fold_is_deterministic_and_balanced() {
     let mut serial = Lab::new(Scale::Tiny);
     let mut parallel = Lab::with_jobs(Scale::Tiny, 4);
-    let a = serial.json_report_with(true).render();
-    let b = parallel.json_report_with(true).render();
+    let a = serial.json_report_with(true, false).render();
+    let b = parallel.json_report_with(true, false).render();
     assert_eq!(a, b, "stall-breakdown sweep differs across job counts");
     let doc = Value::parse(&a).expect("emitted JSON parses");
     let benches = doc
@@ -82,6 +82,66 @@ fn stall_breakdown_fold_is_deterministic_and_balanced() {
         }
     }
     assert!(checked > 0, "no feasible entries checked");
+}
+
+#[test]
+fn hot_spot_fold_is_deterministic_and_names_source_ops() {
+    let mut serial = Lab::new(Scale::Tiny);
+    let mut parallel = Lab::with_jobs(Scale::Tiny, 4);
+    let a = serial.json_report_with(false, true).render();
+    let b = parallel.json_report_with(false, true).render();
+    assert_eq!(a, b, "hot-spot sweep differs across job counts");
+    let doc = Value::parse(&a).expect("emitted JSON parses");
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .expect("benchmarks array");
+    let mut rows_checked = 0usize;
+    let mut tape_rows = 0usize;
+    for bench in benches {
+        let name = bench.get("name").and_then(Value::as_str).expect("name");
+        for c in bench
+            .get("configs")
+            .and_then(Value::as_arr)
+            .expect("configs")
+        {
+            if *c.get("feasible").expect("feasible flag") != Value::Bool(true) {
+                assert!(
+                    c.get("hot_spots").is_none(),
+                    "{name}: infeasible with hot spots"
+                );
+                continue;
+            }
+            let spots = c
+                .get("hot_spots")
+                .and_then(Value::as_arr)
+                .expect("feasible entries carry hot spots");
+            assert!(!spots.is_empty(), "{name}: empty hot-spot list");
+            let mut prev = u64::MAX;
+            for s in spots {
+                let total = s
+                    .get("total_pe_cycles")
+                    .and_then(Value::as_u64)
+                    .expect("total");
+                assert!(total <= prev, "{name}: hot spots not sorted");
+                prev = total;
+                let op = s.get("op").and_then(Value::as_str).expect("op label");
+                if op.starts_with("tape.") {
+                    tape_rows += 1;
+                    // A tape access in a top row must come attributed:
+                    // either a source op or a creating pass.
+                    assert!(
+                        s.get("source_op").map(|v| *v != Value::Null) == Some(true)
+                            || s.get("created_by").and_then(Value::as_str).is_some(),
+                        "{name}: naked tape row"
+                    );
+                }
+                rows_checked += 1;
+            }
+        }
+    }
+    assert!(rows_checked > 0, "no hot-spot rows checked");
+    assert!(tape_rows > 0, "no tape access ever surfaced as a hot spot");
 }
 
 #[test]

@@ -34,7 +34,8 @@ use crate::{CompileOptions, CompileStats, CoreError};
 use std::collections::{HashMap, HashSet};
 use tapeflow_autodiff::{Gradient, Span};
 use tapeflow_ir::{
-    ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Scalar, Stmt, ValueDef, ValueId,
+    ArrayId, ArrayKind, Bound, Const, Function, InstId, LoopId, Op, Provenance, Scalar, Stmt,
+    ValueDef, ValueId,
 };
 
 /// How far the rewriter lowers tape accesses.
@@ -62,6 +63,7 @@ pub(crate) fn rewrite(
     encoding: Option<&TapeEncoding>,
 ) -> Result<(Function, InstId), CoreError> {
     let mut rw = Rw::new(grad, plan, opts, lowering, encoding);
+    rw.g.set_prov_ctx(Provenance::created_by(rw.pass()));
     let mut body = Vec::new();
     rw.walk(&grad.func.body, &mut body)?;
     rw.g.body = body;
@@ -217,6 +219,26 @@ impl<'a> Rw<'a> {
     }
 
     // ---- helpers -----------------------------------------------------------
+
+    /// Pass name stamped into the provenance of instructions this
+    /// rewriter creates.
+    fn pass(&self) -> &'static str {
+        match self.lowering {
+            Lowering::Aos => "aos-layout",
+            Lowering::Tape => "streams",
+        }
+    }
+
+    /// Provenance template for pass-created helper instructions at the
+    /// current walk position: the pass name, plus the innermost open
+    /// region if the walk is inside one.
+    fn scope_prov(&self) -> Provenance {
+        let mut p = Provenance::created_by(self.pass());
+        if let Some(ctx) = self.tile_stack.last() {
+            p = p.with_region(ctx.region as u32);
+        }
+        p
+    }
 
     fn cf(&mut self, v: f64) -> ValueId {
         let key = (true, v.to_bits());
@@ -421,6 +443,8 @@ impl<'a> Rw<'a> {
         out: &mut Vec<Stmt>,
     ) -> Result<(), CoreError> {
         let info = self.grad.func.loop_info(old).clone();
+        let ctx = self.scope_prov();
+        self.g.set_prov_ctx(ctx);
         let start = self.map_bound(info.start);
         let end = self.map_bound(info.end);
         let (nlid, niv) = self.g.add_loop(info.name.clone(), start, end, info.step);
@@ -450,16 +474,32 @@ impl<'a> Rw<'a> {
 
     fn rewrite_inst(&mut self, old: InstId, out: &mut Vec<Stmt>) {
         let inst = self.grad.func.inst(old).clone();
+        let gp = self.grad.func.prov(old);
         if self.elide.contains(&old) {
             // Elided slot: the FWD store vanishes; REV rematerializes.
             return;
         }
         if let Some(recipe) = self.remat.get(&old).cloned() {
+            // Rematerialized loads chain the primal they reconstruct and
+            // record the compression rewrite that replaced them.
+            self.g.set_prov_ctx(Provenance {
+                created_by: self.pass(),
+                rewritten_by: Some("tape-compress"),
+                ..gp
+            });
             let res = self.emit_remat(&recipe, out);
             self.vmap[inst.result.expect("load has result").index()] = Some(res);
             return;
         }
         if let Some(site) = self.plan.store_site.get(&old).copied() {
+            // Lowered tape accesses keep the AD provenance chain (source
+            // primal, region/layer from the plan) and record this pass
+            // as the rewriter.
+            self.g.set_prov_ctx(Provenance {
+                region: Some(site.region as u32),
+                rewritten_by: Some(self.pass()),
+                ..gp
+            });
             let val = self.map_val(inst.args[1]);
             match self.lowering {
                 Lowering::Aos => {
@@ -479,6 +519,11 @@ impl<'a> Rw<'a> {
             return;
         }
         if let Some(site) = self.plan.load_site.get(&old).copied() {
+            self.g.set_prov_ctx(Provenance {
+                region: Some(site.region as u32),
+                rewritten_by: Some(self.pass()),
+                ..gp
+            });
             let res = match self.lowering {
                 Lowering::Aos => {
                     let lin = self.map_val(inst.args[0]);
@@ -502,7 +547,8 @@ impl<'a> Rw<'a> {
             self.vmap[inst.result.expect("load has result").index()] = Some(res);
             return;
         }
-        // Plain clone.
+        // Plain clone: the AD provenance carries over untouched.
+        self.g.set_prov_ctx(gp);
         let args: Vec<ValueId> = inst.args.iter().map(|&a| self.map_val(a)).collect();
         let (nid, res) = self.g.add_inst(inst.op, args);
         out.push(Stmt::Inst(nid));
@@ -593,6 +639,8 @@ impl<'a> Rw<'a> {
         let n = info.trip_count().expect("static trip") as i64;
         let (s, st) = (info.start.as_const().expect("static"), info.step);
         let nt = (n as u64).div_ceil(tile) as i64;
+        let region_prov = Provenance::created_by(self.pass()).with_region(ri as u32);
+        self.g.set_prov_ctx(region_prov);
         let (outer_lid, t_iv) = self.g.add_loop(
             format!("{}.tile", info.name),
             Bound::Const(0),
@@ -648,6 +696,7 @@ impl<'a> Rw<'a> {
             body: ib,
         });
         // FWD-Stream: spill this layer's region tile to DRAM.
+        self.g.set_prov_ctx(region_prov);
         let outer_lin = self.fold_lin(&outer_path, &mut ob);
         let a = self.emit_r(&mut ob, Op::IMul, vec![outer_lin, n_c]);
         let b = self.emit_r(&mut ob, Op::IAdd, vec![a, tile_lo]);
@@ -698,6 +747,8 @@ impl<'a> Rw<'a> {
         let info = self.grad.func.loop_info(old).clone();
         let n = info.trip_count().expect("static trip") as i64;
         let nt = (n as u64).div_ceil(tile) as i64;
+        let region_prov = Provenance::created_by(self.pass()).with_region(ri as u32);
+        self.g.set_prov_ctx(region_prov);
         let (outer_lid, t_iv) = self.g.add_loop(
             format!("{}.tile", info.name),
             Bound::Const(nt - 1),
@@ -755,6 +806,7 @@ impl<'a> Rw<'a> {
             loop_id: inner_lid,
             body: ib,
         });
+        self.g.set_prov_ctx(region_prov);
         self.emit(&mut ob, Op::Barrier, vec![]);
         out.push(Stmt::For {
             loop_id: outer_lid,
@@ -783,12 +835,18 @@ impl<'a> Rw<'a> {
             .g
             .add_loop(info.name.clone(), info.start, info.end, info.step);
         self.vmap[info.iv.index()] = Some(niv);
+        let region_prov = Provenance::created_by(self.pass()).with_region(ri as u32);
+        self.g.set_prov_ctx(region_prov);
         let mut nb = Vec::new();
         let o = self.ordinal_of(niv, s, st, &mut nb);
         self.ord_stack.push((old, o, n as u64));
         let n_seg = segments.len() as i64;
         let spans = &self.grad.spans.fwd[&Some(old)];
         for (si, seg) in segments.iter().enumerate() {
+            // Each segment is its own layer: stamp the segment index so
+            // attribution can split the region by layer.
+            let seg_prov = region_prov.with_layer(si as u32);
+            self.g.set_prov_ctx(seg_prov);
             self.emit(
                 &mut nb,
                 Op::SAlloc {
@@ -816,7 +874,16 @@ impl<'a> Rw<'a> {
             // §3.7 redundant stores: duplicate foreign-consumed values into
             // this segment's struct.
             for (k, &t) in seg.dups.iter().enumerate() {
-                let store = self.grad.func.inst(self.grad.tapes[t].store).clone();
+                let dup_store = self.grad.tapes[t].store;
+                // A duplicate chains the same primal as the store it
+                // shadows, placed in this segment.
+                self.g.set_prov_ctx(Provenance {
+                    region: Some(ri as u32),
+                    layer: Some(si as u32),
+                    rewritten_by: Some(self.pass()),
+                    ..self.grad.func.prov(dup_store)
+                });
+                let store = self.grad.func.inst(dup_store).clone();
                 let val = self.map_val(store.args[1]);
                 let off = self.ci((seg.own.len() + k) as i64);
                 let idx = self.emit_r(&mut nb, Op::IAdd, vec![base, off]);
@@ -828,6 +895,7 @@ impl<'a> Rw<'a> {
             }
             self.tile_stack.pop();
             // FWD-Stream the segment struct.
+            self.g.set_prov_ctx(seg_prov);
             let outer_lin = self.fold_lin(&outer_path, &mut nb);
             let n_c = self.ci(n);
             let a = self.emit_r(&mut nb, Op::IMul, vec![outer_lin, n_c]);
@@ -876,8 +944,11 @@ impl<'a> Rw<'a> {
         let rev_spans = &self.grad.spans.rev[&Some(old)];
         // REV visits segments last-to-first, which is the natural order of
         // the mirrored body.
+        let region_prov = Provenance::created_by(self.pass()).with_region(ri as u32);
         for si in (0..segments.len()).rev() {
             let seg = &segments[si];
+            let seg_prov = region_prov.with_layer(si as u32);
+            self.g.set_prov_ctx(seg_prov);
             self.emit(
                 &mut nb,
                 Op::SAlloc {
@@ -914,6 +985,7 @@ impl<'a> Rw<'a> {
             let slice = rev_segment_slice(rev_spans, seg.src_range, body);
             self.walk(slice, &mut nb)?;
             self.tile_stack.pop();
+            self.g.set_prov_ctx(seg_prov);
             self.emit(&mut nb, Op::Barrier, vec![]);
         }
         self.ord_stack.pop();

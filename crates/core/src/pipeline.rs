@@ -417,6 +417,22 @@ impl Pass for LayeringPass {
             .clone()
             .ok_or_else(|| missing("layering", Artifact::Regions))?;
         let plan = layering::plan_layers(grad, formed, &self.opts)?;
+        // Extend provenance with the placement the plan just decided:
+        // every managed tape store/load in the gradient learns its
+        // region (and, for segmented layouts, the segment it runs in as
+        // its static layer — tiled layers are an iteration-space split,
+        // so no single static layer exists for them).
+        let grad_mut = state
+            .gradient
+            .as_mut()
+            .ok_or_else(|| missing("layering", Artifact::GradientIr))?;
+        for (&inst, site) in plan.store_site.iter().chain(plan.load_site.iter()) {
+            let mut p = grad_mut.func.prov(inst).with_region(site.region as u32);
+            if let Some(seg) = site.segment {
+                p = p.with_layer(seg as u32);
+            }
+            grad_mut.func.set_prov(inst, p);
+        }
         let segmented = plan
             .regions
             .iter()
@@ -950,6 +966,35 @@ impl PipelineBuilder {
                             pass: pass.name(),
                             error,
                         })?;
+                        // No pass may drop provenance. Once AD ran, the
+                        // `source` back-references live in the source
+                        // function's id space (known only when this run
+                        // was source-seeded); before that the current IR
+                        // is its own source level.
+                        let source_bound = if state.gradient.is_some()
+                            || state.streams.is_some()
+                            || state.compiled.is_some()
+                        {
+                            state.func.as_ref().map(|sf| sf.insts().len())
+                        } else {
+                            None
+                        };
+                        verify::verify_provenance(f, source_bound).map_err(|error| {
+                            CoreError::PassVerify {
+                                pass: pass.name(),
+                                error,
+                            }
+                        })?;
+                        // Post-lowering, every tape/stream/scratchpad
+                        // access must still know its region.
+                        if state.streams.is_some() || state.compiled.is_some() {
+                            verify::verify_provenance_regions(f).map_err(|error| {
+                                CoreError::PassVerify {
+                                    pass: pass.name(),
+                                    error,
+                                }
+                            })?;
+                        }
                         Some(true)
                     }
                     None => None,

@@ -100,17 +100,31 @@ impl Cloner<'_> {
             match s {
                 Stmt::Inst(old) => {
                     let inst = self.src.inst(*old).clone();
-                    let (op, args) = match inst.op {
+                    let (op, args, lowered) = match inst.op {
                         Op::TapeStore { .. } => (
                             Op::SpadStore,
                             vec![self.map_val(inst.args[0]), self.map_val(inst.args[1])],
+                            true,
                         ),
                         // The linear-index operand is dropped unmapped:
                         // referencing it here would materialize constants
                         // the output never uses.
-                        Op::TapeLoad { .. } => (Op::SpadLoad, vec![self.map_val(inst.args[1])]),
-                        op => (op, inst.args.iter().map(|&a| self.map_val(a)).collect()),
+                        Op::TapeLoad { .. } => {
+                            (Op::SpadLoad, vec![self.map_val(inst.args[1])], true)
+                        }
+                        op => (
+                            op,
+                            inst.args.iter().map(|&a| self.map_val(a)).collect(),
+                            false,
+                        ),
                     };
+                    // Every clone inherits its source provenance; the
+                    // lowered tape ops additionally record this rewrite.
+                    let mut p = self.src.prov(*old);
+                    if lowered {
+                        p = p.rewritten("spad-index");
+                    }
+                    self.g.set_prov_ctx(p);
                     let (nid, res) = self.g.add_inst(op, args);
                     out.push(Stmt::Inst(nid));
                     if let (Some(r0), Some(r)) = (inst.result, res) {

@@ -338,3 +338,36 @@ fn merged_region_shrinks_old_tapes() {
     assert_eq!(c.stats.regions, 1);
     assert_eq!(c.stats.merged_tape_bytes, 32 * 2 * 8);
 }
+
+#[test]
+fn compiled_output_keeps_provenance() {
+    let p = chain_pipeline(64, 3);
+    let c = compile(&p.grad, &CompileOptions::default()).unwrap();
+    tapeflow_ir::verify::verify_provenance(&c.func, Some(p.orig.insts().len())).unwrap();
+    tapeflow_ir::verify::verify_provenance_regions(&c.func).unwrap();
+    // The lowered scratchpad stores still name the primal source op they
+    // taped, and record the rewrite chain that produced them.
+    let chained = c.func.insts().iter().enumerate().any(|(i, inst)| {
+        matches!(inst.op, Op::SpadStore) && {
+            let pr = c.func.prov(tapeflow_ir::InstId::new(i));
+            pr.source.is_some() && pr.region.is_some() && pr.rewritten_by == Some("spad-index")
+        }
+    });
+    assert!(chained, "no spad.store with a full provenance chain");
+}
+
+#[test]
+fn segmented_output_stamps_layers() {
+    let p = chain_pipeline(10, 12);
+    let opts = CompileOptions {
+        spad_entries: 8,
+        ..CompileOptions::default()
+    };
+    let c = compile(&p.grad, &opts).unwrap();
+    tapeflow_ir::verify::verify_provenance_regions(&c.func).unwrap();
+    // Segments are layers: tape accesses in a segmented region carry one.
+    let layered = (0..c.func.insts().len())
+        .map(|i| c.func.prov(tapeflow_ir::InstId::new(i)))
+        .any(|pr| pr.layer.is_some() && pr.region.is_some());
+    assert!(layered, "segmented compile lost its layer stamps");
+}

@@ -99,6 +99,86 @@ pub struct Inst {
     pub result: Option<ValueId>,
 }
 
+/// Compile-time provenance of one instruction: which source op it
+/// descends from, where the layering pass placed it, and which pass put
+/// it there.
+///
+/// Every [`Function`] keeps one record per instruction in a table
+/// parallel to [`Function::insts`] — [`Function::add_inst`] appends a
+/// record unconditionally, so the table can never go missing an entry
+/// (the invariant [`crate::verify::verify_provenance`] checks). Source-
+/// built IR (builder, parser) self-stamps: each instruction is its own
+/// originating source op. Passes that emit or rewrite instructions
+/// scope a template via [`Function::set_prov_ctx`] or stamp records
+/// post-hoc via [`Function::set_prov`] / [`Function::mark_rewritten`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// The originating source-level instruction, in the id space of the
+    /// function the current pass chain started from (the post-`opt`
+    /// source function for gradient IR). `None` when an instruction is
+    /// pure pass scaffolding with no single source op (e.g. stream
+    /// index arithmetic).
+    pub source: Option<InstId>,
+    /// Tape region (Pass 1 index) this instruction belongs to, once
+    /// region formation / the streams lowering has placed it.
+    pub region: Option<u32>,
+    /// Layer within the region's schedule, once known.
+    pub layer: Option<u32>,
+    /// The pass that created the instruction (`"source"` for
+    /// builder/parser-built IR, else a registered pass name).
+    pub created_by: &'static str,
+    /// The last pass that rewrote or relocated the instruction after
+    /// creation, if any.
+    pub rewritten_by: Option<&'static str>,
+}
+
+impl Provenance {
+    /// Provenance of source-level IR before any pass ran. `source` is
+    /// filled with the instruction's own id by [`Function::add_inst`].
+    pub const SOURCE: Provenance = Provenance {
+        source: None,
+        region: None,
+        layer: None,
+        created_by: "source",
+        rewritten_by: None,
+    };
+
+    /// A record for an instruction freshly created by `pass`.
+    pub const fn created_by(pass: &'static str) -> Self {
+        Provenance {
+            source: None,
+            region: None,
+            layer: None,
+            created_by: pass,
+            rewritten_by: None,
+        }
+    }
+
+    /// Same record with the originating source op set.
+    pub const fn with_source(mut self, source: InstId) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Same record with the region set.
+    pub const fn with_region(mut self, region: u32) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Same record with the layer set.
+    pub const fn with_layer(mut self, layer: u32) -> Self {
+        self.layer = Some(layer);
+        self
+    }
+
+    /// Same record marked as rewritten by `pass`.
+    pub const fn rewritten(mut self, pass: &'static str) -> Self {
+        self.rewritten_by = Some(pass);
+        self
+    }
+}
+
 /// A loop bound: either a compile-time constant or a value computed before
 /// the loop is entered (used by Pass 2's tiling for partial tiles).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -199,6 +279,11 @@ pub struct Function {
     values: Vec<ValueInfo>,
     insts: Vec<Inst>,
     loops: Vec<LoopInfo>,
+    /// Per-instruction provenance, parallel to `insts`.
+    prov: Vec<Provenance>,
+    /// Template stamped onto instructions created while it is set;
+    /// `None` means "source-level IR" (self-stamping).
+    prov_ctx: Option<Provenance>,
     /// Top-level statement sequence.
     pub body: Vec<Stmt>,
 }
@@ -212,6 +297,8 @@ impl Function {
             values: Vec::new(),
             insts: Vec::new(),
             loops: Vec::new(),
+            prov: Vec::new(),
+            prov_ctx: None,
             body: Vec::new(),
         }
     }
@@ -283,6 +370,18 @@ impl Function {
             .map(ArrayId::new)
     }
 
+    /// Provenance record of instruction `id`.
+    #[inline]
+    pub fn prov(&self, id: InstId) -> Provenance {
+        self.prov[id.index()]
+    }
+
+    /// All provenance records, parallel to [`Function::insts`].
+    #[inline]
+    pub fn provs(&self) -> &[Provenance] {
+        &self.prov
+    }
+
     // ---- construction / pass mutation -------------------------------------
 
     /// Declares a new array and returns its id.
@@ -348,7 +447,46 @@ impl Function {
             v
         });
         self.insts.push(Inst { op, args, result });
+        self.prov.push(
+            self.prov_ctx
+                .unwrap_or(Provenance::SOURCE.with_source(inst_id)),
+        );
         (inst_id, result)
+    }
+
+    /// Sets the provenance template stamped onto every instruction
+    /// created until the next [`Function::set_prov_ctx`] /
+    /// [`Function::clear_prov_ctx`]; returns the previous template so
+    /// nested emitters can restore it.
+    pub fn set_prov_ctx(&mut self, ctx: Provenance) -> Option<Provenance> {
+        self.prov_ctx.replace(ctx)
+    }
+
+    /// Restores self-stamping "source" provenance for newly created
+    /// instructions (or reinstates a template saved by
+    /// [`Function::set_prov_ctx`]).
+    pub fn clear_prov_ctx(&mut self) -> Option<Provenance> {
+        self.prov_ctx.take()
+    }
+
+    /// The active provenance template, if a pass set one.
+    #[inline]
+    pub fn prov_ctx(&self) -> Option<Provenance> {
+        self.prov_ctx
+    }
+
+    /// Overwrites the provenance of instruction `id` (post-hoc stamping
+    /// by passes that learn placement after emission, e.g. layering).
+    #[inline]
+    pub fn set_prov(&mut self, id: InstId, p: Provenance) {
+        self.prov[id.index()] = p;
+    }
+
+    /// Marks instruction `id` as rewritten by `pass`, keeping the rest
+    /// of its record.
+    #[inline]
+    pub fn mark_rewritten(&mut self, id: InstId, pass: &'static str) {
+        self.prov[id.index()].rewritten_by = Some(pass);
     }
 
     /// Mutable access to instruction `id`, for passes that rewrite operands
@@ -459,6 +597,32 @@ mod tests {
         let mut f = Function::new("t");
         let a = f.add_const(Const::F64(1.0));
         let _ = f.add_inst(Op::FAdd, vec![a]);
+    }
+
+    #[test]
+    fn provenance_self_stamps_and_follows_ctx() {
+        let mut f = Function::new("t");
+        let a = f.add_const(Const::F64(1.0));
+        // Source-level IR self-stamps: the instruction is its own op.
+        let (i0, _) = f.add_inst(Op::FNeg, vec![a]);
+        assert_eq!(f.prov(i0).source, Some(i0));
+        assert_eq!(f.prov(i0).created_by, "source");
+        // A pass-scoped template is stamped verbatim.
+        let prev = f.set_prov_ctx(Provenance::created_by("ad").with_source(i0).with_region(3));
+        assert!(prev.is_none());
+        let (i1, _) = f.add_inst(Op::FNeg, vec![a]);
+        assert_eq!(f.prov(i1).source, Some(i0));
+        assert_eq!(f.prov(i1).region, Some(3));
+        assert_eq!(f.prov(i1).created_by, "ad");
+        f.clear_prov_ctx();
+        let (i2, _) = f.add_inst(Op::FNeg, vec![a]);
+        assert_eq!(f.prov(i2).source, Some(i2));
+        // Post-hoc stamping and rewrite marks.
+        f.mark_rewritten(i1, "spad-index");
+        assert_eq!(f.prov(i1).rewritten_by, Some("spad-index"));
+        f.set_prov(i2, Provenance::created_by("streams").with_layer(7));
+        assert_eq!(f.prov(i2).layer, Some(7));
+        assert_eq!(f.provs().len(), f.insts().len());
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
-pub use function::{ArrayDecl, ArrayKind, Bound, Function, Inst, LoopInfo, Stmt, ValueDef};
+pub use function::{
+    ArrayDecl, ArrayKind, Bound, Function, Inst, LoopInfo, Provenance, Stmt, ValueDef,
+};
 pub use ids::{ArrayId, InstId, LoopId, NodeId, TapeGroupId, ValueId};
 pub use memory::Memory;
 pub use ops::{CmpKind, Op, OpClass};

@@ -123,6 +123,13 @@ fn cse_key(op: &Op, args: &[ValueId]) -> Option<(String, Vec<u32>)> {
     Some((op.mnemonic(), a))
 }
 
+// Provenance: the rebuilt function keeps no provenance context, so every
+// surviving instruction self-stamps as source-level IR. That is
+// deliberate — the optimized program becomes the canonical source-op id
+// space the downstream passes (AD, streams, spad-index) chain their
+// `Provenance::source` back-references to, and re-anchoring here keeps
+// those references dense and in range after folding/CSE/DCE renumber
+// everything.
 struct Rebuild<'a> {
     src: &'a Function,
     g: Function,

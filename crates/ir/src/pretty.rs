@@ -16,13 +16,29 @@ use std::fmt::Write as _;
 /// assert!(text.contains("for i"));
 /// ```
 pub fn pretty(func: &Function) -> Pretty<'_> {
-    Pretty { func }
+    Pretty {
+        func,
+        provenance: false,
+    }
+}
+
+/// Like [`pretty`], but annotates every instruction with its
+/// [`crate::Provenance`] record as a trailing comment
+/// (`// src=inst3 region=0 layer=1 by=streams`). The plain printer's
+/// output is unchanged, so golden IR snapshots and the parser
+/// round-trip are unaffected.
+pub fn pretty_with_provenance(func: &Function) -> Pretty<'_> {
+    Pretty {
+        func,
+        provenance: true,
+    }
 }
 
 /// See [`pretty`].
 #[derive(Debug)]
 pub struct Pretty<'f> {
     func: &'f Function,
+    provenance: bool,
 }
 
 fn operand(func: &Function, v: ValueId) -> String {
@@ -40,7 +56,36 @@ fn bound(func: &Function, b: Bound) -> String {
     }
 }
 
-fn write_stmts(out: &mut String, func: &Function, stmts: &[Stmt], indent: usize) -> fmt::Result {
+/// Renders one provenance record the way the annotated printer and the
+/// profiler's hot-spot table show it.
+pub fn provenance_comment(p: crate::Provenance) -> String {
+    let mut s = String::new();
+    match p.source {
+        Some(i) => {
+            let _ = write!(s, "src={i}");
+        }
+        None => s.push_str("src=-"),
+    }
+    if let Some(r) = p.region {
+        let _ = write!(s, " region={r}");
+    }
+    if let Some(l) = p.layer {
+        let _ = write!(s, " layer={l}");
+    }
+    let _ = write!(s, " by={}", p.created_by);
+    if let Some(rw) = p.rewritten_by {
+        let _ = write!(s, "+{rw}");
+    }
+    s
+}
+
+fn write_stmts(
+    out: &mut String,
+    func: &Function,
+    stmts: &[Stmt],
+    indent: usize,
+    provenance: bool,
+) -> fmt::Result {
     let pad = "  ".repeat(indent);
     for s in stmts {
         match s {
@@ -54,6 +99,9 @@ fn write_stmts(out: &mut String, func: &Function, stmts: &[Stmt], indent: usize)
                 for a in &inst.args {
                     write!(out, " {}", operand(func, *a))?;
                 }
+                if provenance {
+                    write!(out, "  // {}", provenance_comment(func.prov(*id)))?;
+                }
                 writeln!(out)?;
             }
             Stmt::For { loop_id, body } => {
@@ -66,7 +114,7 @@ fn write_stmts(out: &mut String, func: &Function, stmts: &[Stmt], indent: usize)
                     bound(func, info.end),
                     info.step
                 )?;
-                write_stmts(out, func, body, indent + 1)?;
+                write_stmts(out, func, body, indent + 1, provenance)?;
                 writeln!(out, "{pad}}}")?;
             }
         }
@@ -86,7 +134,7 @@ impl fmt::Display for Pretty<'_> {
             )?;
         }
         let mut body = String::new();
-        write_stmts(&mut body, f, &f.body, 1).map_err(|_| fmt::Error)?;
+        write_stmts(&mut body, f, &f.body, 1, self.provenance).map_err(|_| fmt::Error)?;
         write!(out, "{body}")?;
         writeln!(out, "}}")
     }
@@ -113,6 +161,20 @@ mod tests {
         assert!(text.contains("for i in 0..8 step 1"), "{text}");
         assert!(text.contains("fmul"), "{text}");
         assert!(text.contains("array @0 x : f64[8]"), "{text}");
+    }
+
+    #[test]
+    fn provenance_annotation_is_opt_in() {
+        let mut b = FunctionBuilder::new("p");
+        let x = b.array("x", 4, ArrayKind::Input, Scalar::F64);
+        b.for_loop("i", 0, 4, |b, i| {
+            let _ = b.load(x, i);
+        });
+        let f = b.finish();
+        let plain = super::pretty(&f).to_string();
+        assert!(!plain.contains("// src="), "{plain}");
+        let annotated = super::pretty_with_provenance(&f).to_string();
+        assert!(annotated.contains("// src=inst0 by=source"), "{annotated}");
     }
 
     #[test]

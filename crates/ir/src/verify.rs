@@ -48,6 +48,14 @@ pub enum VerifyError {
     SelectBranchMismatch(InstId),
     /// A store writes to a read-only ([`crate::ArrayKind::Input`]) array.
     StoreToReadOnly(InstId),
+    /// An instruction's provenance record is missing or inconsistent
+    /// (found by [`verify_provenance`]).
+    BadProvenance {
+        /// The instruction.
+        inst: InstId,
+        /// What is wrong with its record.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -76,6 +84,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::StoreToReadOnly(i) => {
                 write!(f, "store {i} writes to a read-only input array")
+            }
+            VerifyError::BadProvenance { inst, reason } => {
+                write!(f, "provenance of {inst}: {reason}")
             }
         }
     }
@@ -241,6 +252,82 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
     Ok(())
 }
 
+/// Verifies that no pass dropped or corrupted provenance: the record
+/// table covers every instruction, every record names a creating pass,
+/// source-level records are self-stamped, and every `source` back-
+/// reference is in range of the originating function's instruction
+/// table (`source_insts`; pass `None` when the source id space is the
+/// function itself, as for freshly built or parsed IR).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError::BadProvenance`] in instruction
+/// order.
+pub fn verify_provenance(func: &Function, source_insts: Option<usize>) -> Result<(), VerifyError> {
+    let bound = source_insts.unwrap_or(func.insts().len());
+    if func.provs().len() != func.insts().len() {
+        return Err(VerifyError::BadProvenance {
+            inst: InstId::new(func.provs().len()),
+            reason: "provenance table shorter than the instruction table",
+        });
+    }
+    for (i, p) in func.provs().iter().enumerate() {
+        let inst = InstId::new(i);
+        if p.created_by.is_empty() {
+            return Err(VerifyError::BadProvenance {
+                inst,
+                reason: "empty creating-pass name",
+            });
+        }
+        if p.created_by == "source" && p.source != Some(inst) {
+            return Err(VerifyError::BadProvenance {
+                inst,
+                reason: "source-level instruction is not self-stamped",
+            });
+        }
+        if let Some(s) = p.source {
+            if s.index() >= bound {
+                return Err(VerifyError::BadProvenance {
+                    inst,
+                    reason: "source back-reference out of range",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Post-lowering strengthening of [`verify_provenance`]: after the
+/// streams / scratchpad-index lowerings, every tape, stream and
+/// scratchpad access must carry the region the layer plan placed it in.
+///
+/// # Errors
+///
+/// Returns the first unplaced access as a [`VerifyError::BadProvenance`].
+pub fn verify_provenance_regions(func: &Function) -> Result<(), VerifyError> {
+    for (i, inst) in func.insts().iter().enumerate() {
+        let placed = matches!(
+            inst.op,
+            Op::TapeStore { .. }
+                | Op::TapeLoad { .. }
+                | Op::StreamOutC { .. }
+                | Op::StreamInC { .. }
+                | Op::SpadLoad
+                | Op::SpadStore
+                | Op::StreamOut(_)
+                | Op::StreamIn(_)
+        );
+        let id = InstId::new(i);
+        if placed && func.prov(id).region.is_none() {
+            return Err(VerifyError::BadProvenance {
+                inst: id,
+                reason: "tape/stream/scratchpad access lost its region",
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +454,80 @@ mod tests {
     fn error_display_nonempty() {
         let e = VerifyError::DuplicateInst(InstId::new(3));
         assert!(!e.to_string().is_empty());
+        let p = VerifyError::BadProvenance {
+            inst: InstId::new(1),
+            reason: "x",
+        };
+        assert!(p.to_string().contains("provenance"));
+    }
+
+    #[test]
+    fn provenance_accepts_source_built_ir() {
+        let mut b = FunctionBuilder::new("ok");
+        let x = b.array("x", 8, ArrayKind::Input, Scalar::F64);
+        let y = b.array("y", 8, ArrayKind::Output, Scalar::F64);
+        b.for_loop("i", 0, 8, |b, i| {
+            let v = b.load(x, i);
+            b.store(y, i, v);
+        });
+        let f = b.finish();
+        assert_eq!(verify_provenance(&f, None), Ok(()));
+        assert_eq!(verify_provenance_regions(&f), Ok(()));
+    }
+
+    #[test]
+    fn provenance_rejects_out_of_range_source() {
+        let mut f = Function::new("bad");
+        let a = f.add_const(crate::Const::F64(1.0));
+        let (i, _) = f.add_inst(Op::FNeg, vec![a]);
+        f.body.push(Stmt::Inst(i));
+        f.set_prov(
+            i,
+            crate::Provenance::created_by("ad").with_source(InstId::new(99)),
+        );
+        assert!(matches!(
+            verify_provenance(&f, None),
+            Err(VerifyError::BadProvenance {
+                reason: "source back-reference out of range",
+                ..
+            })
+        ));
+        // In-range against a declared source id space.
+        assert_eq!(verify_provenance(&f, Some(100)), Ok(()));
+    }
+
+    #[test]
+    fn provenance_rejects_unstamped_source_ir() {
+        let mut f = Function::new("bad");
+        let a = f.add_const(crate::Const::F64(1.0));
+        let (i, _) = f.add_inst(Op::FNeg, vec![a]);
+        f.body.push(Stmt::Inst(i));
+        f.set_prov(i, crate::Provenance::SOURCE);
+        assert!(matches!(
+            verify_provenance(&f, None),
+            Err(VerifyError::BadProvenance {
+                reason: "source-level instruction is not self-stamped",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn provenance_region_check_flags_unplaced_tape_ops() {
+        let mut f = Function::new("bad");
+        let t = f.add_array("R0", 8, ArrayKind::Tape, Scalar::F64);
+        let idx = f.add_const(crate::Const::I64(0));
+        let val = f.add_const(crate::Const::F64(1.0));
+        let (s, _) = f.add_inst(Op::TapeStore { array: t, off: 0 }, vec![idx, val]);
+        f.body.push(Stmt::Inst(s));
+        assert!(matches!(
+            verify_provenance_regions(&f),
+            Err(VerifyError::BadProvenance {
+                reason: "tape/stream/scratchpad access lost its region",
+                ..
+            })
+        ));
+        f.set_prov(s, crate::Provenance::created_by("streams").with_region(0));
+        assert_eq!(verify_provenance_regions(&f), Ok(()));
     }
 }

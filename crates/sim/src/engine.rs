@@ -349,7 +349,7 @@ fn run_core<P: SimProbe>(
                 p.indeg -= 1;
                 if p.indeg == 0 {
                     if phase_barrier_idx == Some(si) {
-                        probe.on_barrier_ready(now, p.ready);
+                        probe.on_barrier_ready(now, p.ready, *s);
                     }
                     events.push(std::cmp::Reverse((p.ready, *s)));
                 }
@@ -399,7 +399,7 @@ fn run_core<P: SimProbe>(
                 OpClass::FpMul => cfg.pe.fp_mul_latency,
                 _ => cfg.pe.fp_long_latency,
             };
-            probe.on_fp_issue(now, now + lat, c);
+            probe.on_fp_issue(now, now + lat, c, id);
             complete!(id, now + lat);
         }
 
@@ -408,7 +408,7 @@ fn run_core<P: SimProbe>(
             let Some(id) = q_int.pop_front() else { break };
             int_left -= 1;
             report.int_ops += 1;
-            probe.on_int_issue(now, now + cfg.pe.int_latency);
+            probe.on_int_issue(now, now + cfg.pe.int_latency, id);
             complete!(id, now + cfg.pe.int_latency);
         }
 
@@ -448,8 +448,9 @@ fn run_core<P: SimProbe>(
                 let (_, fin) = dram.transfer(start, line_bytes);
                 mshr[mshr_slot] = fin;
                 q_mem.pop_front();
-                probe.on_mshr_stall(now, is_tape);
+                probe.on_mshr_stall(now, is_tape, id);
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: fin + cfg.cache.hit_latency,
                     port: cfg.cache.ports - ports_left,
@@ -470,6 +471,7 @@ fn run_core<P: SimProbe>(
                 report.cache.tape_hits += u64::from(is_tape);
                 report.cache.rev_hits += u64::from(is_rev);
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: now + cfg.cache.hit_latency,
                     port,
@@ -492,6 +494,7 @@ fn run_core<P: SimProbe>(
                 let (_, fin) = dram.transfer(now, line_bytes);
                 mshr[mshr_slot] = fin;
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: fin + cfg.cache.hit_latency,
                     port,
@@ -517,10 +520,10 @@ fn run_core<P: SimProbe>(
                 if banks_used & (1u64 << bank) == 0 {
                     banks_used |= 1u64 << bank;
                     report.spad_accesses += 1;
-                    probe.on_spad_access(now, now + cfg.spad.latency, bank);
+                    probe.on_spad_access(now, now + cfg.spad.latency, bank, id);
                     complete!(id, now + cfg.spad.latency);
                 } else {
-                    probe.on_spad_conflict(now, bank);
+                    probe.on_spad_conflict(now, bank, id);
                     stash.push(id);
                 }
             }
@@ -538,7 +541,7 @@ fn run_core<P: SimProbe>(
                     report.dram_stream_bytes += bytes;
                     let (bw_done, fin) = dram.transfer(now, bytes);
                     stream_free[dir] = bw_done;
-                    probe.on_stream(now, bw_done, fin, dir, bytes);
+                    probe.on_stream(now, bw_done, fin, dir, bytes, id);
                     complete!(id, fin);
                 }
             }

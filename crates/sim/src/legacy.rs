@@ -121,7 +121,7 @@ pub fn try_simulate_probed<P: SimProbe>(
                 indeg[si] -= 1;
                 if indeg[si] == 0 {
                     if phase_barrier_idx == Some(si) {
-                        probe.on_barrier_ready(now, ready_time[si]);
+                        probe.on_barrier_ready(now, ready_time[si], *s);
                     }
                     events.push(std::cmp::Reverse((ready_time[si], *s)));
                 }
@@ -166,7 +166,7 @@ pub fn try_simulate_probed<P: SimProbe>(
                 OpClass::FpMul => cfg.pe.fp_mul_latency,
                 _ => cfg.pe.fp_long_latency,
             };
-            probe.on_fp_issue(now, now + lat, class);
+            probe.on_fp_issue(now, now + lat, class, id);
             complete!(id, now + lat);
         }
 
@@ -176,7 +176,7 @@ pub fn try_simulate_probed<P: SimProbe>(
             let Some(id) = q_int.pop_front() else { break };
             int_left -= 1;
             report.int_ops += 1;
-            probe.on_int_issue(now, now + cfg.pe.int_latency);
+            probe.on_int_issue(now, now + cfg.pe.int_latency, id);
             complete!(id, now + cfg.pe.int_latency);
         }
 
@@ -213,8 +213,9 @@ pub fn try_simulate_probed<P: SimProbe>(
                 let (_, fin) = dram.transfer(start, line_bytes);
                 mshr[mshr_slot] = fin;
                 q_mem.pop_front();
-                probe.on_mshr_stall(now, node.is_tape);
+                probe.on_mshr_stall(now, node.is_tape, id);
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: fin + cfg.cache.hit_latency,
                     port: cfg.cache.ports - ports_left,
@@ -236,6 +237,7 @@ pub fn try_simulate_probed<P: SimProbe>(
                 report.cache.tape_hits += u64::from(is_tape);
                 report.cache.rev_hits += u64::from(is_rev);
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: now + cfg.cache.hit_latency,
                     port,
@@ -258,6 +260,7 @@ pub fn try_simulate_probed<P: SimProbe>(
                 let (_, fin) = dram.transfer(now, line_bytes);
                 mshr[mshr_slot] = fin;
                 probe.on_cache_access(&CacheAccessEvent {
+                    node: id,
                     now,
                     fin: fin + cfg.cache.hit_latency,
                     port,
@@ -283,10 +286,10 @@ pub fn try_simulate_probed<P: SimProbe>(
             if banks_used & (1u64 << bank) == 0 {
                 banks_used |= 1u64 << bank;
                 report.spad_accesses += 1;
-                probe.on_spad_access(now, now + cfg.spad.latency, bank);
+                probe.on_spad_access(now, now + cfg.spad.latency, bank, id);
                 complete!(id, now + cfg.spad.latency);
             } else {
-                probe.on_spad_conflict(now, bank);
+                probe.on_spad_conflict(now, bank, id);
                 stash.push(id);
             }
         }
@@ -304,7 +307,7 @@ pub fn try_simulate_probed<P: SimProbe>(
                     report.dram_stream_bytes += bytes;
                     let (bw_done, fin) = dram.transfer(now, bytes);
                     stream_free[dir] = bw_done;
-                    probe.on_stream(now, bw_done, fin, dir, bytes);
+                    probe.on_stream(now, bw_done, fin, dir, bytes, id);
                     complete!(id, fin);
                 }
             }

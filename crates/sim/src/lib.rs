@@ -69,7 +69,8 @@ pub use engine::{
 pub use error::SimError;
 pub use prep::PreparedSim;
 pub use probe::{
-    AttributionProbe, CycleBreakdown, NoProbe, ProbeGeometry, SimProbe, StallKind, TraceRecorder,
+    AttributionProbe, CycleBreakdown, InstBreakdown, NoProbe, ProbeGeometry, SamplingProbe,
+    SimProbe, StallKind, TraceRecorder,
 };
 pub use report::{CacheStats, EnergyReport, SimReport};
 pub use sweep::SweepSession;

@@ -60,9 +60,15 @@ impl ProbeGeometry {
     }
 }
 
+/// Sentinel trace-node id meaning "no node responsible" (used for
+/// representative charging when a cause has no in-flight carrier).
+pub const NO_NODE: u32 = u32::MAX;
+
 /// One cache access as seen by the probe.
 #[derive(Clone, Copy, Debug)]
 pub struct CacheAccessEvent {
+    /// Trace node that issued the access.
+    pub node: u32,
     /// Issue cycle.
     pub now: u64,
     /// Cycle the value is available to dependents.
@@ -101,36 +107,48 @@ pub trait SimProbe {
     /// them from in-flight state.
     #[inline]
     fn on_cycle_start(&mut self, _now: u64) {}
-    /// An FP operation of `_class` issued at `_now`, finishing at `_fin`.
+    /// An FP operation of `_class` (trace node `_node`) issued at `_now`,
+    /// finishing at `_fin`.
     #[inline]
-    fn on_fp_issue(&mut self, _now: u64, _fin: u64, _class: OpClass) {}
-    /// An integer operation issued at `_now`, finishing at `_fin`.
+    fn on_fp_issue(&mut self, _now: u64, _fin: u64, _class: OpClass, _node: u32) {}
+    /// An integer operation (trace node `_node`) issued at `_now`,
+    /// finishing at `_fin`.
     #[inline]
-    fn on_int_issue(&mut self, _now: u64, _fin: u64) {}
+    fn on_int_issue(&mut self, _now: u64, _fin: u64, _node: u32) {}
     /// A cache access issued (or, for `hit == false` after
     /// [`Self::on_mshr_stall`], a stalled miss resolved at the queue head).
     #[inline]
     fn on_cache_access(&mut self, _ev: &CacheAccessEvent) {}
-    /// The memory queue stalled at its head: a demand miss found no free
-    /// MSHR this cycle.
+    /// The memory queue stalled at its head: a demand miss by trace node
+    /// `_node` found no free MSHR this cycle.
     #[inline]
-    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {}
-    /// A scratchpad access was serviced by `_bank`.
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool, _node: u32) {}
+    /// A scratchpad access by trace node `_node` was serviced by `_bank`.
     #[inline]
-    fn on_spad_access(&mut self, _now: u64, _fin: u64, _bank: usize) {}
-    /// A scratchpad access was deferred by a conflict on `_bank`.
+    fn on_spad_access(&mut self, _now: u64, _fin: u64, _bank: usize, _node: u32) {}
+    /// A scratchpad access by trace node `_node` was deferred by a
+    /// conflict on `_bank`.
     #[inline]
-    fn on_spad_conflict(&mut self, _now: u64, _bank: usize) {}
-    /// A stream command started on engine `_dir` (0 = out/FWD-Stream,
-    /// 1 = in/REV-Stream); bandwidth frees at `_bw_done`, data lands at
-    /// `_fin`.
+    fn on_spad_conflict(&mut self, _now: u64, _bank: usize, _node: u32) {}
+    /// A stream command (trace node `_node`) started on engine `_dir`
+    /// (0 = out/FWD-Stream, 1 = in/REV-Stream); bandwidth frees at
+    /// `_bw_done`, data lands at `_fin`.
     #[inline]
-    fn on_stream(&mut self, _now: u64, _bw_done: u64, _fin: u64, _dir: usize, _bytes: u64) {}
-    /// The phase barrier's last dependence completed at `_now`; the
-    /// barrier itself completes at `_at`. The half-open window
-    /// `[_now, _at)` is the FWD→REV drain.
+    fn on_stream(
+        &mut self,
+        _now: u64,
+        _bw_done: u64,
+        _fin: u64,
+        _dir: usize,
+        _bytes: u64,
+        _node: u32,
+    ) {
+    }
+    /// The phase barrier's (trace node `_node`) last dependence completed
+    /// at `_now`; the barrier itself completes at `_at`. The half-open
+    /// window `[_now, _at)` is the FWD→REV drain.
     #[inline]
-    fn on_barrier_ready(&mut self, _now: u64, _at: u64) {}
+    fn on_barrier_ready(&mut self, _now: u64, _at: u64, _node: u32) {}
     /// The phase barrier completed at `_at`.
     #[inline]
     fn on_phase_barrier(&mut self, _at: u64) {}
@@ -171,14 +189,14 @@ impl<A: SimProbe, B: SimProbe> SimProbe for (A, B) {
     forward_both! {
         fn on_start(&mut self, geom: &ProbeGeometry);
         fn on_cycle_start(&mut self, now: u64);
-        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass);
-        fn on_int_issue(&mut self, now: u64, fin: u64);
+        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass, node: u32);
+        fn on_int_issue(&mut self, now: u64, fin: u64, node: u32);
         fn on_cache_access(&mut self, ev: &CacheAccessEvent);
-        fn on_mshr_stall(&mut self, now: u64, is_tape: bool);
-        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize);
-        fn on_spad_conflict(&mut self, now: u64, bank: usize);
-        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64);
-        fn on_barrier_ready(&mut self, now: u64, at: u64);
+        fn on_mshr_stall(&mut self, now: u64, is_tape: bool, node: u32);
+        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize, node: u32);
+        fn on_spad_conflict(&mut self, now: u64, bank: usize, node: u32);
+        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64, node: u32);
+        fn on_barrier_ready(&mut self, now: u64, at: u64, node: u32);
         fn on_phase_barrier(&mut self, at: u64);
         fn on_cycle_end(&mut self, now: u64, queues_busy: bool);
         fn on_finish(&mut self, cycles: u64);
@@ -205,14 +223,14 @@ impl<P: SimProbe> SimProbe for Option<P> {
     forward_some! {
         fn on_start(&mut self, geom: &ProbeGeometry);
         fn on_cycle_start(&mut self, now: u64);
-        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass);
-        fn on_int_issue(&mut self, now: u64, fin: u64);
+        fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass, node: u32);
+        fn on_int_issue(&mut self, now: u64, fin: u64, node: u32);
         fn on_cache_access(&mut self, ev: &CacheAccessEvent);
-        fn on_mshr_stall(&mut self, now: u64, is_tape: bool);
-        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize);
-        fn on_spad_conflict(&mut self, now: u64, bank: usize);
-        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64);
-        fn on_barrier_ready(&mut self, now: u64, at: u64);
+        fn on_mshr_stall(&mut self, now: u64, is_tape: bool, node: u32);
+        fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize, node: u32);
+        fn on_spad_conflict(&mut self, now: u64, bank: usize, node: u32);
+        fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64, node: u32);
+        fn on_barrier_ready(&mut self, now: u64, at: u64, node: u32);
         fn on_phase_barrier(&mut self, at: u64);
         fn on_cycle_end(&mut self, now: u64, queues_busy: bool);
         fn on_finish(&mut self, cycles: u64);
@@ -408,6 +426,56 @@ impl CycleBreakdown {
     }
 }
 
+/// Per-instruction PE-cycle attribution: one [`StallKind`] row per IR
+/// instruction, plus a final *unattributed* row for cycles no instruction
+/// carries (pure idle).
+///
+/// Built by [`AttributionProbe`] in per-inst mode via representative
+/// charging: each cycle's units for a cause are charged to the
+/// earliest-finishing in-flight trace node of that cause, mapped to its
+/// IR instruction. Column sums therefore equal the per-cause totals of
+/// the accompanying [`CycleBreakdown`] *exactly* — the same
+/// `sum == cycles * PEs` budget, split one level finer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InstBreakdown {
+    /// `rows[i]` = PE-cycles charged to instruction `i`, per cause (in
+    /// [`StallKind::ALL`] order); `rows[len-1]` is the unattributed row.
+    pub rows: Vec<[u64; KINDS]>,
+}
+
+impl InstBreakdown {
+    /// Number of instruction rows (excluding the unattributed row).
+    pub fn insts(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+
+    /// PE-cycles charged to instruction `i` for `kind`.
+    pub fn get(&self, i: usize, kind: StallKind) -> u64 {
+        self.rows[i][StallKind::ALL.iter().position(|k| *k == kind).unwrap()]
+    }
+
+    /// Total PE-cycles charged to instruction `i` across all causes.
+    pub fn row_total(&self, i: usize) -> u64 {
+        self.rows[i].iter().sum()
+    }
+
+    /// Verifies that every per-cause column sums exactly to the matching
+    /// total in `bd` — the per-inst refinement loses nothing.
+    pub fn check_against(&self, bd: &CycleBreakdown) -> Result<(), String> {
+        for (ki, kind) in StallKind::ALL.iter().enumerate() {
+            let col: u64 = self.rows.iter().map(|r| r[ki]).sum();
+            if col != bd.units[ki] {
+                return Err(format!(
+                    "per-inst {} column sums to {col}, per-cause total is {}",
+                    kind.key(),
+                    bd.units[ki]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Attributes every simulated PE-cycle to a [`StallKind`].
 ///
 /// FP/INT occupancy is tracked with min-heaps of in-flight finish times
@@ -418,6 +486,10 @@ impl CycleBreakdown {
 /// are attributed in O(#completions) by walking run-lengths between
 /// in-flight finish times, so the probe never makes a long simulation
 /// superlinear.
+///
+/// With [`AttributionProbe::with_inst_map`], the same budget is also
+/// split per IR instruction (see [`InstBreakdown`]); without a map the
+/// per-inst machinery costs nothing.
 #[derive(Debug, Default)]
 pub struct AttributionProbe {
     geom: Option<ProbeGeometry>,
@@ -425,22 +497,42 @@ pub struct AttributionProbe {
     /// the geometry (a driver bug); dropped rather than panicking.
     pre_geometry_drops: u64,
     first_dropped_hook: Option<&'static str>,
-    fp: BinaryHeap<Reverse<u64>>,
-    int: BinaryHeap<Reverse<u64>>,
-    fills_tape: BinaryHeap<Reverse<u64>>,
-    fills_other: BinaryHeap<Reverse<u64>>,
-    streams: BinaryHeap<Reverse<u64>>,
+    fp: BinaryHeap<Reverse<(u64, u32)>>,
+    int: BinaryHeap<Reverse<(u64, u32)>>,
+    fills_tape: BinaryHeap<Reverse<(u64, u32)>>,
+    fills_other: BinaryHeap<Reverse<(u64, u32)>>,
+    streams: BinaryHeap<Reverse<(u64, u32)>>,
     mshr_stalled: bool,
+    mshr_node: u32,
     conflicted: bool,
+    conflict_node: u32,
     barrier_window: Option<(u64, u64)>,
+    barrier_node: u32,
     /// First cycle not yet committed or walked.
     cursor: u64,
     /// The last processed cycle's record, committed at the next cycle
     /// start (or discarded at finish if it lies beyond the final cycle
     /// count — the engine may process one iteration at `cycles` itself
     /// when the final node is a zero-cost sync).
-    pending: Option<(u64, [u64; KINDS], usize)>,
+    pending: Option<(u64, CycleAttr)>,
     bd: CycleBreakdown,
+    per_inst: Option<PerInstState>,
+}
+
+/// One cycle's attribution: units and busy count (as before), plus the
+/// representative trace node per cause ([`NO_NODE`] where unset).
+#[derive(Clone, Copy, Debug)]
+struct CycleAttr {
+    units: [u64; KINDS],
+    busy: usize,
+    reps: [u32; KINDS],
+}
+
+#[derive(Debug)]
+struct PerInstState {
+    /// Trace node id → instruction row.
+    map: Vec<u32>,
+    bd: InstBreakdown,
 }
 
 impl AttributionProbe {
@@ -449,14 +541,43 @@ impl AttributionProbe {
         Self::default()
     }
 
+    /// A probe that additionally splits attribution per IR instruction.
+    /// `node_to_inst[n]` maps trace node `n` to its instruction index;
+    /// `insts` is the instruction count (rows in the result). Nodes that
+    /// map out of range, and causes with no carrier node, land in the
+    /// extra unattributed row.
+    pub fn with_inst_map(node_to_inst: Vec<u32>, insts: usize) -> Self {
+        AttributionProbe {
+            per_inst: Some(PerInstState {
+                map: node_to_inst,
+                bd: InstBreakdown {
+                    rows: vec![[0; KINDS]; insts + 1],
+                },
+            }),
+            ..Self::default()
+        }
+    }
+
     /// The finished breakdown. Meaningful after the simulation ran.
     pub fn breakdown(&self) -> &CycleBreakdown {
         &self.bd
     }
 
+    /// The per-instruction breakdown, if the probe was built with
+    /// [`Self::with_inst_map`]. Meaningful after the simulation ran.
+    pub fn inst_breakdown(&self) -> Option<&InstBreakdown> {
+        self.per_inst.as_ref().map(|p| &p.bd)
+    }
+
     /// Consumes the probe, returning the breakdown.
     pub fn into_breakdown(self) -> CycleBreakdown {
         self.bd
+    }
+
+    /// Consumes the probe, returning the per-cause breakdown and the
+    /// per-instruction refinement (when enabled).
+    pub fn into_parts(self) -> (CycleBreakdown, Option<InstBreakdown>) {
+        (self.bd, self.per_inst.map(|p| p.bd))
     }
 
     fn geom(&self) -> &ProbeGeometry {
@@ -493,7 +614,7 @@ impl AttributionProbe {
             &mut self.fills_other,
             &mut self.streams,
         ] {
-            while h.peek().is_some_and(|Reverse(t)| *t <= c) {
+            while h.peek().is_some_and(|Reverse((t, _))| *t <= c) {
                 h.pop();
             }
         }
@@ -502,42 +623,64 @@ impl AttributionProbe {
     /// Attribution for one cycle from current in-flight state; `flags`
     /// carries the per-cycle MSHR/conflict markers (false on walked
     /// gap cycles, which by definition issued nothing).
-    fn classify(&self, c: u64, mshr: bool, conflict: bool) -> ([u64; KINDS], usize) {
+    fn classify(&self, c: u64, mshr: bool, conflict: bool) -> CycleAttr {
         let g = self.geom();
         let fp_units = (self.fp.len().div_ceil(g.fp_slots_per_pe)).min(g.pes);
         let int_units = (self.int.len().div_ceil(g.int_slots_per_pe)).min(g.pes - fp_units);
         let busy = fp_units + int_units;
         let rest = g.pes - busy;
         let mut units = [0u64; KINDS];
+        let mut reps = [NO_NODE; KINDS];
+        let rep_of =
+            |h: &BinaryHeap<Reverse<(u64, u32)>>| h.peek().map_or(NO_NODE, |Reverse((_, n))| *n);
         units[0] = fp_units as u64; // FpBusy
+        reps[0] = rep_of(&self.fp);
         units[1] = int_units as u64; // IntBusy
+        reps[1] = rep_of(&self.int);
         if rest > 0 {
-            let kind = if mshr {
-                StallKind::MshrStall
+            let (kind, rep) = if mshr {
+                (StallKind::MshrStall, self.mshr_node)
             } else if conflict {
-                StallKind::SpadConflict
+                (StallKind::SpadConflict, self.conflict_node)
             } else if !self.fills_tape.is_empty() {
-                StallKind::TapeMissStall
+                (StallKind::TapeMissStall, rep_of(&self.fills_tape))
             } else if !self.fills_other.is_empty() {
-                StallKind::CacheMissStall
+                (StallKind::CacheMissStall, rep_of(&self.fills_other))
             } else if !self.streams.is_empty() {
-                StallKind::StreamWait
+                (StallKind::StreamWait, rep_of(&self.streams))
             } else if self.barrier_window.is_some_and(|(s, e)| s <= c && c < e) {
-                StallKind::PhaseBarrier
+                (StallKind::PhaseBarrier, self.barrier_node)
             } else {
-                StallKind::Idle
+                (StallKind::Idle, NO_NODE)
             };
             let ki = StallKind::ALL.iter().position(|k| *k == kind).unwrap();
             units[ki] = rest as u64;
+            reps[ki] = rep;
         }
-        (units, busy)
+        CycleAttr { units, busy, reps }
     }
 
-    fn commit_span(&mut self, units: [u64; KINDS], busy: usize, span: u64) {
-        for (acc, u) in self.bd.units.iter_mut().zip(units) {
+    fn commit_span(&mut self, attr: CycleAttr, span: u64) {
+        for (acc, u) in self.bd.units.iter_mut().zip(attr.units) {
             *acc += u * span;
         }
-        self.bd.pe_occupancy[busy] += span;
+        self.bd.pe_occupancy[attr.busy] += span;
+        if let Some(pi) = &mut self.per_inst {
+            let unattr = pi.bd.rows.len() - 1;
+            for (k, &u) in attr.units.iter().enumerate() {
+                if u == 0 {
+                    continue;
+                }
+                let row = match attr.reps[k] {
+                    NO_NODE => unattr,
+                    n => pi
+                        .map
+                        .get(n as usize)
+                        .map_or(unattr, |&r| (r as usize).min(unattr)),
+                };
+                pi.bd.rows[row][k] += u * span;
+            }
+        }
     }
 
     /// Attributes the half-open gap `[from, to)` the engine skipped,
@@ -546,7 +689,7 @@ impl AttributionProbe {
         let mut c = from;
         while c < to {
             self.pop_done(c);
-            let (units, busy) = self.classify(c, false, false);
+            let attr = self.classify(c, false, false);
             let mut nb = to;
             for h in [
                 &self.fp,
@@ -555,7 +698,7 @@ impl AttributionProbe {
                 &self.fills_other,
                 &self.streams,
             ] {
-                if let Some(Reverse(t)) = h.peek() {
+                if let Some(Reverse((t, _))) = h.peek() {
                     nb = nb.min(*t);
                 }
             }
@@ -567,7 +710,7 @@ impl AttributionProbe {
                 }
             }
             let nb = nb.clamp(c + 1, to);
-            self.commit_span(units, busy, nb - c);
+            self.commit_span(attr, nb - c);
             c = nb;
         }
     }
@@ -586,10 +729,10 @@ impl SimProbe for AttributionProbe {
         if !self.started_or_drop("on_cycle_start") {
             return;
         }
-        if let Some((c, units, busy)) = self.pending {
+        if let Some((c, attr)) = self.pending {
             if c < now {
                 self.pending = None;
-                self.commit_span(units, busy, 1);
+                self.commit_span(attr, 1);
                 self.cursor = c + 1;
             }
         }
@@ -599,49 +742,62 @@ impl SimProbe for AttributionProbe {
         }
     }
 
-    fn on_fp_issue(&mut self, _now: u64, fin: u64, _class: OpClass) {
-        self.fp.push(Reverse(fin));
+    fn on_fp_issue(&mut self, _now: u64, fin: u64, _class: OpClass, node: u32) {
+        self.fp.push(Reverse((fin, node)));
     }
 
-    fn on_int_issue(&mut self, _now: u64, fin: u64) {
-        self.int.push(Reverse(fin));
+    fn on_int_issue(&mut self, _now: u64, fin: u64, node: u32) {
+        self.int.push(Reverse((fin, node)));
     }
 
     fn on_cache_access(&mut self, ev: &CacheAccessEvent) {
         if !ev.hit {
             if ev.is_tape {
-                self.fills_tape.push(Reverse(ev.fin));
+                self.fills_tape.push(Reverse((ev.fin, ev.node)));
             } else {
-                self.fills_other.push(Reverse(ev.fin));
+                self.fills_other.push(Reverse((ev.fin, ev.node)));
             }
         }
     }
 
-    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool, node: u32) {
         self.mshr_stalled = true;
+        self.mshr_node = node;
     }
 
-    fn on_spad_access(&mut self, _now: u64, _fin: u64, bank: usize) {
+    fn on_spad_access(&mut self, _now: u64, _fin: u64, bank: usize, _node: u32) {
         if !self.started_or_drop("on_spad_access") {
             return;
         }
         self.bd.bank_accesses[bank] += 1;
     }
 
-    fn on_spad_conflict(&mut self, _now: u64, bank: usize) {
+    fn on_spad_conflict(&mut self, _now: u64, bank: usize, node: u32) {
         if !self.started_or_drop("on_spad_conflict") {
             return;
         }
         self.bd.bank_conflicts[bank] += 1;
+        if !self.conflicted {
+            self.conflict_node = node;
+        }
         self.conflicted = true;
     }
 
-    fn on_stream(&mut self, _now: u64, _bw_done: u64, fin: u64, _dir: usize, _bytes: u64) {
-        self.streams.push(Reverse(fin));
+    fn on_stream(
+        &mut self,
+        _now: u64,
+        _bw_done: u64,
+        fin: u64,
+        _dir: usize,
+        _bytes: u64,
+        node: u32,
+    ) {
+        self.streams.push(Reverse((fin, node)));
     }
 
-    fn on_barrier_ready(&mut self, now: u64, at: u64) {
+    fn on_barrier_ready(&mut self, now: u64, at: u64, node: u32) {
         self.barrier_window = Some((now, at));
+        self.barrier_node = node;
     }
 
     fn on_cycle_end(&mut self, now: u64, _queues_busy: bool) {
@@ -649,19 +805,19 @@ impl SimProbe for AttributionProbe {
             return;
         }
         self.pop_done(now);
-        let (units, busy) = self.classify(now, self.mshr_stalled, self.conflicted);
+        let attr = self.classify(now, self.mshr_stalled, self.conflicted);
         self.mshr_stalled = false;
         self.conflicted = false;
-        self.pending = Some((now, units, busy));
+        self.pending = Some((now, attr));
     }
 
     fn on_finish(&mut self, cycles: u64) {
         if !self.started_or_drop("on_finish") {
             return;
         }
-        if let Some((c, units, busy)) = self.pending.take() {
+        if let Some((c, attr)) = self.pending.take() {
             if c < cycles {
-                self.commit_span(units, busy, 1);
+                self.commit_span(attr, 1);
                 self.cursor = c + 1;
             } else {
                 self.cursor = self.cursor.max(c);
@@ -673,6 +829,9 @@ impl SimProbe for AttributionProbe {
         }
         self.bd.cycles = cycles;
         debug_assert_eq!(self.bd.check(), Ok(()));
+        if let Some(pi) = &self.per_inst {
+            debug_assert_eq!(pi.bd.check_against(&self.bd), Ok(()));
+        }
     }
 }
 
@@ -838,7 +997,7 @@ impl SimProbe for TraceRecorder {
         }
     }
 
-    fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass) {
+    fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass, _node: u32) {
         if self.geom_or_drop("on_fp_issue").is_none() {
             return;
         }
@@ -854,7 +1013,7 @@ impl SimProbe for TraceRecorder {
         self.slice(lane as u64, name, now, fin - now, None);
     }
 
-    fn on_int_issue(&mut self, now: u64, fin: u64) {
+    fn on_int_issue(&mut self, now: u64, fin: u64, _node: u32) {
         if self.geom_or_drop("on_int_issue").is_none() {
             return;
         }
@@ -887,25 +1046,25 @@ impl SimProbe for TraceRecorder {
         );
     }
 
-    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool) {
+    fn on_mshr_stall(&mut self, _now: u64, _is_tape: bool, _node: u32) {
         self.mshr_pending = true;
     }
 
-    fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize) {
+    fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize, _node: u32) {
         let Some(g) = self.geom_or_drop("on_spad_access") else {
             return;
         };
         self.slice(Self::tid_bank(&g, bank), "spad", now, fin - now, None);
     }
 
-    fn on_spad_conflict(&mut self, now: u64, bank: usize) {
+    fn on_spad_conflict(&mut self, now: u64, bank: usize, _node: u32) {
         let Some(g) = self.geom_or_drop("on_spad_conflict") else {
             return;
         };
         self.instant(Self::tid_bank(&g, bank), "bank conflict", now, "t");
     }
 
-    fn on_stream(&mut self, now: u64, _bw_done: u64, fin: u64, dir: usize, bytes: u64) {
+    fn on_stream(&mut self, now: u64, _bw_done: u64, fin: u64, dir: usize, bytes: u64, _node: u32) {
         let Some(g) = self.geom_or_drop("on_stream") else {
             return;
         };
@@ -917,6 +1076,164 @@ impl SimProbe for TraceRecorder {
 
     fn on_phase_barrier(&mut self, at: u64) {
         self.instant(0, "phase barrier", at, "p");
+    }
+}
+
+/// A timeline recorder with deterministic 1-in-N window sampling, for
+/// `--trace-out` at scales where a full [`TraceRecorder`] timeline would
+/// not fit in memory.
+///
+/// Time is cut into fixed windows of `window` cycles; every `stride`-th
+/// window (the ones where `(cycle / window) % stride == 0`, starting with
+/// window 0) is recorded in full, the rest are skipped. The schedule is a
+/// pure function of the cycle number — fixed stride, no host RNG — so two
+/// runs of the same simulation sample identical slices and the rendered
+/// trace is byte-stable. Memory is bounded by construction to roughly a
+/// `1/stride` fraction of the full timeline.
+///
+/// Skipped-window events are dropped at the hook, before any allocation.
+/// Phase-barrier markers are always kept (there is at most one), and the
+/// rendered trace carries a `sampling` metadata instant naming the
+/// window, stride and recorded fraction.
+#[derive(Debug)]
+pub struct SamplingProbe {
+    inner: TraceRecorder,
+    window: u64,
+    stride: u64,
+    /// Final cycle count, set at [`SimProbe::on_finish`].
+    cycles: u64,
+}
+
+impl SamplingProbe {
+    /// A sampling recorder labelling its process `name` with trace `pid`.
+    /// `window` is the slice length in cycles; `stride` records one
+    /// window in every `stride` (both clamped to at least 1 — a stride
+    /// of 1 degenerates to a full [`TraceRecorder`]).
+    pub fn new(pid: u64, name: impl Into<String>, window: u64, stride: u64) -> Self {
+        SamplingProbe {
+            inner: TraceRecorder::new(pid, name),
+            window: window.max(1),
+            stride: stride.max(1),
+            cycles: 0,
+        }
+    }
+
+    #[inline]
+    fn sampled(&self, now: u64) -> bool {
+        (now / self.window).is_multiple_of(self.stride)
+    }
+
+    /// Cycles covered by recorded windows in `[0, cycles)`.
+    fn recorded_cycles(&self, cycles: u64) -> u64 {
+        let full_periods = cycles / (self.window * self.stride);
+        let mut rec = full_periods * self.window;
+        let rem = cycles % (self.window * self.stride);
+        rec += rem.min(self.window);
+        rec
+    }
+
+    /// Fraction of simulated cycles that fell in recorded windows
+    /// (`1.0` for stride 1; meaningful after the simulation ran).
+    pub fn recorded_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        self.recorded_cycles(self.cycles) as f64 / self.cycles as f64
+    }
+
+    /// The recorded events, with a `sampling` metadata instant appended
+    /// (window, stride, recorded fraction).
+    pub fn into_events(self) -> Vec<Value> {
+        let mut args = Value::object();
+        args.set("window_cycles", self.window)
+            .set("stride", self.stride)
+            .set("recorded_fraction", self.recorded_fraction());
+        let mut e = Value::object();
+        e.set("name", "sampling")
+            .set("ph", "i")
+            .set("ts", 0u64)
+            .set("pid", self.inner.pid)
+            .set("tid", 0u64)
+            .set("s", "p");
+        e.set("args", args);
+        let mut events = self.inner.into_events();
+        events.push(e);
+        events
+    }
+
+    /// Wraps sampling recorders into one Chrome trace-event document
+    /// (same envelope as [`TraceRecorder::chrome_trace`]).
+    pub fn chrome_trace(parts: impl IntoIterator<Item = SamplingProbe>) -> Value {
+        let mut events = Vec::new();
+        for p in parts {
+            events.extend(p.into_events());
+        }
+        let mut doc = Value::object();
+        doc.set("displayTimeUnit", "ns")
+            .set("traceEvents", Value::Arr(events));
+        doc
+    }
+}
+
+impl SimProbe for SamplingProbe {
+    fn on_start(&mut self, geom: &ProbeGeometry) {
+        self.inner.on_start(geom);
+    }
+
+    fn on_fp_issue(&mut self, now: u64, fin: u64, class: OpClass, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_fp_issue(now, fin, class, node);
+        }
+    }
+
+    fn on_int_issue(&mut self, now: u64, fin: u64, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_int_issue(now, fin, node);
+        }
+    }
+
+    fn on_cache_access(&mut self, ev: &CacheAccessEvent) {
+        if self.sampled(ev.now) {
+            self.inner.on_cache_access(ev);
+        }
+    }
+
+    fn on_mshr_stall(&mut self, now: u64, is_tape: bool, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_mshr_stall(now, is_tape, node);
+        } else {
+            // Keep the miss/stall pairing consistent: a stall marker from
+            // a skipped window must not re-label the next sampled miss.
+            self.inner.mshr_pending = false;
+        }
+    }
+
+    fn on_spad_access(&mut self, now: u64, fin: u64, bank: usize, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_spad_access(now, fin, bank, node);
+        }
+    }
+
+    fn on_spad_conflict(&mut self, now: u64, bank: usize, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_spad_conflict(now, bank, node);
+        }
+    }
+
+    fn on_stream(&mut self, now: u64, bw_done: u64, fin: u64, dir: usize, bytes: u64, node: u32) {
+        if self.sampled(now) {
+            self.inner.on_stream(now, bw_done, fin, dir, bytes, node);
+        }
+    }
+
+    fn on_phase_barrier(&mut self, at: u64) {
+        // Always kept: a single instant, and the FWD→REV boundary is the
+        // one landmark a sampled timeline must not lose.
+        self.inner.on_phase_barrier(at);
+    }
+
+    fn on_finish(&mut self, cycles: u64) {
+        self.cycles = cycles;
     }
 }
 
@@ -1049,6 +1366,50 @@ mod tests {
     }
 
     #[test]
+    fn per_inst_columns_sum_to_per_cause_totals() {
+        let cfg = SystemConfig::with_cache_bytes(1024);
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 64 * 8, ArrayKind::Input, Scalar::F64);
+        b.for_loop("i", 0, 64, |b, i| {
+            let eight = b.i64(8);
+            let idx = b.imul(i, eight);
+            let v = b.load(x, idx);
+            let _ = b.exp(v);
+        });
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let map: Vec<u32> = trace
+            .nodes()
+            .iter()
+            .map(|n| n.inst.index() as u32)
+            .collect();
+        let mut probe = AttributionProbe::with_inst_map(map, f.insts().len());
+        let r = simulate_probed(&trace, &cfg, &SimOptions::default(), &mut probe);
+        let (bd, pi) = probe.into_parts();
+        let pi = pi.expect("per-inst mode on");
+        bd.check().unwrap();
+        pi.check_against(&bd).unwrap();
+        assert_eq!(bd.cycles, r.cycles);
+        assert_eq!(pi.insts(), f.insts().len());
+        // The load instruction carries the miss stalls.
+        let loads: u64 = (0..pi.insts())
+            .filter(|&i| {
+                matches!(
+                    f.inst(tapeflow_ir::InstId::new(i)).op,
+                    tapeflow_ir::Op::Load(_)
+                )
+            })
+            .map(|i| pi.get(i, StallKind::CacheMissStall) + pi.get(i, StallKind::MshrStall))
+            .sum();
+        assert!(loads > 0, "miss stalls must land on the load inst: {pi:?}");
+        // Per-cause totals are byte-identical to a plain probe's.
+        let mut plain = AttributionProbe::new();
+        simulate_probed(&trace, &cfg, &SimOptions::default(), &mut plain);
+        assert_eq!(plain.into_breakdown(), bd);
+    }
+
+    #[test]
     fn breakdown_json_round_trips() {
         let cfg = SystemConfig::default();
         let (_, bd) = run_probed(
@@ -1072,6 +1433,7 @@ mod tests {
         // the offending hook named.
         let mut rec = TraceRecorder::new(1, "early");
         rec.on_cache_access(&CacheAccessEvent {
+            node: 0,
             now: 0,
             fin: 2,
             port: 0,
@@ -1080,11 +1442,11 @@ mod tests {
             is_rev: false,
             is_write: false,
         });
-        rec.on_fp_issue(0, 3, OpClass::FpAlu);
-        rec.on_int_issue(0, 1);
-        rec.on_spad_access(0, 1, 0);
-        rec.on_spad_conflict(0, 0);
-        rec.on_stream(0, 1, 2, 0, 64);
+        rec.on_fp_issue(0, 3, OpClass::FpAlu, 0);
+        rec.on_int_issue(0, 1, 0);
+        rec.on_spad_access(0, 1, 0, 0);
+        rec.on_spad_conflict(0, 0, 0);
+        rec.on_stream(0, 1, 2, 0, 64, 0);
         let (hook, n) = rec.pre_geometry_drops().expect("drops recorded");
         assert_eq!(hook, "on_cache_access", "first offending hook named");
         assert_eq!(n, 6);
@@ -1107,7 +1469,7 @@ mod tests {
         let cfg = SystemConfig::default();
         let mut rec = TraceRecorder::new(1, "ok");
         rec.on_start(&ProbeGeometry::of(&cfg, false));
-        rec.on_fp_issue(0, 3, OpClass::FpAlu);
+        rec.on_fp_issue(0, 3, OpClass::FpAlu, 0);
         assert_eq!(rec.pre_geometry_drops(), None);
         let events = rec.into_events();
         assert!(events
@@ -1119,14 +1481,62 @@ mod tests {
     fn attribution_probe_survives_events_before_geometry() {
         let mut p = AttributionProbe::new();
         p.on_cycle_start(3);
-        p.on_spad_access(3, 4, 0);
-        p.on_spad_conflict(3, 1);
+        p.on_spad_access(3, 4, 0, 0);
+        p.on_spad_conflict(3, 1, 0);
         p.on_cycle_end(3, true);
         p.on_finish(5);
         let (hook, n) = p.pre_geometry_drops().expect("drops recorded");
         assert_eq!(hook, "on_cycle_start");
         assert_eq!(n, 5);
         assert_eq!(p.breakdown().attributed(), 0, "nothing was attributed");
+    }
+
+    #[test]
+    fn sampling_probe_is_deterministic_and_bounded() {
+        let cfg = SystemConfig::with_cache_bytes(1024);
+        let mut b = FunctionBuilder::new("t");
+        let x = b.array("x", 256 * 8, ArrayKind::Input, Scalar::F64);
+        b.for_loop("i", 0, 256, |b, i| {
+            let eight = b.i64(8);
+            let idx = b.imul(i, eight);
+            let v = b.load(x, idx);
+            let _ = b.exp(v);
+        });
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let run = |window, stride| {
+            let mut p = SamplingProbe::new(1, "s", window, stride);
+            simulate_probed(&trace, &cfg, &SimOptions::default(), &mut p);
+            let frac = p.recorded_fraction();
+            (SamplingProbe::chrome_trace([p]).render(), frac)
+        };
+        let (full, frac_full) = run(64, 1);
+        let (a, frac_a) = run(64, 8);
+        let (b2, _) = run(64, 8);
+        assert_eq!(a, b2, "sampling schedule must be deterministic");
+        assert!(frac_full == 1.0, "stride 1 records everything: {frac_full}");
+        assert!(
+            frac_a < 0.5,
+            "1-in-8 sampling records a small fraction: {frac_a}"
+        );
+        assert!(
+            a.len() < full.len(),
+            "sampled trace must be smaller ({} vs {})",
+            a.len(),
+            full.len()
+        );
+        // The sampled document is still a well-formed trace with the
+        // sampling marker.
+        let doc = Value::parse(&a).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let marker = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("sampling"))
+            .expect("sampling metadata instant");
+        let args = marker.get("args").unwrap();
+        assert_eq!(args.get("stride").unwrap().as_u64(), Some(8));
+        assert_eq!(args.get("window_cycles").unwrap().as_u64(), Some(64));
     }
 
     #[test]

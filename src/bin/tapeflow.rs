@@ -13,7 +13,9 @@
 //!                    [--cache-bytes N] [--spad-bytes N]   Enzyme vs Tapeflow
 //! tapeflow profile   FILE --wrt a,b --loss l      simulate with the cycle-attribution
 //!                    [--trace-out trace.json]         probe: stall-breakdown table,
-//!                                                     per-pass IR deltas, Chrome trace
+//!                    [--by-inst] [--top N]            per-pass IR deltas, Chrome trace;
+//!                    [--flame-out f.folded]           --by-inst adds source-attributed
+//!                    [--sample N]                     hot-spot tables + flamegraph
 //! tapeflow lint      FILE|NAME [--json PATH]      static tape-safety / scratchpad /
 //!                                                     stream-schedule analysis; exit 1
 //!                                                     on any error-severity finding
@@ -38,6 +40,21 @@
 //! table, and with `--trace-out FILE.json` writes a Chrome trace-event
 //! timeline (one track per PE, cache port, stream engine and scratchpad
 //! bank) loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! `profile --by-inst` splits the same budget per IR instruction
+//! (column sums stay exactly equal to the per-cause totals) and resolves
+//! each instruction through the provenance chain the compiler passes
+//! maintain — source op, tape region, layer, creating/rewriting pass —
+//! into per-variant hot-spot tables (`--top N` rows). `--flame-out
+//! FILE.folded` writes the same rollup as collapsed flamegraph stacks
+//! (`variant;region;layer;source;op count` — render with inferno,
+//! flamegraph.pl or speedscope). `--sample N` records the `--trace-out`
+//! timeline in 1-in-N windows of 256 cycles (deterministic fixed-stride
+//! schedule, no RNG), bounding trace memory at `--scale large`; the
+//! phase barrier is always kept and a `sampling` metadata instant names
+//! the recorded fraction. Output paths are validated up front — an
+//! unwritable `--trace-out`/`--json`/`--flame-out` is a usage error
+//! (exit 2) before the simulation runs, not a panic after it.
 //!
 //! `simulate` and `profile` default to the event-driven simulator core;
 //! `--engine legacy` selects the scalar per-cycle reference engine
@@ -66,7 +83,7 @@
 
 use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
-use tapeflow::bench::hostperf;
+use tapeflow::bench::{attr, hostperf};
 use tapeflow::benchmarks::{self, Benchmark, Scale};
 use tapeflow::core::compress::TapeEncoding;
 use tapeflow::core::pipeline::{
@@ -78,9 +95,13 @@ use tapeflow::ir::trace::{trace_function, TraceOptions};
 use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Op, Scalar};
 use tapeflow::sim::json::Value;
 use tapeflow::sim::{
-    try_simulate_probed_with, AttributionProbe, CycleBreakdown, Engine, NoProbe, SimOptions,
-    SimReport, StallKind, SystemConfig, TraceRecorder,
+    try_simulate_probed_with, AttributionProbe, CycleBreakdown, Engine, NoProbe, SamplingProbe,
+    SimOptions, SimReport, StallKind, SystemConfig, TraceRecorder,
 };
+
+/// Timeline slice length for `profile --sample N`: every `N`-th window
+/// of this many cycles is recorded in full.
+const SAMPLE_WINDOW: u64 = 256;
 
 struct Args {
     file: String,
@@ -101,6 +122,10 @@ struct Args {
     scale: Scale,
     engine: Engine,
     repeats: usize,
+    by_inst: bool,
+    top: usize,
+    sample: Option<u64>,
+    flame_out: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -112,6 +137,7 @@ fn usage() -> ExitCode {
          [--policy minimal|conservative|all] \
          [--passes a,b,c] [--print-after-all] [--time-passes] [--lint-after-all] \
          [--scale tiny|small|large] [--engine event|legacy] [--repeats N] \
+         [--by-inst] [--top N] [--sample N] [--flame-out PATH] \
          [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
@@ -138,6 +164,10 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         scale: Scale::default(),
         engine: Engine::default(),
         repeats: 5,
+        by_inst: false,
+        top: 10,
+        sample: None,
+        flame_out: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -168,6 +198,25 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--passes" => {
                 let v = argv.next().ok_or("--passes needs a comma-separated list")?;
                 args.passes = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--by-inst" => args.by_inst = true,
+            "--top" => {
+                args.top = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--top needs a positive number")?;
+            }
+            "--sample" => {
+                args.sample = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--sample needs a positive stride")?,
+                );
+            }
+            "--flame-out" => {
+                args.flame_out = Some(argv.next().ok_or("--flame-out needs a path")?);
             }
             "--print-after-all" => args.print_after_all = true,
             "--time-passes" => args.time_passes = true,
@@ -549,9 +598,35 @@ fn render_pass_deltas(report: &PipelineReport) -> String {
     out
 }
 
+/// Fails fast when an output path cannot be created or appended to, so
+/// a long simulation never runs just to die on the final write. The
+/// probe file survives (empty or with its old content intact) and is
+/// overwritten by the real emit. A `-` path is never written.
+fn check_writable(flag: &str, path: &str) -> Result<(), String> {
+    if path == "-" {
+        return Ok(());
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map(drop)
+        .map_err(|e| format!("{flag} {path}: not writable: {e}"))
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut argv = std::env::args().skip(1);
     let (cmd, args) = parse_args(&mut argv)?;
+    if matches!(args.engine, Engine::Legacy) {
+        // Deprecation path: the scalar reference engine only survives to
+        // cross-validate the event core (see DESIGN.md, "Legacy engine
+        // removal plan"). Reports are byte-identical either way.
+        eprintln!(
+            "tapeflow: warning: --engine legacy is deprecated and will be \
+             removed once the event engine's equivalence suite has covered \
+             a full release cycle; see DESIGN.md for the removal plan"
+        );
+    }
     if cmd == "passes" {
         for (name, desc) in registered_passes() {
             println!("{name:<13} {desc}");
@@ -713,22 +788,35 @@ fn run() -> Result<ExitCode, String> {
             }
         }
         "profile" => {
+            // Output paths are validated before anything expensive runs:
+            // a typo'd directory is a usage error (exit 2), not a panic
+            // after a minutes-long Large-scale simulation.
+            for (flag, path) in [
+                ("--trace-out", args.trace_out.as_deref()),
+                ("--json", args.json.as_deref()),
+                ("--flame-out", args.flame_out.as_deref()),
+            ] {
+                if let Some(p) = path {
+                    check_writable(flag, p)?;
+                }
+            }
+            let by_inst = args.by_inst || args.flame_out.is_some();
             let (opts, setup) = compile_variants(&args, &input)?;
             let base = base_memory(&input);
             let cfg = SystemConfig::with_cache_bytes(args.cache_bytes);
-            let mut rows: Vec<(&str, SimReport, CycleBreakdown)> = Vec::new();
-            let mut recorders: Vec<TraceRecorder> = Vec::new();
-            for (pid, (label, f, barrier)) in [
+            let variants = [
                 ("Enzyme", &setup.grad.func, setup.grad.phase_barrier),
                 (
                     "Tapeflow",
                     &setup.compiled.func,
                     setup.compiled.phase_barrier,
                 ),
-            ]
-            .into_iter()
-            .enumerate()
-            {
+            ];
+            let mut rows: Vec<(&str, SimReport, CycleBreakdown)> = Vec::new();
+            let mut inst_rows: Vec<Vec<attr::InstAttr>> = Vec::new();
+            let mut recorders: Vec<TraceRecorder> = Vec::new();
+            let mut samplers: Vec<SamplingProbe> = Vec::new();
+            for (pid, (label, f, barrier)) in variants.iter().copied().enumerate() {
                 let mut mem = variant_memory(&func, f, &base, &setup.grad, &opts);
                 let trace = trace_function(
                     f,
@@ -738,11 +826,21 @@ fn run() -> Result<ExitCode, String> {
                     },
                 )
                 .map_err(|e| e.to_string())?;
-                let recorder = args
-                    .trace_out
-                    .as_ref()
-                    .map(|_| TraceRecorder::new(pid as u64 + 1, label));
-                let mut probe = (AttributionProbe::new(), recorder);
+                let attr_probe = if by_inst {
+                    // The trace is the node → instruction back-map; the
+                    // probe splits the same PE-cycle budget one level
+                    // finer along it.
+                    AttributionProbe::with_inst_map(attr::node_to_inst(&trace), f.insts().len())
+                } else {
+                    AttributionProbe::new()
+                };
+                let recorder = (args.trace_out.is_some() && args.sample.is_none())
+                    .then(|| TraceRecorder::new(pid as u64 + 1, label));
+                let sampler =
+                    args.trace_out.as_ref().and(args.sample).map(|stride| {
+                        SamplingProbe::new(pid as u64 + 1, label, SAMPLE_WINDOW, stride)
+                    });
+                let mut probe = (attr_probe, (recorder, sampler));
                 let r = try_simulate_probed_with(
                     args.engine,
                     &trace,
@@ -751,41 +849,100 @@ fn run() -> Result<ExitCode, String> {
                     &mut probe,
                 )
                 .map_err(|e| e.to_string())?;
-                let (attr, recorder) = probe;
-                let bd = attr.into_breakdown();
+                let (attr_probe, (recorder, sampler)) = probe;
+                let (bd, inst_bd) = attr_probe.into_parts();
                 bd.check()
                     .map_err(|e| format!("{label}: cycle attribution broke its invariant: {e}"))?;
+                if let Some(ib) = inst_bd {
+                    ib.check_against(&bd).map_err(|e| {
+                        format!("{label}: per-inst attribution broke its invariant: {e}")
+                    })?;
+                    inst_rows.push(attr::resolve(f, Some(&func), &ib));
+                }
                 recorders.extend(recorder);
+                samplers.extend(sampler);
                 rows.push((label, r, bd));
             }
             print!("{}", render_stall_table(&rows));
+            if by_inst {
+                for (i, (label, _, bd)) in rows.iter().enumerate() {
+                    print!(
+                        "{}",
+                        attr::render_hot_spots(label, &inst_rows[i], bd.total_units(), args.top)
+                    );
+                }
+            }
             print!("{}", render_pass_deltas(&setup.report));
             println!("speedup {:.2}x", rows[1].1.speedup_over(&rows[0].1));
+            if let Some(path) = &args.flame_out {
+                let mut lines = Vec::new();
+                for (i, (label, _, _)) in rows.iter().enumerate() {
+                    lines.extend(attr::flame_lines(label, &inst_rows[i]));
+                }
+                std::fs::write(path, lines.join("\n") + "\n")
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "// collapsed-stack flamegraph: {path} \
+                     (render with inferno, flamegraph.pl or speedscope)"
+                );
+            }
+            let sample_fractions: Vec<f64> =
+                samplers.iter().map(|s| s.recorded_fraction()).collect();
             if let Some(path) = &args.trace_out {
-                let doc = TraceRecorder::chrome_trace(recorders);
+                let doc = if args.sample.is_some() {
+                    SamplingProbe::chrome_trace(samplers)
+                } else {
+                    TraceRecorder::chrome_trace(recorders)
+                };
                 std::fs::write(path, doc.render())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!(
                     "// chrome trace: {path} (load in chrome://tracing or https://ui.perfetto.dev)"
                 );
+                if let Some(stride) = args.sample {
+                    eprintln!(
+                        "// sampled timeline: 1 in {stride} windows of {SAMPLE_WINDOW} cycles \
+                         ({:.1}% / {:.1}% of cycles recorded)",
+                        sample_fractions[0] * 100.0,
+                        sample_fractions[1] * 100.0
+                    );
+                }
             }
             if let Some(path) = &args.json {
                 let mut doc = Value::object();
-                let variant = |row: &(&str, SimReport, CycleBreakdown)| {
+                let variant = |i: usize| {
+                    let row = &rows[i];
                     let mut v = Value::object();
                     v.set("report", row.1.to_json())
-                        .set("stalls", row.2.to_json());
+                        .set("stalls", row.2.to_json())
+                        .set("provenance", attr::provenance_json(variants[i].1));
+                    if by_inst {
+                        v.set(
+                            "insts",
+                            Value::Arr(attr::rows_json(&inst_rows[i], args.top)),
+                        );
+                    }
                     v
                 };
-                doc.set("schema", "tapeflow.cli.profile/v1")
+                doc.set("schema", "tapeflow.cli.profile/v2")
                     .set("cache_bytes", args.cache_bytes)
                     .set("spad_bytes", args.spad_bytes)
                     .set("passes", Value::Arr(passes_json(&setup.report.records)));
                 if let Some(enc) = &setup.compiled.encoding {
                     doc.set("compression", compression_json(enc));
                 }
-                doc.set("enzyme", variant(&rows[0]))
-                    .set("tapeflow", variant(&rows[1]))
+                if let Some(stride) = args.sample {
+                    let mut s = Value::object();
+                    s.set("stride", stride)
+                        .set("window_cycles", SAMPLE_WINDOW)
+                        .set(
+                            "recorded_fraction",
+                            Value::Arr(sample_fractions.iter().map(|&f| Value::from(f)).collect()),
+                        );
+                    doc.set("sample", s);
+                }
+                doc.set("enzyme", variant(0))
+                    .set("tapeflow", variant(1))
                     .set("speedup", rows[1].1.speedup_over(&rows[0].1));
                 std::fs::write(path, doc.render())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
