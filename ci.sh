@@ -164,20 +164,59 @@ cargo run --release --bin tapeflow -- \
 python3 - target/ci/BENCH_host_perf.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "tapeflow.bench.host_perf/v1", doc.get("schema")
+assert doc["schema"] == "tapeflow.bench.host_perf/v2", doc.get("schema")
+host = doc["host"]
+assert host["logical_cpus"] > 0 and host["rustc"] and host["jobs"] > 0, host
 assert doc["ladder_bytes"] and doc["ladder_bytes"] == sorted(doc["ladder_bytes"], reverse=True)
 assert len(doc["benchmarks"]) == 9, len(doc["benchmarks"])
 for b in doc["benchmarks"]:
     for sweep in ("cache_ladder", "mixed_sweep"):
         s = b[sweep]
         assert s["configs"] > 0 and s["sim_cycles"] > 0, (b["name"], sweep)
+        assert 0 < s["trace_groups"] <= s["configs"], (b["name"], sweep)
         for eng in ("event", "legacy"):
             e = s["engines"][eng]
             assert e["seconds"] > 0 and e["sim_cycles_per_sec"] > 0, (b["name"], sweep, eng)
         assert s["speedup"] > 0, (b["name"], sweep)
     assert b["cache_ladder"]["configs"] == len(doc["ladder_bytes"])
+    assert b["cache_ladder"]["trace_groups"] == 1, b["name"]
+    assert b["mixed_sweep"]["trace_groups"] > 1, b["name"]
 assert doc["geomean_ladder_speedup"] > 0 and doc["geomean_mixed_speedup"] > 0
 EOF
+# The checked-in reference records a real run's throughput; its
+# deterministic skeleton (schema, configs, trace groups, cycle totals)
+# must match what this tree produces. Compare both sides wall-scrubbed:
+# the fresh run via --stable-json, the reference via the same scrub
+# applied in flight.
+cargo run --release --bin tapeflow -- \
+    bench-host --scale tiny --repeats 1 --stable-json \
+    --json target/ci/BENCH_host_perf_stable.json > /dev/null
+python3 - results/BENCH_host_perf.json target/ci/BENCH_host_perf_stable.json <<'EOF'
+import json, sys
+ref, fresh = (json.load(open(p)) for p in sys.argv[1:3])
+ref["host"] = {"logical_cpus": 0, "rustc": "", "opt_level": "", "jobs": 0}
+for b in ref["benchmarks"]:
+    for sweep in ("cache_ladder", "mixed_sweep"):
+        s = b[sweep]
+        s["speedup"] = 0.0
+        for e in s["engines"].values():
+            e["seconds"] = 0.0
+            e["sim_cycles_per_sec"] = 0.0
+ref["geomean_ladder_speedup"] = ref["geomean_mixed_speedup"] = 0.0
+assert ref == fresh, "results/BENCH_host_perf.json skeleton drifted; re-bless with: " \
+    "cargo run --release --bin tapeflow -- bench-host --scale tiny --repeats 15 " \
+    "--json results/BENCH_host_perf.json"
+EOF
+# The subset/parallel/stable path: a two-benchmark run on two workers
+# must produce a byte-reproducible document under --stable-json (wall
+# and host fields zeroed, deterministic structure identical run to run).
+cargo run --release --bin tapeflow -- \
+    bench-host --scale tiny --repeats 1 --benchmarks gravity,logsum --jobs 2 \
+    --stable-json --json target/ci/BENCH_host_perf_stable_a.json > /dev/null
+cargo run --release --bin tapeflow -- \
+    bench-host --scale tiny --repeats 1 --benchmarks gravity,logsum --jobs 2 \
+    --stable-json --json target/ci/BENCH_host_perf_stable_b.json > /dev/null
+diff -q target/ci/BENCH_host_perf_stable_a.json target/ci/BENCH_host_perf_stable_b.json
 
 echo "== experiments regression (tiny scale, stable JSON) =="
 # Regenerate the machine-readable results at tiny scale with every

@@ -186,7 +186,7 @@ fn main() {
             // zeroed — only the structure and simulated-cycle totals
             // stay, which are deterministic.
             let start = std::time::Instant::now();
-            let results = hostperf::measure(scale, 1);
+            let results = hostperf::measure(scale, 1, jobs);
             eprintln!(
                 "[host-perf sweep done in {:.1}s; geomean speedup {:.2}x]",
                 start.elapsed().as_secs_f64(),
@@ -194,7 +194,7 @@ fn main() {
             );
             doc.set(
                 "host_perf",
-                hostperf::host_perf_json(&results, scale, stable_json),
+                hostperf::host_perf_json(&results, scale, &hostperf::host_meta(jobs), stable_json),
             );
         }
         doc.set(

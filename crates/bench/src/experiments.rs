@@ -4,10 +4,10 @@
 //! plots; `EXPERIMENTS.md` records a reference run against the paper's
 //! numbers.
 
-use crate::harness::{geomean, sys_for, Config, Prepared};
+use crate::harness::{geomean, sys_for, Config, Prepared, SweepPlanner};
 use crate::pool;
 use crate::table::{kib, pct, ratio, Table};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 use tapeflow_benchmarks::{by_name, Benchmark, Scale, NAMES};
 use tapeflow_ir::analysis;
@@ -230,8 +230,15 @@ impl Lab {
                 }
             }
         });
-        // Stages 3+4: one read-only simulation fan-out over registry and
-        // variant states alike, then a serial, order-fixed memo fill.
+        // Stage 3: bucket the remaining work per owning state and
+        // record flavor, build one [`SweepPlanner`] per bucket (which
+        // groups units by trace identity — one generalized sweep
+        // session per trace group, so same-trace configurations replay
+        // each other's outcome streams instead of re-running cold), and
+        // fan the planners out over the pool. Stage 4 fills the memo
+        // serially in a fixed order; reports are byte-identical to the
+        // old cold per-item fan-out (the session contract).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
         enum Slot {
             Registry(usize),
             Variant(usize),
@@ -253,16 +260,49 @@ impl Lab {
             }
         };
         work.retain(|(slot, it)| !state_of(slot).has_sim(&it.config, &it.sys, it.record));
-        let reports = pool::map_parallel(&work, self.jobs, |_, (slot, it)| {
-            state_of(slot).sim_uncached(&it.config, &it.sys, it.record)
-        });
-        for ((slot, it), report) in work.iter().zip(reports) {
-            let Some(report) = report else { continue };
-            let state = match slot {
-                Slot::Registry(bi) => &mut self.prepared[*bi],
-                Slot::Variant(vi) => self.variants[*vi].1.as_mut().expect("filtered above"),
-            };
-            state.insert_sim(&it.config, &it.sys, it.record, report);
+        struct Bucket {
+            slot: Slot,
+            record: bool,
+            /// Indices into `work`, in work order (= planner unit order).
+            members: Vec<usize>,
+            units: Vec<(Config, SystemConfig)>,
+        }
+        let mut bucket_of: HashMap<(Slot, bool), usize> = HashMap::new();
+        let mut buckets: Vec<Bucket> = Vec::new();
+        for (wi, (slot, it)) in work.iter().enumerate() {
+            let bi = *bucket_of.entry((*slot, it.record)).or_insert_with(|| {
+                buckets.push(Bucket {
+                    slot: *slot,
+                    record: it.record,
+                    members: Vec::new(),
+                    units: Vec::new(),
+                });
+                buckets.len() - 1
+            });
+            buckets[bi].members.push(wi);
+            buckets[bi].units.push((it.config, it.sys));
+        }
+        let planners: Vec<SweepPlanner> = buckets
+            .iter()
+            .map(|b| {
+                let state = match b.slot {
+                    Slot::Registry(bi) => &mut self.prepared[bi],
+                    Slot::Variant(vi) => self.variants[vi].1.as_mut().expect("filtered above"),
+                };
+                SweepPlanner::new(state, &b.units, b.record)
+            })
+            .collect();
+        let per_bucket = pool::map_parallel(&planners, self.jobs, |_, planner| planner.run());
+        for (b, reports) in buckets.iter().zip(per_bucket) {
+            for (&wi, report) in b.members.iter().zip(reports) {
+                let Some(report) = report else { continue };
+                let (slot, it) = &work[wi];
+                let state = match slot {
+                    Slot::Registry(bi) => &mut self.prepared[*bi],
+                    Slot::Variant(vi) => self.variants[*vi].1.as_mut().expect("filtered above"),
+                };
+                state.insert_sim(&it.config, &it.sys, it.record, report);
+            }
         }
     }
 

@@ -115,13 +115,24 @@ pub fn sys_for(config: &Config) -> SystemConfig {
     SystemConfig::with_cache_bytes(config.cache_bytes())
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-enum ProgramKey {
+/// Identity of the *program* (and therefore the trace and simulation
+/// arena) behind a [`Config`] — the cache size is deliberately absent:
+/// every cache ladder over one program shares a single trace. This is
+/// the sweep planner's grouping key: configurations with equal trace
+/// keys can share one [`SweepSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProgramKey {
+    /// The raw gradient function (Enzyme baselines).
     Gradient,
+    /// A pipeline-compiled program.
     Compiled {
+        /// Scratchpad capacity compiled for.
         spad_bytes: usize,
+        /// Double-buffered layers.
         double_buffer: bool,
+        /// Pass 1 only (AoS layout, cache-resident).
         aos_only: bool,
+        /// Pass 5 tape compression.
         compress: bool,
     },
 }
@@ -278,7 +289,12 @@ impl Prepared {
             .unwrap_or_else(|e| panic!("{name}: {e}"))
     }
 
-    fn try_trace_key(&mut self, config: &Config) -> Option<ProgramKey> {
+    /// The trace-identity key behind `config`, memoizing the program,
+    /// trace and simulation arena on the way; `None` when the program
+    /// cannot be compiled for that scratchpad. Configurations mapping
+    /// to the same key simulate the same trace — the sweep planner's
+    /// grouping relation.
+    pub fn try_trace_key(&mut self, config: &Config) -> Option<ProgramKey> {
         let key = Self::key_of(config);
         if !self.traces.contains_key(&key) {
             let (func, barrier) = match key {
@@ -577,6 +593,99 @@ impl Prepared {
         let name = self.bench.name;
         self.try_sim(config, record_times)
             .unwrap_or_else(|| panic!("{name}: scratchpad too small for this program"))
+    }
+}
+
+/// A planned sweep over one benchmark: arbitrary `(Config, SystemConfig)`
+/// units grouped by trace key ([`Prepared::try_trace_key`]), one
+/// [`SweepSession`] per trace group, each group's members run in
+/// [`tapeflow_sim::plan_order`] to maximize replay-prefix reuse.
+/// Independent trace groups are embarrassingly parallel —
+/// [`SweepPlanner::run_parallel`] fans them out over the worker pool
+/// with order-fixed collection, so results are byte-identical at any
+/// job count (and to cold [`simulate_prepared`] runs, the session
+/// contract).
+pub struct SweepPlanner {
+    groups: Vec<PlanGroup>,
+    /// Total unit count (feasible or not) — the result vector's length.
+    n_units: usize,
+    opts: SimOptions,
+}
+
+struct PlanGroup {
+    prep: Arc<PreparedSim>,
+    /// `(original unit index, system)` members, in caller order.
+    members: Vec<(usize, SystemConfig)>,
+}
+
+impl std::fmt::Debug for SweepPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepPlanner")
+            .field("groups", &self.groups.len())
+            .field("units", &self.n_units)
+            .finish()
+    }
+}
+
+impl SweepPlanner {
+    /// Plans `units` against `p`, memoizing programs/traces on the way.
+    /// Infeasible configurations keep their slot (the corresponding
+    /// result is `None`); groups appear in first-occurrence order.
+    pub fn new(p: &mut Prepared, units: &[(Config, SystemConfig)], record_times: bool) -> Self {
+        let mut group_of: HashMap<ProgramKey, usize> = HashMap::new();
+        let mut groups: Vec<PlanGroup> = Vec::new();
+        for (i, (config, sys)) in units.iter().enumerate() {
+            let Some(key) = p.try_trace_key(config) else {
+                continue;
+            };
+            let gi = *group_of.entry(key).or_insert_with(|| {
+                groups.push(PlanGroup {
+                    prep: Arc::clone(&p.preps[&key]),
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            });
+            groups[gi].members.push((i, *sys));
+        }
+        SweepPlanner {
+            groups,
+            n_units: units.len(),
+            opts: SimOptions {
+                record_node_times: record_times,
+            },
+        }
+    }
+
+    /// Number of trace groups (equals the number of sessions a run
+    /// drives, and the parallelism [`SweepPlanner::run_parallel`] can
+    /// exploit).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Runs every group serially. Result `i` corresponds to unit `i`;
+    /// `None` marks an infeasible configuration.
+    pub fn run(&self) -> Vec<Option<SimReport>> {
+        self.run_parallel(1)
+    }
+
+    /// Runs independent trace groups across `jobs` workers (callers
+    /// clamp; `1` runs inline). Collection is order-fixed, so the
+    /// result bytes are identical at any job count.
+    pub fn run_parallel(&self, jobs: usize) -> Vec<Option<SimReport>> {
+        let opts = self.opts;
+        let per_group: Vec<Vec<SimReport>> =
+            crate::pool::map_parallel(&self.groups, jobs, |_, g| {
+                let systems: Vec<SystemConfig> = g.members.iter().map(|(_, s)| *s).collect();
+                tapeflow_sim::run_group(Arc::clone(&g.prep), opts, &systems)
+            });
+        let mut out: Vec<Option<SimReport>> = (0..self.n_units).map(|_| None).collect();
+        for (g, reports) in self.groups.iter().zip(per_group) {
+            for (&(i, _), r) in g.members.iter().zip(reports) {
+                out[i] = Some(r);
+            }
+        }
+        out
     }
 }
 

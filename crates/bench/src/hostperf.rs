@@ -11,32 +11,35 @@
 //!   replay instead of a scheduler run, and a divergence resumes from
 //!   the last unchanged checkpoint. The legacy scalar loop runs every
 //!   ladder point from scratch.
-//! * **Mixed sweep** — the canonical nine-configuration sweep (the one
+//! * **Mixed sweep** — the canonical configuration sweep (the one
 //!   `experiments --json` reports and CI regenerates), which changes the
-//!   program between points (Enzyme vs. Tapeflow vs. AoS), so no run can
-//!   reuse another's prefix. The event core still amortizes one
-//!   config-independent [`PreparedSim`] arena per program; legacy
-//!   rebuilds its dependence bookkeeping from the trace every run and
-//!   burns a host iteration per simulated cycle even while only a
+//!   program between points (Enzyme vs. Tapeflow vs. AoS). The event
+//!   side runs it through a [`SweepPlanner`]: units are grouped by trace
+//!   key, each group gets one generalized sweep session (so the shared
+//!   Tapeflow trace's scratchpad/stream points replay each other's
+//!   outcome streams instead of re-running cold), and independent trace
+//!   groups fan out across `jobs` workers with order-fixed collection.
+//!   Legacy rebuilds its dependence bookkeeping from the trace every run
+//!   and burns a host iteration per simulated cycle even while only a
 //!   stream transfer is in flight.
 //!
 //! Both engines produce byte-identical reports (the equivalence suite is
 //! the oracle); the cycle totals are asserted equal here as a cheap
 //! tripwire. Wall-clock derived fields are nondeterministic by nature;
-//! the JSON document ([`host_perf_json`]) zeroes them under `stable`,
-//! keeping only the structure and cycle counts, so the fold into
-//! `experiments --stable-json` stays byte-reproducible.
+//! the JSON document ([`host_perf_json`]) zeroes them under `stable` —
+//! along with the host-identity fields (CPU count, compiler) that vary
+//! between machines — so the fold into `experiments --stable-json`
+//! stays byte-reproducible.
 
 use crate::experiments::Lab;
-use crate::harness::{geomean, sys_for, Config, Prepared};
+use crate::harness::{geomean, sys_for, Config, Prepared, SweepPlanner};
 use std::sync::Arc;
 use std::time::Instant;
 use tapeflow_benchmarks::{by_name, Scale, NAMES};
 use tapeflow_ir::Trace;
 use tapeflow_sim::json::Value;
 use tapeflow_sim::{
-    simulate_prepared, try_simulate_probed_with, Engine, NoProbe, PreparedSim, SimOptions,
-    SweepSession, SystemConfig,
+    try_simulate_probed_with, Engine, NoProbe, SimOptions, SweepSession, SystemConfig,
 };
 
 const KIB: usize = 1024;
@@ -113,10 +116,13 @@ impl EngineTiming {
 pub struct SweepTiming {
     /// Configurations the sweep simulated.
     pub configs: usize,
+    /// Independent trace groups the event side planned (each drives one
+    /// sweep session; the ladder is a single group by construction).
+    pub trace_groups: usize,
     /// Total simulated cycles across the sweep (identical for both
     /// engines — asserted during measurement).
     pub sim_cycles: u64,
-    /// Event-driven core (shared arena; session reuse on the ladder).
+    /// Event-driven core (shared arena; session reuse; group fan-out).
     pub event: EngineTiming,
     /// Legacy scalar loop (per-run rebuild, no gap-skipping, no reuse).
     pub legacy: EngineTiming,
@@ -125,9 +131,16 @@ pub struct SweepTiming {
 }
 
 impl SweepTiming {
-    fn from(configs: usize, sim_cycles: u64, event_secs: f64, legacy_secs: f64) -> Self {
+    fn from(
+        configs: usize,
+        trace_groups: usize,
+        sim_cycles: u64,
+        event_secs: f64,
+        legacy_secs: f64,
+    ) -> Self {
         SweepTiming {
             configs,
+            trace_groups,
             sim_cycles,
             event: EngineTiming::from(event_secs, sim_cycles),
             legacy: EngineTiming::from(legacy_secs, sim_cycles),
@@ -147,22 +160,36 @@ pub struct HostPerf {
     pub name: &'static str,
     /// The cache-size ladder on the gradient trace (incremental resim).
     pub ladder: SweepTiming,
-    /// The canonical mixed nine-configuration sweep.
+    /// The canonical mixed configuration sweep (planner-driven).
     pub mixed: SweepTiming,
 }
 
-/// The mixed sweep's units: every feasible canonical configuration, as
-/// `(system, trace, shared arena)` triples. Compilation and tracing are
-/// outside the timed region — they are shared by both engines.
-fn sweep_units(p: &mut Prepared) -> Vec<(SystemConfig, Arc<Trace>, Arc<PreparedSim>)> {
-    Lab::json_configs()
-        .iter()
-        .filter_map(|c| {
-            let trace = p.try_trace_shared(c)?;
-            let prep = p.try_prepared_sim(c)?;
-            Some((sys_for(c), trace, prep))
-        })
-        .collect()
+/// Identity of the machine and binary that produced a measurement — the
+/// `host` section of `tapeflow.bench.host_perf/v2`. Throughput numbers
+/// are only comparable when these match; the section makes silently
+/// mixing hosts in a results file impossible. All fields are scrubbed
+/// under `stable` (they differ between machines by definition).
+#[derive(Clone, Debug)]
+pub struct HostMeta {
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// `rustc --version` of the compiler that built this binary.
+    pub rustc: String,
+    /// Cargo `opt-level` the binary was built at.
+    pub opt_level: String,
+    /// Worker threads used for the mixed sweep's trace-group fan-out.
+    pub jobs: usize,
+}
+
+/// Snapshots the host identity; `jobs` is the worker count the caller
+/// ran the mixed sweep with (after clamping).
+pub fn host_meta(jobs: usize) -> HostMeta {
+    HostMeta {
+        logical_cpus: crate::pool::available_jobs(),
+        rustc: env!("TAPEFLOW_RUSTC_VERSION").to_string(),
+        opt_level: env!("TAPEFLOW_OPT_LEVEL").to_string(),
+        jobs,
+    }
 }
 
 /// Times the legacy engine over `(system, trace)` pairs, best of
@@ -210,8 +237,12 @@ fn measure_ladder(p: &mut Prepared, repeats: usize) -> SweepTiming {
         let start = Instant::now();
         let mut session = SweepSession::new(Arc::clone(&prep), opts);
         let mut cycles = 0u64;
-        for sys in &systems {
-            cycles += session.simulate(sys).cycles;
+        for (k, sys) in systems.iter().enumerate() {
+            // The ladder is its own plan (descending sizes), so the
+            // session gets the exact tail length as lookahead.
+            cycles += session
+                .simulate_lookahead(sys, systems.len() - k - 1)
+                .cycles;
         }
         event_secs = event_secs.min(start.elapsed().as_secs_f64());
         if rep == 0 {
@@ -229,35 +260,39 @@ fn measure_ladder(p: &mut Prepared, repeats: usize) -> SweepTiming {
         "{}: engines disagree on ladder cycles",
         p.bench.name
     );
-    SweepTiming::from(systems.len(), sim_cycles, event_secs, legacy_secs)
+    SweepTiming::from(systems.len(), 1, sim_cycles, event_secs, legacy_secs)
 }
 
-/// Times the canonical mixed sweep on both engines.
-fn measure_mixed(p: &mut Prepared, repeats: usize) -> SweepTiming {
-    let units = sweep_units(p);
+/// Times the canonical mixed sweep on both engines. The event side is
+/// the planner path production code uses: grouping, tracing and arena
+/// preparation happen once outside the timed region (both engines share
+/// them), and each repeat times exactly `planner.run_parallel(jobs)` —
+/// fresh sessions per repeat, since the sessions are the thing being
+/// measured.
+fn measure_mixed(p: &mut Prepared, repeats: usize, jobs: usize) -> SweepTiming {
+    let units: Vec<(Config, SystemConfig)> = Lab::json_configs()
+        .iter()
+        .map(|c| (*c, sys_for(c)))
+        .collect();
+    let planner = SweepPlanner::new(p, &units, false);
     let opts = SimOptions::default();
 
     let mut sim_cycles = 0u64;
+    let mut configs = 0usize;
     let mut event_secs = f64::INFINITY;
     for rep in 0..repeats {
         let start = Instant::now();
-        let mut cycles = 0u64;
-        // The arena is prepared once per program and reused for every
-        // configuration; `sweep_units` handed out shared clones of the
-        // ones the harness already built, so the timed region is exactly
-        // the per-configuration scheduler work.
-        for (sys, _, prep) in &units {
-            cycles += simulate_prepared(prep, sys, &opts).cycles;
-        }
+        let reports = planner.run_parallel(jobs);
         event_secs = event_secs.min(start.elapsed().as_secs_f64());
         if rep == 0 {
-            sim_cycles = cycles;
+            configs = reports.iter().flatten().count();
+            sim_cycles = reports.iter().flatten().map(|r| r.cycles).sum();
         }
     }
 
     let legacy_units: Vec<_> = units
         .iter()
-        .map(|(sys, trace, _)| (*sys, Arc::clone(trace)))
+        .filter_map(|(c, sys)| Some((*sys, p.try_trace_shared(c)?)))
         .collect();
     let (legacy_secs, legacy_cycles) = time_legacy(&legacy_units, &opts, repeats);
     assert_eq!(
@@ -265,28 +300,47 @@ fn measure_mixed(p: &mut Prepared, repeats: usize) -> SweepTiming {
         "{}: engines disagree on mixed-sweep cycles",
         p.bench.name
     );
-    SweepTiming::from(units.len(), sim_cycles, event_secs, legacy_secs)
+    SweepTiming::from(
+        configs,
+        planner.group_count(),
+        sim_cycles,
+        event_secs,
+        legacy_secs,
+    )
 }
 
 /// Times one benchmark on both engines. `repeats` runs each sweep that
 /// many times per engine and keeps the fastest wall time (minimum is the
-/// standard noise filter for throughput numbers).
-pub fn measure_one(bench: &'static str, scale: Scale, repeats: usize) -> HostPerf {
+/// standard noise filter for throughput numbers); `jobs` is the worker
+/// count for the mixed sweep's trace-group fan-out (`1` = serial).
+pub fn measure_one(bench: &'static str, scale: Scale, repeats: usize, jobs: usize) -> HostPerf {
     let mut p = Prepared::new(by_name(bench, scale));
     let repeats = repeats.max(1);
     HostPerf {
         name: bench,
         ladder: measure_ladder(&mut p, repeats),
-        mixed: measure_mixed(&mut p, repeats),
+        mixed: measure_mixed(&mut p, repeats, jobs.max(1)),
     }
 }
 
-/// Times the full registry at `scale`.
-pub fn measure(scale: Scale, repeats: usize) -> Vec<HostPerf> {
-    NAMES
+/// Times a named subset of the registry at `scale`. Callers validate
+/// the names (the CLI exits 2 with the registry listing on an unknown
+/// one); this borrows the `'static` spellings from [`NAMES`].
+pub fn measure_named(
+    names: &[&'static str],
+    scale: Scale,
+    repeats: usize,
+    jobs: usize,
+) -> Vec<HostPerf> {
+    names
         .iter()
-        .map(|b| measure_one(b, scale, repeats))
+        .map(|b| measure_one(b, scale, repeats, jobs))
         .collect()
+}
+
+/// Times the full registry at `scale`.
+pub fn measure(scale: Scale, repeats: usize, jobs: usize) -> Vec<HostPerf> {
+    measure_named(&NAMES, scale, repeats, jobs)
 }
 
 /// Geometric mean of the per-benchmark ladder-sweep speedups (the
@@ -300,11 +354,15 @@ pub fn geomean_mixed_speedup(results: &[HostPerf]) -> f64 {
     geomean(&results.iter().map(|r| r.mixed.speedup).collect::<Vec<_>>())
 }
 
-/// The machine-readable document (`tapeflow.bench.host_perf/v1`).
+/// The machine-readable document (`tapeflow.bench.host_perf/v2`).
 /// `stable` zeroes every wall-clock-derived field (seconds, throughput,
-/// speedups) so the bytes reproduce across hosts and runs; the schema,
-/// benchmark list, config counts and simulated-cycle totals remain.
-pub fn host_perf_json(results: &[HostPerf], scale: Scale, stable: bool) -> Value {
+/// speedups) and every host-identity field (CPU count, compiler,
+/// opt-level, job count) so the bytes reproduce across hosts and runs;
+/// the schema, benchmark list, config/group counts and simulated-cycle
+/// totals remain.
+///
+/// v2 over v1: adds the `host` section and per-sweep `trace_groups`.
+pub fn host_perf_json(results: &[HostPerf], scale: Scale, meta: &HostMeta, stable: bool) -> Value {
     let scrub = |v: f64| if stable { 0.0 } else { v };
     let timing = |t: &EngineTiming| {
         let mut e = Value::object();
@@ -319,6 +377,7 @@ pub fn host_perf_json(results: &[HostPerf], scale: Scale, stable: bool) -> Value
             .set("legacy", timing(&s.legacy));
         let mut v = Value::object();
         v.set("configs", s.configs)
+            .set("trace_groups", s.trace_groups)
             .set("sim_cycles", s.sim_cycles)
             .set("engines", engines)
             .set("speedup", scrub(s.speedup));
@@ -335,9 +394,18 @@ pub fn host_perf_json(results: &[HostPerf], scale: Scale, stable: bool) -> Value
         })
         .collect();
     let ladder: Vec<Value> = LADDER.iter().map(|&b| Value::from(b)).collect();
+    let mut host = Value::object();
+    host.set("logical_cpus", if stable { 0 } else { meta.logical_cpus })
+        .set("rustc", if stable { "" } else { meta.rustc.as_str() })
+        .set(
+            "opt_level",
+            if stable { "" } else { meta.opt_level.as_str() },
+        )
+        .set("jobs", if stable { 0 } else { meta.jobs });
     let mut doc = Value::object();
-    doc.set("schema", "tapeflow.bench.host_perf/v1")
+    doc.set("schema", "tapeflow.bench.host_perf/v2")
         .set("scale", format!("{scale:?}"))
+        .set("host", host)
         .set("ladder_bytes", Value::Arr(ladder))
         .set("benchmarks", Value::Arr(benches))
         .set("geomean_ladder_speedup", scrub(geomean_speedup(results)))
@@ -384,17 +452,30 @@ mod tests {
 
     #[test]
     fn one_benchmark_measures_and_serializes() {
-        let r = measure_one("logsum", Scale::Tiny, 1);
+        let r = measure_one("logsum", Scale::Tiny, 1, 2);
         assert!(r.ladder.configs == LADDER.len());
+        assert_eq!(r.ladder.trace_groups, 1);
         assert!(r.mixed.configs > 0, "no feasible mixed configs timed");
+        assert!(
+            r.mixed.trace_groups > 1,
+            "canonical sweep spans several programs"
+        );
         assert!(r.ladder.sim_cycles > 0 && r.mixed.sim_cycles > 0);
         assert!(r.ladder.event.seconds > 0.0 && r.ladder.legacy.seconds > 0.0);
-        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, false);
+        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, &host_meta(2), false);
         let parsed = Value::parse(&doc.render()).expect("emitted JSON parses");
         assert_eq!(
             parsed.get("schema").and_then(Value::as_str),
-            Some("tapeflow.bench.host_perf/v1")
+            Some("tapeflow.bench.host_perf/v2")
         );
+        let host = parsed.get("host").expect("host section");
+        assert!(host.get("logical_cpus").and_then(Value::as_u64).unwrap() > 0);
+        assert!(!host
+            .get("rustc")
+            .and_then(Value::as_str)
+            .unwrap()
+            .is_empty());
+        assert_eq!(host.get("jobs").and_then(Value::as_u64), Some(2));
         assert_eq!(
             parsed
                 .get("ladder_bytes")
@@ -407,17 +488,23 @@ mod tests {
         for sweep in ["cache_ladder", "mixed_sweep"] {
             let s = b.get(sweep).expect(sweep);
             assert!(s.get("sim_cycles").and_then(Value::as_u64).unwrap() > 0);
+            assert!(s.get("trace_groups").and_then(Value::as_u64).unwrap() > 0);
             assert!(s.get("engines").and_then(|e| e.get("event")).is_some());
         }
     }
 
     #[test]
-    fn stable_json_zeroes_every_wall_field() {
-        let r = measure_one("logsum", Scale::Tiny, 1);
-        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, true);
+    fn stable_json_zeroes_every_wall_and_host_field() {
+        let r = measure_one("logsum", Scale::Tiny, 1, 1);
+        let doc = host_perf_json(std::slice::from_ref(&r), Scale::Tiny, &host_meta(1), true);
         let parsed = Value::parse(&doc.render()).expect("parses");
         assert_eq!(parsed.get("geomean_ladder_speedup"), Some(&Value::Num(0.0)));
         assert_eq!(parsed.get("geomean_mixed_speedup"), Some(&Value::Num(0.0)));
+        let host = parsed.get("host").expect("host section survives");
+        assert_eq!(host.get("logical_cpus").and_then(Value::as_u64), Some(0));
+        assert_eq!(host.get("rustc").and_then(Value::as_str), Some(""));
+        assert_eq!(host.get("opt_level").and_then(Value::as_str), Some(""));
+        assert_eq!(host.get("jobs").and_then(Value::as_u64), Some(0));
         let b = &parsed.get("benchmarks").and_then(Value::as_arr).unwrap()[0];
         for sweep in ["cache_ladder", "mixed_sweep"] {
             let s = b.get(sweep).expect(sweep);
@@ -433,6 +520,7 @@ mod tests {
             }
             // The deterministic parts survive the scrub.
             assert!(s.get("sim_cycles").and_then(Value::as_u64).unwrap() > 0);
+            assert!(s.get("trace_groups").and_then(Value::as_u64).unwrap() > 0);
         }
     }
 }

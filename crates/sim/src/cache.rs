@@ -129,10 +129,21 @@ impl Cache {
         let base = set * assoc;
         let want = (block << 2) | TF_VALID;
         // Hit? One masked compare per way (dirty bit ignored); the
-        // slice gives the probe a single bounds check.
-        let hit_way = self.buf[base..base + assoc]
-            .iter()
-            .position(|&t| t & !TF_DIRTY == want);
+        // slice gives the probe a single bounds check. For the
+        // const-specialized associativities the probe is branchless: a
+        // match bit per way folded into one word, then find-first-set.
+        // Tags are unique within a set, so the first match is the only
+        // match and the two formulations agree.
+        let set_tags = &self.buf[base..base + assoc];
+        let hit_way = if A != 0 {
+            let mut m = 0u32;
+            for (w, &t) in set_tags.iter().enumerate() {
+                m |= u32::from(t & !TF_DIRTY == want) << w;
+            }
+            (m != 0).then(|| m.trailing_zeros() as usize)
+        } else {
+            set_tags.iter().position(|&t| t & !TF_DIRTY == want)
+        };
         if let Some(w) = hit_way {
             let i = base + w;
             if is_write && self.buf[i] & TF_DIRTY == 0 {

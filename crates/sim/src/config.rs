@@ -225,40 +225,148 @@ impl SystemConfig {
     /// or MSHR sweeps never alias a result computed for another
     /// configuration of the same cache size.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        mix(self.cache.size_bytes as u64);
-        mix(self.cache.assoc as u64);
-        mix(self.cache.line_bytes as u64);
-        mix(self.cache.ports as u64);
-        mix(self.cache.hit_latency);
-        mix(self.cache.mshrs as u64);
-        mix(match self.cache.policy {
-            ReplacementPolicy::Lru => 0,
-            ReplacementPolicy::Fifo => 1,
-        });
-        mix(self.spad.banks as u64);
-        mix(self.spad.latency);
-        mix(self.dram.bytes_per_cycle.to_bits());
-        mix(self.dram.latency);
-        mix(self.pe.pes as u64);
-        mix(self.pe.fp_issue as u64);
-        mix(self.pe.int_issue as u64);
-        mix(self.pe.fp_alu_latency);
-        mix(self.pe.fp_mul_latency);
-        mix(self.pe.fp_long_latency);
-        mix(self.pe.int_latency);
-        mix(self.energy.spad_pj.to_bits());
-        mix(self.energy.stream_elem_pj.to_bits());
-        mix(self.energy.dram_pj_per_byte.to_bits());
-        h
+        fnv(&[
+            self.cache.size_bytes as u64,
+            self.cache.assoc as u64,
+            self.cache.line_bytes as u64,
+            self.cache.ports as u64,
+            self.cache.hit_latency,
+            self.cache.mshrs as u64,
+            policy_bits(self.cache.policy),
+            self.spad.banks as u64,
+            self.spad.latency,
+            self.dram.bytes_per_cycle.to_bits(),
+            self.dram.latency,
+            self.pe.pes as u64,
+            self.pe.fp_issue as u64,
+            self.pe.int_issue as u64,
+            self.pe.fp_alu_latency,
+            self.pe.fp_mul_latency,
+            self.pe.fp_long_latency,
+            self.pe.int_latency,
+            self.energy.spad_pj.to_bits(),
+            self.energy.stream_elem_pj.to_bits(),
+            self.energy.dram_pj_per_byte.to_bits(),
+        ])
+    }
+
+    /// The configuration factored into per-parameter-class digests —
+    /// what an incremental re-simulation keys replay validity on (see
+    /// [`crate::sweep`] and [`ClassPrints`]). The full
+    /// [`SystemConfig::fingerprint`] stays the memo key; this split
+    /// exists so a sweep can tell *which* subsystem a configuration
+    /// change touches instead of re-recording on any difference.
+    pub fn class_prints(&self) -> ClassPrints {
+        ClassPrints {
+            cache_geometry: fnv(&[
+                self.cache.size_bytes as u64,
+                self.cache.assoc as u64,
+                policy_bits(self.cache.policy),
+            ]),
+            cache_timing: fnv(&[
+                self.cache.line_bytes as u64,
+                self.cache.ports as u64,
+                self.cache.hit_latency,
+                self.cache.mshrs as u64,
+            ]),
+            spad_geometry: fnv(&[self.spad.banks as u64]),
+            spad_timing: fnv(&[self.spad.latency]),
+            stream: fnv(&[self.dram.bytes_per_cycle.to_bits(), self.dram.latency]),
+            pe: fnv(&[
+                self.pe.pes as u64,
+                self.pe.fp_issue as u64,
+                self.pe.int_issue as u64,
+                self.pe.fp_alu_latency,
+                self.pe.fp_mul_latency,
+                self.pe.fp_long_latency,
+                self.pe.int_latency,
+            ]),
+            energy: fnv(&[
+                self.energy.spad_pj.to_bits(),
+                self.energy.stream_elem_pj.to_bits(),
+                self.energy.dram_pj_per_byte.to_bits(),
+            ]),
+        }
+    }
+}
+
+/// Order-stable FNV-1a over a word sequence (bytewise, little-endian).
+fn fnv(words: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in words {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+fn policy_bits(p: ReplacementPolicy) -> u64 {
+    match p {
+        ReplacementPolicy::Lru => 0,
+        ReplacementPolicy::Fifo => 1,
+    }
+}
+
+/// [`SystemConfig`] factored into per-parameter-class fingerprints.
+///
+/// An incremental re-simulation ([`crate::sweep::SweepSession`]) can
+/// chain two configurations when every class the *replay itself cannot
+/// validate* is unchanged (or provably irrelevant to the trace):
+///
+/// * `cache_geometry` — size, associativity, replacement policy. The
+///   replay validates these directly by re-running the recorded access
+///   stream through the new cache and comparing outcomes; they never
+///   block chaining.
+/// * `cache_timing` — line size, ports, hit latency, MSHRs. These feed
+///   timing (and, for the line size, addressing) without leaving a
+///   per-access trace, so they must match.
+/// * `spad_geometry` — bank count. Validated structurally: the bank of
+///   a scratchpad access is `addr % banks`, a pure per-address
+///   function, so two bank counts chain iff they map every scratchpad
+///   address in the trace to the same bank (see
+///   `sweep::spad_map_equal`); traces with no scratchpad nodes chain
+///   across any bank count.
+/// * `spad_timing` — access latency; must match when the trace touches
+///   the scratchpad.
+/// * `stream` — the DRAM bandwidth/latency model governing stream
+///   transfers and cache fills; must match when the trace moves any
+///   DRAM traffic.
+/// * `pe` — datapath issue widths and latencies; must match.
+/// * `energy` — per-access energy table. Never blocks chaining: energy
+///   is recomputed from the final counters
+///   ([`crate::engine::recompute_energy`]), not accumulated during the
+///   run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassPrints {
+    /// Cache size/assoc/policy (replay-validated).
+    pub cache_geometry: u64,
+    /// Cache line/ports/hit-latency/MSHRs (timing; must match).
+    pub cache_timing: u64,
+    /// Scratchpad bank count (bank-map-validated).
+    pub spad_geometry: u64,
+    /// Scratchpad latency (timing; must match).
+    pub spad_timing: u64,
+    /// DRAM bandwidth/latency (timing; must match).
+    pub stream: u64,
+    /// Datapath widths and latencies (timing; must match).
+    pub pe: u64,
+    /// Energy table (recomputed at finalize; never blocks chaining).
+    pub energy: u64,
+}
+
+impl ClassPrints {
+    /// Digest of every class that must match *exactly* for two
+    /// configurations to chain in a sweep session, regardless of the
+    /// trace: the timing classes. Geometry classes (validated by
+    /// replay or by the bank map) and the energy table are excluded.
+    /// The sweep planner groups and orders configurations by this key
+    /// so chainable runs land adjacent in the schedule.
+    pub fn chain_key(&self) -> u64 {
+        fnv(&[self.cache_timing, self.spad_timing, self.stream, self.pe])
     }
 }
 

@@ -91,6 +91,7 @@ impl Engine {
 /// (a bounded scheduling window keeps contended simulations linear).
 const SPAD_SCAN_WINDOW: usize = 64;
 
+#[derive(Clone)]
 pub(crate) struct Dram {
     busy: f64,
     bytes_per_cycle: f64,
@@ -213,7 +214,7 @@ pub fn simulate_prepared_probed<P: SimProbe>(
 /// (The empty trace stays on the per-cycle core's trivial early
 /// return.)
 pub(crate) fn dataflow_ok(prep: &PreparedSim, cfg: &SystemConfig) -> bool {
-    prep.n > 0 && !prep.spad_or_stream && cfg.cache.ports >= 1 && analytic_ok(cfg)
+    prep.n > 0 && !prep.spad_or_stream() && cfg.cache.ports >= 1 && analytic_ok(cfg)
 }
 
 /// Whether the analytic issue servers model `cfg` exactly: every
@@ -272,6 +273,65 @@ impl IssueSrv {
     }
 }
 
+/// The per-cycle scheduler core's complete mutable state — everything
+/// the loop touches except the cache, which an incremental
+/// re-simulation rebuilds by replaying the recorded access prefix
+/// rather than by snapshot (see [`crate::sweep`]). `Clone` *is* the
+/// checkpoint: the state is captured at a cycle boundary and
+/// [`core_loop`] resumes from the copy with byte-identical results.
+#[derive(Clone)]
+pub(crate) struct CoreState {
+    /// Fused (ready, indeg) state: one memcpy from the arena template,
+    /// one random access per dependence edge in the completion walk.
+    pend: Vec<NodeState>,
+    finish: Vec<u64>,
+    events: EventQ,
+    /// Per-class in-order wait queues.
+    q_fp: VecDeque<u32>,
+    q_int: VecDeque<u32>,
+    q_mem: VecDeque<u32>,
+    q_spad: VecDeque<u32>,
+    q_stream: [VecDeque<u32>; 2],
+    /// MSHR free times: a demand miss needs a slot, else the memory
+    /// queue stalls at its head.
+    mshr: Vec<u64>,
+    dram: Dram,
+    stream_free: [u64; 2],
+    report: SimReport,
+    now: u64,
+    completed: usize,
+    max_finish: u64,
+    /// Cache accesses served so far — the recording/checkpoint clock.
+    pub(crate) accesses: u64,
+}
+
+impl CoreState {
+    pub(crate) fn new(prep: &PreparedSim, cfg: &SystemConfig) -> Self {
+        let mut events = EventQ::new(wheel_slots(prep.n));
+        for &r in &prep.roots {
+            events.push(0, r);
+        }
+        CoreState {
+            pend: prep.pend0.clone(),
+            finish: vec![0u64; prep.n],
+            events,
+            q_fp: VecDeque::with_capacity(64),
+            q_int: VecDeque::with_capacity(64),
+            q_mem: VecDeque::with_capacity(64),
+            q_spad: VecDeque::with_capacity(64),
+            q_stream: [VecDeque::with_capacity(16), VecDeque::with_capacity(16)],
+            mshr: vec![0; cfg.cache.mshrs.max(1)],
+            dram: Dram::new(cfg),
+            stream_free: [0u64; 2],
+            report: SimReport::default(),
+            now: 0,
+            completed: 0,
+            max_finish: 0,
+            accesses: 0,
+        }
+    }
+}
+
 /// The per-cycle scheduler core: the fully announced loop (every issue
 /// reported to `probe`, any probe type), with stream gap-skipping. Runs
 /// whatever the pure event loop cannot: probed simulations and traces
@@ -282,12 +342,42 @@ fn run_core<P: SimProbe>(
     opts: &SimOptions,
     probe: &mut P,
 ) -> SimReport {
-    let n = prep.n;
-    let mut report = SimReport::default();
-    if n == 0 {
-        return report;
+    if prep.n == 0 {
+        return SimReport::default();
     }
+    let mut st = CoreState::new(prep, cfg);
+    let mut cache = Cache::new(cfg.cache);
+    probe.on_start(&ProbeGeometry::of(cfg, prep.phase_barrier_idx.is_some()));
+    core_loop::<P, false>(
+        prep,
+        cfg,
+        &mut st,
+        &mut cache,
+        &mut Recording::disabled(),
+        probe,
+    );
+    probe.on_finish(st.max_finish);
+    finalize_core(st, cache, prep, cfg, opts)
+}
 
+/// The per-cycle loop itself, resumable from any [`CoreState`] captured
+/// at a cycle boundary. With `REC = true` every cache access's address
+/// and outcome is appended to `rec` and full-state checkpoints are
+/// taken at cycle boundaries — the per-cycle counterpart of
+/// [`dataflow_loop`]'s recording mode, which is what lets scratchpad
+/// and stream traces join [`crate::sweep`]'s incremental
+/// re-simulation. `REC = true` is only ever driven with [`NoProbe`]
+/// (the sweep path is unprobed by construction); the recording hooks
+/// compile out under `REC = false`.
+pub(crate) fn core_loop<P: SimProbe, const REC: bool>(
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    st: &mut CoreState,
+    cache: &mut Cache,
+    rec: &mut Recording,
+    probe: &mut P,
+) {
+    let n = prep.n;
     let class = &prep.class[..n];
     let flags = &prep.flags[..n];
     let addr = &prep.addr[..n];
@@ -295,121 +385,163 @@ fn run_core<P: SimProbe>(
     let succ_off = &prep.succ_off[..n + 1];
     let succ_dat = &prep.succ_dat[..];
 
-    // Fused (ready, indeg) state: one memcpy from the arena template, one
-    // random access per dependence edge in the completion walk.
-    let mut pend = prep.pend0.clone();
-    let mut finish = vec![0u64; n];
-    let mut events: BinaryHeap<std::cmp::Reverse<(u64, u32)>> =
-        BinaryHeap::with_capacity(prep.roots.len().max(64));
-
-    // Per-class in-order wait queues.
-    let mut q_fp: VecDeque<u32> = VecDeque::with_capacity(64);
-    let mut q_int: VecDeque<u32> = VecDeque::with_capacity(64);
-    let mut q_mem: VecDeque<u32> = VecDeque::with_capacity(64);
-    let mut q_spad: VecDeque<u32> = VecDeque::with_capacity(64);
-    let mut q_stream: [VecDeque<u32>; 2] =
-        [VecDeque::with_capacity(16), VecDeque::with_capacity(16)];
     // Reusable conflict scratch (the old loop allocated one per cycle).
+    // Always drained by the end of a cycle, so it is never part of a
+    // checkpoint.
     let mut stash: Vec<u32> = Vec::with_capacity(SPAD_SCAN_WINDOW);
+    // Event-drain scratch: one id-sorted batch per occupied cycle plus
+    // the side heap for same-cycle Sync-successor insertions (see the
+    // drain below). Both empty at every cycle boundary, so neither is
+    // part of a checkpoint.
+    let mut batch: Vec<u32> = Vec::with_capacity(256);
+    let mut side: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
 
-    let mut cache = Cache::new(cfg.cache);
     // Byte accounting must use the geometry the cache actually built
     // (`Cache::new` normalizes degenerate line sizes).
     let line_bytes = cache.config().line_bytes as u64;
-    // MSHR free times: a demand miss needs a slot, else the memory queue
-    // stalls at its head.
-    let mut mshr: Vec<u64> = vec![0; cfg.cache.mshrs.max(1)];
-    let mut dram = Dram::new(cfg);
-    let mut stream_free = [0u64; 2];
 
     let phase_barrier_idx = prep.phase_barrier_idx;
-    probe.on_start(&ProbeGeometry::of(cfg, phase_barrier_idx.is_some()));
 
-    let mut now: u64 = 0;
-    let mut completed: usize = 0;
-    let mut max_finish: u64 = 0;
-
-    // Completion bookkeeping shared by all issue paths.
+    // Completion bookkeeping shared by all issue paths. The three-arg
+    // form is used only while draining the `t == now` batch: a Sync
+    // completing there readies same-cycle successors that must
+    // interleave into the batch by id (the heap this replaced popped
+    // them that way); everywhere else same-cycle readiness goes through
+    // the wheel and is picked up by a later batch or cycle.
     macro_rules! complete {
-        ($id:expr, $fin:expr) => {{
+        ($id:expr, $fin:expr) => {
+            complete!($id, $fin, false)
+        };
+        ($id:expr, $fin:expr, $merge:expr) => {{
             let id = $id as usize;
             let fin: u64 = $fin;
-            finish[id] = fin;
-            max_finish = max_finish.max(fin);
-            completed += 1;
+            st.finish[id] = fin;
+            st.max_finish = st.max_finish.max(fin);
+            st.completed += 1;
             if phase_barrier_idx == Some(id) {
                 probe.on_phase_barrier(fin);
             }
             for s in &succ_dat[succ_off[id] as usize..succ_off[id + 1] as usize] {
                 let si = *s as usize;
-                let p = &mut pend[si];
+                let p = &mut st.pend[si];
                 if p.ready < fin {
                     p.ready = fin;
                 }
                 p.indeg -= 1;
-                if p.indeg == 0 {
+                let (ready, indeg) = (p.ready, p.indeg);
+                if indeg == 0 {
                     if phase_barrier_idx == Some(si) {
-                        probe.on_barrier_ready(now, p.ready, *s);
+                        probe.on_barrier_ready(st.now, ready, *s);
                     }
-                    events.push(std::cmp::Reverse((p.ready, *s)));
+                    if $merge && ready == st.now {
+                        side.push(std::cmp::Reverse(*s));
+                    } else {
+                        st.events.push(ready, *s);
+                    }
                 }
             }
         }};
     }
 
-    for &r in &prep.roots {
-        events.push(std::cmp::Reverse((0, r)));
-    }
-
-    while completed < n {
-        probe.on_cycle_start(now);
-        // Drain events that became ready. The loop never jumps past a
-        // pending event, so a node drains exactly at its ready cycle
-        // (`t == now`).
-        while let Some(&std::cmp::Reverse((t, id))) = events.peek() {
-            if t > now {
+    while st.completed < n {
+        if REC && st.accesses >= rec.next_ckpt {
+            rec.take_core_ckpt(st);
+        }
+        probe.on_cycle_start(st.now);
+        // Drain events that became ready, one id-sorted batch per
+        // occupied cycle in time order — exactly the (time, id) order
+        // the event heap this replaced popped in. Straggler batches
+        // (`t < now`, reachable only under zero-latency datapaths)
+        // cannot receive same-cycle insertions — a Sync completing at
+        // `now` readies successors at `now` or later, which land in a
+        // later batch — so only the `t == now` batch merges against the
+        // side heap of Sync-successor insertions.
+        while let Some(t) = st.events.peek_time() {
+            if t > st.now {
                 break;
             }
-            events.pop();
-            match class[id as usize] {
-                OpClass::Sync => {
-                    // Barriers and SAlloc cost nothing by themselves.
-                    complete!(id, now);
-                }
-                OpClass::FpAlu | OpClass::FpMul | OpClass::FpLong => q_fp.push_back(id),
-                OpClass::Int => q_int.push_back(id),
-                OpClass::MemLoad | OpClass::MemStore => q_mem.push_back(id),
-                OpClass::SpadLoad | OpClass::SpadStore => q_spad.push_back(id),
-                OpClass::Stream => {
-                    let dir = usize::from(flags[id as usize] & FLAG_STREAM_IN != 0);
-                    q_stream[dir].push_back(id);
+            st.events.take_at(t, &mut batch);
+            batch.sort_unstable();
+            let merge = t == st.now;
+            let mut bi = 0;
+            loop {
+                let id = if merge {
+                    match (batch.get(bi).copied(), side.peek().copied()) {
+                        (Some(b), Some(std::cmp::Reverse(s))) => {
+                            if s < b {
+                                side.pop();
+                                s
+                            } else {
+                                bi += 1;
+                                b
+                            }
+                        }
+                        (Some(b), None) => {
+                            bi += 1;
+                            b
+                        }
+                        (None, Some(_)) => {
+                            let std::cmp::Reverse(s) = side.pop().expect("peeked");
+                            s
+                        }
+                        (None, None) => break,
+                    }
+                } else {
+                    match batch.get(bi).copied() {
+                        Some(b) => {
+                            bi += 1;
+                            b
+                        }
+                        None => break,
+                    }
+                };
+                match class[id as usize] {
+                    OpClass::Sync => {
+                        // Barriers and SAlloc cost nothing by themselves.
+                        if merge {
+                            complete!(id, st.now, true);
+                        } else {
+                            complete!(id, st.now);
+                        }
+                    }
+                    OpClass::FpAlu | OpClass::FpMul | OpClass::FpLong => st.q_fp.push_back(id),
+                    OpClass::Int => st.q_int.push_back(id),
+                    OpClass::MemLoad | OpClass::MemStore => st.q_mem.push_back(id),
+                    OpClass::SpadLoad | OpClass::SpadStore => st.q_spad.push_back(id),
+                    OpClass::Stream => {
+                        let dir = usize::from(flags[id as usize] & FLAG_STREAM_IN != 0);
+                        st.q_stream[dir].push_back(id);
+                    }
                 }
             }
+            batch.clear();
         }
 
         // Issue FP and integer ops through the width-limited slots.
         let mut fp_left = cfg.pe.fp_issue;
         while fp_left > 0 {
-            let Some(id) = q_fp.pop_front() else { break };
+            let Some(id) = st.q_fp.pop_front() else { break };
             fp_left -= 1;
-            report.fp_ops += 1;
+            st.report.fp_ops += 1;
             let c = class[id as usize];
             let lat = match c {
                 OpClass::FpAlu => cfg.pe.fp_alu_latency,
                 OpClass::FpMul => cfg.pe.fp_mul_latency,
                 _ => cfg.pe.fp_long_latency,
             };
-            probe.on_fp_issue(now, now + lat, c, id);
-            complete!(id, now + lat);
+            probe.on_fp_issue(st.now, st.now + lat, c, id);
+            complete!(id, st.now + lat);
         }
 
         let mut int_left = cfg.pe.int_issue;
         while int_left > 0 {
-            let Some(id) = q_int.pop_front() else { break };
+            let Some(id) = st.q_int.pop_front() else {
+                break;
+            };
             int_left -= 1;
-            report.int_ops += 1;
-            probe.on_int_issue(now, now + cfg.pe.int_latency, id);
-            complete!(id, now + cfg.pe.int_latency);
+            st.report.int_ops += 1;
+            probe.on_int_issue(st.now, st.now + cfg.pe.int_latency, id);
+            complete!(id, st.now + cfg.pe.int_latency);
         }
 
         // Issue cache accesses through the limited ports. A miss needs a
@@ -417,41 +549,53 @@ fn run_core<P: SimProbe>(
         // (in-order memory queue, the "reactive fill" bottleneck).
         let mut ports_left = cfg.cache.ports;
         while ports_left > 0 {
-            let Some(&id) = q_mem.front() else { break };
+            let Some(&id) = st.q_mem.front() else { break };
             let f = flags[id as usize];
             let is_write = class[id as usize] == OpClass::MemStore;
             let (is_tape, is_rev) = (f & FLAG_TAPE != 0, f & FLAG_REV != 0);
-            // Peek whether this would miss without an MSHR available
-            // (first slot with the minimum free time, same pick as the
-            // iterator-based scan this replaced).
+            let res = cache.access(addr[id as usize], is_write);
+            // A miss claims the first slot with the minimum free time
+            // (same pick as the iterator-based scan this replaced);
+            // hits never consult the MSHRs, so the scan is skipped for
+            // the majority path.
             let mut mshr_slot = 0;
-            for i in 1..mshr.len() {
-                if mshr[i] < mshr[mshr_slot] {
-                    mshr_slot = i;
+            if !res.hit {
+                for i in 1..st.mshr.len() {
+                    if st.mshr[i] < st.mshr[mshr_slot] {
+                        mshr_slot = i;
+                    }
                 }
             }
-            let res = cache.access(addr[id as usize], is_write);
-            if !res.hit && mshr[mshr_slot] > now {
+            if REC {
+                let m = (REC_WRITE * u8::from(is_write))
+                    | (REC_HIT * u8::from(res.hit))
+                    | (REC_WB * u8::from(res.writeback.is_some()));
+                debug_assert_eq!(addr[id as usize] & !REC_ADDR_MASK, 0);
+                rec.addrs
+                    .push(addr[id as usize] | (u64::from(m) << REC_SHIFT));
+            }
+            st.accesses += 1;
+            if !res.hit && st.mshr[mshr_slot] > st.now {
                 // Undo nothing: the line was allocated, but the request
                 // still pays the stall — model the stall by waiting.
                 // (Allocation-on-stall slightly favours the baseline.)
-                report.cache.misses += 1;
-                report.cache.tape_misses += u64::from(is_tape);
-                report.cache.rev_misses += u64::from(is_rev);
-                report.dram_fill_bytes += line_bytes;
+                st.report.cache.misses += 1;
+                st.report.cache.tape_misses += u64::from(is_tape);
+                st.report.cache.rev_misses += u64::from(is_rev);
+                st.report.dram_fill_bytes += line_bytes;
                 if res.writeback.is_some() {
-                    report.cache.writebacks += 1;
-                    report.dram_writeback_bytes += line_bytes;
-                    let _ = dram.transfer(now, line_bytes);
+                    st.report.cache.writebacks += 1;
+                    st.report.dram_writeback_bytes += line_bytes;
+                    let _ = st.dram.transfer(st.now, line_bytes);
                 }
-                let start = mshr[mshr_slot];
-                let (_, fin) = dram.transfer(start, line_bytes);
-                mshr[mshr_slot] = fin;
-                q_mem.pop_front();
-                probe.on_mshr_stall(now, is_tape, id);
+                let start = st.mshr[mshr_slot];
+                let (_, fin) = st.dram.transfer(start, line_bytes);
+                st.mshr[mshr_slot] = fin;
+                st.q_mem.pop_front();
+                probe.on_mshr_stall(st.now, is_tape, id);
                 probe.on_cache_access(&CacheAccessEvent {
                     node: id,
-                    now,
+                    now: st.now,
                     fin: fin + cfg.cache.hit_latency,
                     port: cfg.cache.ports - ports_left,
                     hit: false,
@@ -463,39 +607,39 @@ fn run_core<P: SimProbe>(
                 // Head-of-line: nothing else issues behind a stalled miss.
                 break;
             }
-            q_mem.pop_front();
+            st.q_mem.pop_front();
             ports_left -= 1;
             let port = cfg.cache.ports - ports_left - 1;
             if res.hit {
-                report.cache.hits += 1;
-                report.cache.tape_hits += u64::from(is_tape);
-                report.cache.rev_hits += u64::from(is_rev);
+                st.report.cache.hits += 1;
+                st.report.cache.tape_hits += u64::from(is_tape);
+                st.report.cache.rev_hits += u64::from(is_rev);
                 probe.on_cache_access(&CacheAccessEvent {
                     node: id,
-                    now,
-                    fin: now + cfg.cache.hit_latency,
+                    now: st.now,
+                    fin: st.now + cfg.cache.hit_latency,
                     port,
                     hit: true,
                     is_tape,
                     is_rev,
                     is_write,
                 });
-                complete!(id, now + cfg.cache.hit_latency);
+                complete!(id, st.now + cfg.cache.hit_latency);
             } else {
-                report.cache.misses += 1;
-                report.cache.tape_misses += u64::from(is_tape);
-                report.cache.rev_misses += u64::from(is_rev);
-                report.dram_fill_bytes += line_bytes;
+                st.report.cache.misses += 1;
+                st.report.cache.tape_misses += u64::from(is_tape);
+                st.report.cache.rev_misses += u64::from(is_rev);
+                st.report.dram_fill_bytes += line_bytes;
                 if res.writeback.is_some() {
-                    report.cache.writebacks += 1;
-                    report.dram_writeback_bytes += line_bytes;
-                    let _ = dram.transfer(now, line_bytes);
+                    st.report.cache.writebacks += 1;
+                    st.report.dram_writeback_bytes += line_bytes;
+                    let _ = st.dram.transfer(st.now, line_bytes);
                 }
-                let (_, fin) = dram.transfer(now, line_bytes);
-                mshr[mshr_slot] = fin;
+                let (_, fin) = st.dram.transfer(st.now, line_bytes);
+                st.mshr[mshr_slot] = fin;
                 probe.on_cache_access(&CacheAccessEvent {
                     node: id,
-                    now,
+                    now: st.now,
                     fin: fin + cfg.cache.hit_latency,
                     port,
                     hit: false,
@@ -509,56 +653,60 @@ fn run_core<P: SimProbe>(
 
         // Issue scratchpad accesses, one per bank per cycle, scanning a
         // bounded window past bank conflicts.
-        if !q_spad.is_empty() {
+        if !st.q_spad.is_empty() {
             let mut banks_used: u64 = 0;
             let mut scanned = 0;
             stash.clear();
             while scanned < SPAD_SCAN_WINDOW {
-                let Some(id) = q_spad.pop_front() else { break };
+                let Some(id) = st.q_spad.pop_front() else {
+                    break;
+                };
                 scanned += 1;
                 let bank = (addr[id as usize] as usize) % cfg.spad.banks.max(1);
                 if banks_used & (1u64 << bank) == 0 {
                     banks_used |= 1u64 << bank;
-                    report.spad_accesses += 1;
-                    probe.on_spad_access(now, now + cfg.spad.latency, bank, id);
-                    complete!(id, now + cfg.spad.latency);
+                    st.report.spad_accesses += 1;
+                    probe.on_spad_access(st.now, st.now + cfg.spad.latency, bank, id);
+                    complete!(id, st.now + cfg.spad.latency);
                 } else {
-                    probe.on_spad_conflict(now, bank, id);
+                    probe.on_spad_conflict(st.now, bank, id);
                     stash.push(id);
                 }
             }
             for id in stash.drain(..).rev() {
-                q_spad.push_front(id);
+                st.q_spad.push_front(id);
             }
         }
 
         // Issue streams: one in flight per engine.
         for dir in 0..2 {
-            if stream_free[dir] <= now {
-                if let Some(id) = q_stream[dir].pop_front() {
+            if st.stream_free[dir] <= st.now {
+                if let Some(id) = st.q_stream[dir].pop_front() {
                     let bytes = nbytes[id as usize] as u64;
-                    report.stream_cmds += 1;
-                    report.dram_stream_bytes += bytes;
-                    let (bw_done, fin) = dram.transfer(now, bytes);
-                    stream_free[dir] = bw_done;
-                    probe.on_stream(now, bw_done, fin, dir, bytes, id);
+                    st.report.stream_cmds += 1;
+                    st.report.dram_stream_bytes += bytes;
+                    let (bw_done, fin) = st.dram.transfer(st.now, bytes);
+                    st.stream_free[dir] = bw_done;
+                    probe.on_stream(st.now, bw_done, fin, dir, bytes, id);
                     complete!(id, fin);
                 }
             }
         }
 
-        let compute_busy =
-            !q_fp.is_empty() || !q_int.is_empty() || !q_mem.is_empty() || !q_spad.is_empty();
-        let queues_busy = compute_busy || !q_stream[0].is_empty() || !q_stream[1].is_empty();
-        probe.on_cycle_end(now, queues_busy);
-        if completed >= n {
+        let compute_busy = !st.q_fp.is_empty()
+            || !st.q_int.is_empty()
+            || !st.q_mem.is_empty()
+            || !st.q_spad.is_empty();
+        let queues_busy = compute_busy || !st.q_stream[0].is_empty() || !st.q_stream[1].is_empty();
+        probe.on_cycle_end(st.now, queues_busy);
+        if st.completed >= n {
             break;
         }
         // Advance time.
         if compute_busy {
             // Memory/scratchpad queues make progress every cycle while
             // non-empty; no cycle may be skipped.
-            now += 1;
+            st.now += 1;
         } else if queues_busy {
             // Gap-skip: only stream commands are pending and every engine
             // holding work is busy. Nothing can issue before the earliest
@@ -567,50 +715,41 @@ fn run_core<P: SimProbe>(
             // when that boundary is immediate).
             let mut next = u64::MAX;
             for dir in 0..2 {
-                if !q_stream[dir].is_empty() {
-                    next = next.min(stream_free[dir]);
+                if !st.q_stream[dir].is_empty() {
+                    next = next.min(st.stream_free[dir]);
                 }
             }
-            if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
+            if let Some(t) = st.events.peek_time() {
                 next = next.min(t);
             }
-            now = next.max(now + 1);
-        } else if let Some(&std::cmp::Reverse((t, _))) = events.peek() {
+            st.now = next.max(st.now + 1);
+        } else if let Some(t) = st.events.peek_time() {
             // Idle: jump to the next future-ready node.
-            now = now.max(t);
+            st.now = st.now.max(t);
         } else {
             // Nothing queued and no events: all in-flight work completes
             // by itself (should not happen — everything is issued
             // synchronously), guard against livelock.
-            now += 1;
+            st.now += 1;
         }
     }
+}
 
-    report.cycles = max_finish;
-    report.fwd_cycles = phase_barrier_idx.map_or(max_finish, |i| finish[i]);
-    probe.on_finish(max_finish);
-
-    // Cool-down: lines still dirty when the run ends must reach DRAM
-    // eventually. Charge those write-backs to traffic exactly once — this
-    // happens before energy accounting so the DRAM energy sees them too —
-    // otherwise small working sets hide store traffic by never evicting.
-    let flushed = cache.dirty_lines();
-    report.cache.writebacks += flushed;
-    report.cache.flush_writebacks = flushed;
-    report.dram_writeback_bytes += flushed * line_bytes;
-
-    // Energy accounting.
-    let cache_access_pj = EnergyTable::cache_pj(cfg.cache.size_bytes);
-    report.energy = EnergyReport {
-        cache_pj: report.cache.accesses() as f64 * cache_access_pj,
-        spad_pj: report.spad_accesses as f64 * cfg.energy.spad_pj,
-        stream_pj: (report.dram_stream_bytes as f64 / 8.0) * cfg.energy.stream_elem_pj,
-        dram_pj: report.dram_bytes() as f64 * cfg.energy.dram_pj_per_byte,
-    };
-    if opts.record_node_times {
-        report.node_finish = Some(finish);
-    }
-    report
+/// Turns a finished [`CoreState`] into the report — the per-cycle
+/// counterpart of [`finalize_dataflow`], sharing the same epilogue.
+pub(crate) fn finalize_core(
+    st: CoreState,
+    cache: Cache,
+    prep: &PreparedSim,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+) -> SimReport {
+    let mut report = st.report;
+    report.cycles = st.max_finish;
+    report.fwd_cycles = prep
+        .phase_barrier_idx
+        .map_or(st.max_finish, |i| st.finish[i]);
+    finalize_report(report, st.finish, cache, cfg, opts)
 }
 
 /// Calendar slots in the event wheel: a power of two comfortably above
@@ -626,18 +765,31 @@ fn wheel_slots(n: usize) -> usize {
     (n / 4).next_power_of_two().clamp(64, WHEEL)
 }
 
-/// Calendar event queue for the pure event loop: a time wheel with a
-/// two-level occupancy bitmap plus an overflow heap for events beyond
-/// the horizon. Push is O(1); finding the next occupied cycle is at
-/// most four find-first-set scans; each occupied cycle drains as one
-/// sorted batch. Replaces the binary heap, whose per-event sift-downs
-/// dominated the event loop's host profile.
+/// Sentinel pool index: end of a slot's event chain / empty free list.
+const NIL: u32 = u32::MAX;
+
+/// Calendar event queue: a time wheel with a two-level occupancy bitmap
+/// plus an overflow heap for events beyond the horizon. Push is O(1);
+/// finding the next occupied cycle is at most four find-first-set
+/// scans; each occupied cycle drains as one sorted batch. Slot storage
+/// is a pooled linked list (`head` + `pool` with a free list) rather
+/// than one `Vec` per slot — a per-slot `Vec` costs thousands of
+/// mallocs, reallocs and drops per run, which dominated the host
+/// profile right after the binary heap it replaced. Shared by the pure
+/// event loop and the per-cycle core; `Clone` makes it checkpointable
+/// wholesale inside [`CoreState`].
+#[derive(Clone)]
 struct EventQ {
-    ring: Vec<Vec<u32>>,
+    /// Slot -> first pool node (`NIL` when empty).
+    head: Vec<u32>,
     /// One bit per slot.
     occ: Vec<u64>,
     /// One bit per `occ` word (at most `WHEEL / 64 = 64` words).
     occ_sum: u64,
+    /// `(next, id)` chain nodes, recycled through `free` so the pool
+    /// stays at the run's peak in-flight event count.
+    pool: Vec<(u32, u32)>,
+    free: u32,
     over: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
     /// Window start: every ring event's time is in `[cur, cur + slots)`
     /// and every overflow event's time is `>= cur + slots`.
@@ -645,20 +797,48 @@ struct EventQ {
     /// `slots - 1` (slot count is a power of two).
     mask: usize,
     len: usize,
+    /// Memoized earliest queued time, or `u64::MAX` when unknown. The
+    /// per-cycle core peeks two or three times per cycle (drain check,
+    /// drain re-check, gap-skip); only the first pays the bitmap scan.
+    /// Pushes fold into a known value (`min`), drains invalidate it.
+    cached: u64,
 }
 
 impl EventQ {
     fn new(slots: usize) -> Self {
         debug_assert!(slots.is_power_of_two() && (64..=WHEEL).contains(&slots));
         EventQ {
-            ring: vec![Vec::new(); slots],
+            head: vec![NIL; slots],
             occ: vec![0; slots / 64],
             occ_sum: 0,
+            pool: Vec::with_capacity(64),
+            free: NIL,
             over: BinaryHeap::new(),
             cur: 0,
             mask: slots - 1,
             len: 0,
+            cached: u64::MAX,
         }
+    }
+
+    /// Links `id` into the ring slot for `t` (which must lie inside the
+    /// window). Does not touch `len` — both [`EventQ::push`] and the
+    /// overflow refill route through here.
+    #[inline]
+    fn ring_insert(&mut self, t: u64, id: u32) {
+        let s = t as usize & self.mask;
+        let node = if self.free != NIL {
+            let node = self.free;
+            self.free = self.pool[node as usize].0;
+            self.pool[node as usize] = (self.head[s], id);
+            node
+        } else {
+            self.pool.push((self.head[s], id));
+            (self.pool.len() - 1) as u32
+        };
+        self.head[s] = node;
+        self.occ[s >> 6] |= 1 << (s & 63);
+        self.occ_sum |= 1 << (s >> 6);
     }
 
     /// Queues `id` at time `t`. Requires `t >= self.cur`: service times
@@ -666,11 +846,12 @@ impl EventQ {
     #[inline]
     fn push(&mut self, t: u64, id: u32) {
         self.len += 1;
+        if self.cached != u64::MAX && t < self.cached {
+            // A known earliest only moves down; unknown stays unknown.
+            self.cached = t;
+        }
         if t - self.cur <= self.mask as u64 {
-            let s = t as usize & self.mask;
-            self.ring[s].push(id);
-            self.occ[s >> 6] |= 1 << (s & 63);
-            self.occ_sum |= 1 << (s >> 6);
+            self.ring_insert(t, id);
         } else {
             self.over.push(std::cmp::Reverse((t, id)));
         }
@@ -706,13 +887,28 @@ impl EventQ {
         None
     }
 
+    /// Refills the ring from the overflow heap after the window moved.
+    fn refill(&mut self) {
+        while let Some(&std::cmp::Reverse((t, id))) = self.over.peek() {
+            if t - self.cur > self.mask as u64 {
+                break;
+            }
+            self.over.pop();
+            self.ring_insert(t, id);
+        }
+    }
+
     /// Earliest queued time; advances the window there and refills it
     /// from the overflow heap. `None` when the queue is empty.
     fn next_time(&mut self) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
-        if let Some(slot) = self.scan() {
+        let c = self.cached;
+        if c != u64::MAX {
+            // Memoized earliest: jump the window straight there.
+            self.cur = c;
+        } else if let Some(slot) = self.scan() {
             let base = self.cur as usize & self.mask;
             let delta = (slot + self.mask + 1 - base) & self.mask;
             self.cur += delta as u64;
@@ -721,29 +917,69 @@ impl EventQ {
             let &std::cmp::Reverse((t, _)) = self.over.peek().expect("len > 0 with an empty ring");
             self.cur = t;
         }
-        while let Some(&std::cmp::Reverse((t, id))) = self.over.peek() {
-            if t - self.cur > self.mask as u64 {
-                break;
-            }
-            self.over.pop();
-            let s = t as usize & self.mask;
-            self.ring[s].push(id);
-            self.occ[s >> 6] |= 1 << (s & 63);
-            self.occ_sum |= 1 << (s >> 6);
-        }
+        self.refill();
+        // Refilling moves events without changing their times, so the
+        // earliest stays exactly `cur`.
+        self.cached = self.cur;
         Some(self.cur)
+    }
+
+    /// Earliest queued time without disturbing the window — the
+    /// per-cycle core's replacement for `BinaryHeap::peek` in its
+    /// drain and gap-skip decisions. Ring events always precede
+    /// overflow events (the overflow holds times beyond the window).
+    fn peek_time(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let c = self.cached;
+        if c != u64::MAX {
+            return Some(c);
+        }
+        let t = if let Some(slot) = self.scan() {
+            let base = self.cur as usize & self.mask;
+            let delta = (slot + self.mask + 1 - base) & self.mask;
+            self.cur + delta as u64
+        } else {
+            let &std::cmp::Reverse((t, _)) = self.over.peek().expect("len > 0 with an empty ring");
+            t
+        };
+        self.cached = t;
+        Some(t)
+    }
+
+    /// Advances the window to `t` (which must be a time
+    /// [`EventQ::peek_time`] returned, so nothing occupied is skipped)
+    /// and moves every event queued there into `batch`.
+    fn take_at(&mut self, t: u64, batch: &mut Vec<u32>) {
+        debug_assert!(t >= self.cur);
+        if t > self.cur {
+            self.cur = t;
+            self.refill();
+        }
+        self.take_into(t, batch);
     }
 
     /// Moves every event queued at `t` (the value [`EventQ::next_time`]
     /// returned) into `batch`.
     fn take_into(&mut self, t: u64, batch: &mut Vec<u32>) {
         let s = t as usize & self.mask;
-        self.len -= self.ring[s].len();
-        batch.append(&mut self.ring[s]);
+        let mut node = self.head[s];
+        while node != NIL {
+            let (next, id) = self.pool[node as usize];
+            batch.push(id);
+            self.pool[node as usize].0 = self.free;
+            self.free = node;
+            self.len -= 1;
+            node = next;
+        }
+        self.head[s] = NIL;
         self.occ[s >> 6] &= !(1 << (s & 63));
         if self.occ[s >> 6] == 0 {
             self.occ_sum &= !(1 << (s >> 6));
         }
+        // The drained slot was the earliest; the next one is unknown.
+        self.cached = u64::MAX;
     }
 
     /// Every queued `(time, id)` pair, unordered (for checkpoints).
@@ -751,13 +987,16 @@ impl EventQ {
         let mut out = Vec::with_capacity(self.len);
         let base = self.cur as usize & self.mask;
         let anchor = self.cur - base as u64;
-        for (s, bucket) in self.ring.iter().enumerate() {
-            if bucket.is_empty() {
+        for s in 0..=self.mask {
+            let mut node = self.head[s];
+            if node == NIL {
                 continue;
             }
             let t = anchor + s as u64 + if s < base { self.mask as u64 + 1 } else { 0 };
-            for &id in bucket {
+            while node != NIL {
+                let (next, id) = self.pool[node as usize];
                 out.push((t, id));
+                node = next;
             }
         }
         for &std::cmp::Reverse(e) in &self.over {
@@ -889,6 +1128,15 @@ pub(crate) const REC_WRITE: u8 = 1 << 0;
 pub(crate) const REC_HIT: u8 = 1 << 1;
 /// Recorded access meta bit: the fill evicted a dirty line.
 pub(crate) const REC_WB: u8 = 1 << 2;
+/// Bit position where a recorded access's meta bits live, packed into
+/// the high end of the address word itself: one array push per access
+/// on the record path and one load per access on the replay path
+/// instead of two. Memory addresses are byte offsets into a traced
+/// function's heap image — far below this bit — and scratchpad
+/// addresses (which carry `SPAD_SPACE`, bit 63) are never recorded.
+pub(crate) const REC_SHIFT: u32 = 61;
+/// Mask recovering the address from a packed recording word.
+pub(crate) const REC_ADDR_MASK: u64 = (1 << REC_SHIFT) - 1;
 
 /// The record of a dataflow run: the cache access stream in schedule
 /// order with each access's outcome, plus periodic scheduler
@@ -897,17 +1145,45 @@ pub(crate) const REC_WB: u8 = 1 << 2;
 /// they match, the schedule is provably identical, so the run can skip
 /// straight to the checkpoint before the first divergence.
 pub(crate) struct Recording {
+    /// Packed access words: address in the low [`REC_SHIFT`] bits,
+    /// `REC_*` outcome bits above ([`REC_SHIFT`]).
     pub(crate) addrs: Vec<u64>,
-    pub(crate) meta: Vec<u8>,
     pub(crate) ckpts: Vec<Ckpt>,
     next_ckpt: u64,
     max_ckpts: usize,
+    /// Last access position worth checkpointing: on a monotone ladder
+    /// every future divergence lands at or before the one that caused
+    /// this recording, so snapshots past it can never be resumed from.
+    ckpt_limit: u64,
 }
 
-/// One checkpoint: the scheduler state with `snap.accesses` cache
+/// A checkpointed scheduler state, from whichever core recorded the
+/// run. Both variants are deliberately cache-free: the scheduler's
+/// evolution depends on the cache only through per-access outcomes,
+/// which the recording captures, so one set of checkpoints serves
+/// every geometry whose outcome stream shares the prefix (the resume
+/// path rebuilds the cache by replaying the validated prefix).
+pub(crate) enum Snap {
+    /// Pure event loop state ([`dataflow_loop`]).
+    Df(Box<DfSnap>),
+    /// Per-cycle core state ([`core_loop`]).
+    Core(Box<CoreState>),
+}
+
+impl Snap {
+    /// Cache accesses already served when the checkpoint was taken.
+    pub(crate) fn accesses(&self) -> u64 {
+        match self {
+            Snap::Df(s) => s.accesses,
+            Snap::Core(s) => s.accesses,
+        }
+    }
+}
+
+/// One checkpoint: the scheduler state with `snap.accesses()` cache
 /// accesses already served.
 pub(crate) struct Ckpt {
-    pub(crate) snap: DfSnap,
+    pub(crate) snap: Snap,
 }
 
 impl Recording {
@@ -916,10 +1192,10 @@ impl Recording {
     pub(crate) fn disabled() -> Recording {
         Recording {
             addrs: Vec::new(),
-            meta: Vec::new(),
             ckpts: Vec::new(),
             next_ckpt: u64::MAX,
             max_ckpts: 0,
+            ckpt_limit: u64::MAX,
         }
     }
 
@@ -930,35 +1206,62 @@ impl Recording {
     /// purpose — on a descending cache-size ladder, each smaller
     /// configuration diverges *earlier* than the last (capacity
     /// pressure bites sooner), so resumes cluster near the start of
-    /// the run while late checkpoints go unused. `cap` preallocates
-    /// the access buffers (the trace's memory-node count).
-    pub(crate) fn new(first: u64, max_ckpts: usize, cap: usize) -> Recording {
+    /// the run while late checkpoints go unused. Positions past
+    /// `limit` are skipped entirely (a re-record after a divergence at
+    /// access *d* passes `limit = d`: no later chained run can diverge
+    /// past *d* on a monotone ladder, so snapshots there are dead
+    /// weight). `cap` preallocates the access buffers (the trace's
+    /// memory-node count).
+    pub(crate) fn new(first: u64, max_ckpts: usize, cap: usize, limit: u64) -> Recording {
+        let first = first.max(1);
         Recording {
             addrs: Vec::with_capacity(cap),
-            meta: Vec::with_capacity(cap),
             ckpts: Vec::new(),
-            next_ckpt: if max_ckpts == 0 {
+            next_ckpt: if max_ckpts == 0 || first > limit {
                 u64::MAX
             } else {
-                first.max(1)
+                first
             },
             max_ckpts,
+            ckpt_limit: limit,
         }
     }
 
-    fn take_ckpt(&mut self, st: &DfState) {
+    fn take_df_ckpt(&mut self, st: &DfState) {
         if self.ckpts.len() >= self.max_ckpts {
             self.next_ckpt = u64::MAX;
             return;
         }
-        self.ckpts.push(Ckpt { snap: st.snap() });
-        // Doubling schedule; catch up past the current clock when a
-        // batch overshot several scheduled points at once.
+        self.ckpts.push(Ckpt {
+            snap: Snap::Df(Box::new(st.snap())),
+        });
+        self.advance_schedule(st.accesses);
+    }
+
+    pub(crate) fn take_core_ckpt(&mut self, st: &CoreState) {
+        if self.ckpts.len() >= self.max_ckpts {
+            self.next_ckpt = u64::MAX;
+            return;
+        }
+        self.ckpts.push(Ckpt {
+            snap: Snap::Core(Box::new(st.clone())),
+        });
+        self.advance_schedule(st.accesses);
+    }
+
+    /// Doubling schedule; catch up past the current clock when a batch
+    /// overshot several scheduled points at once, and stop once the
+    /// schedule leaves the useful window.
+    fn advance_schedule(&mut self, accesses: u64) {
         let mut next = self.next_ckpt;
-        while next <= st.accesses {
+        while next <= accesses {
             next = next.saturating_mul(2);
         }
-        self.next_ckpt = next;
+        self.next_ckpt = if next > self.ckpt_limit {
+            u64::MAX
+        } else {
+            next
+        };
     }
 
     /// Drops everything past checkpoint `keep` so the tail can be
@@ -968,10 +1271,9 @@ impl Recording {
     /// before this one, where the surviving prefix checkpoints
     /// already serve.
     pub(crate) fn truncate_to(&mut self, keep: usize) {
-        let cut = self.ckpts[keep].snap.accesses;
+        let cut = self.ckpts[keep].snap.accesses();
         self.ckpts.truncate(keep + 1);
         self.addrs.truncate(cut as usize);
-        self.meta.truncate(cut as usize);
         self.next_ckpt = u64::MAX;
     }
 }
@@ -1018,7 +1320,7 @@ pub(crate) fn dataflow_loop<const REC: bool>(
 
     while st.completed < n {
         if REC && st.accesses >= rec.next_ckpt {
-            rec.take_ckpt(st);
+            rec.take_df_ckpt(st);
         }
         // An empty queue before completion means unsatisfiable
         // dependences (not a DAG); stop with a short report instead of
@@ -1109,20 +1411,23 @@ pub(crate) fn dataflow_loop<const REC: bool>(
                     // the stall site: a miss with no free MSHR ends its
                     // service cycle (head-of-line).
                     let s = st.mem_srv.issue_at(t, cfg.cache.ports);
+                    let res = cache.access(addr[idu], is_write);
+                    // Only misses consult the MSHRs; the min-slot scan
+                    // is skipped on the majority hit path.
                     let mut mshr_slot = 0;
-                    for i in 1..st.mshr.len() {
-                        if st.mshr[i] < st.mshr[mshr_slot] {
-                            mshr_slot = i;
+                    if !res.hit {
+                        for i in 1..st.mshr.len() {
+                            if st.mshr[i] < st.mshr[mshr_slot] {
+                                mshr_slot = i;
+                            }
                         }
                     }
-                    let res = cache.access(addr[idu], is_write);
                     if REC {
-                        rec.addrs.push(addr[idu]);
-                        rec.meta.push(
-                            (REC_WRITE * u8::from(is_write))
-                                | (REC_HIT * u8::from(res.hit))
-                                | (REC_WB * u8::from(res.writeback.is_some())),
-                        );
+                        let m = (REC_WRITE * u8::from(is_write))
+                            | (REC_HIT * u8::from(res.hit))
+                            | (REC_WB * u8::from(res.writeback.is_some()));
+                        debug_assert_eq!(addr[idu] & !REC_ADDR_MASK, 0);
+                        rec.addrs.push(addr[idu] | (u64::from(m) << REC_SHIFT));
                     }
                     st.accesses += 1;
                     if res.hit {
@@ -1180,7 +1485,24 @@ pub(crate) fn finalize_dataflow(
     report.fwd_cycles = prep
         .phase_barrier_idx
         .map_or(st.max_finish, |i| st.finish[i]);
+    finalize_report(report, st.finish, cache, cfg, opts)
+}
 
+/// The shared finalize epilogue: end-of-run dirty flush, energy, and
+/// (on request) per-node finish times. `report.cycles`/`fwd_cycles`
+/// must already be set by the caller.
+fn finalize_report(
+    mut report: SimReport,
+    finish: Vec<u64>,
+    cache: Cache,
+    cfg: &SystemConfig,
+    opts: &SimOptions,
+) -> SimReport {
+    // Cool-down: lines still dirty when the run ends must reach DRAM
+    // eventually. Charge those write-backs to traffic exactly once —
+    // this happens before energy accounting so the DRAM energy sees
+    // them too — otherwise small working sets hide store traffic by
+    // never evicting.
     let line_bytes = cache.config().line_bytes as u64;
     let flushed = cache.dirty_lines();
     report.cache.writebacks += flushed;
@@ -1189,7 +1511,7 @@ pub(crate) fn finalize_dataflow(
 
     recompute_energy(&mut report, cfg);
     if opts.record_node_times {
-        report.node_finish = Some(st.finish);
+        report.node_finish = Some(finish);
     }
     report
 }

@@ -61,7 +61,9 @@ pub mod report;
 pub mod sweep;
 
 pub use cache::{Cache, ReplacementPolicy};
-pub use config::{CacheConfig, DramConfig, EnergyTable, PeConfig, SpadConfig, SystemConfig};
+pub use config::{
+    CacheConfig, ClassPrints, DramConfig, EnergyTable, PeConfig, SpadConfig, SystemConfig,
+};
 pub use engine::{
     simulate, simulate_prepared, simulate_prepared_probed, simulate_probed, try_simulate,
     try_simulate_probed, try_simulate_probed_with, Engine, SimOptions,
@@ -73,7 +75,7 @@ pub use probe::{
     SimProbe, StallKind, TraceRecorder,
 };
 pub use report::{CacheStats, EnergyReport, SimReport};
-pub use sweep::SweepSession;
+pub use sweep::{plan_order, run_group, SweepSession};
 
 // The bench harness shares configurations and reports across worker
 // threads; keep them thread-safe by construction.

@@ -63,10 +63,18 @@ pub struct PreparedSim {
     pub(crate) roots: Vec<u32>,
     /// Index of the FWD/REV phase barrier, if the trace has one.
     pub(crate) phase_barrier_idx: Option<usize>,
-    /// Whether any node touches the scratchpad or a stream engine. When
-    /// none do, the engine's pure event loop applies (no per-cycle
-    /// iteration; see `engine::run_dataflow`).
-    pub(crate) spad_or_stream: bool,
+    /// Whether any node touches the scratchpad. Together with
+    /// [`PreparedSim::has_stream`] this decides which engine backend
+    /// applies and which `SystemConfig` parameter classes are relevant
+    /// to the trace at all (a sweep session chains across changes to a
+    /// subsystem the trace never exercises).
+    pub(crate) has_spad: bool,
+    /// Whether any node is a stream-engine command.
+    pub(crate) has_stream: bool,
+    /// Number of cache-access nodes (`MemLoad`/`MemStore`) — the length
+    /// of a sweep recording's outcome stream, precomputed so sessions
+    /// don't rescan the class array.
+    pub(crate) n_mem: usize,
 }
 
 impl PreparedSim {
@@ -109,10 +117,14 @@ impl PreparedSim {
         let mut pend0 = vec![NodeState { ready: 0, indeg: 0 }; n];
         let mut succ_cnt = vec![0u32; n];
         let mut phase_barrier_idx = None;
-        let mut spad_or_stream = false;
+        let mut has_spad = false;
+        let mut has_stream = false;
+        let mut n_mem = 0usize;
         for (i, node) in trace.nodes().iter().enumerate() {
             let c = node.class();
-            spad_or_stream |= matches!(c, OpClass::SpadLoad | OpClass::SpadStore | OpClass::Stream);
+            has_spad |= matches!(c, OpClass::SpadLoad | OpClass::SpadStore);
+            has_stream |= matches!(c, OpClass::Stream);
+            n_mem += usize::from(matches!(c, OpClass::MemLoad | OpClass::MemStore));
             class.push(c);
             let mut f = 0u8;
             f |= FLAG_TAPE * u8::from(node.is_tape);
@@ -159,8 +171,17 @@ impl PreparedSim {
             succ_dat,
             roots,
             phase_barrier_idx,
-            spad_or_stream,
+            has_spad,
+            has_stream,
+            n_mem,
         })
+    }
+
+    /// Whether any node touches the scratchpad or a stream engine. When
+    /// none do, the engine's pure event loop applies (no per-cycle
+    /// iteration; see `engine::run_dataflow`).
+    pub(crate) fn spad_or_stream(&self) -> bool {
+        self.has_spad || self.has_stream
     }
 
     /// Number of nodes in the prepared trace.

@@ -1,14 +1,18 @@
-//! Incremental re-simulation across a cache-parameter sweep.
+//! Incremental re-simulation across parameter sweeps.
 //!
-//! A sweep that only perturbs the cache geometry (the paper's
-//! cache-size sensitivity ladders) re-runs the *same* prepared trace
-//! with the *same* datapath timing over and over; the schedule of two
-//! such runs is identical up to the first cache access whose outcome
-//! (hit/miss, dirty eviction) differs. [`SweepSession`] exploits that:
+//! A sweep re-runs the *same* prepared trace under configurations that
+//! differ in a few machine parameters; the schedule of two such runs is
+//! identical up to the first cache access whose outcome (hit/miss,
+//! dirty eviction) differs — provided every parameter the replay itself
+//! cannot validate is unchanged. [`SweepSession`] exploits that:
 //!
 //! 1. The first configuration runs fully, recording the cache access
 //!    stream with outcomes and taking periodic scheduler checkpoints
-//!    ([`crate::engine::Recording`]).
+//!    ([`crate::engine::Recording`]). Traces served by the pure event
+//!    loop record through it; scratchpad/stream traces record through
+//!    the per-cycle core ([`crate::engine::core_loop`]), whose complete
+//!    state is equally snapshottable — so *every* nonempty trace gets a
+//!    session, not just the cache-only ones.
 //! 2. Each later configuration **replays** the recorded address stream
 //!    through its own cold cache — pure `Cache::access` calls, no
 //!    scheduler at all — comparing outcomes against the record.
@@ -23,44 +27,116 @@
 //!
 //! Ordering a ladder from large caches to small maximizes shared
 //! prefixes (neighbouring sizes behave identically until capacity
-//! pressure bites). Correctness never depends on the order, only the
+//! pressure bites); [`plan_order`] encodes that policy for arbitrary
+//! config sets. Correctness never depends on the order, only the
 //! amount of reuse does; every report is byte-identical to a fresh
 //! simulation, which the determinism suite and the harness's golden
 //! JSON pin down.
 //!
-//! Compatibility is keyed off the [`SystemConfig::fingerprint`] memo:
-//! two configurations chain if their fingerprints agree after
-//! normalizing the cache fields the replay itself validates
-//! (`size_bytes`, `assoc`, replacement policy). Everything else —
-//! line size, ports, hit latency, MSHRs, datapath, DRAM — feeds timing
-//! directly and forces a fresh recording when it changes. Traces the
-//! pure event loop cannot serve (scratchpad/stream nodes) fall back to
-//! [`simulate_prepared`] per configuration, unchanged.
+//! ## What may change between chained configurations
+//!
+//! Compatibility is keyed on the per-parameter-class fingerprints of
+//! [`crate::config::ClassPrints`] rather than the whole-config memo
+//! fingerprint:
+//!
+//! * **Cache geometry** (size/assoc/policy) — free: the replay
+//!   validates it directly through outcomes.
+//! * **Scratchpad bank count** — validated *structurally*: the bank of
+//!   a scratchpad access is `addr % banks`, a pure per-address
+//!   function, so two counts chain iff they assign every scratchpad
+//!   address in the trace the same bank ([`spad_map_equal`]); traces
+//!   without scratchpad nodes chain across any bank count.
+//! * **Energy table** — free: energy is recomputed from final counters.
+//! * Everything else — cache timing (line/ports/latency/MSHRs),
+//!   scratchpad latency, the DRAM/stream model, the datapath — feeds
+//!   timing without leaving a per-access record and forces a fresh
+//!   recording when a *relevant* class changes (classes the trace never
+//!   exercises don't gate).
 
 use crate::cache::Cache;
 use crate::config::SystemConfig;
 use crate::engine::{
-    dataflow_loop, dataflow_ok, finalize_dataflow, recompute_energy, simulate_prepared, DfState,
-    Recording, SimOptions, REC_HIT, REC_WB, REC_WRITE,
+    core_loop, dataflow_loop, dataflow_ok, finalize_core, finalize_dataflow, recompute_energy,
+    simulate_prepared, CoreState, DfState, Recording, SimOptions, Snap, REC_ADDR_MASK, REC_HIT,
+    REC_SHIFT, REC_WB, REC_WRITE,
 };
 use crate::prep::PreparedSim;
+use crate::probe::NoProbe;
 use crate::report::SimReport;
 use std::sync::Arc;
 use tapeflow_ir::OpClass;
 
-/// Hard cap on scheduler checkpoints per recording (each costs ~24
-/// bytes per trace node).
-const MAX_CKPTS: usize = 8;
-/// Total checkpoint memory budget in bytes; large arenas get fewer
-/// checkpoints (possibly none — incremental reuse then degrades to
-/// "replay or re-run from scratch", still exact).
+/// Total checkpoint memory budget in bytes per session; large arenas
+/// get fewer checkpoints (possibly none — incremental reuse then
+/// degrades to "replay or re-run from scratch", still exact).
 const CKPT_BUDGET: usize = 256 << 20;
+/// Conservative per-node snapshot cost estimate in bytes (fused
+/// pend/finish state plus queue and event entries; the per-cycle
+/// core's snapshots are the larger variant).
+const CKPT_NODE_BYTES: usize = 40;
+/// Earliest checkpoint position in accesses — below this the snapshot
+/// costs more than the prefix it saves.
+const FIRST_CKPT: u64 = 64;
+/// Hard cap on checkpoints per recording, independent of the budget
+/// (each doubling past this covers so much stream that more snapshots
+/// stop paying for themselves).
+const CKPT_HARD_CAP: usize = 16;
+/// Measured cost of one scheduler snapshot relative to a full cold
+/// simulation of the same trace, in percent. Both scale linearly with
+/// node count (the snapshot memcpys the per-node scheduler state, the
+/// simulation visits every node), so the ratio is roughly
+/// scale-invariant; ~30% holds for both the event-loop and per-cycle
+/// core variants. A checkpoint at access *a* can save at most the
+/// `a / n_mem` prefix of one future resume, so re-records only take
+/// as many snapshots as their expected resume savings can repay.
+const CKPT_COST_PCT: usize = 30;
+/// How much earlier the *next* divergence lands relative to the one
+/// that triggered a re-record, as a divisor on the expected resume
+/// savings. On descending cache ladders successive divergences cluster
+/// toward the start of the stream (measured roughly a third of the
+/// previous position across the canonical sweeps), so a re-record
+/// after a divergence at `d` should expect future resumes to reuse
+/// only about `d / 3` of its prefix, not all of it.
+const DIV_SHRINK: usize = 3;
+/// Lookahead value meaning "unknown number of future configurations"
+/// ([`SweepSession::simulate`] without a plan): checkpoint as if many
+/// consumers may resume, i.e. the cost model caps on schedule span
+/// and budget alone.
+const MANY: usize = usize::MAX;
+
+/// The checkpoint plan for a trace: first-checkpoint position (in
+/// accesses) and checkpoint count, sized so the doubling schedule
+/// spans the whole access stream while total snapshot memory stays
+/// under [`CKPT_BUDGET`] **regardless of trace length** — the count
+/// shrinks as the per-snapshot cost (`~CKPT_NODE_BYTES * nodes`)
+/// grows. Invariant (pinned by a unit test):
+/// `max_ckpts * CKPT_NODE_BYTES * nodes <= CKPT_BUDGET`, and
+/// `interval << max_ckpts >= n_mem` (the schedule reaches the end).
+pub(crate) fn ckpt_plan(nodes: usize, n_mem: usize) -> (u64, usize) {
+    // Checkpoints wanted: enough doublings from FIRST_CKPT to span the
+    // access stream (a short trace needs few; zero accesses need none).
+    let mut wanted = 0usize;
+    let mut pos = FIRST_CKPT;
+    while pos < n_mem as u64 && wanted < CKPT_HARD_CAP {
+        pos = pos.saturating_mul(2);
+        wanted += 1;
+    }
+    if n_mem > 0 {
+        wanted = wanted.max(1);
+    }
+    let per_ckpt = CKPT_NODE_BYTES * nodes.max(1);
+    let max_ckpts = (CKPT_BUDGET / per_ckpt).min(wanted);
+    // Anchor the first checkpoint so `max_ckpts` doublings span the
+    // stream even when the budget granted fewer than `wanted`.
+    let interval = ((n_mem as u64) >> max_ckpts).max(FIRST_CKPT);
+    (interval, max_ckpts)
+}
 
 /// A sweep-scoped simulation session over one prepared trace: same
 /// results as calling [`simulate_prepared`] per configuration, but
-/// configurations that only differ in cache geometry reuse the
-/// unchanged warm-up prefix of the previous run instead of
-/// re-simulating it.
+/// configurations whose differences the replay can validate (cache
+/// geometry, scratchpad bank maps, energy tables) reuse the unchanged
+/// warm-up prefix of the previous run instead of re-simulating it.
 pub struct SweepSession {
     prep: Arc<PreparedSim>,
     opts: SimOptions,
@@ -99,26 +175,14 @@ impl std::fmt::Debug for SweepSession {
 impl SweepSession {
     /// A session over `prep`. `opts` applies to every run.
     pub fn new(prep: Arc<PreparedSim>, opts: SimOptions) -> SweepSession {
-        let n_mem = prep
-            .class
-            .iter()
-            .filter(|c| matches!(c, OpClass::MemLoad | OpClass::MemStore))
-            .count() as u64;
-        // First checkpoint after `interval` accesses, then doubling
-        // (geometric, early-biased — see [`crate::engine::Recording`]).
-        // Anchored so MAX_CKPTS doublings roughly span the whole access
-        // stream; never closer than 64 accesses (diminishing returns
-        // below that). Fewer checkpoints when the per-checkpoint state
-        // would blow the memory budget.
-        let interval = (n_mem >> MAX_CKPTS).max(64);
-        let per_ckpt = 24 * prep.len().max(1);
-        let max_ckpts = (CKPT_BUDGET / per_ckpt).min(MAX_CKPTS);
+        let n_mem = prep.n_mem;
+        let (interval, max_ckpts) = ckpt_plan(prep.len(), n_mem);
         SweepSession {
             prep,
             opts,
             interval,
             max_ckpts,
-            n_mem: n_mem as usize,
+            n_mem,
             diverged: false,
             base: None,
         }
@@ -128,31 +192,120 @@ impl SweepSession {
     /// configurations are sweep-compatible. Byte-identical to
     /// [`simulate_prepared`] on the same inputs.
     pub fn simulate(&mut self, cfg: &SystemConfig) -> SimReport {
-        if !dataflow_ok(&self.prep, cfg) {
-            // Scratchpad/stream traces (or exotic configs) don't run on
-            // the event loop; no recording to reuse.
-            self.base = None;
+        self.simulate_lookahead(cfg, MANY)
+    }
+
+    /// [`Self::simulate`] with a lookahead hint: `remaining` is the
+    /// number of configurations still to run through this session
+    /// after this one. The hint only tunes the recording effort —
+    /// results stay byte-identical to [`simulate_prepared`] for any
+    /// value:
+    ///
+    /// * `remaining == 0`: nothing can consume a recording, so a run
+    ///   that must re-simulate does it cold (no access recording, no
+    ///   snapshots); full-match replays still reuse the base wholesale.
+    /// * otherwise: re-records after a divergence take only as many
+    ///   checkpoints as `remaining` future resumes could plausibly
+    ///   repay under the [`CKPT_COST_PCT`] cost model.
+    ///
+    /// [`run_group`] drives sessions through this entry point with the
+    /// exact plan tail length; callers without a plan can use
+    /// [`Self::simulate`], which assumes many consumers follow.
+    pub fn simulate_lookahead(&mut self, cfg: &SystemConfig, remaining: usize) -> SimReport {
+        if self.prep.is_empty() {
+            // Nothing to record or replay.
             return simulate_prepared(&self.prep, cfg, &self.opts);
         }
-        let chains = matches!(&self.base, Some(b) if sweep_compatible(&b.cfg, cfg));
+        let chains = matches!(&self.base, Some(b) if self.chains_with(&b.cfg, cfg));
         if chains {
-            self.incremental(*cfg)
+            self.incremental(*cfg, remaining)
         } else {
-            self.record_fresh(*cfg)
+            self.record_fresh(*cfg, remaining, None)
         }
+    }
+
+    /// Whether `b` can chain off a recording made under `a`: every
+    /// parameter class the replay cannot validate must be unchanged —
+    /// unless the trace never exercises that subsystem at all. The
+    /// gated classes (cache timing, datapath) also pin the backend
+    /// choice ([`dataflow_ok`]), so a chained pair always resumes on
+    /// the checkpoint variant it recorded.
+    fn chains_with(&self, a: &SystemConfig, b: &SystemConfig) -> bool {
+        let (pa, pb) = (a.class_prints(), b.class_prints());
+        if pa.cache_timing != pb.cache_timing || pa.pe != pb.pe {
+            return false;
+        }
+        // The DRAM model serves cache fills and stream transfers; a
+        // trace with neither never consults it.
+        if (self.n_mem > 0 || self.prep.has_stream) && pa.stream != pb.stream {
+            return false;
+        }
+        if self.prep.has_spad {
+            if pa.spad_timing != pb.spad_timing {
+                return false;
+            }
+            if pa.spad_geometry != pb.spad_geometry
+                && !spad_map_equal(&self.prep, a.spad.banks, b.spad.banks)
+            {
+                return false;
+            }
+        }
+        true
     }
 
     /// Full run with recording; becomes the new base. Checkpoints are
     /// taken only once this session has seen a divergence — before
     /// that, the snapshots would be pure overhead on ladders whose
-    /// outcome streams all match.
-    fn record_fresh(&mut self, cfg: SystemConfig) -> SimReport {
-        let ckpts = if self.diverged { self.max_ckpts } else { 0 };
-        let mut st = DfState::new(&self.prep, &cfg);
+    /// outcome streams all match — and even then only as many as the
+    /// remaining plan can repay: with a known divergence position
+    /// `div`, each of the `remaining` future runs can save at most the
+    /// `div / n_mem` prefix of one cold run by resuming, while every
+    /// snapshot costs ~[`CKPT_COST_PCT`]% of a cold run up front. With
+    /// nothing left in the plan (`remaining == 0`) the run skips
+    /// recording entirely and leaves the existing base untouched — it
+    /// still truthfully describes its own configuration, so a stray
+    /// later call can keep chaining off it. Dispatches to whichever
+    /// core serves this trace/config pair.
+    fn record_fresh(&mut self, cfg: SystemConfig, remaining: usize, div: Option<u64>) -> SimReport {
+        if remaining == 0 || (self.diverged && remaining == 1) {
+            // Nothing left in the plan — or one run left right after a
+            // divergence. Below the working set every smaller geometry's
+            // outcome stream differs from every larger one's near the
+            // start, so the post-divergence successor diverges again
+            // with near certainty: recording for it would pay the
+            // record overhead to enable a replay-match that will not
+            // happen. The untouched base still truthfully describes
+            // its own configuration, so the successor replays (and
+            // early-diverges against) that instead.
+            return simulate_prepared(&self.prep, &cfg, &self.opts);
+        }
+        let (ckpts, limit) = if !self.diverged {
+            (0, u64::MAX)
+        } else if let Some(div) = div {
+            let div_pct = (100 * div / self.n_mem.max(1) as u64) as usize;
+            let afford = remaining.min(64) * div_pct / (DIV_SHRINK * CKPT_COST_PCT);
+            (afford.min(self.max_ckpts), div.max(1))
+        } else {
+            (self.max_ckpts, u64::MAX)
+        };
+        let mut rec = Recording::new(self.interval, ckpts, self.n_mem, limit);
         let mut cache = Cache::new(cfg.cache);
-        let mut rec = Recording::new(self.interval, ckpts, self.n_mem);
-        dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut cache, &mut rec);
-        let report = finalize_dataflow(st, cache, &self.prep, &cfg, &self.opts);
+        let report = if dataflow_ok(&self.prep, &cfg) {
+            let mut st = DfState::new(&self.prep, &cfg);
+            dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut cache, &mut rec);
+            finalize_dataflow(st, cache, &self.prep, &cfg, &self.opts)
+        } else {
+            let mut st = CoreState::new(&self.prep, &cfg);
+            core_loop::<NoProbe, true>(
+                &self.prep,
+                &cfg,
+                &mut st,
+                &mut cache,
+                &mut rec,
+                &mut NoProbe,
+            );
+            finalize_core(st, cache, &self.prep, &cfg, &self.opts)
+        };
         self.base = Some(BaseRec {
             cfg,
             rec,
@@ -162,7 +315,7 @@ impl SweepSession {
     }
 
     /// Replay the base record through `cfg`'s cache; skip what matches.
-    fn incremental(&mut self, cfg: SystemConfig) -> SimReport {
+    fn incremental(&mut self, cfg: SystemConfig, remaining: usize) -> SimReport {
         let b = self.base.as_mut().expect("incremental requires a base");
         let mut cache = Cache::new(cfg.cache);
 
@@ -171,8 +324,9 @@ impl SweepSession {
         // must stay a pure `Cache::access` scan (snapshotting a multi-MB
         // cache at every checkpoint boundary would dwarf the replay).
         let mut div: Option<u64> = None;
-        for (i, (&addr, &m)) in b.rec.addrs.iter().zip(&b.rec.meta).enumerate() {
-            let res = cache.access(addr, m & REC_WRITE != 0);
+        for (i, &word) in b.rec.addrs.iter().enumerate() {
+            let m = (word >> REC_SHIFT) as u8;
+            let res = cache.access(word & REC_ADDR_MASK, m & REC_WRITE != 0);
             let got = (REC_HIT * u8::from(res.hit)) | (REC_WB * u8::from(res.writeback.is_some()));
             if got != m & (REC_HIT | REC_WB) {
                 div = Some(i as u64);
@@ -208,33 +362,141 @@ impl SweepSession {
         // knows divergences happen on this ladder, so the re-record
         // takes checkpoints.
         self.diverged = true;
-        let usable = b.rec.ckpts.partition_point(|c| c.snap.accesses <= div);
+        let usable = b.rec.ckpts.partition_point(|c| c.snap.accesses() <= div);
         let Some(j) = usable.checked_sub(1) else {
-            return self.record_fresh(cfg);
+            return self.record_fresh(cfg, remaining, Some(div));
         };
-        let snap = &b.rec.ckpts[j].snap;
+        let keep = b.rec.ckpts[j].snap.accesses() as usize;
         let mut tail_cache = Cache::new(cfg.cache);
-        for i in 0..snap.accesses as usize {
-            tail_cache.access(b.rec.addrs[i], b.rec.meta[i] & REC_WRITE != 0);
+        for &word in &b.rec.addrs[..keep] {
+            tail_cache.access(
+                word & REC_ADDR_MASK,
+                (word >> REC_SHIFT) as u8 & REC_WRITE != 0,
+            );
         }
-        let mut st = DfState::restore(snap, &cfg);
+        // Restore scheduler state on whichever core recorded the run
+        // (a chained pair always agrees on the backend).
+        enum Resumed {
+            Df(Box<DfState>),
+            Core(Box<CoreState>),
+        }
+        let resumed = match &b.rec.ckpts[j].snap {
+            Snap::Df(s) => Resumed::Df(Box::new(DfState::restore(s, &cfg))),
+            Snap::Core(s) => Resumed::Core(s.clone()),
+        };
+        if remaining <= 1 {
+            // Last run of the plan — or the next-to-last right after
+            // this divergence, whose successor will again diverge early
+            // (see `record_fresh`) rather than replay-match this tail.
+            // Either way nobody profits from a recorded tail, so it
+            // runs unrecorded, and the base — untouched — keeps
+            // truthfully describing the previous configuration.
+            return match resumed {
+                Resumed::Df(st) => {
+                    let mut st = *st;
+                    let mut rec = Recording::disabled();
+                    dataflow_loop::<false>(&self.prep, &cfg, &mut st, &mut tail_cache, &mut rec);
+                    finalize_dataflow(st, tail_cache, &self.prep, &cfg, &self.opts)
+                }
+                Resumed::Core(st) => {
+                    let mut st = *st;
+                    let mut rec = Recording::disabled();
+                    core_loop::<NoProbe, false>(
+                        &self.prep,
+                        &cfg,
+                        &mut st,
+                        &mut tail_cache,
+                        &mut rec,
+                        &mut NoProbe,
+                    );
+                    finalize_core(st, tail_cache, &self.prep, &cfg, &self.opts)
+                }
+            };
+        }
         b.rec.truncate_to(j);
-        dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut tail_cache, &mut b.rec);
-        let report = finalize_dataflow(st, tail_cache, &self.prep, &cfg, &self.opts);
+        let report = match resumed {
+            Resumed::Df(st) => {
+                let mut st = *st;
+                dataflow_loop::<true>(&self.prep, &cfg, &mut st, &mut tail_cache, &mut b.rec);
+                finalize_dataflow(st, tail_cache, &self.prep, &cfg, &self.opts)
+            }
+            Resumed::Core(st) => {
+                let mut st = *st;
+                core_loop::<NoProbe, true>(
+                    &self.prep,
+                    &cfg,
+                    &mut st,
+                    &mut tail_cache,
+                    &mut b.rec,
+                    &mut NoProbe,
+                );
+                finalize_core(st, tail_cache, &self.prep, &cfg, &self.opts)
+            }
+        };
         b.cfg = cfg;
         b.report = report.clone();
         report
     }
 }
 
-/// Whether `b` can chain off `a`'s recording: identical fingerprints
-/// once the replay-validated cache fields are normalized away.
-fn sweep_compatible(a: &SystemConfig, b: &SystemConfig) -> bool {
-    let mut b2 = *b;
-    b2.cache.size_bytes = a.cache.size_bytes;
-    b2.cache.assoc = a.cache.assoc;
-    b2.cache.policy = a.cache.policy;
-    b2.fingerprint() == a.fingerprint()
+/// Whether bank counts `b1` and `b2` assign every scratchpad address in
+/// the trace the same bank (`addr % banks`, the engine's static bank
+/// map). A pure trace property — no recording needed — so a session
+/// can chain across bank-count changes whenever it holds, and a trace
+/// with no scratchpad nodes trivially chains across any count.
+pub(crate) fn spad_map_equal(prep: &PreparedSim, b1: usize, b2: usize) -> bool {
+    let (b1, b2) = (b1.max(1), b2.max(1));
+    if b1 == b2 {
+        return true;
+    }
+    prep.class.iter().zip(&prep.addr).all(|(c, &a)| {
+        !matches!(c, OpClass::SpadLoad | OpClass::SpadStore)
+            || (a as usize) % b1 == (a as usize) % b2
+    })
+}
+
+/// The order in which to run `cfgs` through one [`SweepSession`] to
+/// maximize replay-prefix reuse: configurations whose timing classes
+/// match (the chainability requirement) land adjacent, bank-count
+/// variants cluster within a timing group, and cache sizes descend
+/// within a group — on a descending ladder each smaller configuration
+/// diverges *earlier*, so prefix checkpoints from the larger run keep
+/// serving. Deterministic: ties break on the caller's index.
+pub fn plan_order(cfgs: &[SystemConfig]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..cfgs.len()).collect();
+    idx.sort_by_key(|&i| {
+        let p = cfgs[i].class_prints();
+        (
+            p.chain_key(),
+            p.spad_geometry,
+            std::cmp::Reverse(cfgs[i].cache.size_bytes),
+            i,
+        )
+    });
+    idx
+}
+
+/// Runs every configuration through one [`SweepSession`] in
+/// [`plan_order`], returning reports in the **caller's** order. The
+/// session-per-trace building block of the sweep planner (the bench
+/// harness groups arbitrary config sets by trace and fans the groups
+/// out in parallel).
+pub fn run_group(
+    prep: Arc<PreparedSim>,
+    opts: SimOptions,
+    cfgs: &[SystemConfig],
+) -> Vec<SimReport> {
+    let mut sess = SweepSession::new(prep, opts);
+    let mut out: Vec<Option<SimReport>> = (0..cfgs.len()).map(|_| None).collect();
+    let order = plan_order(cfgs);
+    for (k, &i) in order.iter().enumerate() {
+        // The plan tail length lets the session skip recording work no
+        // later run can consume (nothing on the last visit).
+        out[i] = Some(sess.simulate_lookahead(&cfgs[i], order.len() - k - 1));
+    }
+    out.into_iter()
+        .map(|r| r.expect("plan_order visits every index"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -242,7 +504,7 @@ mod tests {
     use super::*;
     use crate::engine::simulate;
     use tapeflow_ir::trace::{trace_function, TraceOptions};
-    use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar, Trace};
+    use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Op, Scalar, Trace};
 
     fn mixed_trace(arrays: usize, len: i64) -> Trace {
         // Loads over several arrays with FP reductions and stores —
@@ -262,6 +524,37 @@ mod tests {
             let v0 = b.load(x, z);
             acc = b.fadd(acc, v0);
         }
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        trace_function(&f, &mut mem, TraceOptions::default()).unwrap()
+    }
+
+    /// A trace exercising the scratchpad, stream engines *and* the
+    /// cache — forced onto the per-cycle core.
+    fn spad_stream_trace(len: i64) -> Trace {
+        let mut b = FunctionBuilder::new("spadsweep");
+        let x = b.array("x", len as usize, ArrayKind::Input, Scalar::F64);
+        let tape = b.array("tape", len as usize, ArrayKind::Tape, Scalar::F64);
+        let base = b
+            .push_inst(
+                Op::SAlloc {
+                    size: len as u32,
+                    base: 0,
+                },
+                vec![],
+            )
+            .unwrap();
+        let zero = b.i64(0);
+        let elems = b.i64(len);
+        b.push_inst(Op::StreamOut(tape), vec![base, zero, elems]);
+        let v = b.f64(1.0);
+        b.for_loop("i", 0, len, |b, i| {
+            let w = b.load(x, i);
+            let s = b.fadd(w, v);
+            b.push_inst(Op::SpadStore, vec![i, s]);
+            let _ = b.push_inst(Op::SpadLoad, vec![i]);
+        });
+        b.push_inst(Op::StreamIn(tape), vec![base, zero, elems]);
         let f = b.finish();
         let mut mem = Memory::for_function(&f);
         trace_function(&f, &mut mem, TraceOptions::default()).unwrap()
@@ -340,5 +633,181 @@ mod tests {
             let fresh = simulate(&trace, &cfg, &opts);
             assert_eq!(inc.node_finish, fresh.node_finish, "cache={bytes}");
         }
+    }
+
+    #[test]
+    fn spad_stream_traces_run_on_the_session_core() {
+        // The per-cycle-core backend: cache ladders over a trace with
+        // scratchpad and stream nodes must chain (not fall back to cold
+        // runs) and stay byte-identical to fresh simulations in any
+        // order.
+        let trace = spad_stream_trace(192);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        assert!(prep.has_spad && prep.has_stream);
+        let ladders: [&[usize]; 2] = [&[131072, 32768, 2048, 1024], &[1024, 131072, 2048, 32768]];
+        for ladder in ladders {
+            let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+            for &bytes in ladder {
+                let cfg = SystemConfig::with_cache_bytes(bytes);
+                let inc = sess.simulate(&cfg);
+                let fresh = simulate(&trace, &cfg, &SimOptions::default());
+                assert_eq!(
+                    inc.to_json().render(),
+                    fresh.to_json().render(),
+                    "core-backend sweep diverged at cache={bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_count_changes_chain_when_the_map_agrees() {
+        // All scratchpad addresses in this trace are < 16, so 16 and 32
+        // banks assign identical banks (addr % 16 == addr % 32 for
+        // addr < 16): the bank-map check must chain them. 8 banks remap
+        // (addr 8 lands on bank 0) and must re-record. Either way the
+        // reports match fresh runs.
+        let trace = spad_stream_trace(16);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let spad_addrs: Vec<u64> = prep
+            .class
+            .iter()
+            .zip(&prep.addr)
+            .filter(|(c, _)| matches!(c, OpClass::SpadLoad | OpClass::SpadStore))
+            .map(|(_, &a)| a)
+            .collect();
+        assert!(!spad_addrs.is_empty());
+        assert!(spad_addrs.iter().all(|&a| a < 16));
+        assert!(spad_map_equal(&prep, 16, 32));
+        assert!(!spad_map_equal(&prep, 16, 8));
+
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        for banks in [16usize, 32, 8] {
+            let mut cfg = SystemConfig::default();
+            cfg.spad.banks = banks;
+            let inc = sess.simulate(&cfg);
+            let fresh = simulate(&trace, &cfg, &SimOptions::default());
+            assert_eq!(
+                inc.to_json().render(),
+                fresh.to_json().render(),
+                "bank sweep diverged at banks={banks}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_model_changes_gate_chaining_correctly() {
+        // DRAM bandwidth/latency feed both stream transfers and cache
+        // fills: changing them must re-record, and the results must
+        // still match fresh runs.
+        let trace = spad_stream_trace(64);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        let a = SystemConfig::default();
+        let mut b = SystemConfig::default();
+        b.dram.bytes_per_cycle = 4.8;
+        b.dram.latency = 200;
+        for cfg in [&a, &b, &a] {
+            let inc = sess.simulate(cfg);
+            let fresh = simulate(&trace, cfg, &SimOptions::default());
+            assert_eq!(inc.to_json().render(), fresh.to_json().render());
+        }
+    }
+
+    #[test]
+    fn energy_table_changes_never_force_a_rerecord() {
+        // Energy is recomputed at finalize; two configs differing only
+        // in the energy table must chain with a full-match replay.
+        let trace = mixed_trace(2, 64);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        let a = SystemConfig::default();
+        let mut b = SystemConfig::default();
+        b.energy.dram_pj_per_byte *= 2.0;
+        let _ = sess.simulate(&a);
+        let rb = sess.simulate(&b);
+        let fresh = simulate(&trace, &b, &SimOptions::default());
+        assert_eq!(rb.to_json().render(), fresh.to_json().render());
+    }
+
+    #[test]
+    fn ckpt_plan_bounds_memory_for_any_trace_size() {
+        // The adaptive plan's contract: snapshot memory stays under the
+        // budget regardless of trace length, and the doubling schedule
+        // spans the access stream.
+        for nodes in [0usize, 1, 100, 1 << 16, 1 << 24, 1 << 30] {
+            for n_mem in [0usize, 1, 64, 4096, 1 << 20, 1 << 28] {
+                let (interval, max_ckpts) = ckpt_plan(nodes, n_mem);
+                assert!(
+                    max_ckpts * CKPT_NODE_BYTES * nodes.max(1) <= CKPT_BUDGET,
+                    "budget blown: nodes={nodes} n_mem={n_mem} -> {max_ckpts} ckpts"
+                );
+                assert!(max_ckpts <= CKPT_HARD_CAP);
+                assert!(interval >= FIRST_CKPT);
+                if max_ckpts > 0 {
+                    assert!(
+                        (interval << max_ckpts) >= n_mem as u64,
+                        "schedule falls short: nodes={nodes} n_mem={n_mem}"
+                    );
+                }
+            }
+        }
+        // Zero memory accesses: no checkpoints at all.
+        assert_eq!(ckpt_plan(1000, 0).1, 0);
+    }
+
+    #[test]
+    fn zero_memory_access_trace_builds_a_trivial_session() {
+        // A pure-FP trace records an empty access stream; every later
+        // config must full-match (trivially) and reuse the report.
+        let mut b = FunctionBuilder::new("fponly");
+        let one = b.f64(1.0);
+        let mut v = b.f64(0.0);
+        for _ in 0..32 {
+            v = b.fadd(v, one);
+        }
+        let f = b.finish();
+        let mut mem = Memory::for_function(&f);
+        let trace = trace_function(&f, &mut mem, TraceOptions::default()).unwrap();
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        let mut sess = SweepSession::new(Arc::clone(&prep), SimOptions::default());
+        for bytes in [1024usize, 32768, 131072] {
+            let cfg = SystemConfig::with_cache_bytes(bytes);
+            let inc = sess.simulate(&cfg);
+            let fresh = simulate(&trace, &cfg, &SimOptions::default());
+            assert_eq!(inc.to_json().render(), fresh.to_json().render());
+        }
+    }
+
+    #[test]
+    fn run_group_returns_reports_in_caller_order() {
+        let trace = mixed_trace(3, 96);
+        let prep = Arc::new(PreparedSim::new(&trace).unwrap());
+        // A deliberately shuffled mixed set: cache ladder + an MSHR
+        // variant that cannot chain.
+        let mut mshr1 = SystemConfig::with_cache_bytes(8192);
+        mshr1.cache.mshrs = 1;
+        let cfgs = vec![
+            SystemConfig::with_cache_bytes(1024),
+            mshr1,
+            SystemConfig::with_cache_bytes(131072),
+            SystemConfig::with_cache_bytes(8192),
+        ];
+        let got = run_group(Arc::clone(&prep), SimOptions::default(), &cfgs);
+        assert_eq!(got.len(), cfgs.len());
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let fresh = simulate(&trace, cfg, &SimOptions::default());
+            assert_eq!(
+                got[i].to_json().render(),
+                fresh.to_json().render(),
+                "run_group slot {i} diverged"
+            );
+        }
+        // The plan is deterministic and visits every index once.
+        let order = plan_order(&cfgs);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(order, plan_order(&cfgs));
     }
 }

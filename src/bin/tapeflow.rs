@@ -21,8 +21,8 @@
 //!                                                     on any error-severity finding
 //! tapeflow passes                                 list registered passes
 //! tapeflow bench-host [--scale S] [--repeats N]   time the configuration sweep on both
-//!                    [--json PATH]                    simulator engines (event-driven vs
-//!                                                     legacy scalar); writes
+//!                    [--benchmarks a,b] [--jobs N]    simulator engines (event-driven vs
+//!                    [--stable-json] [--json PATH]    legacy scalar); writes
 //!                                                     results/BENCH_host_perf.json
 //! ```
 //!
@@ -59,7 +59,15 @@
 //! `simulate` and `profile` default to the event-driven simulator core;
 //! `--engine legacy` selects the scalar per-cycle reference engine
 //! instead (both produce byte-identical reports — `bench-host` measures
-//! the throughput gap between them).
+//! the throughput gap between them). `bench-host --benchmarks a,b`
+//! restricts the run to a registry subset (an unknown name is a usage
+//! error that lists the registry), `--jobs N` sets the worker count for
+//! the mixed sweep's trace-group fan-out (default: all logical CPUs;
+//! the reports are byte-identical at any count), and `--stable-json`
+//! zeroes the wall-clock and host-identity fields of the JSON document
+//! (schema `tapeflow.bench.host_perf/v2`, which carries a `host`
+//! section: logical CPUs, rustc version, opt-level, job count) so the
+//! bytes reproduce across machines.
 //!
 //! `FILE` is textual IR in the `pretty`/`parse` format (see
 //! `tapeflow_ir::parse`). For `simulate`, `f64` inputs are filled with a
@@ -83,7 +91,7 @@
 
 use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
-use tapeflow::bench::{attr, hostperf};
+use tapeflow::bench::{attr, hostperf, pool};
 use tapeflow::benchmarks::{self, Benchmark, Scale};
 use tapeflow::core::compress::TapeEncoding;
 use tapeflow::core::pipeline::{
@@ -126,6 +134,9 @@ struct Args {
     top: usize,
     sample: Option<u64>,
     flame_out: Option<String>,
+    benchmarks: Option<Vec<String>>,
+    jobs: Option<usize>,
+    stable_json: bool,
 }
 
 fn usage() -> ExitCode {
@@ -138,6 +149,7 @@ fn usage() -> ExitCode {
          [--passes a,b,c] [--print-after-all] [--time-passes] [--lint-after-all] \
          [--scale tiny|small|large] [--engine event|legacy] [--repeats N] \
          [--by-inst] [--top N] [--sample N] [--flame-out PATH] \
+         [--benchmarks a,b] [--jobs N] [--stable-json] \
          [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
@@ -168,6 +180,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         top: 10,
         sample: None,
         flame_out: None,
+        benchmarks: None,
+        jobs: None,
+        stable_json: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -218,6 +233,20 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             "--flame-out" => {
                 args.flame_out = Some(argv.next().ok_or("--flame-out needs a path")?);
             }
+            "--benchmarks" => {
+                let v = argv
+                    .next()
+                    .ok_or("--benchmarks needs a comma-separated list")?;
+                args.benchmarks = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--jobs" => {
+                args.jobs = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs a number (0 = auto)")?,
+                );
+            }
+            "--stable-json" => args.stable_json = true,
             "--print-after-all" => args.print_after_all = true,
             "--time-passes" => args.time_passes = true,
             "--lint-after-all" => args.lint_after_all = true,
@@ -634,16 +663,41 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
     if cmd == "bench-host" {
-        // Host-throughput tracking: every benchmark's cache ladder and
-        // mixed sweep, timed on both engines (min of --repeats runs).
-        let results = hostperf::measure(args.scale, args.repeats);
+        // Host-throughput tracking: each selected benchmark's cache
+        // ladder and mixed sweep, timed on both engines (min of
+        // --repeats runs). --benchmarks narrows the registry; an
+        // unknown name is a usage error that lists what exists.
+        let names: Vec<&'static str> = match &args.benchmarks {
+            None => benchmarks::NAMES.to_vec(),
+            Some(list) => list
+                .iter()
+                .map(|n| {
+                    benchmarks::NAMES
+                        .iter()
+                        .copied()
+                        .find(|&k| k == n.as_str())
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown benchmark {n:?}; registered benchmarks: {}",
+                                benchmarks::NAMES.join(", ")
+                            )
+                        })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let (jobs, note) = pool::clamp_jobs(args.jobs.unwrap_or(0));
+        if let Some(note) = note.filter(|_| args.jobs.is_some()) {
+            eprintln!("tapeflow: {note}");
+        }
+        let results = hostperf::measure_named(&names, args.scale, args.repeats, jobs);
         print!("{}", hostperf::render_table(&results));
         let path = args
             .json
             .as_deref()
             .unwrap_or("results/BENCH_host_perf.json");
         if path != "-" {
-            let doc = hostperf::host_perf_json(&results, args.scale, false);
+            let meta = hostperf::host_meta(jobs);
+            let doc = hostperf::host_perf_json(&results, args.scale, &meta, args.stable_json);
             if let Some(dir) = std::path::Path::new(path)
                 .parent()
                 .filter(|d| !d.as_os_str().is_empty())
