@@ -92,11 +92,42 @@ cargo run --release --bin tapeflow -- \
 python3 - target/ci/lint_logsum.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "tapeflow.cli.lint/v1", doc.get("schema")
+assert doc["schema"] == "tapeflow.cli.lint/v2", doc.get("schema")
 assert doc["errors"] == 0 and doc["warnings"] == 0, doc
 assert isinstance(doc["diagnostics"], list) and not doc["diagnostics"]
 for key in ("program", "spad_entries", "spad_banks"):
     assert key in doc, key
+ranges = doc["ranges"]
+for key in ("bounded_i64", "total_i64", "bounded_f64", "total_f64"):
+    assert isinstance(ranges[key], int), key
+assert ranges["arrays"], "per-array content ranges missing"
+EOF
+
+echo "== dynamic range oracle (all registered benchmarks) =="
+# The soundness oracle behind the value-range analysis: every benchmark
+# (source and gradient function) runs under the recording interpreter
+# and any observed value outside the static ranges makes `lint
+# --check-dynamic` exit 1. `--compress-tape` keeps the narrowing
+# decisions (and the `unsound-narrow` re-proof) in the checked path.
+for b in gravity nn logsum matdescent mttkrp somier lenet5 pathfinder mass_spring; do
+    cargo run --release --bin tapeflow -- \
+        lint "$b" --scale tiny --compress-tape --check-dynamic \
+        --json "target/ci/lint_dyn_$b.json" > /dev/null
+done
+python3 - target/ci/lint_dyn_*.json <<'EOF'
+import json, sys
+narrowing = 0
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc["schema"] == "tapeflow.cli.lint/v2", (path, doc.get("schema"))
+    assert doc["errors"] == 0, path
+    assert doc["dynamic_escapes"] == 0, path
+    ranges = doc["ranges"]
+    assert ranges["bounded_i64"] > 0, path
+    if any(n["encoding"] == "keep" and n["width_bytes"] < 8
+           for n in ranges.get("narrowing", [])):
+        narrowing += 1
+assert narrowing >= 3, f"width narrowing fires on only {narrowing}/9 benchmarks"
 EOF
 
 echo "== streams terminal lowering (all registered benchmarks) =="
@@ -126,7 +157,7 @@ for b in gravity nn logsum matdescent mttkrp somier lenet5 pathfinder mass_sprin
     cargo run --release --bin tapeflow -- compile "$b" --scale tiny --compress-tape \
         > target/ci/split_default.ir
     cargo run --release --bin tapeflow -- compile "$b" --scale tiny \
-        --passes opt,ad,regions,layering,tape-compress,streams,spad-index \
+        --passes opt,ad,regions,layering,value-ranges,tape-compress,streams,spad-index \
         > target/ci/split_named.ir
     diff -q target/ci/split_default.ir target/ci/split_named.ir
 done
@@ -144,6 +175,15 @@ rc=$?
 set -e
 [ "$rc" -eq 2 ] || { echo "dependency violation: expected exit 2, got $rc"; exit 1; }
 grep -q 'requires `streams-ir`, produced by `streams`' target/ci/passes_err.txt
+# `tape-compress` consumes the value-ranges artifact: a pass list that
+# omits the analysis must be rejected, not silently un-narrowed.
+set +e
+cargo run --release --bin tapeflow -- compile logsum --scale tiny \
+    --passes opt,ad,regions,layering,tape-compress > /dev/null 2> target/ci/passes_err.txt
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || { echo "missing value-ranges: expected exit 2, got $rc"; exit 1; }
+grep -q 'requires `value-ranges`, produced by `value-ranges`' target/ci/passes_err.txt
 cargo test -q --release -p tapeflow-bench --test compression
 
 echo "== cross-engine equivalence =="

@@ -103,7 +103,10 @@ impl<'a> Gen<'a> {
     fn new(src: &'a Function, opts: &AdOptions, act: Activity, plan: TapePlan) -> Self {
         let mut g = Function::new(format!("grad_{}", src.name));
         for a in src.arrays() {
-            g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+            let id = g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+            if let Some(r) = a.range {
+                g.set_array_range(id, r);
+            }
         }
         let mut shadows = HashMap::new();
         // Shadows for wrt (gradient outputs) and seeds (reverse inputs)

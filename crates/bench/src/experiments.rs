@@ -1221,7 +1221,11 @@ impl Lab {
                 format!("{:.2}", on as f64 / off.max(1) as f64),
             ]);
         }
-        tc.note("input-copy slots rematerialize from REV ordinals; as-int slots narrow to 1-4 B");
+        tc.note(
+            "input-copy slots rematerialize from REV ordinals; slots with a proven \
+             integer or quantized-float range (seeded by declared input ranges, \
+             re-proved by value-range analysis) narrow to 1-4 B",
+        );
         vec![pol, db, rp, tc]
     }
 

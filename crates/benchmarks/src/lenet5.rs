@@ -5,9 +5,9 @@
 //! convolution and FC weights. The deep imperfect nest with four-tensor
 //! inner loops is what the paper classifies as irregular.
 
-use crate::{det_f64, Benchmark, Scale};
+use crate::{det_f64, det_lattice, Benchmark, Scale};
 use tapeflow_autodiff::gradcheck::LossSpec;
-use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+use tapeflow_ir::{ArrayKind, DeclRange, FunctionBuilder, Memory, Scalar};
 
 /// Builds the benchmark.
 pub fn build(scale: Scale) -> Benchmark {
@@ -19,7 +19,20 @@ pub fn build(scale: Scale) -> Benchmark {
     let conv = img - ksz + 1; // valid convolution output
     let pool = conv / 2; // 2x2 average pooling (conv is even at our sizes or truncates)
     let mut b = FunctionBuilder::new("lenet5");
-    let x = b.array("img", img * img, ArrayKind::Input, Scalar::F64);
+    // Binarized input image on the ternary pixel lattice {-1, 0, 1}: a
+    // quantized contract the value-range analysis seeds from and the
+    // dynamic oracle checks.
+    let x = b.array_ranged(
+        "img",
+        img * img,
+        ArrayKind::Input,
+        Scalar::F64,
+        DeclRange::Float {
+            lo: -1.0,
+            hi: 1.0,
+            quantized: true,
+        },
+    );
     let wc = b.array("wc", maps * ksz * ksz, ArrayKind::Input, Scalar::F64);
     let wf = b.array(
         "wf",
@@ -111,7 +124,7 @@ pub fn build(scale: Scale) -> Benchmark {
     });
     let func = b.finish();
     let mut mem = Memory::for_function(&func);
-    mem.set_f64(x, &det_f64(0x801, img * img, -1.0, 1.0));
+    mem.set_f64(x, &det_lattice(0x801, img * img, -1, 1));
     mem.set_f64(wc, &det_f64(0x802, maps * ksz * ksz, -0.4, 0.4));
     mem.set_f64(wf, &det_f64(0x803, classes * maps * pool * pool, -0.3, 0.3));
     mem.set_f64(target, &det_f64(0x804, classes, -1.0, 1.0));

@@ -181,6 +181,17 @@ pub fn suite_iter(scale: Scale) -> impl Iterator<Item = Benchmark> {
     NAMES.iter().map(move |n| by_name(n, scale))
 }
 
+/// Deterministic pseudo-random integer-valued `f64`s on the inclusive
+/// lattice `{lo, lo+1, ..., hi}` — quantized data (pixel levels, cost
+/// grids, count tensors) that honestly satisfies a `quantized` declared
+/// range.
+pub(crate) fn det_lattice(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<f64> {
+    det_f64(seed, n, lo as f64, (hi + 1) as f64)
+        .into_iter()
+        .map(|v| v.floor().min(hi as f64))
+        .collect()
+}
+
 /// Deterministic pseudo-random `f64`s in `[lo, hi)` (xorshift; no
 /// dependence on `rand`'s value stability across versions).
 pub(crate) fn det_f64(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
@@ -208,6 +219,48 @@ mod tests {
         assert!(a.iter().all(|&v| (-1.0..2.0).contains(&v)));
         let c = det_f64(8, 100, -1.0, 2.0);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn det_lattice_is_integer_valued_and_bounded() {
+        let a = det_lattice(0x42, 500, -2, 9);
+        assert!(a.iter().all(|&v| v == v.floor()));
+        assert!(a.iter().all(|&v| (-2.0..=9.0).contains(&v)));
+        assert!(
+            a.contains(&-2.0) && a.contains(&9.0),
+            "lattice ends reached"
+        );
+    }
+
+    #[test]
+    fn annotated_inputs_match_their_declared_ranges() {
+        // Every declared range must be an honest contract over the
+        // generated input data — the dynamic oracle enforces the same
+        // property at interpretation time.
+        for b in suite(Scale::Tiny) {
+            for (i, a) in b.func.arrays().iter().enumerate() {
+                let id = ArrayId::new(i);
+                let Some(r) = a.range else { continue };
+                match r {
+                    tapeflow_ir::DeclRange::Int { lo, hi } => {
+                        for v in b.mem.get_i64(id) {
+                            assert!((lo..=hi).contains(&v), "{}: {} = {v}", b.name, a.name);
+                        }
+                    }
+                    tapeflow_ir::DeclRange::Float { lo, hi, quantized } => {
+                        for v in b.mem.get_f64(id) {
+                            assert!(
+                                (lo..=hi).contains(&v),
+                                "{}: {} = {v} outside [{lo}, {hi}]",
+                                b.name,
+                                a.name
+                            );
+                            assert!(!quantized || v == v.floor(), "{}: {} = {v}", b.name, a.name);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,21 @@
 //! `loss = ‖A·x − b‖²` with gradients w.r.t. both `A` and `x` — the
 //! streaming matrix-vector kernel the paper lists at M,N = 400.
 
-use crate::{det_f64, Benchmark, Scale};
+use crate::{det_lattice, Benchmark, Scale};
 use tapeflow_autodiff::gradcheck::LossSpec;
-use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+use tapeflow_ir::{ArrayKind, DeclRange, FunctionBuilder, Memory, Scalar};
+
+/// Quantized integer lattice for an input array: strictly positive
+/// values keep every residual (and therefore every gradient entry)
+/// bounded away from zero, which keeps finite differencing well above
+/// its noise floor.
+const fn lattice(lo: i64, hi: i64) -> DeclRange {
+    DeclRange::Float {
+        lo: lo as f64,
+        hi: hi as f64,
+        quantized: true,
+    }
+}
 
 /// Builds the benchmark.
 pub fn build(scale: Scale) -> Benchmark {
@@ -15,9 +27,9 @@ pub fn build(scale: Scale) -> Benchmark {
         Scale::Large => (200, 200),
     };
     let mut b = FunctionBuilder::new("matdescent");
-    let a = b.array("A", m * n, ArrayKind::Input, Scalar::F64);
-    let x = b.array("x", n, ArrayKind::Input, Scalar::F64);
-    let rhs = b.array("b", m, ArrayKind::Input, Scalar::F64);
+    let a = b.array_ranged("A", m * n, ArrayKind::Input, Scalar::F64, lattice(1, 3));
+    let x = b.array_ranged("x", n, ArrayKind::Input, Scalar::F64, lattice(1, 2));
+    let rhs = b.array_ranged("b", m, ArrayKind::Input, Scalar::F64, lattice(1, 4));
     let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
     let row = b.cell_f64("row", 0.0);
     b.for_loop("i", 0, m as i64, |b, i| {
@@ -42,9 +54,9 @@ pub fn build(scale: Scale) -> Benchmark {
     });
     let func = b.finish();
     let mut mem = Memory::for_function(&func);
-    mem.set_f64(a, &det_f64(0x20A, m * n, -0.5, 0.5));
-    mem.set_f64(x, &det_f64(0x20B, n, -1.0, 1.0));
-    mem.set_f64(rhs, &det_f64(0x20C, m, -1.0, 1.0));
+    mem.set_f64(a, &det_lattice(0x20A, m * n, 1, 3));
+    mem.set_f64(x, &det_lattice(0x20B, n, 1, 2));
+    mem.set_f64(rhs, &det_lattice(0x20C, m, 1, 4));
     Benchmark {
         name: "matdescent",
         suite: "Enzyme",

@@ -6,9 +6,18 @@
 //! innermost iteration — the paper's most conflict-heavy kernel (14×
 //! DRAM-traffic improvement). Paper size: 8×8×8.
 
-use crate::{det_f64, Benchmark, Scale};
+use crate::{det_lattice, Benchmark, Scale};
 use tapeflow_autodiff::gradcheck::LossSpec;
-use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+use tapeflow_ir::{ArrayKind, DeclRange, FunctionBuilder, Memory, Scalar};
+
+/// Count-valued tensor data (Taco's MTTKRP operates on sparse count
+/// tensors): strictly positive small integers, declared as a quantized
+/// range so taped products and accumulator sums narrow.
+const COUNTS: DeclRange = DeclRange::Float {
+    lo: 1.0,
+    hi: 4.0,
+    quantized: true,
+};
 
 /// Builds the benchmark.
 pub fn build(scale: Scale) -> Benchmark {
@@ -19,9 +28,9 @@ pub fn build(scale: Scale) -> Benchmark {
     };
     let (ni, nj, nk, nl) = (d, d, d, d);
     let mut b = FunctionBuilder::new("mttkrp");
-    let tb = b.array("B", ni * nk * nl, ArrayKind::Input, Scalar::F64);
-    let tc = b.array("C", nk * nj, ArrayKind::Input, Scalar::F64);
-    let td = b.array("D", nl * nj, ArrayKind::Input, Scalar::F64);
+    let tb = b.array_ranged("B", ni * nk * nl, ArrayKind::Input, Scalar::F64, COUNTS);
+    let tc = b.array_ranged("C", nk * nj, ArrayKind::Input, Scalar::F64, COUNTS);
+    let td = b.array_ranged("D", nl * nj, ArrayKind::Input, Scalar::F64, COUNTS);
     let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
     let acc = b.cell_f64("acc", 0.0);
     b.for_loop("i", 0, ni as i64, |b, i| {
@@ -52,9 +61,9 @@ pub fn build(scale: Scale) -> Benchmark {
     });
     let func = b.finish();
     let mut mem = Memory::for_function(&func);
-    mem.set_f64(tb, &det_f64(0x501, ni * nk * nl, -0.5, 0.5));
-    mem.set_f64(tc, &det_f64(0x502, nk * nj, -0.5, 0.5));
-    mem.set_f64(td, &det_f64(0x503, nl * nj, -0.5, 0.5));
+    mem.set_f64(tb, &det_lattice(0x501, ni * nk * nl, 1, 4));
+    mem.set_f64(tc, &det_lattice(0x502, nk * nj, 1, 4));
+    mem.set_f64(td, &det_lattice(0x503, nl * nj, 1, 4));
     Benchmark {
         name: "mttkrp",
         suite: "Taco",

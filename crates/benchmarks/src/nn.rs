@@ -3,9 +3,9 @@
 //! `h = tanh(W1·x)`, `o = W2·h`, `loss = ‖o − t‖²`, gradients w.r.t.
 //! both weight matrices. The paper's input is a 28×28 image.
 
-use crate::{det_f64, Benchmark, Scale};
+use crate::{det_f64, det_lattice, Benchmark, Scale};
 use tapeflow_autodiff::gradcheck::LossSpec;
-use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+use tapeflow_ir::{ArrayKind, DeclRange, FunctionBuilder, Memory, Scalar};
 
 /// Builds the benchmark.
 pub fn build(scale: Scale) -> Benchmark {
@@ -15,10 +15,35 @@ pub fn build(scale: Scale) -> Benchmark {
         Scale::Large => (784, 64, 10),
     };
     let mut b = FunctionBuilder::new("nn");
-    let x = b.array("x", input, ArrayKind::Input, Scalar::F64);
+    // The image is quantized to ternary pixel levels {-1, 0, 1}
+    // (binarized MNIST-style input); the targets are merely bounded.
+    // Both contracts are honest over the generated data, so the
+    // value-range analysis can carry them and the dynamic oracle can
+    // hold them to account.
+    let x = b.array_ranged(
+        "x",
+        input,
+        ArrayKind::Input,
+        Scalar::F64,
+        DeclRange::Float {
+            lo: -1.0,
+            hi: 1.0,
+            quantized: true,
+        },
+    );
     let w1 = b.array("W1", hidden * input, ArrayKind::Input, Scalar::F64);
     let w2 = b.array("W2", out * hidden, ArrayKind::Input, Scalar::F64);
-    let target = b.array("t", out, ArrayKind::Input, Scalar::F64);
+    let target = b.array_ranged(
+        "t",
+        out,
+        ArrayKind::Input,
+        Scalar::F64,
+        DeclRange::Float {
+            lo: -1.0,
+            hi: 1.0,
+            quantized: false,
+        },
+    );
     let h = b.array("h", hidden, ArrayKind::Temp, Scalar::F64);
     let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
     let acc = b.cell_f64("acc", 0.0);
@@ -62,7 +87,7 @@ pub fn build(scale: Scale) -> Benchmark {
     });
     let func = b.finish();
     let mut mem = Memory::for_function(&func);
-    mem.set_f64(x, &det_f64(0x301, input, -1.0, 1.0));
+    mem.set_f64(x, &det_lattice(0x301, input, -1, 1));
     mem.set_f64(w1, &det_f64(0x302, hidden * input, -0.3, 0.3));
     mem.set_f64(w2, &det_f64(0x303, out * hidden, -0.3, 0.3));
     mem.set_f64(target, &det_f64(0x304, out, -1.0, 1.0));

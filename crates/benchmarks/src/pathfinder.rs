@@ -7,14 +7,30 @@
 //! sparsely — the paper's data-dependent dataflow case). Paper size:
 //! R 128, C 256.
 
-use crate::{det_f64, Benchmark, Scale};
+use crate::{det_lattice, Benchmark, Scale};
 use tapeflow_autodiff::gradcheck::LossSpec;
-use tapeflow_ir::{ArrayKind, FunctionBuilder, Memory, Scalar};
+use tapeflow_ir::{ArrayKind, DeclRange, FunctionBuilder, Memory, Scalar};
+
+/// The cost grid holds sensor readings quantized to 16-bit levels; the
+/// wide lattice keeps `fmin` ties (which the min's gradient routing
+/// cannot disambiguate) vanishingly rare while the declared range still
+/// narrows taped path sums to 2-3 bytes.
+const COST_LEVELS: i64 = 65535;
 
 /// Builds the benchmark with explicit dimensions.
 pub fn build_sized(rows: usize, cols: usize) -> Benchmark {
     let mut b = FunctionBuilder::new("pathfinder");
-    let w = b.array("w", rows * cols, ArrayKind::Input, Scalar::F64);
+    let w = b.array_ranged(
+        "w",
+        rows * cols,
+        ArrayKind::Input,
+        Scalar::F64,
+        DeclRange::Float {
+            lo: 0.0,
+            hi: COST_LEVELS as f64,
+            quantized: true,
+        },
+    );
     let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
     let src = b.array("src", cols, ArrayKind::Temp, Scalar::F64);
     let dst = b.array("dst", cols, ArrayKind::Temp, Scalar::F64);
@@ -56,7 +72,7 @@ pub fn build_sized(rows: usize, cols: usize) -> Benchmark {
     });
     let func = b.finish();
     let mut mem = Memory::for_function(&func);
-    mem.set_f64(w, &det_f64(0x701, rows * cols, 0.0, 1.0));
+    mem.set_f64(w, &det_lattice(0x701, rows * cols, 0, COST_LEVELS));
     Benchmark {
         name: "pathfinder",
         suite: "RiVEC",

@@ -170,7 +170,10 @@ impl<'a> Rw<'a> {
             } else {
                 a.len
             };
-            g.add_array(a.name.clone(), len, a.kind, a.elem);
+            let id = g.add_array(a.name.clone(), len, a.kind, a.elem);
+            if let Some(r) = a.range {
+                g.set_array_range(id, r);
+            }
         }
         let mut merged = Vec::with_capacity(plan.regions.len());
         for (ri, rp) in plan.regions.iter().enumerate() {

@@ -15,24 +15,31 @@
 //!   never written, the reload returns the exact bits the store would
 //!   have taped.
 //! * **Width narrowing** ([`SlotEncoding::Keep`] with `width < 8`): a
-//!   tape slot holding an `itof`-converted integer whose interval
-//!   analysis range fits in 1/2/4 bytes is recorded at that width. The
-//!   region's stream commands become `stream.outc`/`stream.inc` with a
-//!   packed per-struct byte count, so the traffic model charges the
-//!   narrow wire format while the program still moves full values (a
-//!   transparent codec, like DRAM bus compression).
+//!   tape slot whose stored value is provably a small integer is recorded
+//!   at 1/2/4 bytes. Two proofs qualify: an `itof`-converted integer
+//!   whose `i64` range fits after biasing by its lower bound, and — the
+//!   payoff of declared input ranges — a *quantized* `f64` (the
+//!   value-range analysis proved every value is an exact integer in a
+//!   small interval, e.g. a cost grid annotated `in[0,9]` surviving
+//!   `fmin`/`fadd` chains). The region's stream commands become
+//!   `stream.outc`/`stream.inc` with a packed per-struct byte count, so
+//!   the traffic model charges the narrow wire format while the program
+//!   still moves full values (a transparent codec, like DRAM bus
+//!   compression) — gradients stay byte-identical by construction.
 //!
 //! Segmented (§3.7) regions are left untouched: their slot offsets are
 //! baked into per-segment duplication decisions, and re-cutting segments
 //! for a smaller struct is a layering concern, not a compression one.
 //!
-//! The interval ranges come from [`tapeflow_ir::lint::int_value_ranges`],
-//! the same analysis the static linter uses for tape-index bounds.
+//! The ranges come from the `value-ranges` pipeline artifact
+//! ([`tapeflow_ir::vra::value_ranges`]); the `unsound-narrow` plan lint
+//! independently re-proves every chosen width, so this pass is not its
+//! own checker.
 
 use crate::layering::{LayerPlan, RegionLayout, Site};
 use std::collections::{HashMap, HashSet};
 use tapeflow_autodiff::Gradient;
-use tapeflow_ir::lint::int_value_ranges;
+use tapeflow_ir::vra::{FloatRange, ValueRanges};
 use tapeflow_ir::{ArrayId, ArrayKind, Function, InstId, LoopId, Op, Stmt, ValueDef, ValueId};
 
 /// How a REV load of an elided slot rebuilds its value: load
@@ -106,7 +113,7 @@ impl TapeEncoding {
 }
 
 /// Width in bytes needed for integers in `[lo, hi]` after biasing by `lo`.
-fn width_for(lo: i64, hi: i64) -> u8 {
+pub(crate) fn width_for(lo: i64, hi: i64) -> u8 {
     let span = hi.saturating_sub(lo);
     if span < 1 << 8 {
         1
@@ -117,6 +124,18 @@ fn width_for(lo: i64, hi: i64) -> u8 {
     } else {
         8
     }
+}
+
+/// Wire width for a quantized float range: every value is an exact
+/// integer in `[lo, hi]`, so bias encoding by `floor(lo)` is lossless.
+/// `None` when the range is not quantized or its bounds leave the
+/// exact-integer territory of `f64`.
+pub(crate) fn quantized_width(r: &FloatRange) -> Option<u8> {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if !r.quantized || r.lo.abs() >= EXACT || r.hi.abs() >= EXACT {
+        return None;
+    }
+    Some(width_for(r.lo.floor() as i64, r.hi.ceil() as i64))
 }
 
 /// `konst + sum(coeff * iv)` form of an integer value, or `None` when the
@@ -251,19 +270,45 @@ fn remat_recipe(
     })
 }
 
+/// The narrowest sound wire width for tape slot `t`, from the
+/// value-range artifact: the `itof` integer path for `as_int` slots,
+/// the quantized-float path for everything else.
+fn slot_width(grad: &Gradient, t: usize, ranges: &ValueRanges) -> u8 {
+    let store = grad.func.inst(grad.tapes[t].store);
+    let stored = store.args[1];
+    if grad.tapes[t].as_int {
+        // The taped value is `itof(v)`; narrow by v's integer range.
+        if let ValueDef::Inst(ci) = grad.func.value(stored).def {
+            let conv = grad.func.inst(ci);
+            if conv.op == Op::IToF {
+                if let Some(r) = ranges.ints.get(conv.args[0].index()).copied().flatten() {
+                    return width_for(r.lo, r.hi);
+                }
+            }
+        }
+    }
+    if let Some(r) = ranges.floats.get(stored.index()).copied().flatten() {
+        if let Some(w) = quantized_width(&r) {
+            return w;
+        }
+    }
+    8
+}
+
 /// Compresses the tape layout: rewrites `plan` (dropping elided slots and
 /// compacting struct offsets) and returns it with the [`TapeEncoding`].
-pub fn compress_tapes(grad: &Gradient, mut plan: LayerPlan) -> (LayerPlan, TapeEncoding) {
+///
+/// `ranges` is the `value-ranges` pipeline artifact computed over
+/// `grad.func` — the sole source of narrowing decisions.
+pub fn compress_tapes(
+    grad: &Gradient,
+    mut plan: LayerPlan,
+    ranges: &ValueRanges,
+) -> (LayerPlan, TapeEncoding) {
     let bytes_before: u64 = plan.regions.iter().map(|r| r.merged_len() as u64 * 8).sum();
     let written = written_arrays(&grad.func);
     let paths = loop_paths(&grad.func);
     let mut slots: Vec<SlotEncoding> = vec![SlotEncoding::Keep { width: 8 }; grad.tapes.len()];
-    let any_as_int = grad.tapes.iter().any(|t| t.as_int);
-    let ranges = if any_as_int {
-        int_value_ranges(&grad.func)
-    } else {
-        Vec::new()
-    };
 
     for rp in &plan.regions {
         if matches!(
@@ -277,19 +322,9 @@ pub fn compress_tapes(grad: &Gradient, mut plan: LayerPlan) -> (LayerPlan, TapeE
                 slots[t] = SlotEncoding::Remat(recipe);
                 continue;
             }
-            if grad.tapes[t].as_int {
-                // The taped value is `itof(v)`; narrow by v's range.
-                let store = grad.func.inst(grad.tapes[t].store);
-                if let ValueDef::Inst(ci) = grad.func.value(store.args[1]).def {
-                    let conv = grad.func.inst(ci);
-                    if conv.op == Op::IToF {
-                        if let Some(Some((lo, hi))) = ranges.get(conv.args[0].index()).copied() {
-                            slots[t] = SlotEncoding::Keep {
-                                width: width_for(lo, hi),
-                            };
-                        }
-                    }
-                }
+            let width = slot_width(grad, t, ranges);
+            if width < 8 {
+                slots[t] = SlotEncoding::Keep { width };
             }
         }
     }

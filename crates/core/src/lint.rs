@@ -13,15 +13,165 @@
 //! Entry point: [`lint_plan`]. Diagnostics reuse
 //! [`tapeflow_ir::lint::Diagnostic`] and the same deterministic order.
 
-use crate::compress::{SlotEncoding, TapeEncoding};
+use crate::compress::{quantized_width, width_for, SlotEncoding, TapeEncoding};
 use crate::layering::{LayerPlan, RegionLayout, Site};
 use crate::CompileOptions;
 use tapeflow_autodiff::Gradient;
 use tapeflow_ir::lint::{sort_diagnostics, Diagnostic, Severity, Span};
+use tapeflow_ir::{Op, ValueDef};
 
 fn tape_label(grad: &Gradient, k: usize) -> String {
     let arr = grad.tapes[k].array;
     format!("tape {k} ({} `{}`)", arr, grad.func.array(arr).name)
+}
+
+/// One entry of the lint rule catalog, as printed by
+/// `tapeflow lint --explain <rule>`.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleDoc {
+    /// Rule name, as it appears in diagnostic tables.
+    pub rule: &'static str,
+    /// Severity the rule fires at.
+    pub severity: Severity,
+    /// Which layer proves it: the function-level IR analyses, the
+    /// plan-level artifact cross-checks, or the value-range analysis.
+    pub layer: &'static str,
+    /// One-paragraph explanation of what the rule proves and why a
+    /// finding matters.
+    pub what: &'static str,
+}
+
+/// Every lint rule the toolchain can emit, across the function-level
+/// analyses ([`tapeflow_ir::lint`]), the value-range analysis
+/// ([`tapeflow_ir::vra`]) and the plan-level cross-checks in this
+/// module. Sorted by name; looked up by `tapeflow lint --explain`.
+pub const RULE_CATALOG: &[RuleDoc] = &[
+    RuleDoc {
+        rule: "double-buffer-overlap",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A layer's tape footprint fits its region's scratchpad range \
+               only when the whole range is single-buffered; with double \
+               buffering enabled, the working half and the streaming half \
+               would overlap and REV would restore half-evicted values.",
+    },
+    RuleDoc {
+        rule: "float-nonfinite",
+        severity: Severity::Error,
+        layer: "value-ranges",
+        what: "The float interval domain proves a value can become NaN or \
+               infinite on *every* execution consistent with the declared \
+               input ranges — e.g. a division whose denominator's range is \
+               exactly [0, 0]. Gradients through such a value are garbage.",
+    },
+    RuleDoc {
+        rule: "ftor-mismatch",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A REV tape load resolves to a different region/slot/offset \
+               than the FWD store that filled it, so the restored value is \
+               not the value that was saved.",
+    },
+    RuleDoc {
+        rule: "ftor-unmapped",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A managed FWD tape store (or a REV load of one) has no \
+               landing site in the layer plan at all; the streaming \
+               rewrite would drop the value on the floor.",
+    },
+    RuleDoc {
+        rule: "layer-capacity",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A layer's per-iteration tape footprint exceeds the \
+               scratchpad range its region was assigned, so stores would \
+               evict live entries before their REV loads.",
+    },
+    RuleDoc {
+        rule: "segment-dup-missing",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A REV load lands in a §3.7 segment whose slot list (own + \
+               duplicated) does not contain the tape it restores — the \
+               duplication pass failed to localize the read.",
+    },
+    RuleDoc {
+        rule: "spad-bank-conflict",
+        severity: Severity::Warning,
+        layer: "function",
+        what: "A scratchpad access pattern strides across banks so that \
+               consecutive accesses hit the same bank; correct but \
+               serialized, costing cycles in the performance model.",
+    },
+    RuleDoc {
+        rule: "spad-capacity",
+        severity: Severity::Error,
+        layer: "function",
+        what: "The live scratchpad footprint at some program point exceeds \
+               the configured scratchpad size.",
+    },
+    RuleDoc {
+        rule: "spad-oob",
+        severity: Severity::Error,
+        layer: "function",
+        what: "A scratchpad access's provable index range falls outside \
+               the allocated scratchpad region.",
+    },
+    RuleDoc {
+        rule: "spad-partition",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A region's assigned scratchpad range overruns the physical \
+               scratchpad; two regions' ranges would alias.",
+    },
+    RuleDoc {
+        rule: "stream-deadlock",
+        severity: Severity::Error,
+        layer: "function",
+        what: "A cycle in the stream dependence graph in which every edge \
+               is a blocking FIFO — producers and consumers would wait on \
+               each other forever.",
+    },
+    RuleDoc {
+        rule: "tape-index-oob",
+        severity: Severity::Error,
+        layer: "function",
+        what: "A tape store or load whose provable ordinal range exceeds \
+               the tape array's extent.",
+    },
+    RuleDoc {
+        rule: "tape-never-loaded",
+        severity: Severity::Warning,
+        layer: "function+plan",
+        what: "A tape that FWD stores but REV never loads: streamed out \
+               and back for nothing, a recompute opportunity the min-tape \
+               heuristic missed.",
+    },
+    RuleDoc {
+        rule: "tape-read-before-write",
+        severity: Severity::Error,
+        layer: "function",
+        what: "A REV tape load whose ordinal can precede every FWD store \
+               of that tape — it would read an uninitialized slot.",
+    },
+    RuleDoc {
+        rule: "unsound-narrow",
+        severity: Severity::Error,
+        layer: "plan",
+        what: "A tape slot kept at a width below 8 bytes whose stored \
+               value cannot be *independently* re-proved to fit: the rule \
+               re-runs the value-range analysis from scratch and accepts \
+               the narrow width only if a fresh proof (integer itof path \
+               or quantized-float path) yields a width no wider than the \
+               one tape-compress chose. The compression pass must not be \
+               its own checker.",
+    },
+];
+
+/// Looks up a rule's catalog entry by name.
+pub fn explain_rule(name: &str) -> Option<&'static RuleDoc> {
+    RULE_CATALOG.iter().find(|d| d.rule == name)
 }
 
 /// Whether Pass 5 elided tape slot `k` (no store/load sites remain in
@@ -54,8 +204,84 @@ pub fn lint_plan(
     spad_partition(plan, opts, &mut diags);
     segment_dups(grad, plan, &mut diags);
     tape_liveness(grad, plan, encoding, &mut diags);
+    narrow_soundness(grad, encoding, &mut diags);
     sort_diagnostics(&mut diags);
     diags
+}
+
+/// `unsound-narrow` (error): every tape slot `tape-compress` kept at a
+/// width below 8 bytes must *independently* re-prove that the width
+/// covers the stored value's range — the compression pass must not be
+/// its own checker. The rule re-runs the value-range analysis from
+/// scratch over the gradient function and accepts a narrow width only if
+/// a fresh proof (the `itof` integer path or the quantized-float path)
+/// yields a width no wider than the chosen one.
+fn narrow_soundness(grad: &Gradient, encoding: Option<&TapeEncoding>, diags: &mut Vec<Diagnostic>) {
+    let Some(enc) = encoding else { return };
+    let narrowed: Vec<(usize, u8)> = enc
+        .slots
+        .iter()
+        .enumerate()
+        .filter_map(|(k, s)| match s {
+            SlotEncoding::Keep { width } if *width < 8 => Some((k, *width)),
+            _ => None,
+        })
+        .collect();
+    if narrowed.is_empty() {
+        return;
+    }
+    // Fresh analysis — deliberately NOT the pipeline's cached artifact.
+    let ranges = tapeflow_ir::vra::value_ranges(&grad.func);
+    for (k, chosen) in narrowed {
+        let info = &grad.tapes[k];
+        let stored = grad.func.inst(info.store).args[1];
+        let mut proven: Option<u8> = None;
+        if info.as_int {
+            if let ValueDef::Inst(ci) = grad.func.value(stored).def {
+                let conv = grad.func.inst(ci);
+                if conv.op == Op::IToF {
+                    proven = ranges
+                        .ints
+                        .get(conv.args[0].index())
+                        .copied()
+                        .flatten()
+                        .map(|r| width_for(r.lo, r.hi));
+                }
+            }
+        }
+        if proven.is_none() {
+            proven = ranges
+                .floats
+                .get(stored.index())
+                .copied()
+                .flatten()
+                .as_ref()
+                .and_then(quantized_width);
+        }
+        match proven {
+            None => diags.push(Diagnostic {
+                rule: "unsound-narrow",
+                severity: Severity::Error,
+                span: Span::at_inst_array(info.store, info.array),
+                message: format!(
+                    "{}: encoded at {chosen} B but the stored value has no \
+                     provable integer or quantized range",
+                    tape_label(grad, k)
+                ),
+            }),
+            Some(req) if req > chosen => diags.push(Diagnostic {
+                rule: "unsound-narrow",
+                severity: Severity::Error,
+                span: Span::at_inst_array(info.store, info.array),
+                message: format!(
+                    "{}: encoded at {chosen} B but the re-proved range needs \
+                     {req} B",
+                    tape_label(grad, k)
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
 }
 
 /// `ftor-unmapped` / `ftor-mismatch` (errors): every managed FWD tape

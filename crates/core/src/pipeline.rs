@@ -19,7 +19,8 @@
 //! | `ad` | reverse-mode AD: FWD + tape + REV gradient function | source-ir | gradient-ir |
 //! | `regions` | Pass 1 (§3.3): merge SoA tape arrays into AoS regions | gradient-ir | regions |
 //! | `layering` | Pass 2 (§3.4/§3.7): scratchpad-sized layers | gradient-ir, regions | layer-plan |
-//! | `tape-compress` | Pass 5: elide / narrow tape slots per region | gradient-ir, layer-plan | tape-encoding |
+//! | `value-ranges` | whole-program value-range analysis (abstract interpretation) | gradient-ir | value-ranges |
+//! | `tape-compress` | Pass 5: elide / narrow tape slots per region | gradient-ir, layer-plan, value-ranges | tape-encoding |
 //! | `streams` | Pass 3 (§3.5): terminal lowering to stream-command IR | gradient-ir, layer-plan | streams-ir |
 //! | `spad-index` | Pass 4 (§3.6): tape ops → scratchpad accesses | streams-ir | compiled-ir |
 //! | `aos-layout` | terminal AoS lowering ([`CompileMode::AosOnly`]) | gradient-ir, regions | layer-plan, compiled-ir |
@@ -72,6 +73,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 use tapeflow_autodiff::{differentiate, AdOptions, Gradient};
 use tapeflow_ir::lint::{self, Diagnostic, LintConfig};
+use tapeflow_ir::vra::{self, ValueRanges};
 use tapeflow_ir::{opt::OptStats, pretty, verify, ArrayKind, Function, Op};
 
 /// A typed pipeline artifact: one kind of state a pass can require,
@@ -90,6 +92,8 @@ pub enum Artifact {
     Regions,
     /// Pass 2's layer plan ([`PipelineState::plan`]).
     LayerPlan,
+    /// The value-range analysis result ([`PipelineState::ranges`]).
+    ValueRanges,
     /// Pass 5's tape encoding ([`PipelineState::encoding`]).
     TapeEncoding,
     /// Pass 3's terminal stream-command program
@@ -108,6 +112,7 @@ impl Artifact {
             Artifact::GradientIr => "gradient-ir",
             Artifact::Regions => "regions",
             Artifact::LayerPlan => "layer-plan",
+            Artifact::ValueRanges => "value-ranges",
             Artifact::TapeEncoding => "tape-encoding",
             Artifact::StreamsIr => "streams-ir",
             Artifact::CompiledIr => "compiled-ir",
@@ -122,6 +127,7 @@ impl Artifact {
             Artifact::GradientIr => &["ad"],
             Artifact::Regions => &["regions"],
             Artifact::LayerPlan => &["layering", "aos-layout"],
+            Artifact::ValueRanges => &["value-ranges"],
             Artifact::TapeEncoding => &["tape-compress"],
             Artifact::StreamsIr => &["streams"],
             Artifact::CompiledIr => &["spad-index", "aos-layout"],
@@ -151,6 +157,9 @@ pub struct PipelineState {
     /// Pass 2 artifact: the layer plan (rewritten in place by
     /// `tape-compress` when that pass runs).
     pub plan: Option<LayerPlan>,
+    /// `value-ranges` artifact: proven ranges over the gradient function
+    /// (consumed by `tape-compress` and the lint front-end).
+    pub ranges: Option<ValueRanges>,
     /// Pass 5 artifact: the tape encoding.
     pub encoding: Option<TapeEncoding>,
     /// Pass 3 artifact: the terminal stream-command program.
@@ -169,6 +178,7 @@ impl PipelineState {
             Artifact::GradientIr => self.gradient.is_some(),
             Artifact::Regions => self.formed.is_some(),
             Artifact::LayerPlan => self.plan.is_some(),
+            Artifact::ValueRanges => self.ranges.is_some(),
             Artifact::TapeEncoding => self.encoding.is_some(),
             Artifact::StreamsIr => self.streams.is_some(),
             Artifact::CompiledIr => self.compiled.is_some(),
@@ -236,7 +246,7 @@ impl PassOutcome {
 
 /// One registered stage of the compilation flow.
 pub trait Pass {
-    /// Registry name (`opt`, `ad`, `regions`, `layering`,
+    /// Registry name (`opt`, `ad`, `regions`, `layering`, `value-ranges`,
     /// `tape-compress`, `streams`, `spad-index`, `aos-layout`).
     fn name(&self) -> &'static str;
     /// One-line description for reports and `--passes help`.
@@ -456,6 +466,43 @@ impl Pass for LayeringPass {
     }
 }
 
+struct ValueRangesPass;
+
+impl Pass for ValueRangesPass {
+    fn name(&self) -> &'static str {
+        "value-ranges"
+    }
+    fn description(&self) -> &'static str {
+        "whole-program value-range analysis (array-content abstract interpretation)"
+    }
+    fn requires(&self) -> &'static [Artifact] {
+        &[Artifact::GradientIr]
+    }
+    fn produces(&self) -> &'static [Artifact] {
+        &[Artifact::ValueRanges]
+    }
+    fn conflicts(&self) -> &'static [Artifact] {
+        &[Artifact::ValueRanges]
+    }
+    fn run(&self, state: &mut PipelineState) -> Result<PassOutcome, CoreError> {
+        let grad = state
+            .gradient
+            .as_ref()
+            .ok_or_else(|| missing("value-ranges", Artifact::GradientIr))?;
+        let ranges = vra::value_ranges(&grad.func);
+        let (bi, ui) = ranges.int_census(&grad.func);
+        let (bf, uf) = ranges.float_census(&grad.func);
+        let detail = format!(
+            "bounded {bi}/{} i64 values, {bf}/{} f64 values, {} nonfinite finding(s)",
+            bi + ui,
+            bf + uf,
+            ranges.diagnostics.len()
+        );
+        state.ranges = Some(ranges);
+        Ok(PassOutcome::detail(detail))
+    }
+}
+
 struct TapeCompressPass;
 
 impl Pass for TapeCompressPass {
@@ -463,10 +510,14 @@ impl Pass for TapeCompressPass {
         "tape-compress"
     }
     fn description(&self) -> &'static str {
-        "Pass 5: elide rematerializable slots, narrow integer slots"
+        "Pass 5: elide rematerializable slots, narrow provably small slots"
     }
     fn requires(&self) -> &'static [Artifact] {
-        &[Artifact::GradientIr, Artifact::LayerPlan]
+        &[
+            Artifact::GradientIr,
+            Artifact::LayerPlan,
+            Artifact::ValueRanges,
+        ]
     }
     fn produces(&self) -> &'static [Artifact] {
         &[Artifact::TapeEncoding]
@@ -488,7 +539,11 @@ impl Pass for TapeCompressPass {
             .gradient
             .as_ref()
             .ok_or_else(|| missing("tape-compress", Artifact::GradientIr))?;
-        let (plan, enc) = compress_tapes(grad, plan);
+        let ranges = state
+            .ranges
+            .as_ref()
+            .ok_or_else(|| missing("tape-compress", Artifact::ValueRanges))?;
+        let (plan, enc) = compress_tapes(grad, plan, ranges);
         let detail = format!(
             "elided {}/{} slots, narrowed {}, tape bytes {} -> {}",
             enc.elided_slots,
@@ -640,7 +695,7 @@ impl Pass for AosLayoutPass {
 // ---- builder ---------------------------------------------------------------
 
 /// Registered pass names with one-line descriptions, in canonical order.
-pub fn registered_passes() -> [(&'static str, &'static str); 8] {
+pub fn registered_passes() -> [(&'static str, &'static str); 9] {
     [
         ("opt", OptPass.description()),
         (
@@ -658,6 +713,7 @@ pub fn registered_passes() -> [(&'static str, &'static str); 8] {
             }
             .description(),
         ),
+        ("value-ranges", ValueRangesPass.description()),
         ("tape-compress", TapeCompressPass.description()),
         (
             "streams",
@@ -735,7 +791,8 @@ impl PipelineBuilder {
             CompileMode::Full => {
                 let b = b.push(Box::new(LayeringPass { opts }));
                 let b = if opts.compress_tape {
-                    b.push(Box::new(TapeCompressPass))
+                    b.push(Box::new(ValueRangesPass))
+                        .push(Box::new(TapeCompressPass))
                 } else {
                     b
                 };
@@ -759,7 +816,8 @@ impl PipelineBuilder {
             .push(Box::new(RegionsPass))
             .push(Box::new(LayeringPass { opts }));
         let b = if opts.compress_tape {
-            b.push(Box::new(TapeCompressPass))
+            b.push(Box::new(ValueRangesPass))
+                .push(Box::new(TapeCompressPass))
         } else {
             b
         };
@@ -833,6 +891,7 @@ impl PipelineBuilder {
                 }),
                 "regions" => Box::new(RegionsPass),
                 "layering" => Box::new(LayeringPass { opts: options }),
+                "value-ranges" => Box::new(ValueRangesPass),
                 "tape-compress" => Box::new(TapeCompressPass),
                 "streams" => Box::new(StreamsPass { opts: options }),
                 "spad-index" => Box::new(SpadIndexPass),

@@ -41,7 +41,10 @@ pub fn apply_spad_index(sp: &StreamsProgram) -> Result<CompiledProgram, CoreErro
         phase_barrier: None,
     };
     for a in cl.src.arrays() {
-        cl.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        let id = cl.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        if let Some(r) = a.range {
+            cl.g.set_array_range(id, r);
+        }
     }
     let mut body = Vec::new();
     cl.walk(&sp.func.body, &mut body);

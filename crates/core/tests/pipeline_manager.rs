@@ -273,7 +273,7 @@ fn report_records_timing_verification_and_snapshots() {
 }
 
 #[test]
-fn registry_lists_all_eight_passes() {
+fn registry_lists_all_nine_passes() {
     let names: Vec<&str> = registered_passes().iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
@@ -282,6 +282,7 @@ fn registry_lists_all_eight_passes() {
             "ad",
             "regions",
             "layering",
+            "value-ranges",
             "tape-compress",
             "streams",
             "spad-index",
@@ -319,6 +320,7 @@ fn compressed_pipeline_keeps_gradients_and_shrinks_tape_bytes() {
             "ad",
             "regions",
             "layering",
+            "value-ranges",
             "tape-compress",
             "streams",
             "spad-index",
@@ -337,6 +339,7 @@ fn compressed_pipeline_keeps_gradients_and_shrinks_tape_bytes() {
             "ad",
             "regions",
             "layering",
+            "value-ranges",
             "tape-compress",
             "streams",
             "spad-index"

@@ -81,6 +81,23 @@ impl FunctionBuilder {
         self.func.add_array(name, len, kind, elem)
     }
 
+    /// Declares an array with a declared content range
+    /// ([`crate::function::DeclRange`]); the value-range analysis seeds
+    /// the array's content domain from it. Only `Input` arrays may carry
+    /// a range (enforced by [`crate::verify::verify`]).
+    pub fn array_ranged(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        kind: ArrayKind,
+        elem: Scalar,
+        range: crate::function::DeclRange,
+    ) -> ArrayId {
+        let id = self.func.add_array(name, len, kind, elem);
+        self.func.set_array_range(id, range);
+        id
+    }
+
     /// Declares a one-element `f64` [`ArrayKind::Temp`] cell used for
     /// loop-carried state (accumulators). The interpreter/tracer
     /// initializes Temp cells to zero; emit an explicit store for other

@@ -47,6 +47,36 @@ impl ArrayKind {
     }
 }
 
+/// A declared value range for an input array's contents: a contract the
+/// caller makes about every element the function will observe.
+///
+/// The range feeds the value-range analysis ([`crate::vra::value_ranges`]),
+/// which seeds the array's content domain from it; the dynamic soundness
+/// oracle ([`crate::interp::RangeRecorder`]) checks observed values against
+/// the derived static ranges at run time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeclRange {
+    /// Every element is an `i64` in `[lo, hi]`.
+    Int {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Every element is a *finite* `f64` in `[lo, hi]`. When `quantized`
+    /// is set, every element is additionally an exact integer (quantized
+    /// data such as pixel levels or cost grids), so the value survives a
+    /// narrow integer wire format losslessly.
+    Float {
+        /// Inclusive lower bound (finite).
+        lo: f64,
+        /// Inclusive upper bound (finite).
+        hi: f64,
+        /// All elements are exactly integer-valued.
+        quantized: bool,
+    },
+}
+
 /// Declaration of an array: a contiguous memory object.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ArrayDecl {
@@ -58,6 +88,8 @@ pub struct ArrayDecl {
     pub kind: ArrayKind,
     /// Element type.
     pub elem: Scalar,
+    /// Declared content range, if the caller contracts one (inputs only).
+    pub range: Option<DeclRange>,
 }
 
 impl ArrayDecl {
@@ -398,8 +430,26 @@ impl Function {
             len,
             kind,
             elem,
+            range: None,
         });
         id
+    }
+
+    /// Attaches a declared content range to array `id`.
+    /// [`crate::verify::verify`] enforces that only `Input` arrays carry
+    /// one and that the range matches the element type.
+    pub fn set_array_range(&mut self, id: ArrayId, range: DeclRange) {
+        self.arrays[id.index()].range = Some(range);
+    }
+
+    /// Drops every declared content range. Declared ranges are a
+    /// transparent codec — they may only change what the traffic model
+    /// charges, never compiled semantics — and tests prove it by
+    /// compiling a program with and without its annotations.
+    pub fn clear_array_ranges(&mut self) {
+        for a in &mut self.arrays {
+            a.range = None;
+        }
     }
 
     /// Interns a constant as a value (not deduplicated; the builder dedups).

@@ -111,6 +111,16 @@ pub enum MemEffect {
 pub trait ExecHook {
     /// Called once per dynamic instruction, in execution order.
     fn on_inst(&mut self, inst: InstId, func: &Function, effect: &MemEffect);
+
+    /// Called right after an instruction's result value is written,
+    /// with the concrete value. Default: ignore.
+    #[inline]
+    fn on_result(&mut self, _inst: InstId, _result: ValueId, _value: Value) {}
+
+    /// Called for every element written to a DRAM array — plain stores
+    /// and stream drains alike. Default: ignore.
+    #[inline]
+    fn on_array_write(&mut self, _array: ArrayId, _value: Value) {}
 }
 
 /// Hook that ignores everything (plain interpretation).
@@ -120,6 +130,98 @@ pub struct NoopHook;
 impl ExecHook for NoopHook {
     #[inline]
     fn on_inst(&mut self, _inst: InstId, _func: &Function, _effect: &MemEffect) {}
+}
+
+/// Observed min/max of one value or array over a concrete run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Observed {
+    /// Observed `i64` min/max.
+    pub int: Option<(i64, i64)>,
+    /// Observed finite `f64` min/max.
+    pub float: Option<(f64, f64)>,
+    /// A NaN or ±Inf `f64` was observed.
+    pub nonfinite: bool,
+    /// A finite `f64` with a fractional part was observed.
+    pub fractional: bool,
+}
+
+impl Observed {
+    fn note(&mut self, v: Value) {
+        match v {
+            Value::I64(x) => {
+                let (lo, hi) = self.int.get_or_insert((x, x));
+                *lo = (*lo).min(x);
+                *hi = (*hi).max(x);
+            }
+            Value::F64(x) => {
+                if !x.is_finite() {
+                    self.nonfinite = true;
+                    return;
+                }
+                if x.fract() != 0.0 {
+                    self.fractional = true;
+                }
+                let (lo, hi) = self.float.get_or_insert((x, x));
+                *lo = (*lo).min(x);
+                *hi = (*hi).max(x);
+            }
+        }
+    }
+}
+
+/// Hook that records every produced value and every array write — the
+/// measurement side of the dynamic soundness oracle. Feed the finished
+/// recorder to [`crate::vra::check_containment`] to compare against the
+/// static [`crate::vra::value_ranges`] result.
+#[derive(Clone, Debug)]
+pub struct RangeRecorder {
+    values: Vec<Observed>,
+    arrays: Vec<Observed>,
+}
+
+impl RangeRecorder {
+    /// Creates a recorder for `func`, folding the *initial* contents of
+    /// `mem` into the per-array observations — so a dishonest declared
+    /// input range is caught even when the program never loads the
+    /// offending element.
+    pub fn new(func: &Function, mem: &Memory) -> Self {
+        let mut arrays = vec![Observed::default(); func.arrays().len()];
+        for (i, obs) in arrays.iter_mut().enumerate() {
+            let id = ArrayId::new(i);
+            for k in 0..mem.len_of(id) {
+                obs.note(mem.load(id, k));
+            }
+        }
+        RangeRecorder {
+            values: vec![Observed::default(); func.values().len()],
+            arrays,
+        }
+    }
+
+    /// Per-value observations, indexed by [`ValueId`].
+    pub fn values(&self) -> &[Observed] {
+        &self.values
+    }
+
+    /// Per-array observations, indexed by [`ArrayId`].
+    pub fn arrays(&self) -> &[Observed] {
+        &self.arrays
+    }
+}
+
+impl ExecHook for RangeRecorder {
+    #[inline]
+    fn on_inst(&mut self, _inst: InstId, _func: &Function, _effect: &MemEffect) {}
+
+    #[inline]
+    fn on_result(&mut self, _inst: InstId, result: ValueId, value: Value) {
+        self.values[result.index()].note(value);
+    }
+
+    #[inline]
+    fn on_array_write(&mut self, array: ArrayId, value: Value) {
+        self.arrays[array.index()].note(value);
+    }
 }
 
 struct Executor<'f, 'm, H> {
@@ -290,6 +392,7 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
                     array: arr,
                 };
                 self.mem.store(arr, idx, v);
+                self.hook.on_array_write(arr, v);
                 None
             }
             SAlloc { base, .. } => Some(Value::I64(base as i64)),
@@ -338,8 +441,9 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
                         let s = sbase as usize + k;
                         let d = dbase as usize + k;
                         if to_dram {
-                            let bits = self.spad[s];
-                            self.mem.store(arr, d, Value::F64(f64::from_bits(bits)));
+                            let v = Value::F64(f64::from_bits(self.spad[s]));
+                            self.mem.store(arr, d, v);
+                            self.hook.on_array_write(arr, v);
                         } else {
                             self.spad[s] = self.mem.load(arr, d).to_bits();
                         }
@@ -362,6 +466,7 @@ impl<'f, 'm, H: ExecHook> Executor<'f, 'm, H> {
         };
         if let (Some(rv), Some(rid)) = (result, inst.result) {
             self.vals[rid.index()] = Some(rv);
+            self.hook.on_result(id, rid, rv);
         }
         self.dyn_insts += 1;
         self.hook.on_inst(id, self.func, &effect);

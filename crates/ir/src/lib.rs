@@ -66,10 +66,11 @@ pub mod trace;
 pub mod transform;
 pub mod types;
 pub mod verify;
+pub mod vra;
 
 pub use builder::FunctionBuilder;
 pub use function::{
-    ArrayDecl, ArrayKind, Bound, Function, Inst, LoopInfo, Provenance, Stmt, ValueDef,
+    ArrayDecl, ArrayKind, Bound, DeclRange, Function, Inst, LoopInfo, Provenance, Stmt, ValueDef,
 };
 pub use ids::{ArrayId, InstId, LoopId, NodeId, TapeGroupId, ValueId};
 pub use memory::Memory;

@@ -580,18 +580,6 @@ pub fn lint_function(func: &Function, cfg: &LintConfig) -> Vec<Diagnostic> {
     diags
 }
 
-/// Proven inclusive range of every `i64` value, indexed by [`ValueId`]
-/// (`None` for `f64` values and values the interval analysis cannot
-/// bound). This is the same dataflow the lint rules run on, exposed so the
-/// tape-compression pass can pick per-slot storage widths from it.
-pub fn int_value_ranges(func: &Function) -> Vec<Option<(i64, i64)>> {
-    Analysis::run(func)
-        .interval
-        .iter()
-        .map(|i| i.map(|i| (i.lo, i.hi)))
-        .collect()
-}
-
 fn arr_label(func: &Function, a: ArrayId) -> String {
     format!("{a} `{}`", func.array(a).name)
 }
@@ -1396,19 +1384,6 @@ mod tests {
         verify(&f).unwrap();
         let diags = lint_function(&f, &cfg());
         assert!(rules(&diags).contains(&"tape-index-oob"), "{diags:?}");
-    }
-
-    #[test]
-    fn int_value_ranges_exposed() {
-        let mut b = FunctionBuilder::new("iv");
-        let k = b.i64(3);
-        let mut prod = None;
-        b.for_loop("i", 0, 8, |b, i| {
-            prod = Some(b.imul(i, k));
-        });
-        let f = b.finish();
-        let ranges = int_value_ranges(&f);
-        assert_eq!(ranges[prod.unwrap().index()], Some((0, 21)));
     }
 
     #[test]

@@ -245,7 +245,10 @@ fn fold_and_cse(func: &Function, stats: &mut OptStats) -> Function {
     }
     let mut g = Function::new(func.name.clone());
     for a in func.arrays() {
-        g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        let id = g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        if let Some(r) = a.range {
+            g.set_array_range(id, r);
+        }
     }
     let mut r = Rebuild {
         src: func,
@@ -346,7 +349,10 @@ fn eliminate_dead_code(func: &Function, stats: &mut OptStats) -> Function {
     }
     let mut g = Function::new(func.name.clone());
     for a in func.arrays() {
-        g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        let id = g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        if let Some(r) = a.range {
+            g.set_array_range(id, r);
+        }
     }
     let mut r = Rebuild {
         src: func,

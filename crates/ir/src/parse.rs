@@ -158,10 +158,11 @@ impl<'s> Parser<'s> {
 
     fn parse_array_decl(&mut self, line: &str) -> Result<(), ParseError> {
         // array @0 x : f64[8] (Input)
+        // array @0 x : f64[8] (Input) in[0,9] quantized
         let rest = line.trim().strip_prefix("array ").expect("caller checked");
         let toks: Vec<&str> = rest.split_whitespace().collect();
-        // toks: [@N, name, :, ty[len], (Kind)]
-        if toks.len() != 5 || toks[2] != ":" {
+        // toks: [@N, name, :, ty[len], (Kind)] + optional [in[lo,hi], quantized]
+        if !(5..=7).contains(&toks.len()) || toks[2] != ":" {
             return self.err(format!("malformed array declaration {line:?}"));
         }
         let name = toks[1];
@@ -185,8 +186,64 @@ impl<'s> Parser<'s> {
             "Shadow" => ArrayKind::Shadow,
             other => return self.err(format!("unknown array kind {other:?}")),
         };
-        self.func.add_array(name, len, kind, ty);
+        let id = self.func.add_array(name, len, kind, ty);
+        if toks.len() > 5 {
+            let range = self.parse_range_annotation(&toks[5..], ty, line)?;
+            self.func.set_array_range(id, range);
+        }
         Ok(())
+    }
+
+    /// Parses the optional trailing `in[lo,hi]` (+ `quantized`) clause of
+    /// an array declaration. Syntax and numeric-literal errors surface
+    /// here; semantic constraints (input-only, non-empty, finite) are
+    /// enforced by [`crate::verify::verify`] after parsing.
+    fn parse_range_annotation(
+        &mut self,
+        toks: &[&str],
+        ty: Scalar,
+        line: &str,
+    ) -> Result<crate::function::DeclRange, ParseError> {
+        use crate::function::DeclRange;
+        let Some(body) = toks[0]
+            .strip_prefix("in[")
+            .and_then(|s| s.strip_suffix(']'))
+        else {
+            return self.err(format!("malformed range annotation in {line:?}"));
+        };
+        let Some((lo_s, hi_s)) = body.split_once(',') else {
+            return self.err(format!(
+                "malformed range annotation in {line:?} (expected `in[lo,hi]`)"
+            ));
+        };
+        let quantized = match toks.get(1) {
+            None => false,
+            Some(&"quantized") => true,
+            Some(other) => {
+                return self.err(format!(
+                    "unexpected token {other:?} after range annotation in {line:?}"
+                ));
+            }
+        };
+        match ty {
+            Scalar::I64 => {
+                if quantized {
+                    return self.err(format!(
+                        "`quantized` is only valid on f64 ranges in {line:?}"
+                    ));
+                }
+                let (Ok(lo), Ok(hi)) = (lo_s.parse::<i64>(), hi_s.parse::<i64>()) else {
+                    return self.err(format!("bad integer range bound in {line:?}"));
+                };
+                Ok(DeclRange::Int { lo, hi })
+            }
+            Scalar::F64 => {
+                let (Ok(lo), Ok(hi)) = (lo_s.parse::<f64>(), hi_s.parse::<f64>()) else {
+                    return self.err(format!("bad float range bound in {line:?}"));
+                };
+                Ok(DeclRange::Float { lo, hi, quantized })
+            }
+        }
     }
 
     fn parse_stmts(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
@@ -608,6 +665,86 @@ mod tests {
         let bad = "func @f {\n  barrier\n";
         let err = parse(bad).unwrap_err();
         assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn range_annotations_roundtrip() {
+        let text = r"func @r {
+  array @0 x : f64[4] (Input) in[-1,1] quantized
+  array @1 t : f64[4] (Input) in[-0.5,0.5]
+  array @2 k : i64[4] (Input) in[0,9]
+  array @3 out : f64[4] (Output)
+  for i in 0..4 step 1 {
+    %0 = load @0 i
+    store @3 i %0
+  }
+}";
+        let f = parse(text).unwrap();
+        use crate::function::DeclRange;
+        assert_eq!(
+            f.arrays()[0].range,
+            Some(DeclRange::Float {
+                lo: -1.0,
+                hi: 1.0,
+                quantized: true
+            })
+        );
+        assert_eq!(
+            f.arrays()[1].range,
+            Some(DeclRange::Float {
+                lo: -0.5,
+                hi: 0.5,
+                quantized: false
+            })
+        );
+        assert_eq!(f.arrays()[2].range, Some(DeclRange::Int { lo: 0, hi: 9 }));
+        assert_eq!(f.arrays()[3].range, None);
+        let text2 = pretty(&f).to_string();
+        let text3 = pretty(&parse(&text2).unwrap()).to_string();
+        assert_eq!(text2, text3, "ranges survive the pretty/parse fixpoint");
+    }
+
+    #[test]
+    fn malformed_range_annotations_are_rejected() {
+        let cases = [
+            (
+                "array @0 x : f64[4] (Input) in[1]",
+                "malformed range annotation",
+            ),
+            (
+                "array @0 x : f64[4] (Input) in(1,2)",
+                "malformed range annotation",
+            ),
+            (
+                "array @0 x : f64[4] (Input) in[a,b]",
+                "bad float range bound",
+            ),
+            (
+                "array @0 k : i64[4] (Input) in[a,b]",
+                "bad integer range bound",
+            ),
+            (
+                "array @0 k : i64[4] (Input) in[0,9] quantized",
+                "only valid on f64",
+            ),
+            (
+                "array @0 x : f64[4] (Input) in[0,1] bogus",
+                "unexpected token",
+            ),
+            (
+                "array @0 x : f64[4] (Input) in[0,1] quantized extra",
+                "malformed array declaration",
+            ),
+        ];
+        for (decl, want) in cases {
+            let text = format!("func @bad {{\n  {decl}\n}}");
+            let err = parse(&text).unwrap_err();
+            assert!(
+                err.message.contains(want),
+                "{decl:?}: expected {want:?} in {err}"
+            );
+            assert_eq!(err.line, 2, "{decl:?}");
+        }
     }
 
     #[test]

@@ -127,11 +127,24 @@ impl fmt::Display for Pretty<'_> {
         let f = self.func;
         writeln!(out, "func @{} {{", f.name)?;
         for (i, a) in f.arrays().iter().enumerate() {
-            writeln!(
+            write!(
                 out,
                 "  array @{i} {} : {}[{}] ({:?})",
                 a.name, a.elem, a.len, a.kind
             )?;
+            match a.range {
+                Some(crate::function::DeclRange::Int { lo, hi }) => {
+                    write!(out, " in[{lo},{hi}]")?;
+                }
+                Some(crate::function::DeclRange::Float { lo, hi, quantized }) => {
+                    write!(out, " in[{lo},{hi}]")?;
+                    if quantized {
+                        write!(out, " quantized")?;
+                    }
+                }
+                None => {}
+            }
+            writeln!(out)?;
         }
         let mut body = String::new();
         write_stmts(&mut body, f, &f.body, 1, self.provenance).map_err(|_| fmt::Error)?;

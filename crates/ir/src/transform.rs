@@ -198,7 +198,10 @@ pub fn unroll_loop(
         factor,
     };
     for a in func.arrays() {
-        cloner.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        let id = cloner.g.add_array(a.name.clone(), a.len, a.kind, a.elem);
+        if let Some(r) = a.range {
+            cloner.g.set_array_range(id, r);
+        }
     }
     let body = func.body.clone();
     let mut out = Vec::new();

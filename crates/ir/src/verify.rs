@@ -56,6 +56,14 @@ pub enum VerifyError {
         /// What is wrong with its record.
         reason: &'static str,
     },
+    /// An array's declared content range is ill-formed: on a writable
+    /// array, mismatched with the element type, empty, or non-finite.
+    BadArrayRange {
+        /// Name of the offending array.
+        array: String,
+        /// What is wrong with the annotation.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -87,6 +95,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::BadProvenance { inst, reason } => {
                 write!(f, "provenance of {inst}: {reason}")
+            }
+            VerifyError::BadArrayRange { array, reason } => {
+                write!(f, "range annotation on array `{array}`: {reason}")
             }
         }
     }
@@ -234,6 +245,7 @@ impl<'f> Checker<'f> {
 ///
 /// Returns the first [`VerifyError`] encountered in program order.
 pub fn verify(func: &Function) -> Result<(), VerifyError> {
+    check_array_ranges(func)?;
     let mut defined = vec![false; func.values().len()];
     for (i, v) in func.values().iter().enumerate() {
         if matches!(v.def, ValueDef::Const(_)) {
@@ -248,6 +260,48 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
     checker.check_stmts(&func.body)?;
     if let Some(i) = checker.seen_inst.iter().position(|s| !s) {
         return Err(VerifyError::UnreachableInst(InstId::new(i)));
+    }
+    Ok(())
+}
+
+/// Semantic checks on declared array content ranges: ranges live only on
+/// read-only `Input` arrays (the caller contract the value-range
+/// analysis seeds from), must be non-empty, type-matched, and — for
+/// floats — finite, with `quantized` bounds on exact integers.
+fn check_array_ranges(func: &Function) -> Result<(), VerifyError> {
+    use crate::function::DeclRange;
+    for a in func.arrays() {
+        let Some(r) = a.range else { continue };
+        let bad = |reason| {
+            Err(VerifyError::BadArrayRange {
+                array: a.name.clone(),
+                reason,
+            })
+        };
+        if !a.kind.is_read_only() {
+            return bad("only Input arrays may declare a content range");
+        }
+        match (r, a.elem) {
+            (DeclRange::Int { .. }, Scalar::F64) | (DeclRange::Float { .. }, Scalar::I64) => {
+                return bad("range kind does not match the element type");
+            }
+            (DeclRange::Int { lo, hi }, Scalar::I64) => {
+                if lo > hi {
+                    return bad("empty range (lo > hi)");
+                }
+            }
+            (DeclRange::Float { lo, hi, quantized }, Scalar::F64) => {
+                if !lo.is_finite() || !hi.is_finite() {
+                    return bad("float range bounds must be finite");
+                }
+                if lo > hi {
+                    return bad("empty range (lo > hi)");
+                }
+                if quantized && (lo.fract() != 0.0 || hi.fract() != 0.0) {
+                    return bad("quantized range bounds must be exact integers");
+                }
+            }
+        }
     }
     Ok(())
 }

@@ -17,8 +17,10 @@
 //!                    [--flame-out f.folded]           --by-inst adds source-attributed
 //!                    [--sample N]                     hot-spot tables + flamegraph
 //! tapeflow lint      FILE|NAME [--json PATH]      static tape-safety / scratchpad /
-//!                                                     stream-schedule analysis; exit 1
-//!                                                     on any error-severity finding
+//!                    [--check-dynamic]                stream-schedule / value-range
+//!                    [--explain RULE]                 analysis; exit 1 on any
+//!                                                     error-severity finding or
+//!                                                     dynamic-oracle escape
 //! tapeflow passes                                 list registered passes
 //! tapeflow bench-host [--scale S] [--repeats N]   time the configuration sweep on both
 //!                    [--benchmarks a,b] [--jobs N]    simulator engines (event-driven vs
@@ -80,11 +82,21 @@
 //! own inputs and `--wrt`/`--loss` default to its gradient spec.
 //! `--scale tiny|small|large` picks the benchmark size.
 //!
-//! `lint` runs the `tapeflow_ir::lint` + `tapeflow_core::lint` analyses
-//! over the fully compiled program (or directly over an already-lowered
-//! IR file), prints the findings as a table, optionally as `--json`
-//! (schema `tapeflow.cli.lint/v1`), and exits non-zero when any
-//! error-severity finding fires. `--lint-after-all` (any pipeline-driving
+//! `lint` runs the `tapeflow_ir::lint` + `tapeflow_core::lint` +
+//! `tapeflow_ir::vra` analyses over the fully compiled program (or
+//! directly over an already-lowered IR file), prints the findings as a
+//! table, optionally as `--json` (schema `tapeflow.cli.lint/v2`, which
+//! carries a `ranges` section: the bounded/total value census, per-array
+//! content ranges and — under `--compress-tape` — the per-slot narrowing
+//! decisions), and exits non-zero when any error-severity finding fires.
+//! `lint --check-dynamic` additionally runs the dynamic soundness
+//! oracle: it interprets the program (and, through the pipeline, its
+//! gradient function) under a recorder that observes every produced
+//! value and array write, then checks each observation against the
+//! static ranges — any escape means the analysis or an input annotation
+//! is unsound, and the command exits non-zero. `lint --explain RULE`
+//! prints the rule-catalog entry for any lint rule and exits.
+//! `--lint-after-all` (any pipeline-driving
 //! command) additionally runs the function-level lints after every pass
 //! and reports per-pass findings on stderr, mirroring
 //! `--print-after-all` — it never changes the compiled output.
@@ -93,6 +105,7 @@ use std::process::ExitCode;
 use tapeflow::autodiff::{differentiate, AdOptions, Gradient, TapePolicy};
 use tapeflow::bench::{attr, hostperf, pool};
 use tapeflow::benchmarks::{self, Benchmark, Scale};
+use tapeflow::core::compress::SlotEncoding;
 use tapeflow::core::compress::TapeEncoding;
 use tapeflow::core::pipeline::{
     registered_passes, IrCounts, PassRecord, PipelineBuilder, PipelineReport,
@@ -100,7 +113,7 @@ use tapeflow::core::pipeline::{
 use tapeflow::core::{lint as plan_lint, CompileMode, CompileOptions, CompiledProgram};
 use tapeflow::ir::lint::{self, LintConfig};
 use tapeflow::ir::trace::{trace_function, TraceOptions};
-use tapeflow::ir::{parse, pretty, ArrayId, ArrayKind, Function, Memory, Op, Scalar};
+use tapeflow::ir::{interp, parse, pretty, vra, ArrayId, ArrayKind, Function, Memory, Op, Scalar};
 use tapeflow::sim::json::Value;
 use tapeflow::sim::{
     try_simulate_probed_with, AttributionProbe, CycleBreakdown, Engine, NoProbe, SamplingProbe,
@@ -137,6 +150,8 @@ struct Args {
     benchmarks: Option<Vec<String>>,
     jobs: Option<usize>,
     stable_json: bool,
+    check_dynamic: bool,
+    explain: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -150,6 +165,7 @@ fn usage() -> ExitCode {
          [--scale tiny|small|large] [--engine event|legacy] [--repeats N] \
          [--by-inst] [--top N] [--sample N] [--flame-out PATH] \
          [--benchmarks a,b] [--jobs N] [--stable-json] \
+         [--check-dynamic] [--explain RULE] \
          [--json PATH] [--trace-out PATH]"
     );
     ExitCode::from(2)
@@ -183,6 +199,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
         benchmarks: None,
         jobs: None,
         stable_json: false,
+        check_dynamic: false,
+        explain: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -247,6 +265,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
                 );
             }
             "--stable-json" => args.stable_json = true,
+            "--check-dynamic" => args.check_dynamic = true,
+            "--explain" => args.explain = Some(argv.next().ok_or("--explain needs a rule name")?),
             "--print-after-all" => args.print_after_all = true,
             "--time-passes" => args.time_passes = true,
             "--lint-after-all" => args.lint_after_all = true,
@@ -284,7 +304,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<(String, Args), 
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if args.file.is_empty() && cmd != "passes" && cmd != "bench-host" {
+    let standalone =
+        cmd == "passes" || cmd == "bench-host" || (cmd == "lint" && args.explain.is_some());
+    if args.file.is_empty() && !standalone {
         return Err("missing input file".into());
     }
     Ok((cmd, args))
@@ -397,14 +419,30 @@ fn lint_config(copts: &CompileOptions) -> LintConfig {
 }
 
 /// The standard Full-mode pass list the flags select. `--compress-tape`
-/// inserts Pass 5 (`tape-compress`) between `layering` and the
-/// `streams` terminal lowering.
+/// inserts the `value-ranges` analysis plus Pass 5 (`tape-compress`)
+/// between `layering` and the `streams` terminal lowering —
+/// `tape-compress` refuses to run without the `value-ranges` artifact.
 fn full_pass_names(args: &Args, with_opt: bool) -> Vec<&'static str> {
     let mut names = Vec::new();
     if with_opt {
         names.push("opt");
     }
     names.extend(["ad", "regions", "layering"]);
+    if args.compress_tape {
+        names.extend(["value-ranges", "tape-compress"]);
+    }
+    names.extend(["streams", "spad-index"]);
+    names
+}
+
+/// The `lint` pass list: the standard pipeline with `value-ranges`
+/// always present, so the range census and the `float-nonfinite` rule
+/// see the pipeline's own artifact rather than a side computation.
+fn lint_pass_names(args: &Args) -> Vec<&'static str> {
+    if args.aos_only {
+        return vec!["opt", "ad", "regions", "value-ranges", "aos-layout"];
+    }
+    let mut names = vec!["opt", "ad", "regions", "layering", "value-ranges"];
     if args.compress_tape {
         names.push("tape-compress");
     }
@@ -540,6 +578,144 @@ fn compression_json(enc: &TapeEncoding) -> Value {
         .set("tape_bytes_before", enc.bytes_before)
         .set("tape_bytes_after", enc.bytes_after);
     v
+}
+
+/// Greedy word wrap for catalog paragraphs.
+fn wrap(text: &str, width: usize, indent: &str) -> String {
+    let mut out = String::new();
+    let mut col = 0;
+    for w in text.split_whitespace() {
+        if col == 0 {
+            out.push_str(indent);
+            col = indent.len();
+        } else if col + 1 + w.len() > width {
+            out.push('\n');
+            out.push_str(indent);
+            col = indent.len();
+        } else {
+            out.push(' ');
+            col += 1;
+        }
+        out.push_str(w);
+        col += w.len();
+    }
+    out
+}
+
+/// `lint --explain RULE`: prints one rule-catalog entry, or the whole
+/// catalog index when the rule name is unknown (as an error).
+fn explain_cmd(rule: &str) -> Result<(), String> {
+    match plan_lint::explain_rule(rule) {
+        Some(doc) => {
+            println!(
+                "{} ({}, {} level)",
+                doc.rule,
+                doc.severity.label(),
+                doc.layer
+            );
+            println!("{}", wrap(doc.what, 72, "  "));
+            Ok(())
+        }
+        None => Err(format!(
+            "no lint rule named {rule:?}; the catalog: {}",
+            plan_lint::RULE_CATALOG
+                .iter()
+                .map(|d| d.rule)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
+
+/// The JSON `ranges` section of the lint v2 schema: the bounded/total
+/// value census over the analysed function, every array's proven
+/// content range, and the per-slot narrowing decisions when
+/// `tape-compress` ran.
+fn ranges_json(
+    func: &Function,
+    r: &vra::ValueRanges,
+    grad: Option<&Gradient>,
+    enc: Option<&TapeEncoding>,
+) -> Value {
+    let (bi, ui) = r.int_census(func);
+    let (bf, uf) = r.float_census(func);
+    let mut v = Value::object();
+    v.set("bounded_i64", bi)
+        .set("total_i64", bi + ui)
+        .set("bounded_f64", bf)
+        .set("total_f64", bf + uf);
+    let arrays: Vec<Value> = func
+        .arrays()
+        .iter()
+        .zip(&r.contents)
+        .map(|(a, c)| {
+            let mut o = Value::object();
+            o.set("name", a.name.as_str()).set(
+                "content",
+                match c {
+                    vra::ContentRange::Int(Some(ir)) => format!("i64 [{}, {}]", ir.lo, ir.hi),
+                    vra::ContentRange::Float(Some(fr)) => format!(
+                        "f64 [{}, {}]{}",
+                        fr.lo,
+                        fr.hi,
+                        if fr.quantized { " quantized" } else { "" }
+                    ),
+                    _ => "unbounded".to_string(),
+                },
+            );
+            o
+        })
+        .collect();
+    v.set("arrays", Value::Arr(arrays));
+    if let (Some(grad), Some(enc)) = (grad, enc) {
+        let narrowing: Vec<Value> = enc
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut o = Value::object();
+                o.set("slot", k)
+                    .set("array", grad.func.array(grad.tapes[k].array).name.as_str());
+                match s {
+                    SlotEncoding::Keep { width } => {
+                        o.set("encoding", "keep")
+                            .set("width_bytes", *width as usize);
+                    }
+                    SlotEncoding::Remat(_) => {
+                        o.set("encoding", "remat");
+                    }
+                }
+                o
+            })
+            .collect();
+        v.set("narrowing", Value::Arr(narrowing));
+    }
+    v
+}
+
+/// One variant of the dynamic soundness oracle (`lint --check-dynamic`):
+/// interprets `f` under a [`interp::RangeRecorder`], re-derives the
+/// static ranges, and returns the render line plus any escapes.
+fn oracle_run(label: &str, f: &Function, mem: &mut Memory) -> Result<(String, usize), String> {
+    let rec = interp::RangeRecorder::new(f, mem);
+    let (rec, dyn_insts) = interp::execute(f, mem, rec)
+        .map_err(|e| format!("--check-dynamic: {label} failed to execute: {e}"))?;
+    let ranges = vra::value_ranges(f);
+    let escapes = vra::check_containment(f, &ranges, &rec);
+    let mut line = format!(
+        "{label:<9} {dyn_insts:>9} dynamic insts, {} values, {} arrays: {}",
+        f.values().len(),
+        f.arrays().len(),
+        if escapes.is_empty() {
+            "contained".to_string()
+        } else {
+            format!("{} ESCAPE(S)", escapes.len())
+        }
+    );
+    for e in &escapes {
+        line.push_str(&format!("\n  {e}"));
+    }
+    Ok((line, escapes.len()))
 }
 
 /// `+n` / `-n` / `0`, so growth and shrinkage read at a glance.
@@ -709,6 +885,12 @@ fn run() -> Result<ExitCode, String> {
             eprintln!("// machine-readable report: {path}");
         }
         return Ok(ExitCode::SUCCESS);
+    }
+    if cmd == "lint" {
+        if let Some(rule) = &args.explain {
+            explain_cmd(rule)?;
+            return Ok(ExitCode::SUCCESS);
+        }
     }
     let input = load_input(&args)?;
     let func = input.func.clone();
@@ -1027,14 +1209,24 @@ fn run() -> Result<ExitCode, String> {
             }) || func.arrays_of_kind(ArrayKind::Tape).next().is_some();
             let has_grad_spec = input.bench.is_some() || !args.wrt.is_empty();
             let mut diags;
+            // Whichever path runs leaves behind the analysed function +
+            // its ranges (for the v2 census), the narrowing decisions,
+            // and the variants the dynamic oracle executes.
+            let mut analysed: Option<(Function, vra::ValueRanges)> = None;
+            let mut encoding: Option<TapeEncoding> = None;
+            let mut enc_grad: Option<Gradient> = None;
+            let mut oracle: Vec<(&str, Function, Memory)> = Vec::new();
             if lowered || !has_grad_spec {
                 diags = lint::lint_function(&func, &cfg);
+                let ranges = vra::value_ranges(&func);
+                diags.extend(ranges.diagnostics.iter().cloned());
+                lint::sort_diagnostics(&mut diags);
+                if args.check_dynamic {
+                    oracle.push(("program", func.clone(), base_memory(&input)));
+                }
+                analysed = Some((func.clone(), ranges));
             } else {
-                let default_names: Vec<&str> = if args.aos_only {
-                    vec!["opt", "ad", "regions", "aos-layout"]
-                } else {
-                    full_pass_names(&args, true)
-                };
+                let default_names = lint_pass_names(&args);
                 let builder = pipeline_for(&args, &input, copts, &default_names)?.with_verify(true);
                 let run = builder.run_source(&func).map_err(|e| e.to_string())?;
                 if args.lint_after_all {
@@ -1053,11 +1245,50 @@ fn run() -> Result<ExitCode, String> {
                         run.state.encoding.as_ref(),
                     ));
                 }
+                if let Some(r) = &run.state.ranges {
+                    diags.extend(r.diagnostics.iter().cloned());
+                }
                 lint::sort_diagnostics(&mut diags);
+                if let Some(grad) = &run.state.gradient {
+                    if args.check_dynamic {
+                        let opts = ad_options(&input, &args)?;
+                        let base = base_memory(&input);
+                        oracle.push(("source", func.clone(), base.clone()));
+                        oracle.push((
+                            "gradient",
+                            grad.func.clone(),
+                            variant_memory(&func, &grad.func, &base, grad, &opts),
+                        ));
+                    }
+                    if let Some(r) = &run.state.ranges {
+                        // The pipeline's artifact is computed over the
+                        // gradient function (see ValueRangesPass).
+                        analysed = Some((grad.func.clone(), r.clone()));
+                    }
+                    enc_grad = Some(grad.clone());
+                }
+                encoding = run.state.encoding.clone();
             }
             let (errors, warnings) = lint::counts(&diags);
             print!("{}", lint::render_table(&diags));
             println!("{}: {errors} error(s), {warnings} warning(s)", args.file);
+            let mut escapes = 0usize;
+            if args.check_dynamic {
+                println!("=== dynamic range oracle ===");
+                for (label, f, mut mem) in oracle {
+                    let (line, n) = oracle_run(label, &f, &mut mem)?;
+                    println!("{line}");
+                    escapes += n;
+                }
+                println!(
+                    "dynamic oracle: {escapes} escape(s){}",
+                    if escapes > 0 {
+                        " — the static analysis (or an input annotation) is UNSOUND"
+                    } else {
+                        ""
+                    }
+                );
+            }
             if let Some(path) = &args.json {
                 let ds: Vec<Value> = diags
                     .iter()
@@ -1072,18 +1303,27 @@ fn run() -> Result<ExitCode, String> {
                     })
                     .collect();
                 let mut doc = Value::object();
-                doc.set("schema", "tapeflow.cli.lint/v1")
+                doc.set("schema", "tapeflow.cli.lint/v2")
                     .set("program", args.file.as_str())
                     .set("spad_entries", cfg.spad_entries)
                     .set("spad_banks", cfg.spad_banks)
                     .set("errors", errors)
                     .set("warnings", warnings)
                     .set("diagnostics", Value::Arr(ds));
+                if let Some((f, r)) = &analysed {
+                    doc.set(
+                        "ranges",
+                        ranges_json(f, r, enc_grad.as_ref(), encoding.as_ref()),
+                    );
+                }
+                if args.check_dynamic {
+                    doc.set("dynamic_escapes", escapes);
+                }
                 std::fs::write(path, doc.render())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!("// machine-readable report: {path}");
             }
-            if errors > 0 {
+            if errors > 0 || escapes > 0 {
                 return Ok(ExitCode::FAILURE);
             }
         }

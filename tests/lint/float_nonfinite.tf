@@ -1,0 +1,15 @@
+// Seeded lint fixture: the divisor is loaded from an input whose
+// declared range pins every element to exactly 0.0, so the division
+// provably produces a non-finite value (±Inf or NaN) on every run that
+// honors the input contract.
+func @float_nonfinite {
+  array @0 x : f64[8] (Input) in[1,2]
+  array @1 z : f64[8] (Input) in[0,0]
+  array @2 out : f64[8] (Output)
+  for i in 0..8 step 1 {
+    %0 = load @0 i
+    %1 = load @1 i
+    %2 = fdiv %0 %1
+    store @2 i %2
+  }
+}

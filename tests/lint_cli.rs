@@ -25,11 +25,12 @@ fn tapeflow(args: &[&str]) -> std::process::Output {
 
 /// (fixture stem, expected exit code). Error findings exit 1; the
 /// warning-only bank-stride fixture stays 0.
-const FIXTURES: [(&str, i32); 4] = [
+const FIXTURES: [(&str, i32); 5] = [
     ("oob_tape_index", 1),
     ("spad_overflow", 1),
     ("stream_cycle", 1),
     ("bank_stride", 0),
+    ("float_nonfinite", 1),
 ];
 
 #[test]
@@ -98,7 +99,7 @@ fn json_report_matches_schema_and_is_deterministic() {
     let doc = Value::parse(&docs[0]).expect("lint JSON parses");
     assert_eq!(
         doc.get("schema").and_then(Value::as_str),
-        Some("tapeflow.cli.lint/v1")
+        Some("tapeflow.cli.lint/v2")
     );
     assert_eq!(
         doc.get("program").and_then(Value::as_str),
@@ -131,6 +132,113 @@ fn json_report_matches_schema_and_is_deterministic() {
             "message"
         );
     }
+    // v2 range census: bounded/total value counts plus per-array
+    // content ranges, even on the direct (already-lowered) lint path.
+    let ranges = doc.get("ranges").expect("v2 carries a ranges section");
+    for key in ["bounded_i64", "total_i64", "bounded_f64", "total_f64"] {
+        assert!(
+            ranges.get(key).and_then(Value::as_u64).is_some(),
+            "missing or non-numeric ranges.{key}"
+        );
+    }
+    let arrays = ranges
+        .get("arrays")
+        .and_then(Value::as_arr)
+        .expect("ranges.arrays");
+    assert!(!arrays.is_empty());
+    for a in arrays {
+        assert!(a.get("name").and_then(Value::as_str).is_some());
+        assert!(a.get("content").and_then(Value::as_str).is_some());
+    }
+}
+
+#[test]
+fn compressed_benchmark_json_reports_narrowing_decisions() {
+    let path = target_tmp("lint_matdescent_v2.json");
+    let out = tapeflow(&[
+        "lint",
+        "matdescent",
+        "--scale",
+        "tiny",
+        "--compress-tape",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Value::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let ranges = doc.get("ranges").expect("ranges section");
+    let narrowing = ranges
+        .get("narrowing")
+        .and_then(Value::as_arr)
+        .expect("narrowing decisions under --compress-tape");
+    assert!(!narrowing.is_empty());
+    // matdescent's A·x product slot narrows to a single byte; the input
+    // copies are elided outright.
+    let encodings: Vec<&str> = narrowing
+        .iter()
+        .filter_map(|n| n.get("encoding").and_then(Value::as_str))
+        .collect();
+    assert!(encodings.contains(&"remat"), "{encodings:?}");
+    assert!(encodings.contains(&"keep"), "{encodings:?}");
+    assert!(narrowing
+        .iter()
+        .any(|n| n.get("width_bytes").and_then(Value::as_u64) == Some(1)));
+}
+
+#[test]
+fn check_dynamic_is_green_on_benchmarks() {
+    for name in ["matdescent", "pathfinder"] {
+        let out = tapeflow(&[
+            "lint",
+            name,
+            "--scale",
+            "tiny",
+            "--compress-tape",
+            "--check-dynamic",
+        ]);
+        assert!(
+            out.status.success(),
+            "{name}: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("=== dynamic range oracle ==="), "{stdout}");
+        assert!(stdout.contains("dynamic oracle: 0 escape(s)"), "{stdout}");
+        // Both the source program and its gradient function ran under
+        // the recorder.
+        assert!(stdout.contains("source"), "{stdout}");
+        assert!(stdout.contains("gradient"), "{stdout}");
+    }
+}
+
+#[test]
+fn explain_prints_catalog_entries_and_rejects_unknown_rules() {
+    let out = tapeflow(&["lint", "--explain", "unsound-narrow"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("unsound-narrow (error, plan level)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("its own checker"), "{stdout}");
+
+    let out = tapeflow(&["lint", "--explain", "float-nonfinite"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NaN"), "{stdout}");
+
+    let out = tapeflow(&["lint", "--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no lint rule named") && stderr.contains("tape-index-oob"),
+        "the error should list the catalog: {stderr}"
+    );
 }
 
 #[test]
@@ -237,7 +345,15 @@ fn lint_after_all_reports_pass_boundaries_on_stderr() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for pass in ["opt", "ad", "regions", "layering", "streams", "spad-index"] {
+    for pass in [
+        "opt",
+        "ad",
+        "regions",
+        "layering",
+        "value-ranges",
+        "streams",
+        "spad-index",
+    ] {
         assert!(
             stderr.contains(&format!(": {pass} (")),
             "missing lint banner for pass {pass:?} on stderr: {stderr}"

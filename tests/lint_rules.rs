@@ -1,0 +1,141 @@
+//! Library-level seeded-broken tests for `unsound-narrow` — the one lint
+//! rule that cannot be provoked from a textual fixture, because it
+//! checks the `tape-compress` *artifact*: a corrupted [`TapeEncoding`]
+//! has to be handed to `lint_plan` directly. The diagnostic table is
+//! golden (regenerate with `BLESS=1 cargo test --test lint_rules`).
+
+use tapeflow::autodiff::{AdOptions, Gradient};
+use tapeflow::core::compress::{SlotEncoding, TapeEncoding};
+use tapeflow::core::layering::LayerPlan;
+use tapeflow::core::pipeline::PipelineBuilder;
+use tapeflow::core::{lint as plan_lint, CompileOptions};
+use tapeflow::ir::lint::{render_table, Severity};
+use tapeflow::ir::parse;
+
+/// `loss = Σ x²·y` with `x` on a quantized lattice: the taped product
+/// term `x²` is a *computed* quantized value (not an input copy, so
+/// `tape-compress` cannot elide it) whose honest width is 2 bytes
+/// (span 10 000 needs more than one byte).
+const QUAD: &str = r"func @quad {
+  array @0 x : f64[64] (Input) in[0,100] quantized
+  array @1 y : f64[64] (Input)
+  array @2 loss : f64[1] (Output)
+  for i in 0..64 step 1 {
+    %0 = load @0 i
+    %1 = load @1 i
+    %2 = fmul %0 %0
+    %3 = fmul %2 %1
+    %4 = load @2 0i
+    %5 = fadd %4 %3
+    store @2 0i %5
+  }
+}";
+
+fn compile(text: &str, wrt: &str, loss: &str) -> (Gradient, LayerPlan, TapeEncoding) {
+    let f = parse::parse(text).unwrap();
+    let wrt = f.array_by_name(wrt).unwrap();
+    let loss = f.array_by_name(loss).unwrap();
+    let opts = CompileOptions {
+        compress_tape: true,
+        ..CompileOptions::default()
+    };
+    let run = PipelineBuilder::full(opts, AdOptions::new(vec![wrt], vec![loss]))
+        .with_verify(true)
+        .run_source(&f)
+        .unwrap();
+    (
+        run.state.gradient.clone().unwrap(),
+        run.state.plan.clone().unwrap(),
+        run.state.encoding.clone().unwrap(),
+    )
+}
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        compress_tape: true,
+        ..CompileOptions::default()
+    }
+}
+
+fn assert_golden(name: &str, got: &str) {
+    let path = format!("tests/golden/{name}");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with BLESS=1)"));
+    assert_eq!(
+        got, want,
+        "table drifted from {path} \
+         (intentional? regenerate with BLESS=1 cargo test --test lint_rules)"
+    );
+}
+
+#[test]
+fn honest_compression_lints_clean() {
+    let (grad, plan, enc) = compile(QUAD, "y", "loss");
+    assert!(
+        enc.slots
+            .iter()
+            .any(|s| matches!(s, SlotEncoding::Keep { width: 2 })),
+        "the x² slot should narrow to 2 bytes: {:?}",
+        enc.slots
+    );
+    let diags = plan_lint::lint_plan(&grad, &plan, &opts(), Some(&enc));
+    assert!(
+        diags.iter().all(|d| d.severity != Severity::Error),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn narrower_than_the_fresh_proof_is_unsound() {
+    // Shave the honestly-narrowed 2-byte slot down to 1 byte: the rule's
+    // independent re-proof must reject the encoding.
+    let (grad, plan, mut enc) = compile(QUAD, "y", "loss");
+    for s in &mut enc.slots {
+        if matches!(s, SlotEncoding::Keep { width: 2 }) {
+            *s = SlotEncoding::Keep { width: 1 };
+        }
+    }
+    let diags = plan_lint::lint_plan(&grad, &plan, &opts(), Some(&enc));
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "unsound-narrow")
+        .collect();
+    assert!(!hits.is_empty(), "{diags:?}");
+    assert!(
+        hits.iter().any(|d| d.message.contains("needs 2 B")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn narrowing_an_unprovable_slot_is_unsound_and_golden() {
+    // sum exp(x): the taped exp results have no integer or quantized
+    // range at all — any narrow width on them must be rejected.
+    let text = std::fs::read_to_string("programs/sumexp.tf").unwrap();
+    let (grad, plan, mut enc) = compile(&text, "x", "loss");
+    let mut corrupted = 0;
+    for s in &mut enc.slots {
+        if matches!(s, SlotEncoding::Keep { width: 8 }) {
+            *s = SlotEncoding::Keep { width: 4 };
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "sumexp should keep at least one f64 slot");
+    let diags = plan_lint::lint_plan(&grad, &plan, &opts(), Some(&enc));
+    let table = render_table(
+        &diags
+            .iter()
+            .filter(|d| d.rule == "unsound-narrow")
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        table.contains("no provable integer or quantized range"),
+        "{table}"
+    );
+    assert_golden("lint_unsound_narrow.txt", &table);
+}

@@ -156,10 +156,36 @@ const COMPRESSED: &[&str] = &[
     "ad",
     "regions",
     "layering",
+    "value-ranges",
     "tape-compress",
     "streams",
     "spad-index",
 ];
+
+/// `tape-compress` consumes the `value-ranges` artifact; listing it
+/// without a producer must be rejected by the artifact-graph check with
+/// an error naming the missing edge.
+#[test]
+fn tape_compress_without_value_ranges_is_rejected() {
+    let names = [
+        "opt",
+        "ad",
+        "regions",
+        "layering",
+        "tape-compress",
+        "streams",
+        "spad-index",
+    ];
+    let ad = AdOptions::new(vec![], vec![]);
+    let Err(err) = PipelineBuilder::from_names(&names, CompileOptions::default(), Some(ad)) else {
+        panic!("missing value-ranges must fail assembly");
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("value-ranges") && msg.contains("tape-compress"),
+        "unclear error: {msg}"
+    );
+}
 
 #[test]
 fn sumexp_tape_compress_is_golden() {

@@ -1,0 +1,300 @@
+//! The dynamic soundness oracle as a property, plus the transparency
+//! regression for declared ranges.
+//!
+//! Property: random programs (in-tree RNG, no `rand`) interpreted under
+//! a [`RangeRecorder`] never observe a value or array element outside
+//! what the static value-range analysis proved — any escape is a
+//! soundness bug in `tapeflow_ir::vra` (or a dishonest generated
+//! input) and fails hard. A subset of the corpus is additionally
+//! differentiated and the gradient function is held to the same oracle.
+//!
+//! Regression: declared ranges are a *transparent codec* — stripping
+//! every annotation from an annotated benchmark must leave the compiled
+//! gradient values byte-identical, while annotations may only shrink
+//! the modeled tape traffic.
+
+use tapeflow::autodiff::{differentiate, AdOptions, Gradient};
+use tapeflow::benchmarks::{by_name, Scale};
+use tapeflow::core::pipeline::PipelineBuilder;
+use tapeflow::core::CompileOptions;
+use tapeflow::ir::interp::{self, RangeRecorder};
+use tapeflow::ir::{vra, ArrayId, ArrayKind, DeclRange, Function, FunctionBuilder, Memory, Scalar};
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+/// One random program: a bounded quantized-or-not input `x` read through
+/// a bounded index array `k` (exercising the array-content domain), an
+/// unannotated input `y`, a random float expression DAG, and a
+/// loop-carried accumulator (exercising widening). Inputs are generated
+/// honest to their declared ranges.
+fn random_program(seed: u64) -> (Function, Memory) {
+    let mut rng = Rng::new(seed);
+    let n = 4 + rng.below(5) as usize;
+    let lo = -(rng.below(4) as i64);
+    let hi = lo + 1 + rng.below(9) as i64;
+    let quantized = rng.below(2) == 0;
+    let mut b = FunctionBuilder::new("prop");
+    let x = b.array_ranged(
+        "x",
+        n,
+        ArrayKind::Input,
+        Scalar::F64,
+        DeclRange::Float {
+            lo: lo as f64,
+            hi: hi as f64,
+            quantized,
+        },
+    );
+    let k = b.array_ranged(
+        "k",
+        n,
+        ArrayKind::Input,
+        Scalar::I64,
+        DeclRange::Int {
+            lo: 0,
+            hi: n as i64 - 1,
+        },
+    );
+    let y = b.array("y", n, ArrayKind::Input, Scalar::F64);
+    let out = b.array("out", n, ArrayKind::Output, Scalar::F64);
+    let loss = b.array("loss", 1, ArrayKind::Output, Scalar::F64);
+    b.for_loop("i", 0, n as i64, |b, i| {
+        let j = b.load(k, i);
+        let xv = b.load(x, j);
+        let yv = b.load(y, i);
+        let mut vals = vec![xv, yv];
+        for _ in 0..2 + rng.below(6) {
+            let a = vals[rng.below(vals.len() as u64) as usize];
+            let c = vals[rng.below(vals.len() as u64) as usize];
+            let v = match rng.below(8) {
+                0 => b.fadd(a, c),
+                1 => b.fsub(a, c),
+                2 => b.fmul(a, c),
+                3 => b.fmin(a, c),
+                4 => b.fmax(a, c),
+                5 => b.fabs(a),
+                6 => b.tanh(a),
+                _ => {
+                    // Division with a denominator provably >= 1: never a
+                    // runtime zero-division, never provably non-finite.
+                    let d = b.fabs(c);
+                    let one = b.f64(1.0);
+                    let dd = b.fadd(d, one);
+                    b.fdiv(a, dd)
+                }
+            };
+            vals.push(v);
+        }
+        let last = *vals.last().expect("at least the two loads");
+        b.store(out, i, last);
+        let cur = b.load_cell(loss);
+        let s = b.fadd(cur, last);
+        b.store_cell(loss, s);
+    });
+    let f = b.finish();
+    let mut mem = Memory::for_function(&f);
+    let xs: Vec<f64> = (0..n)
+        .map(|_| {
+            let v = rng.f64_in(lo as f64, hi as f64);
+            if quantized {
+                v.floor().clamp(lo as f64, hi as f64)
+            } else {
+                v
+            }
+        })
+        .collect();
+    mem.set_f64(x, &xs);
+    let ks: Vec<i64> = (0..n).map(|_| rng.below(n as u64) as i64).collect();
+    mem.set_i64(k, &ks);
+    let ys: Vec<f64> = (0..n).map(|_| rng.f64_in(-2.0, 2.0)).collect();
+    mem.set_f64(y, &ys);
+    (f, mem)
+}
+
+/// Runs `f` under the recorder and asserts containment in the fresh
+/// static result. Returns the count of statically bounded f64 values so
+/// callers can prove the corpus is not vacuous.
+fn assert_contained(label: &str, f: &Function, mem: &mut Memory) -> usize {
+    tapeflow::ir::verify::verify(f).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let rec = RangeRecorder::new(f, mem);
+    let (rec, _) = interp::execute(f, mem, rec).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let ranges = vra::value_ranges(f);
+    let escapes = vra::check_containment(f, &ranges, &rec);
+    assert!(
+        escapes.is_empty(),
+        "{label}: dynamic observations escape the static ranges:\n{}",
+        escapes
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    ranges.float_census(f).0
+}
+
+#[test]
+fn random_programs_stay_inside_their_static_ranges() {
+    let mut bounded = 0;
+    for seed in 0..60 {
+        let (f, mut mem) = random_program(seed);
+        bounded += assert_contained(&format!("seed {seed}"), &f, &mut mem);
+    }
+    assert!(
+        bounded > 100,
+        "the corpus proved almost nothing bounded ({bounded}); generator drifted?"
+    );
+}
+
+#[test]
+fn random_gradients_stay_inside_their_static_ranges() {
+    for seed in 0..12 {
+        let (f, mem) = random_program(seed);
+        let wrt = f.array_by_name("y").unwrap();
+        let loss = f.array_by_name("loss").unwrap();
+        let grad = differentiate(&f, &AdOptions::new(vec![wrt], vec![loss]))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut gmem = grad.prepare_memory(&f, &mem);
+        gmem.set_f64_at(grad.shadow_of(loss).unwrap(), 0, 1.0);
+        assert_contained(&format!("seed {seed} gradient"), &grad.func, &mut gmem);
+    }
+}
+
+#[test]
+fn benchmark_oracle_is_green_at_tiny_scale() {
+    for name in tapeflow::benchmarks::NAMES {
+        let b = by_name(name, Scale::Tiny);
+        let mut mem = b.mem.clone();
+        assert_contained(name, &b.func, &mut mem);
+        let grad = b.gradient();
+        let mut gmem = b.gradient_memory(&grad);
+        assert_contained(&format!("{name} gradient"), &grad.func, &mut gmem);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transparency regression
+// ---------------------------------------------------------------------------
+
+fn compile_compressed(
+    f: &Function,
+    wrt: &[ArrayId],
+    loss: ArrayId,
+) -> (Gradient, Function, u64, usize) {
+    let opts = CompileOptions {
+        compress_tape: true,
+        ..CompileOptions::default()
+    };
+    let run = PipelineBuilder::full(opts, AdOptions::new(wrt.to_vec(), vec![loss]))
+        .with_verify(true)
+        .run_source(f)
+        .unwrap();
+    let grad = run.state.gradient.clone().unwrap();
+    let enc = run.state.encoding.clone().unwrap();
+    let compiled = run.state.current_ir().unwrap().clone();
+    (grad, compiled, enc.bytes_after, enc.narrowed_slots)
+}
+
+/// Executes a compiled variant against the benchmark's inputs and
+/// returns every wrt-shadow bit pattern.
+fn gradient_bits(
+    source: &Function,
+    variant: &Function,
+    base: &Memory,
+    grad: &Gradient,
+    wrt: &[ArrayId],
+    loss: ArrayId,
+) -> Vec<u64> {
+    let mut mem = Memory::for_function(variant);
+    for i in 0..source.arrays().len() {
+        mem.clone_array_from(base, ArrayId::new(i));
+    }
+    mem.set_f64_at(grad.shadow_of(loss).expect("loss shadow"), 0, 1.0);
+    interp::run(variant, &mut mem).expect("compiled variant executes");
+    wrt.iter()
+        .flat_map(|&w| {
+            mem.get_f64(grad.shadow_of(w).expect("wrt shadow"))
+                .into_iter()
+                .map(f64::to_bits)
+        })
+        .collect()
+}
+
+#[test]
+fn stripping_annotations_never_changes_gradient_bits() {
+    // The three benchmarks whose annotations make narrowing fire, plus
+    // one whose annotation exists but cannot narrow (tanh breaks
+    // quantization) — transparency must hold either way.
+    for name in ["matdescent", "mttkrp", "pathfinder", "nn"] {
+        let b = by_name(name, Scale::Tiny);
+        let mut stripped = b.func.clone();
+        stripped.clear_array_ranges();
+
+        let (ga, fa, bytes_a, _) = compile_compressed(&b.func, &b.wrt, b.loss.array);
+        let (gb, fb, bytes_b, _) = compile_compressed(&stripped, &b.wrt, b.loss.array);
+
+        // AD never reads the annotations: the gradient functions differ
+        // only in their array-declaration lines.
+        let body_only = |g: &Gradient| {
+            tapeflow::ir::pretty::pretty(&g.func)
+                .to_string()
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("array "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body_only(&ga), body_only(&gb), "{name}: AD read the ranges");
+
+        // The codec is transparent: compiled gradients are bit-equal.
+        let bits_a = gradient_bits(&b.func, &fa, &b.mem, &ga, &b.wrt, b.loss.array);
+        let bits_b = gradient_bits(&stripped, &fb, &b.mem, &gb, &b.wrt, b.loss.array);
+        assert!(!bits_a.is_empty());
+        assert_eq!(bits_a, bits_b, "{name}: annotations changed gradient bits");
+
+        // Annotations may only shrink the modeled tape traffic.
+        assert!(
+            bytes_a <= bytes_b,
+            "{name}: annotated traffic {bytes_a} exceeds stripped {bytes_b}"
+        );
+    }
+}
+
+#[test]
+fn annotations_are_what_make_narrowing_fire() {
+    // On the narrowing benchmarks the declared ranges are load-bearing:
+    // stripped, the quantized-float proof disappears and the modeled
+    // traffic goes strictly up.
+    for name in ["matdescent", "mttkrp", "pathfinder"] {
+        let b = by_name(name, Scale::Tiny);
+        let mut stripped = b.func.clone();
+        stripped.clear_array_ranges();
+        let (_, _, bytes_a, narrowed_a) = compile_compressed(&b.func, &b.wrt, b.loss.array);
+        let (_, _, bytes_b, narrowed_b) = compile_compressed(&stripped, &b.wrt, b.loss.array);
+        assert!(narrowed_a > 0, "{name}: nothing narrowed while annotated");
+        assert!(
+            bytes_a < bytes_b || narrowed_a > narrowed_b,
+            "{name}: stripping changed nothing \
+             (annotated {bytes_a} B/{narrowed_a} slots, \
+             stripped {bytes_b} B/{narrowed_b} slots)"
+        );
+    }
+}
